@@ -1,0 +1,279 @@
+//! Unslotted ALOHA with acknowledgements — not one of the paper's
+//! comparison protocols, but the classic sanity floor: transmit the moment
+//! you have data, retransmit on a missing Ack with binary exponential
+//! backoff. Any slotted collision-avoidance protocol should beat it at
+//! moderate-to-high load in a long-propagation-delay channel; the test
+//! suite uses it to validate that the simulator punishes unmanaged
+//! contention.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use uasn_net::mac::{
+    MacContext, MacProtocol, MaintenanceProfile, Reception, TimerToken,
+};
+use uasn_net::node::NodeId;
+use uasn_net::packet::{Frame, FrameKind, Sdu};
+use uasn_net::slots::SlotIndex;
+use uasn_sim::time::SimDuration;
+
+/// Ack wait expired.
+const TIMER_ACK: TimerToken = TimerToken(30);
+/// Backoff expired — transmit now.
+const TIMER_RETRY: TimerToken = TimerToken(31);
+
+/// The ALOHA instance bound to one node.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_baselines::Aloha;
+/// use uasn_net::mac::MacProtocol;
+/// use uasn_net::node::NodeId;
+///
+/// let mac = Aloha::new(NodeId::new(0));
+/// assert_eq!(mac.name(), "ALOHA");
+/// ```
+#[derive(Debug)]
+pub struct Aloha {
+    id: NodeId,
+    queue: VecDeque<(Sdu, u32)>,
+    /// Data in flight, waiting for an Ack.
+    awaiting_ack: bool,
+    /// A retry timer is pending.
+    backing_off: bool,
+    backoff_secs: f64,
+    max_retries: u32,
+}
+
+impl Aloha {
+    /// Creates an ALOHA instance for node `id`.
+    pub fn new(id: NodeId) -> Self {
+        Aloha {
+            id,
+            queue: VecDeque::new(),
+            awaiting_ack: false,
+            backing_off: false,
+            backoff_secs: 2.0,
+            max_retries: 7,
+        }
+    }
+
+    fn transmit_head(&mut self, ctx: &mut MacContext<'_>) {
+        let Some(&(sdu, retries)) = self.queue.front() else {
+            return;
+        };
+        if self.awaiting_ack || self.backing_off {
+            return;
+        }
+        let mut frame = Frame::data(FrameKind::Data, self.id, sdu);
+        if retries > 0 {
+            frame = frame.as_retransmission();
+        }
+        let td = ctx.tx_duration(frame.bits);
+        ctx.send_frame_now(frame);
+        self.awaiting_ack = true;
+        // One round trip at worst-case delay plus the data itself.
+        let timeout = td + ctx.clock().tau_max() * 2 + ctx.omega() * 2;
+        ctx.set_timer_after(timeout, TIMER_ACK);
+    }
+}
+
+impl MacProtocol for Aloha {
+    fn name(&self) -> &'static str {
+        "ALOHA"
+    }
+
+    fn maintenance(&self) -> MaintenanceProfile {
+        MaintenanceProfile::none()
+    }
+
+    fn on_slot_start(&mut self, ctx: &mut MacContext<'_>, _slot: SlotIndex) {
+        // ALOHA is unslotted; the boundary is just a convenient opportunity
+        // to kick a stalled queue.
+        self.transmit_head(ctx);
+    }
+
+    fn on_enqueue(&mut self, ctx: &mut MacContext<'_>, sdu: Sdu) {
+        self.queue.push_back((sdu, 0));
+        self.transmit_head(ctx);
+    }
+
+    fn on_frame_received(&mut self, ctx: &mut MacContext<'_>, rx: &Reception<'_>) {
+        let frame = rx.frame;
+        if !rx.addressed_to(self.id) {
+            return;
+        }
+        match frame.kind {
+            FrameKind::Data => {
+                let ack = Frame::control(FrameKind::Ack, self.id, frame.src, ctx.control_bits());
+                ctx.send_frame_now(ack);
+            }
+            FrameKind::Ack
+                if self.awaiting_ack => {
+                    ctx.cancel_timer(TIMER_ACK);
+                    self.awaiting_ack = false;
+                    self.backoff_secs = 2.0;
+                    self.queue.pop_front();
+                    self.transmit_head(ctx);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut MacContext<'_>, token: TimerToken) {
+        match token {
+            TIMER_ACK => {
+                if !self.awaiting_ack {
+                    return;
+                }
+                self.awaiting_ack = false;
+                let drop = if let Some(head) = self.queue.front_mut() {
+                    head.1 += 1;
+                    head.1 > self.max_retries
+                } else {
+                    false
+                };
+                if drop {
+                    if let Some((sdu, _)) = self.queue.pop_front() {
+                        ctx.report_drop(sdu.id);
+                    }
+                    self.backoff_secs = 2.0;
+                    self.transmit_head(ctx);
+                } else {
+                    self.backing_off = true;
+                    let wait = ctx.rng().gen_range(0.0..self.backoff_secs);
+                    self.backoff_secs = (self.backoff_secs * 2.0).min(64.0);
+                    ctx.set_timer_after(SimDuration::from_secs_f64(wait.max(0.01)), TIMER_RETRY);
+                }
+            }
+            TIMER_RETRY => {
+                self.backing_off = false;
+                self.transmit_head(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uasn_net::mac::MacCommand;
+    use uasn_net::slots::SlotClock;
+    use uasn_phy::modem::ModemSpec;
+    use uasn_sim::time::SimTime;
+
+    fn drive<F: FnOnce(&mut Aloha, &mut MacContext<'_>)>(
+        mac: &mut Aloha,
+        now: SimTime,
+        commands: &mut Vec<MacCommand>,
+        f: F,
+    ) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clock = SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1));
+        let mut ctx = MacContext::new(
+            now,
+            mac.id,
+            clock,
+            ModemSpec::new(12_000.0),
+            64,
+            &mut rng,
+            commands,
+        );
+        f(mac, &mut ctx);
+    }
+
+    fn sdu(next: u32) -> Sdu {
+        Sdu {
+            id: 1,
+            origin: NodeId::new(0),
+            next_hop: NodeId::new(next),
+            bits: 2_048,
+            created: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn transmits_immediately_on_enqueue() {
+        let mut mac = Aloha::new(NodeId::new(0));
+        let mut cmds = Vec::new();
+        drive(&mut mac, SimTime::ZERO, &mut cmds, |m, ctx| {
+            m.on_enqueue(ctx, sdu(5))
+        });
+        let frames: Vec<_> = cmds
+            .iter()
+            .filter(|c| matches!(c, MacCommand::SendFrame { .. }))
+            .collect();
+        assert_eq!(frames.len(), 1);
+        assert!(mac.awaiting_ack);
+    }
+
+    #[test]
+    fn acks_incoming_data_and_finishes_on_ack() {
+        let mut mac = Aloha::new(NodeId::new(5));
+        let mut cmds = Vec::new();
+        let mut data = Frame::data(FrameKind::Data, NodeId::new(0), sdu(5));
+        data.timestamp = SimTime::ZERO;
+        drive(&mut mac, SimTime::from_secs(1), &mut cmds, |m, ctx| {
+            let rx = Reception {
+                frame: &data,
+                arrival_start: SimTime::from_secs(1),
+                prop_delay: SimDuration::from_millis(300),
+            };
+            m.on_frame_received(ctx, &rx);
+        });
+        let kinds: Vec<FrameKind> = cmds
+            .iter()
+            .filter_map(|c| match c {
+                MacCommand::SendFrame { frame, .. } => Some(frame.kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, [FrameKind::Ack]);
+    }
+
+    #[test]
+    fn ack_timeout_backs_off_then_retries() {
+        let mut mac = Aloha::new(NodeId::new(0));
+        let mut cmds = Vec::new();
+        drive(&mut mac, SimTime::ZERO, &mut cmds, |m, ctx| {
+            m.on_enqueue(ctx, sdu(5))
+        });
+        cmds.clear();
+        drive(&mut mac, SimTime::from_secs(4), &mut cmds, |m, ctx| {
+            m.on_timer(ctx, TIMER_ACK)
+        });
+        assert!(mac.backing_off);
+        assert_eq!(mac.queue.front().unwrap().1, 1);
+        cmds.clear();
+        drive(&mut mac, SimTime::from_secs(6), &mut cmds, |m, ctx| {
+            m.on_timer(ctx, TIMER_RETRY)
+        });
+        let retx = cmds.iter().any(|c| {
+            matches!(c, MacCommand::SendFrame { frame, .. } if frame.kind == FrameKind::Data && frame.retx)
+        });
+        assert!(retx, "retransmission flagged");
+    }
+
+    #[test]
+    fn drops_after_max_retries() {
+        let mut mac = Aloha::new(NodeId::new(0));
+        mac.max_retries = 0;
+        let mut cmds = Vec::new();
+        drive(&mut mac, SimTime::ZERO, &mut cmds, |m, ctx| {
+            m.on_enqueue(ctx, sdu(5))
+        });
+        drive(&mut mac, SimTime::from_secs(4), &mut cmds, |m, ctx| {
+            m.on_timer(ctx, TIMER_ACK)
+        });
+        assert_eq!(mac.queue_len(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion bench for the extra-communication ablation: exercises the exact code path on a miniature
+//! network so the benchmark suite stays fast; the full-scale regeneration
+//! lives in `src/bin` (see DESIGN.md's experiment index).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uasn_bench::{criterion_cfg, run_once, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    
+    for p in [Protocol::EwMac, Protocol::EwMacNoExtra] {
+        let cfg = criterion_cfg().with_offered_load_kbps(1.0);
+        group.bench_function(p.name(), |b| {
+            b.iter(|| run_once(&cfg, p).extra_bits_received)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Table 2 (configuration validation and build): exercises the exact code path on a miniature
+//! network so the benchmark suite stays fast; the full-scale regeneration
+//! lives in `src/bin` (see DESIGN.md's experiment index).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uasn_bench::{criterion_cfg, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_config");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    
+    group.bench_function("validate", |b| {
+        b.iter(|| uasn_net::config::SimConfig::paper_default().validate())
+    });
+    group.bench_function("build-simulation", |b| {
+        let cfg = criterion_cfg();
+        b.iter(|| {
+            uasn_net::world::Simulation::new(cfg.clone(), &|id| Protocol::EwMac.build(id))
+                .expect("builds")
+                .slot_clock()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the hot kernels under every experiment: the event
+//! queue, the acoustic channel arithmetic, the modem collision ledger, and
+//! the slot/priority math.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uasn_net::slots::SlotClock;
+use uasn_phy::channel::AcousticChannel;
+use uasn_phy::geometry::Point;
+use uasn_phy::modem::Modem;
+use uasn_sim::event::EventQueue;
+use uasn_sim::time::{SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("event-queue/push-pop-1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_micros(i * 37 % 50_000 + 50_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+
+    let channel = AcousticChannel::paper_default();
+    let a = Point::new(0.0, 0.0, 1_000.0);
+    let d = Point::new(900.0, 400.0, 2_000.0);
+    c.bench_function("channel/delay-and-audibility", |b| {
+        b.iter(|| {
+            (
+                channel.propagation_delay(black_box(a), black_box(d)),
+                channel.is_audible(black_box(a), black_box(d)),
+            )
+        })
+    });
+
+    c.bench_function("phy/thorp-absorption", |b| {
+        b.iter(|| uasn_phy::absorption::thorp_db_per_km(black_box(10.0)))
+    });
+
+    c.bench_function("modem/overlap-ledger", |b| {
+        b.iter(|| {
+            let mut m = Modem::new();
+            let t0 = SimTime::ZERO;
+            let mut survived = 0u32;
+            for i in 0..64u64 {
+                let start = t0 + SimDuration::from_micros(i * 1_000);
+                let id = m.begin_reception(start, start + SimDuration::from_micros(900));
+                if m.end_reception(start + SimDuration::from_micros(900), id) {
+                    survived += 1;
+                }
+            }
+            black_box(survived)
+        })
+    });
+
+    let clock = SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1));
+    c.bench_function("slots/eq5-ack-slot", |b| {
+        b.iter(|| {
+            clock.ack_slot(
+                black_box(42),
+                black_box(SimDuration::from_micros(170_667)),
+                black_box(SimDuration::from_millis(612)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

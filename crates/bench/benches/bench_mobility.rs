@@ -1,0 +1,29 @@
+//! Criterion bench for extension X2 (mobility): exercises the exact code path on a miniature
+//! network so the benchmark suite stays fast; the full-scale regeneration
+//! lives in `src/bin` (see DESIGN.md's experiment index).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uasn_bench::{criterion_cfg, run_once, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_mobility");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    
+    for speed in [0.0f64, 3.0] {
+        let cfg = if speed > 0.0 {
+            criterion_cfg().with_mobility(speed)
+        } else {
+            criterion_cfg()
+        };
+        group.bench_function(format!("EW-MAC/{speed}-mps"), |b| {
+            b.iter(|| run_once(&cfg, Protocol::EwMac).throughput_kbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

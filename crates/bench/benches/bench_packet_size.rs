@@ -1,0 +1,25 @@
+//! Criterion bench for extension X1 (packet sizes): exercises the exact code path on a miniature
+//! network so the benchmark suite stays fast; the full-scale regeneration
+//! lives in `src/bin` (see DESIGN.md's experiment index).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uasn_bench::{criterion_cfg, run_once, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_packet_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    
+    for bits in [1_024u32, 4_096] {
+        let cfg = criterion_cfg().with_data_bits(bits);
+        group.bench_function(format!("EW-MAC/{bits}-bit-data"), |b| {
+            b.iter(|| run_once(&cfg, Protocol::EwMac).throughput_kbps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Simulator scaling: wall time of a full run vs node count, so
+//! performance regressions in the event loop or the O(nodes) transmission
+//! fan-out show up in CI.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use uasn_bench::{run_once, Protocol};
+use uasn_net::config::SimConfig;
+use uasn_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+    for n in [10u32, 20, 40] {
+        let cfg = SimConfig::paper_default()
+            .with_sensors(n)
+            .with_offered_load_kbps(0.5)
+            .with_sim_time(SimDuration::from_secs(30));
+        group.bench_with_input(BenchmarkId::new("EW-MAC", n), &cfg, |b, cfg| {
+            b.iter(|| run_once(cfg, Protocol::EwMac).data_bits_received)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

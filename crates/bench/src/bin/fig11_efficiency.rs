@@ -1,0 +1,14 @@
+//! Regenerates the paper's Figure 11 (efficiency index vs offered load) — see DESIGN.md's experiment index.
+use std::path::Path;
+
+fn main() {
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(uasn_bench::DEFAULT_SEEDS);
+    let fig = uasn_bench::experiments::fig11_efficiency(seeds);
+    print!("{}", fig.to_table());
+    if let Err(e) = fig.write_csv(Path::new("results")) {
+        eprintln!("warning: could not write results CSV: {e}");
+    }
+}

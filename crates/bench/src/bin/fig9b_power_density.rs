@@ -1,0 +1,14 @@
+//! Regenerates the paper's Figure 9b (power vs sensor count) — see DESIGN.md's experiment index.
+use std::path::Path;
+
+fn main() {
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(uasn_bench::DEFAULT_SEEDS);
+    let fig = uasn_bench::experiments::fig9b_power_vs_density(seeds);
+    print!("{}", fig.to_table());
+    if let Err(e) = fig.write_csv(Path::new("results")) {
+        eprintln!("warning: could not write results CSV: {e}");
+    }
+}

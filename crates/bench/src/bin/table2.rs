@@ -1,0 +1,7 @@
+//! Echoes the validated Table 2 configuration (experiment T2).
+fn main() {
+    println!("[T2] Simulation parameters (paper Table 2)");
+    for (k, v) in uasn_bench::experiments::table2() {
+        println!("{k:>24}: {v}");
+    }
+}

@@ -1,0 +1,103 @@
+//! The protocol roster under evaluation.
+
+use uasn_baselines::{Aloha, CsMac, Ropa, SFama};
+use uasn_ewmac::{EwMac, EwMacConfig};
+use uasn_net::mac::MacProtocol;
+use uasn_net::node::NodeId;
+
+/// Every protocol the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// The paper's contribution.
+    EwMac,
+    /// EW-MAC with the extra-communication machinery disabled (ablation).
+    EwMacNoExtra,
+    /// EW-MAC with SDU aggregation up to 8192 bits per data frame (§2's
+    /// collect-then-transmit argument, opt-in extension).
+    EwMacAggregated,
+    /// Slotted FAMA baseline.
+    SFama,
+    /// Reverse opportunistic packet appending.
+    Ropa,
+    /// Channel-stealing MAC.
+    CsMac,
+    /// Unslotted ALOHA sanity floor.
+    Aloha,
+}
+
+impl Protocol {
+    /// The four protocols every figure in §5 compares.
+    pub const PAPER_SET: [Protocol; 4] = [
+        Protocol::SFama,
+        Protocol::Ropa,
+        Protocol::CsMac,
+        Protocol::EwMac,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::EwMac => "EW-MAC",
+            Protocol::EwMacNoExtra => "EW-MAC (no extra)",
+            Protocol::EwMacAggregated => "EW-MAC (agg)",
+            Protocol::SFama => "S-FAMA",
+            Protocol::Ropa => "ROPA",
+            Protocol::CsMac => "CS-MAC",
+            Protocol::Aloha => "ALOHA",
+        }
+    }
+
+    /// Builds the per-node MAC instance.
+    pub fn build(self, id: NodeId) -> Box<dyn MacProtocol> {
+        match self {
+            Protocol::EwMac => Box::new(EwMac::new(id, EwMacConfig::default())),
+            Protocol::EwMacNoExtra => {
+                Box::new(EwMac::new(id, EwMacConfig::default().without_extra()))
+            }
+            Protocol::EwMacAggregated => Box::new(EwMac::new(
+                id,
+                EwMacConfig::default().with_aggregation(8_192),
+            )),
+            Protocol::SFama => Box::new(SFama::new(id)),
+            Protocol::Ropa => Box::new(Ropa::new(id)),
+            Protocol::CsMac => Box::new(CsMac::new(id)),
+            Protocol::Aloha => Box::new(Aloha::new(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            Protocol::EwMac,
+            Protocol::EwMacNoExtra,
+            Protocol::EwMacAggregated,
+            Protocol::SFama,
+            Protocol::Ropa,
+            Protocol::CsMac,
+            Protocol::Aloha,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn builds_report_their_names() {
+        for p in Protocol::PAPER_SET {
+            let mac = p.build(NodeId::new(0));
+            assert_eq!(mac.name(), p.name());
+        }
+    }
+
+    #[test]
+    fn paper_set_matches_figure_legends() {
+        let names: Vec<&str> = Protocol::PAPER_SET.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["S-FAMA", "ROPA", "CS-MAC", "EW-MAC"]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure/table formatting: aligned console tables and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One protocol's curve in a figure: `(x, mean, ci95)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Experiment id from DESIGN.md ("F6", "F9a", "X1", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// x-axis label.
+    pub x_label: &'static str,
+    /// y-axis label.
+    pub y_label: &'static str,
+    /// One series per protocol.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Renders an aligned console table (x column, one mean±ci column per
+    /// series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}] {}", self.id, self.title);
+        let _ = writeln!(out, "    y = {}", self.y_label);
+        let _ = write!(out, "{:>10}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>22}", s.label);
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>10.3}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, mean, ci)) => {
+                        let cell = format!("{mean:.4} ±{ci:.4}");
+                        let _ = write!(out, "{cell:>22}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>22}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV: `x,label,mean,ci95` rows with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,mean,ci95\n");
+        for s in &self.series {
+            for &(x, mean, ci) in &s.points {
+                let _ = writeln!(out, "{x},{},{mean},{ci}", s.label);
+            }
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+
+    /// The series with the given label, if present.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            id: "F6",
+            title: "Throughput at different offered loads",
+            x_label: "load",
+            y_label: "throughput (kbps)",
+            series: vec![
+                Series {
+                    label: "S-FAMA".into(),
+                    points: vec![(0.1, 0.5, 0.01), (0.2, 0.6, 0.02)],
+                },
+                Series {
+                    label: "EW-MAC".into(),
+                    points: vec![(0.1, 0.55, 0.01), (0.2, 0.7, 0.02)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = sample().to_table();
+        assert!(t.contains("[F6]"));
+        assert!(t.contains("S-FAMA"));
+        assert!(t.contains("EW-MAC"));
+        assert!(t.contains("0.5000 ±0.0100"));
+        assert!(t.contains("0.7000 ±0.0200"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,series,mean,ci95");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("0.1,S-FAMA,"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("uasn-bench-test-csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_csv(&dir).expect("write");
+        let content = std::fs::read_to_string(dir.join("F6.csv")).expect("read");
+        assert!(content.contains("EW-MAC"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert!(f.series_named("S-FAMA").is_some());
+        assert!(f.series_named("nope").is_none());
+    }
+}

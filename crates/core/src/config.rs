@@ -1,0 +1,126 @@
+//! EW-MAC tuning parameters.
+
+use uasn_sim::time::SimDuration;
+
+/// EW-MAC configuration.
+///
+/// Defaults reproduce the paper's protocol; `enable_extra = false` is the
+/// ablation switch that turns off the waiting-resource exploitation
+/// machinery (§4.2), leaving the slotted handshake skeleton — the
+/// `bench_ablation` experiment quantifies exactly what the extra
+/// communications buy.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_ewmac::config::EwMacConfig;
+///
+/// let cfg = EwMacConfig::default();
+/// assert!(cfg.enable_extra);
+/// let ablated = EwMacConfig::default().without_extra();
+/// assert!(!ablated.enable_extra);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwMacConfig {
+    /// Whether the extra-communication machinery (EXR/EXC/EXData/EXAck) is
+    /// active.
+    pub enable_extra: bool,
+    /// Initial contention window, slots. After a failed contention the next
+    /// attempt is delayed by `1 + uniform(0..cw)` slots.
+    pub base_cw: u32,
+    /// Contention window cap for the binary exponential backoff.
+    pub max_cw: u32,
+    /// Random component range of the RTS priority value `rp`.
+    pub rp_random_range: u32,
+    /// Priority added per slot an SDU has waited (§3.1: rp is "related to
+    /// the contention and wait times").
+    pub rp_wait_weight: u32,
+    /// Guard time added to extra-packet arrival targets so an EXData lands
+    /// strictly after the Ack transmission ends (numerical safety on top of
+    /// Eq 6; see DESIGN.md).
+    pub extra_guard: SimDuration,
+    /// Maximum retransmission attempts per SDU before it is dropped.
+    pub max_retries: u32,
+    /// When set, a negotiated data frame aggregates consecutive queued SDUs
+    /// for the same next hop up to this many payload bits (§2: "data should
+    /// be collected and then transmitted when the amount of data is
+    /// sufficient"). `None` sends one SDU per exchange (the evaluation
+    /// default, matching the fixed-size baselines).
+    pub aggregate_max_bits: Option<u32>,
+}
+
+impl Default for EwMacConfig {
+    fn default() -> Self {
+        EwMacConfig {
+            enable_extra: true,
+            base_cw: 2,
+            max_cw: 16,
+            rp_random_range: 256,
+            rp_wait_weight: 8,
+            extra_guard: SimDuration::from_millis(2),
+            max_retries: 20,
+            aggregate_max_bits: None,
+        }
+    }
+}
+
+impl EwMacConfig {
+    /// The ablated variant with extra communications disabled.
+    pub fn without_extra(mut self) -> Self {
+        self.enable_extra = false;
+        self
+    }
+
+    /// Enables SDU aggregation up to `max_bits` per negotiated data frame.
+    pub fn with_aggregation(mut self, max_bits: u32) -> Self {
+        self.aggregate_max_bits = Some(max_bits);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values; configurations are programmer input,
+    /// not runtime data.
+    pub fn validated(self) -> Self {
+        assert!(self.base_cw >= 1, "base contention window must be >= 1");
+        assert!(
+            self.max_cw >= self.base_cw,
+            "max contention window must be >= base"
+        );
+        assert!(self.rp_random_range >= 1, "rp range must be >= 1");
+        assert!(self.max_retries >= 1, "at least one retry is required");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = EwMacConfig::default().validated();
+        assert!(c.enable_extra);
+        assert!(c.max_cw >= c.base_cw);
+    }
+
+    #[test]
+    fn without_extra_only_touches_extra() {
+        let c = EwMacConfig::default().without_extra();
+        assert!(!c.enable_extra);
+        assert_eq!(c.base_cw, EwMacConfig::default().base_cw);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= base")]
+    fn bad_cw_panics() {
+        let _ = EwMacConfig {
+            base_cw: 8,
+            max_cw: 4,
+            ..EwMacConfig::default()
+        }
+        .validated();
+    }
+}

@@ -1,0 +1,293 @@
+//! Timing of extra communications (§4.2, Figures 2/4/5, Eq 6).
+//!
+//! Everything here is pure arithmetic over the slot clock and the
+//! propagation delays a contention-losing sensor has learned, so the
+//! correctness conditions — *extra packets never touch the negotiated
+//! exchange* — are unit- and property-testable in isolation.
+//!
+//! Two cases, per the paper:
+//!
+//! * **Peer is a receiver** (we overheard `CTS(j,k)`): the EXR must be fully
+//!   received at *j* before `Data(k,j)` starts arriving (period V); the
+//!   EXData is timed by Eq 6 to arrive just after *j* finishes sending
+//!   `Ack(j,k)` (periods VI/VII).
+//! * **Peer is a sender** (we overheard `RTS(j,k)`): the EXR must be fully
+//!   received at *j* before `CTS(k,j)` starts arriving (periods III/I); the
+//!   EXData is timed to arrive after *j* finishes receiving `Ack(k,j)`
+//!   (period IV).
+//!
+//! A configurable guard is added to every arrival target: Eq 6 as printed
+//! makes the EXData arrive at the exact instant the Ack transmission ends,
+//! which in a discrete-event model is a measure-zero tie; the guard makes
+//! "strictly after" robust (documented in DESIGN.md).
+
+use uasn_net::node::NodeId;
+use uasn_net::slots::{SlotClock, SlotIndex};
+use uasn_sim::time::{SimDuration, SimTime};
+
+/// A neighbour negotiation this sensor overheard and can try to exploit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedNegotiation {
+    /// The neighbour we want to talk to (sensor *j* in the paper).
+    pub peer: NodeId,
+    /// The sensor *j* negotiated with (*k*).
+    pub other: NodeId,
+    /// `true` if we overheard `CTS(j,k)` — *j* will receive data;
+    /// `false` if we overheard `RTS(j,k)` — *j* is the data sender.
+    pub peer_is_receiver: bool,
+    /// The slot in which the overheard control packet was sent.
+    pub control_slot: SlotIndex,
+    /// The announced propagation delay between *j* and *k*.
+    pub pair_delay: SimDuration,
+    /// The announced duration of the negotiated data transmission.
+    pub data_duration: SimDuration,
+}
+
+impl ObservedNegotiation {
+    /// The slot in which the negotiated `Data` is transmitted: one after a
+    /// CTS, two after an RTS (§4.1).
+    pub fn data_slot(&self) -> SlotIndex {
+        if self.peer_is_receiver {
+            self.control_slot + 1
+        } else {
+            self.control_slot + 2
+        }
+    }
+
+    /// The slot of the negotiated `Ack` per Eq 5.
+    pub fn ack_slot(&self, clock: &SlotClock) -> SlotIndex {
+        clock.ack_slot(self.data_slot(), self.data_duration, self.pair_delay)
+    }
+
+    /// When the negotiated data transmission starts arriving at the
+    /// data-receiving end of the pair.
+    pub fn data_arrival_at_receiver(&self, clock: &SlotClock) -> SimTime {
+        clock.start_of(self.data_slot()) + self.pair_delay
+    }
+
+    /// The instant the whole negotiated exchange (including the Ack's
+    /// arrival back at the data sender) is over — the end of the quiet
+    /// window an overhearer should respect.
+    pub fn exchange_end(&self, clock: &SlotClock) -> SimTime {
+        clock.start_of(self.ack_slot(clock)) + clock.omega() + self.pair_delay
+    }
+}
+
+/// When can the contention loser *i* transmit its EXR, if at all?
+///
+/// Returns the send instant (= `now`; extra requests go out as soon as the
+/// overheard packet is decoded, mid-slot) when the request provably fits the
+/// peer's idle window, `None` otherwise.
+pub fn exr_send_time(
+    clock: &SlotClock,
+    obs: &ObservedNegotiation,
+    now: SimTime,
+    tau_ij: SimDuration,
+    guard: SimDuration,
+) -> Option<SimTime> {
+    let omega = clock.omega();
+    let arrival_end = now + tau_ij + omega + guard;
+    let window_close = if obs.peer_is_receiver {
+        // Before Data(k,j) starts arriving at j.
+        obs.data_arrival_at_receiver(clock)
+    } else {
+        // Before CTS(k,j) starts arriving at j.
+        clock.start_of(obs.control_slot + 1) + obs.pair_delay
+    };
+    (arrival_end <= window_close).then_some(now)
+}
+
+/// Can the granting peer *j* answer an EXR with an EXC right now without
+/// touching its own negotiated exchange?
+///
+/// `now` is when *j* finished decoding the EXR.
+pub fn exc_reply_ok(
+    clock: &SlotClock,
+    obs: &ObservedNegotiation,
+    now: SimTime,
+    guard: SimDuration,
+) -> bool {
+    let omega = clock.omega();
+    let busy_at = if obs.peer_is_receiver {
+        obs.data_arrival_at_receiver(clock)
+    } else {
+        clock.start_of(obs.control_slot + 1) + obs.pair_delay
+    };
+    now + omega + guard <= busy_at
+}
+
+/// Eq 6 (+ guard): the send instant for `EXData(i→j)`.
+///
+/// * Peer-is-receiver: the paper's formula — the packet arrives just after
+///   *j* finishes **transmitting** `Ack(j,k)`:
+///   `t(EXData) = ts(Ack)·|ts| + ω − τij` (we add the guard).
+/// * Peer-is-sender: the packet arrives just after *j* finishes
+///   **receiving** `Ack(k,j)`: one pair delay later.
+pub fn exdata_send_time(
+    clock: &SlotClock,
+    obs: &ObservedNegotiation,
+    tau_ij: SimDuration,
+    guard: SimDuration,
+) -> SimTime {
+    let ack_start = clock.start_of(obs.ack_slot(clock));
+    let arrival_target = if obs.peer_is_receiver {
+        ack_start + clock.omega() + guard
+    } else {
+        ack_start + obs.pair_delay + clock.omega() + guard
+    };
+    arrival_target - tau_ij
+}
+
+/// When the granting peer should give up waiting for the promised EXData:
+/// its scheduled arrival end plus one maximum propagation delay of slack.
+pub fn exdata_grant_timeout(
+    clock: &SlotClock,
+    obs: &ObservedNegotiation,
+    exdata_duration: SimDuration,
+    guard: SimDuration,
+) -> SimTime {
+    let ack_start = clock.start_of(obs.ack_slot(clock));
+    let arrival_target = if obs.peer_is_receiver {
+        ack_start + clock.omega() + guard
+    } else {
+        ack_start + obs.pair_delay + clock.omega() + guard
+    };
+    arrival_target + exdata_duration + clock.tau_max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SlotClock {
+        SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1))
+    }
+
+    fn obs_receiver() -> ObservedNegotiation {
+        ObservedNegotiation {
+            peer: NodeId::new(1),
+            other: NodeId::new(2),
+            peer_is_receiver: true,
+            control_slot: 10, // CTS sent at slot 10
+            pair_delay: SimDuration::from_millis(600),
+            data_duration: SimDuration::from_micros(170_667),
+        }
+    }
+
+    fn obs_sender() -> ObservedNegotiation {
+        ObservedNegotiation {
+            peer_is_receiver: false,
+            ..obs_receiver()
+        }
+    }
+
+    #[test]
+    fn data_and_ack_slots() {
+        let c = clock();
+        let r = obs_receiver();
+        assert_eq!(r.data_slot(), 11);
+        // TD + τ = 170.667 + 600 ms < one slot -> ack at 12.
+        assert_eq!(r.ack_slot(&c), 12);
+
+        let s = obs_sender();
+        assert_eq!(s.data_slot(), 12);
+        assert_eq!(s.ack_slot(&c), 13);
+    }
+
+    #[test]
+    fn exr_allowed_when_it_beats_the_data() {
+        let c = clock();
+        let r = obs_receiver();
+        // We decode the CTS shortly after slot 10 starts; τij = 300 ms.
+        let now = c.start_of(10) + SimDuration::from_millis(320);
+        let send = exr_send_time(&c, &r, now, SimDuration::from_millis(300), SimDuration::from_millis(2));
+        assert_eq!(send, Some(now));
+        // Arrival end = now + 300ms + ω + 2ms ≈ slot10+627ms,
+        // window closes at slot11 start + 600 ms ≈ slot10+1605ms. OK.
+    }
+
+    #[test]
+    fn exr_denied_when_too_close_to_data_arrival() {
+        let c = clock();
+        let r = obs_receiver();
+        // Ask absurdly late: just before the data lands at j.
+        let now = r.data_arrival_at_receiver(&c) - SimDuration::from_millis(1);
+        let send = exr_send_time(&c, &r, now, SimDuration::from_millis(300), SimDuration::from_millis(2));
+        assert_eq!(send, None);
+    }
+
+    #[test]
+    fn exr_window_for_sender_peer_closes_at_cts_arrival() {
+        let c = clock();
+        let s = obs_sender();
+        // j sent RTS at slot 10; CTS(k,j) arrives at slot 11 start + 600 ms.
+        let cts_arrival = c.start_of(11) + SimDuration::from_millis(600);
+        let tau = SimDuration::from_millis(200);
+        let fits = cts_arrival - tau - c.omega() - SimDuration::from_millis(10);
+        assert!(exr_send_time(&c, &s, fits, tau, SimDuration::from_millis(2)).is_some());
+        let too_late = cts_arrival - tau - SimDuration::from_millis(1);
+        assert!(exr_send_time(&c, &s, too_late, tau, SimDuration::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn exc_reply_window() {
+        let c = clock();
+        let r = obs_receiver();
+        let data_arrival = r.data_arrival_at_receiver(&c);
+        let early = c.start_of(10) + SimDuration::from_millis(700);
+        assert!(exc_reply_ok(&c, &r, early, SimDuration::from_millis(2)));
+        let late = data_arrival - SimDuration::from_millis(1);
+        assert!(!exc_reply_ok(&c, &r, late, SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    fn eq6_exdata_arrives_right_after_ack_transmission() {
+        let c = clock();
+        let r = obs_receiver();
+        let tau = SimDuration::from_millis(300);
+        let guard = SimDuration::from_millis(2);
+        let send = exdata_send_time(&c, &r, tau, guard);
+        let arrival = send + tau;
+        let ack_tx_end = c.start_of(r.ack_slot(&c)) + c.omega();
+        assert_eq!(arrival, ack_tx_end + guard);
+        assert!(arrival > ack_tx_end, "strictly after the Ack ends");
+    }
+
+    #[test]
+    fn sender_case_exdata_waits_for_ack_to_arrive_back() {
+        let c = clock();
+        let s = obs_sender();
+        let tau = SimDuration::from_millis(300);
+        let guard = SimDuration::from_millis(2);
+        let arrival = exdata_send_time(&c, &s, tau, guard) + tau;
+        let ack_rx_end = c.start_of(s.ack_slot(&c)) + s.pair_delay + c.omega();
+        assert_eq!(arrival, ack_rx_end + guard);
+    }
+
+    #[test]
+    fn grant_timeout_is_after_expected_arrival() {
+        let c = clock();
+        let r = obs_receiver();
+        let dur = SimDuration::from_micros(170_667);
+        let guard = SimDuration::from_millis(2);
+        let timeout = exdata_grant_timeout(&c, &r, dur, guard);
+        let tau = SimDuration::from_millis(300);
+        let arrival_end = exdata_send_time(&c, &r, tau, guard) + tau + dur;
+        assert!(timeout > arrival_end);
+    }
+
+    #[test]
+    fn exchange_end_covers_everything() {
+        let c = clock();
+        for obs in [obs_receiver(), obs_sender()] {
+            let end = obs.exchange_end(&c);
+            assert!(end > c.start_of(obs.ack_slot(&c)));
+            // the EXData (receiver case) also lands before/at the wider
+            // quiet horizon plus its own duration
+            let exdata_arrival =
+                exdata_send_time(&c, &obs, SimDuration::from_millis(300), SimDuration::from_millis(2))
+                    + SimDuration::from_millis(300);
+            assert!(exdata_arrival <= end + SimDuration::from_secs(1));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! RTS priority values.
+//!
+//! §3.1: *"each RTS packet includes a random priority value rp related to
+//! the contention and wait times of the sending sensor. When a receiver
+//! receives multiple RTS packets, it selects the sender with the highest
+//! rp."* The wait-time term is what makes contention long-run fair: a
+//! sensor that keeps losing accumulates priority.
+
+use rand::Rng;
+
+use crate::config::EwMacConfig;
+
+/// Computes the rp value for an RTS: a uniform random draw plus a
+/// wait-proportional boost.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use uasn_ewmac::config::EwMacConfig;
+/// use uasn_ewmac::priority::priority_value;
+///
+/// let cfg = EwMacConfig::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let fresh = priority_value(&mut rng, &cfg, 0);
+/// let waited = priority_value(&mut rng, &cfg, 100);
+/// assert!(waited > fresh + cfg.rp_random_range); // the boost dominates
+/// ```
+pub fn priority_value<R: Rng>(rng: &mut R, cfg: &EwMacConfig, waited_slots: u64) -> u32 {
+    let random = rng.gen_range(0..cfg.rp_random_range);
+    let boost = (waited_slots.min(u32::MAX as u64) as u32).saturating_mul(cfg.rp_wait_weight);
+    random.saturating_add(boost)
+}
+
+/// Picks the winning RTS among candidates `(sender_index, rp)`: highest rp,
+/// ties broken by lowest sender index for determinism. Returns the winner's
+/// position in the slice.
+pub fn pick_winner(candidates: &[(u32, u32)]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn rp_is_in_range_without_wait() {
+        let cfg = EwMacConfig::default();
+        let mut r = rng();
+        for _ in 0..100 {
+            let rp = priority_value(&mut r, &cfg, 0);
+            assert!(rp < cfg.rp_random_range);
+        }
+    }
+
+    #[test]
+    fn waiting_raises_priority_monotonically_in_expectation() {
+        let cfg = EwMacConfig::default();
+        let mut r = rng();
+        let avg = |waited: u64, r: &mut rand::rngs::StdRng| -> f64 {
+            (0..200).map(|_| priority_value(r, &cfg, waited) as f64).sum::<f64>() / 200.0
+        };
+        let short = avg(0, &mut r);
+        let long = avg(50, &mut r);
+        assert!(long > short + 300.0, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn rp_saturates_instead_of_overflowing() {
+        let cfg = EwMacConfig {
+            rp_wait_weight: u32::MAX,
+            ..EwMacConfig::default()
+        };
+        let mut r = rng();
+        let rp = priority_value(&mut r, &cfg, u64::MAX);
+        assert_eq!(rp, u32::MAX);
+    }
+
+    #[test]
+    fn winner_is_max_rp() {
+        let c = [(5, 10), (2, 30), (9, 20)];
+        assert_eq!(pick_winner(&c), Some(1));
+    }
+
+    #[test]
+    fn winner_tie_breaks_by_lowest_sender() {
+        let c = [(5, 30), (2, 30), (9, 30)];
+        assert_eq!(pick_winner(&c), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates_have_no_winner() {
+        assert_eq!(pick_winner(&[]), None);
+    }
+
+    #[test]
+    fn single_candidate_wins() {
+        assert_eq!(pick_winner(&[(7, 0)]), Some(0));
+    }
+}

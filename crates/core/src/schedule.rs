@@ -1,0 +1,7 @@
+//! Re-export of the shared quiet schedule.
+//!
+//! The quiet schedule started life here (it realises Figure 3's "Quiet"
+//! state) but is shared by every slotted protocol in the workspace, so the
+//! implementation lives in [`uasn_net::quiet`].
+
+pub use uasn_net::quiet::QuietSchedule;

@@ -1,0 +1,430 @@
+//! EW-MAC edge cases exercised through the public `MacProtocol` surface:
+//! the protocol is scripted with hand-built receptions and judged purely on
+//! the frames and timers it emits.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uasn_ewmac::{EwMac, EwMacConfig};
+use uasn_net::mac::{MacCommand, MacContext, MacProtocol, Reception, TimerToken};
+use uasn_net::node::NodeId;
+use uasn_net::packet::{Frame, FrameKind, Sdu};
+use uasn_net::slots::{SlotClock, SlotIndex};
+use uasn_phy::modem::ModemSpec;
+use uasn_sim::time::{SimDuration, SimTime};
+
+struct Script {
+    mac: EwMac,
+    rng: StdRng,
+    clock: SlotClock,
+    spec: ModemSpec,
+    commands: Vec<MacCommand>,
+}
+
+impl Script {
+    fn new(id: u32) -> Self {
+        Script {
+            mac: EwMac::new(NodeId::new(id), EwMacConfig::default()),
+            rng: StdRng::seed_from_u64(99),
+            clock: SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1)),
+            spec: ModemSpec::new(12_000.0),
+            commands: Vec::new(),
+        }
+    }
+
+    fn ctx<F: FnOnce(&mut EwMac, &mut MacContext<'_>)>(&mut self, now: SimTime, f: F) {
+        let mut ctx = MacContext::new(
+            now,
+            NodeId::new(0),
+            self.clock,
+            self.spec,
+            64,
+            &mut self.rng,
+            &mut self.commands,
+        );
+        f(&mut self.mac, &mut ctx);
+    }
+
+    fn slot(&mut self, s: SlotIndex) {
+        let now = self.clock.start_of(s);
+        self.ctx(now, |m, c| m.on_slot_start(c, s));
+    }
+
+    fn recv(&mut self, frame: Frame, delay_ms: u64) {
+        let delay = SimDuration::from_millis(delay_ms);
+        let arrival = frame.timestamp + delay;
+        let now = arrival + self.spec.tx_duration(frame.bits);
+        self.ctx(now, |m, c| {
+            m.on_frame_received(
+                c,
+                &Reception {
+                    frame: &frame,
+                    arrival_start: arrival,
+                    prop_delay: delay,
+                },
+            )
+        });
+    }
+
+    fn sent(&mut self) -> Vec<Frame> {
+        std::mem::take(&mut self.commands)
+            .into_iter()
+            .filter_map(|c| match c {
+                MacCommand::SendFrame { frame, .. } => Some(frame),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn timers_set(&self) -> Vec<TimerToken> {
+        self.commands
+            .iter()
+            .filter_map(|c| match c {
+                MacCommand::SetTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn stamped(mut f: Frame, clock: &SlotClock, slot: SlotIndex) -> Frame {
+    f.timestamp = clock.start_of(slot);
+    f
+}
+
+fn sdu(id: u64, next: u32) -> Sdu {
+    Sdu {
+        id,
+        origin: NodeId::new(0),
+        next_hop: NodeId::new(next),
+        bits: 2_048,
+        created: SimTime::ZERO,
+    }
+}
+
+#[test]
+fn stale_rts_is_not_answered_a_slot_late() {
+    let mut s = Script::new(5);
+    let clock = s.clock;
+    // An RTS sent in slot 0 must be decided at the start of slot 1;
+    // if the node was busy then, the request is void by slot 2.
+    let rts = stamped(
+        Frame::control(FrameKind::Rts, NodeId::new(1), NodeId::new(5), 64)
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        0,
+    );
+    s.recv(rts, 400);
+    // Skip slot 1 entirely (e.g. the dispatcher was wedged) — at slot 2 the
+    // stale candidate must not produce a CTS.
+    s.slot(2);
+    assert!(
+        s.sent().iter().all(|f| f.kind != FrameKind::Cts),
+        "answered a stale RTS"
+    );
+}
+
+#[test]
+fn queue_is_fifo_across_deliveries() {
+    let mut s = Script::new(0);
+    let clock = s.clock;
+    s.mac
+        .install_neighbors(&[(NodeId::new(5), SimDuration::from_millis(400))]);
+    s.ctx(SimTime::ZERO, |m, c| {
+        m.on_enqueue(c, sdu(10, 5));
+        m.on_enqueue(c, sdu(11, 5));
+    });
+    // Run the first SDU through a full successful exchange.
+    s.slot(0);
+    let rts_out = s.sent();
+    assert_eq!(rts_out[0].kind, FrameKind::Rts);
+    let cts = stamped(
+        Frame::control(FrameKind::Cts, NodeId::new(5), NodeId::new(0), 64)
+            .with_pair_delay(SimDuration::from_millis(400))
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        1,
+    );
+    s.recv(cts, 400);
+    s.slot(2);
+    let data = s.sent();
+    assert_eq!(data[0].kind, FrameKind::Data);
+    assert_eq!(data[0].sdu.unwrap().id, 10, "head of queue goes first");
+    let ack = stamped(
+        Frame::control(FrameKind::Ack, NodeId::new(5), NodeId::new(0), 64),
+        &clock,
+        3,
+    );
+    s.recv(ack, 400);
+    assert_eq!(s.mac.queue_len(), 1);
+    // The second exchange must carry SDU 11.
+    s.slot(4);
+    s.sent();
+    let cts2 = stamped(
+        Frame::control(FrameKind::Cts, NodeId::new(5), NodeId::new(0), 64)
+            .with_pair_delay(SimDuration::from_millis(400))
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        5,
+    );
+    s.recv(cts2, 400);
+    s.slot(6);
+    let data2 = s.sent();
+    assert_eq!(data2[0].sdu.unwrap().id, 11);
+}
+
+#[test]
+fn unexpected_cts_is_ignored() {
+    let mut s = Script::new(0);
+    let clock = s.clock;
+    // A CTS addressed to us while idle (stale/duplicated) must not trigger
+    // a data transmission.
+    let cts = stamped(
+        Frame::control(FrameKind::Cts, NodeId::new(5), NodeId::new(0), 64)
+            .with_pair_delay(SimDuration::from_millis(400))
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        1,
+    );
+    s.recv(cts, 400);
+    s.slot(2);
+    s.slot(3);
+    assert!(
+        s.sent().iter().all(|f| f.kind != FrameKind::Data),
+        "idle node transmitted data after stale CTS"
+    );
+}
+
+#[test]
+fn cts_from_wrong_peer_does_not_advance_the_handshake() {
+    let mut s = Script::new(0);
+    let clock = s.clock;
+    s.mac
+        .install_neighbors(&[(NodeId::new(5), SimDuration::from_millis(400))]);
+    s.ctx(SimTime::ZERO, |m, c| m.on_enqueue(c, sdu(1, 5)));
+    s.slot(0); // RTS to n5
+    s.sent();
+    // n7 answers instead (misdelivery); must not be taken as a grant.
+    let cts = stamped(
+        Frame::control(FrameKind::Cts, NodeId::new(7), NodeId::new(0), 64)
+            .with_pair_delay(SimDuration::from_millis(300))
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        1,
+    );
+    s.recv(cts, 300);
+    s.slot(2);
+    assert!(
+        s.sent().iter().all(|f| f.kind != FrameKind::Data),
+        "accepted a CTS from the wrong peer"
+    );
+}
+
+#[test]
+fn duplicate_data_is_acked_once_per_exchange() {
+    let mut s = Script::new(5);
+    let clock = s.clock;
+    let rts = stamped(
+        Frame::control(FrameKind::Rts, NodeId::new(1), NodeId::new(5), 64)
+            .with_rp(9)
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        0,
+    );
+    s.recv(rts, 400);
+    s.slot(1);
+    assert_eq!(s.sent()[0].kind, FrameKind::Cts);
+    let data = stamped(
+        Frame::data(FrameKind::Data, NodeId::new(1), sdu(7, 5)),
+        &clock,
+        2,
+    );
+    s.recv(data.clone(), 400);
+    // A duplicated decode of the same data in the same exchange must not
+    // double anything.
+    s.recv(data, 400);
+    s.slot(3);
+    let acks: Vec<_> = s
+        .sent()
+        .into_iter()
+        .filter(|f| f.kind == FrameKind::Ack)
+        .collect();
+    assert_eq!(acks.len(), 1, "exactly one Ack per exchange");
+}
+
+#[test]
+fn grant_is_exclusive_until_resolved() {
+    let mut s = Script::new(5);
+    let clock = s.clock;
+    // Become a receiver (shareable window).
+    let rts = stamped(
+        Frame::control(FrameKind::Rts, NodeId::new(7), NodeId::new(5), 64)
+            .with_rp(9)
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        0,
+    );
+    s.recv(rts, 700);
+    s.slot(1);
+    s.sent();
+    // First EXR gets the grant…
+    let mut exr1 = Frame::control(FrameKind::ExRts, NodeId::new(1), NodeId::new(5), 64)
+        .with_data_duration(SimDuration::from_micros(170_667));
+    exr1.timestamp = clock.start_of(1) + SimDuration::from_millis(100);
+    s.recv(exr1, 100);
+    let first: Vec<_> = s.sent();
+    assert_eq!(first.iter().filter(|f| f.kind == FrameKind::ExCts).count(), 1);
+    // …a second EXR in the same window must be refused.
+    let mut exr2 = Frame::control(FrameKind::ExRts, NodeId::new(2), NodeId::new(5), 64)
+        .with_data_duration(SimDuration::from_micros(170_667));
+    exr2.timestamp = clock.start_of(1) + SimDuration::from_millis(150);
+    s.recv(exr2, 100);
+    assert!(
+        s.sent().iter().all(|f| f.kind != FrameKind::ExCts),
+        "granted two extras into one window"
+    );
+}
+
+#[test]
+fn exr_to_an_idle_node_is_refused() {
+    let mut s = Script::new(5);
+    let clock = s.clock;
+    let mut exr = Frame::control(FrameKind::ExRts, NodeId::new(1), NodeId::new(5), 64)
+        .with_data_duration(SimDuration::from_micros(170_667));
+    exr.timestamp = clock.start_of(0) + SimDuration::from_millis(50);
+    s.recv(exr, 100);
+    assert!(
+        s.sent().iter().all(|f| f.kind != FrameKind::ExCts),
+        "an idle node has no waiting window to share"
+    );
+}
+
+#[test]
+fn overheard_extra_control_imposes_quiet() {
+    let mut s = Script::new(9);
+    let clock = s.clock;
+    s.mac
+        .install_neighbors(&[(NodeId::new(5), SimDuration::from_millis(300))]);
+    // Overhear someone else's EXC.
+    let mut exc = Frame::control(FrameKind::ExCts, NodeId::new(1), NodeId::new(2), 64);
+    exc.timestamp = clock.start_of(0) + SimDuration::from_millis(200);
+    s.recv(exc, 300);
+    // With traffic queued, the next two slot boundaries fall inside the
+    // imposed quiet window — no RTS.
+    s.ctx(clock.start_of(0) + SimDuration::from_millis(900), |m, c| {
+        m.on_enqueue(c, sdu(1, 5))
+    });
+    s.slot(1);
+    s.slot(2);
+    assert!(
+        s.sent().iter().all(|f| f.kind != FrameKind::Rts),
+        "transmitted into someone's extra exchange"
+    );
+    s.slot(4);
+    assert!(
+        s.sent().iter().any(|f| f.kind == FrameKind::Rts),
+        "quiet never expired"
+    );
+}
+
+#[test]
+fn exc_timer_is_armed_with_the_exr() {
+    let mut s = Script::new(0);
+    let clock = s.clock;
+    s.mac
+        .install_neighbors(&[(NodeId::new(5), SimDuration::from_millis(300))]);
+    s.ctx(SimTime::ZERO, |m, c| m.on_enqueue(c, sdu(1, 5)));
+    s.slot(0);
+    s.sent();
+    let cts = stamped(
+        Frame::control(FrameKind::Cts, NodeId::new(5), NodeId::new(7), 64)
+            .with_pair_delay(SimDuration::from_millis(800))
+            .with_data_duration(SimDuration::from_micros(170_667)),
+        &clock,
+        1,
+    );
+    s.recv(cts, 300);
+    let frames: Vec<FrameKind> = s
+        .commands
+        .iter()
+        .filter_map(|c| match c {
+            MacCommand::SendFrame { frame, .. } => Some(frame.kind),
+            _ => None,
+        })
+        .collect();
+    assert!(frames.contains(&FrameKind::ExRts));
+    assert!(
+        !s.timers_set().is_empty(),
+        "an EXR without a timeout can wedge the protocol"
+    );
+}
+
+#[test]
+fn aggregation_bundles_same_next_hop_sdus() {
+    let mut s = Script::new(0);
+    s.mac = EwMac::new(
+        NodeId::new(0),
+        EwMacConfig::default().with_aggregation(8_192),
+    );
+    let clock = s.clock;
+    s.mac
+        .install_neighbors(&[(NodeId::new(5), SimDuration::from_millis(400))]);
+    s.ctx(SimTime::ZERO, |m, c| {
+        m.on_enqueue(c, sdu(1, 5));
+        m.on_enqueue(c, sdu(2, 5));
+        m.on_enqueue(c, sdu(3, 5));
+        m.on_enqueue(c, sdu(4, 7)); // different next hop: must not ride along
+    });
+    s.slot(0);
+    let rts = &s.sent()[0];
+    // The announced TD covers three 2048-bit SDUs.
+    assert_eq!(
+        rts.data_duration.unwrap(),
+        SimDuration::from_micros(512_000),
+        "TD must announce the aggregated payload"
+    );
+    let cts = stamped(
+        Frame::control(FrameKind::Cts, NodeId::new(5), NodeId::new(0), 64)
+            .with_pair_delay(SimDuration::from_millis(400))
+            .with_data_duration(SimDuration::from_micros(512_000)),
+        &clock,
+        1,
+    );
+    s.recv(cts, 400);
+    s.slot(2);
+    let data = &s.sent()[0];
+    assert_eq!(data.kind, FrameKind::Data);
+    assert_eq!(data.bits, 3 * 2_048);
+    assert_eq!(data.bundle.len(), 2);
+    // Eq 5 with the aggregated duration: 512 ms + 400 ms -> next slot.
+    let ack = stamped(
+        Frame::control(FrameKind::Ack, NodeId::new(5), NodeId::new(0), 64),
+        &clock,
+        3,
+    );
+    s.recv(ack, 400);
+    assert_eq!(s.mac.queue_len(), 1, "three delivered, the cross-hop one left");
+}
+
+#[test]
+fn aggregation_respects_the_bit_cap() {
+    let mut s = Script::new(0);
+    s.mac = EwMac::new(
+        NodeId::new(0),
+        EwMacConfig::default().with_aggregation(4_096),
+    );
+    s.mac
+        .install_neighbors(&[(NodeId::new(5), SimDuration::from_millis(400))]);
+    s.ctx(SimTime::ZERO, |m, c| {
+        for id in 1..=4 {
+            m.on_enqueue(c, sdu(id, 5));
+        }
+    });
+    s.slot(0);
+    let rts = &s.sent()[0];
+    // Cap 4096 bits -> exactly two 2048-bit SDUs.
+    assert_eq!(
+        rts.data_duration.unwrap(),
+        SimDuration::from_micros(341_333)
+    );
+}

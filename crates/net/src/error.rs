@@ -1,0 +1,75 @@
+//! Error types for network construction and configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating a simulation configuration or building a
+/// network from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildNetworkError {
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// The generated topology leaves some sensor with no route toward the
+    /// surface.
+    Disconnected {
+        /// How many sensors cannot reach a shallower neighbour.
+        stranded: usize,
+    },
+    /// Topology generation could not place the requested nodes.
+    PlacementFailed {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BuildNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetworkError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field `{field}`: {reason}")
+            }
+            BuildNetworkError::Disconnected { stranded } => write!(
+                f,
+                "topology is disconnected: {stranded} sensor(s) have no shallower neighbour in range"
+            ),
+            BuildNetworkError::PlacementFailed { reason } => {
+                write!(f, "node placement failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for BuildNetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BuildNetworkError::InvalidConfig {
+            field: "offered_load_kbps",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("offered_load_kbps"));
+
+        let e = BuildNetworkError::Disconnected { stranded: 3 };
+        assert!(e.to_string().contains("3 sensor"));
+
+        let e = BuildNetworkError::PlacementFailed {
+            reason: "region too small".into(),
+        };
+        assert!(e.to_string().contains("region too small"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(BuildNetworkError::Disconnected { stranded: 1 });
+    }
+}

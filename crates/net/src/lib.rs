@@ -1,0 +1,64 @@
+//! # uasn-net — network substrate for the EW-MAC reproduction
+//!
+//! Sits between the physical layer (`uasn-phy`) and the MAC protocols
+//! (`uasn-ewmac`, `uasn-baselines`):
+//!
+//! * [`node`], [`packet`] — identities, frames (Table 1 kinds), SDUs.
+//! * [`slots`] — the synchronized `ω + τmax` slot clock and Eq 5 Ack-slot
+//!   arithmetic.
+//! * [`topology`] — Figure-1-style layered-column deployment (connectivity
+//!   guaranteed) plus the Table-2-literal uniform box.
+//! * [`traffic`] — Poisson offered load and Figure 8's batch mode.
+//! * [`routing`] — greedy depth routing toward surface sinks.
+//! * [`neighbor`] — one-hop (EW-MAC) and two-hop (ROPA/CS-MAC) delay tables.
+//! * [`mac`] — the [`mac::MacProtocol`] trait, context, and
+//!   maintenance-cost profiles.
+//! * [`world`] — the event-driven network simulator
+//!   ([`world::Simulation`]).
+//! * [`metrics`] — the paper's measurement axes (Eq 2–4, §5.2–§5.3).
+//! * [`config`] — Table 2 as a validated builder.
+//! * [`analysis`] — static topology diagnostics (hidden terminals, delay
+//!   distributions, exploitable waiting windows).
+//!
+//! # Examples
+//!
+//! Build and run a network once a protocol crate supplies a factory:
+//!
+//! ```no_run
+//! use uasn_net::config::SimConfig;
+//! use uasn_net::world::Simulation;
+//! # fn factory(_: uasn_net::node::NodeId) -> Box<dyn uasn_net::mac::MacProtocol> { unimplemented!() }
+//!
+//! let report = Simulation::new(SimConfig::paper_default(), &factory)
+//!     .expect("valid configuration")
+//!     .run();
+//! println!("{:.3} kbps, {:.1} mW", report.throughput_kbps, report.avg_power_mw);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod error;
+pub mod mac;
+pub mod metrics;
+pub mod neighbor;
+pub mod node;
+pub mod packet;
+pub mod quiet;
+pub mod routing;
+pub mod slots;
+pub mod topology;
+pub mod traffic;
+pub mod world;
+
+pub use config::SimConfig;
+pub use error::BuildNetworkError;
+pub use mac::{MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken};
+pub use metrics::{MetricsReport, NodeCounters};
+pub use node::{NodeId, NodeInfo, NodeRole};
+pub use packet::{Frame, FrameKind, Sdu};
+pub use quiet::QuietSchedule;
+pub use slots::{SlotClock, SlotIndex};
+pub use world::Simulation;

@@ -1,0 +1,120 @@
+//! Node identity and static node descriptors.
+
+use std::fmt;
+
+use uasn_phy::geometry::Point;
+use uasn_phy::mobility::MobilityModel;
+
+/// Index of a node in the network (dense, 0-based).
+///
+/// # Examples
+///
+/// ```
+/// use uasn_net::node::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Role of a node in the data-gathering topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeRole {
+    /// An ordinary sensing node: generates and forwards traffic.
+    #[default]
+    Sensor,
+    /// A surface sink: terminates traffic, generates none.
+    Sink,
+}
+
+/// Static description of one deployed node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeInfo {
+    /// The node's id.
+    pub id: NodeId,
+    /// Initial position.
+    pub position: Point,
+    /// Sensor or sink.
+    pub role: NodeRole,
+    /// How the node drifts during the run.
+    pub mobility: MobilityModel,
+}
+
+impl NodeInfo {
+    /// Creates a static (non-drifting) node.
+    pub fn anchored(id: NodeId, position: Point, role: NodeRole) -> Self {
+        NodeInfo {
+            id,
+            position,
+            role,
+            mobility: MobilityModel::Static,
+        }
+    }
+
+    /// Whether this node is a surface sink.
+    pub fn is_sink(&self) -> bool {
+        self.role == NodeRole::Sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn anchored_node_is_static() {
+        let n = NodeInfo::anchored(NodeId::new(0), Point::surface(0.0, 0.0), NodeRole::Sink);
+        assert!(n.is_sink());
+        assert!(!n.mobility.is_mobile());
+    }
+
+    #[test]
+    fn sensor_is_not_sink() {
+        let n = NodeInfo::anchored(
+            NodeId::new(1),
+            Point::new(0.0, 0.0, 500.0),
+            NodeRole::Sensor,
+        );
+        assert!(!n.is_sink());
+    }
+}

@@ -1,0 +1,165 @@
+//! Depth-based next-hop selection.
+//!
+//! The paper assumes routing is solved elsewhere ("sensors at greater
+//! depths transmit packets to sensors closer to the surface"; localization
+//! "has been dealt with by other protocols"). We implement the standard
+//! greedy depth routing that realises that assumption: forward to the
+//! audible neighbour with the smallest depth, i.e. the one closest to the
+//! surface (ties broken by distance, then id for determinism).
+
+use uasn_phy::geometry::Point;
+
+use crate::node::NodeId;
+
+/// Selects the next hop for `from` among `positions` (indexed by node id):
+/// the strictly-shallower node within `comm_range_m` with minimum depth.
+///
+/// Returns `None` when the node is stranded (no shallower neighbour in
+/// range) — the caller counts the packet as unroutable.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_net::node::NodeId;
+/// use uasn_net::routing::next_hop_uphill;
+/// use uasn_phy::geometry::Point;
+///
+/// let positions = vec![
+///     Point::surface(0.0, 0.0),          // n0: sink
+///     Point::new(0.0, 0.0, 1_200.0),     // n1
+///     Point::new(0.0, 0.0, 2_400.0),     // n2
+/// ];
+/// assert_eq!(
+///     next_hop_uphill(&positions, NodeId::new(2), 1_500.0),
+///     Some(NodeId::new(1))
+/// );
+/// assert_eq!(
+///     next_hop_uphill(&positions, NodeId::new(1), 1_500.0),
+///     Some(NodeId::new(0))
+/// );
+/// assert_eq!(next_hop_uphill(&positions, NodeId::new(0), 1_500.0), None);
+/// ```
+pub fn next_hop_uphill(positions: &[Point], from: NodeId, comm_range_m: f64) -> Option<NodeId> {
+    let me = positions[from.index()];
+    let mut best: Option<(usize, f64, f64)> = None; // (idx, depth, dist)
+    for (idx, &p) in positions.iter().enumerate() {
+        if idx == from.index() || p.depth() >= me.depth() {
+            continue;
+        }
+        let dist = me.distance(p);
+        if dist > comm_range_m {
+            continue;
+        }
+        let candidate = (idx, p.depth(), dist);
+        best = Some(match best {
+            None => candidate,
+            Some(cur) => {
+                // min depth, then min distance, then min id
+                if (candidate.1, candidate.2, candidate.0) < (cur.1, cur.2, cur.0) {
+                    candidate
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    best.map(|(idx, _, _)| NodeId::new(idx as u32))
+}
+
+/// The full uphill route from `from` to the first node with no shallower
+/// neighbour (a sink if the topology is connected). Includes `from` itself.
+///
+/// The route is guaranteed to terminate because every hop strictly
+/// decreases depth.
+pub fn route_uphill(positions: &[Point], from: NodeId, comm_range_m: f64) -> Vec<NodeId> {
+    let mut route = vec![from];
+    let mut cur = from;
+    while let Some(next) = next_hop_uphill(positions, cur, comm_range_m) {
+        route.push(next);
+        cur = next;
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column() -> Vec<Point> {
+        vec![
+            Point::surface(0.0, 0.0),        // n0 sink
+            Point::new(100.0, 0.0, 1_100.0), // n1
+            Point::new(0.0, 100.0, 2_200.0), // n2
+            Point::new(50.0, 50.0, 3_300.0), // n3
+        ]
+    }
+
+    #[test]
+    fn picks_shallowest_in_range() {
+        let p = column();
+        assert_eq!(next_hop_uphill(&p, NodeId::new(3), 1_500.0), Some(NodeId::new(2)));
+        assert_eq!(next_hop_uphill(&p, NodeId::new(2), 1_500.0), Some(NodeId::new(1)));
+        assert_eq!(next_hop_uphill(&p, NodeId::new(1), 1_500.0), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn prefers_minimum_depth_over_proximity() {
+        let p = vec![
+            Point::new(0.0, 0.0, 100.0),   // n0 shallow but 1.4 km away
+            Point::new(0.0, 0.0, 1_450.0), // n1 nearby but deep
+            Point::new(0.0, 10.0, 1_500.0), // n2: the sender
+        ];
+        assert_eq!(next_hop_uphill(&p, NodeId::new(2), 1_500.0), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn tie_on_depth_breaks_by_distance_then_id() {
+        let p = vec![
+            Point::new(0.0, 0.0, 500.0),     // n0, 1000 m away
+            Point::new(600.0, 0.0, 500.0),   // n1, 781 m away -> wins
+            Point::new(600.0, 800.0, 1_300.0), // n2: sender
+        ];
+        assert_eq!(next_hop_uphill(&p, NodeId::new(2), 1_500.0), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn stranded_node_has_no_next_hop() {
+        let p = vec![
+            Point::surface(0.0, 0.0),
+            Point::new(0.0, 0.0, 5_000.0), // far below everything
+        ];
+        assert_eq!(next_hop_uphill(&p, NodeId::new(1), 1_500.0), None);
+    }
+
+    #[test]
+    fn sink_has_no_next_hop() {
+        let p = column();
+        assert_eq!(next_hop_uphill(&p, NodeId::new(0), 1_500.0), None);
+    }
+
+    #[test]
+    fn route_terminates_at_sink() {
+        let p = column();
+        let route = route_uphill(&p, NodeId::new(3), 1_500.0);
+        assert_eq!(
+            route,
+            vec![NodeId::new(3), NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+        );
+    }
+
+    #[test]
+    fn route_from_sink_is_single_node() {
+        let p = column();
+        assert_eq!(route_uphill(&p, NodeId::new(0), 1_500.0), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn equal_depth_nodes_do_not_route_to_each_other() {
+        let p = vec![
+            Point::new(0.0, 0.0, 500.0),
+            Point::new(100.0, 0.0, 500.0),
+        ];
+        assert_eq!(next_hop_uphill(&p, NodeId::new(0), 1_500.0), None);
+        assert_eq!(next_hop_uphill(&p, NodeId::new(1), 1_500.0), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! The synchronized slot clock.
+//!
+//! §4.1: *"the duration of time slot |ts| is ω + τmax"* — one control packet
+//! plus the worst-case propagation delay — and every negotiated packet
+//! starts exactly at a slot boundary. All slotted protocols in the workspace
+//! (EW-MAC, S-FAMA, CS-MAC's base handshake) share this clock.
+
+use uasn_sim::time::{SimDuration, SimTime};
+
+/// Index of a time slot since t = 0.
+pub type SlotIndex = u64;
+
+/// The network-wide slot clock: slots of length `ω + τmax` anchored at
+/// t = 0 (the network is assumed synchronized — §3.1).
+///
+/// # Examples
+///
+/// ```
+/// use uasn_net::slots::SlotClock;
+/// use uasn_sim::time::{SimDuration, SimTime};
+///
+/// // ω = 5.333 ms (64 bits at 12 kbps), τmax = 1 s.
+/// let clock = SlotClock::new(
+///     SimDuration::from_micros(5_333),
+///     SimDuration::from_secs(1),
+/// );
+/// assert_eq!(clock.slot_len(), SimDuration::from_micros(1_005_333));
+/// assert_eq!(clock.slot_of(SimTime::ZERO), 0);
+/// assert_eq!(clock.start_of(2).as_micros(), 2 * 1_005_333);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotClock {
+    omega: SimDuration,
+    tau_max: SimDuration,
+    slot_len: SimDuration,
+}
+
+impl SlotClock {
+    /// Creates a clock from the control-packet duration ω and the maximum
+    /// propagation delay τmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    pub fn new(omega: SimDuration, tau_max: SimDuration) -> Self {
+        assert!(!omega.is_zero(), "control-packet duration must be positive");
+        assert!(!tau_max.is_zero(), "maximum propagation delay must be positive");
+        SlotClock {
+            omega,
+            tau_max,
+            slot_len: omega + tau_max,
+        }
+    }
+
+    /// The control-packet transmit duration ω.
+    pub fn omega(&self) -> SimDuration {
+        self.omega
+    }
+
+    /// The maximum one-hop propagation delay τmax.
+    pub fn tau_max(&self) -> SimDuration {
+        self.tau_max
+    }
+
+    /// The slot length |ts| = ω + τmax.
+    pub fn slot_len(&self) -> SimDuration {
+        self.slot_len
+    }
+
+    /// The slot containing instant `t` (slots are half-open:
+    /// `[start, start + |ts|)`).
+    pub fn slot_of(&self, t: SimTime) -> SlotIndex {
+        t.duration_since(SimTime::ZERO).div_rem(self.slot_len).0
+    }
+
+    /// The start instant of slot `slot`.
+    pub fn start_of(&self, slot: SlotIndex) -> SimTime {
+        SimTime::ZERO + self.slot_len.saturating_mul(slot)
+    }
+
+    /// The first slot boundary strictly after `t`.
+    pub fn next_boundary(&self, t: SimTime) -> SimTime {
+        self.start_of(self.slot_of(t) + 1)
+    }
+
+    /// Offset of `t` within its slot.
+    pub fn offset_in_slot(&self, t: SimTime) -> SimDuration {
+        t.duration_since(self.start_of(self.slot_of(t)))
+    }
+
+    /// Whether `t` lies exactly on a slot boundary.
+    pub fn is_boundary(&self, t: SimTime) -> bool {
+        self.offset_in_slot(t).is_zero()
+    }
+
+    /// Eq 5 of the paper: the slot in which the receiver transmits the Ack
+    /// for a data packet sent at slot `data_slot`, with transmit duration
+    /// `td` over a link of propagation delay `tau`:
+    ///
+    /// ```text
+    /// ts(Ack) = ts(Data) + ceil((TD + τ) / |ts|)
+    /// ```
+    pub fn ack_slot(&self, data_slot: SlotIndex, td: SimDuration, tau: SimDuration) -> SlotIndex {
+        data_slot + (td + tau).div_ceil(self.slot_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SlotClock {
+        // Table 2 numbers: 64-bit control at 12 kbps, 1.5 km at 1.5 km/s.
+        SlotClock::new(
+            SimDuration::from_micros(5_333),
+            SimDuration::from_secs(1),
+        )
+    }
+
+    #[test]
+    fn slot_len_is_omega_plus_tau_max() {
+        let c = clock();
+        assert_eq!(c.slot_len().as_micros(), 1_005_333);
+        assert_eq!(c.omega().as_micros(), 5_333);
+        assert_eq!(c.tau_max(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn slots_are_half_open() {
+        let c = clock();
+        let len = c.slot_len();
+        assert_eq!(c.slot_of(SimTime::ZERO), 0);
+        assert_eq!(c.slot_of(SimTime::ZERO + len - SimDuration::from_micros(1)), 0);
+        assert_eq!(c.slot_of(SimTime::ZERO + len), 1);
+    }
+
+    #[test]
+    fn start_and_slot_roundtrip() {
+        let c = clock();
+        for slot in [0u64, 1, 7, 299] {
+            assert_eq!(c.slot_of(c.start_of(slot)), slot);
+            assert!(c.is_boundary(c.start_of(slot)));
+        }
+    }
+
+    #[test]
+    fn next_boundary_is_strictly_after() {
+        let c = clock();
+        let b0 = c.start_of(0);
+        assert_eq!(c.next_boundary(b0), c.start_of(1));
+        let mid = b0 + SimDuration::from_millis(500);
+        assert_eq!(c.next_boundary(mid), c.start_of(1));
+    }
+
+    #[test]
+    fn offset_in_slot() {
+        let c = clock();
+        let t = c.start_of(3) + SimDuration::from_millis(42);
+        assert_eq!(c.offset_in_slot(t), SimDuration::from_millis(42));
+        assert!(!c.is_boundary(t));
+    }
+
+    #[test]
+    fn ack_slot_eq5_examples() {
+        let c = clock();
+        // Data of 2048 bits at 12 kbps = 170.667 ms; τ = 600 ms.
+        // TD + τ = 770.667 ms < one slot -> Ack in the next slot.
+        let td = SimDuration::from_micros(170_667);
+        let tau = SimDuration::from_millis(600);
+        assert_eq!(c.ack_slot(10, td, tau), 11);
+
+        // A large data packet spanning more than one slot pushes the Ack out.
+        let big_td = SimDuration::from_secs(2);
+        assert_eq!(c.ack_slot(10, big_td, tau), 10 + 3); // 2.6 s / 1.0053 s -> ceil = 3
+    }
+
+    #[test]
+    fn ack_slot_exact_boundary() {
+        let c = clock();
+        // TD + τ exactly one slot -> Ack exactly one slot later.
+        let tau = SimDuration::from_millis(500);
+        let td = c.slot_len() - tau;
+        assert_eq!(c.ack_slot(4, td, tau), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_omega_panics() {
+        let _ = SlotClock::new(SimDuration::ZERO, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,201 @@
+//! Traffic generation.
+//!
+//! Two modes, matching the two x-axes of the paper's figures:
+//!
+//! * [`TrafficPattern::Poisson`] — each sensor generates fixed-size SDUs as
+//!   a Poisson process; the aggregate network generation rate is the
+//!   "offered load (kbps)" axis of Figures 6, 9a, 10b and 11.
+//! * [`TrafficPattern::Batch`] — a fixed number of SDUs arrive over a
+//!   window and the run continues until all are delivered; the completion
+//!   time is Figure 8's "execution time". The paper's conversion ("20
+//!   packets per 300 s ≈ 0.136 kbps offered load") is
+//!   [`TrafficPattern::batch_for_load`].
+
+use rand::RngCore;
+
+use uasn_sim::rng::exponential;
+use uasn_sim::time::{SimDuration, SimTime};
+
+/// What the sources inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Poisson arrivals at every sensor, sized so the whole network
+    /// generates `offered_load_kbps` kilobits of new data per second.
+    Poisson {
+        /// Aggregate generation rate, kbps.
+        offered_load_kbps: f64,
+    },
+    /// Exactly `total_packets` SDUs arrive, Poisson-spread over
+    /// `window`, split round-robin over sensors. No further traffic.
+    Batch {
+        /// Total SDUs.
+        total_packets: u32,
+        /// Arrival window.
+        window: SimDuration,
+    },
+}
+
+impl TrafficPattern {
+    /// The batch equivalent of an offered load, using the paper's own
+    /// conversion: `N = load_kbps × window / packet_bits` (so 0.136 kbps,
+    /// 300 s, 2 048 bits → 20 packets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arguments are non-positive.
+    pub fn batch_for_load(load_kbps: f64, window: SimDuration, packet_bits: u32) -> Self {
+        assert!(
+            load_kbps.is_finite() && load_kbps > 0.0,
+            "load must be positive, got {load_kbps}"
+        );
+        assert!(packet_bits > 0, "packet size must be positive");
+        let n = (load_kbps * 1_000.0 * window.as_secs_f64() / packet_bits as f64).round();
+        TrafficPattern::Batch {
+            total_packets: (n as u32).max(1),
+            window,
+        }
+    }
+
+    /// Whether this pattern stops injecting after its window.
+    pub fn is_batch(&self) -> bool {
+        matches!(self, TrafficPattern::Batch { .. })
+    }
+}
+
+/// Per-node Poisson arrival stream of SDU creation times.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_net::traffic::ArrivalStream;
+/// use uasn_sim::rng::SeedFactory;
+/// use uasn_sim::time::SimTime;
+///
+/// let mut rng = SeedFactory::new(1).stream("traffic", 0);
+/// // one 2048-bit packet every ~10 s on average
+/// let mut stream = ArrivalStream::poisson(0.1);
+/// let t1 = stream.next_arrival(&mut rng, SimTime::ZERO);
+/// let t2 = stream.next_arrival(&mut rng, t1);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalStream {
+    /// Mean arrivals per second.
+    rate_per_sec: f64,
+}
+
+impl ArrivalStream {
+    /// A Poisson stream at `rate_per_sec` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn poisson(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive, got {rate_per_sec}"
+        );
+        ArrivalStream { rate_per_sec }
+    }
+
+    /// The stream rate in arrivals per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Draws the next arrival instant strictly after `after`.
+    pub fn next_arrival<R: RngCore>(&self, rng: &mut R, after: SimTime) -> SimTime {
+        let gap = exponential(rng, 1.0 / self.rate_per_sec).max(1e-6);
+        after + SimDuration::from_secs_f64(gap)
+    }
+}
+
+/// Converts an aggregate offered load into the per-sensor packet arrival
+/// rate: `load_kbps × 1000 / packet_bits / sensors` packets per second.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn per_sensor_rate(offered_load_kbps: f64, packet_bits: u32, sensors: u32) -> f64 {
+    assert!(
+        offered_load_kbps.is_finite() && offered_load_kbps > 0.0,
+        "offered load must be positive, got {offered_load_kbps}"
+    );
+    assert!(packet_bits > 0, "packet size must be positive");
+    assert!(sensors > 0, "need at least one sensor");
+    offered_load_kbps * 1_000.0 / packet_bits as f64 / sensors as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uasn_sim::rng::SeedFactory;
+
+    #[test]
+    fn paper_batch_conversion() {
+        // §5: "20 per 300 s, i.e. offer load of approximately 0.136".
+        let p = TrafficPattern::batch_for_load(0.136, SimDuration::from_secs(300), 2_048);
+        match p {
+            TrafficPattern::Batch { total_packets, .. } => assert_eq!(total_packets, 20),
+            _ => unreachable!(),
+        }
+        assert!(p.is_batch());
+    }
+
+    #[test]
+    fn batch_is_at_least_one_packet() {
+        let p = TrafficPattern::batch_for_load(1e-6, SimDuration::from_secs(1), 2_048);
+        match p {
+            TrafficPattern::Batch { total_packets, .. } => assert_eq!(total_packets, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn per_sensor_rate_partitions_load() {
+        // 0.8 kbps over 60 sensors at 2048 bits:
+        // 800/2048/60 ≈ 0.00651 pkt/s each.
+        let r = per_sensor_rate(0.8, 2_048, 60);
+        assert!((r - 0.8 * 1_000.0 / 2_048.0 / 60.0).abs() < 1e-12);
+        // Aggregate recovers the offered load.
+        let aggregate_kbps = r * 60.0 * 2_048.0 / 1_000.0;
+        assert!((aggregate_kbps - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_stream_mean_rate() {
+        let mut rng = SeedFactory::new(3).stream("traffic", 9);
+        let stream = ArrivalStream::poisson(2.0);
+        let mut t = SimTime::ZERO;
+        let n = 10_000;
+        for _ in 0..n {
+            t = stream.next_arrival(&mut rng, t);
+        }
+        let rate = n as f64 / t.as_secs_f64();
+        assert!((rate - 2.0).abs() < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut rng = SeedFactory::new(4).stream("traffic", 0);
+        let stream = ArrivalStream::poisson(1_000.0); // very fast
+        let mut t = SimTime::ZERO;
+        for _ in 0..1_000 {
+            let next = stream.next_arrival(&mut rng, t);
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalStream::poisson(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn zero_sensors_panics() {
+        let _ = per_sensor_rate(0.5, 2_048, 0);
+    }
+}

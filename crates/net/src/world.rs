@@ -1,0 +1,1175 @@
+//! The network simulator: nodes + channel + MAC protocols + measurement.
+//!
+//! [`Simulation`] builds a deployed network from a [`SimConfig`] and a MAC
+//! factory, drives it on the `uasn-sim` engine, and returns a
+//! [`MetricsReport`]. Physics lives here — propagation delays and PER from
+//! `uasn-phy`, collision overlap in each node's modem ledger, energy
+//! integration — while protocols only see the [`MacProtocol`] callbacks.
+//!
+//! Event flow for one transmission: a MAC queues `SendFrame` → `TxStart`
+//! stamps the timestamp, seizes the modem and fans out `RxStart`/`RxEnd`
+//! pairs to every audible node at its propagation delay → `RxEnd` consults
+//! the receiver's modem ledger (overlap ⇒ collision, own-tx ⇒ half-duplex
+//! loss) and the channel's PER draw, then delivers the decoded frame to the
+//! receiving MAC (addressed or overheard).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use uasn_phy::channel::AcousticChannel;
+use uasn_phy::energy::EnergyMeter;
+use uasn_phy::geometry::Point;
+use uasn_phy::mobility::MobilityModel;
+use uasn_phy::modem::{Modem, ModemSpec, ReceptionId};
+use uasn_sim::engine::{Engine, Schedule, StopReason};
+use uasn_sim::rng::SeedFactory;
+use uasn_sim::time::{SimDuration, SimTime};
+use uasn_sim::trace::{TraceLevel, Tracer};
+
+use crate::config::SimConfig;
+use crate::error::BuildNetworkError;
+use crate::mac::{
+    MacCommand, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
+    TimerToken,
+};
+use crate::metrics::{Metrics, MetricsReport};
+use crate::neighbor::ANNOUNCE_BITS_PER_ENTRY;
+use crate::node::{NodeId, NodeInfo, NodeRole};
+use crate::packet::{Frame, Sdu};
+use crate::routing::next_hop_uphill;
+use crate::slots::{SlotClock, SlotIndex};
+use crate::topology::stranded_sensors;
+use crate::traffic::{per_sensor_rate, ArrivalStream, TrafficPattern};
+
+/// Builds one MAC instance per node.
+pub type MacFactory<'f> = dyn Fn(NodeId) -> Box<dyn MacProtocol> + 'f;
+
+/// Simulator events.
+#[derive(Debug, Clone, PartialEq)]
+enum NetEvent {
+    /// Dispatch `on_start` to every MAC (fires once at t = 0).
+    Start,
+    /// A slot boundary.
+    SlotStart(SlotIndex),
+    /// Traffic source fires at `node`; recurring sources reschedule.
+    TrafficArrival { node: u32, recurring: bool },
+    /// A queued frame's transmit time arrived.
+    TxStart { node: u32, token: u64 },
+    /// A transmission finished.
+    TxEnd { node: u32, token: u64 },
+    /// A frame's first bit reaches a receiver.
+    RxStart { token: u64 },
+    /// A frame's last bit reaches a receiver.
+    RxEnd { token: u64 },
+    /// A MAC timer fires.
+    Timer { node: u32, token: TimerToken },
+    /// Advance drifting nodes.
+    MobilityTick,
+    /// Charge periodic neighbour-maintenance costs.
+    MaintenanceTick,
+}
+
+#[derive(Debug)]
+struct PendingRx {
+    node: u32,
+    frame: Frame,
+    arrival_start: SimTime,
+    pre_lost: bool,
+    /// Path copies of one transmission share a group: a surface echo never
+    /// collides with its own direct arrival.
+    group: u64,
+    /// Surface echoes occupy the receiver but never decode.
+    is_echo: bool,
+    rid: Option<ReceptionId>,
+}
+
+struct NetworkWorld {
+    cfg: SimConfig,
+    clock: SlotClock,
+    spec: ModemSpec,
+    channel: AcousticChannel,
+    now: SimTime,
+
+    roles: Vec<NodeRole>,
+    positions: Vec<Point>,
+    mobility_models: Vec<MobilityModel>,
+    modems: Vec<Modem>,
+    meters: Vec<EnergyMeter>,
+    macs: Vec<Option<Box<dyn MacProtocol>>>,
+    mac_rngs: Vec<StdRng>,
+    maintenance: Vec<MaintenanceProfile>,
+
+    channel_rng: StdRng,
+    mobility_rng: StdRng,
+    traffic_rng: StdRng,
+    traffic_stream: Option<ArrivalStream>,
+
+    metrics: Metrics,
+    delivered: std::collections::HashSet<(u64, u32)>,
+    cmd_buf: Vec<MacCommand>,
+    pending_tx: HashMap<u64, Frame>,
+    inflight_tx: HashMap<u64, Frame>,
+    pending_rx: HashMap<u64, PendingRx>,
+    timers: HashMap<(u32, u64), uasn_sim::event::EventKey>,
+    next_token: u64,
+    next_sdu_id: u64,
+    traffic_end: SimTime,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for NetworkWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkWorld")
+            .field("nodes", &self.positions.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetworkWorld {
+    fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn sync_energy(&mut self, node: usize) {
+        let state = self.modems[node].state();
+        self.meters[node].set_state(self.now, state);
+    }
+
+    fn trace(&mut self, level: TraceLevel, node: usize, tag: &'static str, msg: impl FnOnce() -> String) {
+        if self.tracer.enabled(level) {
+            self.tracer.record(self.now, level, Some(node), tag, msg());
+        }
+    }
+
+    /// Runs `f` against node `node`'s MAC and then applies the commands it
+    /// queued.
+    fn with_mac<F>(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, f: F)
+    where
+        F: FnOnce(&mut dyn MacProtocol, &mut MacContext<'_>),
+    {
+        debug_assert!(self.cmd_buf.is_empty());
+        let mut mac = self.macs[node].take().expect("MAC missing during dispatch");
+        {
+            let mut ctx = MacContext::new(
+                self.now,
+                NodeId::new(node as u32),
+                self.clock,
+                self.spec,
+                self.cfg.control_bits,
+                &mut self.mac_rngs[node],
+                &mut self.cmd_buf,
+            );
+            f(mac.as_mut(), &mut ctx);
+        }
+        self.macs[node] = Some(mac);
+        let commands: Vec<MacCommand> = self.cmd_buf.drain(..).collect();
+        for cmd in commands {
+            self.apply_command(sched, node, cmd);
+        }
+    }
+
+    fn apply_command(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, cmd: MacCommand) {
+        match cmd {
+            MacCommand::SendFrame { frame, at } => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending_tx.insert(token, frame);
+                sched.at(
+                    at,
+                    NetEvent::TxStart {
+                        node: node as u32,
+                        token,
+                    },
+                );
+            }
+            MacCommand::SetTimer { at, token } => {
+                let key = sched.at(
+                    at,
+                    NetEvent::Timer {
+                        node: node as u32,
+                        token,
+                    },
+                );
+                if let Some(old) = self.timers.insert((node as u32, token.0), key) {
+                    // Re-arming a token cancels its previous instance.
+                    sched.cancel(old);
+                }
+            }
+            MacCommand::CancelTimer { token } => {
+                if let Some(key) = self.timers.remove(&(node as u32, token.0)) {
+                    sched.cancel(key);
+                }
+            }
+            MacCommand::ChargeMaintenance { bits } => {
+                self.metrics.per_node[node].maintenance_bits += bits;
+                self.meters[node].charge_maintenance_bits(bits);
+            }
+            MacCommand::SduDropped { id } => {
+                self.metrics.per_node[node].sdus_dropped += 1;
+                self.metrics.record_mac_drop(self.now, id);
+            }
+        }
+    }
+
+    fn handle_tx_start(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, token: u64) {
+        let Some(mut frame) = self.pending_tx.remove(&token) else {
+            return;
+        };
+        if self.modems[node].is_transmitting() {
+            self.metrics.per_node[node].tx_dropped += 1;
+            self.trace(TraceLevel::Debug, node, "tx-drop", || {
+                format!("{frame} dropped: modem busy")
+            });
+            return;
+        }
+        frame.timestamp = self.now;
+        let duration = self.spec.tx_duration(frame.bits);
+        self.modems[node].begin_transmit(self.now, self.now + duration);
+        self.sync_energy(node);
+        self.metrics.transmission_started(self.now);
+
+        let counters = &mut self.metrics.per_node[node];
+        if frame.kind.is_data() {
+            counters.data_bits_sent += frame.bits as u64;
+            counters.data_frames_sent += 1;
+            if frame.retx {
+                counters.retx_bits += frame.bits as u64;
+                counters.retx_frames += 1;
+            }
+        } else {
+            counters.control_bits_sent += frame.bits as u64;
+            counters.control_frames_sent += 1;
+        }
+        let piggyback = self.maintenance[node].piggyback_bits;
+        if piggyback > 0 {
+            self.metrics.per_node[node].maintenance_bits += piggyback;
+            self.meters[node].charge_maintenance_bits(piggyback);
+        }
+        self.trace(TraceLevel::Debug, node, "tx", || frame.to_string());
+
+        // Fan out arrivals to every audible node.
+        let src_pos = self.positions[node];
+        for j in 0..self.node_count() {
+            if j == node {
+                continue;
+            }
+            let dst_pos = self.positions[j];
+            if !self.channel.is_audible(src_pos, dst_pos) {
+                continue;
+            }
+            let delay = self.channel.propagation_delay(src_pos, dst_pos);
+            let pre_lost =
+                !self
+                    .channel
+                    .draw_delivery(&mut self.channel_rng, src_pos, dst_pos, frame.bits);
+            let rx_token = self.next_token;
+            self.next_token += 1;
+            let arrival_start = self.now + delay;
+            self.pending_rx.insert(
+                rx_token,
+                PendingRx {
+                    node: j as u32,
+                    frame: frame.clone(),
+                    arrival_start,
+                    pre_lost,
+                    group: token,
+                    is_echo: false,
+                    rid: None,
+                },
+            );
+            sched.at(arrival_start, NetEvent::RxStart { token: rx_token });
+            sched.at(arrival_start + duration, NetEvent::RxEnd { token: rx_token });
+
+            // Surface-bounce echo (when the channel models multipath): a
+            // delayed, data-less copy that occupies the receiver.
+            if self.channel.echo_audible(src_pos, dst_pos) {
+                let echo_delay = self.channel.echo_delay(src_pos, dst_pos);
+                let echo_token = self.next_token;
+                self.next_token += 1;
+                let echo_start = self.now + echo_delay;
+                self.pending_rx.insert(
+                    echo_token,
+                    PendingRx {
+                        node: j as u32,
+                        frame: frame.clone(),
+                        arrival_start: echo_start,
+                        pre_lost: true,
+                        group: token,
+                        is_echo: true,
+                        rid: None,
+                    },
+                );
+                sched.at(echo_start, NetEvent::RxStart { token: echo_token });
+                sched.at(echo_start + duration, NetEvent::RxEnd { token: echo_token });
+            }
+        }
+
+        self.inflight_tx.insert(token, frame);
+        sched.at(
+            self.now + duration,
+            NetEvent::TxEnd {
+                node: node as u32,
+                token,
+            },
+        );
+    }
+
+    fn handle_tx_end(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, token: u64) {
+        let frame = self
+            .inflight_tx
+            .remove(&token)
+            .expect("TxEnd without inflight frame");
+        self.modems[node].end_transmit(self.now);
+        self.sync_energy(node);
+        self.metrics.transmission_ended(self.now);
+        self.with_mac(sched, node, |mac, ctx| mac.on_frame_sent(ctx, &frame));
+    }
+
+    fn handle_rx_start(&mut self, token: u64) {
+        let entry = self
+            .pending_rx
+            .get_mut(&token)
+            .expect("RxStart without pending reception");
+        let node = entry.node as usize;
+        let duration = self.spec.tx_duration(entry.frame.bits);
+        let rid =
+            self.modems[node].begin_reception_grouped(self.now, self.now + duration, entry.group);
+        entry.rid = Some(rid);
+        self.sync_energy(node);
+    }
+
+    fn handle_rx_end(&mut self, sched: &mut Schedule<'_, NetEvent>, token: u64) {
+        let entry = self
+            .pending_rx
+            .remove(&token)
+            .expect("RxEnd without pending reception");
+        let node = entry.node as usize;
+        let rid = entry.rid.expect("reception never started");
+        let survived = self.modems[node].end_reception(self.now, rid);
+        self.sync_energy(node);
+        if entry.is_echo {
+            // Echoes only occupy the channel; nothing to decode.
+            return;
+        }
+        if !survived || entry.pre_lost {
+            self.trace(TraceLevel::Debug, node, "rx-lost", || {
+                format!(
+                    "{} ({})",
+                    entry.frame,
+                    if survived { "channel" } else { "collision" }
+                )
+            });
+            return;
+        }
+        let frame = entry.frame;
+        let prop_delay = entry.arrival_start.duration_since(frame.timestamp);
+        self.trace(TraceLevel::Debug, node, "rx", || frame.to_string());
+
+        // Deliver to the MAC first (it may answer with an Ack schedule)…
+        let reception = Reception {
+            frame: &frame,
+            arrival_start: entry.arrival_start,
+            prop_delay,
+        };
+        let me = NodeId::new(entry.node);
+        let addressed = reception.addressed_to(me);
+        self.with_mac(sched, node, |mac, ctx| mac.on_frame_received(ctx, &reception));
+
+        // …then account data deliveries (every SDU riding the frame) and
+        // forward toward the surface.
+        if addressed && frame.kind.is_data() {
+            let sdus: Vec<Sdu> = frame.sdus().copied().collect();
+            for sdu in sdus {
+                let first_copy = self.delivered.insert((sdu.id, entry.node));
+                if !first_copy {
+                    continue;
+                }
+                self.metrics.per_node[sdu.origin.index()].origin_bits_delivered +=
+                    sdu.bits as u64;
+                let counters = &mut self.metrics.per_node[node];
+                counters.data_bits_received += sdu.bits as u64;
+                counters.sdus_received += 1;
+                if frame.kind == crate::packet::FrameKind::ExData {
+                    counters.extra_bits_received += sdu.bits as u64;
+                }
+                self.metrics
+                    .record_latency(self.now.duration_since(sdu.created).as_secs_f64());
+                self.metrics.record_mac_delivery(self.now, sdu.id);
+                if self.roles[node] == NodeRole::Sink {
+                    self.metrics.record_sink_arrival(self.now, sdu.id, sdu.bits);
+                    self.trace(TraceLevel::Info, node, "sink", || {
+                        format!("sdu {} from {} reached sink", sdu.id, sdu.origin)
+                    });
+                } else if self.cfg.forwarding {
+                    self.forward(sched, node, sdu);
+                }
+            }
+        }
+    }
+
+    fn forward(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, sdu: Sdu) {
+        match next_hop_uphill(
+            &self.positions,
+            NodeId::new(node as u32),
+            self.channel.max_range_m(),
+        ) {
+            Some(next) => {
+                let fwd = Sdu {
+                    next_hop: next,
+                    created: self.now,
+                    ..sdu
+                };
+                self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, fwd));
+            }
+            None => {
+                self.metrics.per_node[node].unroutable += 1;
+            }
+        }
+    }
+
+    fn handle_traffic(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, recurring: bool) {
+        if recurring && self.now >= self.traffic_end {
+            return; // offered-load window closed
+        }
+        let sdu_id = self.next_sdu_id;
+        self.next_sdu_id += 1;
+        self.metrics.per_node[node].sdus_generated += 1;
+        let bits = match self.cfg.data_bits_range {
+            Some((min, max)) => {
+                use rand::Rng;
+                self.traffic_rng.gen_range(min..=max)
+            }
+            None => self.cfg.data_bits,
+        };
+        match next_hop_uphill(
+            &self.positions,
+            NodeId::new(node as u32),
+            self.channel.max_range_m(),
+        ) {
+            Some(next) => {
+                let sdu = Sdu {
+                    id: sdu_id,
+                    origin: NodeId::new(node as u32),
+                    next_hop: next,
+                    bits,
+                    created: self.now,
+                };
+                if self.cfg.traffic.is_batch() {
+                    self.metrics.register_batch_sdu(Some(sdu_id));
+                }
+                self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, sdu));
+            }
+            None => {
+                self.metrics.per_node[node].unroutable += 1;
+                if self.cfg.traffic.is_batch() {
+                    // An unroutable batch SDU would deadlock completion;
+                    // count the arrival as (vacuously) done.
+                    self.metrics.register_batch_sdu(None);
+                }
+            }
+        }
+        if recurring {
+            if let Some(stream) = self.traffic_stream {
+                let next = stream.next_arrival(&mut self.traffic_rng, self.now);
+                if next < self.traffic_end {
+                    sched.at(
+                        next,
+                        NetEvent::TrafficArrival {
+                            node: node as u32,
+                            recurring: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_mobility_tick(&mut self, sched: &mut Schedule<'_, NetEvent>) {
+        let dt = self.cfg.mobility.update_interval;
+        let region = self.cfg.deployment.region();
+        for i in 0..self.node_count() {
+            let model = self.mobility_models[i];
+            if model.is_mobile() {
+                self.positions[i] =
+                    model.step(&mut self.mobility_rng, self.positions[i], &region, dt.as_secs_f64());
+            }
+        }
+        sched.after(dt, NetEvent::MobilityTick);
+    }
+
+    fn handle_maintenance_tick(&mut self, sched: &mut Schedule<'_, NetEvent>) {
+        let mut interval = None;
+        for node in 0..self.node_count() {
+            let profile = self.maintenance[node];
+            let Some(period) = profile.periodic_refresh else {
+                continue;
+            };
+            interval = Some(period);
+            let bits = self.maintenance_refresh_bits(node, profile.scope);
+            if bits > 0 {
+                self.metrics.per_node[node].maintenance_bits += bits;
+                self.meters[node].charge_maintenance_bits(bits);
+            }
+        }
+        if let Some(period) = interval {
+            sched.after(period, NetEvent::MaintenanceTick);
+        }
+    }
+
+    /// Bits one table refresh costs `node` right now. A refreshing node
+    /// re-broadcasts only its **own** one-hop table (neighbours assemble
+    /// two-hop views by listening), so the cost is one entry per audible
+    /// neighbour regardless of scope; the scope decides whether refreshes
+    /// happen at all and how often (the protocol's `periodic_refresh`).
+    fn maintenance_refresh_bits(&self, node: usize, scope: NeighborInfoScope) -> u64 {
+        if scope == NeighborInfoScope::None {
+            return 0;
+        }
+        let p = self.positions[node];
+        let degree = (0..self.node_count())
+            .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
+            .count() as u64;
+        degree * ANNOUNCE_BITS_PER_ENTRY
+    }
+
+    fn finalize(&mut self, end: SimTime) -> MetricsReport {
+        let duration_s = end.duration_since(SimTime::ZERO).as_secs_f64();
+        for node in 0..self.node_count() {
+            let counters = &mut self.metrics.per_node[node];
+            counters.collisions = self.modems[node].collisions();
+            counters.half_duplex_losses = self.modems[node].half_duplex_losses();
+            // Active-listening surcharge (§5.2 "power for waiting"): scales
+            // with how many neighbours the protocol must monitor.
+            let mw = self.maintenance[node].listen_mw_per_neighbor;
+            if mw > 0.0 {
+                let p = self.positions[node];
+                let degree = (0..self.node_count())
+                    .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
+                    .count() as f64;
+                self.meters[node].charge_joules(mw / 1_000.0 * degree * duration_s);
+            }
+        }
+        let duration = end.duration_since(SimTime::ZERO);
+        let totals = |f: &dyn Fn(&crate::metrics::NodeCounters) -> u64| -> u64 {
+            self.metrics.per_node.iter().map(f).sum()
+        };
+        let data_bits_received = totals(&|c| c.data_bits_received);
+        let total_energy_j: f64 = self.meters.iter().map(|m| m.total_joules(end)).sum();
+        let avg_power_mw = self
+            .meters
+            .iter()
+            .map(|m| m.average_power_mw(SimTime::ZERO, end))
+            .sum::<f64>()
+            / self.node_count() as f64;
+        let channel_utilization = if duration.is_zero() {
+            0.0
+        } else {
+            self.meters
+                .iter()
+                .map(|m| {
+                    let (tx, rx, _) = m.dwell_times();
+                    (tx + rx).as_secs_f64() / duration.as_secs_f64()
+                })
+                .sum::<f64>()
+                / self.node_count() as f64
+        };
+        MetricsReport {
+            protocol: self.macs[0]
+                .as_ref()
+                .map(|m| m.name())
+                .unwrap_or("unknown"),
+            nodes: self.node_count(),
+            duration,
+            throughput_kbps: uasn_sim::stats::kbps(data_bits_received, duration),
+            data_bits_received,
+            extra_bits_received: totals(&|c| c.extra_bits_received),
+            sdus_received: totals(&|c| c.sdus_received),
+            sdus_generated: totals(&|c| c.sdus_generated),
+            sink_bits_received: self.metrics.sink_bits,
+            avg_power_mw,
+            channel_utilization,
+            total_energy_j,
+            overhead_bits: totals(&|c| c.overhead_bits()),
+            control_bits_sent: totals(&|c| c.control_bits_sent),
+            maintenance_bits: totals(&|c| c.maintenance_bits),
+            retx_bits: totals(&|c| c.retx_bits),
+            collisions: totals(&|c| c.collisions),
+            half_duplex_losses: totals(&|c| c.half_duplex_losses),
+            tx_dropped: totals(&|c| c.tx_dropped),
+            unroutable: totals(&|c| c.unroutable),
+            sdus_dropped: totals(&|c| c.sdus_dropped),
+            mean_latency_s: self.metrics.latency.mean(),
+            latency_p95_s: self.metrics.latency_hist.quantile(0.95),
+            mean_concurrent_tx: self.metrics.concurrency.average(end),
+            fairness_index: {
+                let allocations: Vec<f64> = self
+                    .metrics
+                    .per_node
+                    .iter()
+                    .filter(|c| c.sdus_generated > 0)
+                    .map(|c| c.origin_bits_delivered as f64)
+                    .collect();
+                uasn_sim::stats::jain_fairness(&allocations)
+            },
+            completion_time: self.metrics.completion_time,
+        }
+    }
+}
+
+impl uasn_sim::engine::World for NetworkWorld {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent, sched: &mut Schedule<'_, NetEvent>) {
+        self.now = now;
+        match event {
+            NetEvent::Start => {
+                for node in 0..self.node_count() {
+                    self.with_mac(sched, node, |mac, ctx| mac.on_start(ctx));
+                }
+            }
+            NetEvent::SlotStart(slot) => {
+                for node in 0..self.node_count() {
+                    self.with_mac(sched, node, |mac, ctx| mac.on_slot_start(ctx, slot));
+                }
+                sched.at(self.clock.start_of(slot + 1), NetEvent::SlotStart(slot + 1));
+            }
+            NetEvent::TrafficArrival { node, recurring } => {
+                self.handle_traffic(sched, node as usize, recurring);
+            }
+            NetEvent::TxStart { node, token } => {
+                self.handle_tx_start(sched, node as usize, token);
+            }
+            NetEvent::TxEnd { node, token } => {
+                self.handle_tx_end(sched, node as usize, token);
+            }
+            NetEvent::RxStart { token } => self.handle_rx_start(token),
+            NetEvent::RxEnd { token } => self.handle_rx_end(sched, token),
+            NetEvent::Timer { node, token } => {
+                // Only dispatch if still armed (re-arm cancels stale fires).
+                if self.timers.remove(&(node, token.0)).is_some() {
+                    self.with_mac(sched, node as usize, |mac, ctx| mac.on_timer(ctx, token));
+                }
+            }
+            NetEvent::MobilityTick => self.handle_mobility_tick(sched),
+            NetEvent::MaintenanceTick => self.handle_maintenance_tick(sched),
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.metrics.batch_complete()
+    }
+}
+
+/// A fully built, runnable simulation.
+///
+/// # Examples
+///
+/// Running S-FAMA-shaped dummy MACs is exercised in the crate tests; real
+/// protocols live in `uasn-ewmac` and `uasn-baselines`. Typical use:
+///
+/// ```no_run
+/// use uasn_net::config::SimConfig;
+/// use uasn_net::world::Simulation;
+/// # fn factory(_: uasn_net::node::NodeId) -> Box<dyn uasn_net::mac::MacProtocol> { unimplemented!() }
+///
+/// let cfg = SimConfig::paper_default();
+/// let sim = Simulation::new(cfg, &factory).expect("valid config");
+/// let report = sim.run();
+/// println!("throughput: {:.3} kbps", report.throughput_kbps);
+/// ```
+pub struct Simulation {
+    engine: Engine<NetEvent>,
+    world: NetworkWorld,
+    horizon: SimTime,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("world", &self.world)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Builds the network: validates the config, places nodes, instantiates
+    /// one MAC per node, installs oracle neighbour tables (standing in for
+    /// the Hello phase — §4.3), charges initialisation costs, and seeds the
+    /// event queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetworkError`] for invalid configs or topologies where
+    /// some sensor has no uphill neighbour.
+    pub fn new(cfg: SimConfig, factory: &MacFactory<'_>) -> Result<Self, BuildNetworkError> {
+        cfg.validate()?;
+        let seeds = SeedFactory::new(cfg.seed);
+        let mut topo_rng = seeds.stream("topology", 0);
+        let nodes: Vec<NodeInfo> = cfg.deployment.generate(
+            &mut topo_rng,
+            cfg.sensors,
+            cfg.sinks,
+            cfg.channel.max_range_m(),
+        )?;
+        let stranded = stranded_sensors(&nodes, cfg.channel.max_range_m());
+        if !stranded.is_empty() {
+            return Err(BuildNetworkError::Disconnected {
+                stranded: stranded.len(),
+            });
+        }
+
+        let n = nodes.len();
+        let clock = SlotClock::new(
+            ModemSpec::new(cfg.bitrate_bps).tx_duration(cfg.control_bits),
+            cfg.channel.max_propagation_delay(),
+        );
+        let spec = ModemSpec::new(cfg.bitrate_bps);
+
+        let mut mobility_assign = seeds.stream("mobility-assign", 0);
+        let mobility_models: Vec<MobilityModel> = nodes
+            .iter()
+            .map(|info| {
+                if cfg.mobility.enabled && !info.is_sink() {
+                    MobilityModel::random_paper_model(&mut mobility_assign, cfg.mobility.max_speed_ms)
+                } else {
+                    MobilityModel::Static
+                }
+            })
+            .collect();
+
+        let positions: Vec<Point> = nodes.iter().map(|i| i.position).collect();
+        let roles: Vec<NodeRole> = nodes.iter().map(|i| i.role).collect();
+        let mut macs: Vec<Option<Box<dyn MacProtocol>>> = (0..n)
+            .map(|i| Some(factory(NodeId::new(i as u32))))
+            .collect();
+
+        // Oracle neighbour installation (the Hello phase).
+        let channel = cfg.channel.clone();
+        let audible_with_delays = |i: usize| -> Vec<(NodeId, SimDuration)> {
+            (0..n)
+                .filter(|&j| j != i && channel.is_audible(positions[i], positions[j]))
+                .map(|j| {
+                    (
+                        NodeId::new(j as u32),
+                        channel.propagation_delay(positions[i], positions[j]),
+                    )
+                })
+                .collect()
+        };
+        let mut maintenance = Vec::with_capacity(n);
+        let mut metrics = Metrics::new(n);
+        let mut meters: Vec<EnergyMeter> = (0..n)
+            .map(|_| EnergyMeter::new(cfg.power, SimTime::ZERO))
+            .collect();
+        for i in 0..n {
+            let mac = macs[i].as_mut().expect("just built");
+            let profile = mac.maintenance();
+            maintenance.push(profile);
+            let one_hop = audible_with_delays(i);
+            match profile.scope {
+                NeighborInfoScope::None => {}
+                NeighborInfoScope::OneHop => {
+                    mac.install_neighbors(&one_hop);
+                    let init_bits = cfg.control_bits as u64
+                        + one_hop.len() as u64 * ANNOUNCE_BITS_PER_ENTRY;
+                    metrics.per_node[i].maintenance_bits += init_bits;
+                    meters[i].charge_maintenance_bits(init_bits);
+                }
+                NeighborInfoScope::TwoHop => {
+                    mac.install_neighbors(&one_hop);
+                    let two_hop: Vec<(NodeId, Vec<(NodeId, SimDuration)>)> = one_hop
+                        .iter()
+                        .map(|&(j, _)| (j, audible_with_delays(j.index())))
+                        .collect();
+                    mac.install_two_hop(&two_hop);
+                    // The node transmits one hello plus its own table; the
+                    // two-hop view is assembled from neighbours' announcements.
+                    let init_bits = cfg.control_bits as u64
+                        + one_hop.len() as u64 * ANNOUNCE_BITS_PER_ENTRY;
+                    metrics.per_node[i].maintenance_bits += init_bits;
+                    meters[i].charge_maintenance_bits(init_bits);
+                }
+            }
+        }
+
+        // Traffic setup.
+        let (traffic_stream, traffic_end) = match cfg.traffic {
+            TrafficPattern::Poisson { offered_load_kbps } => (
+                Some(ArrivalStream::poisson(per_sensor_rate(
+                    offered_load_kbps,
+                    cfg.data_bits,
+                    cfg.sensors,
+                ))),
+                cfg.horizon(),
+            ),
+            TrafficPattern::Batch { window, .. } => (None, SimTime::ZERO + window),
+        };
+
+        let mut world = NetworkWorld {
+            clock,
+            spec,
+            channel,
+            now: SimTime::ZERO,
+            roles,
+            positions,
+            mobility_models,
+            modems: (0..n).map(|_| Modem::new()).collect(),
+            meters,
+            macs,
+            mac_rngs: (0..n).map(|i| seeds.stream("mac", i as u64)).collect(),
+            maintenance,
+            channel_rng: seeds.stream("channel", 0),
+            mobility_rng: seeds.stream("mobility", 0),
+            traffic_rng: seeds.stream("traffic", 0),
+            traffic_stream,
+            metrics,
+            delivered: std::collections::HashSet::new(),
+            cmd_buf: Vec::new(),
+            pending_tx: HashMap::new(),
+            inflight_tx: HashMap::new(),
+            pending_rx: HashMap::new(),
+            timers: HashMap::new(),
+            next_token: 0,
+            next_sdu_id: 0,
+            traffic_end,
+            tracer: Tracer::disabled(),
+            cfg,
+        };
+
+        // Seed the event queue.
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::ZERO, NetEvent::Start);
+        engine.seed_event(SimTime::ZERO, NetEvent::SlotStart(0));
+        if world.cfg.hello_init {
+            // §4.3 Hello phase: staggered beacons in the opening slots so
+            // every node measures its neighbours' delays from real packets.
+            for i in 0..n {
+                let token = world.next_token;
+                world.next_token += 1;
+                let me = NodeId::new(i as u32);
+                let beacon =
+                    Frame::control(crate::packet::FrameKind::Beacon, me, me, world.cfg.control_bits);
+                world.pending_tx.insert(token, beacon);
+                let at = SimTime::ZERO + SimDuration::from_micros(17_000 * i as u64 + 1_000);
+                engine.seed_event(
+                    at,
+                    NetEvent::TxStart {
+                        node: i as u32,
+                        token,
+                    },
+                );
+            }
+        }
+        match world.cfg.traffic {
+            TrafficPattern::Poisson { .. } => {
+                let stream = world.traffic_stream.expect("poisson stream");
+                for i in 0..n {
+                    if world.roles[i] == NodeRole::Sensor {
+                        let first = stream.next_arrival(&mut world.traffic_rng, SimTime::ZERO);
+                        if first < world.traffic_end {
+                            engine.seed_event(
+                                first,
+                                NetEvent::TrafficArrival {
+                                    node: i as u32,
+                                    recurring: true,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            TrafficPattern::Batch {
+                total_packets,
+                window,
+            } => {
+                world.metrics.expect_batch(total_packets);
+                let sensor_ids: Vec<u32> = (0..n)
+                    .filter(|&i| world.roles[i] == NodeRole::Sensor)
+                    .map(|i| i as u32)
+                    .collect();
+                use rand::Rng;
+                for k in 0..total_packets {
+                    let node = sensor_ids[k as usize % sensor_ids.len()];
+                    let at = SimTime::ZERO
+                        + SimDuration::from_secs_f64(
+                            world.traffic_rng.gen_range(0.0..window.as_secs_f64().max(1e-6)),
+                        );
+                    engine.seed_event(
+                        at,
+                        NetEvent::TrafficArrival {
+                            node,
+                            recurring: false,
+                        },
+                    );
+                }
+            }
+        }
+        if world.cfg.mobility.enabled {
+            engine.seed_event(
+                SimTime::ZERO + world.cfg.mobility.update_interval,
+                NetEvent::MobilityTick,
+            );
+        }
+        if world
+            .maintenance
+            .iter()
+            .any(|p| p.periodic_refresh.is_some())
+        {
+            let period = world
+                .maintenance
+                .iter()
+                .filter_map(|p| p.periodic_refresh)
+                .min()
+                .expect("checked above");
+            engine.seed_event(SimTime::ZERO + period, NetEvent::MaintenanceTick);
+        }
+
+        let horizon = if world.cfg.traffic.is_batch() {
+            SimTime::ZERO + world.cfg.max_time
+        } else {
+            world.cfg.horizon()
+        };
+        Ok(Simulation {
+            engine,
+            world,
+            horizon,
+        })
+    }
+
+    /// Enables in-memory tracing at `level` (for tests and debugging).
+    pub fn with_tracing(mut self, level: TraceLevel) -> Self {
+        self.world.tracer = Tracer::capturing(level);
+        self
+    }
+
+    /// The slot clock the run will use.
+    pub fn slot_clock(&self) -> SlotClock {
+        self.world.clock
+    }
+
+    /// Initial node positions (index = node id).
+    pub fn positions(&self) -> &[Point] {
+        &self.world.positions
+    }
+
+    /// Node roles (index = node id).
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.world.roles
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(self) -> MetricsReport {
+        let (report, _) = self.run_traced();
+        report
+    }
+
+    /// Runs to completion, returning the report plus the captured trace.
+    pub fn run_traced(mut self) -> (MetricsReport, Tracer) {
+        let reason = self.engine.run(&mut self.world, self.horizon);
+        let end = match reason {
+            StopReason::StoppedByWorld => self.engine.now(),
+            _ => self.horizon.min(self.engine.now()),
+        };
+        let report = self.world.finalize(end);
+        (report, std::mem::take(&mut self.world.tracer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FrameKind;
+
+    /// A deliberately primitive MAC used to exercise the world plumbing:
+    /// transmits the head-of-queue SDU directly at each slot start with
+    /// probability 1, no handshake, no Ack.
+    #[derive(Debug, Default)]
+    struct BlastMac {
+        queue: std::collections::VecDeque<Sdu>,
+    }
+
+    impl MacProtocol for BlastMac {
+        fn name(&self) -> &'static str {
+            "BLAST"
+        }
+        fn maintenance(&self) -> MaintenanceProfile {
+            MaintenanceProfile::none()
+        }
+        fn on_slot_start(&mut self, ctx: &mut MacContext<'_>, _slot: SlotIndex) {
+            if let Some(sdu) = self.queue.pop_front() {
+                let frame = Frame::data(FrameKind::Data, ctx.node_id(), sdu);
+                ctx.send_frame_now(frame);
+            }
+        }
+        fn on_enqueue(&mut self, _ctx: &mut MacContext<'_>, sdu: Sdu) {
+            self.queue.push_back(sdu);
+        }
+        fn on_frame_received(&mut self, _ctx: &mut MacContext<'_>, _rx: &Reception<'_>) {}
+        fn queue_len(&self) -> usize {
+            self.queue.len()
+        }
+    }
+
+    fn blast_factory(_: NodeId) -> Box<dyn MacProtocol> {
+        Box::new(BlastMac::default())
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            sensors: 10,
+            sinks: 2,
+            forwarding: false,
+            ..SimConfig::paper_default()
+        }
+        .with_offered_load_kbps(0.3)
+        .with_sim_time(SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn builds_and_runs_with_dummy_mac() {
+        let sim = Simulation::new(small_cfg(), &blast_factory).expect("builds");
+        let report = sim.run();
+        assert_eq!(report.protocol, "BLAST");
+        assert_eq!(report.nodes, 12);
+        assert!(report.sdus_generated > 0, "traffic flowed");
+        // With no handshake some data should still land (sparse contention).
+        assert!(report.data_bits_received > 0, "some deliveries");
+        assert!(report.avg_power_mw > 0.0);
+        assert_eq!(report.duration, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = Simulation::new(small_cfg().with_seed(7), &blast_factory)
+            .unwrap()
+            .run();
+        let b = Simulation::new(small_cfg().with_seed(7), &blast_factory)
+            .unwrap()
+            .run();
+        assert_eq!(a, b);
+        let c = Simulation::new(small_cfg().with_seed(8), &blast_factory)
+            .unwrap()
+            .run();
+        assert_ne!(a.sdus_generated, 0);
+        // Different seed -> different topology/traffic; reports almost surely
+        // differ in some counter.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delivered_bits_never_exceed_sent_bits() {
+        let report = Simulation::new(small_cfg(), &blast_factory).unwrap().run();
+        assert!(report.data_bits_received <= report.sdus_generated * 2_048);
+    }
+
+    #[test]
+    fn batch_mode_completes_or_times_out() {
+        let cfg = SimConfig {
+            sensors: 6,
+            sinks: 2,
+            forwarding: true,
+            ..SimConfig::paper_default()
+        }
+        .with_batch_load_kbps(0.05);
+        let sim = Simulation::new(cfg, &blast_factory).expect("builds");
+        let report = sim.run();
+        // Blast MAC has no retransmission: collisions may strand SDUs, so
+        // completion is not guaranteed — but the run must terminate and the
+        // completion time, if any, must lie within the cap.
+        if let Some(t) = report.completion_time {
+            assert!(t <= SimTime::ZERO + SimDuration::from_secs(3_000));
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = small_cfg().with_sensors(0);
+        assert!(Simulation::new(cfg, &blast_factory).is_err());
+    }
+
+    #[test]
+    fn tracing_captures_transmissions() {
+        let sim = Simulation::new(small_cfg(), &blast_factory)
+            .unwrap()
+            .with_tracing(TraceLevel::Debug);
+        let (_report, tracer) = sim.run_traced();
+        assert!(tracer.with_tag("tx").count() > 0);
+    }
+
+    #[test]
+    fn forwarding_moves_bits_toward_sinks() {
+        let cfg = SimConfig {
+            sensors: 10,
+            sinks: 2,
+            forwarding: true,
+            ..SimConfig::paper_default()
+        }
+        .with_offered_load_kbps(0.2)
+        .with_sim_time(SimDuration::from_secs(120));
+        let report = Simulation::new(cfg, &blast_factory).unwrap().run();
+        // some SDUs should reach the surface even with the dumb MAC
+        assert!(report.sink_bits_received > 0);
+    }
+
+    #[test]
+    fn hello_init_transmits_beacons_and_learns() {
+        let cfg = SimConfig {
+            sensors: 8,
+            sinks: 2,
+            forwarding: false,
+            hello_init: true,
+            ..SimConfig::paper_default()
+        }
+        .with_offered_load_kbps(0.3)
+        .with_sim_time(SimDuration::from_secs(60));
+        let sim = Simulation::new(cfg, &blast_factory)
+            .unwrap()
+            .with_tracing(TraceLevel::Debug);
+        let (report, tracer) = sim.run_traced();
+        // One beacon per node went on the air within the opening second.
+        let beacons: Vec<_> = tracer
+            .with_tag("tx")
+            .filter(|r| r.message.starts_with("Beacon"))
+            .collect();
+        assert_eq!(beacons.len(), 10, "one hello per node");
+        assert!(beacons
+            .iter()
+            .all(|r| r.time < SimTime::from_secs(2)));
+        // Beacon bits are charged as control traffic.
+        assert!(report.control_bits_sent >= 10 * 64);
+    }
+
+    #[test]
+    fn oracle_and_hello_runs_charge_the_same_init_maintenance() {
+        // The init charge models the hello broadcast either way; only the
+        // on-air beacons differ.
+        let base = SimConfig {
+            sensors: 8,
+            sinks: 2,
+            forwarding: false,
+            ..SimConfig::paper_default()
+        }
+        .with_offered_load_kbps(0.3)
+        .with_sim_time(SimDuration::from_secs(30));
+        let with_hello = SimConfig {
+            hello_init: true,
+            ..base.clone()
+        };
+        let a = Simulation::new(base, &blast_factory).unwrap().run();
+        let b = Simulation::new(with_hello, &blast_factory).unwrap().run();
+        // Blast MAC has a None maintenance scope: zero charge either way.
+        assert_eq!(a.maintenance_bits, 0);
+        assert_eq!(b.maintenance_bits, 0);
+    }
+
+    #[test]
+    fn slot_clock_matches_paper() {
+        let sim = Simulation::new(small_cfg(), &blast_factory).unwrap();
+        let clock = sim.slot_clock();
+        assert_eq!(clock.tau_max(), SimDuration::from_secs(1));
+        assert_eq!(clock.omega().as_micros(), 5_333);
+    }
+}

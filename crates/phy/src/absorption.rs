@@ -1,0 +1,150 @@
+//! Frequency-dependent acoustic absorption in seawater.
+//!
+//! The authors ran the NS-3 UAN module, whose default channel loss combines
+//! geometric spreading with **Thorp's** absorption formula. We implement
+//! Thorp (the standard for UASN MAC studies, valid ~0.1–50 kHz) and the more
+//! detailed Fisher–Simmons (1977) model as a cross-check, since the modem
+//! band in the paper (~10 kHz centre) sits comfortably inside both ranges.
+
+/// Thorp absorption coefficient in dB/km at frequency `f_khz` (kHz).
+///
+/// Thorp (1967) as usually cited in underwater-networking literature:
+///
+/// ```text
+/// a(f) = 0.11 f²/(1+f²) + 44 f²/(4100+f²) + 2.75e-4 f² + 0.003   [dB/km]
+/// ```
+///
+/// # Panics
+///
+/// Panics if `f_khz` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::absorption::thorp_db_per_km;
+///
+/// let a10 = thorp_db_per_km(10.0);
+/// assert!(a10 > 0.5 && a10 < 2.0, "~1 dB/km at 10 kHz, got {a10}");
+/// ```
+pub fn thorp_db_per_km(f_khz: f64) -> f64 {
+    assert!(
+        f_khz.is_finite() && f_khz > 0.0,
+        "frequency must be finite and positive, got {f_khz} kHz"
+    );
+    let f2 = f_khz * f_khz;
+    0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4_100.0 + f2) + 2.75e-4 * f2 + 0.003
+}
+
+/// Fisher–Simmons (1977) absorption in dB/km at 4 °C, pH 8, 35 ppt,
+/// at frequency `f_khz` and depth `depth_m`.
+///
+/// Simplified two-relaxation (boric acid, magnesium sulphate) plus viscous
+/// term, with the pressure correction applied through depth. Used as a
+/// cross-check on Thorp in the test-suite; agreement within a factor ~2 over
+/// 1–50 kHz is expected (the models differ in assumed conditions).
+pub fn fisher_simmons_db_per_km(f_khz: f64, depth_m: f64) -> f64 {
+    assert!(
+        f_khz.is_finite() && f_khz > 0.0,
+        "frequency must be finite and positive, got {f_khz} kHz"
+    );
+    assert!(
+        depth_m.is_finite() && depth_m >= 0.0,
+        "depth must be finite and non-negative, got {depth_m}"
+    );
+    let f = f_khz; // kHz
+    let t = 4.0_f64; // °C, deep-ocean reference
+
+    // Relaxation frequencies (kHz), Ainslie–McColm style parameterisation
+    // at S = 35 ppt, pH = 8.
+    let f1 = 0.78 * (t / 26.0).exp(); // boric acid
+    let f2 = 42.0 * (t / 17.0).exp(); // magnesium sulphate
+
+    // Depth (pressure) corrections suppress the relaxations and the viscous
+    // term as pressure grows.
+    let p2 = 1.0 - 1.37e-4 * depth_m + 6.2e-9 * depth_m * depth_m;
+    let p3 = 1.0 - 3.83e-5 * depth_m + 4.9e-10 * depth_m * depth_m;
+
+    let a1 = 0.106; // dB/km·kHz, pH 8
+    let a2 = 0.52 * (1.0 + t / 43.0);
+    let a3 = 4.9e-4 * (-t / 27.0).exp();
+
+    a1 * f1 * f * f / (f1 * f1 + f * f)
+        + a2 * p2 * f2 * f * f / (f2 * f2 + f * f)
+        + a3 * p3 * f * f
+}
+
+/// Total absorption loss in dB over `distance_m` metres at `f_khz` kHz
+/// (Thorp).
+pub fn thorp_loss_db(f_khz: f64, distance_m: f64) -> f64 {
+    assert!(
+        distance_m.is_finite() && distance_m >= 0.0,
+        "distance must be finite and non-negative, got {distance_m}"
+    );
+    thorp_db_per_km(f_khz) * distance_m / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thorp_known_band_values() {
+        // Published Thorp curve check-points (dB/km), generous tolerances.
+        let a1 = thorp_db_per_km(1.0);
+        assert!(a1 > 0.05 && a1 < 0.2, "1 kHz: {a1}");
+        let a10 = thorp_db_per_km(10.0);
+        assert!(a10 > 0.8 && a10 < 1.5, "10 kHz: {a10}");
+        let a50 = thorp_db_per_km(50.0);
+        assert!(a50 > 10.0 && a50 < 25.0, "50 kHz: {a50}");
+    }
+
+    #[test]
+    fn thorp_is_monotone_in_frequency() {
+        let mut prev = 0.0;
+        for f in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
+            let a = thorp_db_per_km(f);
+            assert!(a > prev, "absorption must grow with frequency");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn loss_scales_linearly_with_distance() {
+        let per_km = thorp_db_per_km(10.0);
+        assert!((thorp_loss_db(10.0, 1_500.0) - 1.5 * per_km).abs() < 1e-12);
+        assert_eq!(thorp_loss_db(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fisher_simmons_same_order_as_thorp_in_band() {
+        for f in [5.0, 10.0, 20.0] {
+            let th = thorp_db_per_km(f);
+            let fs = fisher_simmons_db_per_km(f, 500.0);
+            let ratio = fs / th;
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "at {f} kHz: thorp={th}, fisher-simmons={fs}"
+            );
+        }
+    }
+
+    #[test]
+    fn fisher_simmons_decreases_with_depth() {
+        // Pressure suppresses the MgSO4 relaxation -> less absorption deep.
+        let shallow = fisher_simmons_db_per_km(10.0, 0.0);
+        let deep = fisher_simmons_db_per_km(10.0, 5_000.0);
+        assert!(deep < shallow);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = thorp_db_per_km(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics() {
+        let _ = thorp_loss_db(10.0, -1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Modem energy accounting.
+//!
+//! The paper evaluates "power consumption including the power for waiting,
+//! transmitting, and receiving" (§5.2) and reports average power in mW. We
+//! integrate time-in-state against a modem power profile, and additionally
+//! meter *maintenance* energy — the cost of building and refreshing
+//! neighbour tables — which the paper charges against ROPA and CS-MAC
+//! (two-hop info) much more heavily than against EW-MAC (one-hop info).
+
+use uasn_sim::time::{SimDuration, SimTime};
+
+use crate::modem::ModemState;
+
+/// Draw (in watts) of each modem state plus per-bit maintenance cost.
+///
+/// Defaults are WHOI-micro-modem class figures, the common reference point
+/// in UASN energy studies.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::energy::PowerProfile;
+///
+/// let p = PowerProfile::default();
+/// assert!(p.tx_watts > p.rx_watts && p.rx_watts > p.idle_watts);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    /// Transmit draw, W.
+    pub tx_watts: f64,
+    /// Receive draw, W.
+    pub rx_watts: f64,
+    /// Idle-listening draw, W.
+    pub idle_watts: f64,
+    /// Energy charged per bit of neighbour-maintenance information
+    /// processed/stored, J/bit. This models the paper's "cost of accessing
+    /// neighboring information \[and\] carrying more information" (§5.3).
+    pub maintenance_j_per_bit: f64,
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        PowerProfile {
+            tx_watts: 2.0,
+            rx_watts: 0.75,
+            idle_watts: 0.08,
+            maintenance_j_per_bit: 2.0e-4,
+        }
+    }
+}
+
+impl PowerProfile {
+    /// Validates a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or not finite.
+    pub fn validated(self) -> Self {
+        for (name, v) in [
+            ("tx_watts", self.tx_watts),
+            ("rx_watts", self.rx_watts),
+            ("idle_watts", self.idle_watts),
+            ("maintenance_j_per_bit", self.maintenance_j_per_bit),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "power profile {name} must be finite and non-negative, got {v}"
+            );
+        }
+        self
+    }
+
+    /// Draw in watts for a modem state.
+    pub fn draw_watts(&self, state: ModemState) -> f64 {
+        match state {
+            ModemState::Idle => self.idle_watts,
+            ModemState::Transmitting => self.tx_watts,
+            ModemState::Receiving => self.rx_watts,
+        }
+    }
+}
+
+/// Per-node energy meter: integrates power over state dwell times.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::energy::{EnergyMeter, PowerProfile};
+/// use uasn_phy::modem::ModemState;
+/// use uasn_sim::time::SimTime;
+///
+/// let mut meter = EnergyMeter::new(PowerProfile::default(), SimTime::ZERO);
+/// meter.set_state(SimTime::from_secs(10), ModemState::Transmitting);
+/// meter.set_state(SimTime::from_secs(11), ModemState::Idle);
+/// let joules = meter.total_joules(SimTime::from_secs(11));
+/// // 10 s idle at 0.08 W + 1 s tx at 2 W
+/// assert!((joules - (10.0 * 0.08 + 2.0)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    profile: PowerProfile,
+    state: ModemState,
+    last_change: SimTime,
+    accumulated_joules: f64,
+    maintenance_joules: f64,
+    tx_time: SimDuration,
+    rx_time: SimDuration,
+    idle_time: SimDuration,
+}
+
+impl EnergyMeter {
+    /// Creates a meter starting in the idle state at `start`.
+    pub fn new(profile: PowerProfile, start: SimTime) -> Self {
+        EnergyMeter {
+            profile: profile.validated(),
+            state: ModemState::Idle,
+            last_change: start,
+            accumulated_joules: 0.0,
+            maintenance_joules: 0.0,
+            tx_time: SimDuration::ZERO,
+            rx_time: SimDuration::ZERO,
+            idle_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Records a state change at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes the previous change.
+    pub fn set_state(&mut self, t: SimTime, state: ModemState) {
+        debug_assert!(t >= self.last_change, "energy meter update out of order");
+        let dwell = t.duration_since(self.last_change);
+        self.accumulated_joules += self.profile.draw_watts(self.state) * dwell.as_secs_f64();
+        match self.state {
+            ModemState::Idle => self.idle_time += dwell,
+            ModemState::Transmitting => self.tx_time += dwell,
+            ModemState::Receiving => self.rx_time += dwell,
+        }
+        self.state = state;
+        self.last_change = t;
+    }
+
+    /// Charges maintenance energy for `bits` bits of neighbour information.
+    pub fn charge_maintenance_bits(&mut self, bits: u64) {
+        self.maintenance_joules += self.profile.maintenance_j_per_bit * bits as f64;
+    }
+
+    /// Charges an explicit amount of maintenance energy in joules (used for
+    /// the active-listening surcharge of opportunistic protocols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn charge_joules(&mut self, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy charge must be finite and non-negative, got {joules}"
+        );
+        self.maintenance_joules += joules;
+    }
+
+    /// Total energy consumed through `now`, in joules (state dwell +
+    /// maintenance).
+    pub fn total_joules(&self, now: SimTime) -> f64 {
+        let pending = self.profile.draw_watts(self.state)
+            * now.duration_since(self.last_change).as_secs_f64();
+        self.accumulated_joules + self.maintenance_joules + pending
+    }
+
+    /// Maintenance-only energy, joules.
+    pub fn maintenance_joules(&self) -> f64 {
+        self.maintenance_joules
+    }
+
+    /// Average power through `now`, in milliwatts — the paper's Figure 9
+    /// unit.
+    pub fn average_power_mw(&self, start: SimTime, now: SimTime) -> f64 {
+        let span = now.duration_since(start).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.total_joules(now) / span * 1_000.0
+        }
+    }
+
+    /// Cumulative dwell in each state through the last change:
+    /// `(tx, rx, idle)`.
+    pub fn dwell_times(&self) -> (SimDuration, SimDuration, SimDuration) {
+        (self.tx_time, self.rx_time, self.idle_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_ordered() {
+        let p = PowerProfile::default();
+        assert!(p.tx_watts > p.rx_watts);
+        assert!(p.rx_watts > p.idle_watts);
+        assert!(p.idle_watts > 0.0);
+    }
+
+    #[test]
+    fn integrates_each_state() {
+        let p = PowerProfile {
+            tx_watts: 2.0,
+            rx_watts: 1.0,
+            idle_watts: 0.1,
+            maintenance_j_per_bit: 0.0,
+        };
+        let mut m = EnergyMeter::new(p, SimTime::ZERO);
+        m.set_state(SimTime::from_secs(10), ModemState::Transmitting); // 10 s idle
+        m.set_state(SimTime::from_secs(12), ModemState::Receiving); // 2 s tx
+        m.set_state(SimTime::from_secs(15), ModemState::Idle); // 3 s rx
+        let j = m.total_joules(SimTime::from_secs(20)); // +5 s idle
+        let expected = 10.0 * 0.1 + 2.0 * 2.0 + 3.0 * 1.0 + 5.0 * 0.1;
+        assert!((j - expected).abs() < 1e-9, "got {j}, want {expected}");
+        let (tx, rx, idle) = m.dwell_times();
+        assert_eq!(tx, SimDuration::from_secs(2));
+        assert_eq!(rx, SimDuration::from_secs(3));
+        assert_eq!(idle, SimDuration::from_secs(10)); // trailing idle not yet closed
+    }
+
+    #[test]
+    fn maintenance_energy_is_separate() {
+        let mut m = EnergyMeter::new(PowerProfile::default(), SimTime::ZERO);
+        m.charge_maintenance_bits(10_000);
+        let expected = 10_000.0 * PowerProfile::default().maintenance_j_per_bit;
+        assert!((m.maintenance_joules() - expected).abs() < 1e-12);
+        assert!(m.total_joules(SimTime::ZERO) >= expected);
+    }
+
+    #[test]
+    fn average_power_mw_unit() {
+        let p = PowerProfile {
+            tx_watts: 0.0,
+            rx_watts: 0.0,
+            idle_watts: 0.1,
+            maintenance_j_per_bit: 0.0,
+        };
+        let m = EnergyMeter::new(p, SimTime::ZERO);
+        let mw = m.average_power_mw(SimTime::ZERO, SimTime::from_secs(300));
+        assert!((mw - 100.0).abs() < 1e-9, "0.1 W = 100 mW, got {mw}");
+    }
+
+    #[test]
+    fn zero_window_average_is_zero() {
+        let m = EnergyMeter::new(PowerProfile::default(), SimTime::ZERO);
+        assert_eq!(m.average_power_mw(SimTime::ZERO, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_profile_panics() {
+        let p = PowerProfile {
+            tx_watts: -1.0,
+            ..PowerProfile::default()
+        };
+        let _ = p.validated();
+    }
+}

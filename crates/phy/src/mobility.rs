@@ -1,0 +1,218 @@
+//! Node mobility.
+//!
+//! The paper's location models (§5): *"non-moved, moved horizontal, or moved
+//! vertical. The location of each sensor is changed by randomly selecting
+//! one of these models."* We implement exactly those three plus a bounded
+//! random-walk extension, with drift magnitudes typical of slow ocean
+//! currents. Positions are updated at a fixed cadence by the simulator and
+//! clamped to the deployment region.
+
+use rand::Rng;
+
+use crate::geometry::{Point, Region};
+
+/// Which way a node drifts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityModel {
+    /// Anchored; never moves (paper: "non-moved").
+    Static,
+    /// Horizontal drift at fixed speed on a fixed surface heading
+    /// (paper: "moved horizontal").
+    Horizontal {
+        /// Drift speed, m/s.
+        speed_ms: f64,
+        /// Heading in radians (0 = +x).
+        heading_rad: f64,
+    },
+    /// Vertical drift (paper: "moved vertical"); positive speed sinks.
+    Vertical {
+        /// Drift speed, m/s; positive moves deeper.
+        speed_ms: f64,
+    },
+    /// Extension: random walk re-drawing a horizontal heading each step.
+    RandomWalk {
+        /// Drift speed, m/s.
+        speed_ms: f64,
+    },
+}
+
+impl MobilityModel {
+    /// Draws one of the paper's three models uniformly at random, with a
+    /// drift speed drawn from `0.1..=max_speed_ms` for the moving variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_speed_ms` is not finite and positive.
+    pub fn random_paper_model<R: Rng>(rng: &mut R, max_speed_ms: f64) -> Self {
+        assert!(
+            max_speed_ms.is_finite() && max_speed_ms > 0.0,
+            "max speed must be finite and positive, got {max_speed_ms}"
+        );
+        let speed = rng.gen_range(0.1..=max_speed_ms.max(0.1 + f64::EPSILON));
+        match rng.gen_range(0..3u8) {
+            0 => MobilityModel::Static,
+            1 => MobilityModel::Horizontal {
+                speed_ms: speed,
+                heading_rad: rng.gen_range(0.0..std::f64::consts::TAU),
+            },
+            _ => MobilityModel::Vertical {
+                // Sink or rise with equal probability.
+                speed_ms: if rng.gen_bool(0.5) { speed } else { -speed },
+            },
+        }
+    }
+
+    /// Advances `position` by `dt_secs` seconds of drift, clamped to
+    /// `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_secs` is negative or not finite.
+    pub fn step<R: Rng>(
+        &self,
+        rng: &mut R,
+        position: Point,
+        region: &Region,
+        dt_secs: f64,
+    ) -> Point {
+        assert!(
+            dt_secs.is_finite() && dt_secs >= 0.0,
+            "time step must be finite and non-negative, got {dt_secs}"
+        );
+        let moved = match *self {
+            MobilityModel::Static => position,
+            MobilityModel::Horizontal {
+                speed_ms,
+                heading_rad,
+            } => Point::new(
+                position.x + speed_ms * heading_rad.cos() * dt_secs,
+                position.y + speed_ms * heading_rad.sin() * dt_secs,
+                position.z,
+            ),
+            MobilityModel::Vertical { speed_ms } => {
+                Point::new(position.x, position.y, position.z + speed_ms * dt_secs)
+            }
+            MobilityModel::RandomWalk { speed_ms } => {
+                let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+                Point::new(
+                    position.x + speed_ms * heading.cos() * dt_secs,
+                    position.y + speed_ms * heading.sin() * dt_secs,
+                    position.z,
+                )
+            }
+        };
+        region.clamp(moved)
+    }
+
+    /// Whether this model ever changes position.
+    pub fn is_mobile(&self) -> bool {
+        !matches!(self, MobilityModel::Static)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn region() -> Region {
+        Region::new(10_000.0, 10_000.0, 10_000.0)
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let p = Point::new(100.0, 200.0, 300.0);
+        let out = MobilityModel::Static.step(&mut rng(), p, &region(), 1_000.0);
+        assert_eq!(out, p);
+        assert!(!MobilityModel::Static.is_mobile());
+    }
+
+    #[test]
+    fn horizontal_moves_along_heading_only() {
+        let p = Point::new(100.0, 100.0, 500.0);
+        let m = MobilityModel::Horizontal {
+            speed_ms: 2.0,
+            heading_rad: 0.0,
+        };
+        let out = m.step(&mut rng(), p, &region(), 10.0);
+        assert!((out.x - 120.0).abs() < 1e-9);
+        assert!((out.y - 100.0).abs() < 1e-9);
+        assert_eq!(out.z, 500.0);
+        assert!(m.is_mobile());
+    }
+
+    #[test]
+    fn vertical_changes_depth_only() {
+        let p = Point::new(100.0, 100.0, 500.0);
+        let sink = MobilityModel::Vertical { speed_ms: 0.5 };
+        let out = sink.step(&mut rng(), p, &region(), 100.0);
+        assert_eq!((out.x, out.y), (100.0, 100.0));
+        assert!((out.z - 550.0).abs() < 1e-9);
+
+        let rise = MobilityModel::Vertical { speed_ms: -0.5 };
+        let out = rise.step(&mut rng(), p, &region(), 100.0);
+        assert!((out.z - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_clamped_to_region() {
+        let p = Point::new(9_990.0, 100.0, 500.0);
+        let m = MobilityModel::Horizontal {
+            speed_ms: 10.0,
+            heading_rad: 0.0,
+        };
+        let out = m.step(&mut rng(), p, &region(), 1_000.0);
+        assert_eq!(out.x, 10_000.0);
+    }
+
+    #[test]
+    fn random_walk_moves_at_speed() {
+        let p = Point::new(5_000.0, 5_000.0, 500.0);
+        let m = MobilityModel::RandomWalk { speed_ms: 1.0 };
+        let out = m.step(&mut rng(), p, &region(), 60.0);
+        let dist = p.distance(out);
+        assert!((dist - 60.0).abs() < 1e-6, "walked {dist}");
+        assert_eq!(out.z, 500.0);
+    }
+
+    #[test]
+    fn random_paper_model_covers_all_variants() {
+        let mut rng = rng();
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            match MobilityModel::random_paper_model(&mut rng, 1.0) {
+                MobilityModel::Static => saw[0] = true,
+                MobilityModel::Horizontal { speed_ms, .. } => {
+                    assert!(speed_ms > 0.0 && speed_ms <= 1.0);
+                    saw[1] = true;
+                }
+                MobilityModel::Vertical { speed_ms } => {
+                    assert!(speed_ms.abs() > 0.0 && speed_ms.abs() <= 1.0);
+                    saw[2] = true;
+                }
+                MobilityModel::RandomWalk { .. } => unreachable!("paper models only"),
+            }
+        }
+        assert!(saw.iter().all(|&s| s), "all three paper models drawn: {saw:?}");
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let p = Point::new(1.0, 2.0, 3.0);
+        let m = MobilityModel::Horizontal {
+            speed_ms: 5.0,
+            heading_rad: 1.0,
+        };
+        assert_eq!(m.step(&mut rng(), p, &region(), 0.0), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        MobilityModel::Static.step(&mut rng(), Point::default(), &region(), -1.0);
+    }
+}

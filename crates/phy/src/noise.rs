@@ -1,0 +1,226 @@
+//! Ambient ocean noise (Wenz curves).
+//!
+//! Noise power spectral density at the receiver sets the SNR together with
+//! transmission loss. We implement the standard four-component empirical
+//! model (turbulence, distant shipping, wind/surface agitation, thermal) in
+//! dB re µPa²/Hz, and integrate it over a receiver band to get total noise
+//! power.
+
+/// Shipping activity factor for the Wenz shipping component, 0 (none) to
+/// 1 (heavy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shipping(f64);
+
+impl Shipping {
+    /// Creates a shipping factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= s <= 1.0`.
+    pub fn new(s: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "shipping factor must be in [0, 1], got {s}"
+        );
+        Shipping(s)
+    }
+
+    /// Moderate shipping (0.5), the usual default in UASN studies.
+    pub fn moderate() -> Self {
+        Shipping(0.5)
+    }
+
+    /// The raw factor.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Shipping {
+    fn default() -> Self {
+        Shipping::moderate()
+    }
+}
+
+/// Wind speed in m/s for the surface-agitation component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindSpeed(f64);
+
+impl WindSpeed {
+    /// Creates a wind speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or not finite.
+    pub fn new(ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "wind speed must be finite and non-negative, got {ms}"
+        );
+        WindSpeed(ms)
+    }
+
+    /// Calm sea state (0 m/s).
+    pub fn calm() -> Self {
+        WindSpeed(0.0)
+    }
+
+    /// The raw speed in m/s.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for WindSpeed {
+    fn default() -> Self {
+        WindSpeed::new(5.0)
+    }
+}
+
+/// Ambient noise model combining the four Wenz components.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::noise::{AmbientNoise, Shipping, WindSpeed};
+///
+/// let noise = AmbientNoise::new(Shipping::moderate(), WindSpeed::new(5.0));
+/// let psd = noise.psd_db(10.0); // at 10 kHz
+/// assert!(psd > 20.0 && psd < 80.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AmbientNoise {
+    shipping: Shipping,
+    wind: WindSpeed,
+}
+
+impl AmbientNoise {
+    /// Creates a noise model.
+    pub fn new(shipping: Shipping, wind: WindSpeed) -> Self {
+        AmbientNoise { shipping, wind }
+    }
+
+    /// Noise power spectral density at `f_khz`, in dB re µPa²/Hz.
+    ///
+    /// Sum (in linear power) of:
+    /// - turbulence: `17 − 30 log f`
+    /// - shipping: `40 + 20(s − 0.5) + 26 log f − 60 log(f + 0.03)`
+    /// - wind: `50 + 7.5 √w + 20 log f − 40 log(f + 0.4)`
+    /// - thermal: `−15 + 20 log f`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_khz` is not finite and positive.
+    pub fn psd_db(&self, f_khz: f64) -> f64 {
+        assert!(
+            f_khz.is_finite() && f_khz > 0.0,
+            "frequency must be finite and positive, got {f_khz} kHz"
+        );
+        let f = f_khz;
+        let log_f = f.log10();
+        let nt = 17.0 - 30.0 * log_f;
+        let ns = 40.0 + 20.0 * (self.shipping.value() - 0.5) + 26.0 * log_f
+            - 60.0 * (f + 0.03).log10();
+        let nw = 50.0 + 7.5 * self.wind.value().sqrt() + 20.0 * log_f - 40.0 * (f + 0.4).log10();
+        let nth = -15.0 + 20.0 * log_f;
+        let linear = db_to_linear(nt) + db_to_linear(ns) + db_to_linear(nw) + db_to_linear(nth);
+        linear_to_db(linear)
+    }
+
+    /// Total noise power over a band, in dB re µPa², approximating the PSD
+    /// as flat at the band centre: `psd(fc) + 10 log BW`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_hz` is not finite and positive.
+    pub fn band_level_db(&self, centre_khz: f64, bandwidth_hz: f64) -> f64 {
+        assert!(
+            bandwidth_hz.is_finite() && bandwidth_hz > 0.0,
+            "bandwidth must be finite and positive, got {bandwidth_hz}"
+        );
+        self.psd_db(centre_khz) + 10.0 * bandwidth_hz.log10()
+    }
+}
+
+/// dB → linear power ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Linear power ratio → dB.
+///
+/// # Panics
+///
+/// Panics if `linear` is not positive.
+pub fn linear_to_db(linear: f64) -> f64 {
+    assert!(linear > 0.0, "linear power must be positive, got {linear}");
+    10.0 * linear.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-30.0, 0.0, 3.0, 60.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+        assert!((db_to_linear(3.0) - 1.995).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_decreases_through_mid_band() {
+        // Between 1 kHz and 50 kHz ambient noise falls with frequency
+        // (wind-dominated regime).
+        let n = AmbientNoise::default();
+        let a = n.psd_db(1.0);
+        let b = n.psd_db(10.0);
+        let c = n.psd_db(50.0);
+        assert!(a > b && b > c, "{a} > {b} > {c} expected");
+    }
+
+    #[test]
+    fn wind_raises_noise() {
+        let calm = AmbientNoise::new(Shipping::moderate(), WindSpeed::calm());
+        let storm = AmbientNoise::new(Shipping::moderate(), WindSpeed::new(20.0));
+        assert!(storm.psd_db(10.0) > calm.psd_db(10.0));
+    }
+
+    #[test]
+    fn shipping_raises_low_frequency_noise() {
+        let quiet = AmbientNoise::new(Shipping::new(0.0), WindSpeed::calm());
+        let busy = AmbientNoise::new(Shipping::new(1.0), WindSpeed::calm());
+        // Shipping dominates around a few hundred Hz.
+        assert!(busy.psd_db(0.3) > quiet.psd_db(0.3));
+    }
+
+    #[test]
+    fn plausible_absolute_levels() {
+        // Literature: ~10 kHz ambient noise at sea state ~2 is roughly
+        // 40–60 dB re µPa²/Hz.
+        let n = AmbientNoise::default();
+        let psd = n.psd_db(10.0);
+        assert!((30.0..70.0).contains(&psd), "10 kHz PSD {psd}");
+    }
+
+    #[test]
+    fn band_level_adds_bandwidth_term() {
+        let n = AmbientNoise::default();
+        let psd = n.psd_db(10.0);
+        let band = n.band_level_db(10.0, 10_000.0);
+        assert!((band - (psd + 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn bad_shipping_panics() {
+        let _ = Shipping::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn bad_wind_panics() {
+        let _ = WindSpeed::new(-1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Sound-speed profiles.
+//!
+//! The paper uses a constant 1.5 km/s (Table 2) but notes that "the sound
+//! speed and maximum transmission distance both depend on the water column
+//! \[and\] temperature". We provide the constant profile used for the headline
+//! results plus two physical profiles — Mackenzie's nine-term empirical
+//! equation and a linear gradient — so the sensitivity of the protocol to
+//! sound-speed variation can be studied (EXPERIMENTS.md, extension X2).
+
+/// The nominal sound speed used throughout the paper, m/s.
+pub const NOMINAL_SOUND_SPEED: f64 = 1_500.0;
+
+/// A depth-dependent sound-speed profile.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::sound::SoundSpeedProfile;
+///
+/// let ssp = SoundSpeedProfile::Constant(1500.0);
+/// assert_eq!(ssp.speed_at(0.0), 1500.0);
+/// assert_eq!(ssp.speed_at(5000.0), 1500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SoundSpeedProfile {
+    /// Uniform speed in m/s (the paper's model).
+    Constant(f64),
+    /// Linear gradient: `surface_speed + gradient * depth`, with speed in
+    /// m/s, gradient in (m/s)/m, and depth in m.
+    Linear {
+        /// Speed at the surface, m/s.
+        surface_speed: f64,
+        /// Change in speed per metre of depth.
+        gradient: f64,
+    },
+    /// Mackenzie (1981) nine-term equation at fixed temperature and salinity.
+    Mackenzie {
+        /// Water temperature, °C (valid −2…30).
+        temperature_c: f64,
+        /// Salinity, parts per thousand (valid 25…40).
+        salinity_ppt: f64,
+    },
+}
+
+impl Default for SoundSpeedProfile {
+    fn default() -> Self {
+        SoundSpeedProfile::Constant(NOMINAL_SOUND_SPEED)
+    }
+}
+
+impl SoundSpeedProfile {
+    /// Sound speed at `depth_m` metres, in m/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth_m` is negative or not finite.
+    pub fn speed_at(&self, depth_m: f64) -> f64 {
+        assert!(
+            depth_m.is_finite() && depth_m >= 0.0,
+            "depth must be finite and non-negative, got {depth_m}"
+        );
+        match *self {
+            SoundSpeedProfile::Constant(c) => c,
+            SoundSpeedProfile::Linear {
+                surface_speed,
+                gradient,
+            } => surface_speed + gradient * depth_m,
+            SoundSpeedProfile::Mackenzie {
+                temperature_c: t,
+                salinity_ppt: s,
+            } => mackenzie(t, s, depth_m),
+        }
+    }
+
+    /// Mean speed over the straight-line path between two depths, m/s.
+    ///
+    /// For the constant profile this is exact; for depth-varying profiles it
+    /// is the two-point trapezoidal average, which is accurate to well under
+    /// 0.1% for the gentle gradients found in seawater over ≤1.5 km paths.
+    pub fn mean_speed(&self, depth_a_m: f64, depth_b_m: f64) -> f64 {
+        0.5 * (self.speed_at(depth_a_m) + self.speed_at(depth_b_m))
+    }
+
+    /// One-way propagation delay in seconds over `distance_m` metres between
+    /// nodes at the given depths.
+    pub fn propagation_delay_secs(&self, distance_m: f64, depth_a_m: f64, depth_b_m: f64) -> f64 {
+        distance_m / self.mean_speed(depth_a_m, depth_b_m)
+    }
+}
+
+/// Mackenzie (1981) empirical sound speed, m/s.
+///
+/// `t` in °C, `s` in ppt, `d` in metres. Standard oceanographic reference
+/// equation, accurate to ~0.1 m/s inside its validity ranges.
+fn mackenzie(t: f64, s: f64, d: f64) -> f64 {
+    1448.96 + 4.591 * t - 5.304e-2 * t.powi(2) + 2.374e-4 * t.powi(3)
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * d
+        + 1.675e-7 * d.powi(2)
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * d.powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_is_constant() {
+        let ssp = SoundSpeedProfile::Constant(1500.0);
+        for d in [0.0, 10.0, 1_000.0, 10_000.0] {
+            assert_eq!(ssp.speed_at(d), 1500.0);
+        }
+    }
+
+    #[test]
+    fn default_is_paper_nominal() {
+        assert_eq!(SoundSpeedProfile::default().speed_at(0.0), 1_500.0);
+    }
+
+    #[test]
+    fn linear_profile_follows_gradient() {
+        let ssp = SoundSpeedProfile::Linear {
+            surface_speed: 1_490.0,
+            gradient: 0.017, // typical deep-isothermal pressure gradient
+        };
+        assert_eq!(ssp.speed_at(0.0), 1_490.0);
+        assert!((ssp.speed_at(1_000.0) - 1_507.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mackenzie_reference_value() {
+        // Hand-evaluated reference values at T=10 °C, S=35 ppt:
+        // surface -> 1489.80 m/s, 1000 m -> 1506.26 m/s.
+        let ssp = SoundSpeedProfile::Mackenzie {
+            temperature_c: 10.0,
+            salinity_ppt: 35.0,
+        };
+        let surface = ssp.speed_at(0.0);
+        assert!((surface - 1_489.80).abs() < 0.05, "got {surface}");
+        let v = ssp.speed_at(1_000.0);
+        assert!((v - 1_506.26).abs() < 0.05, "got {v}");
+    }
+
+    #[test]
+    fn mackenzie_speed_increases_with_depth_when_isothermal() {
+        let ssp = SoundSpeedProfile::Mackenzie {
+            temperature_c: 4.0,
+            salinity_ppt: 35.0,
+        };
+        let shallow = ssp.speed_at(100.0);
+        let deep = ssp.speed_at(4_000.0);
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn delay_matches_paper_numbers() {
+        // Paper §1: 1.5 km at 1.5 km/s -> ~1 s.
+        let ssp = SoundSpeedProfile::default();
+        let delay = ssp.propagation_delay_secs(1_500.0, 0.0, 0.0);
+        assert!((delay - 1.0).abs() < 1e-12);
+        // and 0.67 s/km
+        let per_km = ssp.propagation_delay_secs(1_000.0, 0.0, 0.0);
+        assert!((per_km - 0.6667).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_speed_is_trapezoidal() {
+        let ssp = SoundSpeedProfile::Linear {
+            surface_speed: 1_500.0,
+            gradient: 0.02,
+        };
+        assert!((ssp.mean_speed(0.0, 1_000.0) - 1_510.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_depth_panics() {
+        SoundSpeedProfile::default().speed_at(-1.0);
+    }
+}

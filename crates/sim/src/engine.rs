@@ -1,0 +1,318 @@
+//! Generic discrete-event run loop.
+//!
+//! The [`Engine`] owns an [`EventQueue`] and drives a caller-supplied
+//! [`World`]: pop the earliest event, hand it to the world together with a
+//! scheduling handle, repeat until the horizon, an event budget, or queue
+//! exhaustion. The world never touches the queue directly — it schedules via
+//! the [`Schedule`] handle it receives, which keeps the "no scheduling into
+//! the past" invariant enforceable in one place.
+
+use crate::event::{EventKey, EventQueue};
+use crate::time::SimTime;
+
+/// The simulation logic driven by an [`Engine`].
+pub trait World {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event. `sched` is used to schedule follow-up events.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Schedule<'_, Self::Event>);
+
+    /// Polled after every event; returning `true` ends the run with
+    /// [`StopReason::StoppedByWorld`]. Used for goal-directed runs such as
+    /// "stop when the whole batch is delivered".
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// Scheduling handle passed to [`World::handle`].
+#[derive(Debug)]
+pub struct Schedule<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<'a, E> Schedule<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time.
+    pub fn at(&mut self, at: SimTime, event: E) -> EventKey {
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn after(&mut self, delay: crate::time::SimDuration, event: E) -> EventKey {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a scheduled event; returns whether it was still pending.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No live events remained.
+    QueueExhausted,
+    /// The next event lay at or beyond the horizon.
+    HorizonReached,
+    /// The per-run event budget was consumed (runaway-protection).
+    BudgetExhausted,
+    /// The world's [`World::should_stop`] returned `true`.
+    StoppedByWorld,
+}
+
+/// Discrete-event engine: event queue + run loop + accounting.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::engine::{Engine, Schedule, StopReason, World};
+/// use uasn_sim::time::{SimDuration, SimTime};
+///
+/// struct Counter {
+///     fired: u32,
+/// }
+///
+/// impl World for Counter {
+///     type Event = ();
+///     fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Schedule<'_, ()>) {
+///         self.fired += 1;
+///         if self.fired < 5 {
+///             sched.after(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.seed_event(SimTime::ZERO, ());
+/// let mut world = Counter { fired: 0 };
+/// let reason = engine.run(&mut world, SimTime::from_secs(100));
+/// assert_eq!(world.fired, 5);
+/// assert_eq!(reason, StopReason::QueueExhausted);
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    budget: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at t = 0 with a generous default event budget.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            // A 300 s, 200-node run processes a few hundred thousand events;
+            // 500M is far beyond any legitimate configuration and exists only
+            // to turn an accidental infinite event loop into a clean stop.
+            budget: 500_000_000,
+        }
+    }
+
+    /// Overrides the runaway-protection event budget.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Schedules an initial event before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time.
+    pub fn seed_event(&mut self, at: SimTime, event: E) -> EventKey {
+        self.queue.schedule(at, event)
+    }
+
+    /// Current simulation time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs until the queue empties, the next event would land at or beyond
+    /// `horizon`, or the event budget runs out. Returns why it stopped.
+    ///
+    /// Events exactly at the horizon are **not** processed — a horizon of
+    /// 300 s means the simulated window is [0, 300).
+    pub fn run<W: World<Event = E>>(&mut self, world: &mut W, horizon: SimTime) -> StopReason {
+        loop {
+            if self.processed >= self.budget {
+                return StopReason::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::QueueExhausted,
+                Some(t) if t >= horizon => {
+                    self.now = horizon;
+                    return StopReason::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            self.now = t;
+            self.processed += 1;
+            let mut sched = Schedule {
+                queue: &mut self.queue,
+                now: t,
+            };
+            world.handle(t, ev, &mut sched);
+            if world.should_stop() {
+                return StopReason::StoppedByWorld;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Schedule<'_, u32>) {
+            self.seen.push((now, ev));
+            if ev == 1 {
+                // fan out two children at +1 s
+                sched.after(SimDuration::from_secs(1), 10);
+                sched.after(SimDuration::from_secs(1), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_events_in_order_until_exhausted() {
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::from_secs(1), 1);
+        engine.seed_event(SimTime::from_secs(3), 2);
+        let mut world = Recorder::default();
+        let reason = engine.run(&mut world, SimTime::from_secs(100));
+        assert_eq!(reason, StopReason::QueueExhausted);
+        let evs: Vec<u32> = world.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, [1, 10, 11, 2]);
+        assert_eq!(engine.processed(), 4);
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::from_secs(1), 1);
+        engine.seed_event(SimTime::from_secs(5), 2);
+        let mut world = Recorder::default();
+        let reason = engine.run(&mut world, SimTime::from_secs(5));
+        assert_eq!(reason, StopReason::HorizonReached);
+        // event at exactly t=5 not processed; engine clock parked at horizon
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+        let evs: Vec<u32> = world.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, [1, 10, 11]);
+    }
+
+    #[test]
+    fn budget_stops_runaway_loops() {
+        struct Loopy;
+        impl World for Loopy {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Schedule<'_, ()>) {
+                sched.after(SimDuration::from_micros(1), ());
+            }
+        }
+        let mut engine = Engine::new().with_event_budget(1_000);
+        engine.seed_event(SimTime::ZERO, ());
+        let reason = engine.run(&mut Loopy, SimTime::MAX);
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(engine.processed(), 1_000);
+    }
+
+    #[test]
+    fn cancel_through_schedule_handle() {
+        struct Canceller {
+            fired: Vec<u32>,
+        }
+        impl World for Canceller {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Schedule<'_, u32>) {
+                self.fired.push(ev);
+                if ev == 1 {
+                    let doomed = sched.after(SimDuration::from_secs(2), 99);
+                    sched.after(SimDuration::from_secs(1), 2);
+                    assert!(sched.cancel(doomed));
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::ZERO, 1);
+        let mut world = Canceller { fired: Vec::new() };
+        engine.run(&mut world, SimTime::MAX);
+        assert_eq!(world.fired, [1, 2]);
+    }
+
+    #[test]
+    fn resumable_runs_continue_from_horizon() {
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::from_secs(1), 1);
+        engine.seed_event(SimTime::from_secs(10), 2);
+        let mut world = Recorder::default();
+        engine.run(&mut world, SimTime::from_secs(5));
+        assert_eq!(world.seen.len(), 3);
+        let reason = engine.run(&mut world, SimTime::from_secs(20));
+        assert_eq!(reason, StopReason::QueueExhausted);
+        assert_eq!(world.seen.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod stop_tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct StopAtThree(u32);
+    impl World for StopAtThree {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Schedule<'_, ()>) {
+            self.0 += 1;
+            sched.after(SimDuration::from_secs(1), ());
+        }
+        fn should_stop(&self) -> bool {
+            self.0 >= 3
+        }
+    }
+
+    #[test]
+    fn world_can_request_stop() {
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::ZERO, ());
+        let mut world = StopAtThree(0);
+        let reason = engine.run(&mut world, SimTime::MAX);
+        assert_eq!(reason, StopReason::StoppedByWorld);
+        assert_eq!(world.0, 3);
+    }
+}

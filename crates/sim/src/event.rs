@@ -1,0 +1,318 @@
+//! Event queue for the discrete-event kernel.
+//!
+//! The queue is a binary min-heap keyed on `(time, sequence)`. The sequence
+//! number is a monotonically increasing tiebreaker so that events scheduled
+//! at the same instant pop in **insertion order** — the property that makes
+//! whole-network runs bit-for-bit reproducible across platforms regardless of
+//! `BinaryHeap`'s internal (unstable) ordering of equal keys.
+//!
+//! Events support O(log n) lazy cancellation via [`EventKey`] handles.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable to cancel it before it fires.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::event::EventQueue;
+/// use uasn_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let key = q.schedule(SimTime::from_secs(1), "timer");
+/// q.cancel(key);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Min-heap ordering: BinaryHeap is a max-heap, so reverse the comparison.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic future-event list.
+///
+/// `E` is the caller's event payload type. Events at equal times are
+/// delivered in the order they were scheduled.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::event::EventQueue;
+/// use uasn_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(2), "c");
+///
+/// let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers currently pending in the heap.
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    /// Time of the most recently popped event; schedules may never precede it.
+    watermark: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the watermark at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// Returns a key that can later be passed to [`cancel`](Self::cancel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the time of the last event popped — the
+    /// simulation cannot schedule into its own past.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventKey {
+        assert!(
+            time >= self.watermark,
+            "cannot schedule event at {time} before current time {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { time, seq, payload });
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (and is now guaranteed
+    /// never to fire), `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if !self.live.remove(&key.0) {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    /// Removes and returns the next live event as `(time, payload)`.
+    ///
+    /// Returns `None` when the queue holds no live events. Advances the
+    /// watermark to the popped event's time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            self.watermark = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The time of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The time of the most recently popped event.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Total events ever scheduled (live, fired, and cancelled).
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_twice_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false_and_is_harmless() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 7);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 7)));
+        assert!(!q.cancel(a));
+        // A later event with a fresh seq must not be affected.
+        q.schedule(SimTime::from_secs(2), 8);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 8)));
+    }
+
+    #[test]
+    fn cancel_bogus_key_returns_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(4), ());
+    }
+
+    #[test]
+    fn scheduling_at_current_time_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 1);
+        q.pop();
+        // Zero-delay follow-up events are a normal DES idiom.
+        q.schedule(SimTime::from_secs(5), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 2)));
+    }
+
+    #[test]
+    fn watermark_tracks_progress() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.watermark(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(9), ());
+        q.pop();
+        assert_eq!(q.watermark(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        // Simulates event handlers scheduling follow-ups; ordering must stay
+        // reproducible.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        let mut fired = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            fired.push(e);
+            if e < 5 {
+                q.schedule(t + crate::time::SimDuration::from_secs(1), e + 1);
+                q.schedule(t + crate::time::SimDuration::from_secs(1), e + 100);
+            }
+        }
+        assert_eq!(fired, [1, 2, 101, 3, 102, 4, 103, 5, 104]);
+    }
+}

@@ -1,0 +1,621 @@
+//! Statistics primitives for simulation measurement.
+//!
+//! Everything here is streaming (O(1) memory per sample unless noted) so a
+//! 300-second, 200-node run can record millions of observations without
+//! blowing up. [`Accumulator`] uses Welford's algorithm for numerically
+//! stable mean/variance; [`TimeWeighted`] integrates a piecewise-constant
+//! signal over simulation time (used for time-in-state energy accounting);
+//! [`Histogram`] gives fixed-width bins for delay distributions;
+//! [`Replications`] summarises across independent seeds with a 95% CI.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert_eq!(acc.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN — a NaN observation is always a bug upstream.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation added to accumulator");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n − 1 denominator); 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Feed it `set(t, value)` whenever the signal changes; the integral between
+/// updates is accumulated automatically. Used for channel-occupancy and
+/// power-state accounting.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::stats::TimeWeighted;
+/// use uasn_sim::time::SimTime;
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.set(SimTime::from_secs(10), 1.0); // signal was 0.0 for 10 s
+/// tw.set(SimTime::from_secs(30), 0.0); // signal was 1.0 for 20 s
+/// assert!((tw.average(SimTime::from_secs(40)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    current: f64,
+    integral: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial value `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            current: initial,
+            integral: 0.0,
+            start,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes the previous update.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        debug_assert!(t >= self.last_time, "time-weighted update out of order");
+        self.integral += self.current * t.duration_since(self.last_time).as_secs_f64();
+        self.last_time = t;
+        self.current = value;
+    }
+
+    /// The current signal value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Integral of the signal from start through `now`.
+    pub fn integral(&self, now: SimTime) -> f64 {
+        self.integral + self.current * now.duration_since(self.last_time).as_secs_f64()
+    }
+
+    /// Time-average of the signal from start through `now`; 0 over an empty
+    /// window.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let span = now.duration_since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.integral(now) / span
+        }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range samples clamped
+/// into the edge bins.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.add(0.5);
+/// h.add(9.5);
+/// h.add(100.0); // clamped into the last bin
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(9), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Adds a sample, clamping out-of-range values to the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let n = self.bins.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * n as f64) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The sample value at quantile `q` (0..=1), estimated from bin
+    /// midpoints; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Iterates `(bin_midpoint, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+    }
+}
+
+/// Cross-seed replication summary: mean and half-width of the 95% CI.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::stats::Replications;
+///
+/// let r: Replications = [10.0, 12.0, 11.0, 9.0].into_iter().collect();
+/// assert_eq!(r.mean(), 10.5);
+/// assert!(r.ci95_halfwidth() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replications {
+    acc: Accumulator,
+    samples: Vec<f64>,
+}
+
+impl Replications {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the result of one replication.
+    pub fn add(&mut self, x: f64) {
+        self.acc.add(x);
+        self.samples.push(x);
+    }
+
+    /// The individual replication results, in insertion (seed) order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of replications.
+    pub fn count(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Mean across replications.
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (1.96 × s/√n); 0 with fewer than two replications.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        let n = self.acc.count();
+        if n < 2 {
+            0.0
+        } else {
+            1.96 * self.acc.std_dev() / (n as f64).sqrt()
+        }
+    }
+}
+
+impl FromIterator<f64> for Replications {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut r = Replications::new();
+        for x in iter {
+            r.add(x);
+        }
+        r
+    }
+}
+
+impl Extend<f64> for Replications {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl fmt::Display for Replications {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean(), self.ci95_halfwidth())
+    }
+}
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)` — 1.0 when perfectly equal, → 1/n when one
+/// allocation dominates. Entries that are all zero yield 0.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::stats::jain_fairness;
+///
+/// assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+/// assert!(jain_fairness(&[10.0, 0.0, 0.0]) < 0.4);
+/// assert_eq!(jain_fairness(&[]), 0.0);
+/// ```
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum <= 0.0 {
+        0.0
+    } else {
+        sum * sum / (allocations.len() as f64 * sq_sum)
+    }
+}
+
+/// Paired-difference summary of two replication sets run on the **same
+/// seeds in the same order**: mean of `a_i − b_i` and its 95% CI
+/// half-width. Pairing removes the common topology/traffic variance, so
+/// protocol orderings become testable with few seeds.
+///
+/// # Panics
+///
+/// Panics if the two sets have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::stats::{paired_diff, Replications};
+///
+/// let a: Replications = [2.0, 3.0, 4.0].into_iter().collect();
+/// let b: Replications = [1.0, 2.5, 3.0].into_iter().collect();
+/// let d = paired_diff(&a, &b);
+/// assert!(d.mean() > 0.0);
+/// ```
+pub fn paired_diff(a: &Replications, b: &Replications) -> Replications {
+    assert_eq!(
+        a.samples().len(),
+        b.samples().len(),
+        "paired difference needs equally many replications"
+    );
+    a.samples()
+        .iter()
+        .zip(b.samples())
+        .map(|(x, y)| x - y)
+        .collect()
+}
+
+/// Converts a bit count and a duration into a rate in kilobits per second —
+/// the unit every figure in the paper is plotted in.
+pub fn kbps(bits: u64, over: SimDuration) -> f64 {
+    let secs = over.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bits as f64 / secs / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_mean_and_variance() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(9.0));
+        assert!((a.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_empty_is_benign() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn accumulator_rejects_nan() {
+        Accumulator::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_combined() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0];
+        let mut whole = Accumulator::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &data[..3] {
+            left.add(x);
+        }
+        for &x in &data[3..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        a.add(3.0);
+        let b = Accumulator::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Accumulator::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_integrates_steps() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.set(SimTime::from_secs(5), 4.0);
+        // 5 s at 2.0 = 10; then 10 s at 4.0 = 40.
+        assert!((tw.integral(SimTime::from_secs(15)) - 50.0).abs() < 1e-9);
+        assert!((tw.average(SimTime::from_secs(15)) - 50.0 / 15.0).abs() < 1e-9);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_window_average_is_zero() {
+        let tw = TimeWeighted::new(SimTime::from_secs(3), 7.0);
+        assert_eq!(tw.average(SimTime::from_secs(3)), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(0.1);
+        h.add(0.3);
+        h.add(0.99);
+        h.add(2.0);
+        assert_eq!(h.bin_count(0), 2); // -5 clamped + 0.1
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(3), 2); // 0.99 + 2.0 clamped
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 49.5).abs() <= 1.0, "median {median}");
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn replications_ci() {
+        let r: Replications = [10.0; 5].into_iter().collect();
+        assert_eq!(r.mean(), 10.0);
+        assert_eq!(r.ci95_halfwidth(), 0.0); // zero variance
+
+        let r2: Replications = [8.0, 12.0].into_iter().collect();
+        assert!(r2.ci95_halfwidth() > 0.0);
+        assert_eq!(r2.count(), 2);
+    }
+
+    #[test]
+    fn paired_diff_cancels_common_variance() {
+        // Common per-seed offsets cancel exactly in the pairing.
+        let offsets = [10.0, 50.0, 20.0, 80.0];
+        let a: Replications = offsets.iter().map(|o| o + 2.0).collect();
+        let b: Replications = offsets.iter().copied().collect();
+        let d = paired_diff(&a, &b);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!(d.ci95_halfwidth() < 1e-9, "pairing must remove the variance");
+        // Unpaired CIs are huge by comparison.
+        assert!(a.ci95_halfwidth() > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally many")]
+    fn paired_diff_rejects_mismatched_lengths() {
+        let a: Replications = [1.0].into_iter().collect();
+        let b: Replications = [1.0, 2.0].into_iter().collect();
+        let _ = paired_diff(&a, &b);
+    }
+
+    #[test]
+    fn samples_are_retained_in_order() {
+        let r: Replications = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(r.samples(), &[3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn replications_display() {
+        let r: Replications = [1.0, 3.0].into_iter().collect();
+        // std dev = sqrt(2), n = 2 -> 1.96 * sqrt(2)/sqrt(2) = 1.96
+        assert_eq!(format!("{r}"), "2.0000 ± 1.9600");
+    }
+
+    #[test]
+    fn jain_fairness_properties() {
+        assert_eq!(jain_fairness(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+        let skewed = jain_fairness(&[100.0, 1.0, 1.0, 1.0]);
+        assert!(skewed < 0.5, "skewed allocations score low: {skewed}");
+        // scale invariance
+        let a = jain_fairness(&[1.0, 2.0, 3.0]);
+        let b = jain_fairness(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+        // bounded by (1/n, 1]
+        assert!(jain_fairness(&[7.0, 0.0]) >= 0.5);
+    }
+
+    #[test]
+    fn kbps_conversion() {
+        assert!((kbps(12_000, SimDuration::from_secs(1)) - 12.0).abs() < 1e-12);
+        assert!((kbps(2_048, SimDuration::from_secs(2)) - 1.024).abs() < 1e-12);
+        assert_eq!(kbps(1_000, SimDuration::ZERO), 0.0);
+    }
+}

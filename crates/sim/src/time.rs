@@ -1,0 +1,453 @@
+//! Simulation time and duration types.
+//!
+//! All simulation time in this workspace is kept as **integer microseconds**.
+//! Underwater acoustic MAC protocols juggle quantities spanning six orders of
+//! magnitude — a 64-bit control packet at 12 kbps lasts ~5.3 ms while a slot
+//! lasts just over a second and a run lasts 300 s — and floating-point
+//! accumulation error in the event queue would make runs seed-irreproducible.
+//! Integer microseconds give exact, total ordering with range to spare
+//! (2^63 µs ≈ 292 000 years).
+//!
+//! [`SimTime`] is an absolute instant since simulation start; [`SimDuration`]
+//! is a length of time. The two are kept distinct so that the type system
+//! rules out `instant + instant` style bugs (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant in simulation time, in microseconds since simulation
+/// start.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::time::SimDuration;
+///
+/// let slot = SimDuration::from_micros(1_005_333);
+/// assert!((slot.as_secs_f64() - 1.005333).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_micros(secs))
+    }
+
+    /// Raw microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating instant + duration (never overflows past [`SimTime::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Checked instant − duration; `None` if the result would precede t = 0.
+    #[inline]
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_micros(secs))
+    }
+
+    /// Raw microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Whether this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Duration scaled by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
+
+    /// How many whole `other` periods fit in `self`, and the remainder.
+    ///
+    /// This is the primitive behind slot arithmetic: `t.div_rem(slot)` yields
+    /// the slot index and the offset within the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[inline]
+    pub fn div_rem(self, other: SimDuration) -> (u64, SimDuration) {
+        assert!(!other.is_zero(), "div_rem by zero duration");
+        (self.0 / other.0, SimDuration(self.0 % other.0))
+    }
+
+    /// Ceiling division: the least `n` with `n * other >= self`.
+    ///
+    /// Used by Eq 5 of the paper to find the Ack slot:
+    /// `ceil((TD + tau) / |ts|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[inline]
+    pub fn div_ceil(self, other: SimDuration) -> u64 {
+        assert!(!other.is_zero(), "div_ceil by zero duration");
+        self.0.div_ceil(other.0)
+    }
+}
+
+fn secs_to_micros(secs: f64) -> u64 {
+    assert!(
+        secs.is_finite() && secs >= 0.0,
+        "time must be finite and non-negative, got {secs}"
+    );
+    let micros = secs * MICROS_PER_SEC as f64;
+    assert!(
+        micros <= u64::MAX as f64,
+        "time {secs} s overflows the microsecond representation"
+    );
+    micros.round() as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation time overflow"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflow (before t = 0)"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        std::time::Duration::from_micros(d.as_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(1e-6).as_micros(), 1);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_nearest() {
+        // 0.2 s is not exactly representable in binary; rounding must land on
+        // 200_000 µs exactly.
+        assert_eq!(SimDuration::from_secs_f64(0.2).as_micros(), 200_000);
+        assert_eq!(SimDuration::from_secs_f64(0.3).as_micros(), 300_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_seconds_panics() {
+        let _ = SimTime::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn instant_duration_arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(3);
+        assert_eq!(t + d, SimTime::from_secs(13));
+        assert_eq!(t - d, SimTime::from_secs(7));
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_since_is_difference() {
+        let a = SimTime::from_micros(1_000);
+        let b = SimTime::from_micros(4_500);
+        assert_eq!(b.duration_since(a), SimDuration::from_micros(3_500));
+        assert_eq!(b - a, SimDuration::from_micros(3_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtracting_past_zero_panics() {
+        let _ = SimTime::from_secs(1) - SimDuration::from_secs(2);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
+        assert_eq!(SimTime::from_secs(1).checked_sub(SimDuration::from_secs(2)), None);
+        assert_eq!(
+            SimTime::from_secs(2).checked_sub(SimDuration::from_secs(2)),
+            Some(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn div_rem_splits_into_slots() {
+        let slot = SimDuration::from_micros(1_005_333);
+        let elapsed = SimDuration::from_micros(3 * 1_005_333 + 17);
+        let (slots, rem) = elapsed.div_rem(slot);
+        assert_eq!(slots, 3);
+        assert_eq!(rem, SimDuration::from_micros(17));
+    }
+
+    #[test]
+    fn div_ceil_matches_paper_eq5_semantics() {
+        let slot = SimDuration::from_secs(1);
+        // exactly one slot -> 1
+        assert_eq!(SimDuration::from_secs(1).div_ceil(slot), 1);
+        // a hair over one slot -> 2
+        assert_eq!(SimDuration::from_micros(1_000_001).div_ceil(slot), 2);
+        // zero -> 0
+        assert_eq!(SimDuration::ZERO.div_ceil(slot), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "div_ceil by zero")]
+    fn div_ceil_by_zero_panics() {
+        let _ = SimDuration::from_secs(1).div_ceil(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        let mut times: Vec<SimTime> = [5u64, 1, 3, 2, 4].iter().map(|&s| SimTime::from_secs(s)).collect();
+        times.sort();
+        assert_eq!(
+            times,
+            (1..=5).map(SimTime::from_secs).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(SimTime::from_secs_f64(1.25).to_string(), "1.250000s");
+        assert_eq!(SimDuration::from_millis(2).to_string(), "0.002000s");
+    }
+
+    #[test]
+    fn converts_to_std_duration() {
+        let d: std::time::Duration = SimDuration::from_millis(1_500).into();
+        assert_eq!(d, std::time::Duration::from_millis(1_500));
+    }
+}

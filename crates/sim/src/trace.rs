@@ -1,0 +1,246 @@
+//! Lightweight event tracing.
+//!
+//! A [`Tracer`] collects timestamped, categorised records during a run.
+//! Protocol code emits records unconditionally; the tracer's level gate makes
+//! disabled tracing nearly free. The in-memory sink is what the integration
+//! tests use to assert fine-grained protocol behaviour (e.g. "no EXData
+//! overlapped a negotiated Data reception at any receiver").
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity/verbosity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Always-on: protocol violations, accounting mismatches.
+    Error,
+    /// Major protocol milestones: handshake completed, packet delivered.
+    Info,
+    /// Per-frame detail: every transmission, reception, collision.
+    Debug,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Error => "ERROR",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Debug => "DEBUG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened in simulation time.
+    pub time: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Which simulated entity produced it (node index), if any.
+    pub node: Option<usize>,
+    /// Short category tag, e.g. `"tx"`, `"rx"`, `"collision"`, `"extra"`.
+    pub tag: &'static str,
+    /// Free-form detail.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(
+                f,
+                "[{} {} n{} {}] {}",
+                self.time, self.level, n, self.tag, self.message
+            ),
+            None => write!(f, "[{} {} {}] {}", self.time, self.level, self.tag, self.message),
+        }
+    }
+}
+
+/// Collects trace records at or above a configured level.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_sim::trace::{Tracer, TraceLevel};
+/// use uasn_sim::time::SimTime;
+///
+/// let mut tracer = Tracer::capturing(TraceLevel::Info);
+/// tracer.record(SimTime::ZERO, TraceLevel::Info, Some(3), "tx", "RTS to n5".into());
+/// tracer.record(SimTime::ZERO, TraceLevel::Debug, Some(3), "rx", "ignored".into());
+/// assert_eq!(tracer.records().len(), 1); // Debug was below the gate
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    level: Option<TraceLevel>,
+    records: Vec<TraceRecord>,
+    capture: bool,
+    dropped: u64,
+    /// Safety valve so pathological runs can't exhaust memory.
+    capacity: usize,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that drops everything (the default for benchmark runs).
+    pub fn disabled() -> Self {
+        Tracer {
+            level: None,
+            records: Vec::new(),
+            capture: false,
+            dropped: 0,
+            capacity: 0,
+        }
+    }
+
+    /// A tracer that stores records at or above `level` in memory.
+    pub fn capturing(level: TraceLevel) -> Self {
+        Tracer {
+            level: Some(level),
+            records: Vec::new(),
+            capture: true,
+            dropped: 0,
+            capacity: 4_000_000,
+        }
+    }
+
+    /// Caps the number of stored records; further records are counted in
+    /// [`dropped`](Self::dropped) instead of stored.
+    pub fn with_capacity_limit(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Whether a record at `level` would be kept.
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        matches!(self.level, Some(gate) if level <= gate)
+    }
+
+    /// Records an event if the level gate admits it.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        node: Option<usize>,
+        tag: &'static str,
+        message: String,
+    ) {
+        if !self.enabled(level) {
+            return;
+        }
+        if self.capture {
+            if self.records.len() >= self.capacity {
+                self.dropped += 1;
+                return;
+            }
+            self.records.push(TraceRecord {
+                time,
+                level,
+                node,
+                tag,
+                message,
+            });
+        }
+    }
+
+    /// All stored records, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose tag matches `tag`.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// How many records were discarded due to the capacity limit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears stored records (the level gate is retained).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tracer: &mut Tracer, level: TraceLevel, tag: &'static str) {
+        tracer.record(SimTime::ZERO, level, Some(0), tag, String::new());
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_nothing() {
+        let mut t = Tracer::disabled();
+        rec(&mut t, TraceLevel::Error, "x");
+        assert!(t.records().is_empty());
+        assert!(!t.enabled(TraceLevel::Error));
+    }
+
+    #[test]
+    fn level_gate_orders_correctly() {
+        let t = Tracer::capturing(TraceLevel::Info);
+        assert!(t.enabled(TraceLevel::Error));
+        assert!(t.enabled(TraceLevel::Info));
+        assert!(!t.enabled(TraceLevel::Debug));
+    }
+
+    #[test]
+    fn records_are_stored_in_order() {
+        let mut t = Tracer::capturing(TraceLevel::Debug);
+        rec(&mut t, TraceLevel::Info, "a");
+        rec(&mut t, TraceLevel::Debug, "b");
+        let tags: Vec<&str> = t.records().iter().map(|r| r.tag).collect();
+        assert_eq!(tags, ["a", "b"]);
+    }
+
+    #[test]
+    fn with_tag_filters() {
+        let mut t = Tracer::capturing(TraceLevel::Debug);
+        rec(&mut t, TraceLevel::Info, "tx");
+        rec(&mut t, TraceLevel::Info, "rx");
+        rec(&mut t, TraceLevel::Info, "tx");
+        assert_eq!(t.with_tag("tx").count(), 2);
+        assert_eq!(t.with_tag("collision").count(), 0);
+    }
+
+    #[test]
+    fn capacity_limit_counts_drops() {
+        let mut t = Tracer::capturing(TraceLevel::Debug).with_capacity_limit(2);
+        for _ in 0..5 {
+            rec(&mut t, TraceLevel::Info, "x");
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert_eq!(t.records().len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn display_includes_node_and_tag() {
+        let r = TraceRecord {
+            time: SimTime::from_secs(1),
+            level: TraceLevel::Info,
+            node: Some(7),
+            tag: "tx",
+            message: "hello".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("n7"), "{s}");
+        assert!(s.contains("tx"), "{s}");
+        assert!(s.contains("hello"), "{s}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Packet-size study (Table 2's 1024–4096-bit sweep; §2's argument that
+//! long propagation delays favour large packets): fixed offered load in
+//! bits, varying how many bits ride in each data packet.
+//!
+//! ```text
+//! cargo run --release --example packet_size_study
+//! ```
+
+use uasn::bench::{run_replicated, Protocol};
+use uasn::net::config::SimConfig;
+
+fn main() {
+    println!("60 sensors, offered load 0.8 kbps, data packet size sweep\n");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}{:>16}",
+        "data bits", "S-FAMA", "ROPA", "CS-MAC", "EW-MAC", "EW J/kbit"
+    );
+    for bits in [1_024u32, 2_048, 3_072, 4_096] {
+        let cfg = SimConfig::paper_default()
+            .with_offered_load_kbps(0.8)
+            .with_data_bits(bits)
+            .with_mobility(1.0);
+        print!("{bits:<12}");
+        let mut ew_energy = 0.0;
+        for p in Protocol::PAPER_SET {
+            let s = run_replicated(&cfg, p, 4);
+            print!("{:>12.3}", s.throughput_kbps.mean());
+            if p == Protocol::EwMac {
+                ew_energy = s.energy_per_kbit.mean();
+            }
+        }
+        println!("{ew_energy:>16.2}");
+    }
+    println!("\nLarger packets amortise the ω + τmax slot cost for every");
+    println!("protocol; the reuse mechanisms matter most at small-to-medium");
+    println!("sizes where idle windows still fit an extra transmission.");
+}

@@ -1,0 +1,40 @@
+//! Head-to-head comparison of EW-MAC against the paper's three baselines
+//! (and the ALOHA sanity floor) on one operating point.
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison [load_kbps] [seeds]
+//! ```
+
+use uasn::bench::{run_replicated, Protocol};
+use uasn::net::config::SimConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let load: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.8);
+    let seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let cfg = SimConfig::paper_default()
+        .with_offered_load_kbps(load)
+        .with_mobility(1.0);
+
+    println!("offered load {load} kbps, {seeds} seeds, Table-2 network with drift\n");
+    println!(
+        "{:<10}{:>14}{:>14}{:>14}{:>12}{:>12}",
+        "protocol", "tpt (kbps)", "J/kbit", "overhead", "collisions", "latency(s)"
+    );
+    let mut protocols = Protocol::PAPER_SET.to_vec();
+    protocols.push(Protocol::Aloha);
+    for p in protocols {
+        let s = run_replicated(&cfg, p, seeds);
+        println!(
+            "{:<10}{:>14}{:>14.2}{:>14.0}{:>12.0}{:>12.1}",
+            p.name(),
+            format!("{}", s.throughput_kbps),
+            s.energy_per_kbit.mean(),
+            s.overhead_bits.mean(),
+            s.collisions.mean(),
+            s.latency_s.mean(),
+        );
+    }
+    println!("\n(throughput shown as mean ± 95% CI over seeds)");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run EW-MAC on the paper's Table-2 network and print the
+//! headline metrics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use uasn::ewmac::{EwMac, EwMacConfig};
+use uasn::net::config::SimConfig;
+use uasn::net::mac::MacProtocol;
+use uasn::net::node::NodeId;
+use uasn::net::world::Simulation;
+
+fn main() {
+    // Table 2: 60 sensors, 12 kbps, 1.5 km range, 64-bit control packets,
+    // 2048-bit data packets, 300 s.
+    let cfg = SimConfig::paper_default().with_offered_load_kbps(0.8);
+
+    let factory = |id: NodeId| -> Box<dyn MacProtocol> {
+        Box::new(EwMac::new(id, EwMacConfig::default()))
+    };
+
+    let sim = Simulation::new(cfg, &factory).expect("paper defaults are valid");
+    println!(
+        "network: {} nodes, slot length {}",
+        sim.positions().len(),
+        sim.slot_clock().slot_len()
+    );
+
+    let report = sim.run();
+    println!("protocol:            {}", report.protocol);
+    println!("throughput (Eq 3):   {:.3} kbps", report.throughput_kbps);
+    println!("delivered SDUs:      {} / {} generated", report.sdus_received, report.sdus_generated);
+    println!("  via extra comms:   {} bits", report.extra_bits_received);
+    println!("reached the surface: {} bits", report.sink_bits_received);
+    println!("mean power:          {:.1} mW", report.avg_power_mw);
+    println!("energy per kbit:     {:.2} J", report.energy_per_kbit_j());
+    println!("overhead bits:       {}", report.overhead_bits);
+    println!("collisions:          {}", report.collisions);
+    println!("mean MAC latency:    {:.1} s", report.mean_latency_s);
+}

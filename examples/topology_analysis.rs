@@ -1,0 +1,54 @@
+//! Static diagnosis of the evaluation topology: hidden-terminal exposure,
+//! link-delay distribution, route depth, and the total waiting resource a
+//! single exchange leaves exploitable — the quantities behind the paper's
+//! Fig 2 geometry and Fig 7 density argument.
+//!
+//! ```text
+//! cargo run --release --example topology_analysis
+//! ```
+
+use rand::SeedableRng;
+
+use uasn::net::analysis::{analyze_topology, exploitable_window};
+use uasn::net::topology::Deployment;
+use uasn::phy::channel::AcousticChannel;
+use uasn::sim::time::SimDuration;
+
+fn main() {
+    let channel = AcousticChannel::paper_default();
+    let slot = SimDuration::from_micros(1_005_333);
+    let omega = SimDuration::from_micros(5_333);
+
+    println!(
+        "{:<9}{:>8}{:>10}{:>14}{:>12}{:>14}{:>12}{:>16}",
+        "sensors", "links", "degree", "hidden-pairs", "hidden-%", "hop-tau(s)", "hops", "mean-window(s)"
+    );
+    for n in [60u32, 100, 140, 200] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let nodes = Deployment::paper_column_for(n)
+            .generate(&mut rng, n, 3, channel.max_range_m())
+            .expect("column generates");
+        let a = analyze_topology(&nodes, &channel);
+        // Mean exploitable window for a loser at the mean link delay when
+        // the pair sits at the mean *routing* hop delay.
+        let pair_tau = SimDuration::from_secs_f64(a.route_delay_stats.mean());
+        let loser_tau = SimDuration::from_secs_f64(a.delay_stats.mean());
+        let window = exploitable_window(slot, omega, pair_tau, loser_tau);
+        println!(
+            "{:<9}{:>8}{:>10.1}{:>14}{:>12.2}{:>14.3}{:>12.1}{:>16.3}",
+            n,
+            a.links,
+            a.mean_degree,
+            a.hidden_pairs,
+            100.0 * a.hidden_ratio,
+            a.route_delay_stats.mean(),
+            a.mean_route_hops,
+            window.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nDensity multiplies audible degree and hidden-terminal pairs while\n\
+         min-depth routing keeps hop delays near the range limit: the Fig-7\n\
+         squeeze on the reuse protocols comes from contention, not geometry."
+    );
+}

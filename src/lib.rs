@@ -1,0 +1,52 @@
+//! # uasn — EW-MAC and its underwater acoustic network stack
+//!
+//! A full reproduction of **EW-MAC** (Hung & Luo, *A Protocol for Efficient
+//! Transmissions in UASNs*, IEEE ICDCSW 2013; extended as *Protocol to
+//! Exploit Waiting Resources for UASNs*, Sensors 2016): a slotted MAC
+//! protocol for underwater acoustic sensor networks that exploits the
+//! predictable idle windows of negotiated neighbours for interference-free
+//! extra communications.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event kernel |
+//! | [`phy`] | acoustic channel, modem, energy, mobility |
+//! | [`net`] | packets, topology, traffic, routing, the simulator |
+//! | [`ewmac`] | the EW-MAC protocol (the paper's contribution) |
+//! | [`baselines`] | S-FAMA, ROPA, CS-MAC, ALOHA |
+//! | [`bench`](mod@bench) | the §5 experiment harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uasn::ewmac::{EwMac, EwMacConfig};
+//! use uasn::net::config::SimConfig;
+//! use uasn::net::node::NodeId;
+//! use uasn::net::world::Simulation;
+//! use uasn::sim::time::SimDuration;
+//!
+//! let cfg = SimConfig::paper_default()
+//!     .with_sensors(12)
+//!     .with_offered_load_kbps(0.4)
+//!     .with_sim_time(SimDuration::from_secs(60));
+//! let factory = |id: NodeId| -> Box<dyn uasn::net::mac::MacProtocol> {
+//!     Box::new(EwMac::new(id, EwMacConfig::default()))
+//! };
+//! let report = Simulation::new(cfg, &factory).expect("valid config").run();
+//! println!(
+//!     "EW-MAC: {:.3} kbps, {:.1} mW, {} collisions",
+//!     report.throughput_kbps, report.avg_power_mw, report.collisions
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use uasn_baselines as baselines;
+pub use uasn_bench as bench;
+pub use uasn_ewmac as ewmac;
+pub use uasn_net as net;
+pub use uasn_phy as phy;
+pub use uasn_sim as sim;

@@ -1,0 +1,202 @@
+//! `uasn` — command-line runner for single simulations.
+//!
+//! ```text
+//! uasn [--protocol ew-mac|sfama|ropa|cs-mac|aloha|ew-mac-no-extra|all]
+//!      [--sensors N] [--sinks N] [--load KBPS | --batch-load KBPS]
+//!      [--time SECS] [--seed N] [--mobility M_PER_S] [--data-bits N]
+//!      [--hello-init] [--csv]
+//! ```
+//!
+//! Prints a human-readable report, or one CSV line with `--csv` (header on
+//! stderr) for scripting sweeps beyond what `uasn-bench` ships.
+
+use std::process::ExitCode;
+
+use uasn::bench::{run_once, Protocol};
+use uasn::net::config::SimConfig;
+use uasn::sim::time::SimDuration;
+
+struct Options {
+    protocol: Option<Protocol>, // None = compare all
+    cfg: SimConfig,
+    csv: bool,
+}
+
+fn parse_protocol(name: &str) -> Option<Protocol> {
+    match name.to_ascii_lowercase().as_str() {
+        "ew-mac" | "ewmac" | "ew" => Some(Protocol::EwMac),
+        "ew-mac-no-extra" | "no-extra" => Some(Protocol::EwMacNoExtra),
+        "sfama" | "s-fama" => Some(Protocol::SFama),
+        "ropa" => Some(Protocol::Ropa),
+        "cs-mac" | "csmac" => Some(Protocol::CsMac),
+        "aloha" => Some(Protocol::Aloha),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut protocol = Some(Protocol::EwMac);
+    let mut cfg = SimConfig::paper_default();
+    let mut csv = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--protocol" | "-p" => {
+                let v = value("--protocol")?;
+                if v.eq_ignore_ascii_case("all") {
+                    protocol = None;
+                } else {
+                    protocol = Some(
+                        parse_protocol(&v).ok_or_else(|| format!("unknown protocol `{v}`"))?,
+                    );
+                }
+            }
+            "--sensors" => {
+                cfg.sensors = value("--sensors")?
+                    .parse()
+                    .map_err(|e| format!("--sensors: {e}"))?;
+            }
+            "--sinks" => {
+                cfg.sinks = value("--sinks")?
+                    .parse()
+                    .map_err(|e| format!("--sinks: {e}"))?;
+            }
+            "--load" => {
+                let v: f64 = value("--load")?.parse().map_err(|e| format!("--load: {e}"))?;
+                cfg = cfg.with_offered_load_kbps(v);
+            }
+            "--batch-load" => {
+                let v: f64 = value("--batch-load")?
+                    .parse()
+                    .map_err(|e| format!("--batch-load: {e}"))?;
+                cfg = cfg.with_batch_load_kbps(v);
+            }
+            "--time" => {
+                let v: u64 = value("--time")?.parse().map_err(|e| format!("--time: {e}"))?;
+                cfg = cfg.with_sim_time(SimDuration::from_secs(v));
+            }
+            "--seed" => {
+                let v: u64 = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                cfg = cfg.with_seed(v);
+            }
+            "--mobility" => {
+                let v: f64 = value("--mobility")?
+                    .parse()
+                    .map_err(|e| format!("--mobility: {e}"))?;
+                cfg = cfg.with_mobility(v);
+            }
+            "--data-bits" => {
+                let v: u32 = value("--data-bits")?
+                    .parse()
+                    .map_err(|e| format!("--data-bits: {e}"))?;
+                cfg = cfg.with_data_bits(v);
+            }
+            "--hello-init" => cfg = cfg.with_hello_init(),
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                return Err("usage: uasn [--protocol P] [--sensors N] [--sinks N] \
+                            [--load KBPS | --batch-load KBPS] [--time SECS] [--seed N] \
+                            [--mobility M/S] [--data-bits N] [--hello-init] [--csv]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(Options { protocol, cfg, csv })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = opts.cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let Some(protocol) = opts.protocol else {
+        // Comparison mode: one row per protocol.
+        println!(
+            "{:<18}{:>12}{:>12}{:>12}{:>12}{:>10}",
+            "protocol", "tpt kbps", "J/kbit", "overhead", "collisions", "fairness"
+        );
+        for p in [
+            Protocol::SFama,
+            Protocol::Ropa,
+            Protocol::CsMac,
+            Protocol::EwMac,
+            Protocol::EwMacNoExtra,
+            Protocol::EwMacAggregated,
+            Protocol::Aloha,
+        ] {
+            let r = run_once(&opts.cfg, p);
+            println!(
+                "{:<18}{:>12.3}{:>12.2}{:>12}{:>12}{:>10.3}",
+                p.name(),
+                r.throughput_kbps,
+                r.energy_per_kbit_j(),
+                r.overhead_bits,
+                r.collisions,
+                r.fairness_index
+            );
+        }
+        return ExitCode::SUCCESS;
+    };
+    let report = run_once(&opts.cfg, protocol);
+    if opts.csv {
+        eprintln!(
+            "protocol,nodes,duration_s,throughput_kbps,data_bits_received,extra_bits,\
+             sink_bits,avg_power_mw,energy_per_kbit_j,overhead_bits,collisions,\
+             mean_latency_s,completion_time_s"
+        );
+        println!(
+            "{},{},{},{:.6},{},{},{},{:.3},{:.4},{},{},{:.3},{}",
+            report.protocol,
+            report.nodes,
+            report.duration.as_secs_f64(),
+            report.throughput_kbps,
+            report.data_bits_received,
+            report.extra_bits_received,
+            report.sink_bits_received,
+            report.avg_power_mw,
+            report.energy_per_kbit_j(),
+            report.overhead_bits,
+            report.collisions,
+            report.mean_latency_s,
+            report
+                .completion_time
+                .map(|t| format!("{:.3}", t.as_secs_f64()))
+                .unwrap_or_default(),
+        );
+    } else {
+        println!("protocol:          {}", report.protocol);
+        println!("nodes:             {}", report.nodes);
+        println!("window:            {}", report.duration);
+        println!("throughput:        {:.3} kbps (Eq 3)", report.throughput_kbps);
+        println!(
+            "delivered:         {} SDUs / {} generated ({} dropped, {} unroutable)",
+            report.sdus_received, report.sdus_generated, report.sdus_dropped, report.unroutable
+        );
+        println!("extra comms:       {} bits", report.extra_bits_received);
+        println!("reached surface:   {} bits", report.sink_bits_received);
+        println!("mean power:        {:.1} mW", report.avg_power_mw);
+        println!("energy:            {:.2} J/kbit", report.energy_per_kbit_j());
+        println!("overhead:          {} bits (§5.3)", report.overhead_bits);
+        println!("collisions:        {}", report.collisions);
+        println!("half-duplex loss:  {}", report.half_duplex_losses);
+        println!("mean latency:      {:.1} s", report.mean_latency_s);
+        println!("fairness (Jain):   {:.3}", report.fairness_index);
+        if let Some(t) = report.completion_time {
+            println!("batch completed:   {t}");
+        }
+    }
+    ExitCode::SUCCESS
+}

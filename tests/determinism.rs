@@ -1,0 +1,76 @@
+//! Reproducibility: identical seeds replay bit-for-bit; different seeds
+//! genuinely differ; and random configurations in a sane envelope always
+//! build and run (property test).
+
+use proptest::prelude::*;
+
+use uasn::bench::{run_once, Protocol};
+use uasn::net::config::SimConfig;
+use uasn::sim::time::SimDuration;
+
+fn base_cfg(seed: u64) -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(14)
+        .with_offered_load_kbps(0.4)
+        .with_sim_time(SimDuration::from_secs(90))
+        .with_seed(seed)
+}
+
+#[test]
+fn identical_seeds_replay_identically() {
+    for p in [Protocol::EwMac, Protocol::SFama, Protocol::Ropa, Protocol::CsMac] {
+        let a = run_once(&base_cfg(42), p);
+        let b = run_once(&base_cfg(42), p);
+        assert_eq!(a, b, "{}: same seed diverged", p.name());
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identically_with_mobility() {
+    let cfg = base_cfg(7).with_mobility(2.0);
+    let a = run_once(&cfg, Protocol::EwMac);
+    let b = run_once(&cfg, Protocol::EwMac);
+    assert_eq!(a, b, "mobility broke determinism");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(&base_cfg(1), Protocol::EwMac);
+    let b = run_once(&base_cfg(2), Protocol::EwMac);
+    assert_ne!(a, b, "different seeds produced identical runs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any sane configuration builds and runs without panicking, and its
+    /// report satisfies the basic conservation facts.
+    #[test]
+    fn random_configs_run_clean(
+        sensors in 4u32..24,
+        load in 0.05f64..1.5,
+        data_bits in 256u32..4_096,
+        seed in 0u64..1_000,
+        mobile in proptest::bool::ANY,
+        proto_idx in 0usize..4,
+    ) {
+        let p = Protocol::PAPER_SET[proto_idx];
+        let mut cfg = SimConfig::paper_default()
+            .with_sensors(sensors)
+            .with_offered_load_kbps(load)
+            .with_data_bits(data_bits)
+            .with_sim_time(SimDuration::from_secs(45))
+            .with_seed(seed);
+        if mobile {
+            cfg = cfg.with_mobility(1.5);
+        }
+        let report = run_once(&cfg, p);
+        prop_assert!(report.total_energy_j > 0.0);
+        prop_assert!(report.throughput_kbps >= 0.0);
+        prop_assert!(report.extra_bits_received <= report.data_bits_received);
+        prop_assert_eq!(
+            report.overhead_bits,
+            report.control_bits_sent + report.maintenance_bits + report.retx_bits
+        );
+    }
+}

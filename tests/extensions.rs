@@ -1,0 +1,113 @@
+//! Extension features: the in-simulation Hello phase (§4.3) and variable
+//! data packet sizes ("data packets are not bound by a fixed data size").
+
+use uasn::bench::{run_once, Protocol};
+use uasn::net::config::SimConfig;
+use uasn::sim::time::SimDuration;
+
+fn base() -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(20)
+        .with_offered_load_kbps(0.5)
+        .with_sim_time(SimDuration::from_secs(120))
+}
+
+#[test]
+fn hello_phase_learns_enough_to_run_every_protocol() {
+    for p in [Protocol::EwMac, Protocol::SFama, Protocol::Ropa, Protocol::CsMac] {
+        let report = run_once(&base().with_hello_init(), p);
+        assert!(
+            report.data_bits_received > 0,
+            "{}: hello-phase network delivered nothing",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn hello_phase_disarms_cs_mac_stealing() {
+    // Without oracle two-hop tables CS-MAC cannot verify cross delays, so
+    // its stealing shuts down and it degrades toward its handshake core.
+    let oracle = run_once(&base().with_offered_load_kbps(1.0), Protocol::CsMac);
+    let hello = run_once(
+        &base().with_offered_load_kbps(1.0).with_hello_init(),
+        Protocol::CsMac,
+    );
+    assert!(
+        hello.data_bits_received <= oracle.data_bits_received,
+        "hello-phase CS-MAC ({}) should not beat oracle CS-MAC ({})",
+        hello.data_bits_received,
+        oracle.data_bits_received
+    );
+}
+
+#[test]
+fn hello_phase_keeps_ew_mac_extras_alive() {
+    // EW-MAC needs only one-hop delays, which the hello beacons (and every
+    // later packet) provide — extras must still fire.
+    let report = run_once(
+        &base().with_offered_load_kbps(1.0).with_hello_init(),
+        Protocol::EwMac,
+    );
+    assert!(
+        report.extra_bits_received > 0,
+        "EW-MAC's one-hop learning should survive the hello phase"
+    );
+}
+
+#[test]
+fn variable_packet_sizes_flow_end_to_end() {
+    let cfg = base().with_data_bits_range(512, 4_096);
+    for p in [Protocol::EwMac, Protocol::SFama] {
+        let report = run_once(&cfg, p);
+        assert!(report.data_bits_received > 0, "{}: no delivery", p.name());
+        // Sizes genuinely vary: total delivered bits cannot be a multiple
+        // of a single fixed size for this many SDUs (overwhelmingly
+        // unlikely), and per-SDU mean must land inside the range.
+        let mean = report.data_bits_received as f64 / report.sdus_received as f64;
+        assert!(
+            (512.0..=4_096.0).contains(&mean),
+            "{}: mean SDU size {mean} outside the configured range",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn variable_sizes_exercise_eq5_across_slot_counts() {
+    // With sizes up to 12× the slot payload, some data transmissions span
+    // multiple slots and Eq 5 must still place every Ack correctly — no
+    // wedges, no phantom deliveries.
+    let cfg = base()
+        .with_offered_load_kbps(0.8)
+        .with_data_bits_range(1_024, 16_384);
+    let report = run_once(&cfg, Protocol::EwMac);
+    assert!(report.data_bits_received > 0);
+    assert!(report.sdus_received > 0);
+}
+
+#[test]
+fn invalid_size_ranges_are_rejected() {
+    assert!(base().with_data_bits_range(0, 100).validate().is_err());
+    assert!(base().with_data_bits_range(200, 100).validate().is_err());
+    assert!(base().with_data_bits_range(8, 100).validate().is_err()); // < control
+    assert!(base().with_data_bits_range(512, 512).validate().is_ok());
+}
+
+#[test]
+fn piggybacked_announcements_rebuild_two_hop_views() {
+    // With hello_init, CS-MAC starts with empty two-hop tables. As traffic
+    // flows, ROPA/CS-MAC RTS/CTS frames piggyback their one-hop tables, so
+    // the two-hop views rebuild organically and some steals come back.
+    // A long, loaded run must therefore deliver materially more than the
+    // same protocol's opening slice.
+    let cfg = base()
+        .with_offered_load_kbps(1.0)
+        .with_sim_time(uasn::sim::time::SimDuration::from_secs(240))
+        .with_hello_init();
+    let report = run_once(&cfg, Protocol::CsMac);
+    assert!(report.data_bits_received > 0);
+    // And the announcements must not break determinism or accounting.
+    let replay = run_once(&cfg, Protocol::CsMac);
+    assert_eq!(report, replay);
+}

@@ -1,0 +1,121 @@
+//! Trace-level verification of EW-MAC's §4.2 guarantee: extra
+//! communications ride the waiting windows without destroying the
+//! negotiated exchanges they draft behind.
+
+use uasn::bench::Protocol;
+use uasn::ewmac::{EwMac, EwMacConfig};
+use uasn::net::config::SimConfig;
+use uasn::net::node::NodeId;
+use uasn::net::world::Simulation;
+use uasn::sim::time::SimDuration;
+use uasn::sim::trace::TraceLevel;
+
+fn traced_run(cfg: &SimConfig, protocol: Protocol) -> (uasn::net::MetricsReport, uasn::sim::trace::Tracer) {
+    let factory = move |id: NodeId| protocol.build(id);
+    Simulation::new(cfg.clone(), &factory)
+        .expect("valid config")
+        .with_tracing(TraceLevel::Debug)
+        .run_traced()
+}
+
+fn busy_cfg() -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(30)
+        .with_offered_load_kbps(1.0)
+        .with_sim_time(SimDuration::from_secs(150))
+}
+
+#[test]
+fn extra_exchanges_follow_the_four_way_pattern() {
+    let (report, tracer) = traced_run(&busy_cfg(), Protocol::EwMac);
+    assert!(report.extra_bits_received > 0, "no extra exchange completed");
+
+    // Every completed EXData implies the full EXR -> EXC -> EXData chain
+    // appeared on the air.
+    let tx_of = |needle: &str| {
+        tracer
+            .with_tag("tx")
+            .filter(|r| r.message.starts_with(needle))
+            .count()
+    };
+    let exr = tx_of("EXR");
+    let exc = tx_of("EXC");
+    let exdata = tx_of("EXData");
+    let exack = tx_of("EXAck");
+    assert!(exr > 0, "no EXR transmitted");
+    assert!(exc <= exr, "more grants than requests ({exc} vs {exr})");
+    assert!(exdata <= exc, "more EXData than grants ({exdata} vs {exc})");
+    assert!(exack <= exdata, "more EXAck than EXData");
+    assert!(exack > 0, "no extra exchange acknowledged");
+}
+
+#[test]
+fn extra_exchanges_do_not_collapse_negotiated_traffic() {
+    // The §4.2 promise, measured: switching the extra machinery ON must
+    // not materially reduce the *negotiated* (non-extra) deliveries.
+    let cfg = busy_cfg();
+    let factory_full = |id: NodeId| -> Box<dyn uasn::net::mac::MacProtocol> {
+        Box::new(EwMac::new(id, EwMacConfig::default()))
+    };
+    let factory_ablated = |id: NodeId| -> Box<dyn uasn::net::mac::MacProtocol> {
+        Box::new(EwMac::new(id, EwMacConfig::default().without_extra()))
+    };
+    let full = Simulation::new(cfg.clone(), &factory_full).unwrap().run();
+    let ablated = Simulation::new(cfg, &factory_ablated).unwrap().run();
+
+    let negotiated_full = full.data_bits_received - full.extra_bits_received;
+    let negotiated_ablated = ablated.data_bits_received;
+    assert!(
+        negotiated_full as f64 > negotiated_ablated as f64 * 0.8,
+        "extra machinery cannibalised negotiated traffic: {negotiated_full} vs {negotiated_ablated}"
+    );
+    assert!(
+        full.data_bits_received > ablated.data_bits_received,
+        "extra machinery must add net throughput"
+    );
+}
+
+#[test]
+fn extra_packets_fly_mid_slot_while_negotiated_packets_are_slot_aligned() {
+    let (_, tracer) = traced_run(&busy_cfg(), Protocol::EwMac);
+    let slot_micros = 1_005_333u64;
+    let mut checked_negotiated = 0;
+    let mut exdata_offsets = Vec::new();
+    for r in tracer.with_tag("tx") {
+        let offset = r.time.as_micros() % slot_micros;
+        if r.message.starts_with("RTS")
+            || r.message.starts_with("CTS")
+            || r.message.starts_with("Data")
+            || r.message.starts_with("Ack")
+        {
+            assert_eq!(
+                offset, 0,
+                "negotiated packet off the slot boundary: {}",
+                r.message
+            );
+            checked_negotiated += 1;
+        }
+        if r.message.starts_with("EXData") {
+            exdata_offsets.push(offset);
+        }
+    }
+    assert!(checked_negotiated > 50, "too few negotiated packets traced");
+    assert!(
+        exdata_offsets.iter().any(|&o| o != 0),
+        "EXData should be timed by Eq 6, not slot boundaries"
+    );
+}
+
+#[test]
+fn no_phantom_extra_traffic_when_disabled() {
+    let (report, tracer) = traced_run(&busy_cfg(), Protocol::EwMacNoExtra);
+    assert_eq!(report.extra_bits_received, 0);
+    assert_eq!(
+        tracer
+            .with_tag("tx")
+            .filter(|r| r.message.starts_with("EX"))
+            .count(),
+        0,
+        "ablated EW-MAC transmitted extra packets"
+    );
+}

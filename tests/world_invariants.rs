@@ -1,0 +1,127 @@
+//! Trace-level invariants of the simulator + protocol stack that no
+//! aggregate metric would catch.
+
+use uasn::bench::Protocol;
+use uasn::net::config::SimConfig;
+use uasn::net::node::NodeId;
+use uasn::net::world::Simulation;
+use uasn::sim::time::SimDuration;
+use uasn::sim::trace::{TraceLevel, Tracer};
+
+fn traced(cfg: &SimConfig, p: Protocol) -> (uasn::net::MetricsReport, Tracer) {
+    let factory = move |id: NodeId| p.build(id);
+    Simulation::new(cfg.clone(), &factory)
+        .expect("valid config")
+        .with_tracing(TraceLevel::Debug)
+        .run_traced()
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(24)
+        .with_offered_load_kbps(0.8)
+        .with_sim_time(SimDuration::from_secs(150))
+}
+
+#[test]
+fn slotted_protocols_never_double_book_their_modem() {
+    // `tx-drop` records a frame whose transmit time found the modem already
+    // transmitting — a protocol discipline violation for the slot-aligned
+    // designs (ALOHA is exempt: it may legitimately collide with itself
+    // only via its own timers, and those are serialised too).
+    for p in [Protocol::EwMac, Protocol::SFama, Protocol::Ropa] {
+        let (report, tracer) = traced(&cfg(), p);
+        assert_eq!(
+            report.tx_dropped,
+            0,
+            "{}: {} frames dropped at a busy modem; first: {:?}",
+            p.name(),
+            report.tx_dropped,
+            tracer.with_tag("tx-drop").next().map(|r| r.message.clone())
+        );
+    }
+    // CS-MAC is the documented exception: its unnegotiated steal acks are
+    // fired at slot boundaries regardless of what the node's own slotted
+    // machinery wants to do there — §5.1's interference, self-inflicted.
+    let (report, _) = traced(&cfg(), Protocol::CsMac);
+    assert!(
+        report.tx_dropped < report.sdus_generated,
+        "CS-MAC drops out of control: {}",
+        report.tx_dropped
+    );
+}
+
+#[test]
+fn every_data_tx_is_preceded_by_a_cts_reception_at_the_sender() {
+    // EW-MAC discipline: negotiated Data only flows after a CTS from the
+    // peer (extra data flows after an EXC instead).
+    let (_, tracer) = traced(&cfg(), Protocol::EwMac);
+    let records: Vec<_> = tracer.records().iter().collect();
+    let mut checked = 0;
+    for (i, r) in records.iter().enumerate() {
+        if r.tag != "tx" || !r.message.starts_with("Data[") {
+            continue;
+        }
+        let sender = r.node.expect("tx has a node");
+        // Find the most recent rx of a CTS addressed to this node.
+        let has_cts = records[..i].iter().rev().any(|q| {
+            q.node == Some(sender)
+                && q.tag == "rx"
+                && q.message.starts_with("CTS[")
+                && q.message.contains(&format!("->n{sender} "))
+        });
+        assert!(
+            has_cts,
+            "node {sender} transmitted data without a prior CTS: {}",
+            r.message
+        );
+        checked += 1;
+    }
+    assert!(checked > 10, "too few data transmissions to be meaningful");
+}
+
+#[test]
+fn collisions_reported_equal_rx_lost_traces() {
+    // The modem's collision counter and the trace's rx-lost records must
+    // agree on whether loss happened at all (exact counts differ: rx-lost
+    // includes PER losses, collisions counts overlapped receptions).
+    let (report, tracer) = traced(&cfg(), Protocol::SFama);
+    let lost = tracer.with_tag("rx-lost").count() as u64;
+    assert!(
+        (report.collisions + report.half_duplex_losses > 0) == (lost > 0),
+        "collision accounting and trace disagree: counters {} + {}, traces {lost}",
+        report.collisions,
+        report.half_duplex_losses
+    );
+    // Every overlapped reception surfaces as a lost trace.
+    assert!(lost >= report.half_duplex_losses);
+}
+
+#[test]
+fn sinks_never_originate_traffic() {
+    let (_, tracer) = traced(&cfg(), Protocol::EwMac);
+    // Sinks are nodes 0..3; they may send CTS/Ack (receiver duties) but
+    // never RTS or Data.
+    for r in tracer.with_tag("tx") {
+        let node = r.node.expect("tx has node");
+        if node < 3 {
+            assert!(
+                !r.message.starts_with("RTS[") && !r.message.starts_with("Data["),
+                "sink n{node} originated traffic: {}",
+                r.message
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_percentile_is_coherent() {
+    let (report, _) = traced(&cfg(), Protocol::EwMac);
+    let p95 = report.latency_p95_s.expect("deliveries happened");
+    assert!(
+        p95 + 0.5 >= report.mean_latency_s,
+        "p95 {p95} below the mean {} by more than a bin",
+        report.mean_latency_s
+    );
+    assert!(p95 < 300.0);
+}
