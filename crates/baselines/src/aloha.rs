@@ -10,9 +10,7 @@ use std::collections::VecDeque;
 
 use rand::Rng;
 
-use uasn_net::mac::{
-    MacContext, MacProtocol, MaintenanceProfile, Reception, TimerToken,
-};
+use uasn_net::mac::{MacContext, MacProtocol, MaintenanceProfile, Reception, TimerToken};
 use uasn_net::node::NodeId;
 use uasn_net::packet::{Frame, FrameKind, Sdu};
 use uasn_net::slots::SlotIndex;
@@ -110,14 +108,13 @@ impl MacProtocol for Aloha {
                 let ack = Frame::control(FrameKind::Ack, self.id, frame.src, ctx.control_bits());
                 ctx.send_frame_now(ack);
             }
-            FrameKind::Ack
-                if self.awaiting_ack => {
-                    ctx.cancel_timer(TIMER_ACK);
-                    self.awaiting_ack = false;
-                    self.backoff_secs = 2.0;
-                    self.queue.pop_front();
-                    self.transmit_head(ctx);
-                }
+            FrameKind::Ack if self.awaiting_ack => {
+                ctx.cancel_timer(TIMER_ACK);
+                self.awaiting_ack = false;
+                self.backoff_secs = 2.0;
+                self.queue.pop_front();
+                self.transmit_head(ctx);
+            }
             _ => {}
         }
     }
@@ -158,6 +155,16 @@ impl MacProtocol for Aloha {
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn state_label(&self) -> &'static str {
+        if self.awaiting_ack {
+            "awaiting-ack"
+        } else if self.backing_off {
+            "backing-off"
+        } else {
+            "idle"
+        }
     }
 }
 

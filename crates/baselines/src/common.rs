@@ -91,6 +91,18 @@ pub enum CoreRole {
     },
 }
 
+impl CoreRole {
+    /// Short static label for the sampler's MAC-state column.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoreRole::Idle => "idle",
+            CoreRole::Contending { .. } => "contending",
+            CoreRole::SendingData { .. } => "sending-data",
+            CoreRole::Receiving { .. } => "receiving",
+        }
+    }
+}
+
 /// Information about an overheard negotiation packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheardInfo {
@@ -223,9 +235,7 @@ impl SlottedCore {
             info.control_slot + 2
         };
         let tau = info.pair_delay.unwrap_or_else(|| clock.tau_max());
-        let td = info
-            .data_duration
-            .unwrap_or_else(|| ctx.tx_duration(2_048));
+        let td = info.data_duration.unwrap_or_else(|| ctx.tx_duration(2_048));
         let ack_slot = clock.ack_slot(data_slot, td, tau);
         clock.start_of(ack_slot) + clock.omega() + tau
     }
@@ -328,8 +338,8 @@ impl SlottedCore {
         }
         // No priority field in the baselines: first decoded RTS wins.
         let (src, td, _, measured) = candidates[0];
-        let mut cts = Frame::control(FrameKind::Cts, self.id, src, ctx.control_bits())
-            .with_data_duration(td);
+        let mut cts =
+            Frame::control(FrameKind::Cts, self.id, src, ctx.control_bits()).with_data_duration(td);
         if self.cfg.announce_delays {
             cts = cts.with_pair_delay(measured);
         }
@@ -382,7 +392,8 @@ impl SlottedCore {
 
     /// Reception handling. Returns the event the wrapper may react to.
     pub fn on_frame_received(&mut self, ctx: &mut MacContext<'_>, rx: &Reception<'_>) -> CoreEvent {
-        self.neighbors.observe(rx.frame.src, rx.prop_delay, ctx.now());
+        self.neighbors
+            .observe(rx.frame.src, rx.prop_delay, ctx.now());
         let frame = rx.frame;
         let to_me = rx.addressed_to(self.id);
         let clock = ctx.clock();
@@ -508,10 +519,7 @@ mod tests {
             CoreHarness {
                 core: SlottedCore::new(NodeId::new(id), cfg),
                 rng: StdRng::seed_from_u64(3),
-                clock: SlotClock::new(
-                    SimDuration::from_micros(5_333),
-                    SimDuration::from_secs(1),
-                ),
+                clock: SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1)),
                 spec: ModemSpec::new(12_000.0),
                 commands: Vec::new(),
             }
@@ -600,7 +608,12 @@ mod tests {
             4,
         );
         let ev = h.recv(ack, SimDuration::from_millis(400));
-        assert_eq!(ev, CoreEvent::SendSucceeded { peer: NodeId::new(5) });
+        assert_eq!(
+            ev,
+            CoreEvent::SendSucceeded {
+                peer: NodeId::new(5)
+            }
+        );
         assert!(h.core.queue.is_empty());
     }
 
@@ -733,7 +746,12 @@ mod tests {
         // Never ack: at ack_slot+1 the attempt fails and the SDU is dropped
         // (max_retries = 0).
         let ev5 = h.slot(5);
-        assert_eq!(ev5, CoreEvent::SendFailed { peer: NodeId::new(5) });
+        assert_eq!(
+            ev5,
+            CoreEvent::SendFailed {
+                peer: NodeId::new(5)
+            }
+        );
         assert!(h.core.queue.is_empty());
     }
 }

@@ -237,7 +237,9 @@ impl MacProtocol for CsMac {
 
         // A stolen transmission's Ack arrives outside any core exchange.
         if frame.kind == FrameKind::Ack && to_me && self.stealing {
-            self.core.neighbors.observe(frame.src, rx.prop_delay, ctx.now());
+            self.core
+                .neighbors
+                .observe(frame.src, rx.prop_delay, ctx.now());
             ctx.cancel_timer(TIMER_STEAL_ACK);
             self.stealing = false;
             self.core.hold = false;
@@ -282,6 +284,14 @@ impl MacProtocol for CsMac {
     fn queue_len(&self) -> usize {
         self.core.queue.len()
     }
+
+    fn state_label(&self) -> &'static str {
+        if self.stealing {
+            "stealing"
+        } else {
+            self.core.role.label()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -306,10 +316,7 @@ mod tests {
             H {
                 mac: CsMac::new(NodeId::new(id)),
                 rng: StdRng::seed_from_u64(11),
-                clock: SlotClock::new(
-                    SimDuration::from_micros(5_333),
-                    SimDuration::from_secs(1),
-                ),
+                clock: SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1)),
                 spec: ModemSpec::new(12_000.0),
                 commands: Vec::new(),
             }
@@ -449,7 +456,11 @@ mod tests {
     fn steal_receiver_acks_unsolicited_data() {
         let mut h = H::new(5);
         let clock = h.clock;
-        let data = stamp(Frame::data(FrameKind::Data, NodeId::new(0), sdu(5)), &clock, 2);
+        let data = stamp(
+            Frame::data(FrameKind::Data, NodeId::new(0), sdu(5)),
+            &clock,
+            2,
+        );
         h.recv(data, SimDuration::from_millis(200));
         let sent = h.sent();
         assert_eq!(sent.len(), 1);

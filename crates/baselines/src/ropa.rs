@@ -34,7 +34,10 @@ enum AppendSide {
     /// RTA sent to `target`; waiting to be polled.
     WaitingPoll { target: NodeId },
     /// Polled; our data goes out at `data_slot`.
-    SendingAppended { target: NodeId, data_slot: SlotIndex },
+    SendingAppended {
+        target: NodeId,
+        data_slot: SlotIndex,
+    },
     /// Data sent; waiting for the Ack.
     WaitingAck { target: NodeId },
 }
@@ -106,17 +109,18 @@ impl Ropa {
                 if self
                     .collect
                     .as_ref()
-                    .is_some_and(|c| c.current.is_some() || !c.pending.is_empty())
-                => {
-                    self.core.hold = true;
-                }
+                    .is_some_and(|c| c.current.is_some() || !c.pending.is_empty()) =>
+            {
+                self.core.hold = true;
+            }
             CoreEvent::SendFailed { .. }
-                if self.collect.as_ref().is_some_and(|c| c.current.is_none()) => {
-                    self.collect = None;
-                    if self.append.is_none() {
-                        self.core.hold = false;
-                    }
+                if self.collect.as_ref().is_some_and(|c| c.current.is_none()) =>
+            {
+                self.collect = None;
+                if self.append.is_none() {
+                    self.core.hold = false;
                 }
+            }
             _ => {}
         }
     }
@@ -310,7 +314,9 @@ impl MacProtocol for Ropa {
         // Protocol-specific paths first.
         match frame.kind {
             FrameKind::Rta if to_me => {
-                self.core.neighbors.observe(frame.src, rx.prop_delay, ctx.now());
+                self.core
+                    .neighbors
+                    .observe(frame.src, rx.prop_delay, ctx.now());
                 // Accept an append only during the actual RTS→CTS wait —
                 // the window ROPA exploits ("the period between sending
                 // RTSs and receiving CTSs").
@@ -338,7 +344,9 @@ impl MacProtocol for Ropa {
                 // ignore this CTS).
                 if let Some(AppendSide::WaitingPoll { target }) = self.append {
                     if frame.src == target {
-                        self.core.neighbors.observe(frame.src, rx.prop_delay, ctx.now());
+                        self.core
+                            .neighbors
+                            .observe(frame.src, rx.prop_delay, ctx.now());
                         ctx.cancel_timer(TIMER_POLL);
                         let data_slot = ctx.clock().slot_of(frame.timestamp) + 1;
                         self.append = Some(AppendSide::SendingAppended { target, data_slot });
@@ -349,7 +357,9 @@ impl MacProtocol for Ropa {
             FrameKind::Ack if to_me => {
                 if let Some(AppendSide::WaitingAck { target }) = self.append {
                     if frame.src == target {
-                        self.core.neighbors.observe(frame.src, rx.prop_delay, ctx.now());
+                        self.core
+                            .neighbors
+                            .observe(frame.src, rx.prop_delay, ctx.now());
                         ctx.cancel_timer(TIMER_APPEND_ACK);
                         self.core.succeed();
                         self.release_append(ctx, false);
@@ -407,6 +417,16 @@ impl MacProtocol for Ropa {
     fn queue_len(&self) -> usize {
         self.core.queue.len()
     }
+
+    fn state_label(&self) -> &'static str {
+        if self.append.is_some() {
+            "appending"
+        } else if self.collect.is_some() {
+            "collecting"
+        } else {
+            self.core.role.label()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -431,10 +451,7 @@ mod tests {
             H {
                 mac: Ropa::new(NodeId::new(id)),
                 rng: StdRng::seed_from_u64(5),
-                clock: SlotClock::new(
-                    SimDuration::from_micros(5_333),
-                    SimDuration::from_secs(1),
-                ),
+                clock: SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1)),
                 spec: ModemSpec::new(12_000.0),
                 commands: Vec::new(),
             }
@@ -586,7 +603,10 @@ mod tests {
         // Next slot: the poll goes out to node 2.
         h.slot(5);
         let sent = h.sent();
-        let poll = sent.iter().find(|f| f.kind == FrameKind::Cts).expect("poll");
+        let poll = sent
+            .iter()
+            .find(|f| f.kind == FrameKind::Cts)
+            .expect("poll");
         assert_eq!(poll.dst, NodeId::new(2));
     }
 
@@ -655,15 +675,7 @@ mod tests {
         let now = clock.start_of(9);
         let mut ctx_cmds = Vec::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = MacContext::new(
-            now,
-            h.mac.id(),
-            clock,
-            h.spec,
-            64,
-            &mut rng,
-            &mut ctx_cmds,
-        );
+        let mut ctx = MacContext::new(now, h.mac.id(), clock, h.spec, 64, &mut rng, &mut ctx_cmds);
         h.mac.on_timer(&mut ctx, TIMER_POLL);
         assert!(h.mac.append.is_none());
         assert!(!h.mac.core.hold);

@@ -5,9 +5,7 @@
 //! (ratio 1) and efficiency (index 1): it maintains no neighbour state and
 //! piggybacks nothing.
 
-use uasn_net::mac::{
-    MacContext, MacProtocol, MaintenanceProfile, Reception,
-};
+use uasn_net::mac::{MacContext, MacProtocol, MaintenanceProfile, Reception};
 use uasn_net::node::NodeId;
 use uasn_net::packet::Sdu;
 use uasn_net::slots::SlotIndex;
@@ -70,6 +68,10 @@ impl MacProtocol for SFama {
 
     fn queue_len(&self) -> usize {
         self.core.queue.len()
+    }
+
+    fn state_label(&self) -> &'static str {
+        self.core.role.label()
     }
 }
 

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    
+
     for p in [Protocol::EwMac, Protocol::EwMacNoExtra] {
         let cfg = criterion_cfg().with_offered_load_kbps(1.0);
         group.bench_function(p.name(), |b| {

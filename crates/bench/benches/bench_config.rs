@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    
+
     group.bench_function("validate", |b| {
         b.iter(|| uasn_net::config::SimConfig::paper_default().validate())
     });

@@ -11,12 +11,10 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    
+
     for p in Protocol::PAPER_SET {
         let cfg = criterion_cfg().with_offered_load_kbps(0.8);
-        group.bench_function(p.name(), |b| {
-            b.iter(|| run_once(&cfg, p).efficiency_raw())
-        });
+        group.bench_function(p.name(), |b| b.iter(|| run_once(&cfg, p).efficiency_raw()));
     }
     group.finish();
 }

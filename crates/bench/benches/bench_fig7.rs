@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    
+
     for n in [12u32, 24] {
         let cfg = criterion_cfg().with_sensors(n).with_offered_load_kbps(0.8);
         group.bench_function(format!("EW-MAC/{n}-sensors"), |b| {

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    
+
     for speed in [0.0f64, 3.0] {
         let cfg = if speed > 0.0 {
             criterion_cfg().with_mobility(speed)

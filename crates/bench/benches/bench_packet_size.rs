@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    
+
     for bits in [1_024u32, 4_096] {
         let cfg = criterion_cfg().with_data_bits(bits);
         group.bench_function(format!("EW-MAC/{bits}-bit-data"), |b| {

@@ -15,7 +15,7 @@ fn main() {
         println!("{k:>24}: {v}");
     }
     println!();
-    type Job = (&'static str, fn(u64) -> uasn_bench::FigureResult);
+    type Job = (&'static str, fn(u64) -> uasn_bench::ExperimentRun);
     let jobs: Vec<Job> = vec![
         ("F6", uasn_bench::experiments::fig6_throughput_vs_load),
         ("F7", uasn_bench::experiments::fig7_throughput_vs_density),
@@ -36,11 +36,14 @@ fn main() {
     ];
     for (id, job) in jobs {
         let start = Instant::now();
-        let fig = job(seeds);
-        println!("{}", fig.to_table());
-        println!("    ({id} done in {:.1} s)\n", start.elapsed().as_secs_f64());
-        if let Err(e) = fig.write_csv(Path::new("results")) {
-            eprintln!("warning: could not write results CSV: {e}");
+        let run = job(seeds);
+        println!("{}", run.to_table());
+        println!(
+            "    ({id} done in {:.1} s)\n",
+            start.elapsed().as_secs_f64()
+        );
+        if let Err(e) = run.write(Path::new("results")) {
+            eprintln!("warning: could not write results CSV/manifest: {e}");
         }
     }
 }

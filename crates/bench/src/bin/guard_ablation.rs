@@ -6,6 +6,9 @@
 //!
 //! Usage: `guard_ablation [seeds]`
 
+use std::path::Path;
+
+use uasn_bench::{RunManifest, StatsAggregate};
 use uasn_ewmac::{EwMac, EwMacConfig};
 use uasn_net::config::SimConfig;
 use uasn_net::node::NodeId;
@@ -18,6 +21,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(uasn_bench::DEFAULT_SEEDS);
+    let mut stats = StatsAggregate::default();
 
     println!("[GRD] Eq-6 guard ablation (EW-MAC, load 1.0, 60 sensors)");
     println!(
@@ -52,7 +56,9 @@ fn main() {
             let factory = move |id: NodeId| -> Box<dyn uasn_net::mac::MacProtocol> {
                 Box::new(EwMac::new(id, mac_cfg))
             };
-            let report = Simulation::new(cfg, &factory).expect("valid").run();
+            let out = Simulation::new(cfg, &factory).expect("valid").run_full();
+            stats.absorb(&out.stats);
+            let report = out.report;
             tpt.add(report.throughput_kbps);
             extra.add(report.extra_bits_received as f64);
             coll.add(report.collisions as f64);
@@ -75,4 +81,15 @@ fn main() {
          off the boundary entirely. Kept at 2 ms as cheap insurance\n\
          (DESIGN.md decision #2)."
     );
+    let manifest = RunManifest::new(
+        "GRD",
+        "Eq-6 guard ablation (EW-MAC, load 1.0, 60 sensors)",
+        seeds,
+        vec!["EW-MAC".to_string()],
+        &SimConfig::paper_default().with_offered_load_kbps(1.0),
+        stats,
+    );
+    if let Err(e) = manifest.write(Path::new("results")) {
+        eprintln!("warning: could not write manifest: {e}");
+    }
 }

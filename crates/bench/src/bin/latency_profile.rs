@@ -3,7 +3,9 @@
 //!
 //! Usage: `latency_profile [load_kbps] [seeds]`
 
-use uasn_bench::{run_once, Protocol};
+use std::path::Path;
+
+use uasn_bench::{run_once_full, Protocol, RunManifest, StatsAggregate};
 use uasn_net::config::SimConfig;
 use uasn_sim::stats::Replications;
 
@@ -17,16 +19,19 @@ fn main() {
         "{:<10}{:>14}{:>14}{:>16}",
         "protocol", "mean (s)", "p95 (s)", "delivered SDUs"
     );
+    let base_cfg = SimConfig::paper_default()
+        .with_offered_load_kbps(load)
+        .with_mobility(1.0);
+    let mut stats = StatsAggregate::default();
     for p in Protocol::PAPER_SET {
         let mut mean = Replications::new();
         let mut p95 = Replications::new();
         let mut delivered = Replications::new();
         for seed in 0..seeds {
-            let cfg = SimConfig::paper_default()
-                .with_offered_load_kbps(load)
-                .with_mobility(1.0)
-                .with_seed(0xEA5E + seed * 7_919);
-            let report = run_once(&cfg, p);
+            let cfg = base_cfg.clone().with_seed(0xEA5E + seed * 7_919);
+            let out = run_once_full(&cfg, p);
+            stats.absorb(&out.stats);
+            let report = out.report;
             mean.add(report.mean_latency_s);
             if let Some(q) = report.latency_p95_s {
                 p95.add(q);
@@ -40,5 +45,19 @@ fn main() {
             p95.mean(),
             delivered.mean()
         );
+    }
+    let manifest = RunManifest::new(
+        "LAT",
+        format!("MAC delivery latency at offered load {load} kbps"),
+        seeds,
+        Protocol::PAPER_SET
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
+        &base_cfg,
+        stats,
+    );
+    if let Err(e) = manifest.write(Path::new("results")) {
+        eprintln!("warning: could not write manifest: {e}");
     }
 }

@@ -1,0 +1,200 @@
+//! Pretty-prints run manifests and summarises JSONL traces.
+//!
+//! Usage:
+//!   obs_report                          list results/*.manifest.json
+//!   obs_report <manifest.json>          pretty-print one manifest
+//!   obs_report <manifest.json> <trace.jsonl>   + summarise a trace
+//!   obs_report --trace <trace.jsonl>    summarise a trace alone
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use uasn_sim::json::JsonValue;
+use uasn_sim::trace::parse_jsonl;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => list_manifests(Path::new("results")),
+        [flag, trace] if flag == "--trace" => summarize_trace(Path::new(trace)),
+        [manifest] => print_manifest(Path::new(manifest)),
+        [manifest, trace] => {
+            let a = print_manifest(Path::new(manifest));
+            println!();
+            let b = summarize_trace(Path::new(trace));
+            if a == ExitCode::SUCCESS && b == ExitCode::SUCCESS {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: obs_report [manifest.json] [trace.jsonl] | --trace <trace.jsonl>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list_manifests(dir: &Path) -> ExitCode {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        eprintln!("no {} directory; run a figure binary first", dir.display());
+        return ExitCode::FAILURE;
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".manifest.json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        println!("no manifests under {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+    println!("{} manifest(s) under {}:", names.len(), dir.display());
+    for name in names {
+        let path = dir.join(&name);
+        match load_json(&path) {
+            Ok(doc) => {
+                let title = doc.get("title").and_then(JsonValue::as_str).unwrap_or("?");
+                let runs = doc
+                    .get("stats")
+                    .and_then(|s| s.get("runs"))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                println!("  {name:<28} {runs:>4} runs  {title}");
+            }
+            Err(e) => println!("  {name:<28} (unreadable: {e})"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_json(path: &Path) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    JsonValue::parse(&text).map_err(|e| e.to_string())
+}
+
+fn print_manifest(path: &Path) -> ExitCode {
+    let doc = match load_json(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let str_of = |key: &str| doc.get(key).and_then(JsonValue::as_str).unwrap_or("?");
+    let schema = str_of("schema");
+    if schema != uasn_bench::manifest::MANIFEST_SCHEMA {
+        eprintln!(
+            "warning: unexpected schema `{schema}` in {}",
+            path.display()
+        );
+    }
+    println!(
+        "[{}] {} (manifest v{}, uasn-bench {})",
+        str_of("id"),
+        str_of("title"),
+        doc.get("version").and_then(JsonValue::as_u64).unwrap_or(0),
+        str_of("crate_version"),
+    );
+    let seeds = doc.get("seeds").and_then(JsonValue::as_u64).unwrap_or(0);
+    println!("  seeds: {seeds} ({})", str_of("seed_scheme"));
+    if let Some(protocols) = doc.get("protocols").and_then(JsonValue::as_array) {
+        let names: Vec<&str> = protocols.iter().filter_map(JsonValue::as_str).collect();
+        println!("  protocols: {}", names.join(", "));
+    }
+    if let Some(JsonValue::Object(config)) = doc.get("config") {
+        println!("  config:");
+        for (k, v) in config {
+            println!("    {k:<20} {}", v.as_str().unwrap_or("?"));
+        }
+    }
+    if let Some(stats) = doc.get("stats") {
+        let num = |key: &str| stats.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        println!("  engine:");
+        println!("    runs                 {}", num("runs"));
+        println!("    events processed     {}", num("events_processed"));
+        println!(
+            "    wall                 {:.3} s",
+            num("wall_us") as f64 / 1e6
+        );
+        println!(
+            "    events/wall-sec      {:.0}",
+            stats
+                .get("events_per_wall_sec")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+        );
+        println!("    peak queue depth     {}", num("peak_queue_depth"));
+        if let Some(kinds) = stats.get("kind_counts").and_then(JsonValue::as_array) {
+            println!("    events by kind:");
+            for pair in kinds {
+                if let Some(pair) = pair.as_array() {
+                    if let (Some(label), Some(count)) = (pair[0].as_str(), pair[1].as_u64()) {
+                        println!("      {label:<18} {count}");
+                    }
+                }
+            }
+        }
+        if let Some(reasons) = stats.get("stop_reasons").and_then(JsonValue::as_array) {
+            let text: Vec<String> = reasons
+                .iter()
+                .filter_map(|p| p.as_array())
+                .filter_map(|p| Some(format!("{} x{}", p[0].as_str()?, p[1].as_u64()?)))
+                .collect();
+            println!("    stop reasons: {}", text.join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn summarize_trace(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{} is not a valid trace: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("trace {}: {} record(s)", path.display(), records.len());
+    let Some(first) = records.first() else {
+        return ExitCode::SUCCESS;
+    };
+    let last = records.last().expect("non-empty");
+    println!(
+        "  span: {:.3} s .. {:.3} s",
+        first.time.as_secs_f64(),
+        last.time.as_secs_f64()
+    );
+    // Per-level and per-tag counts, in first-seen order.
+    let mut levels: Vec<(&str, u64)> = Vec::new();
+    let mut tags: Vec<(&str, u64)> = Vec::new();
+    for r in &records {
+        bump_count(&mut levels, r.level.as_str());
+        bump_count(&mut tags, &r.tag);
+    }
+    println!("  by level:");
+    for (level, count) in &levels {
+        println!("    {level:<8} {count}");
+    }
+    tags.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("  by tag (top {}):", tags.len().min(12));
+    for (tag, count) in tags.iter().take(12) {
+        println!("    {tag:<12} {count}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn bump_count<'a>(table: &mut Vec<(&'a str, u64)>, key: &'a str) {
+    match table.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, c)) => *c += 1,
+        None => table.push((key, 1)),
+    }
+}

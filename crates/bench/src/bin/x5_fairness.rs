@@ -6,9 +6,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(uasn_bench::DEFAULT_SEEDS);
-    let fig = uasn_bench::experiments::x5_fairness(seeds);
-    print!("{}", fig.to_table());
-    if let Err(e) = fig.write_csv(Path::new("results")) {
-        eprintln!("warning: could not write results CSV: {e}");
+    let run = uasn_bench::experiments::x5_fairness(seeds);
+    print!("{}", run.to_table());
+    if let Err(e) = run.write(Path::new("results")) {
+        eprintln!("warning: could not write results CSV/manifest: {e}");
     }
 }

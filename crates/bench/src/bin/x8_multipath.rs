@@ -8,7 +8,7 @@
 
 use std::path::Path;
 
-use uasn_bench::{run_replicated, FigureResult, Protocol, Series};
+use uasn_bench::{run_replicated, FigureResult, Protocol, RunManifest, Series, StatsAggregate};
 use uasn_net::config::SimConfig;
 use uasn_net::topology::Deployment;
 use uasn_phy::channel::AcousticChannel;
@@ -26,7 +26,14 @@ fn main() {
             points: Vec::new(),
         })
         .collect();
-    for (x, loss_db) in [(0.0f64, None), (10.0, Some(10.0)), (6.0, Some(6.0)), (3.0, Some(3.0))] {
+    let mut stats = StatsAggregate::default();
+    let mut base_cfg = None;
+    for (x, loss_db) in [
+        (0.0f64, None),
+        (10.0, Some(10.0)),
+        (6.0, Some(6.0)),
+        (3.0, Some(3.0)),
+    ] {
         let mut cfg = SimConfig::paper_default()
             .with_offered_load_kbps(0.8)
             .with_mobility(1.0);
@@ -46,10 +53,13 @@ fn main() {
                 s.throughput_kbps.mean(),
                 s.throughput_kbps.ci95_halfwidth(),
             ));
+            stats.merge(&s.stats);
         }
+        base_cfg.get_or_insert(cfg);
     }
     for s in &mut series {
-        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     }
     let fig = FigureResult {
         id: "X8",
@@ -61,7 +71,21 @@ fn main() {
     print!("{}", fig.to_table());
     println!("\n(Lower bounce loss = stronger echoes = more reverberation;");
     println!(" x = 0 encodes the multipath-free baseline.)");
-    if let Err(e) = fig.write_csv(Path::new("results")) {
-        eprintln!("warning: could not write results CSV: {e}");
+    let manifest = RunManifest::new(
+        fig.id,
+        fig.title,
+        seeds,
+        Protocol::PAPER_SET
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
+        &base_cfg.expect("at least one sweep point"),
+        stats,
+    );
+    if let Err(e) = fig
+        .write_csv(Path::new("results"))
+        .and_then(|()| manifest.write(Path::new("results")).map(|_| ()))
+    {
+        eprintln!("warning: could not write results CSV/manifest: {e}");
     }
 }

@@ -9,12 +9,42 @@
 //! delivery in a forwarding column; shapes and orderings are the
 //! reproduction targets.
 
+use std::io;
+use std::path::Path;
+
 use uasn_net::config::SimConfig;
 use uasn_net::topology::Deployment;
 
+use crate::manifest::{RunManifest, StatsAggregate};
 use crate::protocols::Protocol;
 use crate::report::{FigureResult, Series};
 use crate::runner::{run_replicated, Summary};
+
+/// One regenerated artifact: the figure plus its run manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRun {
+    /// The reproduced figure/table data.
+    pub figure: FigureResult,
+    /// The machine-readable record of how it was produced.
+    pub manifest: RunManifest,
+}
+
+impl ExperimentRun {
+    /// Writes `<dir>/<id>.csv` and `<dir>/<id>.manifest.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        self.figure.write_csv(dir)?;
+        self.manifest.write(dir).map(|_| ())
+    }
+
+    /// The aligned console table ([`FigureResult::to_table`]).
+    pub fn to_table(&self) -> String {
+        self.figure.to_table()
+    }
+}
 
 /// Mobility cap for the headline experiments, m/s.
 pub const PAPER_DRIFT_MS: f64 = 1.0;
@@ -36,7 +66,7 @@ fn sweep<F>(
     seeds: u64,
     configure: impl Fn(f64) -> SimConfig,
     extract: F,
-) -> FigureResult
+) -> ExperimentRun
 where
     F: Fn(&Summary) -> (f64, f64),
 {
@@ -47,20 +77,33 @@ where
             points: Vec::new(),
         })
         .collect();
+    let mut stats = StatsAggregate::default();
     for &x in xs {
         let cfg = configure(x);
         for (p_idx, &p) in protocols.iter().enumerate() {
             let summary = run_replicated(&cfg, p, seeds);
             let (mean, ci) = extract(&summary);
             series[p_idx].points.push((x, mean, ci));
+            stats.merge(&summary.stats);
         }
     }
-    FigureResult {
+    let manifest = RunManifest::new(
         id,
         title,
-        x_label,
-        y_label,
-        series,
+        seeds,
+        protocols.iter().map(|p| p.name().to_string()).collect(),
+        &configure(xs[0]),
+        stats,
+    );
+    ExperimentRun {
+        figure: FigureResult {
+            id,
+            title,
+            x_label,
+            y_label,
+            series,
+        },
+        manifest,
     }
 }
 
@@ -69,7 +112,7 @@ where
 pub const LOAD_AXIS: [f64; 9] = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.0];
 
 /// Figure 6: throughput vs offered load, 60 sensors.
-pub fn fig6_throughput_vs_load(seeds: u64) -> FigureResult {
+pub fn fig6_throughput_vs_load(seeds: u64) -> ExperimentRun {
     sweep(
         "F6",
         "Throughput at different offered loads (paper Fig. 6)",
@@ -85,7 +128,7 @@ pub fn fig6_throughput_vs_load(seeds: u64) -> FigureResult {
 
 /// Figure 7: throughput vs node count at high load; density realised by
 /// packing more layers into the fixed column volume.
-pub fn fig7_throughput_vs_density(seeds: u64) -> FigureResult {
+pub fn fig7_throughput_vs_density(seeds: u64) -> ExperimentRun {
     sweep(
         "F7",
         "Throughput at different network sensor densities (paper Fig. 7)",
@@ -105,7 +148,7 @@ pub fn fig7_throughput_vs_density(seeds: u64) -> FigureResult {
 }
 
 /// Figure 8: execution time (batch completion) vs offered load.
-pub fn fig8_execution_time(seeds: u64) -> FigureResult {
+pub fn fig8_execution_time(seeds: u64) -> ExperimentRun {
     sweep(
         "F8",
         "Relationship between execution time and offered load (paper Fig. 8)",
@@ -115,14 +158,19 @@ pub fn fig8_execution_time(seeds: u64) -> FigureResult {
         &Protocol::PAPER_SET,
         seeds,
         |load| paper_base().with_batch_load_kbps(load),
-        |s| (s.execution_time_s.mean(), s.execution_time_s.ci95_halfwidth()),
+        |s| {
+            (
+                s.execution_time_s.mean(),
+                s.execution_time_s.ci95_halfwidth(),
+            )
+        },
     )
 }
 
 /// Figure 9a: energy per delivered information vs offered load, 80 sensors
 /// (§5.2 compares consumption "when they transmit varied amounts of
 /// information").
-pub fn fig9a_power_vs_load(seeds: u64) -> FigureResult {
+pub fn fig9a_power_vs_load(seeds: u64) -> ExperimentRun {
     sweep(
         "F9a",
         "Power consumption vs offered load, 80 sensors (paper Fig. 9a)",
@@ -135,7 +183,10 @@ pub fn fig9a_power_vs_load(seeds: u64) -> FigureResult {
         |s| {
             let epk = |sum: &Summary| {
                 // energy/kbit aggregated per replication in the runner
-                (sum.energy_per_kbit.mean(), sum.energy_per_kbit.ci95_halfwidth())
+                (
+                    sum.energy_per_kbit.mean(),
+                    sum.energy_per_kbit.ci95_halfwidth(),
+                )
             };
             epk(s)
         },
@@ -143,7 +194,7 @@ pub fn fig9a_power_vs_load(seeds: u64) -> FigureResult {
 }
 
 /// Figure 9b: energy per delivered information vs node count at load 0.3.
-pub fn fig9b_power_vs_density(seeds: u64) -> FigureResult {
+pub fn fig9b_power_vs_density(seeds: u64) -> ExperimentRun {
     sweep(
         "F9b",
         "Power consumption vs number of sensors, load 0.3 (paper Fig. 9b)",
@@ -163,52 +214,48 @@ pub fn fig9b_power_vs_density(seeds: u64) -> FigureResult {
 }
 
 /// Figure 10a: overhead ratio vs node count at load 0.5 (S-FAMA = 1).
-pub fn fig10a_overhead_vs_density(seeds: u64) -> FigureResult {
-    normalized_against_sfama(
-        sweep(
-            "F10a",
-            "Overhead vs number of sensors, load 0.5 (paper Fig. 10a)",
-            "sensors",
-            "overhead ratio (S-FAMA = 1)",
-            &[60.0, 80.0, 100.0, 120.0, 140.0],
-            &Protocol::PAPER_SET,
-            seeds,
-            |n| {
-                let n = n as u32;
-                let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(0.5);
-                cfg.deployment = Deployment::paper_column_for(n);
-                cfg
-            },
-            |s| (s.overhead_bits.mean(), s.overhead_bits.ci95_halfwidth()),
-        ),
-    )
+pub fn fig10a_overhead_vs_density(seeds: u64) -> ExperimentRun {
+    normalized_run(sweep(
+        "F10a",
+        "Overhead vs number of sensors, load 0.5 (paper Fig. 10a)",
+        "sensors",
+        "overhead ratio (S-FAMA = 1)",
+        &[60.0, 80.0, 100.0, 120.0, 140.0],
+        &Protocol::PAPER_SET,
+        seeds,
+        |n| {
+            let n = n as u32;
+            let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(0.5);
+            cfg.deployment = Deployment::paper_column_for(n);
+            cfg
+        },
+        |s| (s.overhead_bits.mean(), s.overhead_bits.ci95_halfwidth()),
+    ))
 }
 
 /// Figure 10b: overhead ratio vs offered load among 200 sensors.
-pub fn fig10b_overhead_vs_load(seeds: u64) -> FigureResult {
-    normalized_against_sfama(
-        sweep(
-            "F10b",
-            "Overhead ratio vs offered load, 200 sensors (paper Fig. 10b)",
-            "load kbps",
-            "overhead ratio (S-FAMA = 1)",
-            &[0.4, 0.6, 0.8],
-            &Protocol::PAPER_SET,
-            seeds,
-            |load| {
-                let mut cfg = paper_base().with_sensors(200).with_offered_load_kbps(load);
-                cfg.deployment = Deployment::paper_column_for(200);
-                cfg
-            },
-            |s| (s.overhead_bits.mean(), s.overhead_bits.ci95_halfwidth()),
-        ),
-    )
+pub fn fig10b_overhead_vs_load(seeds: u64) -> ExperimentRun {
+    normalized_run(sweep(
+        "F10b",
+        "Overhead ratio vs offered load, 200 sensors (paper Fig. 10b)",
+        "load kbps",
+        "overhead ratio (S-FAMA = 1)",
+        &[0.4, 0.6, 0.8],
+        &Protocol::PAPER_SET,
+        seeds,
+        |load| {
+            let mut cfg = paper_base().with_sensors(200).with_offered_load_kbps(load);
+            cfg.deployment = Deployment::paper_column_for(200);
+            cfg
+        },
+        |s| (s.overhead_bits.mean(), s.overhead_bits.ci95_halfwidth()),
+    ))
 }
 
 /// Figure 11: efficiency index (Eq 4, throughput per unit power) vs load,
 /// normalized so S-FAMA = 1.
-pub fn fig11_efficiency(seeds: u64) -> FigureResult {
-    normalized_against_sfama(sweep(
+pub fn fig11_efficiency(seeds: u64) -> ExperimentRun {
+    normalized_run(sweep(
         "F11",
         "Efficiency indexes for different offered loads (paper Fig. 11)",
         "load kbps",
@@ -223,7 +270,7 @@ pub fn fig11_efficiency(seeds: u64) -> FigureResult {
 
 /// Extension X1: throughput vs data packet size (Table 2's 1024–4096-bit
 /// sweep; §2's large-packet argument).
-pub fn x1_packet_size(seeds: u64) -> FigureResult {
+pub fn x1_packet_size(seeds: u64) -> ExperimentRun {
     sweep(
         "X1",
         "Throughput vs data packet size, load 0.8 (Table 2 sweep)",
@@ -243,7 +290,7 @@ pub fn x1_packet_size(seeds: u64) -> FigureResult {
 
 /// Extension X2: EW-MAC's mobility sensitivity (§5's closing caveat: the
 /// protocol assumes stable pairwise delays).
-pub fn x2_mobility(seeds: u64) -> FigureResult {
+pub fn x2_mobility(seeds: u64) -> ExperimentRun {
     sweep(
         "X2",
         "Throughput vs drift speed, load 0.8 (§5 closing caveat)",
@@ -267,7 +314,7 @@ pub fn x2_mobility(seeds: u64) -> FigureResult {
 /// Extension X3: mixed packet sizes — §4.3's "data packets are not bound
 /// by a fixed data size", exercised as a uniform 512–4096-bit draw per SDU
 /// against the fixed-size default at the same mean offered bits.
-pub fn x3_mixed_sizes(seeds: u64) -> FigureResult {
+pub fn x3_mixed_sizes(seeds: u64) -> ExperimentRun {
     sweep(
         "X3",
         "Throughput with mixed vs fixed packet sizes",
@@ -288,7 +335,7 @@ pub fn x3_mixed_sizes(seeds: u64) -> FigureResult {
 /// Extension X4: in-simulation Hello phase instead of oracle neighbour
 /// installation (§4.3) — the cost of *learning* the delays, which mainly
 /// disarms CS-MAC's two-hop-dependent stealing.
-pub fn x4_hello_init(seeds: u64) -> FigureResult {
+pub fn x4_hello_init(seeds: u64) -> ExperimentRun {
     sweep(
         "X4",
         "Throughput with in-simulation Hello phase (no oracle tables)",
@@ -304,7 +351,7 @@ pub fn x4_hello_init(seeds: u64) -> FigureResult {
 
 /// Extension X5: source-level fairness (Jain index over per-origin
 /// delivered bits) — §3.1's stated purpose for the rp priority value.
-pub fn x5_fairness(seeds: u64) -> FigureResult {
+pub fn x5_fairness(seeds: u64) -> ExperimentRun {
     sweep(
         "X5",
         "Source fairness (Jain) vs offered load",
@@ -320,7 +367,7 @@ pub fn x5_fairness(seeds: u64) -> FigureResult {
 
 /// Extension X6: bandwidth utilization — the paper's title metric: the
 /// share of the window a modem spends carrying signal instead of waiting.
-pub fn x6_utilization(seeds: u64) -> FigureResult {
+pub fn x6_utilization(seeds: u64) -> ExperimentRun {
     sweep(
         "X6",
         "Channel (bandwidth) utilization vs offered load",
@@ -336,7 +383,7 @@ pub fn x6_utilization(seeds: u64) -> FigureResult {
 
 /// Extension X7: SDU aggregation — §2's collect-then-transmit argument made
 /// dynamic: bundling queued same-next-hop SDUs into one Eq-5 data frame.
-pub fn x7_aggregation(seeds: u64) -> FigureResult {
+pub fn x7_aggregation(seeds: u64) -> ExperimentRun {
     sweep(
         "X7",
         "EW-MAC SDU aggregation (collect-then-transmit)",
@@ -351,7 +398,7 @@ pub fn x7_aggregation(seeds: u64) -> FigureResult {
 }
 
 /// Ablation: what the extra-communication machinery buys EW-MAC.
-pub fn ablation_extra(seeds: u64) -> FigureResult {
+pub fn ablation_extra(seeds: u64) -> ExperimentRun {
     sweep(
         "ABL",
         "EW-MAC extra-communication ablation",
@@ -363,6 +410,12 @@ pub fn ablation_extra(seeds: u64) -> FigureResult {
         |load| paper_base().with_offered_load_kbps(load),
         |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
     )
+}
+
+/// [`normalized_against_sfama`] lifted over an [`ExperimentRun`].
+fn normalized_run(mut run: ExperimentRun) -> ExperimentRun {
+    run.figure = normalized_against_sfama(run.figure);
+    run
 }
 
 /// Divides every series by the S-FAMA series pointwise (the paper's ratio
@@ -402,18 +455,23 @@ pub fn table2() -> Vec<(&'static str, String)> {
             format!("{} km", cfg.channel.max_range_m() / 1_000.0),
         ),
         ("Acoustic speed", "1.5 km/s".to_string()),
-        ("Simulation time", format!("{} s", cfg.sim_time.as_secs_f64())),
+        (
+            "Simulation time",
+            format!("{} s", cfg.sim_time.as_secs_f64()),
+        ),
         ("Control packet size", format!("{} bits", cfg.control_bits)),
         ("Data packet size", format!("{} bits", cfg.data_bits)),
         (
             "Slot length",
-            format!("{:.6} s (omega {:.6} s + tau_max 1 s)", 1.0 + clock_omega, clock_omega),
+            format!(
+                "{:.6} s (omega {:.6} s + tau_max 1 s)",
+                1.0 + clock_omega,
+                clock_omega
+            ),
         ),
         (
             "Location models",
-            format!(
-                "static / horizontal / vertical drift, <= {PAPER_DRIFT_MS} m/s"
-            ),
+            format!("static / horizontal / vertical drift, <= {PAPER_DRIFT_MS} m/s"),
         ),
     ]
 }
@@ -432,10 +490,7 @@ mod tests {
     #[test]
     fn table2_lists_the_paper_parameters() {
         let rows = table2();
-        let text: String = rows
-            .iter()
-            .map(|(k, v)| format!("{k}={v};"))
-            .collect();
+        let text: String = rows.iter().map(|(k, v)| format!("{k}={v};")).collect();
         assert!(text.contains("Number of sensors=60"));
         assert!(text.contains("12 kbps"));
         assert!(text.contains("1.5 km"));
@@ -470,7 +525,7 @@ mod tests {
     #[test]
     fn tiny_sweep_produces_all_series() {
         // 2 protocols x 1 point x 1 seed: fast smoke of the sweep plumbing.
-        let fig = sweep(
+        let run = sweep(
             "T",
             "tiny",
             "x",
@@ -486,7 +541,13 @@ mod tests {
             },
             |s| (s.throughput_kbps.mean(), 0.0),
         );
-        assert_eq!(fig.series.len(), 2);
-        assert_eq!(fig.series[0].points.len(), 1);
+        assert_eq!(run.figure.series.len(), 2);
+        assert_eq!(run.figure.series[0].points.len(), 1);
+        // The manifest records the roster, the seeds, and every run's stats.
+        assert_eq!(run.manifest.id, "T");
+        assert_eq!(run.manifest.seeds, 1);
+        assert_eq!(run.manifest.protocols, vec!["S-FAMA", "EW-MAC"]);
+        assert_eq!(run.manifest.stats.runs, 2);
+        assert!(run.manifest.stats.events_processed > 0);
     }
 }

@@ -10,13 +10,16 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod manifest;
 pub mod protocols;
 pub mod report;
 pub mod runner;
 
+pub use experiments::ExperimentRun;
+pub use manifest::{RunManifest, StatsAggregate};
 pub use protocols::Protocol;
 pub use report::{FigureResult, Series};
-pub use runner::{run_once, run_replicated, Summary, DEFAULT_SEEDS};
+pub use runner::{run_once, run_once_full, run_replicated, Summary, DEFAULT_SEEDS};
 
 /// A miniature configuration for Criterion benches: the full stack (slots,
 /// handshakes, extras, energy, metrics) on a 12-sensor, 40-second network,

@@ -1,0 +1,376 @@
+//! Run manifests: a machine-readable record of what produced each results
+//! file, written as `<id>.manifest.json` next to the CSVs.
+//!
+//! A manifest captures the experiment identity, the crate version, the seed
+//! scheme and replication count, the protocol roster, a flattened snapshot
+//! of the base [`SimConfig`], and the engine's aggregated profiling
+//! statistics ([`StatsAggregate`]). Everything except wall-clock-derived
+//! numbers is deterministic for a given seed set. The `obs_report` binary
+//! pretty-prints manifests back.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use uasn_net::config::SimConfig;
+use uasn_net::traffic::TrafficPattern;
+use uasn_sim::engine::RunStats;
+use uasn_sim::json::JsonValue;
+
+/// Manifest schema identifier.
+pub const MANIFEST_SCHEMA: &str = "uasn-manifest";
+/// Bump when the manifest layout changes incompatibly.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+/// How the harness derives per-replication master seeds.
+pub const SEED_SCHEME: &str = "0xEA5E + replication * 7919";
+
+/// Engine profiling statistics summed over every run behind one artifact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsAggregate {
+    /// Simulation runs absorbed.
+    pub runs: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Total wall-clock spent in run loops.
+    pub wall: Duration,
+    /// Highest queue depth any run reached.
+    pub peak_queue_depth: usize,
+    /// Per-kind event totals, in first-seen order.
+    pub kind_counts: Vec<(&'static str, u64)>,
+    /// How each run stopped, in first-seen order.
+    pub stop_reasons: Vec<(&'static str, u64)>,
+}
+
+impl StatsAggregate {
+    /// Folds one run's statistics in.
+    pub fn absorb(&mut self, stats: &RunStats) {
+        self.runs += 1;
+        self.events_processed += stats.events_processed;
+        self.wall += stats.wall;
+        self.peak_queue_depth = self.peak_queue_depth.max(stats.peak_queue_depth);
+        for &(label, count) in &stats.kind_counts {
+            match self.kind_counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += count,
+                None => self.kind_counts.push((label, count)),
+            }
+        }
+        let reason = stats.stop_reason.as_str();
+        match self.stop_reasons.iter_mut().find(|(r, _)| *r == reason) {
+            Some((_, c)) => *c += 1,
+            None => self.stop_reasons.push((reason, 1)),
+        }
+    }
+
+    /// Merges another aggregate (e.g. per-cell into per-figure).
+    pub fn merge(&mut self, other: &StatsAggregate) {
+        self.runs += other.runs;
+        self.events_processed += other.events_processed;
+        self.wall += other.wall;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        for &(label, count) in &other.kind_counts {
+            match self.kind_counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += count,
+                None => self.kind_counts.push((label, count)),
+            }
+        }
+        for &(reason, count) in &other.stop_reasons {
+            match self.stop_reasons.iter_mut().find(|(r, _)| *r == reason) {
+                Some((_, c)) => *c += count,
+                None => self.stop_reasons.push((reason, count)),
+            }
+        }
+    }
+
+    /// Events processed per wall-clock second over all runs.
+    pub fn events_per_wall_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises into a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let pairs = |v: &[(&'static str, u64)]| {
+            JsonValue::Array(
+                v.iter()
+                    .map(|&(k, c)| {
+                        JsonValue::Array(vec![JsonValue::from_string(k), JsonValue::from_u64(c)])
+                    })
+                    .collect(),
+            )
+        };
+        JsonValue::Object(vec![
+            ("runs".to_string(), JsonValue::from_u64(self.runs)),
+            (
+                "events_processed".to_string(),
+                JsonValue::from_u64(self.events_processed),
+            ),
+            (
+                "wall_us".to_string(),
+                JsonValue::from_u64(self.wall.as_micros() as u64),
+            ),
+            (
+                "peak_queue_depth".to_string(),
+                JsonValue::from_u64(self.peak_queue_depth as u64),
+            ),
+            (
+                "events_per_wall_sec".to_string(),
+                JsonValue::from_f64(self.events_per_wall_sec()),
+            ),
+            ("kind_counts".to_string(), pairs(&self.kind_counts)),
+            ("stop_reasons".to_string(), pairs(&self.stop_reasons)),
+        ])
+    }
+}
+
+/// Flattens the interesting [`SimConfig`] knobs into `(key, value)` strings
+/// for the manifest's `config` object.
+pub fn config_summary(cfg: &SimConfig) -> Vec<(String, String)> {
+    let mut rows = vec![
+        ("sensors".to_string(), cfg.sensors.to_string()),
+        ("sinks".to_string(), cfg.sinks.to_string()),
+        ("bitrate_bps".to_string(), format!("{}", cfg.bitrate_bps)),
+        ("control_bits".to_string(), cfg.control_bits.to_string()),
+        ("data_bits".to_string(), cfg.data_bits.to_string()),
+        (
+            "traffic".to_string(),
+            match cfg.traffic {
+                TrafficPattern::Poisson { offered_load_kbps } => {
+                    format!("poisson {offered_load_kbps} kbps")
+                }
+                TrafficPattern::Batch {
+                    total_packets,
+                    window,
+                } => format!("batch {total_packets} pkts in {} s", window.as_secs_f64()),
+            },
+        ),
+        (
+            "sim_time_s".to_string(),
+            format!("{}", cfg.sim_time.as_secs_f64()),
+        ),
+        (
+            "max_time_s".to_string(),
+            format!("{}", cfg.max_time.as_secs_f64()),
+        ),
+        ("base_seed".to_string(), cfg.seed.to_string()),
+        (
+            "mobility".to_string(),
+            if cfg.mobility.enabled {
+                format!("<= {} m/s", cfg.mobility.max_speed_ms)
+            } else {
+                "off".to_string()
+            },
+        ),
+        ("forwarding".to_string(), cfg.forwarding.to_string()),
+        ("hello_init".to_string(), cfg.hello_init.to_string()),
+    ];
+    if let Some((min, max)) = cfg.data_bits_range {
+        rows.push(("data_bits_range".to_string(), format!("{min}..={max}")));
+    }
+    if let Some(interval) = cfg.sample_interval {
+        rows.push((
+            "sample_interval_s".to_string(),
+            format!("{}", interval.as_secs_f64()),
+        ));
+    }
+    rows
+}
+
+/// The manifest written next to one results artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment id ("F6", "X1", "LAT", …) — names the output files.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// `uasn-bench` version that produced the artifact.
+    pub crate_version: &'static str,
+    /// Replications per figure cell.
+    pub seeds: u64,
+    /// How per-replication seeds derive ([`SEED_SCHEME`]).
+    pub seed_scheme: &'static str,
+    /// Protocol legend labels.
+    pub protocols: Vec<String>,
+    /// Flattened base configuration ([`config_summary`]).
+    pub config: Vec<(String, String)>,
+    /// Aggregated engine profiling over every run.
+    pub stats: StatsAggregate,
+}
+
+impl RunManifest {
+    /// Builds a manifest for an artifact produced from `cfg`-based runs.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        seeds: u64,
+        protocols: Vec<String>,
+        cfg: &SimConfig,
+        stats: StatsAggregate,
+    ) -> Self {
+        RunManifest {
+            id: id.into(),
+            title: title.into(),
+            crate_version: env!("CARGO_PKG_VERSION"),
+            seeds,
+            seed_scheme: SEED_SCHEME,
+            protocols,
+            config: config_summary(cfg),
+            stats,
+        }
+    }
+
+    /// Serialises into the manifest JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::from_string(MANIFEST_SCHEMA),
+            ),
+            (
+                "version".to_string(),
+                JsonValue::from_u64(MANIFEST_SCHEMA_VERSION),
+            ),
+            ("id".to_string(), JsonValue::from_string(&self.id)),
+            ("title".to_string(), JsonValue::from_string(&self.title)),
+            (
+                "crate_version".to_string(),
+                JsonValue::from_string(self.crate_version),
+            ),
+            ("seeds".to_string(), JsonValue::from_u64(self.seeds)),
+            (
+                "seed_scheme".to_string(),
+                JsonValue::from_string(self.seed_scheme),
+            ),
+            (
+                "protocols".to_string(),
+                JsonValue::Array(self.protocols.iter().map(JsonValue::from_string).collect()),
+            ),
+            (
+                "config".to_string(),
+                JsonValue::Object(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from_string(v)))
+                        .collect(),
+                ),
+            ),
+            ("stats".to_string(), self.stats.to_json()),
+        ])
+    }
+
+    /// The file name the manifest writes under: `<id>.manifest.json`.
+    pub fn file_name(&self) -> String {
+        format!("{}.manifest.json", self.id)
+    }
+
+    /// Writes the pretty-printed manifest into `dir`, returning its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let mut text = self.to_json().to_json_pretty();
+        text.push('\n');
+        fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uasn_sim::engine::StopReason;
+    use uasn_sim::time::SimTime;
+
+    fn stats(events: u64) -> RunStats {
+        RunStats {
+            stop_reason: StopReason::HorizonReached,
+            events_processed: events,
+            sim_end: SimTime::from_secs(300),
+            wall: Duration::from_millis(5),
+            peak_queue_depth: 40,
+            mean_queue_depth: 11.5,
+            kind_counts: vec![("tx-start", events / 2), ("tx-end", events / 2)],
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_runs() {
+        let mut agg = StatsAggregate::default();
+        agg.absorb(&stats(100));
+        agg.absorb(&stats(50));
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.events_processed, 150);
+        assert_eq!(agg.peak_queue_depth, 40);
+        assert_eq!(agg.kind_counts, vec![("tx-start", 75), ("tx-end", 75)]);
+        assert_eq!(agg.stop_reasons, vec![("horizon-reached", 2)]);
+    }
+
+    #[test]
+    fn merge_combines_aggregates() {
+        let mut a = StatsAggregate::default();
+        a.absorb(&stats(10));
+        let mut b = StatsAggregate::default();
+        b.absorb(&stats(20));
+        a.merge(&b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.events_processed, 30);
+    }
+
+    #[test]
+    fn manifest_json_parses_back() {
+        let mut agg = StatsAggregate::default();
+        agg.absorb(&stats(100));
+        let m = RunManifest::new(
+            "F6",
+            "Throughput vs load",
+            8,
+            vec!["S-FAMA".to_string(), "EW-MAC".to_string()],
+            &SimConfig::paper_default(),
+            agg,
+        );
+        let text = m.to_json().to_json_pretty();
+        let back = JsonValue::parse(&text).expect("valid json");
+        assert_eq!(
+            back.get("schema").and_then(JsonValue::as_str),
+            Some(MANIFEST_SCHEMA)
+        );
+        assert_eq!(back.get("id").and_then(JsonValue::as_str), Some("F6"));
+        assert_eq!(back.get("seeds").and_then(JsonValue::as_u64), Some(8));
+        let config = back.get("config").expect("config object");
+        assert_eq!(
+            config.get("sensors").and_then(JsonValue::as_str),
+            Some("60")
+        );
+        let stats = back.get("stats").expect("stats object");
+        assert_eq!(
+            stats.get("events_processed").and_then(JsonValue::as_u64),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn write_creates_manifest_file() {
+        let dir = std::env::temp_dir().join("uasn-bench-test-manifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = RunManifest::new(
+            "T",
+            "test",
+            1,
+            vec![],
+            &SimConfig::paper_default(),
+            StatsAggregate::default(),
+        );
+        let path = m.write(&dir).expect("write");
+        assert!(path.ends_with("T.manifest.json"));
+        let content = std::fs::read_to_string(&path).expect("read");
+        JsonValue::parse(&content).expect("valid json on disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

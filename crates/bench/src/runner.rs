@@ -7,10 +7,11 @@
 
 use uasn_net::config::SimConfig;
 use uasn_net::metrics::MetricsReport;
-use uasn_net::world::Simulation;
+use uasn_net::world::{RunOutput, Simulation};
 use uasn_sim::stats::Replications;
 use uasn_sim::time::SimTime;
 
+use crate::manifest::StatsAggregate;
 use crate::protocols::Protocol;
 
 /// Default replication count per figure point.
@@ -46,6 +47,8 @@ pub struct Summary {
     pub fairness: Replications,
     /// Mean channel (bandwidth) utilization.
     pub utilization: Replications,
+    /// Engine profiling summed over the cell's replications.
+    pub stats: StatsAggregate,
 }
 
 /// Runs one seed of one cell.
@@ -56,10 +59,21 @@ pub struct Summary {
 /// harness configurations are fixed by the experiment definitions, so this
 /// is a programming error, not an input error.
 pub fn run_once(cfg: &SimConfig, protocol: Protocol) -> MetricsReport {
+    run_once_full(cfg, protocol).report
+}
+
+/// Like [`run_once`], but returns everything the run produced — including
+/// the engine's [`uasn_sim::engine::RunStats`] and, when
+/// [`SimConfig::sample_interval`] is set, the sampled time series.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_once`].
+pub fn run_once_full(cfg: &SimConfig, protocol: Protocol) -> RunOutput {
     let factory = move |id: uasn_net::node::NodeId| protocol.build(id);
     Simulation::new(cfg.clone(), &factory)
         .unwrap_or_else(|e| panic!("{} config rejected: {e}", protocol.name()))
-        .run()
+        .run_full()
 }
 
 /// Runs `seeds` independent replications and summarises.
@@ -78,10 +92,13 @@ pub fn run_replicated(cfg: &SimConfig, protocol: Protocol, seeds: u64) -> Summar
         delivery_ratio: Replications::new(),
         fairness: Replications::new(),
         utilization: Replications::new(),
+        stats: StatsAggregate::default(),
     };
     for seed in 0..seeds {
         let cfg = cfg.clone().with_seed(0xEA5E + seed * 7_919);
-        let report = run_once(&cfg, protocol);
+        let out = run_once_full(&cfg, protocol);
+        summary.stats.absorb(&out.stats);
+        let report = out.report;
         summary.throughput_kbps.add(report.throughput_kbps);
         summary.power_mw.add(report.avg_power_mw);
         summary.overhead_bits.add(report.overhead_bits as f64);
@@ -127,6 +144,9 @@ mod tests {
         assert_eq!(s.throughput_kbps.count(), 3);
         assert_eq!(s.power_mw.count(), 3);
         assert!(s.power_mw.mean() > 0.0);
+        assert_eq!(s.stats.runs, 3);
+        assert!(s.stats.events_processed > 0);
+        assert!(s.stats.kind_counts.iter().any(|&(k, _)| k == "slot-start"));
     }
 
     #[test]
@@ -135,9 +155,6 @@ mod tests {
         // stochastic runs. (A zero CI over 3 seeds is astronomically
         // unlikely for throughput with Poisson traffic.)
         let s = run_replicated(&tiny_cfg(), Protocol::SFama, 3);
-        assert!(
-            s.throughput_kbps.ci95_halfwidth() > 0.0
-                || s.throughput_kbps.mean() == 0.0
-        );
+        assert!(s.throughput_kbps.ci95_halfwidth() > 0.0 || s.throughput_kbps.mean() == 0.0);
     }
 }

@@ -200,7 +200,13 @@ mod tests {
         let r = obs_receiver();
         // We decode the CTS shortly after slot 10 starts; τij = 300 ms.
         let now = c.start_of(10) + SimDuration::from_millis(320);
-        let send = exr_send_time(&c, &r, now, SimDuration::from_millis(300), SimDuration::from_millis(2));
+        let send = exr_send_time(
+            &c,
+            &r,
+            now,
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(2),
+        );
         assert_eq!(send, Some(now));
         // Arrival end = now + 300ms + ω + 2ms ≈ slot10+627ms,
         // window closes at slot11 start + 600 ms ≈ slot10+1605ms. OK.
@@ -212,7 +218,13 @@ mod tests {
         let r = obs_receiver();
         // Ask absurdly late: just before the data lands at j.
         let now = r.data_arrival_at_receiver(&c) - SimDuration::from_millis(1);
-        let send = exr_send_time(&c, &r, now, SimDuration::from_millis(300), SimDuration::from_millis(2));
+        let send = exr_send_time(
+            &c,
+            &r,
+            now,
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(2),
+        );
         assert_eq!(send, None);
     }
 
@@ -284,9 +296,12 @@ mod tests {
             assert!(end > c.start_of(obs.ack_slot(&c)));
             // the EXData (receiver case) also lands before/at the wider
             // quiet horizon plus its own duration
-            let exdata_arrival =
-                exdata_send_time(&c, &obs, SimDuration::from_millis(300), SimDuration::from_millis(2))
-                    + SimDuration::from_millis(300);
+            let exdata_arrival = exdata_send_time(
+                &c,
+                &obs,
+                SimDuration::from_millis(300),
+                SimDuration::from_millis(2),
+            ) + SimDuration::from_millis(300);
             assert!(exdata_arrival <= end + SimDuration::from_secs(1));
         }
     }

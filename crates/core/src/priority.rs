@@ -67,7 +67,10 @@ mod tests {
         let cfg = EwMacConfig::default();
         let mut r = rng();
         let avg = |waited: u64, r: &mut rand::rngs::StdRng| -> f64 {
-            (0..200).map(|_| priority_value(r, &cfg, waited) as f64).sum::<f64>() / 200.0
+            (0..200)
+                .map(|_| priority_value(r, &cfg, waited) as f64)
+                .sum::<f64>()
+                / 200.0
         };
         let short = avg(0, &mut r);
         let long = avg(50, &mut r);

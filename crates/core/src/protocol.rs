@@ -268,9 +268,7 @@ impl EwMac {
         // The paper protects only the exchange being exploited and accepts
         // residual RTS/extra collision risk ("we do not assure that there is
         // no collision"); actual overlaps are caught by the modem ledger.
-        let can_try = self.cfg.enable_extra
-            && self.grant.is_none()
-            && !self.queue.is_empty();
+        let can_try = self.cfg.enable_extra && self.grant.is_none() && !self.queue.is_empty();
         if can_try {
             if let Some(tau_ij) = self.neighbors.delay_of(obs.peer) {
                 let clock = ctx.clock();
@@ -278,9 +276,10 @@ impl EwMac {
                     exr_send_time(&clock, &obs, now, tau_ij, self.cfg.extra_guard)
                 {
                     let td = self.head_td(ctx).expect("queue checked non-empty");
-                    let exr = Frame::control(FrameKind::ExRts, self.id, obs.peer, ctx.control_bits())
-                        .with_data_duration(td)
-                        .with_pair_delay(tau_ij);
+                    let exr =
+                        Frame::control(FrameKind::ExRts, self.id, obs.peer, ctx.control_bits())
+                            .with_data_duration(td)
+                            .with_pair_delay(tau_ij);
                     ctx.send_frame_at(exr, send_at);
                     self.extra_attempts += 1;
                     // EXC should be back within a round trip plus decode.
@@ -372,7 +371,9 @@ impl EwMac {
                     data_duration: rx.frame.data_duration.unwrap_or(SimDuration::ZERO),
                 }
             }
-            Role::Contending { peer, rts_slot, td, .. } => {
+            Role::Contending {
+                peer, rts_slot, td, ..
+            } => {
                 let pair_delay = match self.neighbors.delay_of(peer) {
                     Some(d) => d,
                     None => return,
@@ -582,8 +583,7 @@ impl MacProtocol for EwMac {
             } => {
                 if slot == ack_slot {
                     if data_received {
-                        let ack =
-                            Frame::control(FrameKind::Ack, self.id, peer, ctx.control_bits());
+                        let ack = Frame::control(FrameKind::Ack, self.id, peer, ctx.control_bits());
                         ctx.send_frame_now(ack);
                         transmitted = true;
                     }
@@ -657,7 +657,8 @@ impl MacProtocol for EwMac {
 
     fn on_frame_received(&mut self, ctx: &mut MacContext<'_>, rx: &Reception<'_>) {
         // §4.3: every reception refreshes the one-hop delay table.
-        self.neighbors.observe(rx.frame.src, rx.prop_delay, ctx.now());
+        self.neighbors
+            .observe(rx.frame.src, rx.prop_delay, ctx.now());
 
         let frame = rx.frame;
         let to_me = rx.addressed_to(self.id);
@@ -817,6 +818,17 @@ impl MacProtocol for EwMac {
     fn queue_len(&self) -> usize {
         self.queue.len()
     }
+
+    fn state_label(&self) -> &'static str {
+        match self.role {
+            Role::Idle => "idle",
+            Role::Contending { .. } => "contending",
+            Role::SendingData { .. } => "sending-data",
+            Role::Receiving { .. } => "receiving",
+            Role::ExtraRequesting { .. } => "extra-requesting",
+            Role::ExtraSending { .. } => "extra-sending",
+        }
+    }
 }
 
 // Re-export Rng for the backoff's gen_range call site.
@@ -850,10 +862,7 @@ mod tests {
             Harness {
                 mac: EwMac::new(NodeId::new(id), cfg),
                 rng: StdRng::seed_from_u64(7),
-                clock: SlotClock::new(
-                    SimDuration::from_micros(5_333),
-                    SimDuration::from_secs(1),
-                ),
+                clock: SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1)),
                 spec: ModemSpec::new(12_000.0),
                 commands: Vec::new(),
             }

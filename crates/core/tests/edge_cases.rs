@@ -273,7 +273,10 @@ fn grant_is_exclusive_until_resolved() {
     exr1.timestamp = clock.start_of(1) + SimDuration::from_millis(100);
     s.recv(exr1, 100);
     let first: Vec<_> = s.sent();
-    assert_eq!(first.iter().filter(|f| f.kind == FrameKind::ExCts).count(), 1);
+    assert_eq!(
+        first.iter().filter(|f| f.kind == FrameKind::ExCts).count(),
+        1
+    );
     // …a second EXR in the same window must be refused.
     let mut exr2 = Frame::control(FrameKind::ExRts, NodeId::new(2), NodeId::new(5), 64)
         .with_data_duration(SimDuration::from_micros(170_667));
@@ -403,7 +406,11 @@ fn aggregation_bundles_same_next_hop_sdus() {
         3,
     );
     s.recv(ack, 400);
-    assert_eq!(s.mac.queue_len(), 1, "three delivered, the cross-hop one left");
+    assert_eq!(
+        s.mac.queue_len(),
+        1,
+        "three delivered, the cross-hop one left"
+    );
 }
 
 #[test]

@@ -21,19 +21,19 @@ fn arb_obs() -> impl Strategy<Value = ObservedNegotiation> {
     (
         proptest::bool::ANY,
         0u64..500,
-        1_000u64..1_000_000,    // pair delay µs (≤ τmax)
-        10_000u64..2_000_000,   // data duration µs
+        1_000u64..1_000_000,  // pair delay µs (≤ τmax)
+        10_000u64..2_000_000, // data duration µs
     )
-        .prop_map(|(peer_is_receiver, control_slot, pair_us, td_us)| {
-            ObservedNegotiation {
+        .prop_map(
+            |(peer_is_receiver, control_slot, pair_us, td_us)| ObservedNegotiation {
                 peer: NodeId::new(1),
                 other: NodeId::new(2),
                 peer_is_receiver,
                 control_slot,
                 pair_delay: SimDuration::from_micros(pair_us),
                 data_duration: SimDuration::from_micros(td_us),
-            }
-        })
+            },
+        )
 }
 
 proptest! {

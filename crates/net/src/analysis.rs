@@ -102,8 +102,8 @@ pub fn analyze_topology(nodes: &[NodeInfo], channel: &AcousticChannel) -> Topolo
             let route = route_uphill(&positions, NodeId::new(idx as u32), channel.max_range_m());
             route_hops.add((route.len() - 1) as f64);
             for hop in route.windows(2) {
-                let tau = channel
-                    .propagation_delay(positions[hop[0].index()], positions[hop[1].index()]);
+                let tau =
+                    channel.propagation_delay(positions[hop[0].index()], positions[hop[1].index()]);
                 route_delay_stats.add(tau.as_secs_f64());
             }
         }
@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn paper_column_has_hidden_terminals() {
         let a = analysis(60, 1);
-        assert!(a.hidden_pairs > 0, "a 6 km column must hide deep from shallow nodes");
+        assert!(
+            a.hidden_pairs > 0,
+            "a 6 km column must hide deep from shallow nodes"
+        );
         assert!(a.hidden_ratio > 0.0 && a.hidden_ratio < 1.0);
     }
 
@@ -174,7 +177,10 @@ mod tests {
         let a = analysis(60, 2);
         assert!(a.delay_stats.max().expect("links exist") <= 1.0 + 1e-9);
         assert!(a.delay_stats.min().expect("links exist") > 0.0);
-        assert!(a.delay_stats.mean() > 0.1, "column links are not trivially short");
+        assert!(
+            a.delay_stats.mean() > 0.1,
+            "column links are not trivially short"
+        );
     }
 
     #[test]

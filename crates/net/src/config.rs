@@ -88,6 +88,13 @@ pub struct SimConfig {
     /// `[min, max]` bits instead of the fixed `data_bits` (§4.3: "data
     /// packets are not bound by a fixed data size").
     pub data_bits_range: Option<(u32, u32)>,
+    /// When set, the world schedules a periodic sampler that snapshots
+    /// per-node queue depth, MAC state, channel occupancy, and the
+    /// cumulative metric counters every `sample_interval`, exposing the
+    /// series through [`crate::world::RunOutput`]. `None` (the default)
+    /// adds no events, so the seed event stream — and therefore every
+    /// seeded run — is byte-for-byte unchanged.
+    pub sample_interval: Option<SimDuration>,
 }
 
 impl SimConfig {
@@ -114,6 +121,7 @@ impl SimConfig {
             forwarding: true,
             hello_init: false,
             data_bits_range: None,
+            sample_interval: None,
         }
     }
 
@@ -191,6 +199,12 @@ impl SimConfig {
         self
     }
 
+    /// Enables the periodic time-series sampler at `interval`.
+    pub fn with_sample_interval(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+
     /// The simulation horizon as an instant.
     pub fn horizon(&self) -> SimTime {
         SimTime::ZERO + self.sim_time
@@ -247,7 +261,10 @@ impl SimConfig {
                     return Err(bad("traffic", "offered load must be finite and positive"));
                 }
             }
-            TrafficPattern::Batch { total_packets, window } => {
+            TrafficPattern::Batch {
+                total_packets,
+                window,
+            } => {
                 if total_packets == 0 {
                     return Err(bad("traffic", "batch must contain at least one packet"));
                 }
@@ -265,6 +282,11 @@ impl SimConfig {
                     "data_bits_range",
                     "data packets must be at least control-packet sized",
                 ));
+            }
+        }
+        if let Some(interval) = self.sample_interval {
+            if interval.is_zero() {
+                return Err(bad("sample_interval", "must be positive when set"));
             }
         }
         if self.mobility.enabled {
@@ -363,10 +385,7 @@ mod tests {
             },
             "max_time",
         );
-        assert_field(
-            SimConfig::paper_default().with_data_bits(32),
-            "data_bits",
-        );
+        assert_field(SimConfig::paper_default().with_data_bits(32), "data_bits");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`world`] — the event-driven network simulator
 //!   ([`world::Simulation`]).
 //! * [`metrics`] — the paper's measurement axes (Eq 2–4, §5.2–§5.3).
+//! * [`sampling`] — the periodic time-series sampler behind
+//!   [`config::SimConfig::sample_interval`].
 //! * [`config`] — Table 2 as a validated builder.
 //! * [`analysis`] — static topology diagnostics (hidden terminals, delay
 //!   distributions, exploitable waiting windows).
@@ -48,6 +50,7 @@ pub mod node;
 pub mod packet;
 pub mod quiet;
 pub mod routing;
+pub mod sampling;
 pub mod slots;
 pub mod topology;
 pub mod traffic;
@@ -55,10 +58,13 @@ pub mod world;
 
 pub use config::SimConfig;
 pub use error::BuildNetworkError;
-pub use mac::{MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken};
+pub use mac::{
+    MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken,
+};
 pub use metrics::{MetricsReport, NodeCounters};
 pub use node::{NodeId, NodeInfo, NodeRole};
 pub use packet::{Frame, FrameKind, Sdu};
 pub use quiet::QuietSchedule;
+pub use sampling::{NodeSample, Snapshot, TimeSeries};
 pub use slots::{SlotClock, SlotIndex};
-pub use world::Simulation;
+pub use world::{RunOutput, Simulation};

@@ -298,6 +298,13 @@ pub trait MacProtocol: fmt::Debug {
     /// SDUs accepted but not yet acknowledged-delivered (diagnostics and
     /// batch-mode progress).
     fn queue_len(&self) -> usize;
+
+    /// A short static label for the protocol's current control state
+    /// ("idle", "contending", …), consumed by the time-series sampler.
+    /// The default suits stateless MACs.
+    fn state_label(&self) -> &'static str {
+        "-"
+    }
 }
 
 #[cfg(test)]

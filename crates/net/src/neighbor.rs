@@ -251,7 +251,10 @@ mod tests {
         let mut theirs = OneHopTable::new();
         theirs.observe(NodeId::new(7), d(420), t(0));
         mine.install(NodeId::new(3), theirs);
-        assert_eq!(mine.delay_between(NodeId::new(3), NodeId::new(7)), Some(d(420)));
+        assert_eq!(
+            mine.delay_between(NodeId::new(3), NodeId::new(7)),
+            Some(d(420))
+        );
         assert_eq!(mine.delay_between(NodeId::new(3), NodeId::new(8)), None);
         assert_eq!(mine.delay_between(NodeId::new(4), NodeId::new(7)), None);
         assert_eq!(mine.len(), 1);

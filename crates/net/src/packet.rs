@@ -335,6 +335,9 @@ mod tests {
     fn display_is_informative() {
         let f = Frame::control(FrameKind::Rts, NodeId::new(1), NodeId::new(2), 64);
         let s = f.to_string();
-        assert!(s.contains("RTS") && s.contains("n1") && s.contains("n2"), "{s}");
+        assert!(
+            s.contains("RTS") && s.contains("n1") && s.contains("n2"),
+            "{s}"
+        );
     }
 }

@@ -97,29 +97,44 @@ mod tests {
     #[test]
     fn picks_shallowest_in_range() {
         let p = column();
-        assert_eq!(next_hop_uphill(&p, NodeId::new(3), 1_500.0), Some(NodeId::new(2)));
-        assert_eq!(next_hop_uphill(&p, NodeId::new(2), 1_500.0), Some(NodeId::new(1)));
-        assert_eq!(next_hop_uphill(&p, NodeId::new(1), 1_500.0), Some(NodeId::new(0)));
+        assert_eq!(
+            next_hop_uphill(&p, NodeId::new(3), 1_500.0),
+            Some(NodeId::new(2))
+        );
+        assert_eq!(
+            next_hop_uphill(&p, NodeId::new(2), 1_500.0),
+            Some(NodeId::new(1))
+        );
+        assert_eq!(
+            next_hop_uphill(&p, NodeId::new(1), 1_500.0),
+            Some(NodeId::new(0))
+        );
     }
 
     #[test]
     fn prefers_minimum_depth_over_proximity() {
         let p = vec![
-            Point::new(0.0, 0.0, 100.0),   // n0 shallow but 1.4 km away
-            Point::new(0.0, 0.0, 1_450.0), // n1 nearby but deep
+            Point::new(0.0, 0.0, 100.0),    // n0 shallow but 1.4 km away
+            Point::new(0.0, 0.0, 1_450.0),  // n1 nearby but deep
             Point::new(0.0, 10.0, 1_500.0), // n2: the sender
         ];
-        assert_eq!(next_hop_uphill(&p, NodeId::new(2), 1_500.0), Some(NodeId::new(0)));
+        assert_eq!(
+            next_hop_uphill(&p, NodeId::new(2), 1_500.0),
+            Some(NodeId::new(0))
+        );
     }
 
     #[test]
     fn tie_on_depth_breaks_by_distance_then_id() {
         let p = vec![
-            Point::new(0.0, 0.0, 500.0),     // n0, 1000 m away
-            Point::new(600.0, 0.0, 500.0),   // n1, 781 m away -> wins
+            Point::new(0.0, 0.0, 500.0),       // n0, 1000 m away
+            Point::new(600.0, 0.0, 500.0),     // n1, 781 m away -> wins
             Point::new(600.0, 800.0, 1_300.0), // n2: sender
         ];
-        assert_eq!(next_hop_uphill(&p, NodeId::new(2), 1_500.0), Some(NodeId::new(1)));
+        assert_eq!(
+            next_hop_uphill(&p, NodeId::new(2), 1_500.0),
+            Some(NodeId::new(1))
+        );
     }
 
     #[test]
@@ -143,22 +158,27 @@ mod tests {
         let route = route_uphill(&p, NodeId::new(3), 1_500.0);
         assert_eq!(
             route,
-            vec![NodeId::new(3), NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+            vec![
+                NodeId::new(3),
+                NodeId::new(2),
+                NodeId::new(1),
+                NodeId::new(0)
+            ]
         );
     }
 
     #[test]
     fn route_from_sink_is_single_node() {
         let p = column();
-        assert_eq!(route_uphill(&p, NodeId::new(0), 1_500.0), vec![NodeId::new(0)]);
+        assert_eq!(
+            route_uphill(&p, NodeId::new(0), 1_500.0),
+            vec![NodeId::new(0)]
+        );
     }
 
     #[test]
     fn equal_depth_nodes_do_not_route_to_each_other() {
-        let p = vec![
-            Point::new(0.0, 0.0, 500.0),
-            Point::new(100.0, 0.0, 500.0),
-        ];
+        let p = vec![Point::new(0.0, 0.0, 500.0), Point::new(100.0, 0.0, 500.0)];
         assert_eq!(next_hop_uphill(&p, NodeId::new(0), 1_500.0), None);
         assert_eq!(next_hop_uphill(&p, NodeId::new(1), 1_500.0), None);
     }

@@ -44,7 +44,10 @@ impl SlotClock {
     /// Panics if either duration is zero.
     pub fn new(omega: SimDuration, tau_max: SimDuration) -> Self {
         assert!(!omega.is_zero(), "control-packet duration must be positive");
-        assert!(!tau_max.is_zero(), "maximum propagation delay must be positive");
+        assert!(
+            !tau_max.is_zero(),
+            "maximum propagation delay must be positive"
+        );
         SlotClock {
             omega,
             tau_max,
@@ -111,10 +114,7 @@ mod tests {
 
     fn clock() -> SlotClock {
         // Table 2 numbers: 64-bit control at 12 kbps, 1.5 km at 1.5 km/s.
-        SlotClock::new(
-            SimDuration::from_micros(5_333),
-            SimDuration::from_secs(1),
-        )
+        SlotClock::new(SimDuration::from_micros(5_333), SimDuration::from_secs(1))
     }
 
     #[test]
@@ -130,7 +130,10 @@ mod tests {
         let c = clock();
         let len = c.slot_len();
         assert_eq!(c.slot_of(SimTime::ZERO), 0);
-        assert_eq!(c.slot_of(SimTime::ZERO + len - SimDuration::from_micros(1)), 0);
+        assert_eq!(
+            c.slot_of(SimTime::ZERO + len - SimDuration::from_micros(1)),
+            0
+        );
         assert_eq!(c.slot_of(SimTime::ZERO + len), 1);
     }
 

@@ -76,11 +76,7 @@ impl Deployment {
                 extent_m,
                 layers,
                 layer_spacing_m,
-            } => Region::new(
-                extent_m,
-                extent_m,
-                (layers as f64 + 0.5) * layer_spacing_m,
-            ),
+            } => Region::new(extent_m, extent_m, (layers as f64 + 0.5) * layer_spacing_m),
         }
     }
 
@@ -113,9 +109,7 @@ impl Deployment {
             });
         }
         match *self {
-            Deployment::UniformBox { region } => {
-                Ok(generate_uniform(rng, sensors, sinks, &region))
-            }
+            Deployment::UniformBox { region } => Ok(generate_uniform(rng, sensors, sinks, &region)),
             Deployment::LayeredColumn {
                 extent_m,
                 layers,
@@ -188,10 +182,7 @@ fn generate_layered<R: Rng>(
     let mut nodes = Vec::with_capacity((sensors + sinks) as usize);
     // Sinks: spread over the surface.
     for i in 0..sinks {
-        let p = Point::surface(
-            rng.gen_range(0.0..=extent_m),
-            rng.gen_range(0.0..=extent_m),
-        );
+        let p = Point::surface(rng.gen_range(0.0..=extent_m), rng.gen_range(0.0..=extent_m));
         nodes.push(NodeInfo::anchored(NodeId::new(i), p, NodeRole::Sink));
     }
     // Sensors: round-robin layer assignment with ±20% depth jitter.

@@ -21,8 +21,8 @@ use uasn_phy::channel::AcousticChannel;
 use uasn_phy::energy::EnergyMeter;
 use uasn_phy::geometry::Point;
 use uasn_phy::mobility::MobilityModel;
-use uasn_phy::modem::{Modem, ModemSpec, ReceptionId};
-use uasn_sim::engine::{Engine, Schedule, StopReason};
+use uasn_phy::modem::{Modem, ModemSpec, ModemState, ReceptionId};
+use uasn_sim::engine::{Engine, EventLabel, RunStats, Schedule, StopReason};
 use uasn_sim::rng::SeedFactory;
 use uasn_sim::time::{SimDuration, SimTime};
 use uasn_sim::trace::{TraceLevel, Tracer};
@@ -38,6 +38,7 @@ use crate::neighbor::ANNOUNCE_BITS_PER_ENTRY;
 use crate::node::{NodeId, NodeInfo, NodeRole};
 use crate::packet::{Frame, Sdu};
 use crate::routing::next_hop_uphill;
+use crate::sampling::{NodeSample, Snapshot, TimeSeries};
 use crate::slots::{SlotClock, SlotIndex};
 use crate::topology::stranded_sensors;
 use crate::traffic::{per_sensor_rate, ArrivalStream, TrafficPattern};
@@ -68,6 +69,26 @@ enum NetEvent {
     MobilityTick,
     /// Charge periodic neighbour-maintenance costs.
     MaintenanceTick,
+    /// Record a time-series snapshot and reschedule.
+    SampleTick,
+}
+
+impl EventLabel for NetEvent {
+    fn label(&self) -> &'static str {
+        match self {
+            NetEvent::Start => "start",
+            NetEvent::SlotStart(_) => "slot-start",
+            NetEvent::TrafficArrival { .. } => "traffic",
+            NetEvent::TxStart { .. } => "tx-start",
+            NetEvent::TxEnd { .. } => "tx-end",
+            NetEvent::RxStart { .. } => "rx-start",
+            NetEvent::RxEnd { .. } => "rx-end",
+            NetEvent::Timer { .. } => "timer",
+            NetEvent::MobilityTick => "mobility",
+            NetEvent::MaintenanceTick => "maintenance",
+            NetEvent::SampleTick => "sample",
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -116,6 +137,7 @@ struct NetworkWorld {
     next_sdu_id: u64,
     traffic_end: SimTime,
     tracer: Tracer,
+    series: Option<TimeSeries>,
 }
 
 impl std::fmt::Debug for NetworkWorld {
@@ -137,7 +159,13 @@ impl NetworkWorld {
         self.meters[node].set_state(self.now, state);
     }
 
-    fn trace(&mut self, level: TraceLevel, node: usize, tag: &'static str, msg: impl FnOnce() -> String) {
+    fn trace(
+        &mut self,
+        level: TraceLevel,
+        node: usize,
+        tag: &'static str,
+        msg: impl FnOnce() -> String,
+    ) {
         if self.tracer.enabled(level) {
             self.tracer.record(self.now, level, Some(node), tag, msg());
         }
@@ -280,7 +308,10 @@ impl NetworkWorld {
                 },
             );
             sched.at(arrival_start, NetEvent::RxStart { token: rx_token });
-            sched.at(arrival_start + duration, NetEvent::RxEnd { token: rx_token });
+            sched.at(
+                arrival_start + duration,
+                NetEvent::RxEnd { token: rx_token },
+            );
 
             // Surface-bounce echo (when the channel models multipath): a
             // delayed, data-less copy that occupies the receiver.
@@ -375,7 +406,9 @@ impl NetworkWorld {
         };
         let me = NodeId::new(entry.node);
         let addressed = reception.addressed_to(me);
-        self.with_mac(sched, node, |mac, ctx| mac.on_frame_received(ctx, &reception));
+        self.with_mac(sched, node, |mac, ctx| {
+            mac.on_frame_received(ctx, &reception)
+        });
 
         // …then account data deliveries (every SDU riding the frame) and
         // forward toward the surface.
@@ -386,8 +419,7 @@ impl NetworkWorld {
                 if !first_copy {
                     continue;
                 }
-                self.metrics.per_node[sdu.origin.index()].origin_bits_delivered +=
-                    sdu.bits as u64;
+                self.metrics.per_node[sdu.origin.index()].origin_bits_delivered += sdu.bits as u64;
                 let counters = &mut self.metrics.per_node[node];
                 counters.data_bits_received += sdu.bits as u64;
                 counters.sdus_received += 1;
@@ -492,8 +524,12 @@ impl NetworkWorld {
         for i in 0..self.node_count() {
             let model = self.mobility_models[i];
             if model.is_mobile() {
-                self.positions[i] =
-                    model.step(&mut self.mobility_rng, self.positions[i], &region, dt.as_secs_f64());
+                self.positions[i] = model.step(
+                    &mut self.mobility_rng,
+                    self.positions[i],
+                    &region,
+                    dt.as_secs_f64(),
+                );
             }
         }
         sched.after(dt, NetEvent::MobilityTick);
@@ -532,6 +568,44 @@ impl NetworkWorld {
             .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
             .count() as u64;
         degree * ANNOUNCE_BITS_PER_ENTRY
+    }
+
+    fn handle_sample_tick(&mut self, sched: &mut Schedule<'_, NetEvent>) {
+        let Some(series) = self.series.as_mut() else {
+            return;
+        };
+        let interval = series.interval;
+        let n = self.node_count();
+        let busy = self
+            .modems
+            .iter()
+            .filter(|m| m.state() != ModemState::Idle)
+            .count();
+        let totals = |f: &dyn Fn(&crate::metrics::NodeCounters) -> u64| -> u64 {
+            self.metrics.per_node.iter().map(f).sum()
+        };
+        let snapshot = Snapshot {
+            time: self.now,
+            channel_busy_fraction: busy as f64 / n as f64,
+            sdus_generated: totals(&|c| c.sdus_generated),
+            sdus_received: totals(&|c| c.sdus_received),
+            data_bits_received: totals(&|c| c.data_bits_received),
+            control_bits_sent: totals(&|c| c.control_bits_sent),
+            // Per-node counters only learn collisions at finalize; read the
+            // live ledgers instead.
+            collisions: self.modems.iter().map(|m| m.collisions()).sum(),
+            nodes: (0..n)
+                .map(|i| {
+                    let mac = self.macs[i].as_ref().expect("MAC present between events");
+                    NodeSample {
+                        queue_len: mac.queue_len() as u32,
+                        mac_state: mac.state_label(),
+                    }
+                })
+                .collect(),
+        };
+        self.series.as_mut().expect("checked above").push(snapshot);
+        sched.after(interval, NetEvent::SampleTick);
     }
 
     fn finalize(&mut self, end: SimTime) -> MetricsReport {
@@ -576,10 +650,7 @@ impl NetworkWorld {
                 / self.node_count() as f64
         };
         MetricsReport {
-            protocol: self.macs[0]
-                .as_ref()
-                .map(|m| m.name())
-                .unwrap_or("unknown"),
+            protocol: self.macs[0].as_ref().map(|m| m.name()).unwrap_or("unknown"),
             nodes: self.node_count(),
             duration,
             throughput_kbps: uasn_sim::stats::kbps(data_bits_received, duration),
@@ -654,6 +725,7 @@ impl uasn_sim::engine::World for NetworkWorld {
             }
             NetEvent::MobilityTick => self.handle_mobility_tick(sched),
             NetEvent::MaintenanceTick => self.handle_maintenance_tick(sched),
+            NetEvent::SampleTick => self.handle_sample_tick(sched),
         }
     }
 
@@ -733,7 +805,10 @@ impl Simulation {
             .iter()
             .map(|info| {
                 if cfg.mobility.enabled && !info.is_sink() {
-                    MobilityModel::random_paper_model(&mut mobility_assign, cfg.mobility.max_speed_ms)
+                    MobilityModel::random_paper_model(
+                        &mut mobility_assign,
+                        cfg.mobility.max_speed_ms,
+                    )
                 } else {
                     MobilityModel::Static
                 }
@@ -773,8 +848,8 @@ impl Simulation {
                 NeighborInfoScope::None => {}
                 NeighborInfoScope::OneHop => {
                     mac.install_neighbors(&one_hop);
-                    let init_bits = cfg.control_bits as u64
-                        + one_hop.len() as u64 * ANNOUNCE_BITS_PER_ENTRY;
+                    let init_bits =
+                        cfg.control_bits as u64 + one_hop.len() as u64 * ANNOUNCE_BITS_PER_ENTRY;
                     metrics.per_node[i].maintenance_bits += init_bits;
                     meters[i].charge_maintenance_bits(init_bits);
                 }
@@ -787,8 +862,8 @@ impl Simulation {
                     mac.install_two_hop(&two_hop);
                     // The node transmits one hello plus its own table; the
                     // two-hop view is assembled from neighbours' announcements.
-                    let init_bits = cfg.control_bits as u64
-                        + one_hop.len() as u64 * ANNOUNCE_BITS_PER_ENTRY;
+                    let init_bits =
+                        cfg.control_bits as u64 + one_hop.len() as u64 * ANNOUNCE_BITS_PER_ENTRY;
                     metrics.per_node[i].maintenance_bits += init_bits;
                     meters[i].charge_maintenance_bits(init_bits);
                 }
@@ -836,6 +911,7 @@ impl Simulation {
             next_sdu_id: 0,
             traffic_end,
             tracer: Tracer::disabled(),
+            series: cfg.sample_interval.map(TimeSeries::new),
             cfg,
         };
 
@@ -843,6 +919,11 @@ impl Simulation {
         let mut engine = Engine::new();
         engine.seed_event(SimTime::ZERO, NetEvent::Start);
         engine.seed_event(SimTime::ZERO, NetEvent::SlotStart(0));
+        if world.series.is_some() {
+            // Seeded after Start/SlotStart(0) so the t = 0 snapshot sees the
+            // state after the opening dispatches (FIFO at equal times).
+            engine.seed_event(SimTime::ZERO, NetEvent::SampleTick);
+        }
         if world.cfg.hello_init {
             // §4.3 Hello phase: staggered beacons in the opening slots so
             // every node measures its neighbours' delays from real packets.
@@ -850,8 +931,12 @@ impl Simulation {
                 let token = world.next_token;
                 world.next_token += 1;
                 let me = NodeId::new(i as u32);
-                let beacon =
-                    Frame::control(crate::packet::FrameKind::Beacon, me, me, world.cfg.control_bits);
+                let beacon = Frame::control(
+                    crate::packet::FrameKind::Beacon,
+                    me,
+                    me,
+                    world.cfg.control_bits,
+                );
                 world.pending_tx.insert(token, beacon);
                 let at = SimTime::ZERO + SimDuration::from_micros(17_000 * i as u64 + 1_000);
                 engine.seed_event(
@@ -895,7 +980,9 @@ impl Simulation {
                     let node = sensor_ids[k as usize % sensor_ids.len()];
                     let at = SimTime::ZERO
                         + SimDuration::from_secs_f64(
-                            world.traffic_rng.gen_range(0.0..window.as_secs_f64().max(1e-6)),
+                            world
+                                .traffic_rng
+                                .gen_range(0.0..window.as_secs_f64().max(1e-6)),
                         );
                     engine.seed_event(
                         at,
@@ -962,20 +1049,48 @@ impl Simulation {
 
     /// Runs to completion and reports.
     pub fn run(self) -> MetricsReport {
-        let (report, _) = self.run_traced();
-        report
+        self.run_full().report
     }
 
     /// Runs to completion, returning the report plus the captured trace.
-    pub fn run_traced(mut self) -> (MetricsReport, Tracer) {
-        let reason = self.engine.run(&mut self.world, self.horizon);
-        let end = match reason {
+    pub fn run_traced(self) -> (MetricsReport, Tracer) {
+        let out = self.run_full();
+        (out.report, out.tracer)
+    }
+
+    /// Runs to completion and returns everything the run produced: the
+    /// metrics report, the tracer (and whatever its sinks captured), the
+    /// time series when sampling was enabled, and the engine's profiling
+    /// statistics.
+    pub fn run_full(mut self) -> RunOutput {
+        let stats = self.engine.run_profiled(&mut self.world, self.horizon);
+        let end = match stats.stop_reason {
             StopReason::StoppedByWorld => self.engine.now(),
             _ => self.horizon.min(self.engine.now()),
         };
         let report = self.world.finalize(end);
-        (report, std::mem::take(&mut self.world.tracer))
+        RunOutput {
+            report,
+            tracer: std::mem::take(&mut self.world.tracer),
+            series: self.world.series.take(),
+            stats,
+        }
     }
+}
+
+/// Everything one [`Simulation::run_full`] call produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The paper's measurement axes for the run.
+    pub report: MetricsReport,
+    /// The tracer (drained of the world; query its capture sinks).
+    pub tracer: Tracer,
+    /// The sampled time series, when
+    /// [`SimConfig::sample_interval`](crate::config::SimConfig::sample_interval)
+    /// was set.
+    pub series: Option<TimeSeries>,
+    /// Engine profiling: event counts per kind, queue depths, wall-clock.
+    pub stats: RunStats,
 }
 
 #[cfg(test)]
@@ -1135,9 +1250,7 @@ mod tests {
             .filter(|r| r.message.starts_with("Beacon"))
             .collect();
         assert_eq!(beacons.len(), 10, "one hello per node");
-        assert!(beacons
-            .iter()
-            .all(|r| r.time < SimTime::from_secs(2)));
+        assert!(beacons.iter().all(|r| r.time < SimTime::from_secs(2)));
         // Beacon bits are charged as control traffic.
         assert!(report.control_bits_sent >= 10 * 64);
     }
@@ -1163,6 +1276,66 @@ mod tests {
         // Blast MAC has a None maintenance scope: zero charge either way.
         assert_eq!(a.maintenance_bits, 0);
         assert_eq!(b.maintenance_bits, 0);
+    }
+
+    #[test]
+    fn sampler_emits_exactly_horizon_over_interval_snapshots() {
+        let cfg = small_cfg().with_sample_interval(SimDuration::from_secs(5));
+        let sim = Simulation::new(cfg, &blast_factory).expect("builds");
+        let out = sim.run_full();
+        let series = out.series.expect("sampling enabled");
+        // 60 s horizon, 5 s interval, horizon-exclusive: 12 snapshots.
+        assert_eq!(series.len(), 12);
+        assert_eq!(series.snapshots[0].time, SimTime::ZERO);
+        assert_eq!(series.snapshots[11].time, SimTime::from_secs(55));
+        assert_eq!(series.snapshots[0].nodes.len(), 12);
+        // The dummy MAC never overrides state_label.
+        assert!(series
+            .snapshots
+            .iter()
+            .all(|s| s.nodes.iter().all(|n| n.mac_state == "-")));
+        // Counters are cumulative, so they never decrease.
+        assert!(series
+            .snapshots
+            .windows(2)
+            .all(|w| w[0].sdus_generated <= w[1].sdus_generated));
+        assert!(out
+            .stats
+            .kind_counts
+            .iter()
+            .any(|&(k, c)| k == "sample" && c == 12));
+    }
+
+    #[test]
+    fn sampling_does_not_perturb_the_run() {
+        let plain = Simulation::new(small_cfg(), &blast_factory).unwrap().run();
+        let sampled = Simulation::new(
+            small_cfg().with_sample_interval(SimDuration::from_secs(1)),
+            &blast_factory,
+        )
+        .unwrap()
+        .run();
+        assert_eq!(plain, sampled);
+    }
+
+    #[test]
+    fn run_full_reports_engine_profile() {
+        let sim = Simulation::new(small_cfg(), &blast_factory).unwrap();
+        let out = sim.run_full();
+        assert_eq!(out.stats.stop_reason, StopReason::HorizonReached);
+        assert!(out.stats.events_processed > 0);
+        assert!(out.stats.peak_queue_depth > 0);
+        let count = |label: &str| {
+            out.stats
+                .kind_counts
+                .iter()
+                .find(|&&(k, _)| k == label)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        };
+        assert_eq!(count("start"), 1);
+        assert!(count("slot-start") > 0);
+        assert_eq!(count("tx-start"), count("tx-end"));
     }
 
     #[test]

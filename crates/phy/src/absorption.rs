@@ -68,9 +68,7 @@ pub fn fisher_simmons_db_per_km(f_khz: f64, depth_m: f64) -> f64 {
     let a2 = 0.52 * (1.0 + t / 43.0);
     let a3 = 4.9e-4 * (-t / 27.0).exp();
 
-    a1 * f1 * f * f / (f1 * f1 + f * f)
-        + a2 * p2 * f2 * f * f / (f2 * f2 + f * f)
-        + a3 * p3 * f * f
+    a1 * f1 * f * f / (f1 * f1 + f * f) + a2 * p2 * f2 * f * f / (f2 * f2 + f * f) + a3 * p3 * f * f
 }
 
 /// Total absorption loss in dB over `distance_m` metres at `f_khz` kHz

@@ -19,12 +19,7 @@ use crate::propagation::Spreading;
 ///
 /// Panics if `range_m` is not finite and positive or `f_khz` is not finite
 /// and positive.
-pub fn an_product_db(
-    range_m: f64,
-    f_khz: f64,
-    spreading: Spreading,
-    noise: &AmbientNoise,
-) -> f64 {
+pub fn an_product_db(range_m: f64, f_khz: f64, spreading: Spreading, noise: &AmbientNoise) -> f64 {
     assert!(
         range_m.is_finite() && range_m > 0.0,
         "range must be finite and positive, got {range_m}"
@@ -85,8 +80,7 @@ pub fn band_penalty_db(
     noise: &AmbientNoise,
 ) -> f64 {
     let best = optimal_frequency_khz(range_m, spreading, noise, 0.5, 100.0);
-    an_product_db(range_m, f_khz, spreading, noise)
-        - an_product_db(range_m, best, spreading, noise)
+    an_product_db(range_m, f_khz, spreading, noise) - an_product_db(range_m, best, spreading, noise)
 }
 
 #[cfg(test)]

@@ -182,9 +182,9 @@ impl AcousticChannel {
 
     /// One-way propagation delay between two positions.
     pub fn propagation_delay(&self, from: Point, to: Point) -> SimDuration {
-        let secs =
-            self.sound
-                .propagation_delay_secs(from.distance(to), from.depth(), to.depth());
+        let secs = self
+            .sound
+            .propagation_delay_secs(from.distance(to), from.depth(), to.depth());
         SimDuration::from_secs_f64(secs)
     }
 
@@ -300,7 +300,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_mixed, "no mid-PER distance found — budget misconfigured");
+        assert!(
+            found_mixed,
+            "no mid-PER distance found — budget misconfigured"
+        );
     }
 
     #[test]

@@ -197,7 +197,10 @@ mod tests {
                 MobilityModel::RandomWalk { .. } => unreachable!("paper models only"),
             }
         }
-        assert!(saw.iter().all(|&s| s), "all three paper models drawn: {saw:?}");
+        assert!(
+            saw.iter().all(|&s| s),
+            "all three paper models drawn: {saw:?}"
+        );
     }
 
     #[test]

@@ -119,8 +119,8 @@ impl AmbientNoise {
         let f = f_khz;
         let log_f = f.log10();
         let nt = 17.0 - 30.0 * log_f;
-        let ns = 40.0 + 20.0 * (self.shipping.value() - 0.5) + 26.0 * log_f
-            - 60.0 * (f + 0.03).log10();
+        let ns =
+            40.0 + 20.0 * (self.shipping.value() - 0.5) + 26.0 * log_f - 60.0 * (f + 0.03).log10();
         let nw = 50.0 + 7.5 * self.wind.value().sqrt() + 20.0 * log_f - 40.0 * (f + 0.4).log10();
         let nth = -15.0 + 20.0 * log_f;
         let linear = db_to_linear(nt) + db_to_linear(ns) + db_to_linear(nw) + db_to_linear(nth);

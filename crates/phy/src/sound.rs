@@ -93,7 +93,8 @@ impl SoundSpeedProfile {
 /// `t` in °C, `s` in ppt, `d` in metres. Standard oceanographic reference
 /// equation, accurate to ~0.1 m/s inside its validity ranges.
 fn mackenzie(t: f64, s: f64, d: f64) -> f64 {
-    1448.96 + 4.591 * t - 5.304e-2 * t.powi(2) + 2.374e-4 * t.powi(3)
+    1448.96 + 4.591 * t - 5.304e-2 * t.powi(2)
+        + 2.374e-4 * t.powi(3)
         + 1.340 * (s - 35.0)
         + 1.630e-2 * d
         + 1.675e-7 * d.powi(2)

@@ -13,8 +13,7 @@ use uasn_phy::sound::SoundSpeedProfile;
 use uasn_sim::time::SimTime;
 
 fn arb_point() -> impl Strategy<Value = Point> {
-    (0.0f64..10_000.0, 0.0f64..10_000.0, 0.0f64..5_000.0)
-        .prop_map(|(x, y, z)| Point::new(x, y, z))
+    (0.0f64..10_000.0, 0.0f64..10_000.0, 0.0f64..5_000.0).prop_map(|(x, y, z)| Point::new(x, y, z))
 }
 
 proptest! {

@@ -7,7 +7,10 @@
 //! the [`Schedule`] handle it receives, which keeps the "no scheduling into
 //! the past" invariant enforceable in one place.
 
+use std::time::Duration;
+
 use crate::event::{EventKey, EventQueue};
+use crate::json::JsonValue;
 use crate::time::SimTime;
 
 /// The simulation logic driven by an [`Engine`].
@@ -70,6 +73,136 @@ pub enum StopReason {
     BudgetExhausted,
     /// The world's [`World::should_stop`] returned `true`.
     StoppedByWorld,
+}
+
+impl StopReason {
+    /// Stable string form used in manifests and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::QueueExhausted => "queue-exhausted",
+            StopReason::HorizonReached => "horizon-reached",
+            StopReason::BudgetExhausted => "budget-exhausted",
+            StopReason::StoppedByWorld => "stopped-by-world",
+        }
+    }
+
+    /// Parses the string form written by [`StopReason::as_str`].
+    pub fn from_label(s: &str) -> Option<StopReason> {
+        match s {
+            "queue-exhausted" => Some(StopReason::QueueExhausted),
+            "horizon-reached" => Some(StopReason::HorizonReached),
+            "budget-exhausted" => Some(StopReason::BudgetExhausted),
+            "stopped-by-world" => Some(StopReason::StoppedByWorld),
+            _ => None,
+        }
+    }
+}
+
+/// Events that can name their kind for per-kind profiling counters.
+///
+/// Implemented by the network layer's event enum; [`Engine::run_profiled`]
+/// uses it to break [`RunStats::kind_counts`] down by event kind.
+pub trait EventLabel {
+    /// A short static name for this event's kind, e.g. `"tx-end"`.
+    fn label(&self) -> &'static str;
+}
+
+/// Profiling summary of one [`Engine::run_profiled`] call.
+///
+/// Queue-depth statistics are sampled after each pop (i.e. the number of
+/// events still pending while one is being handled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Events handled during this run call.
+    pub events_processed: u64,
+    /// Simulation clock when the run ended.
+    pub sim_end: SimTime,
+    /// Wall-clock time the run loop took.
+    pub wall: Duration,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Mean queue depth over all processed events.
+    pub mean_queue_depth: f64,
+    /// Events handled per kind, in first-seen order (empty when the run was
+    /// not label-profiled).
+    pub kind_counts: Vec<(&'static str, u64)>,
+}
+
+impl RunStats {
+    /// Events processed per simulated second (0 if no simulated time passed).
+    pub fn events_per_sim_sec(&self) -> f64 {
+        let secs = self.sim_end.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Events processed per wall-clock second (0 if the run was too fast to
+    /// time).
+    pub fn events_per_wall_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises into a JSON object for run manifests.
+    ///
+    /// Wall-clock derived values vary between invocations; everything else
+    /// is deterministic for a given seed.
+    pub fn to_json(&self) -> JsonValue {
+        let kinds = self
+            .kind_counts
+            .iter()
+            .map(|&(label, count)| {
+                JsonValue::Array(vec![
+                    JsonValue::from_string(label),
+                    JsonValue::from_u64(count),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "stop_reason".to_string(),
+                JsonValue::from_string(self.stop_reason.as_str()),
+            ),
+            (
+                "events_processed".to_string(),
+                JsonValue::from_u64(self.events_processed),
+            ),
+            (
+                "sim_end_us".to_string(),
+                JsonValue::from_u64(self.sim_end.as_micros()),
+            ),
+            (
+                "wall_us".to_string(),
+                JsonValue::from_u64(self.wall.as_micros() as u64),
+            ),
+            (
+                "peak_queue_depth".to_string(),
+                JsonValue::from_u64(self.peak_queue_depth as u64),
+            ),
+            (
+                "mean_queue_depth".to_string(),
+                JsonValue::from_f64(self.mean_queue_depth),
+            ),
+            (
+                "events_per_sim_sec".to_string(),
+                JsonValue::from_f64(self.events_per_sim_sec()),
+            ),
+            (
+                "events_per_wall_sec".to_string(),
+                JsonValue::from_f64(self.events_per_wall_sec()),
+            ),
+            ("kind_counts".to_string(), JsonValue::Array(kinds)),
+        ])
+    }
 }
 
 /// Discrete-event engine: event queue + run loop + accounting.
@@ -160,31 +293,87 @@ impl<E> Engine<E> {
     /// Events exactly at the horizon are **not** processed — a horizon of
     /// 300 s means the simulated window is [0, 300).
     pub fn run<W: World<Event = E>>(&mut self, world: &mut W, horizon: SimTime) -> StopReason {
-        loop {
+        self.run_inner(world, horizon, |_| {}).0
+    }
+
+    /// Like [`Engine::run`], but also profiles the run: per-kind event
+    /// counts (via [`EventLabel`]), queue-depth statistics, and wall-clock.
+    pub fn run_profiled<W: World<Event = E>>(&mut self, world: &mut W, horizon: SimTime) -> RunStats
+    where
+        E: EventLabel,
+    {
+        // Kinds are few (an event enum), so a first-seen-ordered Vec beats a
+        // HashMap and keeps manifest output deterministic.
+        let mut kind_counts: Vec<(&'static str, u64)> = Vec::new();
+        let started = std::time::Instant::now();
+        let (stop_reason, profile) = self.run_inner(world, horizon, |ev| {
+            let label = ev.label();
+            match kind_counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, count)) => *count += 1,
+                None => kind_counts.push((label, 1)),
+            }
+        });
+        RunStats {
+            stop_reason,
+            events_processed: profile.processed,
+            sim_end: self.now,
+            wall: started.elapsed(),
+            peak_queue_depth: profile.depth_peak,
+            mean_queue_depth: if profile.processed > 0 {
+                profile.depth_sum as f64 / profile.processed as f64
+            } else {
+                0.0
+            },
+            kind_counts,
+        }
+    }
+
+    fn run_inner<W: World<Event = E>>(
+        &mut self,
+        world: &mut W,
+        horizon: SimTime,
+        mut observe: impl FnMut(&E),
+    ) -> (StopReason, RunProfile) {
+        let mut profile = RunProfile::default();
+        let reason = loop {
             if self.processed >= self.budget {
-                return StopReason::BudgetExhausted;
+                break StopReason::BudgetExhausted;
             }
             match self.queue.peek_time() {
-                None => return StopReason::QueueExhausted,
+                None => break StopReason::QueueExhausted,
                 Some(t) if t >= horizon => {
                     self.now = horizon;
-                    return StopReason::HorizonReached;
+                    break StopReason::HorizonReached;
                 }
                 Some(_) => {}
             }
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.now = t;
             self.processed += 1;
+            profile.processed += 1;
+            let depth = self.queue.len();
+            profile.depth_sum += depth as u64;
+            profile.depth_peak = profile.depth_peak.max(depth);
+            observe(&ev);
             let mut sched = Schedule {
                 queue: &mut self.queue,
                 now: t,
             };
             world.handle(t, ev, &mut sched);
             if world.should_stop() {
-                return StopReason::StoppedByWorld;
+                break StopReason::StoppedByWorld;
             }
-        }
+        };
+        (reason, profile)
     }
+}
+
+/// Per-run-call accumulators for [`Engine::run_profiled`].
+#[derive(Debug, Default)]
+struct RunProfile {
+    processed: u64,
+    depth_sum: u64,
+    depth_peak: usize,
 }
 
 #[cfg(test)]
@@ -286,6 +475,109 @@ mod tests {
         let reason = engine.run(&mut world, SimTime::from_secs(20));
         assert_eq!(reason, StopReason::QueueExhausted);
         assert_eq!(world.seen.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod profiling_tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Tick,
+        Tock,
+    }
+
+    impl EventLabel for Ev {
+        fn label(&self) -> &'static str {
+            match self {
+                Ev::Tick => "tick",
+                Ev::Tock => "tock",
+            }
+        }
+    }
+
+    struct PingPong;
+    impl World for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Schedule<'_, Ev>) {
+            if now >= SimTime::from_secs(9) {
+                return;
+            }
+            match ev {
+                Ev::Tick => {
+                    sched.after(SimDuration::from_secs(1), Ev::Tock);
+                }
+                Ev::Tock => {
+                    sched.after(SimDuration::from_secs(1), Ev::Tick);
+                    sched.after(SimDuration::from_secs(2), Ev::Tick);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_profiled_counts_kinds_and_depths() {
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::ZERO, Ev::Tick);
+        let stats = engine.run_profiled(&mut PingPong, SimTime::from_secs(30));
+        assert_eq!(stats.stop_reason, StopReason::QueueExhausted);
+        assert_eq!(stats.events_processed, engine.processed());
+        let total_by_kind: u64 = stats.kind_counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total_by_kind, stats.events_processed);
+        assert!(stats.kind_counts.iter().any(|&(l, _)| l == "tick"));
+        assert!(stats.kind_counts.iter().any(|&(l, _)| l == "tock"));
+        assert!(stats.peak_queue_depth >= 1);
+        assert!(stats.mean_queue_depth > 0.0);
+        assert!(stats.events_per_sim_sec() > 0.0);
+    }
+
+    #[test]
+    fn run_profiled_matches_plain_run_semantics() {
+        let mut plain = Engine::new();
+        plain.seed_event(SimTime::ZERO, Ev::Tick);
+        let reason = plain.run(&mut PingPong, SimTime::from_secs(5));
+
+        let mut profiled = Engine::new();
+        profiled.seed_event(SimTime::ZERO, Ev::Tick);
+        let stats = profiled.run_profiled(&mut PingPong, SimTime::from_secs(5));
+
+        assert_eq!(stats.stop_reason, reason);
+        assert_eq!(stats.events_processed, plain.processed());
+        assert_eq!(profiled.now(), plain.now());
+    }
+
+    #[test]
+    fn run_stats_serialise_to_json() {
+        let mut engine = Engine::new();
+        engine.seed_event(SimTime::ZERO, Ev::Tick);
+        let stats = engine.run_profiled(&mut PingPong, SimTime::from_secs(30));
+        let json = stats.to_json();
+        assert_eq!(
+            json.get("stop_reason").and_then(JsonValue::as_str),
+            Some("queue-exhausted")
+        );
+        assert_eq!(
+            json.get("events_processed").and_then(JsonValue::as_u64),
+            Some(stats.events_processed)
+        );
+        let text = json.to_json();
+        let back = JsonValue::parse(&text).expect("round trip");
+        assert_eq!(back, json);
+    }
+
+    #[test]
+    fn stop_reason_strings_round_trip() {
+        for reason in [
+            StopReason::QueueExhausted,
+            StopReason::HorizonReached,
+            StopReason::BudgetExhausted,
+            StopReason::StoppedByWorld,
+        ] {
+            assert_eq!(StopReason::from_label(reason.as_str()), Some(reason));
+        }
+        assert_eq!(StopReason::from_label("nonsense"), None);
     }
 }
 

@@ -1,0 +1,552 @@
+//! Minimal JSON document model, writer, and parser.
+//!
+//! The observability layer (JSONL traces, run manifests) needs JSON in a
+//! container with no access to serde, so this module hand-rolls the subset
+//! required: a [`JsonValue`] tree, a deterministic writer whose output is
+//! byte-stable for identical inputs, and a recursive-descent parser.
+//!
+//! Numbers are kept as their raw text ([`JsonValue::Number`] stores the
+//! lexeme) so `u64` values above 2^53 survive a round trip without being
+//! squeezed through `f64`.
+
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its exact lexeme (e.g. `"18446744073709551615"`).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys (duplicates allowed, first wins
+    /// on lookup).
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Builds a number value from any integer.
+    pub fn from_u64(v: u64) -> JsonValue {
+        JsonValue::Number(v.to_string())
+    }
+
+    /// Builds a number value from a signed integer.
+    pub fn from_i64(v: i64) -> JsonValue {
+        JsonValue::Number(v.to_string())
+    }
+
+    /// Builds a number value from a float. Non-finite values are encoded as
+    /// strings (`"NaN"`, `"inf"`, `"-inf"`) since JSON has no literal for
+    /// them.
+    pub fn from_f64(v: f64) -> JsonValue {
+        if v.is_finite() {
+            JsonValue::Number(format_f64(v))
+        } else if v.is_nan() {
+            JsonValue::String("NaN".into())
+        } else if v > 0.0 {
+            JsonValue::String("inf".into())
+        } else {
+            JsonValue::String("-inf".into())
+        }
+    }
+
+    /// Builds a string value.
+    pub fn from_string(v: impl Into<String>) -> JsonValue {
+        JsonValue::String(v.into())
+    }
+
+    /// Looks up a key in an object (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` — accepts any number, plus the non-finite string
+    /// encodings produced by [`JsonValue::from_f64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(s) => s.parse().ok(),
+            JsonValue::String(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object entries, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serialises into `out` with no whitespace (deterministic, byte-stable).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(s) => out.push_str(s),
+            JsonValue::String(s) => write_json_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialises with two-space indentation (for human-facing reports).
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Convenience: compact serialisation into a fresh `String`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Convenience: pretty serialisation into a fresh `String`.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Formats a float with round-trip-exact shortest representation, always
+/// including a decimal point or exponent so the lexeme is visibly a float.
+pub fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes + escapes) into `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(err(*pos, format!("unexpected byte {c:#04x}"))),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(err(*pos, "expected digit"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    let lexeme = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| err(start, "invalid UTF-8 in number"))?;
+    Ok(JsonValue::Number(lexeme.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // consume '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected `:`"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compound_documents() {
+        let doc = JsonValue::Object(vec![
+            ("a".into(), JsonValue::from_u64(u64::MAX)),
+            ("b".into(), JsonValue::from_f64(-1.25e-3)),
+            (
+                "c".into(),
+                JsonValue::from_string("line\nbreak \"q\" \\ tab\t"),
+            ),
+            (
+                "d".into(),
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+            ("e".into(), JsonValue::Object(vec![])),
+        ]);
+        let text = doc.to_json();
+        let back = JsonValue::parse(&text).expect("round trip parse");
+        assert_eq!(back, doc);
+        // Byte-stable: serialising the parse output reproduces the text.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let v = JsonValue::parse("18446744073709551615").expect("parse");
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.to_json(), "18446744073709551615");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &f in &[0.1, 1.0, -2.5e300, std::f64::consts::PI, f64::MIN_POSITIVE] {
+            let v = JsonValue::from_f64(f);
+            let back = JsonValue::parse(&v.to_json()).expect("parse");
+            assert_eq!(back.as_f64(), Some(f));
+        }
+        assert!(JsonValue::from_f64(f64::NAN)
+            .as_f64()
+            .expect("nan encodes")
+            .is_nan());
+        assert_eq!(
+            JsonValue::from_f64(f64::INFINITY).as_f64(),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn lookup_and_accessors() {
+        let v = JsonValue::parse(r#"{"x": 3, "y": "hi", "z": [1, 2], "w": false}"#).expect("parse");
+        assert_eq!(v.get("x").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("y").and_then(JsonValue::as_str), Some("hi"));
+        assert_eq!(
+            v.get("z").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("w").and_then(JsonValue::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"k\" 1}",
+            "12 34",
+            "nul",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = JsonValue::from_string("\u{0001}bell\u{0007}");
+        let text = v.to_json();
+        assert!(text.contains("\\u0001"), "{text}");
+        let back = JsonValue::parse(&text).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let doc = JsonValue::Object(vec![
+            ("k".into(), JsonValue::Array(vec![JsonValue::from_u64(1)])),
+            (
+                "m".into(),
+                JsonValue::Object(vec![("n".into(), JsonValue::Null)]),
+            ),
+        ]);
+        let pretty = doc.to_json_pretty();
+        assert!(pretty.contains('\n'));
+        assert_eq!(JsonValue::parse(&pretty).expect("parse"), doc);
+    }
+}

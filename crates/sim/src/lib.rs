@@ -14,8 +14,12 @@
 //!   draw in one component never perturbs another.
 //! * [`stats`] — streaming accumulators, time-weighted integrals, histograms,
 //!   and cross-seed replication summaries.
-//! * [`trace`] — level-gated in-memory tracing used by the test suite to
-//!   assert protocol-level invariants.
+//! * [`trace`] — level-gated structured tracing with pluggable sinks
+//!   (bounded capture, ring buffer, streaming JSONL) used by the test suite
+//!   to assert protocol-level invariants and by the observability layer to
+//!   export runs.
+//! * [`json`] — dependency-free JSON writer/parser backing JSONL traces and
+//!   run manifests.
 //!
 //! # Examples
 //!
@@ -48,12 +52,13 @@
 
 pub mod engine;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, Schedule, StopReason, World};
+pub use engine::{Engine, EventLabel, RunStats, Schedule, StopReason, World};
 pub use event::{EventKey, EventQueue};
 pub use rng::SeedFactory;
 pub use time::{SimDuration, SimTime};

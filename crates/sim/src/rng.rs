@@ -94,8 +94,16 @@ mod tests {
     #[test]
     fn same_inputs_same_stream() {
         let f = SeedFactory::new(7);
-        let a: Vec<u32> = f.stream("mac", 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = f.stream("mac", 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = f
+            .stream("mac", 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = f
+            .stream("mac", 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -117,7 +117,8 @@ impl Accumulator {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -572,7 +573,10 @@ mod tests {
         let b: Replications = offsets.iter().copied().collect();
         let d = paired_diff(&a, &b);
         assert!((d.mean() - 2.0).abs() < 1e-12);
-        assert!(d.ci95_halfwidth() < 1e-9, "pairing must remove the variance");
+        assert!(
+            d.ci95_halfwidth() < 1e-9,
+            "pairing must remove the variance"
+        );
         // Unpaired CIs are huge by comparison.
         assert!(a.ci95_halfwidth() > 10.0);
     }

@@ -220,11 +220,7 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
 
@@ -388,9 +384,15 @@ mod tests {
 
     #[test]
     fn saturating_ops_clamp() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
-        assert_eq!(SimTime::from_secs(1).checked_sub(SimDuration::from_secs(2)), None);
+        assert_eq!(
+            SimTime::from_secs(1).checked_sub(SimDuration::from_secs(2)),
+            None
+        );
         assert_eq!(
             SimTime::from_secs(2).checked_sub(SimDuration::from_secs(2)),
             Some(SimTime::ZERO)
@@ -425,12 +427,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_sane() {
-        let mut times: Vec<SimTime> = [5u64, 1, 3, 2, 4].iter().map(|&s| SimTime::from_secs(s)).collect();
+        let mut times: Vec<SimTime> = [5u64, 1, 3, 2, 4]
+            .iter()
+            .map(|&s| SimTime::from_secs(s))
+            .collect();
         times.sort();
-        assert_eq!(
-            times,
-            (1..=5).map(SimTime::from_secs).collect::<Vec<_>>()
-        );
+        assert_eq!(times, (1..=5).map(SimTime::from_secs).collect::<Vec<_>>());
     }
 
     #[test]

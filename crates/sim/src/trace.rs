@@ -1,14 +1,39 @@
-//! Lightweight event tracing.
+//! Structured, level-gated event tracing with pluggable sinks.
 //!
-//! A [`Tracer`] collects timestamped, categorised records during a run.
-//! Protocol code emits records unconditionally; the tracer's level gate makes
-//! disabled tracing nearly free. The in-memory sink is what the integration
-//! tests use to assert fine-grained protocol behaviour (e.g. "no EXData
-//! overlapped a negotiated Data reception at any receiver").
+//! A [`Tracer`] collects timestamped, categorised [`TraceRecord`]s during a
+//! run. Protocol code emits records through the level gate, so disabled
+//! tracing is nearly free (and provably allocation-free via
+//! [`Tracer::record_lazy`]). Records carry **structured fields** — typed
+//! key/value pairs — alongside the free-form message, so downstream tooling
+//! can filter and aggregate without re-parsing strings.
+//!
+//! Three sinks are built in, and custom ones plug in via [`TraceSink`]:
+//!
+//! * [`CaptureSink`] — bounded in-memory `Vec` with an explicit
+//!   `dropped_records` counter; what the integration tests assert against.
+//! * [`RingSink`] — bounded ring buffer keeping only the most recent records;
+//!   the right choice for long runs where only the tail matters.
+//! * [`JsonlSink`] — streams each record as one JSON line (schema versioned,
+//!   see [`TRACE_SCHEMA`] / [`TRACE_SCHEMA_VERSION`]) to any `io::Write`.
+//!
+//! JSONL output is deterministic: the same record sequence serialises to the
+//! same bytes, which is what lets the test suite assert that identical seeds
+//! produce byte-identical traces. [`parse_jsonl`] reads a trace back
+//! losslessly.
 
+use std::borrow::Cow;
+use std::collections::VecDeque;
 use std::fmt;
+use std::io;
 
+use crate::json::{format_f64, JsonError, JsonValue};
 use crate::time::SimTime;
+
+/// Schema identifier written in the JSONL header line.
+pub const TRACE_SCHEMA: &str = "uasn-trace";
+
+/// Version of the JSONL record layout; bump on breaking changes.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
 /// Severity/verbosity of a trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -21,15 +46,123 @@ pub enum TraceLevel {
     Debug,
 }
 
-impl fmt::Display for TraceLevel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl TraceLevel {
+    /// The level's JSONL encoding ("ERROR" / "INFO" / "DEBUG").
+    pub fn as_str(self) -> &'static str {
+        match self {
             TraceLevel::Error => "ERROR",
             TraceLevel::Info => "INFO",
             TraceLevel::Debug => "DEBUG",
-        };
-        f.write_str(s)
+        }
     }
+
+    fn from_str(s: &str) -> Option<TraceLevel> {
+        match s {
+            "ERROR" => Some(TraceLevel::Error),
+            "INFO" => Some(TraceLevel::Info),
+            "DEBUG" => Some(TraceLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed structured value attached to a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> FieldValue {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+impl_field_from!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> JsonValue {
+        let (key, value) = match self {
+            FieldValue::U64(v) => ("u64", JsonValue::from_u64(*v)),
+            FieldValue::I64(v) => ("i64", JsonValue::from_i64(*v)),
+            FieldValue::F64(v) => ("f64", JsonValue::from_f64(*v)),
+            FieldValue::Bool(v) => ("bool", JsonValue::Bool(*v)),
+            FieldValue::Str(v) => ("str", JsonValue::String(v.clone())),
+        };
+        JsonValue::Object(vec![(key.to_string(), value)])
+    }
+
+    fn from_json(v: &JsonValue) -> Option<FieldValue> {
+        let pairs = v.as_object()?;
+        let (key, value) = pairs.first()?;
+        match key.as_str() {
+            "u64" => value.as_u64().map(FieldValue::U64),
+            "i64" => value.as_i64().map(FieldValue::I64),
+            "f64" => value.as_f64().map(FieldValue::F64),
+            "bool" => value.as_bool().map(FieldValue::Bool),
+            "str" => value.as_str().map(|s| FieldValue::Str(s.to_string())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => f.write_str(&format_f64(*v)),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// A named structured field.
+pub type Field = (Cow<'static, str>, FieldValue);
+
+/// Builds a [`Field`] from a static name and any convertible value.
+pub fn field(name: &'static str, value: impl Into<FieldValue>) -> Field {
+    (Cow::Borrowed(name), value.into())
 }
 
 /// One trace record.
@@ -42,9 +175,105 @@ pub struct TraceRecord {
     /// Which simulated entity produced it (node index), if any.
     pub node: Option<usize>,
     /// Short category tag, e.g. `"tx"`, `"rx"`, `"collision"`, `"extra"`.
-    pub tag: &'static str,
+    pub tag: Cow<'static, str>,
     /// Free-form detail.
     pub message: String,
+    /// Structured key/value detail, in emission order.
+    pub fields: Vec<Field>,
+}
+
+impl TraceRecord {
+    /// Serialises this record as one compact JSON object (no newline).
+    ///
+    /// Layout (schema v1): `t` is microseconds since simulation start;
+    /// `node`, `msg`, and `fields` are omitted when absent/empty so lines
+    /// stay small; field values are wrapped in a single-key object naming
+    /// their type (`{"u64":5}`) so parsing is lossless.
+    pub fn to_json_line(&self) -> String {
+        let mut pairs = vec![
+            ("t".to_string(), JsonValue::from_u64(self.time.as_micros())),
+            (
+                "level".to_string(),
+                JsonValue::from_string(self.level.as_str()),
+            ),
+        ];
+        if let Some(node) = self.node {
+            pairs.push(("node".to_string(), JsonValue::from_u64(node as u64)));
+        }
+        pairs.push(("tag".to_string(), JsonValue::from_string(self.tag.as_ref())));
+        if !self.message.is_empty() {
+            pairs.push((
+                "msg".to_string(),
+                JsonValue::from_string(self.message.clone()),
+            ));
+        }
+        if !self.fields.is_empty() {
+            let items = self
+                .fields
+                .iter()
+                .map(|(name, value)| {
+                    JsonValue::Array(vec![JsonValue::from_string(name.as_ref()), value.to_json()])
+                })
+                .collect();
+            pairs.push(("fields".to_string(), JsonValue::Array(items)));
+        }
+        JsonValue::Object(pairs).to_json()
+    }
+
+    /// Parses one record from its JSON representation.
+    pub fn from_json(v: &JsonValue) -> Result<TraceRecord, JsonError> {
+        let bad = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let time = v
+            .get("t")
+            .and_then(JsonValue::as_u64)
+            .map(SimTime::from_micros)
+            .ok_or_else(|| bad("record missing `t`"))?;
+        let level = v
+            .get("level")
+            .and_then(JsonValue::as_str)
+            .and_then(TraceLevel::from_str)
+            .ok_or_else(|| bad("record missing or invalid `level`"))?;
+        let node = v
+            .get("node")
+            .and_then(JsonValue::as_u64)
+            .map(|n| n as usize);
+        let tag = v
+            .get("tag")
+            .and_then(JsonValue::as_str)
+            .map(|s| Cow::Owned(s.to_string()))
+            .ok_or_else(|| bad("record missing `tag`"))?;
+        let message = v
+            .get("msg")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let mut fields = Vec::new();
+        if let Some(items) = v.get("fields").and_then(JsonValue::as_array) {
+            for item in items {
+                let pair = item.as_array().ok_or_else(|| bad("field is not a pair"))?;
+                let [name, value] = pair else {
+                    return Err(bad("field pair is not length 2"));
+                };
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| bad("field name is not a string"))?;
+                let value = FieldValue::from_json(value)
+                    .ok_or_else(|| bad("field value has unknown type tag"))?;
+                fields.push((Cow::Owned(name.to_string()), value));
+            }
+        }
+        Ok(TraceRecord {
+            time,
+            level,
+            node,
+            tag,
+            message,
+            fields,
+        })
+    }
 }
 
 impl fmt::Display for TraceRecord {
@@ -54,33 +283,297 @@ impl fmt::Display for TraceRecord {
                 f,
                 "[{} {} n{} {}] {}",
                 self.time, self.level, n, self.tag, self.message
+            )?,
+            None => write!(
+                f,
+                "[{} {} {}] {}",
+                self.time, self.level, self.tag, self.message
+            )?,
+        }
+        for (name, value) in &self.fields {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The JSONL header line identifying schema and version.
+pub fn jsonl_header() -> String {
+    JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::from_string(TRACE_SCHEMA)),
+        (
+            "version".to_string(),
+            JsonValue::from_u64(TRACE_SCHEMA_VERSION as u64),
+        ),
+    ])
+    .to_json()
+}
+
+/// Serialises `records` as schema-versioned JSONL (header line + one line
+/// per record).
+pub fn export_jsonl<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    out: &mut impl io::Write,
+) -> io::Result<()> {
+    writeln!(out, "{}", jsonl_header())?;
+    for record in records {
+        writeln!(out, "{}", record.to_json_line())?;
+    }
+    Ok(())
+}
+
+/// Parses a JSONL trace produced by [`export_jsonl`] or [`JsonlSink`],
+/// validating the schema header.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TraceRecord>, JsonError> {
+    let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| JsonError {
+        offset: 0,
+        message: "empty trace (missing header line)".to_string(),
+    })?;
+    let header = JsonValue::parse(header_line)?;
+    let schema = header.get("schema").and_then(JsonValue::as_str);
+    let version = header.get("version").and_then(JsonValue::as_u64);
+    if schema != Some(TRACE_SCHEMA) || version != Some(TRACE_SCHEMA_VERSION as u64) {
+        return Err(JsonError {
+            offset: 0,
+            message: format!(
+                "unsupported trace header (want schema {TRACE_SCHEMA} v{TRACE_SCHEMA_VERSION}): {header_line}"
             ),
-            None => write!(f, "[{} {} {}] {}", self.time, self.level, self.tag, self.message),
+        });
+    }
+    lines
+        .map(|line| TraceRecord::from_json(&JsonValue::parse(line)?))
+        .collect()
+}
+
+/// A destination for trace records.
+///
+/// Sinks receive every record that passes the tracer's level gate, in
+/// emission order. Implementations must not reorder records.
+pub trait TraceSink {
+    /// Consumes one record.
+    fn accept(&mut self, record: &TraceRecord);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Bounded in-memory sink: stores up to `capacity` records, then counts
+/// drops instead of growing.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl CaptureSink {
+    /// A capture sink holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CaptureSink {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Stored records, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// How many records were discarded once the cap was reached.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+impl TraceSink for CaptureSink {
+    fn accept(&mut self, record: &TraceRecord) {
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.records.push(record.clone());
         }
     }
 }
 
-/// Collects trace records at or above a configured level.
+/// Bounded ring sink: keeps only the most recent `capacity` records,
+/// counting evictions. Suited to long runs where only the tail matters.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// A ring sink holding the last `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// How many records have been evicted to make room.
+    pub fn evicted_records(&self) -> u64 {
+        self.evicted
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.evicted = 0;
+    }
+}
+
+impl TraceSink for RingSink {
+    fn accept(&mut self, record: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(record.clone());
+    }
+}
+
+/// Streaming JSONL sink: writes the schema header then one JSON line per
+/// record to any writer.
+pub struct JsonlSink {
+    writer: Box<dyn io::Write + Send>,
+    wrote_header: bool,
+    lines_written: u64,
+    /// First I/O error encountered, if any (subsequent records are skipped).
+    error: Option<io::Error>,
+}
+
+impl JsonlSink {
+    /// A JSONL sink streaming into `writer`.
+    pub fn new(writer: Box<dyn io::Write + Send>) -> Self {
+        JsonlSink {
+            writer,
+            wrote_header: false,
+            lines_written: 0,
+            error: None,
+        }
+    }
+
+    /// How many record lines have been written (excluding the header).
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written
+    }
+
+    /// The first I/O error hit while streaming, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    fn try_write(&mut self, record: &TraceRecord) -> io::Result<()> {
+        if !self.wrote_header {
+            writeln!(self.writer, "{}", jsonl_header())?;
+            self.wrote_header = true;
+        }
+        writeln!(self.writer, "{}", record.to_json_line())?;
+        self.lines_written += 1;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("wrote_header", &self.wrote_header)
+            .field("lines_written", &self.lines_written)
+            .field("errored", &self.error.is_some())
+            .finish()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn accept(&mut self, record: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.try_write(record) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+enum SinkImpl {
+    Capture(CaptureSink),
+    Ring(RingSink),
+    Jsonl(JsonlSink),
+    Custom(Box<dyn TraceSink + Send>),
+}
+
+impl SinkImpl {
+    fn as_sink_mut(&mut self) -> &mut dyn TraceSink {
+        match self {
+            SinkImpl::Capture(s) => s,
+            SinkImpl::Ring(s) => s,
+            SinkImpl::Jsonl(s) => s,
+            SinkImpl::Custom(s) => s.as_mut(),
+        }
+    }
+}
+
+impl fmt::Debug for SinkImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkImpl::Capture(s) => s.fmt(f),
+            SinkImpl::Ring(s) => s.fmt(f),
+            SinkImpl::Jsonl(s) => s.fmt(f),
+            SinkImpl::Custom(_) => f.write_str("CustomSink"),
+        }
+    }
+}
+
+/// Default capture-sink capacity: a safety valve so pathological runs can't
+/// exhaust memory.
+pub const DEFAULT_CAPTURE_CAPACITY: usize = 4_000_000;
+
+/// Routes trace records at or above a configured level to its sinks.
 ///
 /// # Examples
 ///
 /// ```
-/// use uasn_sim::trace::{Tracer, TraceLevel};
+/// use uasn_sim::trace::{field, Tracer, TraceLevel};
 /// use uasn_sim::time::SimTime;
 ///
 /// let mut tracer = Tracer::capturing(TraceLevel::Info);
 /// tracer.record(SimTime::ZERO, TraceLevel::Info, Some(3), "tx", "RTS to n5".into());
+/// tracer.record_fields(
+///     SimTime::ZERO,
+///     TraceLevel::Info,
+///     Some(3),
+///     "rx",
+///     String::new(),
+///     vec![field("bits", 9600u64)],
+/// );
 /// tracer.record(SimTime::ZERO, TraceLevel::Debug, Some(3), "rx", "ignored".into());
-/// assert_eq!(tracer.records().len(), 1); // Debug was below the gate
+/// assert_eq!(tracer.records().len(), 2); // Debug was below the gate
 /// ```
 #[derive(Debug)]
 pub struct Tracer {
     level: Option<TraceLevel>,
-    records: Vec<TraceRecord>,
-    capture: bool,
-    dropped: u64,
-    /// Safety valve so pathological runs can't exhaust memory.
-    capacity: usize,
+    sinks: Vec<SinkImpl>,
 }
 
 impl Default for Tracer {
@@ -94,28 +587,59 @@ impl Tracer {
     pub fn disabled() -> Self {
         Tracer {
             level: None,
-            records: Vec::new(),
-            capture: false,
-            dropped: 0,
-            capacity: 0,
+            sinks: Vec::new(),
         }
     }
 
-    /// A tracer that stores records at or above `level` in memory.
-    pub fn capturing(level: TraceLevel) -> Self {
+    /// A tracer routing records at or above `level` to no sinks yet; add
+    /// sinks with the `with_*` builders.
+    pub fn new(level: TraceLevel) -> Self {
         Tracer {
             level: Some(level),
-            records: Vec::new(),
-            capture: true,
-            dropped: 0,
-            capacity: 4_000_000,
+            sinks: Vec::new(),
         }
     }
 
-    /// Caps the number of stored records; further records are counted in
-    /// [`dropped`](Self::dropped) instead of stored.
+    /// A tracer that stores records at or above `level` in a bounded
+    /// in-memory [`CaptureSink`].
+    pub fn capturing(level: TraceLevel) -> Self {
+        Tracer::new(level).with_capture(DEFAULT_CAPTURE_CAPACITY)
+    }
+
+    /// Adds a bounded in-memory capture sink.
+    pub fn with_capture(mut self, capacity: usize) -> Self {
+        self.sinks
+            .push(SinkImpl::Capture(CaptureSink::with_capacity(capacity)));
+        self
+    }
+
+    /// Adds a bounded ring sink keeping the most recent `capacity` records.
+    pub fn with_ring(mut self, capacity: usize) -> Self {
+        self.sinks
+            .push(SinkImpl::Ring(RingSink::with_capacity(capacity)));
+        self
+    }
+
+    /// Adds a streaming JSONL sink writing into `writer`.
+    pub fn with_jsonl(mut self, writer: Box<dyn io::Write + Send>) -> Self {
+        self.sinks.push(SinkImpl::Jsonl(JsonlSink::new(writer)));
+        self
+    }
+
+    /// Adds a custom sink.
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
+        self.sinks.push(SinkImpl::Custom(sink));
+        self
+    }
+
+    /// Caps the number of records stored by the capture sink(s); further
+    /// records are counted in [`dropped`](Self::dropped) instead of stored.
     pub fn with_capacity_limit(mut self, capacity: usize) -> Self {
-        self.capacity = capacity;
+        for sink in &mut self.sinks {
+            if let SinkImpl::Capture(c) = sink {
+                c.capacity = capacity;
+            }
+        }
         self
     }
 
@@ -133,43 +657,118 @@ impl Tracer {
         tag: &'static str,
         message: String,
     ) {
+        self.record_fields(time, level, node, tag, message, Vec::new());
+    }
+
+    /// Records an event with structured fields if the level gate admits it.
+    pub fn record_fields(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        node: Option<usize>,
+        tag: &'static str,
+        message: String,
+        fields: Vec<Field>,
+    ) {
         if !self.enabled(level) {
             return;
         }
-        if self.capture {
-            if self.records.len() >= self.capacity {
-                self.dropped += 1;
-                return;
-            }
-            self.records.push(TraceRecord {
-                time,
-                level,
-                node,
-                tag,
-                message,
-            });
+        let record = TraceRecord {
+            time,
+            level,
+            node,
+            tag: Cow::Borrowed(tag),
+            message,
+            fields,
+        };
+        for sink in &mut self.sinks {
+            sink.as_sink_mut().accept(&record);
         }
     }
 
-    /// All stored records, in emission order.
+    /// Records an event whose message and fields are built only if the level
+    /// gate admits it — zero allocation when tracing is disabled.
+    pub fn record_lazy<F>(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        node: Option<usize>,
+        tag: &'static str,
+        detail: F,
+    ) where
+        F: FnOnce() -> (String, Vec<Field>),
+    {
+        if !self.enabled(level) {
+            return;
+        }
+        let (message, fields) = detail();
+        self.record_fields(time, level, node, tag, message, fields);
+    }
+
+    /// All records stored by the first capture sink, in emission order
+    /// (empty if no capture sink is attached).
     pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+        self.sinks
+            .iter()
+            .find_map(|s| match s {
+                SinkImpl::Capture(c) => Some(c.records()),
+                _ => None,
+            })
+            .unwrap_or(&[])
     }
 
-    /// Records whose tag matches `tag`.
+    /// The most recent records retained by the first ring sink, oldest
+    /// first (empty if no ring sink is attached).
+    pub fn recent(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.sinks
+            .iter()
+            .find_map(|s| match s {
+                SinkImpl::Ring(r) => Some(r.iter()),
+                _ => None,
+            })
+            .into_iter()
+            .flatten()
+    }
+
+    /// Captured records whose tag matches `tag`.
     pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
-        self.records.iter().filter(move |r| r.tag == tag)
+        self.records().iter().filter(move |r| r.tag == tag)
     }
 
-    /// How many records were discarded due to the capacity limit.
+    /// Total records discarded across capture caps and ring evictions.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.sinks
+            .iter()
+            .map(|s| match s {
+                SinkImpl::Capture(c) => c.dropped_records(),
+                SinkImpl::Ring(r) => r.evicted_records(),
+                _ => 0,
+            })
+            .sum()
     }
 
-    /// Clears stored records (the level gate is retained).
+    /// Clears in-memory sinks (the level gate and sink set are retained).
     pub fn clear(&mut self) {
-        self.records.clear();
-        self.dropped = 0;
+        for sink in &mut self.sinks {
+            match sink {
+                SinkImpl::Capture(c) => c.clear(),
+                SinkImpl::Ring(r) => r.clear(),
+                _ => {}
+            }
+        }
+    }
+
+    /// Flushes streaming sinks.
+    pub fn flush(&mut self) -> io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.as_sink_mut().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Exports the captured records as schema-versioned JSONL.
+    pub fn export_jsonl(&self, out: &mut impl io::Write) -> io::Result<()> {
+        export_jsonl(self.records(), out)
     }
 }
 
@@ -179,6 +778,23 @@ mod tests {
 
     fn rec(tracer: &mut Tracer, level: TraceLevel, tag: &'static str) {
         tracer.record(SimTime::ZERO, level, Some(0), tag, String::new());
+    }
+
+    fn sample_record() -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_micros(1_234_567),
+            level: TraceLevel::Info,
+            node: Some(7),
+            tag: Cow::Borrowed("tx"),
+            message: "DATA to n3 \"quoted\"\nline2".into(),
+            fields: vec![
+                field("bits", 9_600u64),
+                field("delta", -12i64),
+                field("snr_db", 14.25f64),
+                field("ok", true),
+                field("peer", "n3"),
+            ],
+        }
     }
 
     #[test]
@@ -202,7 +818,7 @@ mod tests {
         let mut t = Tracer::capturing(TraceLevel::Debug);
         rec(&mut t, TraceLevel::Info, "a");
         rec(&mut t, TraceLevel::Debug, "b");
-        let tags: Vec<&str> = t.records().iter().map(|r| r.tag).collect();
+        let tags: Vec<&str> = t.records().iter().map(|r| r.tag.as_ref()).collect();
         assert_eq!(tags, ["a", "b"]);
     }
 
@@ -230,17 +846,121 @@ mod tests {
     }
 
     #[test]
-    fn display_includes_node_and_tag() {
-        let r = TraceRecord {
-            time: SimTime::from_secs(1),
-            level: TraceLevel::Info,
-            node: Some(7),
-            tag: "tx",
-            message: "hello".into(),
-        };
-        let s = r.to_string();
+    fn ring_sink_keeps_the_tail() {
+        let mut t = Tracer::new(TraceLevel::Debug).with_ring(3);
+        for tag in ["a", "b", "c", "d", "e"] {
+            rec(&mut t, TraceLevel::Info, tag);
+        }
+        let tags: Vec<&str> = t.recent().map(|r| r.tag.as_ref()).collect();
+        assert_eq!(tags, ["c", "d", "e"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn multiple_sinks_all_receive() {
+        let mut t = Tracer::new(TraceLevel::Debug).with_capture(10).with_ring(2);
+        for tag in ["a", "b", "c"] {
+            rec(&mut t, TraceLevel::Info, tag);
+        }
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.recent().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let original = vec![
+            sample_record(),
+            TraceRecord {
+                time: SimTime::ZERO,
+                level: TraceLevel::Error,
+                node: None,
+                tag: Cow::Borrowed("violation"),
+                message: String::new(),
+                fields: Vec::new(),
+            },
+        ];
+        let mut buf = Vec::new();
+        export_jsonl(&original, &mut buf).expect("export");
+        let text = String::from_utf8(buf).expect("utf8");
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_with_header() {
+        let mut t = Tracer::new(TraceLevel::Debug).with_jsonl(Box::new(SharedBuf::default()));
+        // Keep a second handle onto the same buffer to inspect afterwards.
+        let probe = SharedBuf::default();
+        let mut t2 = Tracer::new(TraceLevel::Debug).with_jsonl(Box::new(probe.clone()));
+        for t in [&mut t, &mut t2] {
+            t.record_fields(
+                SimTime::from_secs(1),
+                TraceLevel::Info,
+                Some(1),
+                "tx",
+                "x".into(),
+                vec![field("bits", 64u64)],
+            );
+        }
+        t2.flush().expect("flush");
+        let text = probe.contents();
+        let mut lines = text.lines();
+        assert!(lines.next().expect("header").contains(TRACE_SCHEMA));
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].fields, vec![field("bits", 64u64)]);
+    }
+
+    #[test]
+    fn jsonl_rejects_wrong_schema() {
+        assert!(parse_jsonl("{\"schema\":\"other\",\"version\":1}\n").is_err());
+        assert!(parse_jsonl("").is_err());
+    }
+
+    #[test]
+    fn identical_records_serialise_to_identical_bytes() {
+        let a = sample_record();
+        let b = sample_record();
+        assert_eq!(a.to_json_line(), b.to_json_line());
+    }
+
+    #[test]
+    fn record_lazy_skips_builder_when_disabled() {
+        let mut t = Tracer::disabled();
+        let mut built = false;
+        t.record_lazy(SimTime::ZERO, TraceLevel::Error, None, "x", || {
+            built = true;
+            (String::from("never"), vec![])
+        });
+        assert!(!built, "detail builder ran while tracing was disabled");
+    }
+
+    #[test]
+    fn display_includes_node_tag_and_fields() {
+        let s = sample_record().to_string();
         assert!(s.contains("n7"), "{s}");
         assert!(s.contains("tx"), "{s}");
-        assert!(s.contains("hello"), "{s}");
+        assert!(s.contains("bits=9600"), "{s}");
+        assert!(s.contains("snr_db=14.25"), "{s}");
+    }
+
+    /// A cloneable in-memory writer for inspecting streamed output.
+    #[derive(Default, Clone)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().expect("lock").clone()).expect("utf8")
+        }
+    }
+
+    impl io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().expect("lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
     }
 }

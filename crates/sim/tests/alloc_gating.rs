@@ -1,0 +1,90 @@
+//! Verifies the tracer's zero-allocation promise: when a record's level is
+//! gated off, `record_lazy` must not run its builder closure **and** the
+//! call itself must not allocate — hot simulation loops trace at Debug
+//! density, so a disabled tracer has to be free.
+//!
+//! Uses a counting global allocator wrapping the system one. This lives in
+//! an integration test (its own crate) because the library forbids unsafe
+//! code and `GlobalAlloc` is an unsafe trait.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use uasn_sim::time::SimTime;
+use uasn_sim::trace::{field, TraceLevel, Tracer};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn disabled_tracer_allocates_nothing() {
+    let mut tracer = Tracer::disabled();
+    let count = allocations_during(|| {
+        for i in 0..1_000u64 {
+            tracer.record_lazy(
+                SimTime::from_secs(i),
+                TraceLevel::Debug,
+                Some(3),
+                "tx",
+                || (format!("frame {i}"), vec![field("bits", 2_048u64)]),
+            );
+        }
+    });
+    assert_eq!(count, 0, "gated record_lazy must not allocate");
+}
+
+#[test]
+fn level_gated_records_allocate_nothing() {
+    // Error-only tracer: Debug traffic is gated off before the builder runs.
+    let mut tracer = Tracer::capturing(TraceLevel::Error);
+    let count = allocations_during(|| {
+        for i in 0..1_000u64 {
+            tracer.record_lazy(SimTime::from_secs(i), TraceLevel::Debug, None, "rx", || {
+                (format!("frame {i}"), Vec::new())
+            });
+        }
+    });
+    assert_eq!(count, 0, "below-threshold record_lazy must not allocate");
+    assert_eq!(tracer.records().len(), 0);
+}
+
+#[test]
+fn enabled_records_do_allocate_and_are_captured() {
+    // Sanity check that the counter actually counts: the same loop with the
+    // level enabled must both allocate and capture.
+    let mut tracer = Tracer::capturing(TraceLevel::Debug);
+    let count = allocations_during(|| {
+        for i in 0..100u64 {
+            tracer.record_lazy(
+                SimTime::from_secs(i),
+                TraceLevel::Debug,
+                Some(1),
+                "tx",
+                || (format!("frame {i}"), Vec::new()),
+            );
+        }
+    });
+    assert!(count > 0, "enabled records allocate their strings");
+    assert_eq!(tracer.records().len(), 100);
+}

@@ -21,9 +21,7 @@ fn main() {
         .unwrap_or(40);
     let seeds = 4u64;
 
-    println!(
-        "surge: {packets} event reports burst into the first 10 s, 60 sensors\n"
-    );
+    println!("surge: {packets} event reports burst into the first 10 s, 60 sensors\n");
     println!(
         "{:<10}{:>18}{:>18}{:>14}{:>12}",
         "protocol", "drain time (s)", "surface bits", "dropped", "collisions"

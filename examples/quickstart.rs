@@ -16,9 +16,8 @@ fn main() {
     // 2048-bit data packets, 300 s.
     let cfg = SimConfig::paper_default().with_offered_load_kbps(0.8);
 
-    let factory = |id: NodeId| -> Box<dyn MacProtocol> {
-        Box::new(EwMac::new(id, EwMacConfig::default()))
-    };
+    let factory =
+        |id: NodeId| -> Box<dyn MacProtocol> { Box::new(EwMac::new(id, EwMacConfig::default())) };
 
     let sim = Simulation::new(cfg, &factory).expect("paper defaults are valid");
     println!(
@@ -30,7 +29,10 @@ fn main() {
     let report = sim.run();
     println!("protocol:            {}", report.protocol);
     println!("throughput (Eq 3):   {:.3} kbps", report.throughput_kbps);
-    println!("delivered SDUs:      {} / {} generated", report.sdus_received, report.sdus_generated);
+    println!(
+        "delivered SDUs:      {} / {} generated",
+        report.sdus_received, report.sdus_generated
+    );
     println!("  via extra comms:   {} bits", report.extra_bits_received);
     println!("reached the surface: {} bits", report.sink_bits_received);
     println!("mean power:          {:.1} mW", report.avg_power_mw);

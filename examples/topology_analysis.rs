@@ -21,7 +21,14 @@ fn main() {
 
     println!(
         "{:<9}{:>8}{:>10}{:>14}{:>12}{:>14}{:>12}{:>16}",
-        "sensors", "links", "degree", "hidden-pairs", "hidden-%", "hop-tau(s)", "hops", "mean-window(s)"
+        "sensors",
+        "links",
+        "degree",
+        "hidden-pairs",
+        "hidden-%",
+        "hop-tau(s)",
+        "hops",
+        "mean-window(s)"
     );
     for n in [60u32, 100, 140, 200] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);

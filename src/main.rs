@@ -50,9 +50,8 @@ fn parse_args() -> Result<Options, String> {
                 if v.eq_ignore_ascii_case("all") {
                     protocol = None;
                 } else {
-                    protocol = Some(
-                        parse_protocol(&v).ok_or_else(|| format!("unknown protocol `{v}`"))?,
-                    );
+                    protocol =
+                        Some(parse_protocol(&v).ok_or_else(|| format!("unknown protocol `{v}`"))?);
                 }
             }
             "--sensors" => {
@@ -66,7 +65,9 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--sinks: {e}"))?;
             }
             "--load" => {
-                let v: f64 = value("--load")?.parse().map_err(|e| format!("--load: {e}"))?;
+                let v: f64 = value("--load")?
+                    .parse()
+                    .map_err(|e| format!("--load: {e}"))?;
                 cfg = cfg.with_offered_load_kbps(v);
             }
             "--batch-load" => {
@@ -76,11 +77,15 @@ fn parse_args() -> Result<Options, String> {
                 cfg = cfg.with_batch_load_kbps(v);
             }
             "--time" => {
-                let v: u64 = value("--time")?.parse().map_err(|e| format!("--time: {e}"))?;
+                let v: u64 = value("--time")?
+                    .parse()
+                    .map_err(|e| format!("--time: {e}"))?;
                 cfg = cfg.with_sim_time(SimDuration::from_secs(v));
             }
             "--seed" => {
-                let v: u64 = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                let v: u64 = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
                 cfg = cfg.with_seed(v);
             }
             "--mobility" => {
@@ -180,7 +185,10 @@ fn main() -> ExitCode {
         println!("protocol:          {}", report.protocol);
         println!("nodes:             {}", report.nodes);
         println!("window:            {}", report.duration);
-        println!("throughput:        {:.3} kbps (Eq 3)", report.throughput_kbps);
+        println!(
+            "throughput:        {:.3} kbps (Eq 3)",
+            report.throughput_kbps
+        );
         println!(
             "delivered:         {} SDUs / {} generated ({} dropped, {} unroutable)",
             report.sdus_received, report.sdus_generated, report.sdus_dropped, report.unroutable
@@ -188,7 +196,10 @@ fn main() -> ExitCode {
         println!("extra comms:       {} bits", report.extra_bits_received);
         println!("reached surface:   {} bits", report.sink_bits_received);
         println!("mean power:        {:.1} mW", report.avg_power_mw);
-        println!("energy:            {:.2} J/kbit", report.energy_per_kbit_j());
+        println!(
+            "energy:            {:.2} J/kbit",
+            report.energy_per_kbit_j()
+        );
         println!("overhead:          {} bits (§5.3)", report.overhead_bits);
         println!("collisions:        {}", report.collisions);
         println!("half-duplex loss:  {}", report.half_duplex_losses);

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 
 use uasn::bench::{run_once, Protocol};
 use uasn::net::config::SimConfig;
+use uasn::net::node::NodeId;
+use uasn::net::world::Simulation;
 use uasn::sim::time::SimDuration;
+use uasn::sim::trace::{parse_jsonl, TraceLevel};
 
 fn base_cfg(seed: u64) -> SimConfig {
     SimConfig::paper_default()
@@ -18,7 +21,12 @@ fn base_cfg(seed: u64) -> SimConfig {
 
 #[test]
 fn identical_seeds_replay_identically() {
-    for p in [Protocol::EwMac, Protocol::SFama, Protocol::Ropa, Protocol::CsMac] {
+    for p in [
+        Protocol::EwMac,
+        Protocol::SFama,
+        Protocol::Ropa,
+        Protocol::CsMac,
+    ] {
         let a = run_once(&base_cfg(42), p);
         let b = run_once(&base_cfg(42), p);
         assert_eq!(a, b, "{}: same seed diverged", p.name());
@@ -31,6 +39,30 @@ fn identical_seeds_replay_identically_with_mobility() {
     let a = run_once(&cfg, Protocol::EwMac);
     let b = run_once(&cfg, Protocol::EwMac);
     assert_eq!(a, b, "mobility broke determinism");
+}
+
+#[test]
+fn identical_seeds_export_byte_identical_jsonl_traces() {
+    let export = || {
+        let factory = |id: NodeId| Protocol::EwMac.build(id);
+        let sim = Simulation::new(base_cfg(42), &factory)
+            .expect("valid config")
+            .with_tracing(TraceLevel::Debug);
+        let (_report, tracer) = sim.run_traced();
+        let mut buf = Vec::new();
+        tracer.export_jsonl(&mut buf).expect("export");
+        buf
+    };
+    let a = export();
+    let b = export();
+    assert_eq!(a, b, "same seed produced different JSONL traces");
+    // The trace is non-trivial and parses back losslessly.
+    let text = String::from_utf8(a).expect("utf8");
+    let records = parse_jsonl(&text).expect("trace parses back");
+    assert!(
+        !records.is_empty(),
+        "Debug trace of a 90 s run captured nothing"
+    );
 }
 
 #[test]

@@ -14,7 +14,12 @@ fn base() -> SimConfig {
 
 #[test]
 fn hello_phase_learns_enough_to_run_every_protocol() {
-    for p in [Protocol::EwMac, Protocol::SFama, Protocol::Ropa, Protocol::CsMac] {
+    for p in [
+        Protocol::EwMac,
+        Protocol::SFama,
+        Protocol::Ropa,
+        Protocol::CsMac,
+    ] {
         let report = run_once(&base().with_hello_init(), p);
         assert!(
             report.data_bits_received > 0,

@@ -10,7 +10,10 @@ use uasn::net::world::Simulation;
 use uasn::sim::time::SimDuration;
 use uasn::sim::trace::TraceLevel;
 
-fn traced_run(cfg: &SimConfig, protocol: Protocol) -> (uasn::net::MetricsReport, uasn::sim::trace::Tracer) {
+fn traced_run(
+    cfg: &SimConfig,
+    protocol: Protocol,
+) -> (uasn::net::MetricsReport, uasn::sim::trace::Tracer) {
     let factory = move |id: NodeId| protocol.build(id);
     Simulation::new(cfg.clone(), &factory)
         .expect("valid config")
@@ -28,7 +31,10 @@ fn busy_cfg() -> SimConfig {
 #[test]
 fn extra_exchanges_follow_the_four_way_pattern() {
     let (report, tracer) = traced_run(&busy_cfg(), Protocol::EwMac);
-    assert!(report.extra_bits_received > 0, "no extra exchange completed");
+    assert!(
+        report.extra_bits_received > 0,
+        "no extra exchange completed"
+    );
 
     // Every completed EXData implies the full EXR -> EXC -> EXData chain
     // appeared on the air.

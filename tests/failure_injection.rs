@@ -121,7 +121,12 @@ fn single_sensor_network_still_works() {
             "{}: even a two-node network failed",
             p.name()
         );
-        assert_eq!(report.collisions, 0, "{}: collision with one sender?", p.name());
+        assert_eq!(
+            report.collisions,
+            0,
+            "{}: collision with one sender?",
+            p.name()
+        );
     }
 }
 

@@ -1,0 +1,382 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! crates.io `proptest` cannot be fetched. This vendored crate implements the
+//! subset the workspace's property tests use: the `proptest!` macro, the
+//! `prop_assert*` / `prop_assume!` macros, range and tuple strategies,
+//! `prop_map`, `collection::vec`, `bool::ANY`, and `num::*::ANY`.
+//!
+//! Differences from the real thing, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case index and the
+//!   derived seed; reproduce by re-running the (deterministic) test.
+//! * **Deterministic cases.** Cases are derived from the test name, so every
+//!   run explores the same inputs — failures are always reproducible.
+//! * **64 cases per test** by default (`PROPTEST_CASES` overrides), versus
+//!   the real default of 256, keeping whole-simulation properties fast.
+
+use rand::rngs::StdRng;
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// Strategy abstraction: how to generate a random value of some type.
+pub mod strategy {
+    use super::TestRng;
+    use rand::distributions::uniform::SampleRange;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    // `sample_range_is_object_safe`-style helper so the macro above compiles
+    // even when a range type is used both as a strategy and a plain range.
+    #[allow(dead_code)]
+    fn _assert_ranges_sample<R: SampleRange<u64>>(_r: R) {}
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Numeric full-range strategies.
+pub mod num {
+    macro_rules! num_any_module {
+        ($($m:ident => $t:ty),*) => {$(
+            /// Full-range strategies for this numeric type.
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::TestRng;
+                use rand::distributions::{Distribution, Standard};
+
+                /// Uniformly random values over the whole type.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// The full-range strategy.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        Standard.sample(rng)
+                    }
+                }
+            }
+        )*};
+    }
+    num_any_module!(u8 => u8, u32 => u32, u64 => u64, f64 => f64);
+}
+
+/// The per-test case runner behind the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-block configuration, set via `#![proptest_config(...)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// How many cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases: cases.max(1),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` env var wins, then the
+    /// block's `proptest_config`, then the default of 64.
+    pub fn cases(config: Option<u32>) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .or(config)
+            .unwrap_or(64)
+    }
+
+    /// Runs `case` once per generated input set, panicking with context on
+    /// the first failure. Cases derive deterministically from `name`.
+    pub fn run(name: &str, config: Option<u32>, mut case: impl FnMut(&mut super::TestRng)) {
+        let master = fnv1a(name.as_bytes());
+        for i in 0..cases(config) {
+            let seed = master ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            let mut rng = super::TestRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest stub: property `{name}` failed at case {i} (derived seed {seed:#x})"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`.
+///
+/// An optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// overrides the per-property case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cases = Some(($config).cases);
+                $crate::test_runner::run(stringify!($name), __proptest_cases, |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    // Wrap the body so `prop_assume!` can skip a case via
+                    // early return without leaving the runner loop.
+                    (move || $body)()
+                });
+            }
+        )*
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), None, |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    // Wrap the body so `prop_assume!` can skip a case via
+                    // early return without leaving the runner loop.
+                    (move || $body)()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..10, f in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(p in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 8);
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u8..3, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 3));
+        }
+
+        #[test]
+        fn assume_skips(a in 0u64..4, b in 0u64..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn bool_and_num_any(flag in crate::bool::ANY, word in crate::num::u64::ANY) {
+            // Mostly a compile-surface check.
+            prop_assert!(flag || !flag);
+            prop_assert_eq!(word, word);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut a = crate::TestRng::seed_from_u64(1);
+        let mut b = crate::TestRng::seed_from_u64(1);
+        let s = 0u64..1_000_000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
