@@ -1,0 +1,142 @@
+//! Offline trace auditor.
+//!
+//! ```text
+//! audit check <trace.jsonl>                  replay invariant checks
+//! audit journeys <trace.jsonl> [--top N]     slowest packet journeys
+//! audit latency <trace.jsonl> [--csv P] [--json P]   phase histograms
+//! ```
+//!
+//! Exit codes: `0` clean, `1` invariant violations found, `2` usage or
+//! trace parse/IO error.
+
+use std::fs;
+use std::process::ExitCode;
+
+use uasn_audit::journey::{reconstruct, slowest, PhaseHistograms};
+use uasn_audit::model::TraceModel;
+use uasn_sim::trace::parse_jsonl;
+
+const USAGE: &str = "usage: audit <check|journeys|latency> <trace.jsonl> [options]
+  check     replay invariant checks; exit 1 on any violation
+  journeys  print the slowest packet journeys (--top N, default 10)
+  latency   print phase-latency histograms (--csv PATH, --json PATH)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (command, rest) = args.split_first().ok_or(USAGE)?;
+    let (path, opts) = rest.split_first().ok_or(USAGE)?;
+    let input = fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let records = parse_jsonl(&input).map_err(|e| format!("malformed trace {path}: {e}"))?;
+    let model = TraceModel::from_records(&records);
+    println!(
+        "trace {}: {} records ({} audit events skipped for missing fields)",
+        path,
+        records.len(),
+        model.skipped
+    );
+    if let Some(run) = &model.run_info {
+        println!(
+            "run: {} | {} nodes ({} sinks) | slot {} us | mobility {} | forwarding {}",
+            run.protocol, run.nodes, run.sinks, run.slot_us, run.mobility, run.forwarding
+        );
+    } else {
+        println!("run: no run-info record; geometry-dependent checks are skipped");
+    }
+    if !model.has_frame_detail() {
+        println!("note: no per-frame events — trace the run at Debug level for a full audit");
+    }
+    match command.as_str() {
+        "check" => cmd_check(&model),
+        "journeys" => cmd_journeys(&model, opts),
+        "latency" => cmd_latency(&model, opts),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn cmd_check(model: &TraceModel) -> Result<ExitCode, String> {
+    let violations = uasn_audit::check(model);
+    if violations.is_empty() {
+        println!("OK: all invariant checks passed");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("FAIL: {} violation(s)", violations.len());
+    for v in &violations {
+        println!("  {v}");
+    }
+    Ok(ExitCode::from(1))
+}
+
+fn cmd_journeys(model: &TraceModel, opts: &[String]) -> Result<ExitCode, String> {
+    let top = parse_opt(opts, "--top")?
+        .map(|v| v.parse::<usize>().map_err(|e| format!("bad --top: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let journeys = reconstruct(model);
+    let delivered = journeys.iter().filter(|j| j.delivered()).count();
+    let dropped = journeys.iter().filter(|j| j.dropped.is_some()).count();
+    println!(
+        "{} journeys: {} delivered, {} dropped, {} in flight",
+        journeys.len(),
+        delivered,
+        dropped,
+        journeys.len() - delivered - dropped
+    );
+    println!("slowest {top} by end-to-end latency:");
+    for j in slowest(&journeys, top) {
+        print!("{}", j.describe());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_latency(model: &TraceModel, opts: &[String]) -> Result<ExitCode, String> {
+    let journeys = reconstruct(model);
+    let hists = PhaseHistograms::from_journeys(&journeys);
+    println!("phase          count        p50        p90        p99        max (us)");
+    for (name, hist) in hists.phases() {
+        println!(
+            "{name:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            hist.count(),
+            opt(hist.p50()),
+            opt(hist.p90()),
+            opt(hist.p99()),
+            opt(hist.max()),
+        );
+    }
+    if let Some(path) = parse_opt(opts, "--csv")? {
+        fs::write(path, hists.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = parse_opt(opts, "--json")? {
+        let mut json = String::new();
+        hists.to_json().write(&mut json);
+        json.push('\n');
+        fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+/// Finds `--name value` in the option list.
+fn parse_opt<'a>(opts: &'a [String], name: &str) -> Result<Option<&'a String>, String> {
+    match opts.iter().position(|o| o == name) {
+        None => Ok(None),
+        Some(i) => opts
+            .get(i + 1)
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value\n{USAGE}")),
+    }
+}

@@ -1,0 +1,707 @@
+//! Trace replay against the protocol invariants the simulator (and the
+//! paper) promise.
+//!
+//! Each check walks the typed [`TraceModel`] and emits [`Violation`]s
+//! carrying the index of the offending trace record, so a finding can be
+//! traced back to the exact JSONL line that produced it.
+//!
+//! The headline check is the paper's non-interference guarantee (§4.3):
+//! EW-MAC's extra communications (EXR/EXC/EXData/EXAck) must fit inside the
+//! waiting windows of a negotiated exchange and never overlap the reserved
+//! busy intervals — the receiver's data reception and Ack transmission, the
+//! sender's data transmission and Ack reception. The reserved intervals are
+//! recomputed from first principles with the same schedule arithmetic the
+//! protocol uses ([`ObservedNegotiation`]), so the checker and the
+//! implementation can only agree by both matching the paper's equations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use uasn_ewmac::ObservedNegotiation;
+use uasn_net::packet::FrameKind;
+use uasn_net::slots::SlotClock;
+use uasn_net::NodeId;
+use uasn_sim::time::{SimDuration, SimTime};
+
+use crate::model::{RunInfo, RxEvent, TraceModel, TxEvent};
+
+/// What kind of promise a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Two decoded receptions at one node overlap in time: the modem should
+    /// have recorded a collision (`rx-lost`) instead of decoding both.
+    OverlappingReceptions,
+    /// A decoded reception overlaps the same node's own transmission:
+    /// half-duplex acoustic modems cannot do that.
+    HalfDuplexDecode,
+    /// A slotted protocol transmitted a negotiated control or data frame
+    /// away from a slot boundary.
+    SlotMisalignment,
+    /// An extra-communication frame's arrival window at a negotiated pair
+    /// node intersects a reserved interval of that negotiation — the
+    /// paper's non-interference guarantee is broken.
+    ExtraWindowIntrusion,
+    /// A reception's propagation delay exceeds τmax, or varies between a
+    /// static pair of nodes.
+    PropagationInconsistency,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ViolationKind::OverlappingReceptions => "overlapping-receptions",
+            ViolationKind::HalfDuplexDecode => "half-duplex-decode",
+            ViolationKind::SlotMisalignment => "slot-misalignment",
+            ViolationKind::ExtraWindowIntrusion => "extra-window-intrusion",
+            ViolationKind::PropagationInconsistency => "propagation-inconsistency",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One broken invariant, pointing at the trace record that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which promise broke.
+    pub kind: ViolationKind,
+    /// Index of the offending record in the parsed trace (the line number
+    /// of the JSONL body, after the header).
+    pub record_index: usize,
+    /// Simulation time of the offending record, microseconds.
+    pub time_us: u64,
+    /// The node the violation happened at, if tied to one.
+    pub node: Option<usize>,
+    /// Human-readable description citing the evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] record #{}", self.kind, self.record_index)?;
+        if let Some(node) = self.node {
+            write!(f, " n{node}")?;
+        }
+        write!(f, " @ {} us: {}", self.time_us, self.detail)
+    }
+}
+
+/// Half-open-ish strict overlap: the intervals share more than a boundary
+/// point. Touching endpoints (`a_end == b_start`) is legal everywhere in
+/// the schedule, so it never counts.
+fn overlaps(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> bool {
+    a_start < b_end && b_start < a_end
+}
+
+/// Runs every applicable check over the model and returns all violations,
+/// ordered by the trace record they point at.
+///
+/// Checks that need the run geometry (slot alignment, extra-window
+/// non-interference, propagation bounds) are skipped when the trace has no
+/// `run-info` record; callers should surface that as a warning.
+pub fn check(model: &TraceModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_overlapping_receptions(model, &mut out);
+    check_half_duplex(model, &mut out);
+    if let Some(run) = &model.run_info {
+        check_slot_alignment(model, run, &mut out);
+        check_extra_windows(model, run, &mut out);
+        check_propagation(model, run, &mut out);
+    }
+    out.sort_by_key(|v| (v.record_index, v.time_us));
+    out
+}
+
+/// Decoded receptions at one node must be serial: the modem records every
+/// overlapping arrival as a collision loss, so two decoded `rx` intervals
+/// sharing time means the collision model was bypassed.
+fn check_overlapping_receptions(model: &TraceModel, out: &mut Vec<Violation>) {
+    let mut by_node: HashMap<usize, Vec<&RxEvent>> = HashMap::new();
+    for rx in &model.rx {
+        by_node.entry(rx.node).or_default().push(rx);
+    }
+    let mut nodes: Vec<_> = by_node.into_iter().collect();
+    nodes.sort_by_key(|(n, _)| *n);
+    for (node, mut rxs) in nodes {
+        rxs.sort_by_key(|r| (r.start_us, r.end_us));
+        let mut prev: Option<&RxEvent> = None;
+        for rx in rxs {
+            if let Some(p) = prev {
+                if rx.start_us < p.end_us {
+                    out.push(Violation {
+                        kind: ViolationKind::OverlappingReceptions,
+                        record_index: rx.record,
+                        time_us: rx.start_us,
+                        node: Some(node),
+                        detail: format!(
+                            "{} from n{} decoded over [{}, {}] us while {} from n{} \
+                             (record #{}) still occupied [{}, {}] us",
+                            rx.kind,
+                            rx.src,
+                            rx.start_us,
+                            rx.end_us,
+                            p.kind,
+                            p.src,
+                            p.record,
+                            p.start_us,
+                            p.end_us
+                        ),
+                    });
+                }
+            }
+            // Track the latest-ending interval so a long reception is
+            // compared against everything it covers.
+            prev = match prev {
+                Some(p) if p.end_us > rx.end_us => Some(p),
+                _ => Some(rx),
+            };
+        }
+    }
+}
+
+/// A half-duplex modem cannot decode while transmitting; the simulator
+/// models this by losing the arrival, so a decoded `rx` inside an own `tx`
+/// interval is impossible in a faithful trace.
+fn check_half_duplex(model: &TraceModel, out: &mut Vec<Violation>) {
+    let mut tx_by_node: HashMap<usize, Vec<&TxEvent>> = HashMap::new();
+    for tx in &model.tx {
+        tx_by_node.entry(tx.node).or_default().push(tx);
+    }
+    for txs in tx_by_node.values_mut() {
+        txs.sort_by_key(|t| t.time_us);
+    }
+    let mut rxs: Vec<&RxEvent> = model.rx.iter().collect();
+    rxs.sort_by_key(|r| (r.node, r.start_us));
+    for rx in rxs {
+        let Some(txs) = tx_by_node.get(&rx.node) else {
+            continue;
+        };
+        // Own transmissions are serial, so a binary search by start bounds
+        // the single candidate that could still be in the air at rx.start.
+        let idx = txs.partition_point(|t| t.time_us + t.dur_us <= rx.start_us);
+        if let Some(tx) = txs.get(idx) {
+            let tx_end = tx.time_us + tx.dur_us;
+            if overlaps(tx.time_us, tx_end, rx.start_us, rx.end_us) {
+                out.push(Violation {
+                    kind: ViolationKind::HalfDuplexDecode,
+                    record_index: rx.record,
+                    time_us: rx.start_us,
+                    node: Some(rx.node),
+                    detail: format!(
+                        "{} from n{} decoded over [{}, {}] us while own {} tx \
+                         (record #{}) occupied [{}, {}] us",
+                        rx.kind,
+                        rx.src,
+                        rx.start_us,
+                        rx.end_us,
+                        tx.kind,
+                        tx.record,
+                        tx.time_us,
+                        tx_end
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Slotted protocols (EW-MAC variants, S-FAMA) send every negotiated
+/// control and data frame on a slot boundary. Beacons, RTAs, and EW-MAC's
+/// extra frames are deliberately mid-slot and exempt.
+fn check_slot_alignment(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
+    if !run.is_slot_aligned() || run.slot_us == 0 {
+        return;
+    }
+    for tx in &model.tx {
+        let slotted = matches!(
+            tx.kind,
+            FrameKind::Rts | FrameKind::Cts | FrameKind::Data | FrameKind::Ack
+        );
+        if slotted && tx.time_us % run.slot_us != 0 {
+            out.push(Violation {
+                kind: ViolationKind::SlotMisalignment,
+                record_index: tx.record,
+                time_us: tx.time_us,
+                node: Some(tx.node),
+                detail: format!(
+                    "{} to n{} transmitted {} us past the slot boundary (slot = {} us)",
+                    tx.kind,
+                    tx.dst,
+                    tx.time_us % run.slot_us,
+                    run.slot_us
+                ),
+            });
+        }
+    }
+}
+
+/// A busy interval reserved by a negotiated exchange at one pair node.
+struct ReservedInterval {
+    node: usize,
+    start_us: u64,
+    end_us: u64,
+    what: &'static str,
+    neg_record: usize,
+}
+
+/// Recomputes the reserved busy intervals of every overheard negotiation
+/// (from CTS/RTS transmissions that announce pair delay and data duration)
+/// and flags any extra-communication arrival at a pair node whose window
+/// intersects one: the paper's non-interference guarantee.
+fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
+    let clock = SlotClock::new(
+        SimDuration::from_micros(run.omega_us),
+        SimDuration::from_micros(run.tau_max_us),
+    );
+    let mut reserved: Vec<ReservedInterval> = Vec::new();
+    for tx in &model.tx {
+        let is_neg = matches!(tx.kind, FrameKind::Rts | FrameKind::Cts);
+        let (Some(pair_delay_us), Some(data_dur_us)) = (tx.pair_delay_us, tx.data_dur_us) else {
+            continue;
+        };
+        if !is_neg {
+            continue;
+        }
+        // An RTS alone reserves nothing: the receiver may deny it (or answer
+        // with an EXC granting an extra exchange instead — the paper's
+        // busy-receiver case). Only count the sender-side windows once a CTS
+        // from the addressee actually reached the sender before the data
+        // window opens. A CTS, by contrast, *is* the grant.
+        if tx.kind == FrameKind::Rts {
+            // The grant for *this* RTS lands in the following slot (CTS tx
+            // at the next slot boundary + at most tau_max propagation); a
+            // CTS beyond that belongs to a later retry.
+            let granted = model.rx.iter().any(|rx| {
+                rx.node == tx.node
+                    && rx.kind == FrameKind::Cts
+                    && rx.src == tx.dst
+                    && rx.addressed
+                    && rx.end_us > tx.time_us
+                    && rx.end_us <= tx.time_us + 2 * run.slot_us
+            });
+            if !granted {
+                continue;
+            }
+        }
+        let neg = ObservedNegotiation {
+            peer: NodeId::new(tx.node as u32),
+            other: NodeId::new(tx.dst as u32),
+            peer_is_receiver: tx.kind == FrameKind::Cts,
+            control_slot: clock.slot_of(SimTime::from_micros(tx.time_us)),
+            pair_delay: SimDuration::from_micros(pair_delay_us),
+            data_duration: SimDuration::from_micros(data_dur_us),
+        };
+        let (receiver, sender) = if neg.peer_is_receiver {
+            (neg.peer, neg.other)
+        } else {
+            (neg.other, neg.peer)
+        };
+        let data_rx_start = neg.data_arrival_at_receiver(&clock).as_micros();
+        let data_tx_start = clock.start_of(neg.data_slot()).as_micros();
+        let ack_start = clock.start_of(neg.ack_slot(&clock)).as_micros();
+        reserved.push(ReservedInterval {
+            node: receiver.index(),
+            start_us: data_rx_start,
+            end_us: data_rx_start + data_dur_us,
+            what: "data reception",
+            neg_record: tx.record,
+        });
+        reserved.push(ReservedInterval {
+            node: receiver.index(),
+            start_us: ack_start,
+            end_us: ack_start + run.omega_us,
+            what: "ack transmission",
+            neg_record: tx.record,
+        });
+        reserved.push(ReservedInterval {
+            node: sender.index(),
+            start_us: data_tx_start,
+            end_us: data_tx_start + data_dur_us,
+            what: "data transmission",
+            neg_record: tx.record,
+        });
+        reserved.push(ReservedInterval {
+            node: sender.index(),
+            start_us: ack_start + pair_delay_us,
+            end_us: ack_start + pair_delay_us + run.omega_us,
+            what: "ack reception",
+            neg_record: tx.record,
+        });
+    }
+    if reserved.is_empty() {
+        return;
+    }
+    // Decoded EX arrivals addressed to a pair node: the whole arrival
+    // window must stay clear of that node's reserved intervals.
+    for rx in &model.rx {
+        if !rx.kind.is_extra() || !rx.addressed {
+            continue;
+        }
+        for res in reserved.iter().filter(|r| r.node == rx.node) {
+            if overlaps(rx.start_us, rx.end_us, res.start_us, res.end_us) {
+                out.push(Violation {
+                    kind: ViolationKind::ExtraWindowIntrusion,
+                    record_index: rx.record,
+                    time_us: rx.start_us,
+                    node: Some(rx.node),
+                    detail: format!(
+                        "{} from n{} arrived over [{}, {}] us inside reserved {} \
+                         [{}, {}] us of the negotiation at record #{}",
+                        rx.kind,
+                        rx.src,
+                        rx.start_us,
+                        rx.end_us,
+                        res.what,
+                        res.start_us,
+                        res.end_us,
+                        res.neg_record
+                    ),
+                });
+            }
+        }
+    }
+    // Lost EX arrivals addressed to a pair node: a collision loss whose
+    // start lands inside a reserved interval means the extra frame was the
+    // intruder that corrupted the negotiated exchange.
+    for lost in &model.rx_lost {
+        if !lost.kind.is_extra() || lost.dst != lost.node {
+            continue;
+        }
+        for res in reserved.iter().filter(|r| r.node == lost.node) {
+            if lost.start_us > res.start_us && lost.start_us < res.end_us {
+                out.push(Violation {
+                    kind: ViolationKind::ExtraWindowIntrusion,
+                    record_index: lost.record,
+                    time_us: lost.start_us,
+                    node: Some(lost.node),
+                    detail: format!(
+                        "{} from n{} lost ({}) at {} us inside reserved {} [{}, {}] us \
+                         of the negotiation at record #{}",
+                        lost.kind,
+                        lost.src,
+                        lost.reason,
+                        lost.start_us,
+                        res.what,
+                        res.start_us,
+                        res.end_us,
+                        res.neg_record
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Propagation must respect the channel: never beyond τmax, and constant
+/// for a fixed pair of nodes when mobility is off.
+fn check_propagation(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
+    let mut seen: HashMap<(usize, usize), (u64, usize)> = HashMap::new();
+    for rx in &model.rx {
+        if rx.prop_us > run.tau_max_us {
+            out.push(Violation {
+                kind: ViolationKind::PropagationInconsistency,
+                record_index: rx.record,
+                time_us: rx.start_us,
+                node: Some(rx.node),
+                detail: format!(
+                    "{} from n{} propagated {} us, beyond tau_max = {} us",
+                    rx.kind, rx.src, rx.prop_us, run.tau_max_us
+                ),
+            });
+        }
+        if !run.mobility {
+            match seen.get(&(rx.src, rx.node)) {
+                None => {
+                    seen.insert((rx.src, rx.node), (rx.prop_us, rx.record));
+                }
+                Some(&(prop, first_record)) if prop != rx.prop_us => {
+                    out.push(Violation {
+                        kind: ViolationKind::PropagationInconsistency,
+                        record_index: rx.record,
+                        time_us: rx.start_us,
+                        node: Some(rx.node),
+                        detail: format!(
+                            "{} from n{} propagated {} us but the static pair measured \
+                             {} us at record #{}",
+                            rx.kind, rx.src, rx.prop_us, prop, first_record
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(record: usize, node: usize, src: usize, start_us: u64, end_us: u64) -> RxEvent {
+        RxEvent {
+            record,
+            end_us,
+            node,
+            kind: FrameKind::Data,
+            src,
+            dst: node,
+            bits: 1_000,
+            start_us,
+            prop_us: 100,
+            addressed: true,
+            sdu: None,
+            origin: None,
+        }
+    }
+
+    #[test]
+    fn serial_receptions_pass_and_overlap_fails() {
+        let mut model = TraceModel {
+            rx: vec![rx(0, 1, 2, 0, 100), rx(1, 1, 3, 100, 200)],
+            ..TraceModel::default()
+        };
+        assert!(check(&model).is_empty(), "boundary touch is legal");
+        model.rx.push(rx(2, 1, 4, 150, 250));
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::OverlappingReceptions);
+        assert_eq!(violations[0].record_index, 2);
+        assert!(violations[0].detail.contains("record #1"));
+    }
+
+    #[test]
+    fn decode_during_own_transmission_fails() {
+        let model = TraceModel {
+            tx: vec![TxEvent {
+                record: 0,
+                time_us: 50,
+                node: 1,
+                kind: FrameKind::Rts,
+                dst: 2,
+                bits: 64,
+                dur_us: 100,
+                pair_delay_us: None,
+                data_dur_us: None,
+                sdu: None,
+                origin: None,
+                retx: false,
+            }],
+            rx: vec![rx(1, 1, 3, 120, 220)],
+            ..TraceModel::default()
+        };
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::HalfDuplexDecode);
+        assert_eq!(violations[0].record_index, 1);
+    }
+
+    fn ewmac_run_info() -> RunInfo {
+        RunInfo {
+            protocol: "EW-MAC".into(),
+            nodes: 4,
+            sinks: 1,
+            bitrate_bps: 12_000.0,
+            omega_us: 5_333,
+            tau_max_us: 1_000_000,
+            slot_us: 1_005_333,
+            mobility: false,
+            forwarding: true,
+        }
+    }
+
+    #[test]
+    fn misaligned_slotted_frame_fails_only_for_slotted_protocols() {
+        let tx = TxEvent {
+            record: 3,
+            time_us: 1_005_333 + 7,
+            node: 0,
+            kind: FrameKind::Cts,
+            dst: 1,
+            bits: 64,
+            dur_us: 5_333,
+            pair_delay_us: None,
+            data_dur_us: None,
+            sdu: None,
+            origin: None,
+            retx: false,
+        };
+        let mut model = TraceModel {
+            run_info: Some(ewmac_run_info()),
+            tx: vec![tx],
+            ..TraceModel::default()
+        };
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::SlotMisalignment);
+        assert_eq!(violations[0].record_index, 3);
+
+        // The same trace from an unslotted protocol is clean.
+        model.run_info.as_mut().unwrap().protocol = "ALOHA".into();
+        assert!(check(&model).is_empty());
+    }
+
+    #[test]
+    fn extra_frame_inside_reserved_window_fails() {
+        let run = ewmac_run_info();
+        let clock = SlotClock::new(
+            SimDuration::from_micros(run.omega_us),
+            SimDuration::from_micros(run.tau_max_us),
+        );
+        // n0 sends CTS to n1 in slot 0: n0 receives data in slot 1 over
+        // [slot1 + pair_delay, + data_dur].
+        let pair_delay = 600_000u64;
+        let data_dur = 170_667u64;
+        let cts = TxEvent {
+            record: 0,
+            time_us: 0,
+            node: 0,
+            kind: FrameKind::Cts,
+            dst: 1,
+            bits: 64,
+            dur_us: run.omega_us,
+            pair_delay_us: Some(pair_delay),
+            data_dur_us: Some(data_dur),
+            sdu: None,
+            origin: None,
+            retx: false,
+        };
+        let data_rx_start = clock.start_of(1).as_micros() + pair_delay;
+        let intruder = RxEvent {
+            record: 5,
+            end_us: data_rx_start + 10_000 + run.omega_us,
+            node: 0,
+            kind: FrameKind::ExRts,
+            src: 3,
+            dst: 0,
+            bits: 64,
+            start_us: data_rx_start + 10_000,
+            prop_us: 400_000,
+            addressed: true,
+            sdu: None,
+            origin: None,
+        };
+        let model = TraceModel {
+            run_info: Some(run),
+            tx: vec![cts],
+            rx: vec![intruder],
+            ..TraceModel::default()
+        };
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::ExtraWindowIntrusion);
+        assert_eq!(violations[0].record_index, 5);
+        assert!(violations[0].detail.contains("data reception"));
+        assert!(violations[0].detail.contains("record #0"));
+    }
+
+    #[test]
+    fn ungranted_rts_reserves_nothing_until_its_cts_arrives() {
+        let run = ewmac_run_info();
+        let clock = SlotClock::new(
+            SimDuration::from_micros(run.omega_us),
+            SimDuration::from_micros(run.tau_max_us),
+        );
+        // n0 sends RTS to n1 in slot 0. Absent a CTS back from n1, the
+        // would-be sender data window (slot 2 for this geometry) is free —
+        // n1 may instead grant n0 an extra exchange landing inside it.
+        let pair_delay = 600_000u64;
+        let data_dur = 170_667u64;
+        let rts = TxEvent {
+            record: 0,
+            time_us: 0,
+            node: 0,
+            kind: FrameKind::Rts,
+            dst: 1,
+            bits: 64,
+            dur_us: run.omega_us,
+            pair_delay_us: Some(pair_delay),
+            data_dur_us: Some(data_dur),
+            sdu: None,
+            origin: None,
+            retx: false,
+        };
+        let data_tx_start = clock
+            .start_of(
+                ObservedNegotiation {
+                    peer: NodeId::new(0),
+                    other: NodeId::new(1),
+                    peer_is_receiver: false,
+                    control_slot: 0,
+                    pair_delay: SimDuration::from_micros(pair_delay),
+                    data_duration: SimDuration::from_micros(data_dur),
+                }
+                .data_slot(),
+            )
+            .as_micros();
+        let exc = RxEvent {
+            record: 4,
+            end_us: data_tx_start + 10_000 + run.omega_us,
+            node: 0,
+            kind: FrameKind::ExCts,
+            src: 1,
+            dst: 0,
+            bits: 64,
+            start_us: data_tx_start + 10_000,
+            prop_us: pair_delay,
+            addressed: true,
+            sdu: None,
+            origin: None,
+        };
+        let mut model = TraceModel {
+            run_info: Some(run.clone()),
+            tx: vec![rts],
+            rx: vec![exc],
+            ..TraceModel::default()
+        };
+        assert!(
+            check(&model).is_empty(),
+            "an RTS the receiver never granted reserves no windows"
+        );
+
+        // Once the granting CTS reaches n0, the same EXC is an intrusion.
+        let cts_end = clock.start_of(1).as_micros() + pair_delay;
+        model.rx.insert(
+            0,
+            RxEvent {
+                record: 2,
+                end_us: cts_end,
+                node: 0,
+                kind: FrameKind::Cts,
+                src: 1,
+                dst: 0,
+                bits: 64,
+                start_us: cts_end - run.omega_us,
+                prop_us: pair_delay,
+                addressed: true,
+                sdu: None,
+                origin: None,
+            },
+        );
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::ExtraWindowIntrusion);
+        assert_eq!(violations[0].record_index, 4);
+        assert!(violations[0].detail.contains("data transmission"));
+    }
+
+    #[test]
+    fn propagation_beyond_tau_max_or_drifting_static_pair_fails() {
+        let mut bad_prop = rx(0, 1, 2, 0, 100);
+        bad_prop.prop_us = 2_000_000;
+        let first = rx(1, 1, 3, 200, 300);
+        let mut drift = rx(2, 1, 3, 400, 500);
+        drift.prop_us = 150;
+        let model = TraceModel {
+            run_info: Some(ewmac_run_info()),
+            rx: vec![bad_prop, first, drift],
+            ..TraceModel::default()
+        };
+        let violations = check(&model);
+        assert_eq!(violations.len(), 2);
+        assert!(violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::PropagationInconsistency));
+        assert_eq!(violations[0].record_index, 0);
+        assert_eq!(violations[1].record_index, 2);
+        assert!(violations[1].detail.contains("record #1"));
+    }
+}

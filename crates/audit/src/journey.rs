@@ -1,0 +1,541 @@
+//! Per-SDU packet journeys and phase-latency histograms.
+//!
+//! A journey is the causal timeline of one SDU: generation, per-hop
+//! queueing, handshake (RTS/EXR first contact), data transmission,
+//! propagation, and the final sink arrival. Journeys are reconstructed
+//! purely from the trace's structured events, so they work for every
+//! protocol — handshake-free MACs (ALOHA, CS-MAC data-steals) simply have
+//! an empty handshake phase.
+//!
+//! Phase durations aggregate into [`LogHistogram`]s, which merge exactly
+//! across runs and export to CSV or JSON for plotting.
+
+use std::collections::HashMap;
+
+use uasn_net::packet::FrameKind;
+use uasn_sim::hist::LogHistogram;
+use uasn_sim::json::JsonValue;
+
+use crate::model::TraceModel;
+
+/// One hop of an SDU's journey: from MAC enqueue at `from` to decoded data
+/// arrival at `to` (when the hop completed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Node that queued the SDU for this hop.
+    pub from: usize,
+    /// Intended next hop.
+    pub to: usize,
+    /// Whether this hop is a forwarding relay (vs. fresh generation).
+    pub fwd: bool,
+    /// Enqueue time, microseconds.
+    pub enq_us: u64,
+    /// Trace record of the enqueue.
+    pub enq_record: usize,
+    /// First RTS/EXR transmitted from `from` to `to` at or after the
+    /// enqueue (handshake start); `None` for handshake-free deliveries.
+    pub first_contact_us: Option<u64>,
+    /// Start of the data transmission that completed the hop, microseconds.
+    pub tx_start_us: Option<u64>,
+    /// Airtime of that transmission, microseconds.
+    pub tx_dur_us: Option<u64>,
+    /// Propagation delay of the delivering copy, microseconds.
+    pub prop_us: Option<u64>,
+    /// Decoded arrival end at `to`, microseconds.
+    pub delivered_us: Option<u64>,
+    /// Data transmissions from `from` carrying this SDU during the hop
+    /// (1 = first try succeeded).
+    pub attempts: usize,
+}
+
+impl HopRecord {
+    /// Whether the hop completed (data decoded at the next hop).
+    pub fn completed(&self) -> bool {
+        self.delivered_us.is_some()
+    }
+
+    /// Queueing time: enqueue until the handshake starts (or until the data
+    /// transmission itself when there is no handshake).
+    pub fn queueing_us(&self) -> Option<u64> {
+        let until = self.first_contact_us.or(self.tx_start_us)?;
+        Some(until.saturating_sub(self.enq_us))
+    }
+
+    /// Handshake time: first contact until the data transmission starts.
+    /// Zero-length for handshake-free protocols.
+    pub fn handshake_us(&self) -> Option<u64> {
+        match (self.first_contact_us, self.tx_start_us) {
+            (Some(contact), Some(tx)) => Some(tx.saturating_sub(contact)),
+            (None, Some(_)) => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Total hop latency: enqueue to decoded arrival.
+    pub fn total_us(&self) -> Option<u64> {
+        Some(self.delivered_us?.saturating_sub(self.enq_us))
+    }
+}
+
+/// The full causal timeline of one SDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journey {
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Generation time (first non-forwarding enqueue), microseconds.
+    pub generated_us: Option<u64>,
+    /// Hops in chronological order.
+    pub hops: Vec<HopRecord>,
+    /// Sink arrival: (sink node, arrival time µs), when delivered.
+    pub sink: Option<(usize, u64)>,
+    /// End-to-end latency, microseconds (simulator-measured when the trace
+    /// carries it, otherwise sink arrival minus generation).
+    pub e2e_us: Option<u64>,
+    /// Terminal MAC drop: (node, time µs, trace record), when abandoned.
+    pub dropped: Option<(usize, u64, usize)>,
+}
+
+impl Journey {
+    /// Whether the SDU reached a sink.
+    pub fn delivered(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Total data-transmission attempts across all hops.
+    pub fn attempts(&self) -> usize {
+        self.hops.iter().map(|h| h.attempts).sum()
+    }
+
+    /// A multi-line human-readable timeline for reports.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "sdu {} from n{}", self.sdu, self.origin);
+        if let Some(t) = self.generated_us {
+            let _ = write!(out, " generated @ {t} us");
+        }
+        match (self.e2e_us, self.sink) {
+            (Some(e2e), Some((node, _))) => {
+                let _ = write!(out, " -> sink n{node} (e2e {e2e} us)");
+            }
+            (None, Some((node, t))) => {
+                let _ = write!(out, " -> sink n{node} @ {t} us");
+            }
+            _ => {}
+        }
+        if let Some((node, t, record)) = self.dropped {
+            let _ = write!(out, " -> dropped at n{node} @ {t} us (record #{record})");
+        }
+        let _ = writeln!(out);
+        for hop in &self.hops {
+            let _ = write!(
+                out,
+                "  n{} -> n{} ({}) enq @ {} us",
+                hop.from,
+                hop.to,
+                if hop.fwd { "fwd" } else { "gen" },
+                hop.enq_us
+            );
+            match (
+                hop.queueing_us(),
+                hop.handshake_us(),
+                hop.tx_dur_us,
+                hop.prop_us,
+            ) {
+                (Some(q), Some(h), Some(tx), Some(p)) => {
+                    let _ = write!(
+                        out,
+                        ": queue {q} us, handshake {h} us, tx {tx} us, prop {p} us, \
+                         {} attempt(s)",
+                        hop.attempts
+                    );
+                }
+                _ => {
+                    let _ = write!(out, ": incomplete ({} attempt(s))", hop.attempts);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Reconstructs all SDU journeys from a trace model.
+///
+/// Events are already in emission (chronological) order in the model; the
+/// reconstruction pairs each enqueue with the first matching addressed data
+/// arrival at the intended next hop.
+pub fn reconstruct(model: &TraceModel) -> Vec<Journey> {
+    // Index per-SDU event streams once; each stream stays chronological.
+    let mut enq_by_sdu: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, e) in model.enq.iter().enumerate() {
+        enq_by_sdu.entry(e.sdu).or_default().push(i);
+    }
+    let mut data_tx_by_sdu: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut contact_tx: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    for (i, t) in model.tx.iter().enumerate() {
+        if t.kind.is_data() {
+            if let Some(sdu) = t.sdu {
+                data_tx_by_sdu.entry(sdu).or_default().push(i);
+            }
+        } else if matches!(t.kind, FrameKind::Rts | FrameKind::ExRts) {
+            contact_tx
+                .entry((t.node, t.dst))
+                .or_default()
+                .push(t.time_us);
+        }
+    }
+    let mut data_rx_by_sdu: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, r) in model.rx.iter().enumerate() {
+        if r.kind.is_data() && r.addressed {
+            if let Some(sdu) = r.sdu {
+                data_rx_by_sdu.entry(sdu).or_default().push(i);
+            }
+        }
+    }
+    let sink_by_sdu: HashMap<u64, &crate::model::SinkEvent> =
+        model.sink.iter().map(|s| (s.sdu, s)).collect();
+    let drop_by_sdu: HashMap<u64, &crate::model::DropEvent> =
+        model.drops.iter().map(|d| (d.sdu, d)).collect();
+
+    let mut sdus: Vec<u64> = enq_by_sdu.keys().copied().collect();
+    sdus.sort_unstable();
+
+    let mut journeys = Vec::with_capacity(sdus.len());
+    for sdu in sdus {
+        let enq_idx = &enq_by_sdu[&sdu];
+        let origin = model.enq[enq_idx[0]].origin;
+        let generated_us = enq_idx
+            .iter()
+            .map(|&i| &model.enq[i])
+            .find(|e| !e.fwd)
+            .map(|e| e.time_us);
+
+        let mut hops = Vec::with_capacity(enq_idx.len());
+        for &ei in enq_idx {
+            let enq = &model.enq[ei];
+            // The delivery that completes this hop: the first addressed
+            // data arrival of this SDU at the intended next hop, decoded
+            // at or after the enqueue.
+            let delivery = data_rx_by_sdu.get(&sdu).and_then(|idxs| {
+                idxs.iter().map(|&i| &model.rx[i]).find(|r| {
+                    r.node == enq.next_hop && r.src == enq.node && r.end_us >= enq.time_us
+                })
+            });
+            let tx_start_us = delivery.map(|r| r.start_us.saturating_sub(r.prop_us));
+            // Attempts: data transmissions of this SDU from this node in
+            // the hop's window (enqueue to the delivering transmission).
+            let attempts = data_tx_by_sdu
+                .get(&sdu)
+                .map(|idxs| {
+                    idxs.iter()
+                        .map(|&i| &model.tx[i])
+                        .filter(|t| {
+                            t.node == enq.node
+                                && t.time_us >= enq.time_us
+                                && tx_start_us.is_none_or(|s| t.time_us <= s)
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+            // Handshake start: first RTS/EXR toward the next hop in the
+            // same window.
+            let first_contact_us = contact_tx.get(&(enq.node, enq.next_hop)).and_then(|ts| {
+                ts.iter()
+                    .copied()
+                    .find(|&t| t >= enq.time_us && tx_start_us.is_none_or(|s| t <= s))
+            });
+            hops.push(HopRecord {
+                from: enq.node,
+                to: enq.next_hop,
+                fwd: enq.fwd,
+                enq_us: enq.time_us,
+                enq_record: enq.record,
+                first_contact_us,
+                tx_start_us,
+                tx_dur_us: delivery.map(|r| r.end_us.saturating_sub(r.start_us)),
+                prop_us: delivery.map(|r| r.prop_us),
+                delivered_us: delivery.map(|r| r.end_us),
+                attempts,
+            });
+        }
+
+        let sink_ev = sink_by_sdu.get(&sdu);
+        let sink = sink_ev.map(|s| (s.node, s.time_us));
+        let e2e_us = sink_ev.and_then(|s| {
+            s.e2e_us
+                .or_else(|| Some(s.time_us.saturating_sub(generated_us?)))
+        });
+        journeys.push(Journey {
+            sdu,
+            origin,
+            generated_us,
+            hops,
+            sink,
+            e2e_us,
+            dropped: drop_by_sdu.get(&sdu).map(|d| (d.node, d.time_us, d.record)),
+        });
+    }
+    journeys
+}
+
+/// The `n` slowest delivered journeys, by end-to-end latency, slowest first.
+pub fn slowest(journeys: &[Journey], n: usize) -> Vec<&Journey> {
+    let mut delivered: Vec<&Journey> = journeys.iter().filter(|j| j.e2e_us.is_some()).collect();
+    delivered.sort_by_key(|j| (std::cmp::Reverse(j.e2e_us), j.sdu));
+    delivered.truncate(n);
+    delivered
+}
+
+/// Log-bucketed latency histograms for every journey phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseHistograms {
+    /// Enqueue until handshake start (or data tx when handshake-free).
+    pub queueing: LogHistogram,
+    /// Handshake start until data transmission start.
+    pub handshake: LogHistogram,
+    /// Data airtime.
+    pub transmission: LogHistogram,
+    /// Propagation delay of delivering copies.
+    pub propagation: LogHistogram,
+    /// Whole hop: enqueue to decoded arrival.
+    pub hop_total: LogHistogram,
+    /// Generation to sink arrival.
+    pub end_to_end: LogHistogram,
+}
+
+impl PhaseHistograms {
+    /// Aggregates the completed hops and deliveries of `journeys`.
+    pub fn from_journeys(journeys: &[Journey]) -> PhaseHistograms {
+        let mut h = PhaseHistograms::default();
+        for j in journeys {
+            for hop in j.hops.iter().filter(|hop| hop.completed()) {
+                if let Some(v) = hop.queueing_us() {
+                    h.queueing.record(v);
+                }
+                if let Some(v) = hop.handshake_us() {
+                    h.handshake.record(v);
+                }
+                if let Some(v) = hop.tx_dur_us {
+                    h.transmission.record(v);
+                }
+                if let Some(v) = hop.prop_us {
+                    h.propagation.record(v);
+                }
+                if let Some(v) = hop.total_us() {
+                    h.hop_total.record(v);
+                }
+            }
+            if let Some(v) = j.e2e_us {
+                h.end_to_end.record(v);
+            }
+        }
+        h
+    }
+
+    /// Merges another set of phase histograms into this one (exact).
+    pub fn merge(&mut self, other: &PhaseHistograms) {
+        self.queueing.merge(&other.queueing);
+        self.handshake.merge(&other.handshake);
+        self.transmission.merge(&other.transmission);
+        self.propagation.merge(&other.propagation);
+        self.hop_total.merge(&other.hop_total);
+        self.end_to_end.merge(&other.end_to_end);
+    }
+
+    /// The phases in presentation order with their stable names.
+    pub fn phases(&self) -> [(&'static str, &LogHistogram); 6] {
+        [
+            ("queueing", &self.queueing),
+            ("handshake", &self.handshake),
+            ("transmission", &self.transmission),
+            ("propagation", &self.propagation),
+            ("hop_total", &self.hop_total),
+            ("end_to_end", &self.end_to_end),
+        ]
+    }
+
+    /// CSV export: `phase,lo_us,hi_us,count` per non-empty bucket.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("phase,lo_us,hi_us,count\n");
+        for (name, hist) in self.phases() {
+            for (lo, hi, count) in hist.iter_nonzero() {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "{name},{lo},{hi},{count}");
+            }
+        }
+        out
+    }
+
+    /// JSON export: `{ phase: histogram }` with full summary stats.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.phases()
+                .into_iter()
+                .map(|(name, hist)| (name.to_string(), hist.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EnqEvent, RxEvent, SinkEvent, TxEvent};
+
+    fn enq(
+        record: usize,
+        time_us: u64,
+        node: usize,
+        sdu: u64,
+        next_hop: usize,
+        fwd: bool,
+    ) -> EnqEvent {
+        EnqEvent {
+            record,
+            time_us,
+            node,
+            sdu,
+            origin: if fwd { 9 } else { node },
+            next_hop,
+            bits: 2_048,
+            fwd,
+        }
+    }
+
+    fn model_one_hop() -> TraceModel {
+        TraceModel {
+            enq: vec![enq(0, 1_000, 2, 7, 0, false)],
+            tx: vec![
+                TxEvent {
+                    record: 1,
+                    time_us: 5_000,
+                    node: 2,
+                    kind: FrameKind::Rts,
+                    dst: 0,
+                    bits: 64,
+                    dur_us: 5_333,
+                    pair_delay_us: None,
+                    data_dur_us: Some(170_667),
+                    sdu: None,
+                    origin: None,
+                    retx: false,
+                },
+                TxEvent {
+                    record: 2,
+                    time_us: 20_000,
+                    node: 2,
+                    kind: FrameKind::Data,
+                    dst: 0,
+                    bits: 2_048,
+                    dur_us: 170_667,
+                    pair_delay_us: None,
+                    data_dur_us: None,
+                    sdu: Some(7),
+                    origin: Some(2),
+                    retx: false,
+                },
+            ],
+            rx: vec![RxEvent {
+                record: 3,
+                end_us: 20_000 + 3_000 + 170_667,
+                node: 0,
+                kind: FrameKind::Data,
+                src: 2,
+                dst: 0,
+                bits: 2_048,
+                start_us: 23_000,
+                prop_us: 3_000,
+                addressed: true,
+                sdu: Some(7),
+                origin: Some(2),
+            }],
+            sink: vec![SinkEvent {
+                record: 4,
+                time_us: 193_667,
+                node: 0,
+                sdu: 7,
+                origin: 2,
+                bits: 2_048,
+                e2e_us: Some(192_667),
+            }],
+            ..TraceModel::default()
+        }
+    }
+
+    #[test]
+    fn one_hop_journey_reconstructs_all_phases() {
+        let journeys = reconstruct(&model_one_hop());
+        assert_eq!(journeys.len(), 1);
+        let j = &journeys[0];
+        assert_eq!(j.sdu, 7);
+        assert_eq!(j.origin, 2);
+        assert_eq!(j.generated_us, Some(1_000));
+        assert_eq!(j.e2e_us, Some(192_667));
+        assert!(j.delivered());
+        assert_eq!(j.hops.len(), 1);
+        let hop = &j.hops[0];
+        assert!(hop.completed());
+        assert_eq!(hop.first_contact_us, Some(5_000));
+        assert_eq!(hop.queueing_us(), Some(4_000));
+        assert_eq!(hop.handshake_us(), Some(15_000));
+        assert_eq!(hop.tx_start_us, Some(20_000));
+        assert_eq!(hop.tx_dur_us, Some(170_667));
+        assert_eq!(hop.prop_us, Some(3_000));
+        assert_eq!(hop.attempts, 1);
+        let text = j.describe();
+        assert!(text.contains("sdu 7"), "describe() names the SDU: {text}");
+        assert!(text.contains("handshake 15000 us"), "{text}");
+    }
+
+    #[test]
+    fn phase_histograms_aggregate_and_export() {
+        let journeys = reconstruct(&model_one_hop());
+        let hists = PhaseHistograms::from_journeys(&journeys);
+        assert_eq!(hists.end_to_end.count(), 1);
+        assert_eq!(hists.hop_total.count(), 1);
+        assert_eq!(hists.propagation.min(), Some(3_000));
+        let csv = hists.to_csv();
+        assert!(csv.starts_with("phase,lo_us,hi_us,count\n"));
+        assert!(csv.contains("propagation,"), "{csv}");
+        let mut json = String::new();
+        hists.to_json().write(&mut json);
+        assert!(json.contains("\"end_to_end\""), "{json}");
+
+        let mut merged = PhaseHistograms::from_journeys(&journeys);
+        merged.merge(&hists);
+        assert_eq!(merged.end_to_end.count(), 2);
+    }
+
+    #[test]
+    fn incomplete_hop_yields_no_phase_samples() {
+        let mut model = model_one_hop();
+        model.rx.clear();
+        model.sink.clear();
+        let journeys = reconstruct(&model);
+        assert_eq!(journeys.len(), 1);
+        assert!(!journeys[0].delivered());
+        assert!(!journeys[0].hops[0].completed());
+        // The queued-but-undelivered attempt still counts.
+        assert_eq!(journeys[0].hops[0].attempts, 1);
+        let hists = PhaseHistograms::from_journeys(&journeys);
+        assert_eq!(hists.end_to_end.count(), 0);
+        assert_eq!(hists.hop_total.count(), 0);
+    }
+
+    #[test]
+    fn slowest_sorts_by_e2e_descending() {
+        let mut a = reconstruct(&model_one_hop()).remove(0);
+        let mut b = a.clone();
+        a.sdu = 1;
+        a.e2e_us = Some(10);
+        b.sdu = 2;
+        b.e2e_us = Some(20);
+        let list = vec![a, b];
+        let top = slowest(&list, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].sdu, 2);
+    }
+}

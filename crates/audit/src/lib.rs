@@ -1,0 +1,32 @@
+//! Trace-driven protocol audit layer.
+//!
+//! Consumes `uasn-trace` v1 streams (live from a [`uasn_sim::trace::Tracer`]
+//! capture or offline from JSONL via [`uasn_sim::trace::parse_jsonl`]) and
+//! produces three artifacts:
+//!
+//! - **Packet journeys** ([`journey`]): per-SDU causal timelines — enqueue,
+//!   handshake first contact, data transmission, propagation, sink arrival —
+//!   with per-phase durations, for every protocol in the workspace.
+//! - **Phase-latency histograms** ([`journey::PhaseHistograms`]):
+//!   log-bucketed, exactly mergeable, CSV/JSON-exportable latency
+//!   distributions per phase and end-to-end.
+//! - **Invariant checking** ([`invariant`]): replay of the event stream
+//!   against the promises of the simulator and the paper — serial decoded
+//!   receptions, half-duplex modems, slot-boundary alignment, EW-MAC's
+//!   extra-window non-interference guarantee (§4.3), and propagation
+//!   consistency — with every finding pointing at the offending trace
+//!   record.
+//!
+//! The `audit` binary fronts all three over a JSONL trace file:
+//! `audit check`, `audit journeys`, `audit latency`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariant;
+pub mod journey;
+pub mod model;
+
+pub use invariant::{check, Violation, ViolationKind};
+pub use journey::{reconstruct, slowest, Journey, PhaseHistograms};
+pub use model::TraceModel;

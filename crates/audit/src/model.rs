@@ -1,0 +1,483 @@
+//! Typed view over a raw trace: the audit-relevant events, extracted from
+//! [`TraceRecord`]s by tag and structured field.
+//!
+//! The extractor is deliberately tolerant: records with unknown tags are
+//! ignored (future schema growth), and records of a known tag that lack the
+//! structured fields the audit needs (e.g. message-only traces from before
+//! the field layer, or Info-level runs without per-frame detail) are counted
+//! in [`TraceModel::skipped`] rather than failing the whole parse — the
+//! checks that need them simply see fewer events, and callers can warn.
+
+use uasn_net::packet::FrameKind;
+use uasn_sim::trace::{FieldValue, TraceRecord};
+
+/// The run-description record (`run-info` tag) the world emits at t = 0:
+/// protocol identity, network shape, and the slot geometry the invariant
+/// checker replays against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunInfo {
+    /// Protocol display name (e.g. `"EW-MAC"`, `"S-FAMA"`).
+    pub protocol: String,
+    /// Total node count (sensors + sinks).
+    pub nodes: usize,
+    /// Surface sink count.
+    pub sinks: usize,
+    /// Modem bitrate, bits per second.
+    pub bitrate_bps: f64,
+    /// Control-packet airtime ω, microseconds.
+    pub omega_us: u64,
+    /// Maximum propagation delay τmax, microseconds.
+    pub tau_max_us: u64,
+    /// Slot length |ts| = 2·τmax + ω (paper §4.1), microseconds.
+    pub slot_us: u64,
+    /// Whether nodes drift (disables time-invariant propagation checks).
+    pub mobility: bool,
+    /// Whether multi-hop forwarding toward sinks is on.
+    pub forwarding: bool,
+}
+
+impl RunInfo {
+    /// Whether this protocol transmits its negotiated control/data packets
+    /// on slot boundaries (EW-MAC variants and S-FAMA; CS-MAC steals
+    /// mid-slot, ROPA and ALOHA are unslotted).
+    pub fn is_slot_aligned(&self) -> bool {
+        self.protocol.starts_with("EW-MAC") || self.protocol == "S-FAMA"
+    }
+}
+
+/// A transmission start (`tx` tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxEvent {
+    /// Index of the source record in the parsed trace (the violation
+    /// pointer).
+    pub record: usize,
+    /// Transmit start, microseconds.
+    pub time_us: u64,
+    /// Transmitting node.
+    pub node: usize,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Addressed node.
+    pub dst: usize,
+    /// Frame length, bits.
+    pub bits: u64,
+    /// Airtime, microseconds.
+    pub dur_us: u64,
+    /// Announced pair propagation delay τ (CTS/EXC), microseconds.
+    pub pair_delay_us: Option<u64>,
+    /// Announced data duration TD (RTS/CTS), microseconds.
+    pub data_dur_us: Option<u64>,
+    /// Primary SDU riding a data frame.
+    pub sdu: Option<u64>,
+    /// Origin node of that SDU.
+    pub origin: Option<usize>,
+    /// Whether this data frame is a retransmission.
+    pub retx: bool,
+}
+
+/// A decoded reception (`rx` tag); the record time is the arrival **end**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Arrival end (last bit decoded), microseconds.
+    pub end_us: u64,
+    /// Receiving node.
+    pub node: usize,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Transmitting node.
+    pub src: usize,
+    /// Addressed node.
+    pub dst: usize,
+    /// Frame length, bits.
+    pub bits: u64,
+    /// Arrival start (first bit), microseconds.
+    pub start_us: u64,
+    /// Propagation delay this copy experienced, microseconds.
+    pub prop_us: u64,
+    /// Whether the frame was addressed to the receiving node.
+    pub addressed: bool,
+    /// Primary SDU riding a data frame.
+    pub sdu: Option<u64>,
+    /// Origin node of that SDU.
+    pub origin: Option<usize>,
+}
+
+/// A lost reception (`rx-lost` tag): collision, half-duplex, or channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxLostEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Arrival end, microseconds.
+    pub end_us: u64,
+    /// Receiving node.
+    pub node: usize,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Transmitting node.
+    pub src: usize,
+    /// Addressed node.
+    pub dst: usize,
+    /// Arrival start, microseconds.
+    pub start_us: u64,
+    /// Loss reason (`"collision"` or `"channel"`).
+    pub reason: String,
+}
+
+/// An SDU entering a MAC queue (`enq` tag): generation or forwarding hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnqEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Enqueue time, microseconds.
+    pub time_us: u64,
+    /// Enqueueing node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Next-hop destination.
+    pub next_hop: usize,
+    /// Payload bits.
+    pub bits: u64,
+    /// `true` for a forwarding hop, `false` for fresh generation.
+    pub fwd: bool,
+}
+
+/// An SDU reaching a surface sink (`sink` tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Arrival time, microseconds.
+    pub time_us: u64,
+    /// Sink node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Payload bits.
+    pub bits: u64,
+    /// End-to-end latency measured by the simulator (first arrival only).
+    pub e2e_us: Option<u64>,
+}
+
+/// A terminal MAC drop (`sdu-drop` tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Drop time, microseconds.
+    pub time_us: u64,
+    /// Dropping node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+}
+
+/// The audit's typed view of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceModel {
+    /// The run description, when the trace carries one (Info level+).
+    pub run_info: Option<RunInfo>,
+    /// Transmissions, in emission order.
+    pub tx: Vec<TxEvent>,
+    /// Decoded receptions, in emission order.
+    pub rx: Vec<RxEvent>,
+    /// Lost receptions, in emission order.
+    pub rx_lost: Vec<RxLostEvent>,
+    /// Queue entries, in emission order.
+    pub enq: Vec<EnqEvent>,
+    /// Sink arrivals, in emission order.
+    pub sink: Vec<SinkEvent>,
+    /// Terminal drops, in emission order.
+    pub drops: Vec<DropEvent>,
+    /// Records of a known tag that lacked the structured fields the audit
+    /// needs (message-only traces) and were skipped.
+    pub skipped: usize,
+}
+
+fn get<'a>(r: &'a TraceRecord, name: &str) -> Option<&'a FieldValue> {
+    r.fields
+        .iter()
+        .find(|(n, _)| n.as_ref() == name)
+        .map(|(_, v)| v)
+}
+
+fn get_u64(r: &TraceRecord, name: &str) -> Option<u64> {
+    match get(r, name)? {
+        FieldValue::U64(v) => Some(*v),
+        FieldValue::I64(v) if *v >= 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+fn get_usize(r: &TraceRecord, name: &str) -> Option<usize> {
+    get_u64(r, name).map(|v| v as usize)
+}
+
+fn get_f64(r: &TraceRecord, name: &str) -> Option<f64> {
+    match get(r, name)? {
+        FieldValue::F64(v) => Some(*v),
+        FieldValue::U64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+fn get_bool(r: &TraceRecord, name: &str) -> Option<bool> {
+    match get(r, name)? {
+        FieldValue::Bool(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(r: &'a TraceRecord, name: &str) -> Option<&'a str> {
+    match get(r, name)? {
+        FieldValue::Str(v) => Some(v.as_str()),
+        _ => None,
+    }
+}
+
+fn get_kind(r: &TraceRecord) -> Option<FrameKind> {
+    FrameKind::from_label(get_str(r, "kind")?)
+}
+
+impl TraceModel {
+    /// Extracts the audit-relevant events from parsed trace records.
+    /// Record indices in the returned events point back into `records`.
+    pub fn from_records(records: &[TraceRecord]) -> TraceModel {
+        let mut model = TraceModel::default();
+        for (record, r) in records.iter().enumerate() {
+            let time_us = r.time.as_micros();
+            let node = r.node.unwrap_or(usize::MAX);
+            match r.tag.as_ref() {
+                "run-info" => {
+                    let parsed = (|| {
+                        Some(RunInfo {
+                            protocol: get_str(r, "protocol")?.to_string(),
+                            nodes: get_usize(r, "nodes")?,
+                            sinks: get_usize(r, "sinks")?,
+                            bitrate_bps: get_f64(r, "bitrate_bps")?,
+                            omega_us: get_u64(r, "omega_us")?,
+                            tau_max_us: get_u64(r, "tau_max_us")?,
+                            slot_us: get_u64(r, "slot_us")?,
+                            mobility: get_bool(r, "mobility")?,
+                            forwarding: get_bool(r, "forwarding")?,
+                        })
+                    })();
+                    match parsed {
+                        Some(info) => model.run_info = Some(info),
+                        None => model.skipped += 1,
+                    }
+                }
+                "tx" => {
+                    let parsed = (|| {
+                        Some(TxEvent {
+                            record,
+                            time_us,
+                            node,
+                            kind: get_kind(r)?,
+                            dst: get_usize(r, "dst")?,
+                            bits: get_u64(r, "bits")?,
+                            dur_us: get_u64(r, "dur_us")?,
+                            pair_delay_us: get_u64(r, "pair_delay_us"),
+                            data_dur_us: get_u64(r, "data_dur_us"),
+                            sdu: get_u64(r, "sdu"),
+                            origin: get_usize(r, "origin"),
+                            retx: get_bool(r, "retx").unwrap_or(false),
+                        })
+                    })();
+                    match parsed {
+                        Some(ev) => model.tx.push(ev),
+                        None => model.skipped += 1,
+                    }
+                }
+                "rx" => {
+                    let parsed = (|| {
+                        Some(RxEvent {
+                            record,
+                            end_us: time_us,
+                            node,
+                            kind: get_kind(r)?,
+                            src: get_usize(r, "src")?,
+                            dst: get_usize(r, "dst")?,
+                            bits: get_u64(r, "bits")?,
+                            start_us: get_u64(r, "start_us")?,
+                            prop_us: get_u64(r, "prop_us")?,
+                            addressed: get_bool(r, "addressed")?,
+                            sdu: get_u64(r, "sdu"),
+                            origin: get_usize(r, "origin"),
+                        })
+                    })();
+                    match parsed {
+                        Some(ev) => model.rx.push(ev),
+                        None => model.skipped += 1,
+                    }
+                }
+                "rx-lost" => {
+                    let parsed = (|| {
+                        Some(RxLostEvent {
+                            record,
+                            end_us: time_us,
+                            node,
+                            kind: get_kind(r)?,
+                            src: get_usize(r, "src")?,
+                            dst: get_usize(r, "dst")?,
+                            start_us: get_u64(r, "start_us")?,
+                            reason: get_str(r, "reason")?.to_string(),
+                        })
+                    })();
+                    match parsed {
+                        Some(ev) => model.rx_lost.push(ev),
+                        None => model.skipped += 1,
+                    }
+                }
+                "enq" => {
+                    let parsed = (|| {
+                        Some(EnqEvent {
+                            record,
+                            time_us,
+                            node,
+                            sdu: get_u64(r, "sdu")?,
+                            origin: get_usize(r, "origin")?,
+                            next_hop: get_usize(r, "next_hop")?,
+                            bits: get_u64(r, "bits")?,
+                            fwd: get_bool(r, "fwd")?,
+                        })
+                    })();
+                    match parsed {
+                        Some(ev) => model.enq.push(ev),
+                        None => model.skipped += 1,
+                    }
+                }
+                "sink" => {
+                    let parsed = (|| {
+                        Some(SinkEvent {
+                            record,
+                            time_us,
+                            node,
+                            sdu: get_u64(r, "sdu")?,
+                            origin: get_usize(r, "origin")?,
+                            bits: get_u64(r, "bits")?,
+                            e2e_us: get_u64(r, "e2e_us"),
+                        })
+                    })();
+                    match parsed {
+                        Some(ev) => model.sink.push(ev),
+                        None => model.skipped += 1,
+                    }
+                }
+                "sdu-drop" => {
+                    let parsed = (|| {
+                        Some(DropEvent {
+                            record,
+                            time_us,
+                            node,
+                            sdu: get_u64(r, "sdu")?,
+                        })
+                    })();
+                    match parsed {
+                        Some(ev) => model.drops.push(ev),
+                        None => model.skipped += 1,
+                    }
+                }
+                _ => {}
+            }
+        }
+        model
+    }
+
+    /// Whether the trace carries the per-frame detail the invariant checks
+    /// and journey reconstruction need (Debug-level tracing).
+    pub fn has_frame_detail(&self) -> bool {
+        !self.tx.is_empty() || !self.rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+    use uasn_sim::time::SimTime;
+    use uasn_sim::trace::{field, TraceLevel};
+
+    fn record(tag: &'static str, fields: Vec<uasn_sim::trace::Field>) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_micros(1_000),
+            level: TraceLevel::Debug,
+            node: Some(3),
+            tag: Cow::Borrowed(tag),
+            message: String::new(),
+            fields,
+        }
+    }
+
+    #[test]
+    fn extracts_tx_with_optional_fields() {
+        let records = vec![record(
+            "tx",
+            vec![
+                field("kind", "CTS"),
+                field("dst", 5u64),
+                field("bits", 64u64),
+                field("dur_us", 5_333u64),
+                field("pair_delay_us", 600_000u64),
+                field("data_dur_us", 170_667u64),
+            ],
+        )];
+        let model = TraceModel::from_records(&records);
+        assert_eq!(model.tx.len(), 1);
+        let tx = &model.tx[0];
+        assert_eq!(tx.kind, FrameKind::Cts);
+        assert_eq!(tx.node, 3);
+        assert_eq!(tx.dst, 5);
+        assert_eq!(tx.pair_delay_us, Some(600_000));
+        assert_eq!(tx.sdu, None);
+        assert!(!tx.retx);
+        assert_eq!(model.skipped, 0);
+    }
+
+    #[test]
+    fn message_only_records_are_skipped_not_fatal() {
+        let records = vec![
+            record("tx", vec![]),
+            record("rx", vec![field("kind", "Data")]),
+            record("unknown-tag", vec![]),
+        ];
+        let model = TraceModel::from_records(&records);
+        assert!(model.tx.is_empty() && model.rx.is_empty());
+        assert_eq!(model.skipped, 2);
+        assert!(!model.has_frame_detail());
+    }
+
+    #[test]
+    fn run_info_round_trips() {
+        let records = vec![record(
+            "run-info",
+            vec![
+                field("protocol", "EW-MAC"),
+                field("nodes", 12u64),
+                field("sinks", 2u64),
+                field("bitrate_bps", 12_000.0f64),
+                field("omega_us", 5_333u64),
+                field("tau_max_us", 1_000_000u64),
+                field("slot_us", 1_005_333u64),
+                field("mobility", false),
+                field("forwarding", true),
+            ],
+        )];
+        let model = TraceModel::from_records(&records);
+        let info = model.run_info.expect("run info parsed");
+        assert_eq!(info.protocol, "EW-MAC");
+        assert!(info.is_slot_aligned());
+        assert_eq!(info.slot_us, 1_005_333);
+        let ropa = RunInfo {
+            protocol: "ROPA".into(),
+            ..info
+        };
+        assert!(!ropa.is_slot_aligned());
+    }
+}

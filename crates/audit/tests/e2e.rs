@@ -1,0 +1,229 @@
+//! End-to-end audit: a real seeded EW-MAC run exported to JSONL must pass
+//! every invariant check, and hand-built traces with injected violations
+//! must be flagged with the right trace-record pointers.
+
+use std::borrow::Cow;
+
+use uasn_audit::journey::{reconstruct, PhaseHistograms};
+use uasn_audit::model::TraceModel;
+use uasn_audit::ViolationKind;
+use uasn_ewmac::{EwMac, EwMacConfig};
+use uasn_net::config::SimConfig;
+use uasn_net::world::Simulation;
+use uasn_sim::time::{SimDuration, SimTime};
+use uasn_sim::trace::{export_jsonl, field, parse_jsonl, Field, TraceLevel, TraceRecord, Tracer};
+
+fn ewmac_jsonl(seed: u64) -> String {
+    let cfg = SimConfig {
+        sensors: 10,
+        sinks: 2,
+        seed,
+        ..SimConfig::paper_default()
+    }
+    .with_offered_load_kbps(0.3)
+    .with_sim_time(SimDuration::from_secs(120));
+    let sim = Simulation::new(cfg, &|id| Box::new(EwMac::new(id, EwMacConfig::default())))
+        .expect("valid config")
+        .with_tracer(Tracer::capturing(TraceLevel::Debug));
+    let (report, tracer) = sim.run_traced();
+    assert!(report.sdus_generated > 0, "traffic flowed");
+    let health = tracer.health();
+    assert!(health.is_lossless(), "capture dropped records: {health:?}");
+    let mut out = Vec::new();
+    export_jsonl(tracer.records(), &mut out).expect("in-memory export");
+    String::from_utf8(out).expect("traces are UTF-8")
+}
+
+#[test]
+fn seeded_ewmac_run_passes_every_invariant_check() {
+    let jsonl = ewmac_jsonl(0xEA5E);
+    let records = parse_jsonl(&jsonl).expect("round-trips");
+    let model = TraceModel::from_records(&records);
+
+    let run = model.run_info.as_ref().expect("run-info record present");
+    assert_eq!(run.protocol, "EW-MAC");
+    assert!(run.is_slot_aligned());
+    assert!(!run.mobility);
+    assert_eq!(model.skipped, 0, "every audit event carries its fields");
+    assert!(model.has_frame_detail());
+
+    let violations = uasn_audit::check(&model);
+    assert!(
+        violations.is_empty(),
+        "EW-MAC run must satisfy all invariants, got:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn seeded_ewmac_journeys_reconstruct_with_latency_phases() {
+    let jsonl = ewmac_jsonl(0xEA5E);
+    let records = parse_jsonl(&jsonl).expect("round-trips");
+    let model = TraceModel::from_records(&records);
+
+    let journeys = reconstruct(&model);
+    assert!(!journeys.is_empty(), "SDUs were generated");
+    let delivered: Vec<_> = journeys.iter().filter(|j| j.delivered()).collect();
+    assert!(!delivered.is_empty(), "some SDUs reached a sink");
+    for j in &delivered {
+        assert!(j.e2e_us.is_some(), "delivered journeys have e2e latency");
+        assert!(j.generated_us.is_some());
+    }
+    // Every delivered journey's sink count is mirrored by the trace.
+    assert_eq!(delivered.len(), model.sink.len());
+
+    let hists = PhaseHistograms::from_journeys(&journeys);
+    assert_eq!(hists.end_to_end.count(), delivered.len() as u64);
+    assert!(hists.hop_total.count() > 0, "completed hops measured");
+    assert!(
+        hists.handshake.count() > 0,
+        "EW-MAC hops include an RTS handshake"
+    );
+    // EW-MAC's negotiated data waits at least one slot boundary after the
+    // RTS, so handshake latency is bounded below by a slot.
+    let run = model.run_info.as_ref().unwrap();
+    assert!(hists.handshake.max().unwrap() >= run.slot_us);
+    // Propagation can never beat the channel.
+    assert!(hists.propagation.max().unwrap() <= run.tau_max_us);
+}
+
+#[test]
+fn identical_seeds_export_byte_identical_traces() {
+    assert_eq!(ewmac_jsonl(0xEA5E), ewmac_jsonl(0xEA5E));
+    assert_ne!(ewmac_jsonl(0xEA5E), ewmac_jsonl(0xEA5E + 7919));
+}
+
+fn record(time_us: u64, node: Option<usize>, tag: &'static str, fields: Vec<Field>) -> TraceRecord {
+    TraceRecord {
+        time: SimTime::from_micros(time_us),
+        level: TraceLevel::Debug,
+        node,
+        tag: Cow::Borrowed(tag),
+        message: String::new(),
+        fields,
+    }
+}
+
+fn ewmac_run_info() -> TraceRecord {
+    record(
+        0,
+        None,
+        "run-info",
+        vec![
+            field("protocol", "EW-MAC"),
+            field("nodes", 4u64),
+            field("sinks", 1u64),
+            field("bitrate_bps", 12_000.0f64),
+            field("omega_us", 5_333u64),
+            field("tau_max_us", 1_000_000u64),
+            field("slot_us", 1_005_333u64),
+            field("mobility", false),
+            field("forwarding", true),
+        ],
+    )
+}
+
+fn check_jsonl(records: &[TraceRecord]) -> Vec<uasn_audit::Violation> {
+    let mut out = Vec::new();
+    export_jsonl(records.iter(), &mut out).expect("in-memory export");
+    let jsonl = String::from_utf8(out).expect("UTF-8");
+    let parsed = parse_jsonl(&jsonl).expect("round-trips");
+    assert_eq!(parsed.len(), records.len());
+    uasn_audit::check(&TraceModel::from_records(&parsed))
+}
+
+#[test]
+fn injected_overlap_and_misalignment_are_flagged_through_jsonl() {
+    let rx = |end_us: u64, src: u64, start_us: u64| {
+        record(
+            end_us,
+            Some(1),
+            "rx",
+            vec![
+                field("kind", "Data"),
+                field("src", src),
+                field("dst", 1u64),
+                field("bits", 2_048u64),
+                field("start_us", start_us),
+                field("prop_us", 100_000u64),
+                field("addressed", true),
+            ],
+        )
+    };
+    let records = vec![
+        ewmac_run_info(),
+        // Two decoded receptions at n1 sharing [250ms, 300ms]: the modem
+        // should have recorded a collision instead.
+        rx(300_000, 2, 100_000),
+        rx(400_000, 3, 250_000),
+        // An RTS 7 us past the second slot boundary.
+        record(
+            2 * 1_005_333 + 7,
+            Some(2),
+            "tx",
+            vec![
+                field("kind", "RTS"),
+                field("dst", 3u64),
+                field("bits", 64u64),
+                field("dur_us", 5_333u64),
+            ],
+        ),
+    ];
+    let violations = check_jsonl(&records);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::OverlappingReceptions);
+    assert_eq!(violations[0].record_index, 2);
+    assert!(violations[0].detail.contains("record #1"));
+    assert_eq!(violations[1].kind, ViolationKind::SlotMisalignment);
+    assert_eq!(violations[1].record_index, 3);
+}
+
+#[test]
+fn injected_extra_window_intrusion_is_flagged_through_jsonl() {
+    // n0's CTS to n1 in slot 0 reserves n0's data reception over
+    // [slot1 + pair_delay, + data_dur]; an EXR decoded inside it breaks the
+    // paper's non-interference guarantee.
+    let pair_delay = 600_000u64;
+    let data_dur = 170_667u64;
+    let slot = 1_005_333u64;
+    let intruder_start = slot + pair_delay + 50_000;
+    let records = vec![
+        ewmac_run_info(),
+        record(
+            0,
+            Some(0),
+            "tx",
+            vec![
+                field("kind", "CTS"),
+                field("dst", 1u64),
+                field("bits", 64u64),
+                field("dur_us", 5_333u64),
+                field("pair_delay_us", pair_delay),
+                field("data_dur_us", data_dur),
+            ],
+        ),
+        record(
+            intruder_start + 5_333,
+            Some(0),
+            "rx",
+            vec![
+                field("kind", "EXR"),
+                field("src", 3u64),
+                field("dst", 0u64),
+                field("bits", 64u64),
+                field("start_us", intruder_start),
+                field("prop_us", 400_000u64),
+                field("addressed", true),
+            ],
+        ),
+    ];
+    let violations = check_jsonl(&records);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::ExtraWindowIntrusion);
+    assert_eq!(violations[0].record_index, 2);
+    assert!(violations[0].detail.contains("record #1"));
+    assert!(violations[0].detail.contains("data reception"));
+}

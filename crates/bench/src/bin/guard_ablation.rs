@@ -13,6 +13,7 @@ use uasn_ewmac::{EwMac, EwMacConfig};
 use uasn_net::config::SimConfig;
 use uasn_net::node::NodeId;
 use uasn_net::world::Simulation;
+use uasn_sim::hist::LogHistogram;
 use uasn_sim::stats::Replications;
 use uasn_sim::time::SimDuration;
 
@@ -22,6 +23,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(uasn_bench::DEFAULT_SEEDS);
     let mut stats = StatsAggregate::default();
+    let mut delivery_hist = LogHistogram::new();
+    let mut e2e_hist = LogHistogram::new();
 
     println!("[GRD] Eq-6 guard ablation (EW-MAC, load 1.0, 60 sensors)");
     println!(
@@ -59,6 +62,8 @@ fn main() {
             let out = Simulation::new(cfg, &factory).expect("valid").run_full();
             stats.absorb(&out.stats);
             let report = out.report;
+            delivery_hist.merge(&report.delivery_latency_us);
+            e2e_hist.merge(&report.e2e_latency_us);
             tpt.add(report.throughput_kbps);
             extra.add(report.extra_bits_received as f64);
             coll.add(report.collisions as f64);
@@ -88,7 +93,8 @@ fn main() {
         vec!["EW-MAC".to_string()],
         &SimConfig::paper_default().with_offered_load_kbps(1.0),
         stats,
-    );
+    )
+    .with_latency(delivery_hist, e2e_hist);
     if let Err(e) = manifest.write(Path::new("results")) {
         eprintln!("warning: could not write manifest: {e}");
     }

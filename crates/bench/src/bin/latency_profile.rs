@@ -7,6 +7,7 @@ use std::path::Path;
 
 use uasn_bench::{run_once_full, Protocol, RunManifest, StatsAggregate};
 use uasn_net::config::SimConfig;
+use uasn_sim::hist::LogHistogram;
 use uasn_sim::stats::Replications;
 
 fn main() {
@@ -23,6 +24,8 @@ fn main() {
         .with_offered_load_kbps(load)
         .with_mobility(1.0);
     let mut stats = StatsAggregate::default();
+    let mut delivery_hist = LogHistogram::new();
+    let mut e2e_hist = LogHistogram::new();
     for p in Protocol::PAPER_SET {
         let mut mean = Replications::new();
         let mut p95 = Replications::new();
@@ -32,6 +35,8 @@ fn main() {
             let out = run_once_full(&cfg, p);
             stats.absorb(&out.stats);
             let report = out.report;
+            delivery_hist.merge(&report.delivery_latency_us);
+            e2e_hist.merge(&report.e2e_latency_us);
             mean.add(report.mean_latency_s);
             if let Some(q) = report.latency_p95_s {
                 p95.add(q);
@@ -56,7 +61,8 @@ fn main() {
             .collect(),
         &base_cfg,
         stats,
-    );
+    )
+    .with_latency(delivery_hist, e2e_hist);
     if let Err(e) = manifest.write(Path::new("results")) {
         eprintln!("warning: could not write manifest: {e}");
     }

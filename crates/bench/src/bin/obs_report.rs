@@ -1,14 +1,19 @@
-//! Pretty-prints run manifests and summarises JSONL traces.
+//! Pretty-prints run manifests, summarises JSONL traces, and audits a
+//! manifest's trace.
 //!
 //! Usage:
 //!   obs_report                          list results/*.manifest.json
 //!   obs_report <manifest.json>          pretty-print one manifest
 //!   obs_report <manifest.json> <trace.jsonl>   + summarise a trace
 //!   obs_report --trace <trace.jsonl>    summarise a trace alone
+//!   obs_report audit <manifest.json>    invariant-check the manifest's
+//!                                       trace file + slowest journeys
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use uasn_audit::journey::{reconstruct, slowest, PhaseHistograms};
+use uasn_audit::model::TraceModel;
 use uasn_sim::json::JsonValue;
 use uasn_sim::trace::parse_jsonl;
 
@@ -17,6 +22,7 @@ fn main() -> ExitCode {
     match args.as_slice() {
         [] => list_manifests(Path::new("results")),
         [flag, trace] if flag == "--trace" => summarize_trace(Path::new(trace)),
+        [cmd, manifest] if cmd == "audit" => audit_manifest(Path::new(manifest)),
         [manifest] => print_manifest(Path::new(manifest)),
         [manifest, trace] => {
             let a = print_manifest(Path::new(manifest));
@@ -29,7 +35,10 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: obs_report [manifest.json] [trace.jsonl] | --trace <trace.jsonl>");
+            eprintln!(
+                "usage: obs_report [manifest.json] [trace.jsonl] \
+                 | --trace <trace.jsonl> | audit <manifest.json>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -144,8 +153,160 @@ fn print_manifest(path: &Path) -> ExitCode {
                 .collect();
             println!("    stop reasons: {}", text.join(", "));
         }
+        if let Some(trace) = stats.get("trace") {
+            let num = |key: &str| trace.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let lossless = trace
+                .get("lossless")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(true);
+            println!(
+                "  trace health: {} ({} lines, {} dropped, {} evicted, {} io errors)",
+                if lossless { "lossless" } else { "LOSSY" },
+                num("jsonl_lines"),
+                num("capture_dropped"),
+                num("ring_evicted"),
+                num("io_errors"),
+            );
+        }
+    }
+    if let Some(latency) = doc.get("latency") {
+        println!("  latency (us):");
+        for key in ["delivery_us", "end_to_end_us"] {
+            let Some(hist) = latency.get(key) else {
+                continue;
+            };
+            let num = |k: &str| hist.get(k).and_then(JsonValue::as_u64);
+            println!(
+                "    {key:<16} n={} p50={} p90={} p99={} max={}",
+                num("count").unwrap_or(0),
+                num("p50").unwrap_or(0),
+                num("p90").unwrap_or(0),
+                num("p99").unwrap_or(0),
+                num("max").unwrap_or(0),
+            );
+        }
+    }
+    if let Some(trace_file) = doc.get("trace_file").and_then(JsonValue::as_str) {
+        println!("  trace file: {trace_file} (try: obs_report audit <manifest>)");
     }
     ExitCode::SUCCESS
+}
+
+/// Audits the trace a manifest points at: replays the invariant checks,
+/// then prints the slowest journeys and the phase-latency table.
+fn audit_manifest(path: &Path) -> ExitCode {
+    let doc = match load_json(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(trace_file) = doc.get("trace_file").and_then(JsonValue::as_str) else {
+        eprintln!(
+            "{} has no `trace_file`; re-run the experiment with tracing \
+             (e.g. the trace_run bin) to produce an auditable manifest",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let lossless = doc
+        .get("stats")
+        .and_then(|s| s.get("trace"))
+        .and_then(|t| t.get("lossless"))
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(true);
+    if !lossless {
+        eprintln!(
+            "refusing to audit {}: manifest records a lossy trace \
+             (dropped/evicted/unwritten records) — conclusions would be unsound",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    // Relative trace paths are relative to the manifest's directory.
+    let trace_path = {
+        let p = Path::new(trace_file);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            path.parent().unwrap_or(Path::new(".")).join(p)
+        }
+    };
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{} is not a valid trace: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "[{}] auditing {} ({} records)",
+        doc.get("id").and_then(JsonValue::as_str).unwrap_or("?"),
+        trace_path.display(),
+        records.len()
+    );
+    let model = TraceModel::from_records(&records);
+    if model.skipped > 0 {
+        println!(
+            "  note: {} record(s) had unusable fields and were skipped",
+            model.skipped
+        );
+    }
+
+    let violations = uasn_audit::check(&model);
+    if violations.is_empty() {
+        println!("  invariants: all checks passed");
+    } else {
+        println!("  invariants: {} VIOLATION(S)", violations.len());
+        for v in &violations {
+            println!("    {v}");
+        }
+    }
+
+    let journeys = reconstruct(&model);
+    let delivered = journeys.iter().filter(|j| j.delivered()).count();
+    println!(
+        "  journeys: {} reconstructed, {} delivered",
+        journeys.len(),
+        delivered
+    );
+    let top = slowest(&journeys, 5);
+    if !top.is_empty() {
+        println!("  slowest end-to-end:");
+        for j in top {
+            println!("    {}", j.describe());
+        }
+    }
+    let hists = PhaseHistograms::from_journeys(&journeys);
+    println!("  phase latency (us):");
+    println!(
+        "    {:<14}{:>8}{:>12}{:>12}{:>12}{:>12}",
+        "phase", "n", "p50", "p90", "p99", "max"
+    );
+    for (name, hist) in hists.phases() {
+        println!(
+            "    {name:<14}{:>8}{:>12}{:>12}{:>12}{:>12}",
+            hist.count(),
+            hist.p50().unwrap_or(0),
+            hist.p90().unwrap_or(0),
+            hist.p99().unwrap_or(0),
+            hist.max().unwrap_or(0),
+        );
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn summarize_trace(path: &Path) -> ExitCode {

@@ -1,0 +1,159 @@
+//! Traced reference run + inline audit: streams one seeded EW-MAC run's
+//! Debug-level trace to `results/TRC.trace.jsonl`, replays the invariant
+//! checks over the file it just wrote, and records a manifest pointing at
+//! the trace (with latency summaries and trace health).
+//!
+//! Exits nonzero on any invariant violation, any trace loss (dropped,
+//! evicted, or unwritten records), or a malformed trace — this is the CI
+//! gate for the audit layer.
+//!
+//! Usage: `trace_run [seed] [out_dir]`
+
+use std::fs;
+use std::io::BufWriter;
+use std::path::Path;
+use std::process::ExitCode;
+
+use uasn_audit::journey::{reconstruct, PhaseHistograms};
+use uasn_audit::model::TraceModel;
+use uasn_bench::{Protocol, RunManifest, StatsAggregate};
+use uasn_net::config::SimConfig;
+use uasn_net::world::Simulation;
+use uasn_sim::time::SimDuration;
+use uasn_sim::trace::{parse_jsonl, TraceLevel, Tracer, DEFAULT_CAPTURE_CAPACITY};
+
+const TRACE_NAME: &str = "TRC.trace.jsonl";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xEA5E);
+    let out_dir = args.next().unwrap_or_else(|| "results".to_string());
+    let out_dir = Path::new(&out_dir);
+
+    // Static 20-sensor column, 120 s: enough traffic for every frame kind
+    // (including extras) while the Debug trace stays small.
+    let cfg = SimConfig::paper_default()
+        .with_sensors(20)
+        .with_offered_load_kbps(0.5)
+        .with_sim_time(SimDuration::from_secs(120))
+        .with_seed(seed);
+
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("trace_run: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    let trace_path = out_dir.join(TRACE_NAME);
+    let file = match fs::File::create(&trace_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_run: cannot create {}: {e}", trace_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let tracer = Tracer::new(TraceLevel::Debug)
+        .with_capture(DEFAULT_CAPTURE_CAPACITY)
+        .with_jsonl(Box::new(BufWriter::new(file)));
+
+    println!(
+        "[TRC] EW-MAC seed {seed:#x}, {} sensors, {} s, Debug trace -> {}",
+        cfg.sensors,
+        cfg.sim_time.as_secs_f64(),
+        trace_path.display()
+    );
+    let factory = move |id: uasn_net::node::NodeId| Protocol::EwMac.build(id);
+    let out = Simulation::new(cfg.clone(), &factory)
+        .expect("paper-default config is valid")
+        .with_tracer(tracer)
+        .run_full();
+
+    let mut stats = StatsAggregate::default();
+    stats.absorb(&out.stats);
+    let health = out.tracer.health();
+    stats.absorb_trace(&health);
+    // Drop the tracer so the buffered JSONL stream is flushed to disk
+    // before the audit reads it back.
+    drop(out.tracer);
+
+    let report = out.report;
+    println!(
+        "run: {} SDUs generated, {} delivered, throughput {:.3} kbps",
+        report.sdus_generated, report.sdus_received, report.throughput_kbps
+    );
+    println!(
+        "trace: {} JSONL lines, lossless = {}",
+        health.jsonl_lines,
+        health.is_lossless()
+    );
+
+    let manifest = RunManifest::new(
+        "TRC",
+        "Traced EW-MAC reference run with inline audit",
+        1,
+        vec![Protocol::EwMac.name().to_string()],
+        &cfg,
+        stats,
+    )
+    .with_latency(
+        report.delivery_latency_us.clone(),
+        report.e2e_latency_us.clone(),
+    )
+    .with_trace_file(TRACE_NAME);
+    match manifest.write(out_dir) {
+        Ok(path) => println!("manifest: {}", path.display()),
+        Err(e) => {
+            eprintln!("trace_run: cannot write manifest: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failed = false;
+    if !health.is_lossless() {
+        eprintln!("FAIL: trace is lossy: {health:?}");
+        failed = true;
+    }
+
+    // Audit the file on disk — the same artifact `audit check` would see.
+    let text = match fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_run: cannot read back {}: {e}", trace_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: written trace does not parse: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let model = TraceModel::from_records(&records);
+    let violations = uasn_audit::check(&model);
+    if violations.is_empty() {
+        println!(
+            "audit: all invariant checks passed over {} records",
+            records.len()
+        );
+    } else {
+        eprintln!("FAIL: {} invariant violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        failed = true;
+    }
+
+    let journeys = reconstruct(&model);
+    let hists = PhaseHistograms::from_journeys(&journeys);
+    println!(
+        "journeys: {} reconstructed, e2e p50/p99 = {}/{} us",
+        journeys.len(),
+        hists.end_to_end.p50().unwrap_or(0),
+        hists.end_to_end.p99().unwrap_or(0)
+    );
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

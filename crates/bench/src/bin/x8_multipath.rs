@@ -27,6 +27,8 @@ fn main() {
         })
         .collect();
     let mut stats = StatsAggregate::default();
+    let mut delivery_hist = uasn_sim::hist::LogHistogram::new();
+    let mut e2e_hist = uasn_sim::hist::LogHistogram::new();
     let mut base_cfg = None;
     for (x, loss_db) in [
         (0.0f64, None),
@@ -54,6 +56,8 @@ fn main() {
                 s.throughput_kbps.ci95_halfwidth(),
             ));
             stats.merge(&s.stats);
+            delivery_hist.merge(&s.delivery_hist);
+            e2e_hist.merge(&s.e2e_hist);
         }
         base_cfg.get_or_insert(cfg);
     }
@@ -81,7 +85,8 @@ fn main() {
             .collect(),
         &base_cfg.expect("at least one sweep point"),
         stats,
-    );
+    )
+    .with_latency(delivery_hist, e2e_hist);
     if let Err(e) = fig
         .write_csv(Path::new("results"))
         .and_then(|()| manifest.write(Path::new("results")).map(|_| ()))

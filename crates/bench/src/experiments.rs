@@ -78,6 +78,8 @@ where
         })
         .collect();
     let mut stats = StatsAggregate::default();
+    let mut delivery_hist = uasn_sim::hist::LogHistogram::new();
+    let mut e2e_hist = uasn_sim::hist::LogHistogram::new();
     for &x in xs {
         let cfg = configure(x);
         for (p_idx, &p) in protocols.iter().enumerate() {
@@ -85,6 +87,8 @@ where
             let (mean, ci) = extract(&summary);
             series[p_idx].points.push((x, mean, ci));
             stats.merge(&summary.stats);
+            delivery_hist.merge(&summary.delivery_hist);
+            e2e_hist.merge(&summary.e2e_hist);
         }
     }
     let manifest = RunManifest::new(
@@ -94,7 +98,8 @@ where
         protocols.iter().map(|p| p.name().to_string()).collect(),
         &configure(xs[0]),
         stats,
-    );
+    )
+    .with_latency(delivery_hist, e2e_hist);
     ExperimentRun {
         figure: FigureResult {
             id,
@@ -549,5 +554,9 @@ mod tests {
         assert_eq!(run.manifest.protocols, vec!["S-FAMA", "EW-MAC"]);
         assert_eq!(run.manifest.stats.runs, 2);
         assert!(run.manifest.stats.events_processed > 0);
+        // Every sweep manifest carries the merged latency histograms.
+        let e2e = run.manifest.e2e_latency_us.as_ref().expect("e2e latency");
+        assert!(e2e.count() > 0, "sink arrivals measured");
+        assert!(e2e.p50().is_some() && e2e.p99().is_some());
     }
 }

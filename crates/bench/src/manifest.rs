@@ -16,7 +16,9 @@ use std::time::Duration;
 use uasn_net::config::SimConfig;
 use uasn_net::traffic::TrafficPattern;
 use uasn_sim::engine::RunStats;
+use uasn_sim::hist::LogHistogram;
 use uasn_sim::json::JsonValue;
+use uasn_sim::trace::TraceHealth;
 
 /// Manifest schema identifier.
 pub const MANIFEST_SCHEMA: &str = "uasn-manifest";
@@ -40,6 +42,9 @@ pub struct StatsAggregate {
     pub kind_counts: Vec<(&'static str, u64)>,
     /// How each run stopped, in first-seen order.
     pub stop_reasons: Vec<(&'static str, u64)>,
+    /// Trace-sink health summed over every run (all zeros when runs were
+    /// untraced): audits refuse or warn when this is lossy.
+    pub trace: TraceHealth,
 }
 
 impl StatsAggregate {
@@ -62,6 +67,12 @@ impl StatsAggregate {
         }
     }
 
+    /// Folds one run's trace-sink health in (capture drops, ring evictions,
+    /// JSONL I/O errors).
+    pub fn absorb_trace(&mut self, health: &TraceHealth) {
+        self.trace.merge(health);
+    }
+
     /// Merges another aggregate (e.g. per-cell into per-figure).
     pub fn merge(&mut self, other: &StatsAggregate) {
         self.runs += other.runs;
@@ -80,6 +91,7 @@ impl StatsAggregate {
                 None => self.stop_reasons.push((reason, count)),
             }
         }
+        self.trace.merge(&other.trace);
     }
 
     /// Events processed per wall-clock second over all runs.
@@ -123,8 +135,39 @@ impl StatsAggregate {
             ),
             ("kind_counts".to_string(), pairs(&self.kind_counts)),
             ("stop_reasons".to_string(), pairs(&self.stop_reasons)),
+            ("trace".to_string(), trace_health_json(&self.trace)),
         ])
     }
+}
+
+/// Serialises a [`TraceHealth`] into the manifest's `trace` object.
+fn trace_health_json(health: &TraceHealth) -> JsonValue {
+    let mut pairs = vec![
+        (
+            "capture_dropped".to_string(),
+            JsonValue::from_u64(health.capture_dropped),
+        ),
+        (
+            "ring_evicted".to_string(),
+            JsonValue::from_u64(health.ring_evicted),
+        ),
+        (
+            "io_errors".to_string(),
+            JsonValue::from_u64(health.io_errors),
+        ),
+        (
+            "jsonl_lines".to_string(),
+            JsonValue::from_u64(health.jsonl_lines),
+        ),
+        (
+            "lossless".to_string(),
+            JsonValue::Bool(health.is_lossless()),
+        ),
+    ];
+    if let Some(err) = &health.first_io_error {
+        pairs.push(("first_io_error".to_string(), JsonValue::from_string(err)));
+    }
+    JsonValue::Object(pairs)
 }
 
 /// Flattens the interesting [`SimConfig`] knobs into `(key, value)` strings
@@ -199,6 +242,15 @@ pub struct RunManifest {
     pub config: Vec<(String, String)>,
     /// Aggregated engine profiling over every run.
     pub stats: StatsAggregate,
+    /// Log-bucketed MAC delivery latency merged over every run, when the
+    /// producing harness collected it.
+    pub delivery_latency_us: Option<LogHistogram>,
+    /// Log-bucketed end-to-end (generation to sink) latency merged over
+    /// every run, when collected.
+    pub e2e_latency_us: Option<LogHistogram>,
+    /// Path of the JSONL trace behind this artifact, when one was streamed
+    /// (relative paths are relative to the manifest's directory).
+    pub trace_file: Option<String>,
 }
 
 impl RunManifest {
@@ -220,12 +272,37 @@ impl RunManifest {
             protocols,
             config: config_summary(cfg),
             stats,
+            delivery_latency_us: None,
+            e2e_latency_us: None,
+            trace_file: None,
         }
+    }
+
+    /// Attaches merged latency histograms; their p50/p90/p99/max summaries
+    /// land in the manifest's `latency` object.
+    pub fn with_latency(mut self, delivery_us: LogHistogram, e2e_us: LogHistogram) -> Self {
+        self.delivery_latency_us = Some(delivery_us);
+        self.e2e_latency_us = Some(e2e_us);
+        self
+    }
+
+    /// Records the JSONL trace file behind this artifact so `obs_report
+    /// audit` can find it.
+    pub fn with_trace_file(mut self, path: impl Into<String>) -> Self {
+        self.trace_file = Some(path.into());
+        self
     }
 
     /// Serialises into the manifest JSON object.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut latency = Vec::new();
+        if let Some(h) = &self.delivery_latency_us {
+            latency.push(("delivery_us".to_string(), h.to_json()));
+        }
+        if let Some(h) = &self.e2e_latency_us {
+            latency.push(("end_to_end_us".to_string(), h.to_json()));
+        }
+        let mut pairs = vec![
             (
                 "schema".to_string(),
                 JsonValue::from_string(MANIFEST_SCHEMA),
@@ -259,7 +336,14 @@ impl RunManifest {
                 ),
             ),
             ("stats".to_string(), self.stats.to_json()),
-        ])
+        ];
+        if !latency.is_empty() {
+            pairs.push(("latency".to_string(), JsonValue::Object(latency)));
+        }
+        if let Some(trace_file) = &self.trace_file {
+            pairs.push(("trace_file".to_string(), JsonValue::from_string(trace_file)));
+        }
+        JsonValue::Object(pairs)
     }
 
     /// The file name the manifest writes under: `<id>.manifest.json`.
@@ -352,6 +436,73 @@ mod tests {
         assert_eq!(
             stats.get("events_processed").and_then(JsonValue::as_u64),
             Some(100)
+        );
+    }
+
+    #[test]
+    fn latency_and_trace_file_round_trip_through_json() {
+        let mut delivery = LogHistogram::new();
+        let mut e2e = LogHistogram::new();
+        for v in [10_000u64, 20_000, 400_000] {
+            delivery.record(v);
+            e2e.record(v * 2);
+        }
+        let m = RunManifest::new(
+            "TRC",
+            "traced run",
+            1,
+            vec!["EW-MAC".to_string()],
+            &SimConfig::paper_default(),
+            StatsAggregate::default(),
+        )
+        .with_latency(delivery, e2e.clone())
+        .with_trace_file("TRC.trace.jsonl");
+        let text = m.to_json().to_json_pretty();
+        let back = JsonValue::parse(&text).expect("valid json");
+        assert_eq!(
+            back.get("trace_file").and_then(JsonValue::as_str),
+            Some("TRC.trace.jsonl")
+        );
+        let latency = back.get("latency").expect("latency object");
+        let e2e_json = latency.get("end_to_end_us").expect("e2e summary");
+        assert_eq!(e2e_json.get("count").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            e2e_json.get("p99").and_then(JsonValue::as_u64),
+            e2e.p99(),
+            "manifest carries the histogram's own quantiles"
+        );
+        // Trace health is always present under stats, lossless by default.
+        let trace = back
+            .get("stats")
+            .and_then(|s| s.get("trace"))
+            .expect("trace health object");
+        assert_eq!(trace.get("lossless"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn lossy_trace_health_serialises_as_not_lossless() {
+        let mut agg = StatsAggregate::default();
+        agg.absorb_trace(&TraceHealth {
+            capture_dropped: 5,
+            first_io_error: Some("disk full".to_string()),
+            io_errors: 1,
+            ..TraceHealth::default()
+        });
+        let mut other = StatsAggregate::default();
+        other.absorb_trace(&TraceHealth {
+            ring_evicted: 2,
+            ..TraceHealth::default()
+        });
+        agg.merge(&other);
+        assert_eq!(agg.trace.capture_dropped, 5);
+        assert_eq!(agg.trace.ring_evicted, 2);
+        assert!(!agg.trace.is_lossless());
+        let json = agg.to_json();
+        let trace = json.get("trace").expect("trace object");
+        assert_eq!(trace.get("lossless"), Some(&JsonValue::Bool(false)));
+        assert_eq!(
+            trace.get("first_io_error").and_then(JsonValue::as_str),
+            Some("disk full")
         );
     }
 

@@ -8,6 +8,7 @@
 use uasn_net::config::SimConfig;
 use uasn_net::metrics::MetricsReport;
 use uasn_net::world::{RunOutput, Simulation};
+use uasn_sim::hist::LogHistogram;
 use uasn_sim::stats::Replications;
 use uasn_sim::time::SimTime;
 
@@ -49,6 +50,12 @@ pub struct Summary {
     pub utilization: Replications,
     /// Engine profiling summed over the cell's replications.
     pub stats: StatsAggregate,
+    /// Log-bucketed MAC delivery latency merged over all replications
+    /// (exact merge — same buckets as each run's histogram).
+    pub delivery_hist: LogHistogram,
+    /// Log-bucketed end-to-end (generation to sink) latency merged over
+    /// all replications.
+    pub e2e_hist: LogHistogram,
 }
 
 /// Runs one seed of one cell.
@@ -93,12 +100,17 @@ pub fn run_replicated(cfg: &SimConfig, protocol: Protocol, seeds: u64) -> Summar
         fairness: Replications::new(),
         utilization: Replications::new(),
         stats: StatsAggregate::default(),
+        delivery_hist: LogHistogram::new(),
+        e2e_hist: LogHistogram::new(),
     };
     for seed in 0..seeds {
         let cfg = cfg.clone().with_seed(0xEA5E + seed * 7_919);
         let out = run_once_full(&cfg, protocol);
         summary.stats.absorb(&out.stats);
+        summary.stats.absorb_trace(&out.tracer.health());
         let report = out.report;
+        summary.delivery_hist.merge(&report.delivery_latency_us);
+        summary.e2e_hist.merge(&report.e2e_latency_us);
         summary.throughput_kbps.add(report.throughput_kbps);
         summary.power_mw.add(report.avg_power_mw);
         summary.overhead_bits.add(report.overhead_bits as f64);
@@ -147,6 +159,12 @@ mod tests {
         assert_eq!(s.stats.runs, 3);
         assert!(s.stats.events_processed > 0);
         assert!(s.stats.kind_counts.iter().any(|&(k, _)| k == "slot-start"));
+        // Latency histograms merge across the replications, and untraced
+        // runs leave the trace health lossless.
+        assert!(s.delivery_hist.count() > 0, "deliveries were measured");
+        assert!(s.e2e_hist.count() > 0, "sink arrivals were measured");
+        assert!(s.e2e_hist.p50() <= s.e2e_hist.p99());
+        assert!(s.stats.trace.is_lossless());
     }
 
     #[test]

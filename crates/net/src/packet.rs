@@ -62,11 +62,11 @@ impl FrameKind {
             FrameKind::ExRts | FrameKind::ExCts | FrameKind::ExData | FrameKind::ExAck
         )
     }
-}
 
-impl fmt::Display for FrameKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The kind's stable short label used in display output and trace
+    /// fields; [`FrameKind::from_label`] inverts it.
+    pub fn label(self) -> &'static str {
+        match self {
             FrameKind::Rts => "RTS",
             FrameKind::Cts => "CTS",
             FrameKind::Data => "Data",
@@ -77,8 +77,30 @@ impl fmt::Display for FrameKind {
             FrameKind::ExAck => "EXAck",
             FrameKind::Beacon => "Beacon",
             FrameKind::Rta => "RTA",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Parses a label produced by [`FrameKind::label`] back into the kind.
+    pub fn from_label(label: &str) -> Option<FrameKind> {
+        Some(match label {
+            "RTS" => FrameKind::Rts,
+            "CTS" => FrameKind::Cts,
+            "Data" => FrameKind::Data,
+            "Ack" => FrameKind::Ack,
+            "EXR" => FrameKind::ExRts,
+            "EXC" => FrameKind::ExCts,
+            "EXData" => FrameKind::ExData,
+            "EXAck" => FrameKind::ExAck,
+            "Beacon" => FrameKind::Beacon,
+            "RTA" => FrameKind::Rta,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -329,6 +351,26 @@ mod tests {
             kind: FrameKind::Rts,
             ..Frame::data(FrameKind::Rts, NodeId::new(0), s)
         };
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Data,
+            FrameKind::Ack,
+            FrameKind::ExRts,
+            FrameKind::ExCts,
+            FrameKind::ExData,
+            FrameKind::ExAck,
+            FrameKind::Beacon,
+            FrameKind::Rta,
+        ] {
+            assert_eq!(FrameKind::from_label(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(FrameKind::from_label("bogus"), None);
     }
 
     #[test]

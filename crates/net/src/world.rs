@@ -25,7 +25,7 @@ use uasn_phy::modem::{Modem, ModemSpec, ModemState, ReceptionId};
 use uasn_sim::engine::{Engine, EventLabel, RunStats, Schedule, StopReason};
 use uasn_sim::rng::SeedFactory;
 use uasn_sim::time::{SimDuration, SimTime};
-use uasn_sim::trace::{TraceLevel, Tracer};
+use uasn_sim::trace::{field, Field, TraceLevel, Tracer};
 
 use crate::config::SimConfig;
 use crate::error::BuildNetworkError;
@@ -171,6 +171,50 @@ impl NetworkWorld {
         }
     }
 
+    fn trace_fields(
+        &mut self,
+        level: TraceLevel,
+        node: usize,
+        tag: &'static str,
+        detail: impl FnOnce() -> (String, Vec<Field>),
+    ) {
+        if self.tracer.enabled(level) {
+            let (msg, fields) = detail();
+            self.tracer
+                .record_fields(self.now, level, Some(node), tag, msg, fields);
+        }
+    }
+
+    /// Emits the run-description record every audit needs: which protocol,
+    /// network shape, and the slot geometry the invariant checker replays
+    /// against.
+    fn trace_run_info(&mut self) {
+        if !self.tracer.enabled(TraceLevel::Info) {
+            return;
+        }
+        let protocol = self.macs[0].as_ref().map(|m| m.name()).unwrap_or("unknown");
+        let sinks = self.roles.iter().filter(|r| **r == NodeRole::Sink).count();
+        let fields = vec![
+            field("protocol", protocol),
+            field("nodes", self.node_count()),
+            field("sinks", sinks),
+            field("bitrate_bps", self.cfg.bitrate_bps),
+            field("omega_us", self.clock.omega().as_micros()),
+            field("tau_max_us", self.clock.tau_max().as_micros()),
+            field("slot_us", self.clock.slot_len().as_micros()),
+            field("mobility", self.cfg.mobility.enabled),
+            field("forwarding", self.cfg.forwarding),
+        ];
+        self.tracer.record_fields(
+            self.now,
+            TraceLevel::Info,
+            None,
+            "run-info",
+            String::new(),
+            fields,
+        );
+    }
+
     /// Runs `f` against node `node`'s MAC and then applies the commands it
     /// queued.
     fn with_mac<F>(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, f: F)
@@ -237,6 +281,9 @@ impl NetworkWorld {
             MacCommand::SduDropped { id } => {
                 self.metrics.per_node[node].sdus_dropped += 1;
                 self.metrics.record_mac_drop(self.now, id);
+                self.trace_fields(TraceLevel::Debug, node, "sdu-drop", || {
+                    (format!("sdu {id} dropped by MAC"), vec![field("sdu", id)])
+                });
             }
         }
     }
@@ -275,7 +322,31 @@ impl NetworkWorld {
             self.metrics.per_node[node].maintenance_bits += piggyback;
             self.meters[node].charge_maintenance_bits(piggyback);
         }
-        self.trace(TraceLevel::Debug, node, "tx", || frame.to_string());
+        self.trace_fields(TraceLevel::Debug, node, "tx", || {
+            let mut fields = vec![
+                field("kind", frame.kind.label()),
+                field("dst", frame.dst.index()),
+                field("bits", frame.bits),
+                field("dur_us", duration.as_micros()),
+            ];
+            if let Some(tau) = frame.pair_delay {
+                fields.push(field("pair_delay_us", tau.as_micros()));
+            }
+            if let Some(td) = frame.data_duration {
+                fields.push(field("data_dur_us", td.as_micros()));
+            }
+            if let Some(sdu) = &frame.sdu {
+                fields.push(field("sdu", sdu.id));
+                fields.push(field("origin", sdu.origin.index()));
+                if frame.retx {
+                    fields.push(field("retx", true));
+                }
+            }
+            if !frame.bundle.is_empty() {
+                fields.push(field("bundle", frame.bundle.len()));
+            }
+            (frame.to_string(), fields)
+        });
 
         // Fan out arrivals to every audible node.
         let src_pos = self.positions[node];
@@ -385,18 +456,24 @@ impl NetworkWorld {
             return;
         }
         if !survived || entry.pre_lost {
-            self.trace(TraceLevel::Debug, node, "rx-lost", || {
-                format!(
-                    "{} ({})",
-                    entry.frame,
-                    if survived { "channel" } else { "collision" }
+            let reason = if survived { "channel" } else { "collision" };
+            self.trace_fields(TraceLevel::Debug, node, "rx-lost", || {
+                (
+                    format!("{} ({reason})", entry.frame),
+                    vec![
+                        field("reason", reason),
+                        field("kind", entry.frame.kind.label()),
+                        field("src", entry.frame.src.index()),
+                        field("dst", entry.frame.dst.index()),
+                        field("bits", entry.frame.bits),
+                        field("start_us", entry.arrival_start.as_micros()),
+                    ],
                 )
             });
             return;
         }
         let frame = entry.frame;
         let prop_delay = entry.arrival_start.duration_since(frame.timestamp);
-        self.trace(TraceLevel::Debug, node, "rx", || frame.to_string());
 
         // Deliver to the MAC first (it may answer with an Ack schedule)…
         let reception = Reception {
@@ -406,6 +483,22 @@ impl NetworkWorld {
         };
         let me = NodeId::new(entry.node);
         let addressed = reception.addressed_to(me);
+        self.trace_fields(TraceLevel::Debug, node, "rx", || {
+            let mut fields = vec![
+                field("kind", frame.kind.label()),
+                field("src", frame.src.index()),
+                field("dst", frame.dst.index()),
+                field("bits", frame.bits),
+                field("start_us", entry.arrival_start.as_micros()),
+                field("prop_us", prop_delay.as_micros()),
+                field("addressed", addressed),
+            ];
+            if let Some(sdu) = &frame.sdu {
+                fields.push(field("sdu", sdu.id));
+                fields.push(field("origin", sdu.origin.index()));
+            }
+            (frame.to_string(), fields)
+        });
         self.with_mac(sched, node, |mac, ctx| {
             mac.on_frame_received(ctx, &reception)
         });
@@ -427,12 +520,23 @@ impl NetworkWorld {
                     counters.extra_bits_received += sdu.bits as u64;
                 }
                 self.metrics
-                    .record_latency(self.now.duration_since(sdu.created).as_secs_f64());
+                    .record_delivery_latency(self.now.duration_since(sdu.created));
                 self.metrics.record_mac_delivery(self.now, sdu.id);
                 if self.roles[node] == NodeRole::Sink {
-                    self.metrics.record_sink_arrival(self.now, sdu.id, sdu.bits);
-                    self.trace(TraceLevel::Info, node, "sink", || {
-                        format!("sdu {} from {} reached sink", sdu.id, sdu.origin)
+                    let e2e = self.metrics.record_sink_arrival(self.now, sdu.id, sdu.bits);
+                    self.trace_fields(TraceLevel::Info, node, "sink", || {
+                        let mut fields = vec![
+                            field("sdu", sdu.id),
+                            field("origin", sdu.origin.index()),
+                            field("bits", sdu.bits),
+                        ];
+                        if let Some(e2e) = e2e {
+                            fields.push(field("e2e_us", e2e.as_micros()));
+                        }
+                        (
+                            format!("sdu {} from {} reached sink", sdu.id, sdu.origin),
+                            fields,
+                        )
                     });
                 } else if self.cfg.forwarding {
                     self.forward(sched, node, sdu);
@@ -453,6 +557,18 @@ impl NetworkWorld {
                     created: self.now,
                     ..sdu
                 };
+                self.trace_fields(TraceLevel::Debug, node, "enq", || {
+                    (
+                        format!("sdu {} forwarded toward {next}", fwd.id),
+                        vec![
+                            field("sdu", fwd.id),
+                            field("origin", fwd.origin.index()),
+                            field("next_hop", next.index()),
+                            field("bits", fwd.bits),
+                            field("fwd", true),
+                        ],
+                    )
+                });
                 self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, fwd));
             }
             None => {
@@ -488,9 +604,22 @@ impl NetworkWorld {
                     bits,
                     created: self.now,
                 };
+                self.metrics.record_sdu_generated(self.now, sdu_id);
                 if self.cfg.traffic.is_batch() {
                     self.metrics.register_batch_sdu(Some(sdu_id));
                 }
+                self.trace_fields(TraceLevel::Debug, node, "enq", || {
+                    (
+                        format!("sdu {sdu_id} enqueued for {next}"),
+                        vec![
+                            field("sdu", sdu_id),
+                            field("origin", node),
+                            field("next_hop", next.index()),
+                            field("bits", bits),
+                            field("fwd", false),
+                        ],
+                    )
+                });
                 self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, sdu));
             }
             None => {
@@ -685,6 +814,8 @@ impl NetworkWorld {
                 uasn_sim::stats::jain_fairness(&allocations)
             },
             completion_time: self.metrics.completion_time,
+            delivery_latency_us: self.metrics.delivery_hist.clone(),
+            e2e_latency_us: self.metrics.e2e_hist.clone(),
         }
     }
 }
@@ -696,6 +827,7 @@ impl uasn_sim::engine::World for NetworkWorld {
         self.now = now;
         match event {
             NetEvent::Start => {
+                self.trace_run_info();
                 for node in 0..self.node_count() {
                     self.with_mac(sched, node, |mac, ctx| mac.on_start(ctx));
                 }
@@ -1029,6 +1161,13 @@ impl Simulation {
     /// Enables in-memory tracing at `level` (for tests and debugging).
     pub fn with_tracing(mut self, level: TraceLevel) -> Self {
         self.world.tracer = Tracer::capturing(level);
+        self
+    }
+
+    /// Installs a fully configured tracer (e.g. one streaming JSONL to a
+    /// file for offline auditing).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.world.tracer = tracer;
         self
     }
 

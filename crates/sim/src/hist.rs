@@ -1,0 +1,347 @@
+//! Log-bucketed integer histograms (HDR-style) for latency recording.
+//!
+//! [`LogHistogram`] records `u64` values — microseconds, by convention —
+//! into fixed buckets whose width grows geometrically: values below
+//! [`SUB_BUCKETS`] land in exact unit buckets, and every power-of-two tier
+//! above that is split into [`SUB_BUCKETS`] equal sub-buckets, bounding the
+//! relative quantile error at `1/SUB_BUCKETS` (~3%). All bucket math is
+//! integer-only, so recording is deterministic across platforms and two
+//! histograms built from the same multiset of values are bit-identical —
+//! which is what makes them *mergeable*: merging histograms of disjoint
+//! splits of a data set equals the histogram of the whole set, exactly.
+//!
+//! The exact minimum, maximum, sum, and count are tracked alongside the
+//! buckets, so `mean` and `max` are exact while quantiles are bucket-midpoint
+//! estimates clamped into `[min, max]`.
+//!
+//! # Examples
+//!
+//! ```
+//! use uasn_sim::hist::LogHistogram;
+//!
+//! let mut h = LogHistogram::new();
+//! for v in [10, 20, 30, 1_000, 2_000, 500_000] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 6);
+//! assert_eq!(h.max(), Some(500_000));
+//! assert!(h.p50().unwrap() <= h.p99().unwrap());
+//! ```
+
+use crate::json::JsonValue;
+
+/// Sub-buckets per power-of-two tier (also the size of the exact range).
+pub const SUB_BUCKETS: u64 = 32;
+
+const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
+const TIERS: usize = 64 - SUB_SHIFT as usize; // tiers for top bits 5..=63
+const BUCKETS: usize = (TIERS + 1) * SUB_BUCKETS as usize;
+
+/// A mergeable, integer-only, log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// The bucket index for value `v` (exact below [`SUB_BUCKETS`], then
+/// [`SUB_BUCKETS`] sub-buckets per power-of-two tier).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros(); // >= SUB_SHIFT
+        let tier = (top - SUB_SHIFT + 1) as usize;
+        let offset = ((v >> (top - SUB_SHIFT)) & (SUB_BUCKETS - 1)) as usize;
+        tier * SUB_BUCKETS as usize + offset
+    }
+}
+
+/// The half-open value range `[lo, hi)` bucket `idx` covers.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let tier = idx / SUB_BUCKETS as usize;
+    let offset = (idx % SUB_BUCKETS as usize) as u64;
+    if tier == 0 {
+        (offset, offset + 1)
+    } else {
+        let width = 1u64 << (tier - 1);
+        let lo = (SUB_BUCKETS + offset) << (tier - 1);
+        (lo, lo.saturating_add(width))
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram in. Merging histograms built from disjoint
+    /// splits of a value set yields exactly the histogram of the whole set.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest recorded value.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest recorded value.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact integer mean (rounded down); `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// The `num/den` quantile as a bucket-midpoint estimate clamped into
+    /// `[min, max]`; `None` when the histogram is empty.
+    ///
+    /// Integer-rank semantics: the value at rank `ceil(count * num / den)`
+    /// (clamped to at least 1). Quantiles are monotone in `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn quantile(&self, num: u64, den: u64) -> Option<u64> {
+        assert!(den > 0, "quantile denominator must be positive");
+        if self.count == 0 {
+            return None;
+        }
+        let num = num.min(den);
+        // rank = ceil(count * num / den), at least 1.
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let mid = lo + (hi - lo) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(50, 100)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(90, 100)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99, 100)
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` triples (half-open ranges), in
+    /// increasing value order — the export shape for CSV/JSON.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let (lo, hi) = bucket_bounds(idx);
+                (lo, hi, c)
+            })
+    }
+
+    /// Serialises summary + occupied buckets into a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("count".to_string(), JsonValue::from_u64(self.count)),
+            ("sum".to_string(), JsonValue::from_u64(self.sum)),
+        ];
+        for (key, value) in [
+            ("min", self.min()),
+            ("max", self.max()),
+            ("mean", self.mean()),
+            ("p50", self.p50()),
+            ("p90", self.p90()),
+            ("p99", self.p99()),
+        ] {
+            if let Some(v) = value {
+                pairs.push((key.to_string(), JsonValue::from_u64(v)));
+            }
+        }
+        pairs.push((
+            "buckets".to_string(),
+            JsonValue::Array(
+                self.iter_nonzero()
+                    .map(|(lo, hi, c)| {
+                        JsonValue::Array(vec![
+                            JsonValue::from_u64(lo),
+                            JsonValue::from_u64(hi),
+                            JsonValue::from_u64(c),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        JsonValue::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.iter_nonzero().count(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        for (i, (lo, hi, c)) in h.iter_nonzero().enumerate() {
+            assert_eq!((lo, hi, c), (i as u64, i as u64 + 1, 1));
+        }
+        assert_eq!(h.quantile(1, SUB_BUCKETS), Some(0));
+        assert_eq!(h.max(), Some(SUB_BUCKETS - 1));
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        for v in (0..1_000_000u64).step_by(97).chain([
+            u64::MAX,
+            u64::MAX / 3,
+            1 << 40,
+            (1 << 40) + 12_345,
+        ]) {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            // The very top bucket's upper bound saturates at u64::MAX, which
+            // makes its range closed rather than half-open.
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "v={v} idx={idx} [{lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [100u64, 1_000, 50_000, 1_000_000, 123_456_789] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            // Bucket width <= lo / SUB_BUCKETS * 2 -> ~3% relative error.
+            assert!((hi - lo) * SUB_BUCKETS / 2 <= lo.max(1), "v={v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_clamped_and_ordered() {
+        let mut h = LogHistogram::new();
+        for v in [10_000u64, 20_000, 30_000, 40_000, 1_000_000] {
+            h.record(v);
+        }
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= h.max().unwrap());
+        assert!(h.quantile(0, 100).unwrap() >= h.min().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let values: Vec<u64> = (0..500).map(|i| i * i * 37 + 5).collect();
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn mean_and_sum_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.mean(), Some(2));
+    }
+
+    #[test]
+    fn json_round_trips_summary_fields() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(500);
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(doc.get("min").and_then(JsonValue::as_u64), Some(5));
+        assert_eq!(doc.get("max").and_then(JsonValue::as_u64), Some(500));
+        assert_eq!(
+            doc.get("buckets")
+                .and_then(JsonValue::as_array)
+                .map(|b| b.len()),
+            Some(2)
+        );
+    }
+}

@@ -14,6 +14,8 @@
 //!   draw in one component never perturbs another.
 //! * [`stats`] — streaming accumulators, time-weighted integrals, histograms,
 //!   and cross-seed replication summaries.
+//! * [`hist`] — mergeable log-bucketed integer histograms ([`hist::LogHistogram`])
+//!   for latency percentiles with no floats in the bucket math.
 //! * [`trace`] — level-gated structured tracing with pluggable sinks
 //!   (bounded capture, ring buffer, streaming JSONL) used by the test suite
 //!   to assert protocol-level invariants and by the observability layer to
@@ -52,6 +54,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod stats;
@@ -60,5 +63,6 @@ pub mod trace;
 
 pub use engine::{Engine, EventLabel, RunStats, Schedule, StopReason, World};
 pub use event::{EventKey, EventQueue};
+pub use hist::LogHistogram;
 pub use rng::SeedFactory;
 pub use time::{SimDuration, SimTime};

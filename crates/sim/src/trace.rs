@@ -346,6 +346,43 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceRecord>, JsonError> {
         .collect()
 }
 
+/// Loss/health accounting for a [`Tracer`]'s sinks, surfaced in run
+/// manifests so downstream audits can refuse or warn on lossy traces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceHealth {
+    /// Records discarded by capture sinks once their cap was reached.
+    pub capture_dropped: u64,
+    /// Records evicted from ring sinks to make room for newer ones.
+    pub ring_evicted: u64,
+    /// Number of JSONL sinks that hit an I/O error (each stops writing at
+    /// its first error, so the stream is truncated).
+    pub io_errors: u64,
+    /// Human-readable description of the first I/O error, if any.
+    pub first_io_error: Option<String>,
+    /// Total record lines successfully written by JSONL sinks.
+    pub jsonl_lines: u64,
+}
+
+impl TraceHealth {
+    /// Whether every emitted record was retained or written somewhere
+    /// without loss.
+    pub fn is_lossless(&self) -> bool {
+        self.capture_dropped == 0 && self.ring_evicted == 0 && self.io_errors == 0
+    }
+
+    /// Folds another health report in (counts add; the earliest-seen I/O
+    /// error description is kept).
+    pub fn merge(&mut self, other: &TraceHealth) {
+        self.capture_dropped += other.capture_dropped;
+        self.ring_evicted += other.ring_evicted;
+        self.io_errors += other.io_errors;
+        if self.first_io_error.is_none() {
+            self.first_io_error = other.first_io_error.clone();
+        }
+        self.jsonl_lines += other.jsonl_lines;
+    }
+}
+
 /// A destination for trace records.
 ///
 /// Sinks receive every record that passes the tracer's level gate, in
@@ -747,6 +784,28 @@ impl Tracer {
             .sum()
     }
 
+    /// Aggregated loss/health accounting across all attached sinks.
+    pub fn health(&self) -> TraceHealth {
+        let mut health = TraceHealth::default();
+        for sink in &self.sinks {
+            match sink {
+                SinkImpl::Capture(c) => health.capture_dropped += c.dropped_records(),
+                SinkImpl::Ring(r) => health.ring_evicted += r.evicted_records(),
+                SinkImpl::Jsonl(j) => {
+                    health.jsonl_lines += j.lines_written();
+                    if let Some(e) = j.io_error() {
+                        health.io_errors += 1;
+                        if health.first_io_error.is_none() {
+                            health.first_io_error = Some(e.to_string());
+                        }
+                    }
+                }
+                SinkImpl::Custom(_) => {}
+            }
+        }
+        health
+    }
+
     /// Clears in-memory sinks (the level gate and sink set are retained).
     pub fn clear(&mut self) {
         for sink in &mut self.sinks {
@@ -915,6 +974,76 @@ mod tests {
     fn jsonl_rejects_wrong_schema() {
         assert!(parse_jsonl("{\"schema\":\"other\",\"version\":1}\n").is_err());
         assert!(parse_jsonl("").is_err());
+    }
+
+    #[test]
+    fn parse_jsonl_reports_malformed_inputs() {
+        let header = jsonl_header();
+        // Future schema version.
+        let err = parse_jsonl("{\"schema\":\"uasn-trace\",\"version\":999}\n").unwrap_err();
+        assert!(err.message.contains("unsupported trace header"), "{err:?}");
+        // Header is not JSON at all.
+        assert!(parse_jsonl("not json\n").is_err());
+        // Record line is truncated mid-object.
+        assert!(parse_jsonl(&format!("{header}\n{{\"t\":1,\"lev\n")).is_err());
+        // Record missing required keys.
+        for bad in [
+            "{\"level\":\"INFO\",\"tag\":\"tx\"}",         // no `t`
+            "{\"t\":1,\"tag\":\"tx\"}",                    // no `level`
+            "{\"t\":1,\"level\":\"LOUD\",\"tag\":\"tx\"}", // unknown level
+            "{\"t\":1,\"level\":\"INFO\"}",                // no `tag`
+            "{\"t\":1,\"level\":\"INFO\",\"tag\":\"tx\",\"fields\":[[\"b\"]]}", // short pair
+            "{\"t\":1,\"level\":\"INFO\",\"tag\":\"tx\",\"fields\":[[\"b\",{\"vec\":1}]]}", // bad type tag
+        ] {
+            let doc = format!("{header}\n{bad}\n");
+            assert!(parse_jsonl(&doc).is_err(), "accepted malformed: {bad}");
+        }
+        // Sanity: a well-formed minimal record still parses.
+        let ok = format!("{header}\n{{\"t\":1,\"level\":\"INFO\",\"tag\":\"tx\"}}\n");
+        assert_eq!(parse_jsonl(&ok).expect("parse").len(), 1);
+    }
+
+    #[test]
+    fn health_aggregates_sink_loss() {
+        let mut t = Tracer::new(TraceLevel::Debug)
+            .with_capture(2)
+            .with_ring(1)
+            .with_jsonl(Box::new(SharedBuf::default()));
+        for _ in 0..4 {
+            rec(&mut t, TraceLevel::Info, "x");
+        }
+        let h = t.health();
+        assert_eq!(h.capture_dropped, 2);
+        assert_eq!(h.ring_evicted, 3);
+        assert_eq!(h.io_errors, 0);
+        assert_eq!(h.jsonl_lines, 4);
+        assert!(!h.is_lossless());
+        assert!(Tracer::capturing(TraceLevel::Info).health().is_lossless());
+
+        let mut merged = TraceHealth::default();
+        merged.merge(&h);
+        merged.merge(&h);
+        assert_eq!(merged.capture_dropped, 4);
+        assert_eq!(merged.jsonl_lines, 8);
+    }
+
+    #[test]
+    fn health_captures_io_errors() {
+        struct FailingWriter;
+        impl io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut t = Tracer::new(TraceLevel::Debug).with_jsonl(Box::new(FailingWriter));
+        rec(&mut t, TraceLevel::Info, "x");
+        let h = t.health();
+        assert_eq!(h.io_errors, 1);
+        assert!(h.first_io_error.as_deref().unwrap().contains("disk full"));
+        assert!(!h.is_lossless());
     }
 
     #[test]

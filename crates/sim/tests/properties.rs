@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use uasn_sim::event::EventQueue;
+use uasn_sim::hist::LogHistogram;
 use uasn_sim::rng::SeedFactory;
 use uasn_sim::stats::{Accumulator, Histogram, TimeWeighted};
 use uasn_sim::time::{SimDuration, SimTime};
@@ -131,6 +132,54 @@ proptest! {
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn log_histogram_merge_of_splits_equals_whole(
+        values in proptest::collection::vec(0u64..100_000_000, 0..300),
+        split in proptest::collection::vec(proptest::bool::ANY, 0..300),
+    ) {
+        let mut whole = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if *split.get(i).unwrap_or(&false) {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.count(), values.len() as u64);
+        let bucket_total: u64 = whole.iter_nonzero().map(|(_, _, c)| c).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+    }
+
+    #[test]
+    fn log_histogram_percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = h.quantile(0, 100).unwrap();
+        for num in 1..=100u64 {
+            let q = h.quantile(num, 100).unwrap();
+            prop_assert!(q >= prev, "quantile not monotone at {num}%: {q} < {prev}");
+            prev = q;
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+        prop_assert!(h.p50().unwrap() >= lo && h.p99().unwrap() <= hi);
+        // The p100 estimate is the midpoint of max's bucket, whose width is
+        // at most max/32, so it lands within ~3% below the exact max.
+        let p100 = h.quantile(100, 100).unwrap();
+        prop_assert!(p100 <= hi && p100 + hi / 32 + 1 >= hi, "p100 {p100} vs max {hi}");
     }
 
     #[test]
