@@ -1,49 +1,58 @@
 //! Regenerates every table and figure of the paper's §5 plus the
-//! extensions, printing aligned tables and writing `results/*.csv`.
+//! extensions, printing aligned tables and writing CSVs + manifests into
+//! the workspace `results/` directory.
 //!
-//! Usage: `all_figures [seeds]` (default 8). Budget ~10–30 min at 8 seeds.
-use std::path::Path;
-use std::time::Instant;
+//! Usage: `all_figures [seeds] [--seeds N] [--jobs N] [--out DIR]
+//! [--quiet]` (default 8 seeds). Runs the whole registry through the
+//! `uasn-lab` worker pool; for checkpoint/resume use the `lab` bin.
+use std::process::ExitCode;
 
-fn main() {
-    let seeds = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(uasn_bench::DEFAULT_SEEDS);
+use uasn_bench::figures::REGISTRY;
+use uasn_bench::grid::{run_sweep, SweepOptions};
+use uasn_bench::{cli, experiments};
+
+fn main() -> ExitCode {
+    let args = match cli::parse_common(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("all_figures: {message}");
+            return ExitCode::from(2);
+        }
+    };
     println!("[T2] Simulation parameters (paper Table 2)");
-    for (k, v) in uasn_bench::experiments::table2() {
+    for (k, v) in experiments::table2() {
         println!("{k:>24}: {v}");
     }
     println!();
-    type Job = (&'static str, fn(u64) -> uasn_bench::ExperimentRun);
-    let jobs: Vec<Job> = vec![
-        ("F6", uasn_bench::experiments::fig6_throughput_vs_load),
-        ("F7", uasn_bench::experiments::fig7_throughput_vs_density),
-        ("F8", uasn_bench::experiments::fig8_execution_time),
-        ("F9a", uasn_bench::experiments::fig9a_power_vs_load),
-        ("F9b", uasn_bench::experiments::fig9b_power_vs_density),
-        ("F10a", uasn_bench::experiments::fig10a_overhead_vs_density),
-        ("F10b", uasn_bench::experiments::fig10b_overhead_vs_load),
-        ("F11", uasn_bench::experiments::fig11_efficiency),
-        ("X1", uasn_bench::experiments::x1_packet_size),
-        ("X2", uasn_bench::experiments::x2_mobility),
-        ("X3", uasn_bench::experiments::x3_mixed_sizes),
-        ("X4", uasn_bench::experiments::x4_hello_init),
-        ("X5", uasn_bench::experiments::x5_fairness),
-        ("X6", uasn_bench::experiments::x6_utilization),
-        ("X7", uasn_bench::experiments::x7_aggregation),
-        ("ABL", uasn_bench::experiments::ablation_extra),
-    ];
-    for (id, job) in jobs {
-        let start = Instant::now();
-        let run = job(seeds);
+    let specs: Vec<_> = REGISTRY.iter().collect();
+    let opts = SweepOptions {
+        seeds: args.seeds_or_default(),
+        workers: uasn_lab::pool::resolve_workers(args.jobs),
+        journal: None,
+        max_cells: None,
+        quiet: args.quiet,
+    };
+    let outcome = match run_sweep(&specs, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("all_figures: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (job, error) in &outcome.failed {
+        eprintln!("failed: {job}: {error}");
+    }
+    if !outcome.complete {
+        eprintln!("all_figures: incomplete sweep; nothing written");
+        return ExitCode::FAILURE;
+    }
+    let dir = args.out_dir();
+    for run in &outcome.runs {
         println!("{}", run.to_table());
-        println!(
-            "    ({id} done in {:.1} s)\n",
-            start.elapsed().as_secs_f64()
-        );
-        if let Err(e) = run.write(Path::new("results")) {
+        if let Err(e) = run.write(&dir) {
             eprintln!("warning: could not write results CSV/manifest: {e}");
         }
     }
+    eprintln!("{}", outcome.summary);
+    ExitCode::SUCCESS
 }

@@ -1,14 +1,8 @@
 //! Regenerates the paper's Figure 10b (overhead ratio vs offered load) — see DESIGN.md's experiment index.
-use std::path::Path;
+//!
+//! Usage: `fig10b_overhead_load [seeds] [--seeds N] [--jobs N] [--out DIR] [--quiet]`.
+use std::process::ExitCode;
 
-fn main() {
-    let seeds = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(uasn_bench::DEFAULT_SEEDS);
-    let run = uasn_bench::experiments::fig10b_overhead_vs_load(seeds);
-    print!("{}", run.to_table());
-    if let Err(e) = run.write(Path::new("results")) {
-        eprintln!("warning: could not write results CSV/manifest: {e}");
-    }
+fn main() -> ExitCode {
+    uasn_bench::cli::figure_main("F10b")
 }

@@ -6,8 +6,7 @@
 //!
 //! Usage: `guard_ablation [seeds]`
 
-use std::path::Path;
-
+use uasn_bench::runner::master_seed;
 use uasn_bench::{RunManifest, StatsAggregate};
 use uasn_ewmac::{EwMac, EwMacConfig};
 use uasn_net::config::SimConfig;
@@ -48,7 +47,7 @@ fn main() {
         for seed in 0..seeds {
             let mut cfg = SimConfig::paper_default()
                 .with_offered_load_kbps(1.0)
-                .with_seed(0xEA5E + seed * 7_919);
+                .with_seed(master_seed(seed));
             if drift > 0.0 {
                 cfg = cfg.with_mobility(drift);
             }
@@ -95,7 +94,7 @@ fn main() {
         stats,
     )
     .with_latency(delivery_hist, e2e_hist);
-    if let Err(e) = manifest.write(Path::new("results")) {
+    if let Err(e) = manifest.write(&uasn_bench::cli::results_dir()) {
         eprintln!("warning: could not write manifest: {e}");
     }
 }

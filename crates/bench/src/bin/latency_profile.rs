@@ -3,8 +3,7 @@
 //!
 //! Usage: `latency_profile [load_kbps] [seeds]`
 
-use std::path::Path;
-
+use uasn_bench::runner::master_seed;
 use uasn_bench::{run_once_full, Protocol, RunManifest, StatsAggregate};
 use uasn_net::config::SimConfig;
 use uasn_sim::hist::LogHistogram;
@@ -31,7 +30,7 @@ fn main() {
         let mut p95 = Replications::new();
         let mut delivered = Replications::new();
         for seed in 0..seeds {
-            let cfg = base_cfg.clone().with_seed(0xEA5E + seed * 7_919);
+            let cfg = base_cfg.clone().with_seed(master_seed(seed));
             let out = run_once_full(&cfg, p);
             stats.absorb(&out.stats);
             let report = out.report;
@@ -63,7 +62,7 @@ fn main() {
         stats,
     )
     .with_latency(delivery_hist, e2e_hist);
-    if let Err(e) = manifest.write(Path::new("results")) {
+    if let Err(e) = manifest.write(&uasn_bench::cli::results_dir()) {
         eprintln!("warning: could not write manifest: {e}");
     }
 }

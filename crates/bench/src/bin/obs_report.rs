@@ -20,7 +20,7 @@ use uasn_sim::trace::parse_jsonl;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
-        [] => list_manifests(Path::new("results")),
+        [] => list_manifests(&uasn_bench::cli::results_dir()),
         [flag, trace] if flag == "--trace" => summarize_trace(Path::new(trace)),
         [cmd, manifest] if cmd == "audit" => audit_manifest(Path::new(manifest)),
         [manifest] => print_manifest(Path::new(manifest)),

@@ -11,7 +11,7 @@
 
 use std::fs;
 use std::io::BufWriter;
-use std::path::Path;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use uasn_audit::journey::{reconstruct, PhaseHistograms};
@@ -27,8 +27,11 @@ const TRACE_NAME: &str = "TRC.trace.jsonl";
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xEA5E);
-    let out_dir = args.next().unwrap_or_else(|| "results".to_string());
-    let out_dir = Path::new(&out_dir);
+    let out_dir: PathBuf = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(uasn_bench::cli::results_dir);
+    let out_dir = out_dir.as_path();
 
     // Static 20-sensor column, 120 s: enough traffic for every frame kind
     // (including extras) while the Debug trace stays small.

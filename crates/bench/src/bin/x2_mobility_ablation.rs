@@ -1,14 +1,8 @@
 //! Regenerates extension X2 (mobility sensitivity) — see DESIGN.md's experiment index.
-use std::path::Path;
+//!
+//! Usage: `x2_mobility_ablation [seeds] [--seeds N] [--jobs N] [--out DIR] [--quiet]`.
+use std::process::ExitCode;
 
-fn main() {
-    let seeds = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(uasn_bench::DEFAULT_SEEDS);
-    let run = uasn_bench::experiments::x2_mobility(seeds);
-    print!("{}", run.to_table());
-    if let Err(e) = run.write(Path::new("results")) {
-        eprintln!("warning: could not write results CSV/manifest: {e}");
-    }
+fn main() -> ExitCode {
+    uasn_bench::cli::figure_main("X2")
 }

@@ -1,96 +1,8 @@
-//! Extension X8: two-ray surface reverberation — how much shallow-water
-//! multipath costs each protocol. Run on a **shallow** column (three layers
-//! within 450 m of the surface): in the deep Table-2 column the bounce
-//! paths exceed the communication range and echoes never arrive, which is
-//! itself the physically correct null result.
+//! Regenerates extension X8 (two-ray surface reverberation) — see DESIGN.md's experiment index.
 //!
-//! Usage: `x8_multipath [seeds]`
+//! Usage: `x8_multipath [seeds] [--seeds N] [--jobs N] [--out DIR] [--quiet]`.
+use std::process::ExitCode;
 
-use std::path::Path;
-
-use uasn_bench::{run_replicated, FigureResult, Protocol, RunManifest, Series, StatsAggregate};
-use uasn_net::config::SimConfig;
-use uasn_net::topology::Deployment;
-use uasn_phy::channel::AcousticChannel;
-
-fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(uasn_bench::DEFAULT_SEEDS);
-
-    let mut series: Vec<Series> = Protocol::PAPER_SET
-        .iter()
-        .map(|p| Series {
-            label: p.name().to_string(),
-            points: Vec::new(),
-        })
-        .collect();
-    let mut stats = StatsAggregate::default();
-    let mut delivery_hist = uasn_sim::hist::LogHistogram::new();
-    let mut e2e_hist = uasn_sim::hist::LogHistogram::new();
-    let mut base_cfg = None;
-    for (x, loss_db) in [
-        (0.0f64, None),
-        (10.0, Some(10.0)),
-        (6.0, Some(6.0)),
-        (3.0, Some(3.0)),
-    ] {
-        let mut cfg = SimConfig::paper_default()
-            .with_offered_load_kbps(0.8)
-            .with_mobility(1.0);
-        // Shallow coastal column: every node within 450 m of the surface.
-        cfg.deployment = Deployment::LayeredColumn {
-            extent_m: 2_500.0,
-            layers: 3,
-            layer_spacing_m: 150.0,
-        };
-        if let Some(db) = loss_db {
-            cfg.channel = AcousticChannel::paper_default().with_two_ray(db);
-        }
-        for (i, &p) in Protocol::PAPER_SET.iter().enumerate() {
-            let s = run_replicated(&cfg, p, seeds);
-            series[i].points.push((
-                x,
-                s.throughput_kbps.mean(),
-                s.throughput_kbps.ci95_halfwidth(),
-            ));
-            stats.merge(&s.stats);
-            delivery_hist.merge(&s.delivery_hist);
-            e2e_hist.merge(&s.e2e_hist);
-        }
-        base_cfg.get_or_insert(cfg);
-    }
-    for s in &mut series {
-        s.points
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    }
-    let fig = FigureResult {
-        id: "X8",
-        title: "Throughput under two-ray surface reverberation, load 0.8",
-        x_label: "bounce loss dB (0 = multipath off)",
-        y_label: "throughput (kbps, Eq 3)",
-        series,
-    };
-    print!("{}", fig.to_table());
-    println!("\n(Lower bounce loss = stronger echoes = more reverberation;");
-    println!(" x = 0 encodes the multipath-free baseline.)");
-    let manifest = RunManifest::new(
-        fig.id,
-        fig.title,
-        seeds,
-        Protocol::PAPER_SET
-            .iter()
-            .map(|p| p.name().to_string())
-            .collect(),
-        &base_cfg.expect("at least one sweep point"),
-        stats,
-    )
-    .with_latency(delivery_hist, e2e_hist);
-    if let Err(e) = fig
-        .write_csv(Path::new("results"))
-        .and_then(|()| manifest.write(Path::new("results")).map(|_| ()))
-    {
-        eprintln!("warning: could not write results CSV/manifest: {e}");
-    }
+fn main() -> ExitCode {
+    uasn_bench::cli::figure_main("X8")
 }

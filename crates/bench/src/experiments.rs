@@ -1,6 +1,13 @@
 //! The experiment definitions: one function per table/figure of §5 plus
 //! the extensions (DESIGN.md experiment index).
 //!
+//! Since the `uasn-lab` orchestration layer landed, each experiment is
+//! *declared* in [`crate::figures::REGISTRY`] and the functions here are
+//! thin wrappers that run a registry entry sequentially ([`run_spec`]).
+//! Aggregation lives in [`assemble`], which both the sequential path and
+//! the parallel grid path share — so a figure regenerated cell-by-cell on
+//! N workers is byte-identical to one produced here.
+//!
 //! All §5 experiments run with the paper's location models enabled (each
 //! node randomly static / horizontal drift / vertical drift, ≤1 m/s —
 //! §5: "the location models include non-moved, moved horizontal, or moved
@@ -13,8 +20,8 @@ use std::io;
 use std::path::Path;
 
 use uasn_net::config::SimConfig;
-use uasn_net::topology::Deployment;
 
+use crate::figures::{by_id, FigureSpec};
 use crate::manifest::{RunManifest, StatsAggregate};
 use crate::protocols::Protocol;
 use crate::report::{FigureResult, Series};
@@ -55,22 +62,21 @@ pub fn paper_base() -> SimConfig {
     SimConfig::paper_default().with_mobility(PAPER_DRIFT_MS)
 }
 
-#[allow(clippy::too_many_arguments)] // an experiment IS nine named knobs
-fn sweep<F>(
-    id: &'static str,
-    title: &'static str,
-    x_label: &'static str,
-    y_label: &'static str,
-    xs: &[f64],
-    protocols: &[Protocol],
+/// Assembles an [`ExperimentRun`] from per-cell summaries, walking the
+/// spec's grid in canonical `(point, protocol)` order.
+///
+/// `summarise(point_index, protocol)` supplies each cell's [`Summary`] —
+/// the sequential path computes it live, the `uasn-lab` grid path re-folds
+/// journaled cells. Everything downstream of the summaries (series
+/// extraction, stat merging, histogram merging, normalisation, manifest
+/// layout) happens *here*, once, so the two paths cannot drift apart.
+pub(crate) fn assemble(
+    spec: &FigureSpec,
     seeds: u64,
-    configure: impl Fn(f64) -> SimConfig,
-    extract: F,
-) -> ExperimentRun
-where
-    F: Fn(&Summary) -> (f64, f64),
-{
-    let mut series: Vec<Series> = protocols
+    mut summarise: impl FnMut(usize, Protocol) -> Summary,
+) -> ExperimentRun {
+    let mut series: Vec<Series> = spec
+        .protocols
         .iter()
         .map(|p| Series {
             label: p.name().to_string(),
@@ -80,11 +86,10 @@ where
     let mut stats = StatsAggregate::default();
     let mut delivery_hist = uasn_sim::hist::LogHistogram::new();
     let mut e2e_hist = uasn_sim::hist::LogHistogram::new();
-    for &x in xs {
-        let cfg = configure(x);
-        for (p_idx, &p) in protocols.iter().enumerate() {
-            let summary = run_replicated(&cfg, p, seeds);
-            let (mean, ci) = extract(&summary);
+    for (x_idx, &x) in spec.xs.iter().enumerate() {
+        for (p_idx, &p) in spec.protocols.iter().enumerate() {
+            let summary = summarise(x_idx, p);
+            let (mean, ci) = spec.metric.extract(&summary);
             series[p_idx].points.push((x, mean, ci));
             stats.merge(&summary.stats);
             delivery_hist.merge(&summary.delivery_hist);
@@ -92,24 +97,41 @@ where
         }
     }
     let manifest = RunManifest::new(
-        id,
-        title,
+        spec.id,
+        spec.title,
         seeds,
-        protocols.iter().map(|p| p.name().to_string()).collect(),
-        &configure(xs[0]),
+        spec.protocols
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
+        &(spec.configure)(spec.xs[0]),
         stats,
     )
     .with_latency(delivery_hist, e2e_hist);
-    ExperimentRun {
-        figure: FigureResult {
-            id,
-            title,
-            x_label,
-            y_label,
-            series,
-        },
-        manifest,
+    let mut figure = FigureResult {
+        id: spec.id,
+        title: spec.title,
+        x_label: spec.x_label,
+        y_label: spec.y_label,
+        series,
+    };
+    if spec.normalized {
+        figure = normalized_against_sfama(figure);
     }
+    ExperimentRun { figure, manifest }
+}
+
+/// Runs a registry entry sequentially: every cell in canonical order on
+/// the calling thread. This is the single-threaded reference the parallel
+/// grid is tested against.
+pub fn run_spec(spec: &FigureSpec, seeds: u64) -> ExperimentRun {
+    assemble(spec, seeds, |x_idx, p| {
+        run_replicated(&(spec.configure)(spec.xs[x_idx]), p, seeds)
+    })
+}
+
+fn registry_run(id: &str, seeds: u64) -> ExperimentRun {
+    run_spec(by_id(id).expect("registered figure id"), seeds)
 }
 
 /// The offered-load x-axis used by Figures 6 and 11 (extended past the
@@ -118,309 +140,101 @@ pub const LOAD_AXIS: [f64; 9] = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.0];
 
 /// Figure 6: throughput vs offered load, 60 sensors.
 pub fn fig6_throughput_vs_load(seeds: u64) -> ExperimentRun {
-    sweep(
-        "F6",
-        "Throughput at different offered loads (paper Fig. 6)",
-        "load kbps",
-        "throughput (kbps, Eq 3)",
-        &LOAD_AXIS,
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load),
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("F6", seeds)
 }
 
 /// Figure 7: throughput vs node count at high load; density realised by
 /// packing more layers into the fixed column volume.
 pub fn fig7_throughput_vs_density(seeds: u64) -> ExperimentRun {
-    sweep(
-        "F7",
-        "Throughput at different network sensor densities (paper Fig. 7)",
-        "sensors",
-        "throughput (kbps, Eq 3)",
-        &[60.0, 80.0, 100.0, 120.0, 140.0],
-        &Protocol::PAPER_SET,
-        seeds,
-        |n| {
-            let n = n as u32;
-            let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(1.2);
-            cfg.deployment = Deployment::paper_column_for(n);
-            cfg
-        },
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("F7", seeds)
 }
 
 /// Figure 8: execution time (batch completion) vs offered load.
 pub fn fig8_execution_time(seeds: u64) -> ExperimentRun {
-    sweep(
-        "F8",
-        "Relationship between execution time and offered load (paper Fig. 8)",
-        "load kbps",
-        "execution time (s)",
-        &[0.05, 0.1, 0.2, 0.4, 0.6, 0.8],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_batch_load_kbps(load),
-        |s| {
-            (
-                s.execution_time_s.mean(),
-                s.execution_time_s.ci95_halfwidth(),
-            )
-        },
-    )
+    registry_run("F8", seeds)
 }
 
 /// Figure 9a: energy per delivered information vs offered load, 80 sensors
 /// (§5.2 compares consumption "when they transmit varied amounts of
 /// information").
 pub fn fig9a_power_vs_load(seeds: u64) -> ExperimentRun {
-    sweep(
-        "F9a",
-        "Power consumption vs offered load, 80 sensors (paper Fig. 9a)",
-        "load kbps",
-        "energy per delivered kbit (J)",
-        &[0.1, 0.2, 0.3, 0.4, 0.6, 0.8],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_sensors(80).with_offered_load_kbps(load),
-        |s| {
-            let epk = |sum: &Summary| {
-                // energy/kbit aggregated per replication in the runner
-                (
-                    sum.energy_per_kbit.mean(),
-                    sum.energy_per_kbit.ci95_halfwidth(),
-                )
-            };
-            epk(s)
-        },
-    )
+    registry_run("F9a", seeds)
 }
 
 /// Figure 9b: energy per delivered information vs node count at load 0.3.
 pub fn fig9b_power_vs_density(seeds: u64) -> ExperimentRun {
-    sweep(
-        "F9b",
-        "Power consumption vs number of sensors, load 0.3 (paper Fig. 9b)",
-        "sensors",
-        "energy per delivered kbit (J)",
-        &[60.0, 80.0, 100.0, 120.0],
-        &Protocol::PAPER_SET,
-        seeds,
-        |n| {
-            let n = n as u32;
-            let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(0.3);
-            cfg.deployment = Deployment::paper_column_for(n);
-            cfg
-        },
-        |s| (s.energy_per_kbit.mean(), s.energy_per_kbit.ci95_halfwidth()),
-    )
+    registry_run("F9b", seeds)
 }
 
 /// Figure 10a: overhead ratio vs node count at load 0.5 (S-FAMA = 1).
 pub fn fig10a_overhead_vs_density(seeds: u64) -> ExperimentRun {
-    normalized_run(sweep(
-        "F10a",
-        "Overhead vs number of sensors, load 0.5 (paper Fig. 10a)",
-        "sensors",
-        "overhead ratio (S-FAMA = 1)",
-        &[60.0, 80.0, 100.0, 120.0, 140.0],
-        &Protocol::PAPER_SET,
-        seeds,
-        |n| {
-            let n = n as u32;
-            let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(0.5);
-            cfg.deployment = Deployment::paper_column_for(n);
-            cfg
-        },
-        |s| (s.overhead_bits.mean(), s.overhead_bits.ci95_halfwidth()),
-    ))
+    registry_run("F10a", seeds)
 }
 
 /// Figure 10b: overhead ratio vs offered load among 200 sensors.
 pub fn fig10b_overhead_vs_load(seeds: u64) -> ExperimentRun {
-    normalized_run(sweep(
-        "F10b",
-        "Overhead ratio vs offered load, 200 sensors (paper Fig. 10b)",
-        "load kbps",
-        "overhead ratio (S-FAMA = 1)",
-        &[0.4, 0.6, 0.8],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| {
-            let mut cfg = paper_base().with_sensors(200).with_offered_load_kbps(load);
-            cfg.deployment = Deployment::paper_column_for(200);
-            cfg
-        },
-        |s| (s.overhead_bits.mean(), s.overhead_bits.ci95_halfwidth()),
-    ))
+    registry_run("F10b", seeds)
 }
 
 /// Figure 11: efficiency index (Eq 4, throughput per unit power) vs load,
 /// normalized so S-FAMA = 1.
 pub fn fig11_efficiency(seeds: u64) -> ExperimentRun {
-    normalized_run(sweep(
-        "F11",
-        "Efficiency indexes for different offered loads (paper Fig. 11)",
-        "load kbps",
-        "efficiency index (S-FAMA = 1)",
-        &LOAD_AXIS,
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load),
-        |s| (s.efficiency_raw.mean(), s.efficiency_raw.ci95_halfwidth()),
-    ))
+    registry_run("F11", seeds)
 }
 
 /// Extension X1: throughput vs data packet size (Table 2's 1024–4096-bit
 /// sweep; §2's large-packet argument).
 pub fn x1_packet_size(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X1",
-        "Throughput vs data packet size, load 0.8 (Table 2 sweep)",
-        "data bits",
-        "throughput (kbps, Eq 3)",
-        &[1_024.0, 2_048.0, 3_072.0, 4_096.0],
-        &Protocol::PAPER_SET,
-        seeds,
-        |bits| {
-            paper_base()
-                .with_offered_load_kbps(0.8)
-                .with_data_bits(bits as u32)
-        },
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("X1", seeds)
 }
 
 /// Extension X2: EW-MAC's mobility sensitivity (§5's closing caveat: the
 /// protocol assumes stable pairwise delays).
 pub fn x2_mobility(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X2",
-        "Throughput vs drift speed, load 0.8 (§5 closing caveat)",
-        "drift m/s",
-        "throughput (kbps, Eq 3)",
-        &[0.0, 0.5, 1.0, 2.0, 3.0, 5.0],
-        &Protocol::PAPER_SET,
-        seeds,
-        |speed| {
-            let cfg = SimConfig::paper_default().with_offered_load_kbps(0.8);
-            if speed > 0.0 {
-                cfg.with_mobility(speed)
-            } else {
-                cfg
-            }
-        },
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("X2", seeds)
 }
 
 /// Extension X3: mixed packet sizes — §4.3's "data packets are not bound
 /// by a fixed data size", exercised as a uniform 512–4096-bit draw per SDU
 /// against the fixed-size default at the same mean offered bits.
 pub fn x3_mixed_sizes(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X3",
-        "Throughput with mixed vs fixed packet sizes",
-        "load kbps",
-        "throughput (kbps, Eq 3)",
-        &[0.4, 0.8, 1.2],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| {
-            paper_base()
-                .with_offered_load_kbps(load)
-                .with_data_bits_range(512, 4_096)
-        },
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("X3", seeds)
 }
 
 /// Extension X4: in-simulation Hello phase instead of oracle neighbour
 /// installation (§4.3) — the cost of *learning* the delays, which mainly
 /// disarms CS-MAC's two-hop-dependent stealing.
 pub fn x4_hello_init(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X4",
-        "Throughput with in-simulation Hello phase (no oracle tables)",
-        "load kbps",
-        "throughput (kbps, Eq 3)",
-        &[0.4, 0.8, 1.2],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load).with_hello_init(),
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("X4", seeds)
 }
 
 /// Extension X5: source-level fairness (Jain index over per-origin
 /// delivered bits) — §3.1's stated purpose for the rp priority value.
 pub fn x5_fairness(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X5",
-        "Source fairness (Jain) vs offered load",
-        "load kbps",
-        "Jain fairness index",
-        &[0.2, 0.6, 1.0, 1.6],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load),
-        |s| (s.fairness.mean(), s.fairness.ci95_halfwidth()),
-    )
+    registry_run("X5", seeds)
 }
 
 /// Extension X6: bandwidth utilization — the paper's title metric: the
 /// share of the window a modem spends carrying signal instead of waiting.
 pub fn x6_utilization(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X6",
-        "Channel (bandwidth) utilization vs offered load",
-        "load kbps",
-        "mean modem busy fraction",
-        &[0.2, 0.6, 1.0, 1.6, 2.0],
-        &Protocol::PAPER_SET,
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load),
-        |s| (s.utilization.mean(), s.utilization.ci95_halfwidth()),
-    )
+    registry_run("X6", seeds)
 }
 
 /// Extension X7: SDU aggregation — §2's collect-then-transmit argument made
 /// dynamic: bundling queued same-next-hop SDUs into one Eq-5 data frame.
 pub fn x7_aggregation(seeds: u64) -> ExperimentRun {
-    sweep(
-        "X7",
-        "EW-MAC SDU aggregation (collect-then-transmit)",
-        "load kbps",
-        "throughput (kbps, Eq 3)",
-        &[0.4, 0.8, 1.2, 2.0],
-        &[Protocol::SFama, Protocol::EwMac, Protocol::EwMacAggregated],
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load),
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
+    registry_run("X7", seeds)
+}
+
+/// Extension X8: two-ray surface reverberation on a shallow coastal
+/// column — how much shallow-water multipath costs each protocol.
+pub fn x8_multipath(seeds: u64) -> ExperimentRun {
+    registry_run("X8", seeds)
 }
 
 /// Ablation: what the extra-communication machinery buys EW-MAC.
 pub fn ablation_extra(seeds: u64) -> ExperimentRun {
-    sweep(
-        "ABL",
-        "EW-MAC extra-communication ablation",
-        "load kbps",
-        "throughput (kbps, Eq 3)",
-        &[0.2, 0.4, 0.8, 1.2, 1.6, 2.0],
-        &[Protocol::SFama, Protocol::EwMacNoExtra, Protocol::EwMac],
-        seeds,
-        |load| paper_base().with_offered_load_kbps(load),
-        |s| (s.throughput_kbps.mean(), s.throughput_kbps.ci95_halfwidth()),
-    )
-}
-
-/// [`normalized_against_sfama`] lifted over an [`ExperimentRun`].
-fn normalized_run(mut run: ExperimentRun) -> ExperimentRun {
-    run.figure = normalized_against_sfama(run.figure);
-    run
+    registry_run("ABL", seeds)
 }
 
 /// Divides every series by the S-FAMA series pointwise (the paper's ratio
@@ -484,6 +298,7 @@ pub fn table2() -> Vec<(&'static str, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::Metric;
     use uasn_sim::time::SimDuration;
 
     #[test]
@@ -527,25 +342,30 @@ mod tests {
         assert_eq!(n.series_named("EW-MAC").unwrap().points[0].1, 2.5);
     }
 
+    fn tiny_configure(load: f64) -> SimConfig {
+        SimConfig::paper_default()
+            .with_sensors(8)
+            .with_offered_load_kbps(load)
+            .with_sim_time(SimDuration::from_secs(30))
+    }
+
+    const TINY_PROTOCOLS: [Protocol; 2] = [Protocol::SFama, Protocol::EwMac];
+
     #[test]
-    fn tiny_sweep_produces_all_series() {
+    fn tiny_spec_run_produces_all_series() {
         // 2 protocols x 1 point x 1 seed: fast smoke of the sweep plumbing.
-        let run = sweep(
-            "T",
-            "tiny",
-            "x",
-            "y",
-            &[0.3],
-            &[Protocol::SFama, Protocol::EwMac],
-            1,
-            |load| {
-                SimConfig::paper_default()
-                    .with_sensors(8)
-                    .with_offered_load_kbps(load)
-                    .with_sim_time(SimDuration::from_secs(30))
-            },
-            |s| (s.throughput_kbps.mean(), 0.0),
-        );
+        let spec = FigureSpec {
+            id: "T",
+            title: "tiny",
+            x_label: "x",
+            y_label: "y",
+            xs: &[0.3],
+            protocols: &TINY_PROTOCOLS,
+            configure: tiny_configure,
+            metric: Metric::ThroughputKbps,
+            normalized: false,
+        };
+        let run = run_spec(&spec, 1);
         assert_eq!(run.figure.series.len(), 2);
         assert_eq!(run.figure.series[0].points.len(), 1);
         // The manifest records the roster, the seeds, and every run's stats.

@@ -1,0 +1,469 @@
+//! The declarative figure registry: every experiment as data.
+//!
+//! Each §5 figure and extension is a [`FigureSpec`] — axis, roster,
+//! configuration function, metric, normalisation flag — instead of a
+//! hand-written sweep function. The registry is what lets the `uasn-lab`
+//! orchestration layer expand *any* subset of experiments into a flat job
+//! table (`figure × point × protocol × seed`) with stable IDs, run the
+//! cells in any order on any number of workers, and still aggregate
+//! byte-identical artifacts: the spec, not the schedule, defines the
+//! result.
+
+use uasn_net::config::SimConfig;
+use uasn_net::topology::Deployment;
+use uasn_phy::channel::AcousticChannel;
+
+use crate::experiments::{paper_base, LOAD_AXIS};
+use crate::protocols::Protocol;
+use crate::runner::Summary;
+
+/// Which [`Summary`] axis a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Eq-3 throughput, kbps.
+    ThroughputKbps,
+    /// Joules per delivered kbit (§5.2's comparison basis).
+    EnergyPerKbit,
+    /// Batch completion ("execution") time, seconds.
+    ExecutionTimeS,
+    /// §5.3 overhead bits.
+    OverheadBits,
+    /// Eq-4 raw efficiency (throughput per mW).
+    EfficiencyRaw,
+    /// Jain's fairness index over per-origin deliveries.
+    Fairness,
+    /// Mean channel (bandwidth) utilization.
+    Utilization,
+}
+
+impl Metric {
+    /// The `(mean, ci95)` pair this metric reads off a cell summary.
+    pub fn extract(self, s: &Summary) -> (f64, f64) {
+        let r = match self {
+            Metric::ThroughputKbps => &s.throughput_kbps,
+            Metric::EnergyPerKbit => &s.energy_per_kbit,
+            Metric::ExecutionTimeS => &s.execution_time_s,
+            Metric::OverheadBits => &s.overhead_bits,
+            Metric::EfficiencyRaw => &s.efficiency_raw,
+            Metric::Fairness => &s.fairness,
+            Metric::Utilization => &s.utilization,
+        };
+        (r.mean(), r.ci95_halfwidth())
+    }
+}
+
+/// One experiment, declaratively: everything a sweep needs to expand,
+/// run, and aggregate it. (No `PartialEq`: comparing `configure` fn
+/// pointers is meaningless — specs are identified by `id`.)
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Experiment ID from DESIGN.md ("F6", "X1", "ABL", …).
+    pub id: &'static str,
+    /// Human title (figure caption).
+    pub title: &'static str,
+    /// x-axis label.
+    pub x_label: &'static str,
+    /// y-axis label.
+    pub y_label: &'static str,
+    /// The parameter axis, in plot order.
+    pub xs: &'static [f64],
+    /// Protocol roster, in legend order.
+    pub protocols: &'static [Protocol],
+    /// Maps an axis value to the cell's configuration. Must be pure: the
+    /// job table's determinism rests on `configure(x)` always producing
+    /// the same config.
+    pub configure: fn(f64) -> SimConfig,
+    /// The summary axis plotted.
+    pub metric: Metric,
+    /// Whether every series is divided by S-FAMA's pointwise (the paper's
+    /// ratio presentations, Figs 10 and 11).
+    pub normalized: bool,
+}
+
+impl FigureSpec {
+    /// Cells in this figure: `points × protocols × seeds`.
+    pub fn cells(&self, seeds: u64) -> usize {
+        self.xs.len() * self.protocols.len() * seeds as usize
+    }
+}
+
+const X7_SET: [Protocol; 3] = [Protocol::SFama, Protocol::EwMac, Protocol::EwMacAggregated];
+const ABL_SET: [Protocol; 3] = [Protocol::SFama, Protocol::EwMacNoExtra, Protocol::EwMac];
+
+fn cfg_load(load: f64) -> SimConfig {
+    paper_base().with_offered_load_kbps(load)
+}
+
+fn cfg_density(n: f64) -> SimConfig {
+    let n = n as u32;
+    let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(1.2);
+    cfg.deployment = Deployment::paper_column_for(n);
+    cfg
+}
+
+fn cfg_batch(load: f64) -> SimConfig {
+    paper_base().with_batch_load_kbps(load)
+}
+
+fn cfg_load_80(load: f64) -> SimConfig {
+    paper_base().with_sensors(80).with_offered_load_kbps(load)
+}
+
+fn cfg_density_03(n: f64) -> SimConfig {
+    let n = n as u32;
+    let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(0.3);
+    cfg.deployment = Deployment::paper_column_for(n);
+    cfg
+}
+
+fn cfg_density_05(n: f64) -> SimConfig {
+    let n = n as u32;
+    let mut cfg = paper_base().with_sensors(n).with_offered_load_kbps(0.5);
+    cfg.deployment = Deployment::paper_column_for(n);
+    cfg
+}
+
+fn cfg_load_200(load: f64) -> SimConfig {
+    let mut cfg = paper_base().with_sensors(200).with_offered_load_kbps(load);
+    cfg.deployment = Deployment::paper_column_for(200);
+    cfg
+}
+
+fn cfg_data_bits(bits: f64) -> SimConfig {
+    paper_base()
+        .with_offered_load_kbps(0.8)
+        .with_data_bits(bits as u32)
+}
+
+fn cfg_drift(speed: f64) -> SimConfig {
+    let cfg = SimConfig::paper_default().with_offered_load_kbps(0.8);
+    if speed > 0.0 {
+        cfg.with_mobility(speed)
+    } else {
+        cfg
+    }
+}
+
+fn cfg_mixed_sizes(load: f64) -> SimConfig {
+    paper_base()
+        .with_offered_load_kbps(load)
+        .with_data_bits_range(512, 4_096)
+}
+
+fn cfg_hello(load: f64) -> SimConfig {
+    paper_base().with_offered_load_kbps(load).with_hello_init()
+}
+
+/// X8's shallow coastal column: three layers within 450 m of the surface,
+/// where two-ray bounce paths stay inside the communication range. `x`
+/// encodes the bounce loss in dB; `x == 0` is the multipath-free baseline.
+fn cfg_two_ray(loss_db: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default()
+        .with_offered_load_kbps(0.8)
+        .with_mobility(1.0);
+    cfg.deployment = Deployment::LayeredColumn {
+        extent_m: 2_500.0,
+        layers: 3,
+        layer_spacing_m: 150.0,
+    };
+    if loss_db > 0.0 {
+        cfg.channel = AcousticChannel::paper_default().with_two_ray(loss_db);
+    }
+    cfg
+}
+
+/// Every registered experiment, in DESIGN.md index order.
+pub static REGISTRY: &[FigureSpec] = &[
+    FigureSpec {
+        id: "F6",
+        title: "Throughput at different offered loads (paper Fig. 6)",
+        x_label: "load kbps",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &LOAD_AXIS,
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_load,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "F7",
+        title: "Throughput at different network sensor densities (paper Fig. 7)",
+        x_label: "sensors",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[60.0, 80.0, 100.0, 120.0, 140.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_density,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "F8",
+        title: "Relationship between execution time and offered load (paper Fig. 8)",
+        x_label: "load kbps",
+        y_label: "execution time (s)",
+        xs: &[0.05, 0.1, 0.2, 0.4, 0.6, 0.8],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_batch,
+        metric: Metric::ExecutionTimeS,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "F9a",
+        title: "Power consumption vs offered load, 80 sensors (paper Fig. 9a)",
+        x_label: "load kbps",
+        y_label: "energy per delivered kbit (J)",
+        xs: &[0.1, 0.2, 0.3, 0.4, 0.6, 0.8],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_load_80,
+        metric: Metric::EnergyPerKbit,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "F9b",
+        title: "Power consumption vs number of sensors, load 0.3 (paper Fig. 9b)",
+        x_label: "sensors",
+        y_label: "energy per delivered kbit (J)",
+        xs: &[60.0, 80.0, 100.0, 120.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_density_03,
+        metric: Metric::EnergyPerKbit,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "F10a",
+        title: "Overhead vs number of sensors, load 0.5 (paper Fig. 10a)",
+        x_label: "sensors",
+        y_label: "overhead ratio (S-FAMA = 1)",
+        xs: &[60.0, 80.0, 100.0, 120.0, 140.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_density_05,
+        metric: Metric::OverheadBits,
+        normalized: true,
+    },
+    FigureSpec {
+        id: "F10b",
+        title: "Overhead ratio vs offered load, 200 sensors (paper Fig. 10b)",
+        x_label: "load kbps",
+        y_label: "overhead ratio (S-FAMA = 1)",
+        xs: &[0.4, 0.6, 0.8],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_load_200,
+        metric: Metric::OverheadBits,
+        normalized: true,
+    },
+    FigureSpec {
+        id: "F11",
+        title: "Efficiency indexes for different offered loads (paper Fig. 11)",
+        x_label: "load kbps",
+        y_label: "efficiency index (S-FAMA = 1)",
+        xs: &LOAD_AXIS,
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_load,
+        metric: Metric::EfficiencyRaw,
+        normalized: true,
+    },
+    FigureSpec {
+        id: "X1",
+        title: "Throughput vs data packet size, load 0.8 (Table 2 sweep)",
+        x_label: "data bits",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[1_024.0, 2_048.0, 3_072.0, 4_096.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_data_bits,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X2",
+        title: "Throughput vs drift speed, load 0.8 (§5 closing caveat)",
+        x_label: "drift m/s",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.0, 0.5, 1.0, 2.0, 3.0, 5.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_drift,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X3",
+        title: "Throughput with mixed vs fixed packet sizes",
+        x_label: "load kbps",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.4, 0.8, 1.2],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_mixed_sizes,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X4",
+        title: "Throughput with in-simulation Hello phase (no oracle tables)",
+        x_label: "load kbps",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.4, 0.8, 1.2],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_hello,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X5",
+        title: "Source fairness (Jain) vs offered load",
+        x_label: "load kbps",
+        y_label: "Jain fairness index",
+        xs: &[0.2, 0.6, 1.0, 1.6],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_load,
+        metric: Metric::Fairness,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X6",
+        title: "Channel (bandwidth) utilization vs offered load",
+        x_label: "load kbps",
+        y_label: "mean modem busy fraction",
+        xs: &[0.2, 0.6, 1.0, 1.6, 2.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_load,
+        metric: Metric::Utilization,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X7",
+        title: "EW-MAC SDU aggregation (collect-then-transmit)",
+        x_label: "load kbps",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.4, 0.8, 1.2, 2.0],
+        protocols: &X7_SET,
+        configure: cfg_load,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "X8",
+        title: "Throughput under two-ray surface reverberation, load 0.8",
+        x_label: "bounce loss dB (0 = multipath off)",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.0, 3.0, 6.0, 10.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_two_ray,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "ABL",
+        title: "EW-MAC extra-communication ablation",
+        x_label: "load kbps",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.2, 0.4, 0.8, 1.2, 1.6, 2.0],
+        protocols: &ABL_SET,
+        configure: cfg_load,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
+];
+
+/// Looks a spec up by its canonical ID, case-insensitively.
+pub fn by_id(id: &str) -> Option<&'static FigureSpec> {
+    REGISTRY.iter().find(|s| s.id.eq_ignore_ascii_case(id))
+}
+
+/// Parses a comma-separated figure list (`"fig6,fig9a"`, `"X2,abl"`,
+/// `"all"`) into registry entries, in registry order with duplicates
+/// removed.
+///
+/// Accepted spellings per figure: the canonical ID (`F6`, `X8`, `ABL`,
+/// any case), `fig<suffix>` for the paper figures (`fig6`, `fig10a`), and
+/// `ablation` for `ABL`.
+///
+/// # Errors
+///
+/// Returns the unknown token and the list of valid IDs.
+pub fn parse_figures(input: &str) -> Result<Vec<&'static FigureSpec>, String> {
+    let tokens: Vec<&str> = input
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.is_empty() {
+        return Err("empty figure list".to_string());
+    }
+    if tokens.iter().any(|t| t.eq_ignore_ascii_case("all")) {
+        return Ok(REGISTRY.iter().collect());
+    }
+    let mut wanted = vec![false; REGISTRY.len()];
+    for token in tokens {
+        let lower = token.to_ascii_lowercase();
+        let hit = REGISTRY.iter().position(|s| {
+            let id_lower = s.id.to_ascii_lowercase();
+            lower == id_lower
+                || (s.id.starts_with('F') && lower == format!("fig{}", &id_lower[1..]))
+                || (s.id == "ABL" && lower == "ablation")
+        });
+        match hit {
+            Some(i) => wanted[i] = true,
+            None => {
+                let ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
+                return Err(format!(
+                    "unknown figure {token:?}; valid: {} (or \"all\")",
+                    ids.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(REGISTRY
+        .iter()
+        .zip(&wanted)
+        .filter(|(_, &w)| w)
+        .map(|(s, _)| s)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_nonempty() {
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
+        assert!(ids.len() >= 17);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len());
+        for spec in REGISTRY {
+            assert!(!spec.xs.is_empty(), "{} has an axis", spec.id);
+            assert!(!spec.protocols.is_empty(), "{} has a roster", spec.id);
+        }
+    }
+
+    #[test]
+    fn every_registered_configuration_is_valid() {
+        for spec in REGISTRY {
+            for &x in spec.xs {
+                (spec.configure)(x)
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} x={x}: {e}", spec.id));
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_and_aliases() {
+        assert_eq!(by_id("f6").unwrap().id, "F6");
+        assert_eq!(by_id("F10a").unwrap().id, "F10a");
+        assert!(by_id("F99").is_none());
+        let figs = parse_figures("fig6,X2,ablation").expect("parse");
+        let ids: Vec<&str> = figs.iter().map(|s| s.id).collect();
+        assert_eq!(ids, ["F6", "X2", "ABL"], "registry order, aliases resolved");
+        assert_eq!(parse_figures("all").expect("all").len(), REGISTRY.len());
+        assert!(parse_figures("fig6,nope").is_err());
+        // Duplicates collapse.
+        assert_eq!(parse_figures("F6,fig6").expect("dup").len(), 1);
+    }
+
+    #[test]
+    fn cells_counts_the_full_grid() {
+        let f6 = by_id("F6").unwrap();
+        assert_eq!(f6.cells(8), f6.xs.len() * f6.protocols.len() * 8);
+    }
+}

@@ -1,0 +1,448 @@
+//! Sweep orchestration: registry specs → flat job table → worker pool →
+//! journal → byte-identical artifacts.
+//!
+//! This is the bench-side half of the `uasn-lab` subsystem. The lab crate
+//! owns the mechanics (job identity, the thread pool, the JSONL journal,
+//! progress reporting); this module owns the experiment semantics:
+//! expanding [`FigureSpec`]s into cells, running each cell through
+//! [`crate::cell::run_cell`], and re-folding the results in canonical
+//! table order so the output of a sweep is independent of worker count,
+//! scheduling order, and how many times it was interrupted and resumed.
+//!
+//! Determinism argument, in one paragraph: a cell's randomness depends
+//! only on `(configure(x), protocol, seed)` — the pool hands a worker
+//! nothing but a table index. Cell results cross the journal as an exact
+//! JSON round trip ([`CellOutput`]'s invariant). Aggregation never sees
+//! completion order: it walks the job table in `(figure, point, protocol,
+//! seed)` order and folds with the same arithmetic as the sequential
+//! reference path ([`crate::experiments::assemble`] over
+//! [`crate::cell::fold_cells`]). Hence `--jobs 1`, `--jobs 8`, and any
+//! kill/resume split produce bit-identical figures.
+
+use std::io;
+use std::ops::ControlFlow;
+use std::path::{Path, PathBuf};
+
+use uasn_lab::journal::{JournalError, JournalWriter, LoadedJournal};
+use uasn_lab::pool::{self, Outcome};
+use uasn_lab::progress::Progress;
+use uasn_lab::spec::{JobKey, JobTable, SweepSpec};
+
+use crate::cell::{self, CellOutput};
+use crate::experiments::{assemble, ExperimentRun};
+use crate::figures::{by_id, FigureSpec};
+use crate::protocols::Protocol;
+use crate::runner::DEFAULT_SEEDS;
+
+/// One expanded cell: where a job-table index points back into the
+/// experiment registry.
+#[derive(Debug, Clone, Copy)]
+pub struct CellRef {
+    /// The figure this cell belongs to.
+    pub spec: &'static FigureSpec,
+    /// Index into the figure's x-axis.
+    pub point: usize,
+    /// Protocol run in this cell.
+    pub protocol: Protocol,
+    /// Replication index (maps to a master seed via the seed scheme).
+    pub seed: u64,
+}
+
+/// Expands figure specs into the flat, canonically-ordered job table and
+/// the parallel `CellRef` lookup the pool's run closure uses.
+pub fn expand(specs: &[&'static FigureSpec], seeds: u64) -> (JobTable, Vec<CellRef>) {
+    let mut jobs = Vec::new();
+    let mut refs = Vec::new();
+    for &spec in specs {
+        for (point, _) in spec.xs.iter().enumerate() {
+            for &protocol in spec.protocols {
+                for seed in 0..seeds {
+                    jobs.push(JobKey {
+                        figure: spec.id.to_string(),
+                        point,
+                        protocol: protocol.name().to_string(),
+                        seed,
+                    });
+                    refs.push(CellRef {
+                        spec,
+                        point,
+                        protocol,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    (JobTable { jobs }, refs)
+}
+
+/// How to run a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Replications per cell.
+    pub seeds: u64,
+    /// Worker threads (clamped to the pending-cell count by the pool).
+    pub workers: usize,
+    /// Checkpoint journal path. `None` runs without checkpointing; an
+    /// existing file at the path is resumed (its header must match this
+    /// sweep), a missing one is created.
+    pub journal: Option<PathBuf>,
+    /// Schedule at most this many *fresh* cells (testing / CI
+    /// interruption hook: a deterministic "kill" point). The journal
+    /// keeps everything that ran.
+    pub max_cells: Option<usize>,
+    /// Silence the live progress line.
+    pub quiet: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            seeds: DEFAULT_SEEDS,
+            workers: 1,
+            journal: None,
+            max_cells: None,
+            quiet: true,
+        }
+    }
+}
+
+/// What a sweep run did.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One aggregated artifact per requested figure, in request order.
+    /// Empty unless [`SweepOutcome::complete`] — partial grids are never
+    /// silently aggregated.
+    pub runs: Vec<ExperimentRun>,
+    /// Whether every cell of the sweep has a result.
+    pub complete: bool,
+    /// Total cells in the sweep.
+    pub total: usize,
+    /// Cells skipped because the journal already had them.
+    pub resumed: usize,
+    /// Fresh cells completed by this run.
+    pub completed: usize,
+    /// Cells whose latest attempt panicked: `(job id, panic message)`.
+    pub failed: Vec<(String, String)>,
+    /// Whether the run stopped early because it hit `max_cells`.
+    pub hit_max_cells: bool,
+    /// The end-of-run progress summary line.
+    pub summary: String,
+}
+
+fn to_io(e: JournalError) -> io::Error {
+    let kind = match &e {
+        JournalError::Io(_, inner) => inner.kind(),
+        _ => io::ErrorKind::InvalidData,
+    };
+    io::Error::new(kind, e.to_string())
+}
+
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Runs (or resumes) a sweep over `specs`.
+///
+/// # Errors
+///
+/// Fails on journal I/O errors, a journal whose header does not describe
+/// this exact sweep, an interior-corrupt journal, or a journaled payload
+/// that does not decode (all surfaced as [`io::Error`]). A *panicking
+/// cell* is not an error — it is recorded in [`SweepOutcome::failed`] and
+/// retried on the next resume.
+pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Result<SweepOutcome> {
+    let (table, refs) = expand(specs, opts.seeds);
+    let total = table.len();
+    let ids: Vec<String> = table.jobs.iter().map(JobKey::id).collect();
+    let this_spec = SweepSpec {
+        figures: specs.iter().map(|s| s.id.to_string()).collect(),
+        seeds: opts.seeds,
+    };
+
+    // Decoded results per table index, prefilled from the journal on
+    // resume; errors[i] holds the latest panic message for undone cells.
+    let mut decoded: Vec<Option<CellOutput>> = vec![None; total];
+    let mut errors: Vec<Option<String>> = vec![None; total];
+    let mut writer = match &opts.journal {
+        Some(path) if path.exists() => {
+            let loaded = LoadedJournal::load(path).map_err(to_io)?;
+            let found = SweepSpec::from_json(&loaded.spec)
+                .ok_or_else(|| bad_data("journal spec is unreadable".to_string()))?;
+            if found != this_spec {
+                return Err(bad_data(format!(
+                    "journal describes figures {:?} x {} seeds, not figures {:?} x {} seeds",
+                    found.figures, found.seeds, this_spec.figures, this_spec.seeds
+                )));
+            }
+            for (index, id) in ids.iter().enumerate() {
+                if let Some(payload) = loaded.payload(id) {
+                    decoded[index] = Some(CellOutput::from_json(payload).ok_or_else(|| {
+                        bad_data(format!("journaled payload for {id} does not decode"))
+                    })?);
+                }
+            }
+            for (job, error) in loaded.failed() {
+                if let Some(index) = ids.iter().position(|id| id == job) {
+                    errors[index] = Some(error.to_string());
+                }
+            }
+            Some(JournalWriter::append(path).map_err(to_io)?)
+        }
+        Some(path) => Some(JournalWriter::create(path, &this_spec.to_json()).map_err(to_io)?),
+        None => None,
+    };
+
+    let resumed = decoded.iter().filter(|c| c.is_some()).count();
+    let mut pending: Vec<usize> = (0..total).filter(|&i| decoded[i].is_none()).collect();
+    // The cap is enforced at scheduling time, not mid-flight, so exactly
+    // max_cells fresh cells run — a deterministic interruption point.
+    let mut hit_max_cells = false;
+    if let Some(max) = opts.max_cells {
+        if pending.len() > max {
+            pending.truncate(max);
+            hit_max_cells = true;
+        }
+    }
+
+    let mut progress = Progress::new(total, resumed, opts.workers, !opts.quiet);
+    let mut journal_error: Option<JournalError> = None;
+    let run = |index: usize| {
+        let r = &refs[index];
+        let cfg = (r.spec.configure)(r.spec.xs[r.point]);
+        cell::run_cell(&cfg, r.protocol, r.seed).to_json()
+    };
+    pool::execute(&pending, opts.workers, run, |result| {
+        let id = &ids[result.index];
+        let failed = matches!(result.outcome, Outcome::Failed(_));
+        progress.on_result(result.wall, failed);
+        match result.outcome {
+            Outcome::Done(payload) => {
+                if let Some(w) = writer.as_mut() {
+                    if let Err(e) =
+                        w.record_done(id, result.worker, result.wall.as_micros() as u64, &payload)
+                    {
+                        journal_error = Some(e);
+                        return ControlFlow::Break(());
+                    }
+                }
+                match CellOutput::from_json(&payload) {
+                    Some(c) => {
+                        decoded[result.index] = Some(c);
+                        errors[result.index] = None;
+                    }
+                    None => {
+                        errors[result.index] = Some("cell payload did not decode".to_string());
+                    }
+                }
+            }
+            Outcome::Failed(message) => {
+                if let Some(w) = writer.as_mut() {
+                    if let Err(e) = w.record_failed(id, &message) {
+                        journal_error = Some(e);
+                        return ControlFlow::Break(());
+                    }
+                }
+                errors[result.index] = Some(message);
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    if let Some(e) = journal_error {
+        return Err(to_io(e));
+    }
+
+    let completed = decoded.iter().filter(|c| c.is_some()).count() - resumed;
+    let failed: Vec<(String, String)> = table
+        .jobs
+        .iter()
+        .zip(&errors)
+        .zip(&decoded)
+        .filter_map(|((job, error), c)| {
+            if c.is_some() {
+                return None;
+            }
+            error.clone().map(|e| (job.id(), e))
+        })
+        .collect();
+    let complete = decoded.iter().all(|c| c.is_some());
+
+    let runs = if complete {
+        let mut cursor = 0usize;
+        let mut runs = Vec::with_capacity(specs.len());
+        for &spec in specs {
+            let protocols = spec.protocols.len();
+            let seeds = opts.seeds as usize;
+            let run = assemble(spec, opts.seeds, |x_idx, p| {
+                let p_idx = spec
+                    .protocols
+                    .iter()
+                    .position(|&q| q == p)
+                    .expect("protocol from this spec's roster");
+                let base = cursor + (x_idx * protocols + p_idx) * seeds;
+                let cells: Vec<CellOutput> = decoded[base..base + seeds]
+                    .iter_mut()
+                    .map(|c| c.take().expect("complete grid has every cell"))
+                    .collect();
+                cell::fold_cells(p, &cells)
+            });
+            cursor += spec.cells(opts.seeds);
+            runs.push(run);
+        }
+        runs
+    } else {
+        Vec::new()
+    };
+
+    Ok(SweepOutcome {
+        runs,
+        complete,
+        total,
+        resumed,
+        completed,
+        failed,
+        hit_max_cells,
+        summary: progress.summary(),
+    })
+}
+
+/// What `lab status` reports about a journal.
+#[derive(Debug)]
+pub struct JournalStatus {
+    /// Figure IDs the journal covers.
+    pub figures: Vec<String>,
+    /// Replications per cell.
+    pub seeds: u64,
+    /// Total cells in the sweep.
+    pub total: usize,
+    /// Cells with a completed record.
+    pub done: usize,
+    /// Cells whose latest record is a failure.
+    pub failed: Vec<(String, String)>,
+    /// Whether a truncated trailing line was dropped on load.
+    pub dropped_partial: bool,
+}
+
+impl JournalStatus {
+    /// Cells with no completed record yet.
+    pub fn pending(&self) -> usize {
+        self.total - self.done
+    }
+
+    /// The multi-line human report `lab status` prints.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "sweep: figures {} x {} seeds\ncells: {} done / {} total ({} pending, {} failed)\n",
+            self.figures.join(","),
+            self.seeds,
+            self.done,
+            self.total,
+            self.pending(),
+            self.failed.len(),
+        );
+        if self.dropped_partial {
+            out.push_str("note: dropped a truncated trailing record (that cell will re-run)\n");
+        }
+        for (job, error) in &self.failed {
+            out.push_str(&format!("failed: {job}: {error}\n"));
+        }
+        out
+    }
+}
+
+/// Re-derives the sweep a journal describes: its registry specs and seed
+/// count. This is how `lab resume` reconstructs the command line from the
+/// journal alone.
+///
+/// # Errors
+///
+/// Fails on unreadable journals and on figure IDs the registry no longer
+/// knows.
+pub fn specs_from_journal(path: &Path) -> io::Result<(Vec<&'static FigureSpec>, u64)> {
+    let loaded = LoadedJournal::load(path).map_err(to_io)?;
+    let spec = SweepSpec::from_json(&loaded.spec)
+        .ok_or_else(|| bad_data("journal spec is unreadable".to_string()))?;
+    let specs = spec
+        .figures
+        .iter()
+        .map(|id| by_id(id).ok_or_else(|| bad_data(format!("journal names unknown figure {id:?}"))))
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok((specs, spec.seeds))
+}
+
+/// Summarises a journal for `lab status`.
+///
+/// # Errors
+///
+/// Same failure modes as [`specs_from_journal`].
+pub fn status(path: &Path) -> io::Result<JournalStatus> {
+    let (specs, seeds) = specs_from_journal(path)?;
+    let loaded = LoadedJournal::load(path).map_err(to_io)?;
+    let (table, _) = expand(&specs, seeds);
+    let done = table
+        .jobs
+        .iter()
+        .filter(|job| loaded.is_done(&job.id()))
+        .count();
+    Ok(JournalStatus {
+        figures: specs.iter().map(|s| s.id.to_string()).collect(),
+        seeds,
+        total: table.len(),
+        done,
+        failed: loaded
+            .failed()
+            .into_iter()
+            .map(|(j, e)| (j.to_string(), e.to_string()))
+            .collect(),
+        dropped_partial: loaded.dropped_partial,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_canonical_and_ids_are_stable() {
+        let f6 = by_id("F6").unwrap();
+        let f9a = by_id("F9a").unwrap();
+        let (table, refs) = expand(&[f6, f9a], 2);
+        assert_eq!(table.len(), f6.cells(2) + f9a.cells(2));
+        assert_eq!(table.len(), refs.len());
+        // Seed varies fastest, then protocol, then point, then figure.
+        assert_eq!(table.jobs[0].id(), "F6/p00/s-fama/s000");
+        assert_eq!(table.jobs[1].id(), "F6/p00/s-fama/s001");
+        assert_eq!(table.jobs[2].id(), "F6/p00/ropa/s000");
+        let first_f9a = f6.cells(2);
+        assert_eq!(table.jobs[first_f9a].figure, "F9a");
+        assert_eq!(refs[first_f9a].spec.id, "F9a");
+        // Every id is unique across the two figures.
+        let mut ids: Vec<String> = table.jobs.iter().map(JobKey::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), table.len());
+    }
+
+    #[test]
+    fn mismatched_journal_spec_is_rejected() {
+        let path =
+            std::env::temp_dir().join(format!("uasn-grid-mismatch-{}.jsonl", std::process::id()));
+        let header = SweepSpec {
+            figures: vec!["F6".to_string()],
+            seeds: 4,
+        };
+        JournalWriter::create(&path, &header.to_json()).expect("create");
+        let err = run_sweep(
+            &[by_id("F6").unwrap()],
+            &SweepOptions {
+                seeds: 2, // the journal says 4
+                journal: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .map(|_| ())
+        .expect_err("seed mismatch must not silently merge");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -9,13 +9,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell;
+pub mod cli;
 pub mod experiments;
+pub mod figures;
+pub mod grid;
 pub mod manifest;
 pub mod protocols;
 pub mod report;
 pub mod runner;
 
+pub use cell::CellOutput;
 pub use experiments::ExperimentRun;
+pub use figures::FigureSpec;
+pub use grid::{SweepOptions, SweepOutcome};
 pub use manifest::{RunManifest, StatsAggregate};
 pub use protocols::Protocol;
 pub use report::{FigureResult, Series};

@@ -10,13 +10,21 @@ use uasn_net::metrics::MetricsReport;
 use uasn_net::world::{RunOutput, Simulation};
 use uasn_sim::hist::LogHistogram;
 use uasn_sim::stats::Replications;
-use uasn_sim::time::SimTime;
 
 use crate::manifest::StatsAggregate;
 use crate::protocols::Protocol;
 
 /// Default replication count per figure point.
 pub const DEFAULT_SEEDS: u64 = 8;
+
+/// The master seed for replication index `replication` — the
+/// [`crate::manifest::SEED_SCHEME`] in code. Every execution path (the
+/// sequential reference runner and the `uasn-lab` job pool) derives seeds
+/// through this one function, so a cell's randomness depends only on its
+/// `(config, protocol, replication)` identity, never on scheduling.
+pub fn master_seed(replication: u64) -> u64 {
+    0xEA5E + replication * 7_919
+}
 
 /// Mean-with-CI summary of one `(config, protocol)` cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,51 +92,16 @@ pub fn run_once_full(cfg: &SimConfig, protocol: Protocol) -> RunOutput {
 }
 
 /// Runs `seeds` independent replications and summarises.
+///
+/// Defined as [`crate::cell::fold_cells`] over [`crate::cell::run_cell`] in
+/// ascending seed order — the exact arithmetic the `uasn-lab` parallel
+/// path uses when it re-folds journaled cells, which is what makes the two
+/// paths bit-identical.
 pub fn run_replicated(cfg: &SimConfig, protocol: Protocol, seeds: u64) -> Summary {
-    let mut summary = Summary {
-        protocol,
-        throughput_kbps: Replications::new(),
-        power_mw: Replications::new(),
-        overhead_bits: Replications::new(),
-        efficiency_raw: Replications::new(),
-        energy_per_kbit: Replications::new(),
-        execution_time_s: Replications::new(),
-        collisions: Replications::new(),
-        latency_s: Replications::new(),
-        extra_bits: Replications::new(),
-        delivery_ratio: Replications::new(),
-        fairness: Replications::new(),
-        utilization: Replications::new(),
-        stats: StatsAggregate::default(),
-        delivery_hist: LogHistogram::new(),
-        e2e_hist: LogHistogram::new(),
-    };
-    for seed in 0..seeds {
-        let cfg = cfg.clone().with_seed(0xEA5E + seed * 7_919);
-        let out = run_once_full(&cfg, protocol);
-        summary.stats.absorb(&out.stats);
-        summary.stats.absorb_trace(&out.tracer.health());
-        let report = out.report;
-        summary.delivery_hist.merge(&report.delivery_latency_us);
-        summary.e2e_hist.merge(&report.e2e_latency_us);
-        summary.throughput_kbps.add(report.throughput_kbps);
-        summary.power_mw.add(report.avg_power_mw);
-        summary.overhead_bits.add(report.overhead_bits as f64);
-        summary.efficiency_raw.add(report.efficiency_raw());
-        summary.energy_per_kbit.add(report.energy_per_kbit_j());
-        let exec = report
-            .completion_time
-            .unwrap_or(SimTime::ZERO + cfg.max_time)
-            .as_secs_f64();
-        summary.execution_time_s.add(exec);
-        summary.collisions.add(report.collisions as f64);
-        summary.latency_s.add(report.mean_latency_s);
-        summary.extra_bits.add(report.extra_bits_received as f64);
-        summary.delivery_ratio.add(report.delivery_ratio());
-        summary.fairness.add(report.fairness_index);
-        summary.utilization.add(report.channel_utilization);
-    }
-    summary
+    let cells: Vec<crate::cell::CellOutput> = (0..seeds)
+        .map(|seed| crate::cell::run_cell(cfg, protocol, seed))
+        .collect();
+    crate::cell::fold_cells(protocol, &cells)
 }
 
 #[cfg(test)]

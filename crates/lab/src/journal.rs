@@ -1,0 +1,438 @@
+//! The append-only JSONL checkpoint journal (format v1).
+//!
+//! Line 1 is a header: `{"schema":"uasn-lab-journal","version":1,
+//! "spec":{...}}`. Every following line is one record:
+//!
+//! - `{"job":"F6/p00/ew-mac/s000","status":"done","worker":0,
+//!   "wall_us":1234,"payload":{...}}`
+//! - `{"job":"...","status":"failed","error":"..."}`
+//!
+//! Each record is written and flushed atomically-enough for the failure
+//! model we care about (a killed process): the only possible damage is a
+//! truncated *trailing* line, which the loader tolerates by dropping it —
+//! that cell simply re-runs on resume. Corruption anywhere earlier is a
+//! hard error, because silently skipping interior records would merge an
+//! incomplete grid without saying so.
+//!
+//! Duplicate records for one job ID are legal (a failed cell re-run by a
+//! resume appends a fresh record); the *last* record wins.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use uasn_sim::json::JsonValue;
+
+/// Journal schema identifier (header `schema` field).
+pub const JOURNAL_SCHEMA: &str = "uasn-lab-journal";
+/// Bump when the journal layout changes incompatibly.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Why a journal could not be created, opened, or loaded.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(PathBuf, io::Error),
+    /// The header line is missing, malformed, or the wrong schema/version.
+    BadHeader(String),
+    /// A record before the final line failed to parse.
+    CorruptRecord {
+        /// 1-based line number of the unreadable record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(path, e) => write!(f, "journal {}: {e}", path.display()),
+            JournalError::BadHeader(msg) => write!(f, "journal header: {msg}"),
+            JournalError::CorruptRecord { line, message } => {
+                write!(f, "journal line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Appends records to a journal file, flushing after every line so a
+/// killed sweep loses at most the record being written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates (truncates) a journal and writes the v1 header with the
+    /// given sweep `spec` embedded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, spec: &JsonValue) -> Result<JournalWriter, JournalError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| JournalError::Io(path.into(), e))?;
+            }
+        }
+        let file = File::create(path).map_err(|e| JournalError::Io(path.into(), e))?;
+        let mut writer = JournalWriter {
+            path: path.into(),
+            file,
+        };
+        let header = JsonValue::Object(vec![
+            ("schema".to_string(), JsonValue::from_string(JOURNAL_SCHEMA)),
+            ("version".to_string(), JsonValue::from_u64(JOURNAL_VERSION)),
+            ("spec".to_string(), spec.clone()),
+        ]);
+        writer.write_line(&header)?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal for appending (resume path). The file's
+    /// header is *not* revalidated here — load it first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(path: &Path) -> Result<JournalWriter, JournalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(path.into(), e))?;
+        Ok(JournalWriter {
+            path: path.into(),
+            file,
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records a completed cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_done(
+        &mut self,
+        job: &str,
+        worker: usize,
+        wall_us: u64,
+        payload: &JsonValue,
+    ) -> Result<(), JournalError> {
+        self.write_line(&JsonValue::Object(vec![
+            ("job".to_string(), JsonValue::from_string(job)),
+            ("status".to_string(), JsonValue::from_string("done")),
+            ("worker".to_string(), JsonValue::from_u64(worker as u64)),
+            ("wall_us".to_string(), JsonValue::from_u64(wall_us)),
+            ("payload".to_string(), payload.clone()),
+        ]))
+    }
+
+    /// Records a failed (panicked) cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_failed(&mut self, job: &str, error: &str) -> Result<(), JournalError> {
+        self.write_line(&JsonValue::Object(vec![
+            ("job".to_string(), JsonValue::from_string(job)),
+            ("status".to_string(), JsonValue::from_string("failed")),
+            ("error".to_string(), JsonValue::from_string(error)),
+        ]))
+    }
+
+    fn write_line(&mut self, value: &JsonValue) -> Result<(), JournalError> {
+        let mut line = value.to_json();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.flush())
+            .map_err(|e| JournalError::Io(self.path.clone(), e))
+    }
+}
+
+/// One journaled cell outcome (after last-wins deduplication).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// The cell completed; the payload is its recorded result.
+    Done {
+        /// Recorded per-cell wall-clock, microseconds.
+        wall_us: u64,
+        /// The cell's result document.
+        payload: JsonValue,
+    },
+    /// The cell panicked; resume re-runs it.
+    Failed {
+        /// The recorded panic message.
+        error: String,
+    },
+}
+
+/// A parsed journal: header spec plus the latest record per job ID.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedJournal {
+    /// The sweep spec object embedded in the header.
+    pub spec: JsonValue,
+    /// Latest status per job ID, in first-seen order.
+    pub cells: Vec<(String, CellStatus)>,
+    /// Whether a truncated/corrupt trailing line was dropped (that cell
+    /// re-runs on resume).
+    pub dropped_partial: bool,
+}
+
+impl LoadedJournal {
+    /// Parses a journal file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad header, or a corrupt record anywhere
+    /// except the final line (which is dropped and flagged instead).
+    pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
+        let text = std::fs::read_to_string(path).map_err(|e| JournalError::Io(path.into(), e))?;
+        let mut lines = text.lines().enumerate();
+        let Some((_, header_line)) = lines.next() else {
+            return Err(JournalError::BadHeader("empty journal".to_string()));
+        };
+        let header =
+            JsonValue::parse(header_line).map_err(|e| JournalError::BadHeader(e.to_string()))?;
+        if header.get("schema").and_then(JsonValue::as_str) != Some(JOURNAL_SCHEMA) {
+            return Err(JournalError::BadHeader(format!(
+                "expected schema {JOURNAL_SCHEMA:?}"
+            )));
+        }
+        if header.get("version").and_then(JsonValue::as_u64) != Some(JOURNAL_VERSION) {
+            return Err(JournalError::BadHeader(format!(
+                "expected version {JOURNAL_VERSION}"
+            )));
+        }
+        let spec = header
+            .get("spec")
+            .cloned()
+            .ok_or_else(|| JournalError::BadHeader("missing spec".to_string()))?;
+
+        let remaining: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+        let mut cells: Vec<(String, CellStatus)> = Vec::new();
+        let mut dropped_partial = false;
+        for (pos, (line_idx, line)) in remaining.iter().enumerate() {
+            let last = pos + 1 == remaining.len();
+            match parse_record(line) {
+                Ok((job, status)) => match cells.iter_mut().find(|(j, _)| *j == job) {
+                    Some((_, existing)) => *existing = status,
+                    None => cells.push((job, status)),
+                },
+                Err(message) if last => {
+                    // A killed writer can only damage the final line; drop
+                    // it and let resume re-run that cell.
+                    dropped_partial = true;
+                    let _ = message;
+                }
+                Err(message) => {
+                    return Err(JournalError::CorruptRecord {
+                        line: line_idx + 1,
+                        message,
+                    });
+                }
+            }
+        }
+        Ok(LoadedJournal {
+            spec,
+            cells,
+            dropped_partial,
+        })
+    }
+
+    /// The journaled payload for `job`, if it completed.
+    pub fn payload(&self, job: &str) -> Option<&JsonValue> {
+        self.cells.iter().find_map(|(j, status)| match status {
+            CellStatus::Done { payload, .. } if j == job => Some(payload),
+            _ => None,
+        })
+    }
+
+    /// Whether `job` has a completed record (failed cells do not count —
+    /// resume re-runs them).
+    pub fn is_done(&self, job: &str) -> bool {
+        self.payload(job).is_some()
+    }
+
+    /// Job IDs whose latest record is a failure, in first-seen order.
+    pub fn failed(&self) -> Vec<(&str, &str)> {
+        self.cells
+            .iter()
+            .filter_map(|(job, status)| match status {
+                CellStatus::Failed { error } => Some((job.as_str(), error.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Completed-cell count.
+    pub fn done_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|(_, s)| matches!(s, CellStatus::Done { .. }))
+            .count()
+    }
+
+    /// Summed recorded wall-clock over completed cells, microseconds.
+    pub fn done_wall_us(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|(_, s)| match s {
+                CellStatus::Done { wall_us, .. } => *wall_us,
+                CellStatus::Failed { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+fn parse_record(line: &str) -> Result<(String, CellStatus), String> {
+    let value = JsonValue::parse(line).map_err(|e| e.to_string())?;
+    let job = value
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .ok_or("record missing job id")?
+        .to_string();
+    match value.get("status").and_then(JsonValue::as_str) {
+        Some("done") => {
+            let payload = value
+                .get("payload")
+                .cloned()
+                .ok_or("done record missing payload")?;
+            let wall_us = value
+                .get("wall_us")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            Ok((job, CellStatus::Done { wall_us, payload }))
+        }
+        Some("failed") => {
+            let error = value
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown failure")
+                .to_string();
+            Ok((job, CellStatus::Failed { error }))
+        }
+        _ => Err("record has no recognised status".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("uasn-lab-journal-{name}-{}", std::process::id()))
+    }
+
+    fn spec() -> JsonValue {
+        JsonValue::Object(vec![(
+            "figures".to_string(),
+            JsonValue::Array(vec![JsonValue::from_string("F6")]),
+        )])
+    }
+
+    #[test]
+    fn round_trips_done_and_failed_records() {
+        let path = tmp("round-trip");
+        let mut w = JournalWriter::create(&path, &spec()).expect("create");
+        let payload = JsonValue::Object(vec![("v".to_string(), JsonValue::from_u64(7))]);
+        w.record_done("F6/p00/ew-mac/s000", 2, 1234, &payload)
+            .expect("done");
+        w.record_failed("F6/p00/ew-mac/s001", "boom")
+            .expect("failed");
+        let j = LoadedJournal::load(&path).expect("load");
+        assert_eq!(j.spec, spec());
+        assert!(!j.dropped_partial);
+        assert_eq!(j.done_count(), 1);
+        assert_eq!(j.payload("F6/p00/ew-mac/s000"), Some(&payload));
+        assert!(!j.is_done("F6/p00/ew-mac/s001"));
+        assert_eq!(j.failed(), vec![("F6/p00/ew-mac/s001", "boom")]);
+        assert_eq!(j.done_wall_us(), 1234);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_dropped_not_fatal() {
+        let path = tmp("truncated");
+        let mut w = JournalWriter::create(&path, &spec()).expect("create");
+        let payload = JsonValue::from_u64(1);
+        w.record_done("a", 0, 1, &payload).expect("a");
+        w.record_done("b", 0, 1, &payload).expect("b");
+        drop(w);
+        // Simulate a kill mid-write: chop bytes off the final record.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 9]).expect("truncate");
+        let j = LoadedJournal::load(&path).expect("load tolerates trailing damage");
+        assert!(j.dropped_partial);
+        assert!(j.is_done("a"));
+        assert!(!j.is_done("b"), "the damaged cell re-runs");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error() {
+        let path = tmp("interior");
+        let mut w = JournalWriter::create(&path, &spec()).expect("create");
+        w.record_done("a", 0, 1, &JsonValue::from_u64(1))
+            .expect("a");
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("NOT JSON\n");
+        text.push_str(r#"{"job":"b","status":"done","payload":2}"#);
+        text.push('\n');
+        std::fs::write(&path, text).expect("write");
+        let err = LoadedJournal::load(&path).expect_err("interior damage must not be skipped");
+        assert!(
+            matches!(err, JournalError::CorruptRecord { line: 3, .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn later_records_win_so_resume_can_retry_failures() {
+        let path = tmp("last-wins");
+        let mut w = JournalWriter::create(&path, &spec()).expect("create");
+        w.record_failed("a", "first attempt panicked")
+            .expect("fail");
+        drop(w);
+        let mut w = JournalWriter::append(&path).expect("append");
+        w.record_done("a", 1, 99, &JsonValue::from_u64(42))
+            .expect("retry");
+        let j = LoadedJournal::load(&path).expect("load");
+        assert!(j.is_done("a"));
+        assert!(j.failed().is_empty());
+        assert_eq!(j.cells.len(), 1, "deduplicated");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_schema_or_version_is_rejected() {
+        let path = tmp("schema");
+        std::fs::write(&path, "{\"schema\":\"other\",\"version\":1,\"spec\":{}}\n").expect("write");
+        assert!(matches!(
+            LoadedJournal::load(&path),
+            Err(JournalError::BadHeader(_))
+        ));
+        std::fs::write(
+            &path,
+            format!("{{\"schema\":\"{JOURNAL_SCHEMA}\",\"version\":99,\"spec\":{{}}}}\n"),
+        )
+        .expect("write");
+        assert!(matches!(
+            LoadedJournal::load(&path),
+            Err(JournalError::BadHeader(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,37 @@
+//! # uasn-lab — parallel, resumable experiment orchestration
+//!
+//! The evaluation grid behind the paper's figures is a pile of independent
+//! cells: every `(figure, parameter point, protocol, seed)` combination is
+//! one deterministic simulation run whose RNG stream derives purely from
+//! its configuration and seed. This crate turns that pile into a scheduled
+//! job system:
+//!
+//! - [`spec`] expands a sweep specification into a flat job table with
+//!   stable, human-readable job IDs;
+//! - [`pool`] executes jobs on a hand-rolled `std::thread` worker pool
+//!   (shared injector queue, per-job panic isolation, `UASN_LAB_JOBS` /
+//!   `--jobs` control defaulting to the machine's available parallelism);
+//! - [`journal`] checkpoints completed cells to an append-only JSONL file
+//!   so an interrupted sweep resumes by skipping journaled job IDs;
+//! - [`progress`] reports completed/total, cells/sec, ETA, and worker
+//!   utilization while a sweep runs.
+//!
+//! The crate is deliberately generic: jobs are `Fn(usize) -> JsonValue`
+//! closures and payloads are [`uasn_sim::json::JsonValue`] documents, so
+//! the experiment definitions (which protocols, which configurations) stay
+//! in `uasn-bench`. Because each cell is deterministic, results are
+//! byte-identical regardless of worker count or resume splits — the
+//! orchestrator only changes *when* a cell runs, never *what* it computes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod pool;
+pub mod progress;
+pub mod spec;
+
+pub use journal::{JournalError, JournalWriter, LoadedJournal};
+pub use pool::{execute, resolve_workers, JobResult, Outcome, PoolReport};
+pub use progress::Progress;
+pub use spec::{JobKey, JobTable, SweepSpec};

@@ -1,0 +1,325 @@
+//! The hand-rolled `std::thread` worker pool.
+//!
+//! No external dependencies (vendor policy): a shared injector queue
+//! behind a [`Mutex`], scoped worker threads, and an [`mpsc`] channel
+//! funnelling results back to the coordinator. Each job runs under
+//! [`catch_unwind`], so a panicking cell is *recorded* as failed rather
+//! than killing the sweep or poisoning the queue.
+//!
+//! Job *scheduling* is nondeterministic (workers race for the queue), but
+//! job *results* must not be: the pool only ever passes a job its index,
+//! and the experiment layer derives everything — configuration, RNG
+//! streams — from the job table entry at that index. Aggregation then
+//! walks the table in canonical order, so outputs are byte-identical for
+//! any worker count.
+
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use uasn_sim::json::JsonValue;
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "UASN_LAB_JOBS";
+
+/// Resolves the worker count: an explicit `--jobs` value wins, then the
+/// [`JOBS_ENV`] environment variable, then the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn resolve_workers(cli: Option<usize>) -> usize {
+    resolve_workers_from(cli, std::env::var(JOBS_ENV).ok().as_deref())
+}
+
+/// [`resolve_workers`] with the environment value passed explicitly
+/// (testable without mutating process state). Zero and unparseable values
+/// are treated as unset.
+pub fn resolve_workers_from(cli: Option<usize>, env: Option<&str>) -> usize {
+    cli.filter(|&n| n > 0)
+        .or_else(|| env.and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The job returned a payload.
+    Done(JsonValue),
+    /// The job panicked; the payload is the panic message.
+    Failed(String),
+}
+
+/// One job's result, delivered to the coordinator's sink in completion
+/// order (which is *not* table order under parallelism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Index into the job table.
+    pub index: usize,
+    /// Which worker ran it (0-based).
+    pub worker: usize,
+    /// Wall-clock the job took on its worker.
+    pub wall: Duration,
+    /// Payload or failure.
+    pub outcome: Outcome,
+}
+
+/// What a pool run did, for the run summary and utilization line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolReport {
+    /// Jobs handed to the pool.
+    pub scheduled: u64,
+    /// Jobs that returned a payload.
+    pub completed: u64,
+    /// Jobs that panicked.
+    pub failed: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock from first schedule to last result.
+    pub elapsed: Duration,
+    /// Summed per-job wall-clock — the sequential-equivalent cost.
+    pub busy: Duration,
+}
+
+impl PoolReport {
+    /// Fraction of worker capacity spent running jobs.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.elapsed.as_secs_f64() * self.workers as f64;
+        if capacity > 0.0 {
+            self.busy.as_secs_f64() / capacity
+        } else {
+            0.0
+        }
+    }
+
+    /// Sequential-equivalent wall over actual wall: the observed speedup.
+    pub fn speedup(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed > 0.0 {
+            self.busy.as_secs_f64() / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Jobs finished per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed > 0.0 {
+            (self.completed + self.failed) as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs every index in `pending` through `run` on `workers` threads,
+/// delivering each [`JobResult`] to `sink` on the calling thread.
+///
+/// `sink` returning [`ControlFlow::Break`] stops *scheduling* — workers
+/// finish their in-flight jobs, and those results still reach the sink
+/// (so a checkpoint journal never loses completed work). The worker count
+/// is clamped to `1..=pending.len()`.
+pub fn execute<R, S>(pending: &[usize], workers: usize, run: R, mut sink: S) -> PoolReport
+where
+    R: Fn(usize) -> JsonValue + Sync,
+    S: FnMut(JobResult) -> ControlFlow<()>,
+{
+    let started = Instant::now();
+    let workers = workers.clamp(1, pending.len().max(1));
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.iter().copied().collect());
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<JobResult>();
+    let mut report = PoolReport {
+        scheduled: pending.len() as u64,
+        workers,
+        ..PoolReport::default()
+    };
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let tx = tx.clone();
+            let (queue, stop, run) = (&queue, &stop, &run);
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // The queue is only locked to pop; jobs run outside it, and
+                // catch_unwind keeps a panicking job from poisoning it.
+                let Some(index) = queue.lock().expect("injector queue poisoned").pop_front() else {
+                    break;
+                };
+                let job_started = Instant::now();
+                let outcome = match catch_unwind(AssertUnwindSafe(|| run(index))) {
+                    Ok(payload) => Outcome::Done(payload),
+                    Err(panic) => Outcome::Failed(panic_message(panic.as_ref())),
+                };
+                let result = JobResult {
+                    index,
+                    worker,
+                    wall: job_started.elapsed(),
+                    outcome,
+                };
+                if tx.send(result).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut stopping = false;
+        for result in rx {
+            report.busy += result.wall;
+            match result.outcome {
+                Outcome::Done(_) => report.completed += 1,
+                Outcome::Failed(_) => report.failed += 1,
+            }
+            if sink(result).is_break() && !stopping {
+                stopping = true;
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn payload(index: usize) -> JsonValue {
+        JsonValue::Object(vec![(
+            "index".to_string(),
+            JsonValue::from_u64(index as u64),
+        )])
+    }
+
+    #[test]
+    fn every_job_completes_for_any_worker_count() {
+        for workers in [1, 2, 7, 64] {
+            let pending: Vec<usize> = (0..23).collect();
+            let mut seen = BTreeSet::new();
+            let report = execute(&pending, workers, payload, |result| {
+                assert!(matches!(result.outcome, Outcome::Done(_)));
+                assert!(seen.insert(result.index), "job delivered twice");
+                ControlFlow::Continue(())
+            });
+            assert_eq!(seen.len(), 23);
+            assert_eq!(report.completed, 23);
+            assert_eq!(report.failed, 0);
+            assert_eq!(report.workers, workers.min(23));
+        }
+    }
+
+    #[test]
+    fn payloads_are_deterministic_regardless_of_workers() {
+        let pending: Vec<usize> = (0..16).collect();
+        let collect = |workers| {
+            let mut results: Vec<(usize, JsonValue)> = Vec::new();
+            execute(&pending, workers, payload, |result| {
+                if let Outcome::Done(v) = result.outcome {
+                    results.push((result.index, v));
+                }
+                ControlFlow::Continue(())
+            });
+            results.sort_by_key(|(i, _)| *i);
+            results
+        };
+        assert_eq!(collect(1), collect(8));
+    }
+
+    #[test]
+    fn a_panicking_job_is_failed_not_fatal() {
+        let pending: Vec<usize> = (0..8).collect();
+        let mut failures = Vec::new();
+        let report = execute(
+            &pending,
+            4,
+            |index| {
+                assert!(index != 3, "cell 3 is poisoned");
+                payload(index)
+            },
+            |result| {
+                if let Outcome::Failed(msg) = &result.outcome {
+                    failures.push((result.index, msg.clone()));
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(report.completed, 7);
+        assert_eq!(report.failed, 1);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 3);
+        assert!(failures[0].1.contains("poisoned"), "{}", failures[0].1);
+    }
+
+    #[test]
+    fn break_stops_scheduling_but_loses_nothing_in_flight() {
+        // The stop flag is advisory: workers notice it between jobs, not
+        // mid-job, so each job yields the CPU long enough for the
+        // coordinator to drain the channel and raise the flag. Instant
+        // jobs could legitimately all finish before Break lands (the
+        // deterministic-interruption path truncates the pending list
+        // instead — see `SweepOptions::max_cells`).
+        let pending: Vec<usize> = (0..100).collect();
+        let mut delivered = 0u64;
+        let slow = |index| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            payload(index)
+        };
+        let report = execute(&pending, 2, slow, |_| {
+            delivered += 1;
+            if delivered >= 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        // Everything the pool counted reached the sink, and the stop flag
+        // kept it well short of the full table.
+        assert_eq!(report.completed + report.failed, delivered);
+        assert!(delivered >= 5);
+        assert!(delivered < 100, "break must stop scheduling");
+    }
+
+    #[test]
+    fn worker_resolution_priorities() {
+        assert_eq!(resolve_workers_from(Some(8), Some("2")), 8);
+        assert_eq!(resolve_workers_from(None, Some("2")), 2);
+        assert_eq!(resolve_workers_from(None, Some(" 3 ")), 3);
+        // Zero or garbage fall through to auto-detection (>= 1).
+        assert!(resolve_workers_from(Some(0), None) >= 1);
+        assert!(resolve_workers_from(None, Some("zero")) >= 1);
+        assert!(resolve_workers_from(None, None) >= 1);
+    }
+
+    #[test]
+    fn report_rates_are_consistent() {
+        let report = PoolReport {
+            scheduled: 10,
+            completed: 10,
+            failed: 0,
+            workers: 2,
+            elapsed: Duration::from_secs(5),
+            busy: Duration::from_secs(8),
+        };
+        assert!((report.speedup() - 1.6).abs() < 1e-12);
+        assert!((report.utilization() - 0.8).abs() < 1e-12);
+        assert!((report.cells_per_sec() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Live progress reporting for a running sweep.
+//!
+//! The coordinator thread feeds every [`JobResult`](crate::pool::JobResult)
+//! wall time in; the reporter prints a throttled status line to stderr —
+//! completed/total, cells per second, ETA, and worker utilization — and a
+//! final summary including the observed speedup (sequential-equivalent
+//! wall over actual wall).
+
+use std::time::{Duration, Instant};
+
+/// Minimum interval between printed progress lines.
+const PRINT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Tracks and prints sweep progress.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    completed: usize,
+    failed: usize,
+    /// Cells completed before this run (a resume's head start).
+    skipped: usize,
+    workers: usize,
+    busy: Duration,
+    started: Instant,
+    last_print: Option<Instant>,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A reporter over `total` cells on `workers` workers; `skipped` cells
+    /// are already journaled. `enabled = false` silences printing (tests,
+    /// `--quiet`) while still tracking the numbers.
+    pub fn new(total: usize, skipped: usize, workers: usize, enabled: bool) -> Progress {
+        Progress {
+            total,
+            completed: 0,
+            failed: 0,
+            skipped,
+            workers,
+            busy: Duration::ZERO,
+            started: Instant::now(),
+            last_print: None,
+            enabled,
+        }
+    }
+
+    /// Records one finished cell and maybe prints a status line.
+    pub fn on_result(&mut self, wall: Duration, failed: bool) {
+        if failed {
+            self.failed += 1;
+        } else {
+            self.completed += 1;
+        }
+        self.busy += wall;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = self
+            .last_print
+            .is_none_or(|last| now.duration_since(last) >= PRINT_INTERVAL);
+        if due || self.finished_cells() + self.skipped == self.total {
+            self.last_print = Some(now);
+            eprintln!("{}", self.line());
+        }
+    }
+
+    fn finished_cells(&self) -> usize {
+        self.completed + self.failed
+    }
+
+    /// Cells finished per wall-clock second in this run.
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.finished_cells() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds to finish the remaining cells at the current rate.
+    pub fn eta_secs(&self) -> Option<f64> {
+        let remaining = self
+            .total
+            .saturating_sub(self.skipped + self.finished_cells());
+        let rate = self.cells_per_sec();
+        (rate > 0.0).then(|| remaining as f64 / rate)
+    }
+
+    /// Fraction of worker capacity spent inside cells so far.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.started.elapsed().as_secs_f64() * self.workers as f64;
+        if capacity > 0.0 {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The current status line.
+    pub fn line(&self) -> String {
+        let eta = match self.eta_secs() {
+            Some(s) => format!("{s:.0} s"),
+            None => "-".to_string(),
+        };
+        let failed = if self.failed > 0 {
+            format!("  {} FAILED", self.failed)
+        } else {
+            String::new()
+        };
+        format!(
+            "  [lab] {}/{} cells  {:.1} cells/s  eta {eta}  util {:.0}%{failed}",
+            self.skipped + self.finished_cells(),
+            self.total,
+            self.cells_per_sec(),
+            self.utilization() * 100.0,
+        )
+    }
+
+    /// The end-of-run summary line (printed by the callers' run reports).
+    pub fn summary(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let speedup = if elapsed > 0.0 {
+            self.busy.as_secs_f64() / elapsed
+        } else {
+            0.0
+        };
+        format!(
+            "[lab] {} cells ({} resumed, {} failed) in {elapsed:.1} s on {} workers: \
+             {:.1} cells/s, utilization {:.0}%, speedup {speedup:.2}x \
+             (sequential-equivalent {:.1} s)",
+            self.skipped + self.finished_cells(),
+            self.skipped,
+            self.failed,
+            self.workers,
+            self.cells_per_sec(),
+            self.utilization() * 100.0,
+            self.busy.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates_accumulate() {
+        let mut p = Progress::new(10, 2, 4, false);
+        p.on_result(Duration::from_millis(100), false);
+        p.on_result(Duration::from_millis(100), true);
+        assert_eq!(p.finished_cells(), 2);
+        assert!(p.cells_per_sec() > 0.0);
+        assert!(p.utilization() <= 1.0);
+        let line = p.line();
+        assert!(line.contains("4/10 cells"), "{line}");
+        assert!(line.contains("1 FAILED"), "{line}");
+        let summary = p.summary();
+        assert!(summary.contains("2 resumed"), "{summary}");
+        assert!(summary.contains("speedup"), "{summary}");
+    }
+
+    #[test]
+    fn eta_shrinks_toward_zero_as_cells_finish() {
+        let mut p = Progress::new(4, 0, 1, false);
+        for _ in 0..4 {
+            p.on_result(Duration::from_millis(1), false);
+        }
+        assert_eq!(p.eta_secs().map(|s| s.round() as u64), Some(0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Sweep specifications and the flat job table they expand into.
+//!
+//! A sweep is `figures × parameter points × protocols × seeds`. Expansion
+//! is owned by the experiment layer (it knows each figure's axis and
+//! roster); this module fixes the *identity* scheme: every job gets a
+//! stable, human-readable ID of the form
+//! `<figure>/p<point>/<protocol-slug>/s<seed>` that survives process
+//! restarts, so a checkpoint journal can name completed cells and a resume
+//! can skip them.
+
+use uasn_sim::json::JsonValue;
+
+/// What a sweep covers: which figures and how many replications per cell.
+///
+/// Serialised into the journal header so `lab resume` and `lab status` can
+/// re-expand the exact same job table without re-stating the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Figure/experiment IDs in run order (e.g. `["F6", "F9a"]`).
+    pub figures: Vec<String>,
+    /// Replications per `(figure, point, protocol)` cell.
+    pub seeds: u64,
+}
+
+impl SweepSpec {
+    /// Serialises into the journal-header `spec` object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "figures".to_string(),
+                JsonValue::Array(self.figures.iter().map(JsonValue::from_string).collect()),
+            ),
+            ("seeds".to_string(), JsonValue::from_u64(self.seeds)),
+        ])
+    }
+
+    /// Parses the journal-header `spec` object back.
+    pub fn from_json(v: &JsonValue) -> Option<SweepSpec> {
+        let figures = v
+            .get("figures")?
+            .as_array()?
+            .iter()
+            .map(|f| f.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        let seeds = v.get("seeds")?.as_u64()?;
+        Some(SweepSpec { figures, seeds })
+    }
+}
+
+/// One job: a single seeded replication of one figure cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobKey {
+    /// Figure/experiment ID ("F6", "X2", …).
+    pub figure: String,
+    /// Index into the figure's x-axis.
+    pub point: usize,
+    /// Protocol legend label ("EW-MAC", "S-FAMA", …).
+    pub protocol: String,
+    /// Replication index (the seed scheme maps this to a master seed).
+    pub seed: u64,
+}
+
+impl JobKey {
+    /// The stable journal ID: `<figure>/p<point>/<protocol-slug>/s<seed>`.
+    ///
+    /// ```
+    /// use uasn_lab::spec::JobKey;
+    ///
+    /// let key = JobKey {
+    ///     figure: "F6".into(),
+    ///     point: 3,
+    ///     protocol: "EW-MAC (no extra)".into(),
+    ///     seed: 7,
+    /// };
+    /// assert_eq!(key.id(), "F6/p03/ew-mac-no-extra/s007");
+    /// ```
+    pub fn id(&self) -> String {
+        format!(
+            "{}/p{:02}/{}/s{:03}",
+            self.figure,
+            self.point,
+            slug(&self.protocol),
+            self.seed
+        )
+    }
+}
+
+/// Lowercases a legend label into an ID-safe slug: alphanumerics survive,
+/// every other run of characters collapses to a single `-`.
+pub fn slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut pending_dash = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_dash && !out.is_empty() {
+                out.push('-');
+            }
+            pending_dash = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_dash = true;
+        }
+    }
+    out
+}
+
+/// The flat, stably-ordered job table a sweep expands into. The position
+/// of a job in `jobs` is its scheduling index; aggregation walks this
+/// table in order, which is what makes results independent of the order
+/// jobs actually *ran* in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobTable {
+    /// Every job of the sweep, in canonical (figure, point, protocol,
+    /// seed) nesting order.
+    pub jobs: Vec<JobKey>,
+}
+
+impl JobTable {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The indices of jobs whose IDs are **not** in `done` — the work list
+    /// for a fresh or resumed sweep, in table order.
+    pub fn pending<'a>(&self, done: impl Fn(&str) -> bool + 'a) -> Vec<usize> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| !done(&job.id()))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_id_safe_and_stable() {
+        assert_eq!(slug("S-FAMA"), "s-fama");
+        assert_eq!(slug("EW-MAC (agg)"), "ew-mac-agg");
+        assert_eq!(slug("ALOHA"), "aloha");
+        assert_eq!(slug("  weird  label "), "weird-label");
+    }
+
+    #[test]
+    fn job_ids_are_distinct_across_the_grid() {
+        let mut ids = Vec::new();
+        for figure in ["F6", "F7"] {
+            for point in 0..3 {
+                for protocol in ["S-FAMA", "EW-MAC"] {
+                    for seed in 0..2 {
+                        ids.push(
+                            JobKey {
+                                figure: figure.into(),
+                                point,
+                                protocol: protocol.into(),
+                                seed,
+                            }
+                            .id(),
+                        );
+                    }
+                }
+            }
+        }
+        let mut unique = ids.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = SweepSpec {
+            figures: vec!["F6".into(), "X2".into()],
+            seeds: 32,
+        };
+        let back = SweepSpec::from_json(&spec.to_json()).expect("parse");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn pending_filters_done_ids_in_table_order() {
+        let table = JobTable {
+            jobs: (0..4)
+                .map(|seed| JobKey {
+                    figure: "F6".into(),
+                    point: 0,
+                    protocol: "EW-MAC".into(),
+                    seed,
+                })
+                .collect(),
+        };
+        let done_id = table.jobs[1].id();
+        let pending = table.pending(|id| id == done_id);
+        assert_eq!(pending, vec![0, 2, 3]);
+    }
+}

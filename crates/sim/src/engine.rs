@@ -203,6 +203,60 @@ impl RunStats {
             ("kind_counts".to_string(), JsonValue::Array(kinds)),
         ])
     }
+
+    /// Reconstructs run statistics from their [`RunStats::to_json`] form.
+    ///
+    /// Event-kind labels are interned (they are `&'static str` in the live
+    /// struct); the intern table is deduplicated, so memory growth is
+    /// bounded by the number of *distinct* labels ever parsed — a handful
+    /// per protocol — not by the number of documents. The derived-rate
+    /// fields (`events_per_sim_sec`, `events_per_wall_sec`) are recomputed
+    /// rather than read back, so they always agree with the stored counts.
+    ///
+    /// Returns `None` on missing fields or an unknown stop reason.
+    pub fn from_json(doc: &JsonValue) -> Option<RunStats> {
+        let kind_counts = doc
+            .get("kind_counts")?
+            .as_array()?
+            .iter()
+            .map(|pair| {
+                let [label, count] = pair.as_array()? else {
+                    return None;
+                };
+                Some((intern_label(label.as_str()?), count.as_u64()?))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(RunStats {
+            stop_reason: StopReason::from_label(doc.get("stop_reason")?.as_str()?)?,
+            events_processed: doc.get("events_processed")?.as_u64()?,
+            sim_end: SimTime::from_micros(doc.get("sim_end_us")?.as_u64()?),
+            wall: Duration::from_micros(doc.get("wall_us")?.as_u64()?),
+            peak_queue_depth: doc.get("peak_queue_depth")?.as_u64()? as usize,
+            mean_queue_depth: doc.get("mean_queue_depth")?.as_f64()?,
+            kind_counts,
+        })
+    }
+}
+
+/// Interns an event-kind label, returning a `&'static str` equal to it.
+///
+/// Labels originate from [`EventLabel::label`] implementations, which return
+/// `&'static str`; parsing a manifest back only ever re-encounters those
+/// same few strings, so the leaked table stays tiny and is shared across
+/// all parsed documents.
+fn intern_label(label: &str) -> &'static str {
+    static TABLE: std::sync::OnceLock<std::sync::Mutex<Vec<&'static str>>> =
+        std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| std::sync::Mutex::new(Vec::new()));
+    let mut table = table.lock().expect("label intern table poisoned");
+    match table.iter().find(|&&l| l == label) {
+        Some(&l) => l,
+        None => {
+            let leaked: &'static str = Box::leak(label.to_string().into_boxed_str());
+            table.push(leaked);
+            leaked
+        }
+    }
 }
 
 /// Discrete-event engine: event queue + run loop + accounting.
@@ -380,6 +434,32 @@ struct RunProfile {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
+
+    #[test]
+    fn run_stats_round_trip_through_json() {
+        let stats = RunStats {
+            stop_reason: StopReason::HorizonReached,
+            events_processed: 12_345,
+            sim_end: SimTime::from_micros(987_654_321),
+            wall: Duration::from_micros(4_567),
+            peak_queue_depth: 42,
+            mean_queue_depth: std::f64::consts::PI,
+            kind_counts: vec![("tx-end", 7_000), ("rx-start", 5_345)],
+        };
+        let back = RunStats::from_json(&stats.to_json()).expect("parse");
+        assert_eq!(back, stats);
+        // Interned labels compare equal to the originals even though they
+        // came from a parsed document, and a second parse reuses them.
+        let again = RunStats::from_json(&stats.to_json()).expect("parse");
+        assert!(std::ptr::eq(back.kind_counts[0].0, again.kind_counts[0].0));
+        // Unknown stop reasons are rejected rather than guessed.
+        let tampered = stats
+            .to_json()
+            .to_json()
+            .replace("horizon-reached", "metaphysics");
+        let doc = JsonValue::parse(&tampered).expect("json");
+        assert_eq!(RunStats::from_json(&doc), None);
+    }
 
     #[derive(Default)]
     struct Recorder {

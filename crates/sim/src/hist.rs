@@ -228,6 +228,40 @@ impl LogHistogram {
         ));
         JsonValue::Object(pairs)
     }
+
+    /// Reconstructs a histogram from its [`LogHistogram::to_json`] form —
+    /// an **exact** inverse: the result is bit-identical to the histogram
+    /// that was serialised, which is what lets a checkpoint journal merge
+    /// per-run histograms byte-identically to an unjournaled run.
+    ///
+    /// Returns `None` when the document is missing fields, names a bucket
+    /// boundary this bucket layout cannot produce, or is internally
+    /// inconsistent (bucket counts not summing to `count`).
+    pub fn from_json(doc: &JsonValue) -> Option<LogHistogram> {
+        let count = doc.get("count")?.as_u64()?;
+        let sum = doc.get("sum")?.as_u64()?;
+        let mut hist = LogHistogram::new();
+        hist.count = count;
+        hist.sum = sum;
+        if count > 0 {
+            hist.min = doc.get("min")?.as_u64()?;
+            hist.max = doc.get("max")?.as_u64()?;
+        }
+        let mut bucketed = 0u64;
+        for bucket in doc.get("buckets")?.as_array()? {
+            let [lo, hi, c] = bucket.as_array()? else {
+                return None;
+            };
+            let (lo, hi, c) = (lo.as_u64()?, hi.as_u64()?, c.as_u64()?);
+            let idx = bucket_index(lo);
+            if bucket_bounds(idx) != (lo, hi) {
+                return None;
+            }
+            hist.counts[idx] = c;
+            bucketed = bucketed.checked_add(c)?;
+        }
+        (bucketed == count).then_some(hist)
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +360,54 @@ mod tests {
         }
         assert_eq!(h.sum(), 10);
         assert_eq!(h.mean(), Some(2));
+    }
+
+    #[test]
+    fn from_json_is_an_exact_inverse() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 5, 31, 32, 1_000, 123_456_789, u64::MAX / 7] {
+            h.record(v);
+        }
+        let back = LogHistogram::from_json(&h.to_json()).expect("parse");
+        assert_eq!(back, h, "bit-identical reconstruction");
+        // And merging reconstructions equals merging originals.
+        let mut other = LogHistogram::new();
+        other.record(40_000);
+        let mut merged_originals = h.clone();
+        merged_originals.merge(&other);
+        let mut merged_round_tripped = back;
+        merged_round_tripped.merge(&LogHistogram::from_json(&other.to_json()).expect("parse"));
+        assert_eq!(merged_round_tripped, merged_originals);
+        // Empty histograms survive too.
+        let empty = LogHistogram::new();
+        assert_eq!(
+            LogHistogram::from_json(&empty.to_json()).expect("parse"),
+            empty
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_documents() {
+        let mut h = LogHistogram::new();
+        h.record(9);
+        let mut doc = h.to_json();
+        // Tamper: claim a different total count than the buckets hold.
+        if let JsonValue::Object(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "count" {
+                    *v = JsonValue::from_u64(2);
+                }
+            }
+        }
+        assert_eq!(LogHistogram::from_json(&doc), None);
+        // Tamper: a bucket boundary the layout cannot produce. Value 100
+        // lands in [100, 102); shift the lower bound off the grid.
+        let mut h2 = LogHistogram::new();
+        h2.record(100);
+        let text = h2.to_json().to_json().replace("[100,102,1]", "[101,102,1]");
+        assert_ne!(text, h2.to_json().to_json(), "tamper took effect");
+        let doc2 = JsonValue::parse(&text).expect("json");
+        assert_eq!(LogHistogram::from_json(&doc2), None);
     }
 
     #[test]

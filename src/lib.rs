@@ -17,6 +17,7 @@
 //! | [`ewmac`] | the EW-MAC protocol (the paper's contribution) |
 //! | [`baselines`] | S-FAMA, ROPA, CS-MAC, ALOHA |
 //! | [`bench`](mod@bench) | the §5 experiment harness |
+//! | [`lab`](mod@lab) | parallel, resumable sweep orchestration |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@
 pub use uasn_baselines as baselines;
 pub use uasn_bench as bench;
 pub use uasn_ewmac as ewmac;
+pub use uasn_lab as lab;
 pub use uasn_net as net;
 pub use uasn_phy as phy;
 pub use uasn_sim as sim;
