@@ -1,0 +1,105 @@
+//! Hot-path perf harness: times the fixed EW-MAC / S-FAMA scenarios on the
+//! cached fan-out fast path and the recompute-everything reference path,
+//! prints the speedups, and writes the `BENCH_perf.json` trajectory file.
+//!
+//! Usage: `perf [--scenario small|medium|large|all] [--out FILE]`
+//!
+//! The default output path is `<workspace root>/BENCH_perf.json`, so CI and
+//! local runs update the same committed trajectory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uasn_bench::perf::{perf_doc, run_scenario, scenarios_matching};
+
+fn default_out() -> PathBuf {
+    // Same workspace-root anchoring as `cli::results_dir`, but for the
+    // committed trajectory file rather than the results directory.
+    uasn_bench::cli::results_dir()
+        .parent()
+        .map(|root| root.join("BENCH_perf.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_perf.json"))
+}
+
+fn main() -> ExitCode {
+    let mut scenario = "all".to_string();
+    let mut out = default_out();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => match args.next() {
+                Some(v) => scenario = v,
+                None => {
+                    eprintln!("perf: --scenario needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => {
+                    eprintln!("perf: --out needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "perf: unexpected argument {other:?} \
+                     (expected [--scenario small|medium|large|all] [--out FILE])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let scenarios = scenarios_matching(&scenario);
+    if scenarios.is_empty() {
+        eprintln!("perf: no scenarios match {scenario:?}");
+        return ExitCode::from(2);
+    }
+
+    let mut results = Vec::with_capacity(scenarios.len());
+    let mut all_equal = true;
+    for s in scenarios {
+        eprintln!(
+            "perf: {} ({} sensors, {} s) ...",
+            s.name, s.sensors, s.sim_time_s
+        );
+        let result = run_scenario(s);
+        println!(
+            "{:<14} fast {:>12.0} ev/s  reference {:>12.0} ev/s  speedup {:>5.2}x  {}",
+            result.scenario.name,
+            result.fastpath.events_per_wall_sec(),
+            result.reference.events_per_wall_sec(),
+            result.speedup(),
+            if result.reports_equal {
+                "reports equal"
+            } else {
+                "REPORTS DIVERGED"
+            },
+        );
+        all_equal &= result.reports_equal;
+        results.push(result);
+    }
+
+    let doc = perf_doc(&results);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("perf: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut text = doc.to_json();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("perf: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf: wrote {}", out.display());
+
+    if !all_equal {
+        eprintln!("perf: FAILURE — fast and reference paths disagreed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

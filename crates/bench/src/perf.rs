@@ -1,0 +1,243 @@
+//! Seeded hot-path performance scenarios (the `perf` bin's engine room).
+//!
+//! Each scenario runs one fixed `(protocol, grid, seed)` cell twice — once
+//! through the cached fan-out fast path and once through the
+//! recompute-everything reference path (`SimConfig::with_fastpath(false)`)
+//! — and reports both runs' `RunStats` side by side. Because the two paths
+//! are bit-identical by construction (see the golden-trace suite), the
+//! events-processed counts must match exactly and the only difference is
+//! wall time; the ratio is the measured speedup the `BENCH_perf.json`
+//! trajectory tracks across PRs.
+
+use uasn_net::config::SimConfig;
+use uasn_sim::engine::RunStats;
+use uasn_sim::json::JsonValue;
+use uasn_sim::time::SimDuration;
+
+use crate::protocols::Protocol;
+use crate::runner::{master_seed, run_once_full};
+
+/// One fixed perf cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfScenario {
+    /// Stable scenario id, e.g. `"medium-ewmac"`.
+    pub name: &'static str,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Sensor count (sinks stay at the paper's 3).
+    pub sensors: u32,
+    /// Observation window, seconds.
+    pub sim_time_s: u64,
+}
+
+impl PerfScenario {
+    /// The scenario's full simulation config (seeded, deterministic).
+    pub fn config(&self) -> SimConfig {
+        SimConfig::paper_default()
+            .with_sensors(self.sensors)
+            .with_sim_time(SimDuration::from_secs(self.sim_time_s))
+            .with_seed(master_seed(0))
+    }
+}
+
+/// The fixed scenario roster: EW-MAC and S-FAMA on small / medium / large
+/// grids. "Medium" is the paper's Table 2 shape (60 sensors, 300 s) — the
+/// cell the ≥2x acceptance gate is measured on.
+pub const SCENARIOS: &[PerfScenario] = &[
+    PerfScenario {
+        name: "small-ewmac",
+        protocol: Protocol::EwMac,
+        sensors: 20,
+        sim_time_s: 60,
+    },
+    PerfScenario {
+        name: "small-sfama",
+        protocol: Protocol::SFama,
+        sensors: 20,
+        sim_time_s: 60,
+    },
+    PerfScenario {
+        name: "medium-ewmac",
+        protocol: Protocol::EwMac,
+        sensors: 60,
+        sim_time_s: 300,
+    },
+    PerfScenario {
+        name: "medium-sfama",
+        protocol: Protocol::SFama,
+        sensors: 60,
+        sim_time_s: 300,
+    },
+    PerfScenario {
+        name: "large-ewmac",
+        protocol: Protocol::EwMac,
+        sensors: 120,
+        sim_time_s: 120,
+    },
+    PerfScenario {
+        name: "large-sfama",
+        protocol: Protocol::SFama,
+        sensors: 120,
+        sim_time_s: 120,
+    },
+];
+
+/// Scenarios whose name starts with `prefix` (`"small"`, `"medium"`,
+/// `"large"`), or all of them for `"all"`.
+pub fn scenarios_matching(prefix: &str) -> Vec<PerfScenario> {
+    SCENARIOS
+        .iter()
+        .copied()
+        .filter(|s| prefix == "all" || s.name.starts_with(prefix))
+        .collect()
+}
+
+/// Both timed runs of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that ran.
+    pub scenario: PerfScenario,
+    /// Engine statistics of the cached-fan-out run.
+    pub fastpath: RunStats,
+    /// Engine statistics of the reference (recompute) run.
+    pub reference: RunStats,
+    /// Whether the two runs produced identical metrics reports (they must;
+    /// `false` here means the optimisation changed behaviour).
+    pub reports_equal: bool,
+}
+
+impl ScenarioResult {
+    /// Wall-clock events/sec ratio, fast over reference.
+    pub fn speedup(&self) -> f64 {
+        let reference = self.reference.events_per_wall_sec();
+        if reference > 0.0 {
+            self.fastpath.events_per_wall_sec() / reference
+        } else {
+            0.0
+        }
+    }
+
+    /// One JSON object for the `BENCH_perf.json` trajectory.
+    pub fn to_json(&self) -> JsonValue {
+        let run = |stats: &RunStats| {
+            JsonValue::Object(vec![
+                (
+                    "events".to_string(),
+                    JsonValue::from_u64(stats.events_processed),
+                ),
+                (
+                    "wall_us".to_string(),
+                    JsonValue::from_u64(stats.wall.as_micros() as u64),
+                ),
+                (
+                    "events_per_wall_sec".to_string(),
+                    JsonValue::from_f64(stats.events_per_wall_sec()),
+                ),
+            ])
+        };
+        JsonValue::Object(vec![
+            (
+                "name".to_string(),
+                JsonValue::from_string(self.scenario.name),
+            ),
+            (
+                "protocol".to_string(),
+                JsonValue::from_string(self.scenario.protocol.name()),
+            ),
+            (
+                "sensors".to_string(),
+                JsonValue::from_u64(self.scenario.sensors as u64),
+            ),
+            (
+                "sim_time_s".to_string(),
+                JsonValue::from_u64(self.scenario.sim_time_s),
+            ),
+            ("fastpath".to_string(), run(&self.fastpath)),
+            ("reference".to_string(), run(&self.reference)),
+            ("speedup".to_string(), JsonValue::from_f64(self.speedup())),
+            (
+                "reports_equal".to_string(),
+                JsonValue::Bool(self.reports_equal),
+            ),
+        ])
+    }
+}
+
+/// Runs one scenario on both paths and compares the outcomes.
+pub fn run_scenario(scenario: PerfScenario) -> ScenarioResult {
+    let cfg = scenario.config();
+    let fast = run_once_full(&cfg.clone().with_fastpath(true), scenario.protocol);
+    let reference = run_once_full(&cfg.with_fastpath(false), scenario.protocol);
+    ScenarioResult {
+        scenario,
+        reports_equal: fast.report == reference.report,
+        fastpath: fast.stats,
+        reference: reference.stats,
+    }
+}
+
+/// Assembles the full `BENCH_perf.json` document.
+pub fn perf_doc(results: &[ScenarioResult]) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "schema".to_string(),
+            JsonValue::from_string("uasn-bench-perf"),
+        ),
+        ("version".to_string(), JsonValue::from_u64(1)),
+        (
+            "scenarios".to_string(),
+            JsonValue::Array(results.iter().map(ScenarioResult::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_both_protocols_at_three_sizes() {
+        assert_eq!(SCENARIOS.len(), 6);
+        assert_eq!(scenarios_matching("small").len(), 2);
+        assert_eq!(scenarios_matching("medium").len(), 2);
+        assert_eq!(scenarios_matching("large").len(), 2);
+        assert_eq!(scenarios_matching("all").len(), 6);
+        assert!(scenarios_matching("nonsense").is_empty());
+        for s in SCENARIOS {
+            s.config().validate().expect("scenario config is valid");
+        }
+    }
+
+    #[test]
+    fn small_scenario_runs_and_serialises() {
+        // A miniature cell keeps this test cheap while exercising the full
+        // dual-run + JSON pipeline the bin uses.
+        let tiny = PerfScenario {
+            name: "tiny-ewmac",
+            protocol: Protocol::EwMac,
+            sensors: 8,
+            sim_time_s: 30,
+        };
+        let result = run_scenario(tiny);
+        assert!(result.reports_equal, "paths diverged");
+        assert_eq!(
+            result.fastpath.events_processed,
+            result.reference.events_processed
+        );
+        let doc = perf_doc(&[result]);
+        let text = doc.to_json();
+        let back = JsonValue::parse(&text).expect("round trip");
+        assert_eq!(
+            back.get("schema").and_then(JsonValue::as_str),
+            Some("uasn-bench-perf")
+        );
+        let scenarios = back.get("scenarios").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(
+            scenarios[0]
+                .get("reports_equal")
+                .and_then(JsonValue::as_bool),
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Golden-trace regression suite for the fan-out fast path.
+//!
+//! Every protocol in the roster runs a fixed seeded scenario at two node
+//! densities, once through the cached fan-out fast path and once through the
+//! recompute-everything reference path. The two JSONL trace exports must be
+//! **byte-identical** — the strongest behavioural-equivalence check the
+//! simulator offers, since the Debug-level trace records every event the
+//! engine processes — and their FNV-1a hash must match the golden checked
+//! into `tests/goldens/`, so a behaviour change in *either* path fails the
+//! suite even if both paths drift together.
+//!
+//! To bless new goldens after an intentional behaviour change:
+//!
+//! ```text
+//! UASN_UPDATE_GOLDENS=1 cargo test -p uasn-bench --test golden_trace
+//! ```
+
+use std::path::PathBuf;
+
+use uasn_bench::protocols::Protocol;
+use uasn_bench::runner::master_seed;
+use uasn_net::config::SimConfig;
+use uasn_net::node::NodeId;
+use uasn_net::world::Simulation;
+use uasn_sim::time::SimDuration;
+use uasn_sim::trace::TraceLevel;
+
+/// The roster under golden lockdown: the paper protocol plus every baseline.
+const GOLDEN_PROTOCOLS: [(Protocol, &str); 5] = [
+    (Protocol::SFama, "sfama"),
+    (Protocol::Ropa, "ropa"),
+    (Protocol::CsMac, "csmac"),
+    (Protocol::EwMac, "ewmac"),
+    (Protocol::Aloha, "aloha"),
+];
+
+fn golden_cfg(sensors: u32) -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(sensors)
+        .with_offered_load_kbps(0.5)
+        .with_sim_time(SimDuration::from_secs(40))
+        .with_seed(master_seed(0))
+}
+
+/// Runs one traced cell and returns the exported JSONL bytes.
+fn trace_bytes(cfg: &SimConfig, protocol: Protocol) -> Vec<u8> {
+    let factory = move |id: NodeId| protocol.build(id);
+    let out = Simulation::new(cfg.clone(), &factory)
+        .unwrap_or_else(|e| panic!("{} config rejected: {e}", protocol.name()))
+        .with_tracing(TraceLevel::Debug)
+        .run_full();
+    assert!(
+        out.tracer.health().is_lossless(),
+        "{}: trace capture dropped records — hashes would depend on capacity",
+        protocol.name()
+    );
+    let mut buf = Vec::new();
+    out.tracer
+        .export_jsonl(&mut buf)
+        .expect("in-memory export cannot fail");
+    buf
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn goldens_path(density: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("trace_hashes_{density}.txt"))
+}
+
+fn load_goldens(density: &str) -> Vec<(String, u64)> {
+    let path = goldens_path(density);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, hash) = l
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed golden line {l:?}"));
+            let hash = u64::from_str_radix(hash.trim(), 16)
+                .unwrap_or_else(|e| panic!("malformed golden hash in {l:?}: {e}"));
+            (name.to_string(), hash)
+        })
+        .collect()
+}
+
+fn write_goldens(density: &str, hashes: &[(String, u64)]) {
+    let path = goldens_path(density);
+    std::fs::create_dir_all(path.parent().unwrap()).expect("create goldens dir");
+    let mut text = String::from(
+        "# FNV-1a 64 hashes of the Debug-level JSONL trace of each seeded golden\n\
+         # cell (fast path and reference path export identical bytes; the suite\n\
+         # asserts that separately). Regenerate with UASN_UPDATE_GOLDENS=1.\n",
+    );
+    for (name, hash) in hashes {
+        text.push_str(&format!("{name} {hash:016x}\n"));
+    }
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Runs the full roster at one density: asserts fast == reference bytes and
+/// checks (or, under `UASN_UPDATE_GOLDENS`, rewrites) the golden hashes.
+fn check_density(density: &str, sensors: u32) {
+    let update = std::env::var_os("UASN_UPDATE_GOLDENS").is_some();
+    let mut hashes = Vec::new();
+    for (protocol, slug) in GOLDEN_PROTOCOLS {
+        let cfg = golden_cfg(sensors);
+        let fast = trace_bytes(&cfg.clone().with_fastpath(true), protocol);
+        let reference = trace_bytes(&cfg.with_fastpath(false), protocol);
+        assert!(
+            !fast.is_empty(),
+            "{slug}-{density}: empty trace — nothing was locked down"
+        );
+        assert!(
+            fast == reference,
+            "{slug}-{density}: fast path and reference traces differ \
+             (first divergence at byte {})",
+            fast.iter()
+                .zip(reference.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| fast.len().min(reference.len()))
+        );
+        hashes.push((format!("{slug}-{density}"), fnv1a64(&fast)));
+    }
+    if update {
+        write_goldens(density, &hashes);
+        return;
+    }
+    let goldens = load_goldens(density);
+    assert_eq!(
+        goldens.len(),
+        hashes.len(),
+        "golden file covers a different roster; regenerate with UASN_UPDATE_GOLDENS=1"
+    );
+    for ((got_name, got_hash), (want_name, want_hash)) in hashes.iter().zip(&goldens) {
+        assert_eq!(got_name, want_name, "golden roster order changed");
+        assert_eq!(
+            got_hash, want_hash,
+            "{got_name}: trace hash changed — behaviour drifted; if intentional, \
+             regenerate with UASN_UPDATE_GOLDENS=1 and review the diff"
+        );
+    }
+}
+
+#[test]
+fn golden_traces_sparse() {
+    check_density("sparse", 10);
+}
+
+#[test]
+fn golden_traces_dense() {
+    check_density("dense", 30);
+}

@@ -95,6 +95,12 @@ pub struct SimConfig {
     /// adds no events, so the seed event stream — and therefore every
     /// seeded run — is byte-for-byte unchanged.
     pub sample_interval: Option<SimDuration>,
+    /// When `true` (the default), transmissions fan out through the
+    /// per-pair [`uasn_phy::cache::LinkBudgetCache`] with acoustic-range
+    /// culling; when `false`, every broadcast recomputes each receiver's
+    /// link budget from positions — the slow reference path the golden-trace
+    /// suite compares against. Both paths produce bit-identical runs.
+    pub fastpath: bool,
 }
 
 impl SimConfig {
@@ -122,6 +128,7 @@ impl SimConfig {
             hello_init: false,
             data_bits_range: None,
             sample_interval: None,
+            fastpath: true,
         }
     }
 
@@ -202,6 +209,15 @@ impl SimConfig {
     /// Enables the periodic time-series sampler at `interval`.
     pub fn with_sample_interval(mut self, interval: SimDuration) -> Self {
         self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Selects between the cached fan-out (`true`, the default) and the
+    /// recompute-everything reference path (`false`). Runs are bit-identical
+    /// either way; the flag exists for the perf harness and the golden-trace
+    /// regression suite.
+    pub fn with_fastpath(mut self, fastpath: bool) -> Self {
+        self.fastpath = fastpath;
         self
     }
 

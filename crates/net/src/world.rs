@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 
+use uasn_phy::cache::LinkBudgetCache;
 use uasn_phy::channel::AcousticChannel;
 use uasn_phy::energy::EnergyMeter;
 use uasn_phy::geometry::Point;
@@ -110,6 +111,9 @@ struct NetworkWorld {
     clock: SlotClock,
     spec: ModemSpec,
     channel: AcousticChannel,
+    /// Memoized per-transmitter fan-out rows (consulted only when
+    /// `cfg.fastpath`; invalidated by mobility ticks).
+    link_cache: LinkBudgetCache,
     now: SimTime,
 
     roles: Vec<NodeRole>,
@@ -348,63 +352,53 @@ impl NetworkWorld {
             (frame.to_string(), fields)
         });
 
-        // Fan out arrivals to every audible node.
-        let src_pos = self.positions[node];
-        for j in 0..self.node_count() {
-            if j == node {
-                continue;
-            }
-            let dst_pos = self.positions[j];
-            if !self.channel.is_audible(src_pos, dst_pos) {
-                continue;
-            }
-            let delay = self.channel.propagation_delay(src_pos, dst_pos);
-            let pre_lost =
-                !self
-                    .channel
-                    .draw_delivery(&mut self.channel_rng, src_pos, dst_pos, frame.bits);
-            let rx_token = self.next_token;
-            self.next_token += 1;
-            let arrival_start = self.now + delay;
-            self.pending_rx.insert(
-                rx_token,
-                PendingRx {
-                    node: j as u32,
-                    frame: frame.clone(),
-                    arrival_start,
-                    pre_lost,
-                    group: token,
-                    is_echo: false,
-                    rid: None,
-                },
-            );
-            sched.at(arrival_start, NetEvent::RxStart { token: rx_token });
-            sched.at(
-                arrival_start + duration,
-                NetEvent::RxEnd { token: rx_token },
-            );
-
-            // Surface-bounce echo (when the channel models multipath): a
-            // delayed, data-less copy that occupies the receiver.
-            if self.channel.echo_audible(src_pos, dst_pos) {
-                let echo_delay = self.channel.echo_delay(src_pos, dst_pos);
-                let echo_token = self.next_token;
-                self.next_token += 1;
-                let echo_start = self.now + echo_delay;
-                self.pending_rx.insert(
-                    echo_token,
-                    PendingRx {
-                        node: j as u32,
-                        frame: frame.clone(),
-                        arrival_start: echo_start,
-                        pre_lost: true,
-                        group: token,
-                        is_echo: true,
-                        rid: None,
-                    },
+        // Fan out arrivals to every audible node. Both paths visit audible
+        // receivers in ascending index order and call the same arithmetic
+        // on the same `(distance, snr)` pairs, so the channel-RNG stream —
+        // and therefore the whole run — is bit-identical between them.
+        if self.cfg.fastpath {
+            self.link_cache
+                .ensure_row(&self.channel, &self.positions, node);
+            for k in 0..self.link_cache.row_len(node) {
+                let link = self.link_cache.link_at(node, k);
+                let pre_lost = !self.channel.draw_delivery_at(
+                    &mut self.channel_rng,
+                    link.distance_m,
+                    link.snr_db,
+                    frame.bits,
                 );
-                sched.at(echo_start, NetEvent::RxStart { token: echo_token });
-                sched.at(echo_start + duration, NetEvent::RxEnd { token: echo_token });
+                self.schedule_arrival(
+                    sched, link.rx, &frame, token, link.delay, duration, pre_lost,
+                );
+                if let Some(echo_delay) = link.echo_delay {
+                    self.schedule_echo(sched, link.rx, &frame, token, echo_delay, duration);
+                }
+            }
+        } else {
+            let src_pos = self.positions[node];
+            for j in 0..self.node_count() {
+                if j == node {
+                    continue;
+                }
+                let dst_pos = self.positions[j];
+                if !self.channel.is_audible(src_pos, dst_pos) {
+                    continue;
+                }
+                let delay = self.channel.propagation_delay(src_pos, dst_pos);
+                let pre_lost = !self.channel.draw_delivery(
+                    &mut self.channel_rng,
+                    src_pos,
+                    dst_pos,
+                    frame.bits,
+                );
+                self.schedule_arrival(sched, j as u32, &frame, token, delay, duration, pre_lost);
+
+                // Surface-bounce echo (when the channel models multipath):
+                // a delayed, data-less copy that occupies the receiver.
+                if self.channel.echo_audible(src_pos, dst_pos) {
+                    let echo_delay = self.channel.echo_delay(src_pos, dst_pos);
+                    self.schedule_echo(sched, j as u32, &frame, token, echo_delay, duration);
+                }
             }
         }
 
@@ -416,6 +410,72 @@ impl NetworkWorld {
                 token,
             },
         );
+    }
+
+    /// Books one direct-path reception: pending-rx entry plus its
+    /// `RxStart`/`RxEnd` pair. Token allocation order is part of the
+    /// determinism contract shared by the fast and reference fan-outs.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_arrival(
+        &mut self,
+        sched: &mut Schedule<'_, NetEvent>,
+        rx_node: u32,
+        frame: &Frame,
+        group: u64,
+        delay: SimDuration,
+        duration: SimDuration,
+        pre_lost: bool,
+    ) {
+        let rx_token = self.next_token;
+        self.next_token += 1;
+        let arrival_start = self.now + delay;
+        self.pending_rx.insert(
+            rx_token,
+            PendingRx {
+                node: rx_node,
+                frame: frame.clone(),
+                arrival_start,
+                pre_lost,
+                group,
+                is_echo: false,
+                rid: None,
+            },
+        );
+        sched.at(arrival_start, NetEvent::RxStart { token: rx_token });
+        sched.at(
+            arrival_start + duration,
+            NetEvent::RxEnd { token: rx_token },
+        );
+    }
+
+    /// Books one surface-echo reception: occupies the receiver, never
+    /// decodes.
+    fn schedule_echo(
+        &mut self,
+        sched: &mut Schedule<'_, NetEvent>,
+        rx_node: u32,
+        frame: &Frame,
+        group: u64,
+        echo_delay: SimDuration,
+        duration: SimDuration,
+    ) {
+        let echo_token = self.next_token;
+        self.next_token += 1;
+        let echo_start = self.now + echo_delay;
+        self.pending_rx.insert(
+            echo_token,
+            PendingRx {
+                node: rx_node,
+                frame: frame.clone(),
+                arrival_start: echo_start,
+                pre_lost: true,
+                group,
+                is_echo: true,
+                rid: None,
+            },
+        );
+        sched.at(echo_start, NetEvent::RxStart { token: echo_token });
+        sched.at(echo_start + duration, NetEvent::RxEnd { token: echo_token });
     }
 
     fn handle_tx_end(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, token: u64) {
@@ -661,6 +721,8 @@ impl NetworkWorld {
                 );
             }
         }
+        // Positions changed: every cached fan-out row is now a lie.
+        self.link_cache.invalidate();
         sched.after(dt, NetEvent::MobilityTick);
     }
 
@@ -688,15 +750,25 @@ impl NetworkWorld {
     /// two-hop views by listening), so the cost is one entry per audible
     /// neighbour regardless of scope; the scope decides whether refreshes
     /// happen at all and how often (the protocol's `periodic_refresh`).
-    fn maintenance_refresh_bits(&self, node: usize, scope: NeighborInfoScope) -> u64 {
+    fn maintenance_refresh_bits(&mut self, node: usize, scope: NeighborInfoScope) -> u64 {
         if scope == NeighborInfoScope::None {
             return 0;
         }
-        let p = self.positions[node];
-        let degree = (0..self.node_count())
-            .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
-            .count() as u64;
-        degree * ANNOUNCE_BITS_PER_ENTRY
+        self.audible_degree(node) as u64 * ANNOUNCE_BITS_PER_ENTRY
+    }
+
+    /// How many nodes can hear `node` right now (its one-hop degree).
+    fn audible_degree(&mut self, node: usize) -> usize {
+        if self.cfg.fastpath {
+            self.link_cache
+                .ensure_row(&self.channel, &self.positions, node);
+            self.link_cache.row_len(node)
+        } else {
+            let p = self.positions[node];
+            (0..self.node_count())
+                .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
+                .count()
+        }
     }
 
     fn handle_sample_tick(&mut self, sched: &mut Schedule<'_, NetEvent>) {
@@ -747,10 +819,7 @@ impl NetworkWorld {
             // with how many neighbours the protocol must monitor.
             let mw = self.maintenance[node].listen_mw_per_neighbor;
             if mw > 0.0 {
-                let p = self.positions[node];
-                let degree = (0..self.node_count())
-                    .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
-                    .count() as f64;
+                let degree = self.audible_degree(node) as f64;
                 self.meters[node].charge_joules(mw / 1_000.0 * degree * duration_s);
             }
         }
@@ -1015,10 +1084,12 @@ impl Simulation {
             TrafficPattern::Batch { window, .. } => (None, SimTime::ZERO + window),
         };
 
+        let link_cache = LinkBudgetCache::new(&channel, n);
         let mut world = NetworkWorld {
             clock,
             spec,
             channel,
+            link_cache,
             now: SimTime::ZERO,
             roles,
             positions,
@@ -1047,8 +1118,10 @@ impl Simulation {
             cfg,
         };
 
-        // Seed the event queue.
-        let mut engine = Engine::new();
+        // Seed the event queue, pre-sized for the steady state: each
+        // in-flight transmission pends ~2 events per audible receiver, plus
+        // the periodic ticks and hello beacons.
+        let mut engine = Engine::new().with_queue_capacity(128 + 16 * n);
         engine.seed_event(SimTime::ZERO, NetEvent::Start);
         engine.seed_event(SimTime::ZERO, NetEvent::SlotStart(0));
         if world.series.is_some() {
@@ -1443,6 +1516,29 @@ mod tests {
             .kind_counts
             .iter()
             .any(|&(k, c)| k == "sample" && c == 12));
+    }
+
+    #[test]
+    fn fastpath_and_reference_runs_are_identical() {
+        // The whole optimisation contract in one assertion: caching and
+        // culling may not change any measured number.
+        for cfg in [
+            small_cfg(),
+            small_cfg().with_mobility(0.5),
+            SimConfig {
+                hello_init: true,
+                forwarding: true,
+                ..small_cfg()
+            },
+        ] {
+            let fast = Simulation::new(cfg.clone().with_fastpath(true), &blast_factory)
+                .unwrap()
+                .run();
+            let reference = Simulation::new(cfg.with_fastpath(false), &blast_factory)
+                .unwrap()
+                .run();
+            assert_eq!(fast, reference);
+        }
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Per-pair link-budget memoization for the transmission fan-out hot path.
+//!
+//! Every transmission in the network simulator asks the channel, for each
+//! potential receiver: distance, SNR (which re-evaluates the four-component
+//! Wenz noise integral every call), propagation delay, audibility, and —
+//! when multipath is configured — the surface-echo geometry. On a static
+//! topology none of that changes between transmissions, so
+//! [`LinkBudgetCache`] computes each transmitter's audible-receiver row once
+//! and replays it until a mobility epoch invalidates it.
+//!
+//! Correctness contract (enforced by the differential tests in
+//! `crates/phy/tests` and the golden-trace suite in `crates/bench/tests`):
+//! a cached row must list **exactly** the receivers the uncached loop would
+//! visit, in the same (ascending) order, with bit-identical `(distance,
+//! snr)` pairs — because the channel RNG is consumed per audible receiver
+//! in that order, any divergence desynchronizes the random stream and
+//! changes the run.
+
+use uasn_sim::time::SimDuration;
+
+use crate::channel::AcousticChannel;
+use crate::geometry::Point;
+
+/// Safety factor applied on top of [`AcousticChannel::detection_radius_m`]
+/// before culling a receiver without an exact audibility check.
+///
+/// The radius is exact for the range-cutoff PER and a 64-iteration bisection
+/// for the SNR-threshold PER, so the honest requirement is only "strictly
+/// greater than 1"; 5% also absorbs the last-ULP difference between the
+/// culling test's squared-distance comparison and the exact
+/// `Point::distance` the audibility check uses.
+pub const CULL_MARGIN: f64 = 1.05;
+
+/// One memoized transmitter→receiver link.
+///
+/// `distance_m` and `snr_db` are exactly the values
+/// [`AcousticChannel::loss_probability`] would recompute from positions, so
+/// feeding them to [`AcousticChannel::draw_delivery_at`] reproduces the
+/// uncached delivery draw bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedLink {
+    /// Receiver node index.
+    pub rx: u32,
+    /// Direct-path distance, metres.
+    pub distance_m: f64,
+    /// Direct-path SNR, dB.
+    pub snr_db: f64,
+    /// Direct-path propagation delay.
+    pub delay: SimDuration,
+    /// Surface-echo propagation delay, present iff the echo is audible
+    /// under the channel's multipath model.
+    pub echo_delay: Option<SimDuration>,
+}
+
+/// One transmitter's cached fan-out row.
+#[derive(Debug, Clone, Default)]
+struct Row {
+    /// Epoch the row was built at; 0 means never built (epochs start at 1).
+    epoch: u64,
+    links: Vec<CachedLink>,
+}
+
+/// Memoizes each transmitter's audible receivers with their link budgets.
+///
+/// Rows are built lazily (a node that never transmits never pays) and
+/// invalidated in O(1) by bumping the global epoch when node positions
+/// change.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::cache::LinkBudgetCache;
+/// use uasn_phy::channel::AcousticChannel;
+/// use uasn_phy::geometry::Point;
+///
+/// let ch = AcousticChannel::paper_default();
+/// let positions = vec![
+///     Point::new(0.0, 0.0, 100.0),
+///     Point::new(1_000.0, 0.0, 100.0),
+///     Point::new(9_000.0, 0.0, 100.0), // out of range
+/// ];
+/// let mut cache = LinkBudgetCache::new(&ch, positions.len());
+/// cache.ensure_row(&ch, &positions, 0);
+/// assert_eq!(cache.row_len(0), 1); // only node 1 is audible
+/// assert_eq!(cache.link_at(0, 0).rx, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkBudgetCache {
+    epoch: u64,
+    /// Squared cull radius (margin applied), `None` when the PER model
+    /// admits no sound bound and every pair needs an exact check.
+    cull_radius_sq: Option<f64>,
+    rows: Vec<Row>,
+}
+
+impl LinkBudgetCache {
+    /// Creates an empty cache for `node_count` nodes, deriving the culling
+    /// radius from the channel's PER model.
+    pub fn new(channel: &AcousticChannel, node_count: usize) -> Self {
+        let cull_radius_sq = channel.detection_radius_m().map(|r| {
+            let padded = r * CULL_MARGIN;
+            padded * padded
+        });
+        LinkBudgetCache {
+            epoch: 1,
+            cull_radius_sq,
+            rows: vec![Row::default(); node_count],
+        }
+    }
+
+    /// Current mobility epoch (starts at 1; rows stamped with an older
+    /// epoch are stale).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invalidates every row in O(1); call after any position update.
+    pub fn invalidate(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Builds (or refreshes) transmitter `tx`'s row from current positions.
+    ///
+    /// The row enumerates receivers in ascending index order — the same
+    /// order the uncached fan-out visits them — keeping every receiver the
+    /// uncached loop would keep and nothing else. The cull radius only
+    /// short-circuits pairs that are provably inaudible; every surviving
+    /// pair still goes through the exact audibility arithmetic.
+    pub fn ensure_row(&mut self, channel: &AcousticChannel, positions: &[Point], tx: usize) {
+        if self.rows.len() != positions.len() {
+            self.rows.resize(positions.len(), Row::default());
+        }
+        if self.rows[tx].epoch == self.epoch {
+            return;
+        }
+        let from = positions[tx];
+        let links = &mut self.rows[tx].links;
+        links.clear();
+        for (j, &to) in positions.iter().enumerate() {
+            if j == tx {
+                continue;
+            }
+            if let Some(r2) = self.cull_radius_sq {
+                let dx = from.x - to.x;
+                let dy = from.y - to.y;
+                let dz = from.z - to.z;
+                if dx * dx + dy * dy + dz * dz > r2 {
+                    continue;
+                }
+            }
+            let distance_m = from.distance(to);
+            let snr_db = channel.budget().snr_db(distance_m);
+            // Same arithmetic as `AcousticChannel::is_audible`, reusing the
+            // distance and SNR just computed.
+            if channel.loss_probability_at(distance_m, snr_db, 1) >= 1.0 {
+                continue;
+            }
+            let echo_delay = channel
+                .echo_audible(from, to)
+                .then(|| channel.echo_delay(from, to));
+            links.push(CachedLink {
+                rx: j as u32,
+                distance_m,
+                snr_db,
+                delay: channel.propagation_delay(from, to),
+                echo_delay,
+            });
+        }
+        self.rows[tx].epoch = self.epoch;
+    }
+
+    /// Number of audible receivers in `tx`'s row (the node's degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the row is stale — call
+    /// [`ensure_row`](Self::ensure_row) first.
+    pub fn row_len(&self, tx: usize) -> usize {
+        debug_assert_eq!(self.rows[tx].epoch, self.epoch, "row {tx} is stale");
+        self.rows[tx].links.len()
+    }
+
+    /// The `k`-th cached link of transmitter `tx`.
+    ///
+    /// Returned by value (`CachedLink` is `Copy`) so callers can interleave
+    /// lookups with mutation of their own state during the fan-out.
+    pub fn link_at(&self, tx: usize, k: usize) -> CachedLink {
+        debug_assert_eq!(self.rows[tx].epoch, self.epoch, "row {tx} is stale");
+        self.rows[tx].links[k]
+    }
+
+    /// The full row as a slice (for tests and bulk inspection).
+    pub fn row(&self, tx: usize) -> &[CachedLink] {
+        debug_assert_eq!(self.rows[tx].epoch, self.epoch, "row {tx} is stale");
+        &self.rows[tx].links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing_m: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing_m, 0.0, 500.0))
+            .collect()
+    }
+
+    #[test]
+    fn row_matches_uncached_audible_set_in_order() {
+        let ch = AcousticChannel::paper_default();
+        let positions = line(8, 600.0);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        for tx in 0..positions.len() {
+            cache.ensure_row(&ch, &positions, tx);
+            let expected: Vec<u32> = (0..positions.len())
+                .filter(|&j| j != tx && ch.is_audible(positions[tx], positions[j]))
+                .map(|j| j as u32)
+                .collect();
+            let got: Vec<u32> = cache.row(tx).iter().map(|l| l.rx).collect();
+            assert_eq!(got, expected, "tx {tx}");
+        }
+    }
+
+    #[test]
+    fn cached_values_are_bit_identical_to_recomputation() {
+        let ch = AcousticChannel::paper_default();
+        let positions = line(6, 700.0);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        cache.ensure_row(&ch, &positions, 2);
+        for link in cache.row(2) {
+            let to = positions[link.rx as usize];
+            let d = positions[2].distance(to);
+            assert_eq!(link.distance_m.to_bits(), d.to_bits());
+            assert_eq!(link.snr_db.to_bits(), ch.budget().snr_db(d).to_bits());
+            assert_eq!(link.delay, ch.propagation_delay(positions[2], to));
+        }
+    }
+
+    #[test]
+    fn invalidate_rebuilds_after_positions_move() {
+        let ch = AcousticChannel::paper_default();
+        let mut positions = line(3, 1_000.0);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        cache.ensure_row(&ch, &positions, 0);
+        assert_eq!(cache.row_len(0), 1, "only the 1 km neighbour is audible");
+        // Node 2 drifts into range; without invalidation the row is stale
+        // by design, after invalidation it must pick the move up.
+        positions[2] = Point::new(1_400.0, 0.0, 500.0);
+        cache.invalidate();
+        cache.ensure_row(&ch, &positions, 0);
+        assert_eq!(cache.row_len(0), 2);
+    }
+
+    #[test]
+    fn echo_delays_cached_when_multipath_enabled() {
+        let ch = AcousticChannel::paper_default().with_two_ray(6.0);
+        let positions = vec![Point::new(0.0, 0.0, 100.0), Point::new(300.0, 0.0, 150.0)];
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        cache.ensure_row(&ch, &positions, 0);
+        let link = cache.link_at(0, 0);
+        assert_eq!(
+            link.echo_delay,
+            Some(ch.echo_delay(positions[0], positions[1]))
+        );
+        // Without multipath no echo is ever recorded.
+        let dry = AcousticChannel::paper_default();
+        let mut cache = LinkBudgetCache::new(&dry, positions.len());
+        cache.ensure_row(&dry, &positions, 0);
+        assert_eq!(cache.link_at(0, 0).echo_delay, None);
+    }
+
+    #[test]
+    fn modulation_per_disables_culling_but_row_is_still_exact() {
+        use crate::noise::AmbientNoise;
+        use crate::per::{Modulation, PerModel};
+        use crate::propagation::{LinkBudget, Spreading, TransmissionLoss};
+        use crate::sound::SoundSpeedProfile;
+
+        let ch = AcousticChannel::new(
+            SoundSpeedProfile::default(),
+            LinkBudget::new(
+                140.0,
+                TransmissionLoss::new(Spreading::Spherical, 10.0),
+                AmbientNoise::default(),
+                12_000.0,
+            ),
+            PerModel::Modulation {
+                scheme: Modulation::NcFsk,
+                bandwidth_over_bitrate: 1.0,
+            },
+            1_500.0,
+        );
+        assert_eq!(ch.detection_radius_m(), None);
+        let positions = line(5, 2_000.0);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        cache.ensure_row(&ch, &positions, 0);
+        // Probabilistic PER never reaches loss 1: everyone is audible.
+        assert_eq!(cache.row_len(0), positions.len() - 1);
+    }
+}

@@ -193,11 +193,25 @@ impl AcousticChannel {
         self.budget.snr_db(from.distance(to))
     }
 
+    /// The link budget (source level, loss model, noise, bandwidth).
+    pub fn budget(&self) -> &LinkBudget {
+        &self.budget
+    }
+
     /// Probability that a `bits`-bit frame from `from` is lost at `to`
     /// (before considering collisions).
     pub fn loss_probability(&self, from: Point, to: Point, bits: u32) -> f64 {
         let d = from.distance(to);
-        self.per.loss_probability(d, self.budget.snr_db(d), bits)
+        self.loss_probability_at(d, self.budget.snr_db(d), bits)
+    }
+
+    /// [`loss_probability`](Self::loss_probability) for a pre-computed
+    /// distance and SNR — the entry point used by the
+    /// [`LinkBudgetCache`](crate::cache::LinkBudgetCache) fast path. Feeding
+    /// back the exact `(distance, snr)` pair this channel computed for a
+    /// link yields a bit-identical probability.
+    pub fn loss_probability_at(&self, distance_m: f64, snr_db: f64, bits: u32) -> f64 {
+        self.per.loss_probability(distance_m, snr_db, bits)
     }
 
     /// Whether `to` can hear transmissions from `from` at all.
@@ -209,13 +223,57 @@ impl AcousticChannel {
     /// Draws whether a specific frame survives the channel (PER only; the
     /// receiver's modem ledger decides collisions separately).
     pub fn draw_delivery<R: Rng>(&self, rng: &mut R, from: Point, to: Point, bits: u32) -> bool {
-        let p_loss = self.loss_probability(from, to, bits);
+        let d = from.distance(to);
+        self.draw_delivery_at(rng, d, self.budget.snr_db(d), bits)
+    }
+
+    /// [`draw_delivery`](Self::draw_delivery) for a pre-computed distance
+    /// and SNR. Consumes RNG draws exactly when the position-based form
+    /// would (only for probabilities strictly inside (0, 1)), which is what
+    /// keeps cached and uncached runs on the same random stream.
+    pub fn draw_delivery_at<R: Rng>(
+        &self,
+        rng: &mut R,
+        distance_m: f64,
+        snr_db: f64,
+        bits: u32,
+    ) -> bool {
+        let p_loss = self.loss_probability_at(distance_m, snr_db, bits);
         if p_loss <= 0.0 {
             true
         } else if p_loss >= 1.0 {
             false
         } else {
             rng.gen_range(0.0..1.0) >= p_loss
+        }
+    }
+
+    /// A radius guaranteed to contain every audible receiver, if one can be
+    /// derived from the PER model: any receiver strictly beyond the returned
+    /// distance is provably inaudible (loss probability 1), so range culling
+    /// may skip it without checking. `None` means no sound bound exists
+    /// (e.g. modulation-based PER, where loss stays below 1 at any range)
+    /// and callers must fall back to exact per-pair audibility checks.
+    pub fn detection_radius_m(&self) -> Option<f64> {
+        match self.per {
+            // Exact: audible iff distance ≤ range_m.
+            PerModel::RangeCutoff { range_m } => Some(range_m),
+            // SNR declines monotonically with range (spreading + absorption
+            // both grow), so the threshold crossing bounds audibility. The
+            // bisection is approximate; callers add CULL_MARGIN on top.
+            PerModel::SnrThreshold { threshold_db } => {
+                let cap = 100.0 * self.max_range_m;
+                if self.budget.snr_db(1.0) < threshold_db {
+                    // Link closes nowhere: every receiver is inaudible.
+                    Some(0.0)
+                } else {
+                    // None here means the link still closes at the cap —
+                    // no useful bound, fall back to exact checks.
+                    self.budget.range_for_snr(threshold_db, cap)
+                }
+            }
+            // 1 − (1 − BER)^bits < 1 for any finite range: no cutoff.
+            PerModel::Modulation { .. } => None,
         }
     }
 }

@@ -14,6 +14,7 @@
 //!   receiver link budget.
 //! * [`per`] — packet-error models: deterministic range cutoff (the paper's
 //!   regime), SNR threshold, and modulation-based BER/PER.
+//! * [`cache`] — per-pair link-budget memoization for the fan-out hot path.
 //! * [`modem`] — the half-duplex modem with an overlap (collision) ledger.
 //! * [`energy`] — power-state energy metering in the paper's mW units.
 //! * [`mobility`] — the paper's static/horizontal/vertical location models.
@@ -41,6 +42,7 @@
 
 pub mod absorption;
 pub mod band;
+pub mod cache;
 pub mod channel;
 pub mod energy;
 pub mod geometry;
@@ -51,6 +53,7 @@ pub mod per;
 pub mod propagation;
 pub mod sound;
 
+pub use cache::{CachedLink, LinkBudgetCache};
 pub use channel::AcousticChannel;
 pub use energy::{EnergyMeter, PowerProfile};
 pub use geometry::{Point, Region};

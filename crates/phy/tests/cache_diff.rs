@@ -1,0 +1,168 @@
+//! Differential properties of [`LinkBudgetCache`] against direct channel
+//! recomputation, over random topologies and all three PER models.
+//!
+//! The cache feeds the network layer's fan-out fast path, whose determinism
+//! contract is exact: the cached row must contain **exactly** the receivers
+//! the uncached loop would visit, in ascending order, with bit-identical
+//! link budgets — otherwise the channel RNG stream desynchronizes and runs
+//! diverge. These properties pin each clause of that contract, including
+//! the one the acceptance gate singles out: acoustic-range culling never
+//! drops a receiver whose packet-error rate is below 1.
+
+use proptest::prelude::*;
+
+use uasn_phy::cache::{LinkBudgetCache, CULL_MARGIN};
+use uasn_phy::channel::AcousticChannel;
+use uasn_phy::geometry::Point;
+use uasn_phy::noise::AmbientNoise;
+use uasn_phy::per::{Modulation, PerModel};
+use uasn_phy::propagation::{LinkBudget, Spreading, TransmissionLoss};
+use uasn_phy::sound::SoundSpeedProfile;
+
+/// A channel for PER-model index `model` (0 = range cutoff, 1 = SNR
+/// threshold, 2 = probabilistic modulation), with a configurable cutoff so
+/// the proptest sweep exercises different audible-set shapes.
+fn channel_for(model: u8, cutoff: f64) -> AcousticChannel {
+    let per = match model {
+        0 => PerModel::RangeCutoff { range_m: cutoff },
+        1 => PerModel::SnrThreshold {
+            threshold_db: cutoff / 100.0,
+        },
+        _ => PerModel::Modulation {
+            scheme: Modulation::NcFsk,
+            bandwidth_over_bitrate: 1.0,
+        },
+    };
+    AcousticChannel::new(
+        SoundSpeedProfile::default(),
+        LinkBudget::new(
+            170.0,
+            TransmissionLoss::new(Spreading::Spherical, 10.0),
+            AmbientNoise::default(),
+            12_000.0,
+        ),
+        per,
+        1_500.0,
+    )
+}
+
+/// Random node positions inside a 6 km × 6 km × 1 km box.
+fn positions_strategy() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..6_000.0, 0.0f64..6_000.0, 0.0f64..1_000.0), 2..12).prop_map(
+        |coords| {
+            coords
+                .into_iter()
+                .map(|(x, y, z)| Point::new(x, y, z))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    /// The row is exactly the uncached audible set, ascending, and the
+    /// cached numbers are the recomputed numbers to the last ULP.
+    #[test]
+    fn cached_rows_match_direct_recomputation(
+        positions in positions_strategy(),
+        model in 0u8..3,
+        cutoff in 400.0f64..4_000.0,
+    ) {
+        let ch = channel_for(model, cutoff);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        for tx in 0..positions.len() {
+            cache.ensure_row(&ch, &positions, tx);
+            let from = positions[tx];
+            let expected: Vec<usize> = (0..positions.len())
+                .filter(|&j| j != tx && ch.is_audible(from, positions[j]))
+                .collect();
+            let got: Vec<usize> =
+                cache.row(tx).iter().map(|l| l.rx as usize).collect();
+            prop_assert_eq!(&got, &expected, "audible set mismatch for tx {}", tx);
+            for link in cache.row(tx) {
+                let to = positions[link.rx as usize];
+                let d = from.distance(to);
+                prop_assert_eq!(link.distance_m.to_bits(), d.to_bits());
+                prop_assert_eq!(
+                    link.snr_db.to_bits(),
+                    ch.budget().snr_db(d).to_bits()
+                );
+                prop_assert_eq!(link.delay, ch.propagation_delay(from, to));
+                prop_assert_eq!(link.echo_delay, None, "no multipath configured");
+            }
+        }
+    }
+
+    /// Culling soundness: no receiver with a packet-error rate below 1 is
+    /// ever culled, for any PER model and any geometry.
+    #[test]
+    fn culling_never_drops_a_deliverable_receiver(
+        positions in positions_strategy(),
+        model in 0u8..3,
+        cutoff in 400.0f64..4_000.0,
+        bits in 1u32..2_048,
+    ) {
+        let ch = channel_for(model, cutoff);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        for tx in 0..positions.len() {
+            cache.ensure_row(&ch, &positions, tx);
+            let from = positions[tx];
+            for (j, &to) in positions.iter().enumerate() {
+                if j == tx {
+                    continue;
+                }
+                if ch.loss_probability(from, to, bits) < 1.0 {
+                    prop_assert!(
+                        cache.row(tx).iter().any(|l| l.rx as usize == j),
+                        "tx {} culled deliverable receiver {}", tx, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// The padded cull radius really over-approximates the detection
+    /// radius: anything audible sits inside it, with margin to spare.
+    #[test]
+    fn detection_radius_bounds_every_audible_pair(
+        positions in positions_strategy(),
+        model in 0u8..2, // only the deterministic models define a radius
+        cutoff in 400.0f64..4_000.0,
+    ) {
+        let ch = channel_for(model, cutoff);
+        prop_assume!(ch.detection_radius_m().is_some());
+        let radius = ch.detection_radius_m().unwrap();
+        for (i, &from) in positions.iter().enumerate() {
+            for (j, &to) in positions.iter().enumerate() {
+                if i != j && ch.is_audible(from, to) {
+                    prop_assert!(
+                        from.distance(to) <= radius * CULL_MARGIN,
+                        "audible pair ({}, {}) at {} m outside padded radius {} m",
+                        i, j, from.distance(to), radius * CULL_MARGIN
+                    );
+                }
+            }
+        }
+    }
+
+    /// Echo delays are cached exactly when the channel's multipath model
+    /// makes the surface echo audible.
+    #[test]
+    fn multipath_rows_cache_exact_echo_delays(
+        positions in positions_strategy(),
+        surface_loss_db in 1.0f64..12.0,
+    ) {
+        let ch = channel_for(0, 2_500.0).with_two_ray(surface_loss_db);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        for tx in 0..positions.len() {
+            cache.ensure_row(&ch, &positions, tx);
+            let from = positions[tx];
+            for link in cache.row(tx) {
+                let to = positions[link.rx as usize];
+                let expected = ch
+                    .echo_audible(from, to)
+                    .then(|| ch.echo_delay(from, to));
+                prop_assert_eq!(link.echo_delay, expected);
+            }
+        }
+    }
+}

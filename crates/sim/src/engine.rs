@@ -322,6 +322,14 @@ impl<E> Engine<E> {
         self
     }
 
+    /// Pre-sizes the event queue for `capacity` simultaneously pending
+    /// events, so steady-state push/pop never reallocates. Only a hint —
+    /// the queue still grows past it if needed.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue = EventQueue::with_capacity(capacity);
+        self
+    }
+
     /// Schedules an initial event before the run starts.
     ///
     /// # Panics

@@ -4,16 +4,25 @@
 //! number is a monotonically increasing tiebreaker so that events scheduled
 //! at the same instant pop in **insertion order** — the property that makes
 //! whole-network runs bit-for-bit reproducible across platforms regardless of
-//! `BinaryHeap`'s internal (unstable) ordering of equal keys.
+//! `BinaryHeap`'s internal (unstable) ordering of equal keys. Both components
+//! are packed into one `u128` (`time << 64 | sequence`), so heap sift
+//! comparisons are a single integer compare instead of two chained ones.
 //!
-//! Events support O(log n) lazy cancellation via [`EventKey`] handles.
+//! Events support O(log n) lazy cancellation via [`EventKey`] handles. The
+//! cancellation bookkeeping is a slab of reusable slots (generation-tagged to
+//! stop stale keys from resurrecting reused slots), replacing the two hash
+//! sets the first implementation paid for on every push/pop.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Encodes a slab slot plus its generation at schedule time; a key whose
+/// slot has since been freed and reused no longer matches and cancels
+/// nothing.
 ///
 /// # Examples
 ///
@@ -29,20 +38,40 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventKey(u64);
 
+impl EventKey {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventKey((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Heap entry: the packed ordering key plus the slab slot owning the
+/// payload's liveness state.
 #[derive(Debug)]
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    /// `time.as_micros() << 64 | seq` — min-heap order in one compare.
+    key: u128,
+    slot: u32,
     payload: E,
+}
+
+impl<E> Entry<E> {
+    fn time(&self) -> SimTime {
+        SimTime::from_micros((self.key >> 64) as u64)
+    }
 }
 
 // Min-heap ordering: BinaryHeap is a max-heap, so reverse the comparison.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 impl<E> PartialOrd for Entry<E> {
@@ -52,10 +81,30 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
+
+/// Liveness of one slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Not referenced by any heap entry; available for reuse.
+    Free,
+    /// A pending (deliverable) heap entry points here.
+    Live,
+    /// The entry was cancelled; the heap still holds its carcass.
+    Cancelled,
+}
+
+/// One slab slot: the state of the heap entry pointing at it plus a
+/// generation counter bumped on every free, which invalidates outstanding
+/// [`EventKey`]s for earlier occupancies of the slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
 
 /// A deterministic future-event list.
 ///
@@ -80,9 +129,10 @@ impl<E> Eq for Entry<E> {}
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Sequence numbers currently pending in the heap.
-    live: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Pending non-cancelled entries (`heap` minus cancelled carcasses).
+    live: usize,
     /// Time of the most recently popped event; schedules may never precede it.
     watermark: SimTime,
 }
@@ -96,11 +146,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the watermark at t = 0.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` simultaneously
+    /// pending events, so steady-state push/pop never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
             watermark: SimTime::ZERO,
         }
     }
@@ -121,9 +178,29 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { time, seq, payload });
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].state = SlotState::Live;
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                // Generations start at 1 so a zero-valued key never matches.
+                self.slots.push(Slot {
+                    gen: 1,
+                    state: SlotState::Live,
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.live += 1;
+        self.heap.push(Entry {
+            key: (time.as_micros() as u128) << 64 | seq as u128,
+            slot,
+            payload,
+        });
+        EventKey::new(slot, gen)
     }
 
     /// Cancels a previously scheduled event.
@@ -131,10 +208,23 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event had not yet fired (and is now guaranteed
     /// never to fire), `false` if it already fired or was already cancelled.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if !self.live.remove(&key.0) {
+        let Some(slot) = self.slots.get_mut(key.slot() as usize) else {
+            return false;
+        };
+        if slot.gen != key.generation() || slot.state != SlotState::Live {
             return false;
         }
-        self.cancelled.insert(key.0)
+        slot.state = SlotState::Cancelled;
+        self.live -= 1;
+        true
+    }
+
+    /// Returns the slot to the free list, invalidating outstanding keys.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.state = SlotState::Free;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
     }
 
     /// Removes and returns the next live event as `(time, payload)`.
@@ -143,12 +233,15 @@ impl<E> EventQueue<E> {
     /// watermark to the popped event's time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let cancelled = self.slots[entry.slot as usize].state == SlotState::Cancelled;
+            self.release(entry.slot);
+            if cancelled {
                 continue;
             }
-            self.live.remove(&entry.seq);
-            self.watermark = entry.time;
-            return Some((entry.time, entry.payload));
+            self.live -= 1;
+            let time = entry.time();
+            self.watermark = time;
+            return Some((time, entry.payload));
         }
         None
     }
@@ -156,25 +249,25 @@ impl<E> EventQueue<E> {
     /// The time of the next live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if self.slots[entry.slot as usize].state == SlotState::Cancelled {
+                let slot = entry.slot;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.release(slot);
                 continue;
             }
-            return Some(entry.time);
+            return Some(entry.time());
         }
         None
     }
 
     /// Number of live (non-cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// The time of the most recently popped event.
@@ -249,6 +342,32 @@ mod tests {
     }
 
     #[test]
+    fn stale_key_does_not_cancel_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        // "a" fired, freeing its slot; "b" reuses it with a bumped
+        // generation, so the stale key must not touch it.
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        // After "b" fires its key goes stale too.
+        assert!(!q.cancel(b));
+    }
+
+    #[test]
+    fn cancelled_slot_reuse_keeps_fresh_event_alive() {
+        let mut q = EventQueue::new();
+        let doomed = q.schedule(SimTime::from_secs(5), "doomed");
+        assert!(q.cancel(doomed));
+        // The carcass still occupies the heap; scheduling a replacement must
+        // not resurrect the cancelled payload or kill the fresh one.
+        q.schedule(SimTime::from_secs(1), "fresh");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "fresh")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn len_accounts_for_cancellations() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_secs(1), ());
@@ -297,6 +416,28 @@ mod tests {
         q.schedule(SimTime::from_secs(9), ());
         q.pop();
         assert_eq!(q.watermark(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(1), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 2)));
+    }
+
+    #[test]
+    fn slots_are_reused_not_leaked() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            q.schedule(SimTime::from_secs(round), round);
+            q.pop();
+        }
+        // A schedule/pop ping-pong touches one slot forever.
+        assert_eq!(q.slots.len(), 1);
+        assert_eq!(q.scheduled_count(), 1_000);
     }
 
     #[test]
