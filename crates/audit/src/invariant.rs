@@ -73,6 +73,12 @@ pub struct Violation {
     pub node: Option<usize>,
     /// Human-readable description citing the evidence.
     pub detail: String,
+    /// The measured error the check compared (e.g. distance from the slot
+    /// boundary, overlap depth into a reserved interval), microseconds.
+    pub observed_us: Option<u64>,
+    /// The bound the run's configuration allowed for that error
+    /// (guard band + clock-error tolerance), microseconds.
+    pub allowed_us: Option<u64>,
 }
 
 impl fmt::Display for Violation {
@@ -81,7 +87,11 @@ impl fmt::Display for Violation {
         if let Some(node) = self.node {
             write!(f, " n{node}")?;
         }
-        write!(f, " @ {} us: {}", self.time_us, self.detail)
+        write!(f, " @ {} us: {}", self.time_us, self.detail)?;
+        if let (Some(observed), Some(allowed)) = (self.observed_us, self.allowed_us) {
+            write!(f, " (observed {observed} us, allowed {allowed} us)")?;
+        }
+        Ok(())
     }
 }
 
@@ -145,6 +155,8 @@ fn check_overlapping_receptions(model: &TraceModel, out: &mut Vec<Violation>) {
                             p.start_us,
                             p.end_us
                         ),
+                        observed_us: Some(p.end_us.saturating_sub(rx.start_us)),
+                        allowed_us: Some(0),
                     });
                 }
             }
@@ -198,6 +210,12 @@ fn check_half_duplex(model: &TraceModel, out: &mut Vec<Violation>) {
                         tx.time_us,
                         tx_end
                     ),
+                    observed_us: Some(
+                        tx_end
+                            .min(rx.end_us)
+                            .saturating_sub(tx.time_us.max(rx.start_us)),
+                    ),
+                    allowed_us: Some(0),
                 });
             }
         }
@@ -205,30 +223,41 @@ fn check_half_duplex(model: &TraceModel, out: &mut Vec<Violation>) {
 }
 
 /// Slotted protocols (EW-MAC variants, S-FAMA) send every negotiated
-/// control and data frame on a slot boundary. Beacons, RTAs, and EW-MAC's
-/// extra frames are deliberately mid-slot and exempt.
+/// control and data frame on a slot boundary — within the run's timing
+/// tolerance ([`RunInfo::tolerance_us`]): with ideal clocks the tolerance
+/// is zero and the check is exact, while drifting clocks are allowed to
+/// perceive the boundary up to guard + 2·clock-error away. Beacons, RTAs,
+/// and EW-MAC's extra frames are deliberately mid-slot and exempt.
 fn check_slot_alignment(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
     if !run.is_slot_aligned() || run.slot_us == 0 {
         return;
     }
+    let tolerance = run.tolerance_us();
     for tx in &model.tx {
         let slotted = matches!(
             tx.kind,
             FrameKind::Rts | FrameKind::Cts | FrameKind::Data | FrameKind::Ack
         );
-        if slotted && tx.time_us % run.slot_us != 0 {
+        if !slotted {
+            continue;
+        }
+        let offset = tx.time_us % run.slot_us;
+        // Distance to the *nearest* boundary: a fast clock fires a hair
+        // before the slot starts, which the modulus reads as almost a full
+        // slot late.
+        let misalign = offset.min(run.slot_us - offset);
+        if misalign > tolerance {
             out.push(Violation {
                 kind: ViolationKind::SlotMisalignment,
                 record_index: tx.record,
                 time_us: tx.time_us,
                 node: Some(tx.node),
                 detail: format!(
-                    "{} to n{} transmitted {} us past the slot boundary (slot = {} us)",
-                    tx.kind,
-                    tx.dst,
-                    tx.time_us % run.slot_us,
-                    run.slot_us
+                    "{} to n{} transmitted {} us from the slot boundary (slot = {} us)",
+                    tx.kind, tx.dst, misalign, run.slot_us
                 ),
+                observed_us: Some(misalign),
+                allowed_us: Some(tolerance),
             });
         }
     }
@@ -247,11 +276,20 @@ struct ReservedInterval {
 /// (from CTS/RTS transmissions that announce pair delay and data duration)
 /// and flags any extra-communication arrival at a pair node whose window
 /// intersects one: the paper's non-interference guarantee.
+///
+/// The slot arithmetic uses the run's guard band so a guarded schedule is
+/// reconstructed with the same geometry the protocol used, and each
+/// reserved interval is shrunk by the run's timing tolerance on both sides:
+/// under drifting clocks the pair nodes perceive the negotiated instants up
+/// to guard + 2·clock-error away from where an omniscient checker places
+/// them, so only intrusions *deeper* than that budget are real violations.
 fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
-    let clock = SlotClock::new(
+    let clock = SlotClock::with_guard(
         SimDuration::from_micros(run.omega_us),
         SimDuration::from_micros(run.tau_max_us),
+        SimDuration::from_micros(run.guard_us),
     );
+    let tolerance = run.tolerance_us();
     let mut reserved: Vec<ReservedInterval> = Vec::new();
     for tx in &model.tx {
         let is_neg = matches!(tx.kind, FrameKind::Rts | FrameKind::Cts);
@@ -282,11 +320,15 @@ fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violatio
                 continue;
             }
         }
+        // Snap to the *nearest* boundary: a fast clock transmits a hair
+        // before its slot starts, and flooring would file the negotiation
+        // one slot early.
+        let half_slot = SimDuration::from_micros(clock.slot_len().as_micros() / 2);
         let neg = ObservedNegotiation {
             peer: NodeId::new(tx.node as u32),
             other: NodeId::new(tx.dst as u32),
             peer_is_receiver: tx.kind == FrameKind::Cts,
-            control_slot: clock.slot_of(SimTime::from_micros(tx.time_us)),
+            control_slot: clock.slot_of(SimTime::from_micros(tx.time_us) + half_slot),
             pair_delay: SimDuration::from_micros(pair_delay_us),
             data_duration: SimDuration::from_micros(data_dur_us),
         };
@@ -331,13 +373,25 @@ fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violatio
         return;
     }
     // Decoded EX arrivals addressed to a pair node: the whole arrival
-    // window must stay clear of that node's reserved intervals.
+    // window must stay clear of that node's reserved intervals, shrunk by
+    // the timing tolerance on each side.
     for rx in &model.rx {
         if !rx.kind.is_extra() || !rx.addressed {
             continue;
         }
         for res in reserved.iter().filter(|r| r.node == rx.node) {
-            if overlaps(rx.start_us, rx.end_us, res.start_us, res.end_us) {
+            let core_start = res.start_us + tolerance;
+            let core_end = res.end_us.saturating_sub(tolerance);
+            if core_start >= core_end {
+                // The tolerance swallows the whole interval: the schedule
+                // cannot distinguish an intruder from clock error here.
+                continue;
+            }
+            if overlaps(rx.start_us, rx.end_us, core_start, core_end) {
+                let depth = rx
+                    .end_us
+                    .min(res.end_us)
+                    .saturating_sub(rx.start_us.max(res.start_us));
                 out.push(Violation {
                     kind: ViolationKind::ExtraWindowIntrusion,
                     record_index: rx.record,
@@ -355,19 +409,28 @@ fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violatio
                         res.end_us,
                         res.neg_record
                     ),
+                    observed_us: Some(depth),
+                    allowed_us: Some(tolerance),
                 });
             }
         }
     }
     // Lost EX arrivals addressed to a pair node: a collision loss whose
-    // start lands inside a reserved interval means the extra frame was the
-    // intruder that corrupted the negotiated exchange.
+    // start lands inside a reserved interval (beyond the timing tolerance)
+    // means the extra frame was the intruder that corrupted the negotiated
+    // exchange.
     for lost in &model.rx_lost {
         if !lost.kind.is_extra() || lost.dst != lost.node {
             continue;
         }
         for res in reserved.iter().filter(|r| r.node == lost.node) {
-            if lost.start_us > res.start_us && lost.start_us < res.end_us {
+            if lost.start_us <= res.start_us || lost.start_us >= res.end_us {
+                continue;
+            }
+            // Distance from the start to the nearest interval boundary: how
+            // far inside the reservation the loss begins.
+            let depth = (lost.start_us - res.start_us).min(res.end_us - lost.start_us);
+            if depth > tolerance {
                 out.push(Violation {
                     kind: ViolationKind::ExtraWindowIntrusion,
                     record_index: lost.record,
@@ -385,6 +448,8 @@ fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violatio
                         res.end_us,
                         res.neg_record
                     ),
+                    observed_us: Some(depth),
+                    allowed_us: Some(tolerance),
                 });
             }
         }
@@ -406,6 +471,8 @@ fn check_propagation(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>
                     "{} from n{} propagated {} us, beyond tau_max = {} us",
                     rx.kind, rx.src, rx.prop_us, run.tau_max_us
                 ),
+                observed_us: Some(rx.prop_us),
+                allowed_us: Some(run.tau_max_us),
             });
         }
         if !run.mobility {
@@ -424,6 +491,8 @@ fn check_propagation(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>
                              {} us at record #{}",
                             rx.kind, rx.src, rx.prop_us, prop, first_record
                         ),
+                        observed_us: Some(rx.prop_us.abs_diff(prop)),
+                        allowed_us: Some(0),
                     });
                 }
                 Some(_) => {}
@@ -505,6 +574,8 @@ mod tests {
             slot_us: 1_005_333,
             mobility: false,
             forwarding: true,
+            guard_us: 0,
+            clock_error_us: 0,
         }
     }
 
@@ -533,10 +604,56 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].kind, ViolationKind::SlotMisalignment);
         assert_eq!(violations[0].record_index, 3);
+        assert_eq!(violations[0].observed_us, Some(7));
+        assert_eq!(violations[0].allowed_us, Some(0));
 
         // The same trace from an unslotted protocol is clean.
         model.run_info.as_mut().unwrap().protocol = "ALOHA".into();
         assert!(check(&model).is_empty());
+    }
+
+    #[test]
+    fn slot_misalignment_within_the_timing_tolerance_passes() {
+        let mut run = ewmac_run_info();
+        run.guard_us = 2;
+        run.clock_error_us = 3; // tolerance = 2 + 2 * 3 = 8 us
+        let tx = |record: usize, time_us: u64| TxEvent {
+            record,
+            time_us,
+            node: 0,
+            kind: FrameKind::Cts,
+            dst: 1,
+            bits: 64,
+            dur_us: 5_333,
+            pair_delay_us: None,
+            data_dur_us: None,
+            sdu: None,
+            origin: None,
+            retx: false,
+        };
+        let model = TraceModel {
+            run_info: Some(run.clone()),
+            tx: vec![
+                // 7 us late and 5 us early: both inside the 8 us budget.
+                tx(0, run.slot_us + 7),
+                tx(1, 2 * run.slot_us - 5),
+                // 9 us late: past the budget.
+                tx(2, 3 * run.slot_us + 9),
+            ],
+            ..TraceModel::default()
+        };
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].record_index, 2);
+        assert_eq!(violations[0].observed_us, Some(9));
+        assert_eq!(violations[0].allowed_us, Some(8));
+        assert!(
+            violations[0]
+                .to_string()
+                .contains("observed 9 us, allowed 8 us"),
+            "display cites the budget: {}",
+            violations[0]
+        );
     }
 
     #[test]
@@ -591,6 +708,73 @@ mod tests {
         assert_eq!(violations[0].record_index, 5);
         assert!(violations[0].detail.contains("data reception"));
         assert!(violations[0].detail.contains("record #0"));
+        assert_eq!(violations[0].observed_us, Some(5_333));
+        assert_eq!(violations[0].allowed_us, Some(0));
+    }
+
+    #[test]
+    fn shallow_window_intrusions_within_the_tolerance_pass() {
+        // Same geometry as extra_frame_inside_reserved_window_fails: the
+        // intruder occupies [data_rx_start + 10_000, + omega] inside the
+        // data reception reserved over [data_rx_start, + 170_667].
+        let mut run = ewmac_run_info();
+        let clock = SlotClock::new(
+            SimDuration::from_micros(run.omega_us),
+            SimDuration::from_micros(run.tau_max_us),
+        );
+        let pair_delay = 600_000u64;
+        let data_dur = 170_667u64;
+        let cts = TxEvent {
+            record: 0,
+            time_us: 0,
+            node: 0,
+            kind: FrameKind::Cts,
+            dst: 1,
+            bits: 64,
+            dur_us: run.omega_us,
+            pair_delay_us: Some(pair_delay),
+            data_dur_us: Some(data_dur),
+            sdu: None,
+            origin: None,
+            retx: false,
+        };
+        let data_rx_start = clock.start_of(1).as_micros() + pair_delay;
+        let intruder = RxEvent {
+            record: 5,
+            end_us: data_rx_start + 10_000 + run.omega_us,
+            node: 0,
+            kind: FrameKind::ExRts,
+            src: 3,
+            dst: 0,
+            bits: 64,
+            start_us: data_rx_start + 10_000,
+            prop_us: 400_000,
+            addressed: true,
+            sdu: None,
+            origin: None,
+        };
+        // 20 ms of clock error swallows the 15.3 ms the intruder reaches
+        // into the reservation.
+        run.clock_error_us = 10_000;
+        let mut model = TraceModel {
+            run_info: Some(run),
+            tx: vec![cts],
+            rx: vec![intruder],
+            ..TraceModel::default()
+        };
+        assert!(
+            check(&model).is_empty(),
+            "an edge graze inside the tolerance is clock error, not intrusion"
+        );
+
+        // A 4 ms budget does not: the same graze becomes a violation that
+        // cites both numbers.
+        model.run_info.as_mut().unwrap().clock_error_us = 2_000;
+        let violations = check(&model);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::ExtraWindowIntrusion);
+        assert_eq!(violations[0].observed_us, Some(5_333));
+        assert_eq!(violations[0].allowed_us, Some(4_000));
     }
 
     #[test]

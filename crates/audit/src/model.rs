@@ -34,6 +34,12 @@ pub struct RunInfo {
     pub mobility: bool,
     /// Whether multi-hop forwarding toward sinks is on.
     pub forwarding: bool,
+    /// Guard band appended to every slot, microseconds. Zero for traces
+    /// from ideal-sync runs (which omit the field entirely).
+    pub guard_us: u64,
+    /// Worst-case per-node clock error the run was configured for,
+    /// microseconds. Zero under the ideal clock model.
+    pub clock_error_us: u64,
 }
 
 impl RunInfo {
@@ -42,6 +48,13 @@ impl RunInfo {
     /// mid-slot, ROPA and ALOHA are unslotted).
     pub fn is_slot_aligned(&self) -> bool {
         self.protocol.starts_with("EW-MAC") || self.protocol == "S-FAMA"
+    }
+
+    /// The timing tolerance every boundary-sensitive check must allow: two
+    /// drifting clocks can disagree by twice the per-node error, and the
+    /// guard band is slack the protocol *intends* events to use.
+    pub fn tolerance_us(&self) -> u64 {
+        self.guard_us + 2 * self.clock_error_us
     }
 }
 
@@ -266,6 +279,10 @@ impl TraceModel {
                             slot_us: get_u64(r, "slot_us")?,
                             mobility: get_bool(r, "mobility")?,
                             forwarding: get_bool(r, "forwarding")?,
+                            // Absent from ideal-sync traces (including all
+                            // pre-clock ones): zero tolerance.
+                            guard_us: get_u64(r, "guard_us").unwrap_or(0),
+                            clock_error_us: get_u64(r, "clock_error_us").unwrap_or(0),
                         })
                     })();
                     match parsed {
@@ -474,10 +491,40 @@ mod tests {
         assert_eq!(info.protocol, "EW-MAC");
         assert!(info.is_slot_aligned());
         assert_eq!(info.slot_us, 1_005_333);
+        // Pre-clock trace: no guard/clock fields -> zero tolerance.
+        assert_eq!(info.guard_us, 0);
+        assert_eq!(info.clock_error_us, 0);
+        assert_eq!(info.tolerance_us(), 0);
         let ropa = RunInfo {
             protocol: "ROPA".into(),
             ..info
         };
         assert!(!ropa.is_slot_aligned());
+    }
+
+    #[test]
+    fn drifted_run_info_parses_the_timing_budget() {
+        let records = vec![record(
+            "run-info",
+            vec![
+                field("protocol", "EW-MAC"),
+                field("nodes", 12u64),
+                field("sinks", 2u64),
+                field("bitrate_bps", 12_000.0f64),
+                field("omega_us", 5_333u64),
+                field("tau_max_us", 1_000_000u64),
+                field("slot_us", 1_030_333u64),
+                field("mobility", false),
+                field("forwarding", true),
+                field("guard_us", 25_000u64),
+                field("clock_error_us", 11_500u64),
+            ],
+        )];
+        let info = TraceModel::from_records(&records)
+            .run_info
+            .expect("run info parsed");
+        assert_eq!(info.guard_us, 25_000);
+        assert_eq!(info.clock_error_us, 11_500);
+        assert_eq!(info.tolerance_us(), 25_000 + 2 * 11_500);
     }
 }

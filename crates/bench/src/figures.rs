@@ -12,6 +12,7 @@
 use uasn_net::config::SimConfig;
 use uasn_net::topology::Deployment;
 use uasn_phy::channel::AcousticChannel;
+use uasn_sim::time::SimDuration;
 
 use crate::experiments::{paper_base, LOAD_AXIS};
 use crate::protocols::Protocol;
@@ -34,6 +35,11 @@ pub enum Metric {
     Fairness,
     /// Mean channel (bandwidth) utilization.
     Utilization,
+    /// Packet delivery ratio (delivered / offered SDUs).
+    DeliveryRatio,
+    /// Bits moved by EW-MAC's extra communications — the §4.3 machinery
+    /// whose success the sync sweeps stress.
+    ExtraBits,
 }
 
 impl Metric {
@@ -47,6 +53,8 @@ impl Metric {
             Metric::EfficiencyRaw => &s.efficiency_raw,
             Metric::Fairness => &s.fairness,
             Metric::Utilization => &s.utilization,
+            Metric::DeliveryRatio => &s.delivery_ratio,
+            Metric::ExtraBits => &s.extra_bits,
         };
         (r.mean(), r.ci95_halfwidth())
     }
@@ -89,6 +97,7 @@ impl FigureSpec {
 
 const X7_SET: [Protocol; 3] = [Protocol::SFama, Protocol::EwMac, Protocol::EwMacAggregated];
 const ABL_SET: [Protocol; 3] = [Protocol::SFama, Protocol::EwMacNoExtra, Protocol::EwMac];
+const SYNC_SET: [Protocol; 2] = [Protocol::SFama, Protocol::EwMac];
 
 fn cfg_load(load: f64) -> SimConfig {
     paper_base().with_offered_load_kbps(load)
@@ -152,6 +161,32 @@ fn cfg_mixed_sizes(load: f64) -> SimConfig {
 
 fn cfg_hello(load: f64) -> SimConfig {
     paper_base().with_offered_load_kbps(load).with_hello_init()
+}
+
+/// `sync-drift`'s sensitivity axis: clock skew in ppm at a fixed 25 ms guard
+/// band. `x == 0` keeps the ideal oracle clocks so the sweep's origin is
+/// the byte-identical golden baseline; any other point puts per-node
+/// drifting clocks (offset + skew + jitter, periodic coarse resync) and
+/// noisy §4.3 delay measurements under the schedule.
+fn cfg_sync_drift(skew_ppm: f64) -> SimConfig {
+    let cfg = paper_base().with_offered_load_kbps(0.8);
+    if skew_ppm > 0.0 {
+        cfg.with_clock_drift(skew_ppm)
+            .with_slot_guard(SimDuration::from_millis(25))
+    } else {
+        cfg
+    }
+}
+
+/// `sync-guard`'s sensitivity axis: guard-band length in milliseconds at a fixed
+/// 50 ppm skew. Widening the guard lengthens every slot (costing raw
+/// throughput) but absorbs more timing error — the sweep exposes the
+/// trade-off the paper's perfect-sync assumption hides.
+fn cfg_sync_guard(guard_ms: f64) -> SimConfig {
+    paper_base()
+        .with_offered_load_kbps(0.8)
+        .with_clock_drift(50.0)
+        .with_slot_guard(SimDuration::from_secs_f64(guard_ms / 1_000.0))
 }
 
 /// X8's shallow coastal column: three layers within 450 m of the surface,
@@ -351,6 +386,28 @@ pub static REGISTRY: &[FigureSpec] = &[
         normalized: false,
     },
     FigureSpec {
+        id: "sync-drift",
+        title: "Delivery ratio vs clock skew (25 ms guard), load 0.8",
+        x_label: "clock skew ppm (0 = ideal clocks)",
+        y_label: "packet delivery ratio",
+        xs: &[0.0, 10.0, 25.0, 50.0, 100.0, 200.0],
+        protocols: &SYNC_SET,
+        configure: cfg_sync_drift,
+        metric: Metric::DeliveryRatio,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "sync-guard",
+        title: "Extra-communication bits vs guard band (50 ppm skew), load 0.8",
+        x_label: "guard band ms",
+        y_label: "extra-communication bits",
+        xs: &[0.0, 5.0, 10.0, 25.0, 50.0, 100.0],
+        protocols: &SYNC_SET,
+        configure: cfg_sync_guard,
+        metric: Metric::ExtraBits,
+        normalized: false,
+    },
+    FigureSpec {
         id: "ABL",
         title: "EW-MAC extra-communication ablation",
         x_label: "load kbps",
@@ -426,7 +483,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_nonempty() {
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
-        assert!(ids.len() >= 17);
+        assert!(ids.len() >= 19);
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), REGISTRY.len());
@@ -451,6 +508,8 @@ mod tests {
     fn lookup_and_aliases() {
         assert_eq!(by_id("f6").unwrap().id, "F6");
         assert_eq!(by_id("F10a").unwrap().id, "F10a");
+        assert_eq!(by_id("SYNC-DRIFT").unwrap().id, "sync-drift");
+        assert_eq!(by_id("sync-guard").unwrap().id, "sync-guard");
         assert!(by_id("F99").is_none());
         let figs = parse_figures("fig6,X2,ablation").expect("parse");
         let ids: Vec<&str> = figs.iter().map(|s| s.id).collect();

@@ -35,11 +35,19 @@ const GOLDEN_PROTOCOLS: [(Protocol, &str); 5] = [
 ];
 
 fn golden_cfg(sensors: u32) -> SimConfig {
-    SimConfig::paper_default()
+    let cfg = SimConfig::paper_default()
         .with_sensors(sensors)
         .with_offered_load_kbps(0.5)
         .with_sim_time(SimDuration::from_secs(40))
-        .with_seed(master_seed(0))
+        .with_seed(master_seed(0));
+    // The goldens pin the paper's perfect-sync regime: ideal clocks and no
+    // guard band must stay the default, or every hash silently re-baselines
+    // onto a different timing model.
+    assert!(
+        cfg.clock.is_ideal() && cfg.slot_guard.is_zero(),
+        "golden baseline must use ideal clocks and a zero guard band"
+    );
+    cfg
 }
 
 /// Runs one traced cell and returns the exported JSONL bytes.

@@ -1,0 +1,111 @@
+//! Sync-sensitivity smoke suite: the `sync-drift` sweep's cells must run
+//! clean through the trace audit at the ideal origin *and* under drifting
+//! clocks. Imperfect synchronization is allowed to degrade EW-MAC's
+//! extra-communication success — that is the experiment's point — but never
+//! to break the schedule's invariants once the checker is given the run's
+//! declared timing budget (guard band + clock-error bound).
+
+use uasn_audit::model::TraceModel;
+use uasn_audit::ViolationKind;
+use uasn_bench::figures::by_id;
+use uasn_bench::protocols::Protocol;
+use uasn_net::config::SimConfig;
+use uasn_net::node::NodeId;
+use uasn_net::world::{RunOutput, Simulation};
+use uasn_sim::time::SimDuration;
+use uasn_sim::trace::{parse_jsonl, TraceLevel};
+
+/// Runs one traced EW-MAC cell and returns its output plus the audit model
+/// parsed back from the exported JSONL (the same round trip the `audit`
+/// binary performs).
+fn traced_cell(cfg: SimConfig) -> (RunOutput, TraceModel) {
+    let factory = |id: NodeId| Protocol::EwMac.build(id);
+    let out = Simulation::new(cfg, &factory)
+        .expect("valid config")
+        .with_tracing(TraceLevel::Debug)
+        .run_full();
+    assert!(out.tracer.health().is_lossless(), "capture dropped records");
+    let mut buf = Vec::new();
+    out.tracer
+        .export_jsonl(&mut buf)
+        .expect("in-memory export cannot fail");
+    let jsonl = String::from_utf8(buf).expect("traces are UTF-8");
+    let records = parse_jsonl(&jsonl).expect("round-trips");
+    let model = TraceModel::from_records(&records);
+    (out, model)
+}
+
+/// A small cell from the registry's `sync-drift` axis: its configure
+/// function, shrunk to a test-sized run.
+fn sync_drift_cfg(skew_ppm: f64) -> SimConfig {
+    let spec = by_id("sync-drift").expect("sync-drift is registered");
+    let mut cfg = (spec.configure)(skew_ppm)
+        .with_sensors(10)
+        .with_sim_time(SimDuration::from_secs(120));
+    cfg.seed = 0x5EED_C10C;
+    cfg
+}
+
+#[test]
+fn ideal_origin_audits_clean_with_a_zero_tolerance() {
+    let (out, model) = traced_cell(sync_drift_cfg(0.0));
+    assert!(out.report.sdus_generated > 0, "traffic flowed");
+    assert!(out.clock.is_none(), "the origin keeps the oracle clocks");
+    let run = model.run_info.as_ref().expect("run-info present");
+    assert_eq!(run.tolerance_us(), 0, "ideal cells declare no budget");
+    let violations = uasn_audit::check(&model);
+    assert!(
+        violations.is_empty(),
+        "ideal cell must audit clean: {violations:?}"
+    );
+}
+
+#[test]
+fn drifted_cells_audit_clean_within_their_declared_budget() {
+    let (out, model) = traced_cell(sync_drift_cfg(100.0));
+    assert!(out.report.sdus_generated > 0, "traffic flowed");
+    let stats = out.clock.expect("drifting runs report sync-error stats");
+    assert!(stats.samples > 0 && stats.max_abs_error_us > 0);
+
+    let run = model.run_info.as_ref().expect("run-info present");
+    assert!(
+        run.clock_error_us > 0,
+        "the budget is advertised in run-info"
+    );
+    assert!(run.tolerance_us() >= run.guard_us + 2 * run.clock_error_us);
+
+    let violations = uasn_audit::check(&model);
+    let timing: Vec<_> = violations
+        .iter()
+        .filter(|v| {
+            matches!(
+                v.kind,
+                ViolationKind::SlotMisalignment | ViolationKind::ExtraWindowIntrusion
+            )
+        })
+        .collect();
+    assert!(
+        timing.is_empty(),
+        "drifted cell must stay inside its declared timing budget: {timing:?}"
+    );
+}
+
+#[test]
+fn drift_degrades_extra_communication_success() {
+    // The §4.3 extra machinery lives off accurate delay knowledge; heavy
+    // skew shrinks its windows (via the announced sync margin) and corrupts
+    // its delay estimates, so the bits it moves can only fall relative to
+    // the perfectly synchronized origin.
+    let (ideal, _) = traced_cell(sync_drift_cfg(0.0));
+    let (drifted, _) = traced_cell(sync_drift_cfg(200.0));
+    assert!(
+        ideal.report.extra_bits_received > 0,
+        "the origin exercises extra communications at all"
+    );
+    assert!(
+        drifted.report.extra_bits_received <= ideal.report.extra_bits_received,
+        "drift must not conjure extra-communication success: {} > {}",
+        drifted.report.extra_bits_received,
+        ideal.report.extra_bits_received
+    );
+}

@@ -1,0 +1,230 @@
+//! Clock-model configuration and the worst-case sync-error budget.
+
+use uasn_sim::time::SimDuration;
+
+/// Periodic resynchronization settings.
+///
+/// Models a lightweight sync service (periodic surface beacon or
+/// piggybacked timestamps): every `period` a node's clock is pulled back to
+/// within `residual` of global time, after which skew and jitter accumulate
+/// again until the next round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResyncConfig {
+    /// Interval between resynchronization rounds.
+    pub period: SimDuration,
+    /// Worst-case clock offset immediately *after* a round (protocol +
+    /// propagation uncertainty of the sync exchange itself).
+    pub residual: SimDuration,
+}
+
+/// Per-node clock-model knobs.
+///
+/// The model behind [`crate::VirtualClock`] is
+///
+/// ```text
+/// local(t) = t + offset + skew·t + jitter(t)
+/// ```
+///
+/// with `offset` drawn once uniformly from `±max_offset`, `skew` drawn once
+/// uniformly from `±skew_ppm` parts per million, and `jitter(t)` a seeded
+/// random walk of `±jitter_step` every `jitter_interval`, clamped to
+/// `±jitter_max`.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_clock::ClockModelConfig;
+/// use uasn_sim::time::SimDuration;
+///
+/// let ideal = ClockModelConfig::ideal();
+/// assert!(ideal.is_ideal());
+/// assert!(ideal.worst_case_error(SimDuration::from_secs(300)).is_zero());
+///
+/// let drifting = ClockModelConfig::drifting(100.0);
+/// assert!(!drifting.is_ideal());
+/// assert!(!drifting.worst_case_error(SimDuration::from_secs(300)).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockModelConfig {
+    /// Half-width of the uniform initial clock offset.
+    pub max_offset: SimDuration,
+    /// Half-width of the uniform constant skew, parts per million.
+    pub skew_ppm: f64,
+    /// Magnitude of one jitter random-walk step.
+    pub jitter_step: SimDuration,
+    /// Clamp on the accumulated jitter walk.
+    pub jitter_max: SimDuration,
+    /// Interval between jitter steps.
+    pub jitter_interval: SimDuration,
+    /// Half-width of the uniform noise on each timestamp-derived delay
+    /// measurement (detection / symbol-timing uncertainty).
+    pub meas_noise: SimDuration,
+    /// Optional periodic resynchronization; `None` lets error grow over the
+    /// whole run.
+    pub resync: Option<ResyncConfig>,
+}
+
+impl ClockModelConfig {
+    /// The paper's assumption: perfectly synchronized clocks, noise-free
+    /// delay measurements. Draws no random numbers.
+    pub fn ideal() -> Self {
+        ClockModelConfig {
+            max_offset: SimDuration::ZERO,
+            skew_ppm: 0.0,
+            jitter_step: SimDuration::ZERO,
+            jitter_max: SimDuration::ZERO,
+            jitter_interval: SimDuration::ZERO,
+            meas_noise: SimDuration::ZERO,
+            resync: None,
+        }
+    }
+
+    /// A representative non-ideal preset for sensitivity sweeps: ±5 ms
+    /// initial offset, `±skew_ppm` skew, a 20 µs/s jitter walk clamped at
+    /// ±500 µs, 200 µs measurement noise, and a 60 s resync round leaving
+    /// ≤1 ms residual.
+    pub fn drifting(skew_ppm: f64) -> Self {
+        ClockModelConfig {
+            max_offset: SimDuration::from_millis(5),
+            skew_ppm,
+            jitter_step: SimDuration::from_micros(20),
+            jitter_max: SimDuration::from_micros(500),
+            jitter_interval: SimDuration::from_secs(1),
+            meas_noise: SimDuration::from_micros(200),
+            resync: Some(ResyncConfig {
+                period: SimDuration::from_secs(60),
+                residual: SimDuration::from_millis(1),
+            }),
+        }
+    }
+
+    /// Whether this model is exactly the ideal one (no offset, skew,
+    /// jitter, measurement noise, or resync machinery).
+    pub fn is_ideal(&self) -> bool {
+        self.max_offset.is_zero()
+            && self.skew_ppm == 0.0
+            && self.jitter_step.is_zero()
+            && self.jitter_max.is_zero()
+            && self.meas_noise.is_zero()
+            && self.resync.is_none()
+    }
+
+    /// The worst-case |local − global| any clock under this model can reach
+    /// within `horizon` of the last sync point:
+    ///
+    /// ```text
+    /// error ≤ base_offset + |skew|·min(horizon, resync period) + jitter_max
+    /// ```
+    ///
+    /// where `base_offset` is `max_offset` (or, with resync, the larger of
+    /// `max_offset` and the resync residual, covering both the initial
+    /// stretch and every post-round stretch). This is the budget the MAC
+    /// layer uses to shrink its safety windows.
+    pub fn worst_case_error(&self, horizon: SimDuration) -> SimDuration {
+        if self.is_ideal() {
+            return SimDuration::ZERO;
+        }
+        let (base, effective) = match self.resync {
+            Some(r) => (self.max_offset.max(r.residual), horizon.min(r.period)),
+            None => (self.max_offset, horizon),
+        };
+        let skew_us = (self.skew_ppm.abs() * 1e-6 * effective.as_micros() as f64).ceil() as u64;
+        base + SimDuration::from_micros(skew_us) + self.jitter_max
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.skew_ppm.is_finite() && self.skew_ppm >= 0.0) {
+            return Err("skew_ppm must be finite and non-negative".to_string());
+        }
+        if self.skew_ppm >= 1e6 {
+            return Err("skew_ppm must stay below one million (skew < 100%)".to_string());
+        }
+        if !self.jitter_step.is_zero() && self.jitter_interval.is_zero() {
+            return Err("jitter_interval must be positive when jitter_step is set".to_string());
+        }
+        if self.jitter_max < self.jitter_step {
+            return Err("jitter_max must be at least jitter_step".to_string());
+        }
+        if let Some(r) = self.resync {
+            if r.period.is_zero() {
+                return Err("resync period must be positive".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClockModelConfig {
+    fn default() -> Self {
+        ClockModelConfig::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_has_zero_budget_at_any_horizon() {
+        let c = ClockModelConfig::ideal();
+        assert!(c.is_ideal());
+        c.validate().expect("valid");
+        for secs in [0u64, 1, 300, 3_000] {
+            assert!(c.worst_case_error(SimDuration::from_secs(secs)).is_zero());
+        }
+    }
+
+    #[test]
+    fn budget_grows_with_horizon_until_resync_caps_it() {
+        let mut c = ClockModelConfig::drifting(100.0);
+        c.resync = None;
+        let short = c.worst_case_error(SimDuration::from_secs(10));
+        let long = c.worst_case_error(SimDuration::from_secs(300));
+        assert!(long > short, "{long} vs {short}");
+
+        let capped = ClockModelConfig::drifting(100.0);
+        let period = capped.resync.unwrap().period;
+        assert_eq!(
+            capped.worst_case_error(SimDuration::from_secs(300)),
+            capped.worst_case_error(period),
+            "beyond the resync period the budget stops growing"
+        );
+    }
+
+    #[test]
+    fn budget_matches_hand_computation() {
+        let c = ClockModelConfig::drifting(100.0);
+        // 5 ms base + 100 ppm over the 60 s resync period (6 ms) + 500 µs.
+        assert_eq!(
+            c.worst_case_error(SimDuration::from_secs(300)),
+            SimDuration::from_micros(5_000 + 6_000 + 500)
+        );
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let mut c = ClockModelConfig::ideal();
+        c.skew_ppm = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = ClockModelConfig::drifting(50.0);
+        c.jitter_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = ClockModelConfig::drifting(50.0);
+        c.jitter_max = SimDuration::ZERO;
+        assert!(c.validate().is_err(), "jitter_max below jitter_step");
+
+        let mut c = ClockModelConfig::drifting(50.0);
+        c.resync = Some(ResyncConfig {
+            period: SimDuration::ZERO,
+            residual: SimDuration::from_millis(1),
+        });
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! The per-node drifting virtual clock.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use uasn_sim::time::{SimDuration, SimTime};
+
+use crate::config::ClockModelConfig;
+
+/// One node's clock: `local(t) = t + offset + skew·t + jitter(t)`, with a
+/// monotone clamp so local time never runs backwards (a stepped-back clock
+/// slews instead, like a disciplined oscillator).
+///
+/// All arithmetic is in signed microseconds internally; the public API
+/// stays in the simulator's unsigned [`SimTime`], saturating at t = 0.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use uasn_clock::{ClockModelConfig, VirtualClock};
+/// use uasn_sim::time::SimTime;
+///
+/// let mut ideal = VirtualClock::ideal();
+/// let t = SimTime::from_secs(42);
+/// assert_eq!(ideal.local_time(t), t);
+///
+/// let model = ClockModelConfig::drifting(100.0);
+/// let mut clock = VirtualClock::from_model(&model, StdRng::seed_from_u64(7));
+/// let local = clock.local_time(t);
+/// let bound = model.worst_case_error(t.duration_since(SimTime::ZERO));
+/// assert!(clock.error_at(t) <= bound);
+/// assert!(local > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    offset_us: i64,
+    /// Fractional skew (ppm · 1e-6), signed.
+    skew: f64,
+    jitter_us: i64,
+    jitter_step_us: i64,
+    jitter_max_us: i64,
+    jitter_interval_us: u64,
+    next_jitter_at_us: u64,
+    last_local_us: u64,
+    rng: StdRng,
+}
+
+impl VirtualClock {
+    /// Draws one clock from `model` using `rng` as its private stream.
+    ///
+    /// Exactly two values (offset, skew) are drawn up front regardless of
+    /// the model, so a clock's stream position depends only on how often
+    /// its jitter walk steps and resyncs fire — never on which knobs are
+    /// zero.
+    pub fn from_model(model: &ClockModelConfig, mut rng: StdRng) -> Self {
+        let max_off = model.max_offset.as_micros() as i64;
+        let offset_us = rng.gen_range(-max_off..=max_off);
+        let skew = rng.gen_range(-model.skew_ppm..=model.skew_ppm) * 1e-6;
+        VirtualClock {
+            offset_us,
+            skew,
+            jitter_us: 0,
+            jitter_step_us: model.jitter_step.as_micros() as i64,
+            jitter_max_us: model.jitter_max.as_micros() as i64,
+            jitter_interval_us: model.jitter_interval.as_micros(),
+            next_jitter_at_us: model.jitter_interval.as_micros(),
+            last_local_us: 0,
+            rng,
+        }
+    }
+
+    /// A perfectly synchronized clock: `local == global` always.
+    pub fn ideal() -> Self {
+        use rand::SeedableRng;
+        VirtualClock::from_model(&ClockModelConfig::ideal(), StdRng::seed_from_u64(0))
+    }
+
+    /// Advances the jitter random walk up to global time `g` (microseconds).
+    fn advance_jitter(&mut self, g: u64) {
+        if self.jitter_interval_us == 0 || self.jitter_step_us == 0 {
+            return;
+        }
+        while self.next_jitter_at_us <= g {
+            let step = if self.rng.gen_bool(0.5) {
+                self.jitter_step_us
+            } else {
+                -self.jitter_step_us
+            };
+            self.jitter_us = (self.jitter_us + step).clamp(-self.jitter_max_us, self.jitter_max_us);
+            self.next_jitter_at_us += self.jitter_interval_us;
+        }
+    }
+
+    /// This node's reading of its own clock at global instant `global`.
+    /// Monotone in `global` (the walk may pull the raw reading backwards;
+    /// the returned value then holds until the raw reading catches up).
+    pub fn local_time(&mut self, global: SimTime) -> SimTime {
+        let g = global.as_micros();
+        self.advance_jitter(g);
+        let skew_term = (g as f64 * self.skew).round() as i64;
+        let raw = (g as i64 + self.offset_us + skew_term + self.jitter_us).max(0) as u64;
+        let local = raw.max(self.last_local_us);
+        self.last_local_us = local;
+        SimTime::from_micros(local)
+    }
+
+    /// The global instant at which this clock reads `local` — the affine
+    /// inverse of [`Self::local_time`] at the walk's current state,
+    /// saturating at t = 0. Round-trip error is bounded by twice the jitter
+    /// clamp plus rounding (see the property tests).
+    pub fn global_for_local(&self, local: SimTime) -> SimTime {
+        let adj = local.as_micros() as i64 - self.offset_us - self.jitter_us;
+        let g = (adj as f64 / (1.0 + self.skew)).round() as i64;
+        SimTime::from_micros(g.max(0) as u64)
+    }
+
+    /// |local − global| at `global`.
+    pub fn error_at(&mut self, global: SimTime) -> SimDuration {
+        let local = self.local_time(global).as_micros() as i64;
+        let g = global.as_micros() as i64;
+        SimDuration::from_micros(local.abs_diff(g))
+    }
+
+    /// One resynchronization round at global instant `at`: the offset is
+    /// redrawn so the clock reads within `±residual` of global time and the
+    /// jitter walk restarts from zero. The monotone clamp is kept, so a
+    /// clock that was running fast slews rather than stepping back.
+    pub fn resync(&mut self, residual: SimDuration, at: SimTime) {
+        let g = at.as_micros();
+        self.advance_jitter(g);
+        let r_max = residual.as_micros() as i64;
+        let r = self.rng.gen_range(-r_max..=r_max);
+        let skew_term = (g as f64 * self.skew).round() as i64;
+        self.offset_us = r - skew_term;
+        self.jitter_us = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn drifting(seed: u64) -> VirtualClock {
+        VirtualClock::from_model(
+            &ClockModelConfig::drifting(100.0),
+            StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn ideal_is_the_identity() {
+        let mut c = VirtualClock::ideal();
+        for secs in [0u64, 1, 7, 300] {
+            let t = SimTime::from_secs(secs);
+            assert_eq!(c.local_time(t), t);
+            assert_eq!(c.global_for_local(t), t);
+            assert!(c.error_at(t).is_zero());
+        }
+    }
+
+    #[test]
+    fn drift_stays_within_the_advertised_budget() {
+        let model = ClockModelConfig::drifting(200.0);
+        for seed in 0..20u64 {
+            let mut c = VirtualClock::from_model(&model, StdRng::seed_from_u64(seed));
+            let mut worst = SimDuration::ZERO;
+            for s in 0..60u64 {
+                let t = SimTime::from_secs(s);
+                worst = worst.max(c.error_at(t));
+            }
+            let budget = model.worst_case_error(SimDuration::from_secs(60));
+            assert!(worst <= budget, "seed {seed}: {worst} > {budget}");
+            assert!(
+                !worst.is_zero(),
+                "seed {seed}: drifting clock never drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn resync_pulls_the_error_back_down() {
+        let mut c = drifting(3);
+        let late = SimTime::from_secs(590);
+        // Let it drift for ~10 minutes without help.
+        let before = c.error_at(late);
+        c.resync(SimDuration::from_millis(1), late);
+        let after = c.error_at(late);
+        // A slow clock steps straight to within the residual; a fast clock
+        // slews (monotone clamp), so immediately after the round the error
+        // can only be unchanged, never worse.
+        assert!(
+            after <= before.max(SimDuration::from_millis(1)),
+            "before {before}, after {after}"
+        );
+        // One second later any slew has caught up: the clock is within
+        // residual + skew·1s + jitter_max of global time.
+        let t = late + SimDuration::from_secs(1);
+        let bound = SimDuration::from_micros(1_000 + 1 + 500);
+        assert!(c.error_at(t) <= bound, "{} > {bound}", c.error_at(t));
+    }
+
+    #[test]
+    fn local_time_is_monotone_across_resync() {
+        let mut c = drifting(11);
+        let mut prev = SimTime::ZERO;
+        for s in 0..120u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(s * 500);
+            if s == 60 {
+                c.resync(SimDuration::from_millis(1), t);
+            }
+            let local = c.local_time(t);
+            assert!(local >= prev, "local time ran backwards at {t}");
+            prev = local;
+        }
+    }
+}

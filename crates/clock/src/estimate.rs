@@ -1,0 +1,176 @@
+//! Timestamp-derived propagation-delay estimation with explicit error bars.
+//!
+//! §4.3 of the paper: every packet carries its sending timestamp; the
+//! receiver computes `arrival − timestamp` as the one-hop propagation delay.
+//! With ideal clocks that difference *is* the delay. With per-node clocks it
+//! is contaminated by both endpoints' clock errors plus detection noise, and
+//! the stored value additionally **ages**: mobility moves the endpoints, so
+//! a delay measured `age` ago can be off by up to the distance the pair can
+//! have closed or opened since, divided by the sound speed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use uasn_sim::time::{SimDuration, SimTime};
+
+/// Pure delay-estimation arithmetic: measurement, noise injection, and the
+/// staleness/error bounds a MAC can subtract from its safety windows.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_clock::DelayEstimator;
+/// use uasn_sim::time::{SimDuration, SimTime};
+///
+/// // 200 µs detection noise, nodes drifting at up to 0.5 m/s, 1.5 km/s sound.
+/// let est = DelayEstimator::new(SimDuration::from_micros(200), 0.5, 1_500.0);
+/// let raw = est.estimate(SimTime::from_secs(10), SimTime::from_secs(11));
+/// assert_eq!(raw, SimDuration::from_secs(1));
+/// // A measurement 30 s old can be off by 2·0.5·30 m of travel: 20 ms.
+/// assert_eq!(
+///     est.staleness_bound(SimDuration::from_secs(30)),
+///     SimDuration::from_micros(20_000)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayEstimator {
+    measurement_noise: SimDuration,
+    max_node_speed_ms: f64,
+    sound_speed_ms: f64,
+}
+
+impl DelayEstimator {
+    /// Creates an estimator.
+    ///
+    /// `measurement_noise` is the half-width of the uniform noise on each
+    /// measurement; `max_node_speed_ms` the per-node drift-speed cap (both
+    /// endpoints may move, so the relative speed bound is twice this);
+    /// `sound_speed_ms` the propagation speed used to convert closed
+    /// distance into delay error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sound_speed_ms` is not positive and finite, or
+    /// `max_node_speed_ms` is negative or non-finite.
+    pub fn new(
+        measurement_noise: SimDuration,
+        max_node_speed_ms: f64,
+        sound_speed_ms: f64,
+    ) -> Self {
+        assert!(
+            sound_speed_ms.is_finite() && sound_speed_ms > 0.0,
+            "sound speed must be positive"
+        );
+        assert!(
+            max_node_speed_ms.is_finite() && max_node_speed_ms >= 0.0,
+            "node speed must be non-negative"
+        );
+        DelayEstimator {
+            measurement_noise,
+            max_node_speed_ms,
+            sound_speed_ms,
+        }
+    }
+
+    /// The raw timestamp-difference estimate. With ideal clocks this equals
+    /// the true propagation delay; with drifting clocks the endpoints'
+    /// offsets leak in. Saturates at zero when the receiver's clock reads
+    /// *earlier* than the sender's timestamp.
+    pub fn estimate(&self, sent_local: SimTime, recv_local: SimTime) -> SimDuration {
+        SimDuration::from_micros(
+            recv_local
+                .as_micros()
+                .saturating_sub(sent_local.as_micros()),
+        )
+    }
+
+    /// Adds one uniform detection-noise draw in `±measurement_noise` to a
+    /// raw estimate, saturating at zero.
+    pub fn noisy(&self, raw: SimDuration, rng: &mut StdRng) -> SimDuration {
+        let half = self.measurement_noise.as_micros() as i64;
+        if half == 0 {
+            return raw;
+        }
+        let noise = rng.gen_range(-half..=half);
+        let value = raw.as_micros() as i64 + noise;
+        SimDuration::from_micros(value.max(0) as u64)
+    }
+
+    /// How far a delay measured `age` ago can have drifted from the current
+    /// true delay, from geometry alone: both endpoints can have moved
+    /// `max_node_speed · age` toward or away from each other.
+    pub fn staleness_bound(&self, age: SimDuration) -> SimDuration {
+        let drift_m = 2.0 * self.max_node_speed_ms * age.as_secs_f64();
+        SimDuration::from_secs_f64(drift_m / self.sound_speed_ms)
+    }
+
+    /// Total advertised error bar on a stored estimate of the given `age`:
+    /// measurement noise plus staleness.
+    pub fn error_bound(&self, age: SimDuration) -> SimDuration {
+        self.measurement_noise + self.staleness_bound(age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn est() -> DelayEstimator {
+        DelayEstimator::new(SimDuration::from_micros(200), 0.5, 1_500.0)
+    }
+
+    #[test]
+    fn estimate_is_the_local_timestamp_difference() {
+        let e = est();
+        let sent = SimTime::from_micros(1_000_000);
+        let recv = SimTime::from_micros(1_400_000);
+        assert_eq!(e.estimate(sent, recv), SimDuration::from_micros(400_000));
+        // A clock pair skewed far enough that the receiver reads earlier
+        // than the sender saturates instead of underflowing.
+        assert_eq!(e.estimate(recv, sent), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn noise_stays_within_the_half_width_and_saturates() {
+        let e = est();
+        let mut rng = StdRng::seed_from_u64(5);
+        let raw = SimDuration::from_micros(1_000);
+        for _ in 0..1_000 {
+            let n = e.noisy(raw, &mut rng);
+            assert!(n.as_micros() >= 800 && n.as_micros() <= 1_200, "{n}");
+        }
+        // Near-zero raw values cannot go negative.
+        for _ in 0..1_000 {
+            let n = e.noisy(SimDuration::from_micros(50), &mut rng);
+            assert!(n.as_micros() <= 250);
+        }
+        // Zero noise is the identity and draws nothing.
+        let quiet = DelayEstimator::new(SimDuration::ZERO, 0.5, 1_500.0);
+        let before = rng.clone();
+        assert_eq!(quiet.noisy(raw, &mut rng), raw);
+        assert_eq!(rng, before, "zero-noise path must not consume the stream");
+    }
+
+    #[test]
+    fn staleness_is_linear_in_age_and_speed() {
+        let e = est();
+        assert!(e.staleness_bound(SimDuration::ZERO).is_zero());
+        let one = e.staleness_bound(SimDuration::from_secs(1));
+        let ten = e.staleness_bound(SimDuration::from_secs(10));
+        assert_eq!(one.as_micros(), 667); // 1 m / 1500 m/s, rounded to µs
+        assert_eq!(ten.as_micros(), 6_667);
+        let fast = DelayEstimator::new(SimDuration::ZERO, 5.0, 1_500.0);
+        assert!(fast.staleness_bound(SimDuration::from_secs(1)) > one);
+    }
+
+    #[test]
+    fn error_bound_adds_noise_and_staleness() {
+        let e = est();
+        let age = SimDuration::from_secs(30);
+        assert_eq!(
+            e.error_bound(age),
+            SimDuration::from_micros(200) + e.staleness_bound(age)
+        );
+    }
+}

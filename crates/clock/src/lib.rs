@@ -1,0 +1,31 @@
+//! Per-node clock realism for underwater acoustic sensor networks.
+//!
+//! The paper assumes a perfectly synchronized slot clock (§3.1) and exact
+//! propagation-delay knowledge from packet timestamps. Both assumptions are
+//! singled out by the UASN literature as the hardest to realize on acoustic
+//! hardware, and EW-MAC's non-interference argument for extra communications
+//! (Eq 6, windows I–VII) rests directly on them. This crate supplies the
+//! machinery to *break* those assumptions in a controlled, deterministic,
+//! bounded way:
+//!
+//! - [`VirtualClock`] — a per-node clock with an initial offset, a constant
+//!   skew (ppm), and a seeded random-walk jitter, convertible between node
+//!   **local** time and simulator **global** time.
+//! - [`DelayEstimator`] — timestamp-derived propagation-delay measurement
+//!   with explicit measurement noise and a staleness bound that grows as
+//!   mobility moves the endpoints apart.
+//! - [`ClockModelConfig`] — the knobs, plus [`ClockModelConfig::worst_case_error`],
+//!   the error budget the MAC layer subtracts from its safety windows so
+//!   degradation under drift is graceful instead of silently colliding.
+//!
+//! The ideal model ([`ClockModelConfig::ideal`]) is the default everywhere:
+//! it draws no random numbers and adds no events, so every seeded run under
+//! it is byte-for-byte identical to a build without this crate.
+
+pub mod config;
+pub mod drift;
+pub mod estimate;
+
+pub use config::{ClockModelConfig, ResyncConfig};
+pub use drift::VirtualClock;
+pub use estimate::DelayEstimator;

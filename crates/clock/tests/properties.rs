@@ -1,0 +1,97 @@
+//! Property-based tests for the clock subsystem: monotonicity, bounded
+//! local↔global round trips, geometric staleness bounds, and seeded
+//! determinism of the jitter walk.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uasn_clock::{ClockModelConfig, DelayEstimator, VirtualClock};
+use uasn_sim::time::{SimDuration, SimTime};
+
+fn model() -> ClockModelConfig {
+    ClockModelConfig::drifting(200.0)
+}
+
+proptest! {
+    #[test]
+    fn local_time_is_monotone(
+        seed in proptest::num::u64::ANY,
+        deltas in proptest::collection::vec(0u64..5_000_000, 1..100),
+    ) {
+        let mut clock = VirtualClock::from_model(&model(), StdRng::seed_from_u64(seed));
+        let mut g = SimTime::ZERO;
+        let mut prev = SimTime::ZERO;
+        for &d in &deltas {
+            g += SimDuration::from_micros(d);
+            let local = clock.local_time(g);
+            prop_assert!(local >= prev, "local time ran backwards at {g}");
+            prev = local;
+        }
+    }
+
+    #[test]
+    fn round_trip_stays_within_twice_the_jitter_clamp(
+        seed in proptest::num::u64::ANY,
+        deltas in proptest::collection::vec(1u64..10_000_000, 1..50),
+    ) {
+        let m = model();
+        let mut clock = VirtualClock::from_model(&m, StdRng::seed_from_u64(seed));
+        // Start past the saturation region near t = 0 (|offset| ≤ 5 ms).
+        let mut g = SimTime::from_secs(60);
+        // Clamp slew can deviate by up to 2·jitter_max; rounding in the
+        // skew term, the inverse division, and the ±skew inflation add
+        // at most ~3 µs on top.
+        let bound = 2 * m.jitter_max.as_micros() + 3;
+        for &d in &deltas {
+            g += SimDuration::from_micros(d);
+            let local = clock.local_time(g);
+            let back = clock.global_for_local(local);
+            let err = back.as_micros().abs_diff(g.as_micros());
+            prop_assert!(err <= bound, "round trip off by {err} µs at {g}");
+        }
+    }
+
+    #[test]
+    fn delay_estimate_error_never_exceeds_staleness_bound(
+        x1 in 0.0f64..10_000.0,
+        x2 in 0.0f64..10_000.0,
+        s1 in -0.5f64..0.5,
+        s2 in -0.5f64..0.5,
+        age_s in 0u64..3_600,
+    ) {
+        let est = DelayEstimator::new(SimDuration::ZERO, 0.5, 1_500.0);
+        let t = age_s as f64;
+        let d0 = (x1 - x2).abs();
+        let d1 = ((x1 + s1 * t) - (x2 + s2 * t)).abs();
+        let true_error_us = (d1 - d0).abs() / 1_500.0 * 1e6;
+        let bound = est.error_bound(SimDuration::from_secs(age_s));
+        // ±1 µs slack for the bound's own µs rounding.
+        prop_assert!(
+            true_error_us <= bound.as_micros() as f64 + 1.0,
+            "delay drifted {true_error_us} µs, bound {bound}"
+        );
+    }
+
+    #[test]
+    fn seeded_jitter_walk_is_deterministic(
+        seed in proptest::num::u64::ANY,
+        deltas in proptest::collection::vec(0u64..2_000_000, 2..100),
+    ) {
+        let m = model();
+        let mut a = VirtualClock::from_model(&m, StdRng::seed_from_u64(seed));
+        let mut b = VirtualClock::from_model(&m, StdRng::seed_from_u64(seed));
+        let resync_at = deltas.len() / 2;
+        let mut g = SimTime::ZERO;
+        for (i, &d) in deltas.iter().enumerate() {
+            g += SimDuration::from_micros(d);
+            if i == resync_at {
+                a.resync(SimDuration::from_millis(1), g);
+                b.resync(SimDuration::from_millis(1), g);
+            }
+            prop_assert_eq!(a.local_time(g), b.local_time(g));
+            prop_assert_eq!(a.global_for_local(g), b.global_for_local(g));
+            prop_assert_eq!(a.error_at(g), b.error_at(g));
+        }
+    }
+}

@@ -242,6 +242,38 @@ mod tests {
     }
 
     #[test]
+    fn widening_the_guard_monotonically_shrinks_the_exr_window() {
+        // The sync-margin mechanism: as the guard absorbs more clock error,
+        // the set of decode instants from which an EXR still fits can only
+        // shrink — this is what makes extra-success degrade monotonically
+        // with drift rather than corrupting reserved windows.
+        let c = clock();
+        let r = obs_receiver();
+        let tau = SimDuration::from_millis(300);
+        let opportunities = |guard_ms: u64| -> usize {
+            (0..200)
+                .filter(|k| {
+                    let now = c.start_of(10) + SimDuration::from_millis(5 * k);
+                    exr_send_time(&c, &r, now, tau, SimDuration::from_millis(guard_ms)).is_some()
+                })
+                .count()
+        };
+        let counts: Vec<usize> = [0u64, 2, 20, 100, 400, 1_000]
+            .iter()
+            .map(|&g| opportunities(g))
+            .collect();
+        assert!(counts[0] > 0, "ideal-sync guard leaves room for requests");
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "opportunities must be non-increasing in the guard: {counts:?}"
+        );
+        assert!(
+            counts[0] > *counts.last().unwrap(),
+            "a huge margin must actually cost opportunities"
+        );
+    }
+
+    #[test]
     fn exc_reply_window() {
         let c = clock();
         let r = obs_receiver();

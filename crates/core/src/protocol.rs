@@ -273,7 +273,7 @@ impl EwMac {
             if let Some(tau_ij) = self.neighbors.delay_of(obs.peer) {
                 let clock = ctx.clock();
                 if let Some(send_at) =
-                    exr_send_time(&clock, &obs, now, tau_ij, self.cfg.extra_guard)
+                    exr_send_time(&clock, &obs, now, tau_ij, self.cfg.effective_guard())
                 {
                     let td = self.head_td(ctx).expect("queue checked non-empty");
                     let exr =
@@ -413,7 +413,7 @@ impl EwMac {
             }
             _ => return, // not in a state with a shareable window
         };
-        if !exc_reply_ok(&clock, &my_obs, now, self.cfg.extra_guard) {
+        if !exc_reply_ok(&clock, &my_obs, now, self.cfg.effective_guard()) {
             return;
         }
         let requester = rx.frame.src;
@@ -423,7 +423,8 @@ impl EwMac {
         ctx.send_frame_now(exc);
         self.grant = Some(ExtraGrant { from: requester });
         let exdata_duration = rx.frame.data_duration.unwrap_or(clock.slot_len());
-        let timeout = exdata_grant_timeout(&clock, &my_obs, exdata_duration, self.cfg.extra_guard);
+        let timeout =
+            exdata_grant_timeout(&clock, &my_obs, exdata_duration, self.cfg.effective_guard());
         ctx.set_timer_at(timeout.max(now), TIMER_GRANT);
     }
 
@@ -443,7 +444,7 @@ impl EwMac {
             self.backoff(ctx);
             return;
         };
-        let send_at = exdata_send_time(&clock, &obs, tau_ij, self.cfg.extra_guard);
+        let send_at = exdata_send_time(&clock, &obs, tau_ij, self.cfg.effective_guard());
         let Some(head) = self.queue.front() else {
             self.role = Role::Idle;
             return;
@@ -563,6 +564,14 @@ impl MacProtocol for EwMac {
         for &(id, delay) in neighbors {
             self.neighbors.observe(id, delay, SimTime::ZERO);
         }
+    }
+
+    fn install_clock_error(&mut self, bound: SimDuration) {
+        // Under drifting clocks, every extra window must shrink by the
+        // worst-case timing error or EXData transmissions would spill into
+        // reserved slot phases. Keep the larger of a caller-set margin and
+        // the world's announced bound.
+        self.cfg.sync_margin = self.cfg.sync_margin.max(bound);
     }
 
     fn on_slot_start(&mut self, ctx: &mut MacContext<'_>, slot: SlotIndex) {

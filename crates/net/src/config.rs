@@ -1,5 +1,6 @@
 //! Simulation configuration (Table 2 and friends).
 
+use uasn_clock::ClockModelConfig;
 use uasn_phy::channel::AcousticChannel;
 use uasn_phy::energy::PowerProfile;
 use uasn_sim::time::{SimDuration, SimTime};
@@ -101,6 +102,15 @@ pub struct SimConfig {
     /// link budget from positions — the slow reference path the golden-trace
     /// suite compares against. Both paths produce bit-identical runs.
     pub fastpath: bool,
+    /// Per-node clock model. [`ClockModelConfig::ideal`] (the default)
+    /// reproduces the paper's perfect-synchronization assumption: no RNG
+    /// streams are drawn, no events added, and every seeded run is
+    /// byte-for-byte identical to a build without the clock subsystem.
+    pub clock: ClockModelConfig,
+    /// Guard band appended to every slot (|ts| = ω + τmax + guard) to
+    /// absorb clock error at slot boundaries. Zero (the default) is the
+    /// paper's slot length.
+    pub slot_guard: SimDuration,
 }
 
 impl SimConfig {
@@ -129,6 +139,8 @@ impl SimConfig {
             data_bits_range: None,
             sample_interval: None,
             fastpath: true,
+            clock: ClockModelConfig::ideal(),
+            slot_guard: SimDuration::ZERO,
         }
     }
 
@@ -219,6 +231,33 @@ impl SimConfig {
     pub fn with_fastpath(mut self, fastpath: bool) -> Self {
         self.fastpath = fastpath;
         self
+    }
+
+    /// Installs a full per-node clock model (offset, skew, jitter,
+    /// measurement noise, optional resync).
+    pub fn with_clock_model(mut self, clock: ClockModelConfig) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Shorthand for the sensitivity sweeps: the representative
+    /// [`ClockModelConfig::drifting`] model at `skew_ppm`.
+    pub fn with_clock_drift(mut self, skew_ppm: f64) -> Self {
+        self.clock = ClockModelConfig::drifting(skew_ppm);
+        self
+    }
+
+    /// Appends `guard` to every slot (|ts| = ω + τmax + guard).
+    pub fn with_slot_guard(mut self, guard: SimDuration) -> Self {
+        self.slot_guard = guard;
+        self
+    }
+
+    /// The worst-case per-node |local − global| clock error this
+    /// configuration can produce over its own observation window. Zero for
+    /// the ideal model.
+    pub fn clock_error_bound(&self) -> SimDuration {
+        self.clock.worst_case_error(self.sim_time)
     }
 
     /// The simulation horizon as an instant.
@@ -313,6 +352,9 @@ impl SimConfig {
                 return Err(bad("mobility", "update interval must be positive"));
             }
         }
+        self.clock
+            .validate()
+            .map_err(|reason| bad("clock", reason))?;
         Ok(())
     }
 }
@@ -402,6 +444,28 @@ mod tests {
             "max_time",
         );
         assert_field(SimConfig::paper_default().with_data_bits(32), "data_bits");
+    }
+
+    #[test]
+    fn clock_defaults_are_ideal_and_invalid_models_are_named() {
+        let cfg = SimConfig::paper_default();
+        assert!(cfg.clock.is_ideal());
+        assert!(cfg.slot_guard.is_zero());
+        assert!(cfg.clock_error_bound().is_zero());
+
+        let drifting = SimConfig::paper_default()
+            .with_clock_drift(100.0)
+            .with_slot_guard(SimDuration::from_millis(20));
+        drifting.validate().expect("valid");
+        assert!(!drifting.clock.is_ideal());
+        assert!(!drifting.clock_error_bound().is_zero());
+
+        let mut bad_clock = SimConfig::paper_default().with_clock_drift(50.0);
+        bad_clock.clock.skew_ppm = f64::NAN;
+        match bad_clock.validate() {
+            Err(BuildNetworkError::InvalidConfig { field, .. }) => assert_eq!(field, "clock"),
+            other => panic!("expected invalid clock, got {other:?}"),
+        }
     }
 
     #[test]

@@ -278,6 +278,14 @@ pub trait MacProtocol: fmt::Debug {
     /// neighbour, that neighbour's own delay list.
     fn install_two_hop(&mut self, _tables: &[(NodeId, Vec<(NodeId, SimDuration)>)]) {}
 
+    /// Announces the worst-case timing-error bound of this run (clock error
+    /// at both endpoints plus delay-measurement noise). Called once before
+    /// the first event when the configured clock model is non-ideal, never
+    /// under ideal clocks. Protocols whose safety arguments assume exact
+    /// timing (EW-MAC's extra windows) shrink their windows by this bound;
+    /// the default ignores it.
+    fn install_clock_error(&mut self, _bound: SimDuration) {}
+
     /// A new slot begins (synchronized network — every node sees the same
     /// boundary).
     fn on_slot_start(&mut self, ctx: &mut MacContext<'_>, slot: SlotIndex);

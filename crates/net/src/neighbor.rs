@@ -31,6 +31,15 @@ pub struct NeighborEntry {
     pub measured_at: SimTime,
 }
 
+impl NeighborEntry {
+    /// Age of the measurement at `now` (zero if `now` reads earlier than
+    /// the measurement — possible when timestamps come from a stepped-back
+    /// local clock).
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_micros(now.as_micros().saturating_sub(self.measured_at.as_micros()))
+    }
+}
+
 /// One-hop propagation-delay table (what EW-MAC maintains).
 ///
 /// Deterministically ordered (`BTreeMap`) so iteration order can never
@@ -120,6 +129,21 @@ impl OneHopTable {
     /// neighbourhood τmax.
     pub fn max_delay(&self) -> Option<SimDuration> {
         self.entries.values().map(|e| e.delay).max()
+    }
+
+    /// Age of the stored measurement for `neighbor` at `now`, if any.
+    /// Under mobility this is what bounds how far the stored delay can
+    /// have drifted from the true one (see `uasn-clock`'s
+    /// `DelayEstimator::staleness_bound`).
+    pub fn age_of(&self, neighbor: NodeId, now: SimTime) -> Option<SimDuration> {
+        self.entries.get(&neighbor).map(|e| e.age(now))
+    }
+
+    /// The oldest measurement age in the table at `now` — the staleness a
+    /// node must budget for when it trusts any entry without knowing which
+    /// one a future exchange will use.
+    pub fn oldest_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.entries.values().map(|e| e.age(now)).max()
     }
 }
 
@@ -225,6 +249,23 @@ mod tests {
         assert_eq!(dropped, 1);
         assert_eq!(table.delay_of(NodeId::new(1)), None);
         assert_eq!(table.delay_of(NodeId::new(2)), Some(d(400)));
+    }
+
+    #[test]
+    fn ages_track_measurement_time() {
+        let mut table = OneHopTable::new();
+        table.observe(NodeId::new(1), d(300), t(10));
+        table.observe(NodeId::new(2), d(400), t(40));
+        assert_eq!(
+            table.age_of(NodeId::new(1), t(100)),
+            Some(SimDuration::from_secs(90))
+        );
+        assert_eq!(table.age_of(NodeId::new(9), t(100)), None);
+        assert_eq!(table.oldest_age(t(100)), Some(SimDuration::from_secs(90)));
+        // A stepped-back clock can present `now` before `measured_at`;
+        // ages saturate at zero instead of underflowing.
+        assert_eq!(table.age_of(NodeId::new(2), t(0)), Some(SimDuration::ZERO));
+        assert_eq!(OneHopTable::new().oldest_age(t(5)), None);
     }
 
     #[test]

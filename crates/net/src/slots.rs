@@ -32,17 +32,31 @@ pub type SlotIndex = u64;
 pub struct SlotClock {
     omega: SimDuration,
     tau_max: SimDuration,
+    guard: SimDuration,
     slot_len: SimDuration,
 }
 
 impl SlotClock {
     /// Creates a clock from the control-packet duration ω and the maximum
-    /// propagation delay τmax.
+    /// propagation delay τmax, with no guard band (the paper's |ts|).
     ///
     /// # Panics
     ///
     /// Panics if either duration is zero.
     pub fn new(omega: SimDuration, tau_max: SimDuration) -> Self {
+        SlotClock::with_guard(omega, tau_max, SimDuration::ZERO)
+    }
+
+    /// Creates a clock whose slots carry an extra `guard` band:
+    /// |ts| = ω + τmax + guard. The guard absorbs per-node clock error so
+    /// imperfectly synchronized boundary perceptions still land every
+    /// negotiated packet inside its intended slot. A zero guard reproduces
+    /// [`SlotClock::new`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ω or τmax is zero (the guard may be zero).
+    pub fn with_guard(omega: SimDuration, tau_max: SimDuration, guard: SimDuration) -> Self {
         assert!(!omega.is_zero(), "control-packet duration must be positive");
         assert!(
             !tau_max.is_zero(),
@@ -51,7 +65,8 @@ impl SlotClock {
         SlotClock {
             omega,
             tau_max,
-            slot_len: omega + tau_max,
+            guard,
+            slot_len: omega + tau_max + guard,
         }
     }
 
@@ -65,7 +80,12 @@ impl SlotClock {
         self.tau_max
     }
 
-    /// The slot length |ts| = ω + τmax.
+    /// The guard band appended to every slot (zero in the paper's model).
+    pub fn guard(&self) -> SimDuration {
+        self.guard
+    }
+
+    /// The slot length |ts| = ω + τmax + guard.
     pub fn slot_len(&self) -> SimDuration {
         self.slot_len
     }
@@ -190,5 +210,32 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_omega_panics() {
         let _ = SlotClock::new(SimDuration::ZERO, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn guard_band_lengthens_slots_and_zero_guard_is_identity() {
+        let base = clock();
+        let guarded = SlotClock::with_guard(
+            SimDuration::from_micros(5_333),
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(20),
+        );
+        assert_eq!(guarded.guard(), SimDuration::from_millis(20));
+        assert_eq!(
+            guarded.slot_len(),
+            base.slot_len() + SimDuration::from_millis(20)
+        );
+        assert_eq!(
+            guarded.start_of(3),
+            SimTime::ZERO + guarded.slot_len().saturating_mul(3)
+        );
+        // Zero guard is byte-identical to the paper's clock.
+        let zero = SlotClock::with_guard(
+            SimDuration::from_micros(5_333),
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        );
+        assert_eq!(zero, base);
+        assert!(base.guard().is_zero());
     }
 }

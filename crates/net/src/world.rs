@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 
+use uasn_clock::{DelayEstimator, VirtualClock};
 use uasn_phy::cache::LinkBudgetCache;
 use uasn_phy::channel::AcousticChannel;
 use uasn_phy::energy::EnergyMeter;
@@ -72,6 +73,13 @@ enum NetEvent {
     MaintenanceTick,
     /// Record a time-series snapshot and reschedule.
     SampleTick,
+    /// One node's *perceived* slot boundary (non-ideal clocks only: the
+    /// shared `SlotStart` broadcast splits into per-node events at each
+    /// node's local reading of the boundary).
+    NodeSlotStart { node: u32, slot: SlotIndex },
+    /// Periodic clock-resynchronization round (non-ideal clocks with a
+    /// resync model only).
+    ResyncTick,
 }
 
 impl EventLabel for NetEvent {
@@ -88,6 +96,41 @@ impl EventLabel for NetEvent {
             NetEvent::MobilityTick => "mobility",
             NetEvent::MaintenanceTick => "maintenance",
             NetEvent::SampleTick => "sample",
+            NetEvent::NodeSlotStart { .. } => "node-slot-start",
+            NetEvent::ResyncTick => "resync",
+        }
+    }
+}
+
+/// Aggregate sync-error observations over one run (non-ideal clocks only).
+///
+/// Per-node |local − global| is sampled at every resync round and once more
+/// at the end of the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClockStats {
+    /// Number of per-node error samples taken.
+    pub samples: u64,
+    /// Sum of sampled |local − global|, µs.
+    pub sum_abs_error_us: u64,
+    /// Largest sampled |local − global|, µs.
+    pub max_abs_error_us: u64,
+    /// Completed resynchronization rounds.
+    pub resyncs: u64,
+}
+
+impl ClockStats {
+    fn record(&mut self, err: SimDuration) {
+        self.samples += 1;
+        self.sum_abs_error_us += err.as_micros();
+        self.max_abs_error_us = self.max_abs_error_us.max(err.as_micros());
+    }
+
+    /// Mean sampled |local − global|, µs.
+    pub fn mean_abs_error_us(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_abs_error_us as f64 / self.samples as f64
         }
     }
 }
@@ -97,6 +140,9 @@ struct PendingRx {
     node: u32,
     frame: Frame,
     arrival_start: SimTime,
+    /// Global send instant — the true-propagation reference. The frame's
+    /// own `timestamp` is the *sender-local* reading and drifts with it.
+    sent_at: SimTime,
     pre_lost: bool,
     /// Path copies of one transmission share a group: a surface echo never
     /// collides with its own direct arrival.
@@ -142,6 +188,18 @@ struct NetworkWorld {
     traffic_end: SimTime,
     tracer: Tracer,
     series: Option<TimeSeries>,
+
+    /// Per-node drifting clocks; `None` under the (default) ideal model, in
+    /// which case no clock RNG stream is ever drawn, no extra events exist,
+    /// and traces stay byte-identical to pre-clock builds.
+    clocks: Option<Vec<VirtualClock>>,
+    /// Timestamp-difference delay estimation (noise + staleness model).
+    estimator: DelayEstimator,
+    /// Detection-noise stream; advanced only on non-ideal decodes.
+    meas_rng: StdRng,
+    /// Cached worst-case per-node clock error for the run-info record.
+    clock_error: SimDuration,
+    clock_stats: ClockStats,
 }
 
 impl std::fmt::Debug for NetworkWorld {
@@ -198,7 +256,7 @@ impl NetworkWorld {
         }
         let protocol = self.macs[0].as_ref().map(|m| m.name()).unwrap_or("unknown");
         let sinks = self.roles.iter().filter(|r| **r == NodeRole::Sink).count();
-        let fields = vec![
+        let mut fields = vec![
             field("protocol", protocol),
             field("nodes", self.node_count()),
             field("sinks", sinks),
@@ -209,6 +267,12 @@ impl NetworkWorld {
             field("mobility", self.cfg.mobility.enabled),
             field("forwarding", self.cfg.forwarding),
         ];
+        // Emitted only when the run departs from the ideal-sync paper model,
+        // so ideal-mode traces keep their historical byte layout.
+        if !(self.cfg.slot_guard.is_zero() && self.cfg.clock.is_ideal()) {
+            fields.push(field("guard_us", self.clock.guard().as_micros()));
+            fields.push(field("clock_error_us", self.clock_error.as_micros()));
+        }
         self.tracer.record_fields(
             self.now,
             TraceLevel::Info,
@@ -219,17 +283,38 @@ impl NetworkWorld {
         );
     }
 
+    /// Node-local reading of `self.now` (identity under ideal clocks).
+    fn local_now(&mut self, node: usize) -> SimTime {
+        match self.clocks.as_mut() {
+            Some(clocks) => clocks[node].local_time(self.now),
+            None => self.now,
+        }
+    }
+
+    /// Converts a node-local instant back to global time. Clamped to the
+    /// present for drifting clocks — the affine inverse can land a few µs
+    /// either side of the true global instant, and the scheduler must never
+    /// receive a time in the past.
+    fn to_global(&self, node: usize, local: SimTime) -> SimTime {
+        match self.clocks.as_ref() {
+            Some(clocks) => clocks[node].global_for_local(local).max(self.now),
+            None => local,
+        }
+    }
+
     /// Runs `f` against node `node`'s MAC and then applies the commands it
-    /// queued.
+    /// queued. The MAC sees its **own** clock's reading of now; commands it
+    /// schedules are converted back to global time in `apply_command`.
     fn with_mac<F>(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, f: F)
     where
         F: FnOnce(&mut dyn MacProtocol, &mut MacContext<'_>),
     {
         debug_assert!(self.cmd_buf.is_empty());
+        let local_now = self.local_now(node);
         let mut mac = self.macs[node].take().expect("MAC missing during dispatch");
         {
             let mut ctx = MacContext::new(
-                self.now,
+                local_now,
                 NodeId::new(node as u32),
                 self.clock,
                 self.spec,
@@ -249,6 +334,7 @@ impl NetworkWorld {
     fn apply_command(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, cmd: MacCommand) {
         match cmd {
             MacCommand::SendFrame { frame, at } => {
+                let at = self.to_global(node, at);
                 let token = self.next_token;
                 self.next_token += 1;
                 self.pending_tx.insert(token, frame);
@@ -261,6 +347,7 @@ impl NetworkWorld {
                 );
             }
             MacCommand::SetTimer { at, token } => {
+                let at = self.to_global(node, at);
                 let key = sched.at(
                     at,
                     NetEvent::Timer {
@@ -303,7 +390,10 @@ impl NetworkWorld {
             });
             return;
         }
-        frame.timestamp = self.now;
+        // §4.3: the frame carries the *sender's* clock reading, which is
+        // what receivers difference against. Identical to `self.now` under
+        // ideal clocks.
+        frame.timestamp = self.local_now(node);
         let duration = self.spec.tx_duration(frame.bits);
         self.modems[node].begin_transmit(self.now, self.now + duration);
         self.sync_energy(node);
@@ -435,6 +525,7 @@ impl NetworkWorld {
                 node: rx_node,
                 frame: frame.clone(),
                 arrival_start,
+                sent_at: self.now,
                 pre_lost,
                 group,
                 is_echo: false,
@@ -468,6 +559,7 @@ impl NetworkWorld {
                 node: rx_node,
                 frame: frame.clone(),
                 arrival_start: echo_start,
+                sent_at: self.now,
                 pre_lost: true,
                 group,
                 is_echo: true,
@@ -533,13 +625,30 @@ impl NetworkWorld {
             return;
         }
         let frame = entry.frame;
-        let prop_delay = entry.arrival_start.duration_since(frame.timestamp);
+        // True propagation for the trace: global send → global first-bit
+        // arrival. (Equals `arrival − frame.timestamp` under ideal clocks.)
+        let prop_delay = entry.arrival_start.duration_since(entry.sent_at);
+        // What the receiver *measures* (§4.3): the sender-local timestamp
+        // differenced against its own local arrival reading — it knows the
+        // frame duration exactly, so it back-dates from the decode instant —
+        // plus one detection-noise draw. Both endpoints' clock errors leak
+        // into this value; under ideal clocks it is exactly `prop_delay` and
+        // the noise stream is never touched.
+        let drifting = self.clocks.is_some();
+        let (arrival_seen, measured) = if drifting {
+            let local_arrival =
+                uasn_phy::timestamp::rx_arrival(self.local_now(node), self.spec, frame.bits);
+            let raw = self.estimator.estimate(frame.timestamp, local_arrival);
+            (local_arrival, self.estimator.noisy(raw, &mut self.meas_rng))
+        } else {
+            (entry.arrival_start, prop_delay)
+        };
 
         // Deliver to the MAC first (it may answer with an Ack schedule)…
         let reception = Reception {
             frame: &frame,
-            arrival_start: entry.arrival_start,
-            prop_delay,
+            arrival_start: arrival_seen,
+            prop_delay: measured,
         };
         let me = NodeId::new(entry.node);
         let addressed = reception.addressed_to(me);
@@ -553,6 +662,9 @@ impl NetworkWorld {
                 field("prop_us", prop_delay.as_micros()),
                 field("addressed", addressed),
             ];
+            if drifting {
+                fields.push(field("meas_us", measured.as_micros()));
+            }
             if let Some(sdu) = &frame.sdu {
                 fields.push(field("sdu", sdu.id));
                 fields.push(field("origin", sdu.origin.index()));
@@ -771,6 +883,25 @@ impl NetworkWorld {
         }
     }
 
+    /// One resynchronization round: sample every node's sync error into the
+    /// run statistics, then pull its clock back to within the configured
+    /// residual of true time.
+    fn handle_resync_tick(&mut self, sched: &mut Schedule<'_, NetEvent>) {
+        let Some(resync) = self.cfg.clock.resync else {
+            return;
+        };
+        let now = self.now;
+        if let Some(clocks) = self.clocks.as_mut() {
+            for clock in clocks.iter_mut() {
+                let err = clock.error_at(now);
+                self.clock_stats.record(err);
+                clock.resync(resync.residual, now);
+            }
+            self.clock_stats.resyncs += 1;
+            sched.after(resync.period, NetEvent::ResyncTick);
+        }
+    }
+
     fn handle_sample_tick(&mut self, sched: &mut Schedule<'_, NetEvent>) {
         let Some(series) = self.series.as_mut() else {
             return;
@@ -927,6 +1058,23 @@ impl uasn_sim::engine::World for NetworkWorld {
             NetEvent::MobilityTick => self.handle_mobility_tick(sched),
             NetEvent::MaintenanceTick => self.handle_maintenance_tick(sched),
             NetEvent::SampleTick => self.handle_sample_tick(sched),
+            NetEvent::NodeSlotStart { node, slot } => {
+                self.with_mac(sched, node as usize, |mac, ctx| {
+                    mac.on_slot_start(ctx, slot)
+                });
+                // Each node chases *its own* perception of the next
+                // boundary; `to_global` clamps to the present, and the slot
+                // index advances every firing, so progress is guaranteed.
+                let next = self.to_global(node as usize, self.clock.start_of(slot + 1));
+                sched.at(
+                    next,
+                    NetEvent::NodeSlotStart {
+                        node,
+                        slot: slot + 1,
+                    },
+                );
+            }
+            NetEvent::ResyncTick => self.handle_resync_tick(sched),
         }
     }
 
@@ -995,9 +1143,10 @@ impl Simulation {
         }
 
         let n = nodes.len();
-        let clock = SlotClock::new(
+        let clock = SlotClock::with_guard(
             ModemSpec::new(cfg.bitrate_bps).tx_duration(cfg.control_bits),
             cfg.channel.max_propagation_delay(),
+            cfg.slot_guard,
         );
         let spec = ModemSpec::new(cfg.bitrate_bps);
 
@@ -1071,6 +1220,34 @@ impl Simulation {
             }
         }
 
+        // Clock-model wiring. Under the (default) ideal model nothing here
+        // draws RNG state, schedules events, or tells MACs anything, which
+        // keeps golden traces byte-identical. Otherwise every node gets its
+        // own drifting clock (independent "clock" streams, so enabling them
+        // never perturbs topology/traffic/channel draws) and every MAC
+        // learns the worst-case timing-error bound of the run: clock error
+        // at both endpoints plus one delay-measurement noise half-width.
+        let drifting = !cfg.clock.is_ideal();
+        let clocks: Option<Vec<VirtualClock>> = drifting.then(|| {
+            (0..n)
+                .map(|i| VirtualClock::from_model(&cfg.clock, seeds.stream("clock", i as u64)))
+                .collect()
+        });
+        if drifting {
+            let bound = cfg.clock_error_bound() + cfg.clock_error_bound() + cfg.clock.meas_noise;
+            for mac in macs.iter_mut() {
+                mac.as_mut().expect("just built").install_clock_error(bound);
+            }
+        }
+        let max_speed = if cfg.mobility.enabled {
+            cfg.mobility.max_speed_ms
+        } else {
+            0.0
+        };
+        let sound_speed =
+            cfg.channel.max_range_m() / cfg.channel.max_propagation_delay().as_secs_f64();
+        let estimator = DelayEstimator::new(cfg.clock.meas_noise, max_speed, sound_speed);
+
         // Traffic setup.
         let (traffic_stream, traffic_end) = match cfg.traffic {
             TrafficPattern::Poisson { offered_load_kbps } => (
@@ -1115,6 +1292,11 @@ impl Simulation {
             traffic_end,
             tracer: Tracer::disabled(),
             series: cfg.sample_interval.map(TimeSeries::new),
+            clocks,
+            estimator,
+            meas_rng: seeds.stream("delay-meas", 0),
+            clock_error: cfg.clock_error_bound(),
+            clock_stats: ClockStats::default(),
             cfg,
         };
 
@@ -1123,7 +1305,22 @@ impl Simulation {
         // the periodic ticks and hello beacons.
         let mut engine = Engine::new().with_queue_capacity(128 + 16 * n);
         engine.seed_event(SimTime::ZERO, NetEvent::Start);
-        engine.seed_event(SimTime::ZERO, NetEvent::SlotStart(0));
+        if world.clocks.is_some() {
+            // Drifting clocks: the shared boundary broadcast splits into
+            // per-node events at each node's local reading of slot 0.
+            for i in 0..n {
+                let at = world.to_global(i, world.clock.start_of(0));
+                engine.seed_event(
+                    at,
+                    NetEvent::NodeSlotStart {
+                        node: i as u32,
+                        slot: 0,
+                    },
+                );
+            }
+        } else {
+            engine.seed_event(SimTime::ZERO, NetEvent::SlotStart(0));
+        }
         if world.series.is_some() {
             // Seeded after Start/SlotStart(0) so the t = 0 snapshot sees the
             // state after the opening dispatches (FIFO at equal times).
@@ -1218,6 +1415,11 @@ impl Simulation {
                 .expect("checked above");
             engine.seed_event(SimTime::ZERO + period, NetEvent::MaintenanceTick);
         }
+        if world.clocks.is_some() {
+            if let Some(resync) = world.cfg.clock.resync {
+                engine.seed_event(SimTime::ZERO + resync.period, NetEvent::ResyncTick);
+            }
+        }
 
         let horizon = if world.cfg.traffic.is_batch() {
             SimTime::ZERO + world.cfg.max_time
@@ -1281,11 +1483,25 @@ impl Simulation {
             _ => self.horizon.min(self.engine.now()),
         };
         let report = self.world.finalize(end);
+        // Close out the sync-error record with one final per-node sample, so
+        // even runs too short for a resync round report nonzero statistics.
+        if let Some(clocks) = self.world.clocks.as_mut() {
+            for clock in clocks.iter_mut() {
+                let err = clock.error_at(end);
+                self.world.clock_stats.record(err);
+            }
+        }
+        let clock = self
+            .world
+            .clocks
+            .is_some()
+            .then(|| std::mem::take(&mut self.world.clock_stats));
         RunOutput {
             report,
             tracer: std::mem::take(&mut self.world.tracer),
             series: self.world.series.take(),
             stats,
+            clock,
         }
     }
 }
@@ -1303,6 +1519,9 @@ pub struct RunOutput {
     pub series: Option<TimeSeries>,
     /// Engine profiling: event counts per kind, queue depths, wall-clock.
     pub stats: RunStats,
+    /// Sync-error statistics; `Some` iff the run used a non-ideal clock
+    /// model.
+    pub clock: Option<ClockStats>,
 }
 
 #[cfg(test)]
@@ -1579,5 +1798,101 @@ mod tests {
         let clock = sim.slot_clock();
         assert_eq!(clock.tau_max(), SimDuration::from_secs(1));
         assert_eq!(clock.omega().as_micros(), 5_333);
+    }
+
+    #[test]
+    fn ideal_clock_does_not_perturb_the_run() {
+        use uasn_clock::ClockModelConfig;
+        let plain = Simulation::new(small_cfg(), &blast_factory).unwrap().run();
+        let explicit = Simulation::new(
+            small_cfg()
+                .with_clock_model(ClockModelConfig::ideal())
+                .with_slot_guard(SimDuration::ZERO),
+            &blast_factory,
+        )
+        .unwrap()
+        .run();
+        assert_eq!(plain, explicit);
+        // Ideal runs carry no sync statistics and no clock events.
+        let out = Simulation::new(small_cfg(), &blast_factory)
+            .unwrap()
+            .run_full();
+        assert!(out.clock.is_none());
+        assert!(!out
+            .stats
+            .kind_counts
+            .iter()
+            .any(|&(k, _)| k == "node-slot-start" || k == "resync"));
+    }
+
+    #[test]
+    fn slot_guard_lengthens_the_slots() {
+        let sim = Simulation::new(
+            small_cfg().with_slot_guard(SimDuration::from_millis(50)),
+            &blast_factory,
+        )
+        .unwrap();
+        let clock = sim.slot_clock();
+        assert_eq!(clock.guard(), SimDuration::from_millis(50));
+        assert_eq!(clock.slot_len().as_micros(), 5_333 + 1_000_000 + 50_000);
+    }
+
+    #[test]
+    fn drifting_clocks_run_deterministically_and_report_sync_stats() {
+        let cfg = small_cfg()
+            .with_clock_drift(100.0)
+            .with_slot_guard(SimDuration::from_millis(25));
+        let a = Simulation::new(cfg.clone(), &blast_factory)
+            .unwrap()
+            .run_full();
+        let b = Simulation::new(cfg, &blast_factory).unwrap().run_full();
+        assert_eq!(a.report, b.report);
+        let stats = a.clock.expect("drifting run reports sync stats");
+        // 12 nodes sampled at least once (the end-of-run sample).
+        assert!(stats.samples >= 12, "samples = {}", stats.samples);
+        assert!(stats.max_abs_error_us > 0);
+        assert!(stats.mean_abs_error_us() > 0.0);
+        // The boundary broadcast split into per-node slot events.
+        let count = |label: &str| {
+            a.stats
+                .kind_counts
+                .iter()
+                .find(|&&(k, _)| k == label)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        };
+        assert_eq!(count("slot-start"), 0);
+        assert!(count("node-slot-start") > 0);
+        // Traffic still flows end to end under drift + guard.
+        assert!(a.report.sdus_generated > 0);
+        assert!(a.report.data_bits_received > 0);
+    }
+
+    #[test]
+    fn drifted_run_info_advertises_the_timing_budget() {
+        let sim = Simulation::new(small_cfg().with_clock_drift(50.0), &blast_factory)
+            .unwrap()
+            .with_tracing(TraceLevel::Info);
+        let (_report, tracer) = sim.run_traced();
+        let info = tracer.with_tag("run-info").next().expect("run-info record");
+        let get = |key: &str| {
+            info.fields
+                .iter()
+                .find(|(k, _)| k.as_ref() == key)
+                .map(|(_, v)| v.to_string())
+        };
+        assert_eq!(get("guard_us").as_deref(), Some("0"));
+        let err: u64 = get("clock_error_us").expect("present").parse().unwrap();
+        assert!(err > 0, "nonzero drift must advertise a nonzero error");
+        // Ideal runs keep the historical record layout.
+        let sim = Simulation::new(small_cfg(), &blast_factory)
+            .unwrap()
+            .with_tracing(TraceLevel::Info);
+        let (_report, tracer) = sim.run_traced();
+        let info = tracer.with_tag("run-info").next().expect("run-info record");
+        assert!(!info
+            .fields
+            .iter()
+            .any(|(k, _)| k.as_ref() == "clock_error_us"));
     }
 }

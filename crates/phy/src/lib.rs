@@ -16,6 +16,7 @@
 //!   regime), SNR threshold, and modulation-based BER/PER.
 //! * [`cache`] — per-pair link-budget memoization for the fan-out hot path.
 //! * [`modem`] — the half-duplex modem with an overlap (collision) ledger.
+//! * [`timestamp`] — §4.3 frame stamping and arrival back-dating arithmetic.
 //! * [`energy`] — power-state energy metering in the paper's mW units.
 //! * [`mobility`] — the paper's static/horizontal/vertical location models.
 //! * [`channel`] — the assembled channel the network simulator queries.
@@ -52,6 +53,7 @@ pub mod noise;
 pub mod per;
 pub mod propagation;
 pub mod sound;
+pub mod timestamp;
 
 pub use cache::{CachedLink, LinkBudgetCache};
 pub use channel::AcousticChannel;

@@ -1,0 +1,78 @@
+//! Frame timestamping at the modem boundary.
+//!
+//! §4.3 of the paper assumes every packet carries its sending timestamp and
+//! that receivers difference it against the arrival instant. Real modems
+//! complicate both halves: the transmitter stamps when the first bit leaves
+//! (not when the MAC decided to send), and the receiver only *knows* about
+//! a frame once the last bit is decoded, so the arrival reading must be
+//! back-dated by the frame duration — which both sides know exactly from
+//! the bit count and the bit rate. These helpers capture that arithmetic so
+//! the simulator world and the audit tooling agree on it; the clock-error
+//! contamination of the readings themselves lives in `uasn-clock`.
+
+use crate::modem::ModemSpec;
+use uasn_sim::time::{SimDuration, SimTime};
+
+/// The transmit-side stamp: the (local-clock) instant the first bit leaves
+/// the transducer. The MAC's decision instant and the departure instant
+/// coincide in this simulator, so this is the identity — kept as a named
+/// seam so a modeled MAC-to-transducer latency has exactly one home.
+pub fn tx_stamp(first_bit_departure_local: SimTime) -> SimTime {
+    first_bit_departure_local
+}
+
+/// The receive-side arrival reading: back-dates the (local-clock) decode
+/// instant by the frame's exact on-air duration. Saturates at t = 0 when a
+/// badly offset clock reads the decode instant earlier than the frame is
+/// long.
+pub fn rx_arrival(decode_end_local: SimTime, spec: ModemSpec, bits: u32) -> SimTime {
+    decode_end_local
+        .checked_sub(spec.tx_duration(bits))
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// The §4.3 delay measurement: receiver's arrival reading minus the
+/// sender's stamp, saturating at zero when clock skew inverts the order.
+/// With ideal clocks this is exactly the propagation delay.
+pub fn measured_delay(tx_stamp_local: SimTime, rx_arrival_local: SimTime) -> SimDuration {
+    SimDuration::from_micros(
+        rx_arrival_local
+            .as_micros()
+            .saturating_sub(tx_stamp_local.as_micros()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ModemSpec {
+        ModemSpec::new(12_000.0)
+    }
+
+    #[test]
+    fn round_trip_recovers_the_true_delay_with_ideal_clocks() {
+        let sent = tx_stamp(SimTime::from_secs(10));
+        let tau = SimDuration::from_millis(400);
+        let dur = spec().tx_duration(2_048);
+        let decode_end = sent + tau + dur;
+        let arrival = rx_arrival(decode_end, spec(), 2_048);
+        assert_eq!(arrival, sent + tau);
+        assert_eq!(measured_delay(sent, arrival), tau);
+    }
+
+    #[test]
+    fn rx_arrival_saturates_near_time_zero() {
+        let arrival = rx_arrival(SimTime::from_micros(10), spec(), 2_048);
+        assert_eq!(arrival, SimTime::ZERO);
+    }
+
+    #[test]
+    fn inverted_readings_saturate_instead_of_underflowing() {
+        // A receiver whose clock runs far behind the sender's can read an
+        // arrival instant before the stamp; the measurement floors at zero.
+        let sent = SimTime::from_secs(20);
+        let arrival = SimTime::from_secs(19);
+        assert_eq!(measured_delay(sent, arrival), SimDuration::ZERO);
+    }
+}
