@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         journal: None,
         max_cells: None,
         quiet: args.quiet,
+        profile: false,
     };
     let outcome = match run_sweep(&specs, &opts) {
         Ok(outcome) => outcome,
@@ -54,5 +55,12 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("{}", outcome.summary);
+    if !outcome.trace.is_lossless() {
+        eprintln!(
+            "warning: trace loss across the sweep — {} capture drops, {} ring evictions, \
+             {} JSONL I/O errors",
+            outcome.trace.capture_dropped, outcome.trace.ring_evicted, outcome.trace.io_errors
+        );
+    }
     ExitCode::SUCCESS
 }

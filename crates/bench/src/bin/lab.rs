@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! lab run    [--figures LIST] [--seeds N] [--jobs N] [--journal PATH]
-//!            [--out DIR] [--max-cells N] [--quiet]
+//!            [--out DIR] [--max-cells N] [--quiet] [--profile]
 //! lab resume <journal> [--jobs N] [--out DIR] [--max-cells N] [--quiet]
+//!            [--profile]
 //! lab status <journal>
 //! ```
 //!
@@ -24,11 +25,14 @@ use uasn_bench::grid::{self, SweepOptions, SweepOutcome};
 
 const USAGE: &str = "usage:
   lab run    [--figures LIST] [--seeds N] [--jobs N] [--journal PATH]
-             [--out DIR] [--max-cells N] [--quiet]
+             [--out DIR] [--max-cells N] [--quiet] [--profile]
   lab resume <journal> [--jobs N] [--out DIR] [--max-cells N] [--quiet]
+             [--profile]
   lab status <journal>
 
-LIST is comma-separated figure IDs (fig6, F9a, X2, ablation, ...) or \"all\".";
+LIST is comma-separated figure IDs (fig6, F9a, X2, ablation, ...) or \"all\".
+--profile runs every cell with performance profiling on (results are
+bit-identical; cells additionally journal a profile payload).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +61,7 @@ struct LabArgs {
     out: Option<PathBuf>,
     max_cells: Option<usize>,
     quiet: bool,
+    profile: bool,
 }
 
 fn parse_lab_args(tokens: &[String], allow_figures: bool) -> Result<LabArgs, String> {
@@ -89,6 +94,7 @@ fn parse_lab_args(tokens: &[String], allow_figures: bool) -> Result<LabArgs, Str
                 );
             }
             "--quiet" => parsed.quiet = true,
+            "--profile" => parsed.profile = true,
             other => return Err(format!("unexpected argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -104,6 +110,7 @@ fn cmd_run(tokens: &[String]) -> Result<ExitCode, String> {
         journal: args.journal,
         max_cells: args.max_cells,
         quiet: args.quiet,
+        profile: args.profile,
     };
     Ok(finish(
         grid::run_sweep(&specs, &opts).map_err(|e| format!("sweep failed: {e}"))?,
@@ -125,6 +132,7 @@ fn cmd_resume(tokens: &[String]) -> Result<ExitCode, String> {
         journal: Some(journal),
         max_cells: args.max_cells,
         quiet: args.quiet,
+        profile: args.profile,
     };
     Ok(finish(
         grid::run_sweep(&specs, &opts).map_err(|e| format!("sweep failed: {e}"))?,
@@ -161,6 +169,21 @@ fn finish(outcome: SweepOutcome, out: Option<PathBuf>) -> ExitCode {
         eprintln!("failed: {job}: {error}");
     }
     eprintln!("{}", outcome.summary);
+    if !outcome.trace.is_lossless() {
+        eprintln!(
+            "warning: trace loss across the sweep — {} capture drops, {} ring evictions, \
+             {} JSONL I/O errors",
+            outcome.trace.capture_dropped, outcome.trace.ring_evicted, outcome.trace.io_errors
+        );
+    }
+    if let Some(profile) = &outcome.profile {
+        eprintln!(
+            "profiled {} runs: {} events sampled, slab reuse {:.0}%",
+            profile.runs,
+            profile.engine.sampled_events,
+            profile.engine.slab_reuse_rate() * 100.0
+        );
+    }
     if !outcome.failed.is_empty() {
         eprintln!(
             "{} cells failed; resume the journal to retry them",

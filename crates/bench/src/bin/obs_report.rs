@@ -8,6 +8,10 @@
 //!   obs_report --trace <trace.jsonl>    summarise a trace alone
 //!   obs_report audit <manifest.json>    invariant-check the manifest's
 //!                                       trace file + slowest journeys
+//!   obs_report profile <file.json>      render performance profile(s):
+//!                                       accepts a manifest with a
+//!                                       `stats.profile`, a BENCH_perf.json,
+//!                                       or a bare ProfileReport document
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -15,6 +19,7 @@ use std::process::ExitCode;
 use uasn_audit::journey::{reconstruct, slowest, PhaseHistograms};
 use uasn_audit::model::TraceModel;
 use uasn_sim::json::JsonValue;
+use uasn_sim::profile::ProfileReport;
 use uasn_sim::trace::parse_jsonl;
 
 fn main() -> ExitCode {
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
         [] => list_manifests(&uasn_bench::cli::results_dir()),
         [flag, trace] if flag == "--trace" => summarize_trace(Path::new(trace)),
         [cmd, manifest] if cmd == "audit" => audit_manifest(Path::new(manifest)),
+        [cmd, file] if cmd == "profile" => profile_command(Path::new(file)),
         [manifest] => print_manifest(Path::new(manifest)),
         [manifest, trace] => {
             let a = print_manifest(Path::new(manifest));
@@ -37,7 +43,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: obs_report [manifest.json] [trace.jsonl] \
-                 | --trace <trace.jsonl> | audit <manifest.json>"
+                 | --trace <trace.jsonl> | audit <manifest.json> \
+                 | profile <file.json>"
             );
             ExitCode::FAILURE
         }
@@ -357,5 +364,195 @@ fn bump_count<'a>(table: &mut Vec<(&'a str, u64)>, key: &'a str) {
     match table.iter_mut().find(|(k, _)| *k == key) {
         Some((_, c)) => *c += 1,
         None => table.push((key, 1)),
+    }
+}
+
+/// Renders the performance profile(s) found in `path`. Three document
+/// shapes are accepted: a bare `ProfileReport` JSON, a run manifest whose
+/// `stats.profile` carries one, and a `BENCH_perf.json` whose scenarios
+/// each carry one.
+fn profile_command(path: &Path) -> ExitCode {
+    let doc = match load_json(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // A bare report has `handler` + `metrics` at the top level.
+    if doc.get("handler").is_some() && doc.get("metrics").is_some() {
+        return match ProfileReport::from_json(&doc) {
+            Some(report) => {
+                println!("profile {}", path.display());
+                render_profile(&report);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "{} looks like a profile but does not decode",
+                    path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(profile) = doc.get("stats").and_then(|s| s.get("profile")) {
+        let Some(report) = ProfileReport::from_json(profile) else {
+            eprintln!("{}: stats.profile does not decode", path.display());
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "[{}] profile from manifest {}",
+            doc.get("id").and_then(JsonValue::as_str).unwrap_or("?"),
+            path.display()
+        );
+        render_profile(&report);
+        return ExitCode::SUCCESS;
+    }
+    if let Some(scenarios) = doc.get("scenarios").and_then(JsonValue::as_array) {
+        let mut rendered = 0usize;
+        for scenario in scenarios {
+            let Some(profile) = scenario.get("profile") else {
+                continue;
+            };
+            let name = scenario
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?");
+            let protocol = scenario
+                .get("protocol")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?");
+            let Some(report) = ProfileReport::from_json(profile) else {
+                eprintln!("scenario {name}-{protocol}: profile does not decode");
+                return ExitCode::FAILURE;
+            };
+            if rendered > 0 {
+                println!();
+            }
+            print!("[{name}-{protocol}]");
+            if let Some(pct) = scenario
+                .get("profiled")
+                .and_then(|p| p.get("overhead_pct"))
+                .and_then(JsonValue::as_f64)
+            {
+                print!(" (profiling overhead {pct:+.1}%)");
+            }
+            println!();
+            render_profile(&report);
+            rendered += 1;
+        }
+        if rendered == 0 {
+            eprintln!(
+                "{} has no per-scenario profiles; re-run the perf bin \
+                 (it records them by default)",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "{}: no profile found — expected a ProfileReport, a manifest with \
+         `stats.profile`, or a BENCH_perf.json with scenario profiles",
+        path.display()
+    );
+    ExitCode::FAILURE
+}
+
+/// Pretty-prints one decoded `ProfileReport`: per-event-kind attribution,
+/// engine internals, link-budget-cache rates, and registry distributions.
+fn render_profile(report: &ProfileReport) {
+    let engine = &report.engine;
+    println!(
+        "  engine: {} run(s), {} events scheduled, {} sampled for timing",
+        report.runs, engine.events_scheduled, engine.sampled_events
+    );
+    println!(
+        "    pop cost             {} ns total over sampled pops",
+        engine.pop_ns
+    );
+    println!(
+        "    slab                 {} slots, {} reuses ({:.0}% reuse)",
+        engine.slab_slots,
+        engine.slab_reuses,
+        engine.slab_reuse_rate() * 100.0
+    );
+    let handlers = report.top_handlers();
+    let grand_total: u64 = handlers.iter().map(|(_, c)| c.total_ns).sum();
+    if !handlers.is_empty() {
+        println!("  handler time (sampled):");
+        println!(
+            "    {:<18}{:>10}{:>12}{:>10}{:>10}{:>8}",
+            "kind", "sampled", "total_us", "mean_ns", "max_ns", "share"
+        );
+        for (kind, cost) in &handlers {
+            let share = if grand_total == 0 {
+                0.0
+            } else {
+                cost.total_ns as f64 / grand_total as f64 * 100.0
+            };
+            println!(
+                "    {kind:<18}{:>10}{:>12}{:>10}{:>10}{:>7.1}%",
+                cost.sampled,
+                cost.total_ns / 1_000,
+                cost.mean_ns(),
+                cost.max_ns,
+                share
+            );
+        }
+    }
+    let metrics = &report.metrics;
+    let hits = metrics.counter("phy.cache.hits");
+    let misses = metrics.counter("phy.cache.misses");
+    if hits + misses > 0 {
+        let culls = metrics.counter("phy.cache.cull_rejects");
+        let audib = metrics.counter("phy.cache.audibility_rejects");
+        println!(
+            "  link-budget cache: {:.1}% hit ({hits} hits, {misses} misses, {} invalidations)",
+            hits as f64 / (hits + misses) as f64 * 100.0,
+            metrics.counter("phy.cache.invalidations"),
+        );
+        println!("    rejected at build: {culls} culled, {audib} inaudible");
+    }
+    let mut shown_header = false;
+    for (name, hist) in &metrics.hists {
+        if hist.count() == 0 {
+            continue;
+        }
+        if !shown_header {
+            println!("  distributions:");
+            println!(
+                "    {:<18}{:>8}{:>8}{:>8}{:>8}{:>8}",
+                "metric", "n", "p50", "p90", "p99", "max"
+            );
+            shown_header = true;
+        }
+        println!(
+            "    {name:<18}{:>8}{:>8}{:>8}{:>8}{:>8}",
+            hist.count(),
+            hist.p50().unwrap_or(0),
+            hist.p90().unwrap_or(0),
+            hist.p99().unwrap_or(0),
+            hist.max().unwrap_or(0),
+        );
+    }
+    let extra_counters: Vec<(&str, u64)> = metrics
+        .counters
+        .iter()
+        .filter(|(n, _)| !n.starts_with("phy.cache."))
+        .map(|&(n, v)| (n, v))
+        .collect();
+    if !extra_counters.is_empty() {
+        println!("  counters:");
+        for (name, value) in extra_counters {
+            println!("    {name:<24} {value}");
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        println!("  gauges (max):");
+        for (name, value) in &metrics.gauges {
+            println!("    {name:<24} {value}");
+        }
     }
 }

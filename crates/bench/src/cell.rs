@@ -22,6 +22,7 @@ use uasn_net::config::SimConfig;
 use uasn_sim::engine::RunStats;
 use uasn_sim::hist::LogHistogram;
 use uasn_sim::json::JsonValue;
+use uasn_sim::profile::ProfileReport;
 use uasn_sim::stats::Replications;
 use uasn_sim::time::SimTime;
 use uasn_sim::trace::TraceHealth;
@@ -61,6 +62,9 @@ pub struct CellOutput {
     pub stats: RunStats,
     /// Trace-sink health for the run.
     pub trace: TraceHealth,
+    /// Performance profile; `Some` iff the cell ran with
+    /// `SimConfig::with_profiling(true)`.
+    pub profile: Option<ProfileReport>,
     /// Log-bucketed MAC delivery latency.
     pub delivery_hist: LogHistogram,
     /// Log-bucketed end-to-end (generation to sink) latency.
@@ -109,7 +113,7 @@ impl CellOutput {
             .zip(self.metrics())
             .map(|(k, v)| (k.to_string(), JsonValue::from_f64(v)))
             .collect();
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("metrics".to_string(), JsonValue::Object(metrics)),
             ("stats".to_string(), self.stats.to_json()),
             // RunStats::to_json truncates wall to microseconds (the
@@ -122,7 +126,11 @@ impl CellOutput {
             ("trace".to_string(), trace_to_json(&self.trace)),
             ("delivery_us".to_string(), self.delivery_hist.to_json()),
             ("e2e_us".to_string(), self.e2e_hist.to_json()),
-        ])
+        ];
+        if let Some(profile) = &self.profile {
+            fields.push(("profile".to_string(), profile.to_json()));
+        }
+        JsonValue::Object(fields)
     }
 
     /// Reconstructs a cell from its [`CellOutput::to_json`] form — exact:
@@ -135,6 +143,12 @@ impl CellOutput {
         }
         let mut stats = RunStats::from_json(doc.get("stats")?)?;
         stats.wall = Duration::from_nanos(doc.get("stats_wall_ns")?.as_u64()?);
+        // Absent key = unprofiled cell (also every pre-profile journal);
+        // a *present but malformed* profile fails the whole decode.
+        let profile = match doc.get("profile") {
+            Some(p) => Some(ProfileReport::from_json(p)?),
+            None => None,
+        };
         Some(CellOutput {
             throughput_kbps: values[0],
             power_mw: values[1],
@@ -150,6 +164,7 @@ impl CellOutput {
             utilization: values[11],
             stats,
             trace: trace_from_json(doc.get("trace")?)?,
+            profile,
             delivery_hist: LogHistogram::from_json(doc.get("delivery_us")?)?,
             e2e_hist: LogHistogram::from_json(doc.get("e2e_us")?)?,
         })
@@ -227,6 +242,7 @@ pub fn run_cell(cfg: &SimConfig, protocol: Protocol, seed: u64) -> CellOutput {
         utilization: report.channel_utilization,
         stats,
         trace,
+        profile: out.profile,
         delivery_hist: report.delivery_latency_us,
         e2e_hist: report.e2e_latency_us,
     }
@@ -264,6 +280,9 @@ pub fn fold_cells<'a>(
     for cell in cells {
         summary.stats.absorb(&cell.stats);
         summary.stats.absorb_trace(&cell.trace);
+        if let Some(profile) = &cell.profile {
+            summary.stats.absorb_profile(profile);
+        }
         summary.delivery_hist.merge(&cell.delivery_hist);
         summary.e2e_hist.merge(&cell.e2e_hist);
         summary.throughput_kbps.add(cell.throughput_kbps);
@@ -297,8 +316,33 @@ mod tests {
     #[test]
     fn cell_json_round_trip_is_exact() {
         let cell = run_cell(&tiny_cfg(), Protocol::EwMac, 0);
+        assert!(cell.profile.is_none(), "profiling is off by default");
         let back = CellOutput::from_json(&cell.to_json()).expect("decode");
         assert_eq!(back, cell, "every field survives, bit for bit");
+    }
+
+    #[test]
+    fn profiled_cell_round_trips_and_folds_into_the_summary() {
+        let cfg = tiny_cfg().with_profiling(true);
+        let cell = run_cell(&cfg, Protocol::EwMac, 0);
+        let profile = cell.profile.as_ref().expect("profiled cell");
+        assert_eq!(profile.runs, 1);
+        let back = CellOutput::from_json(&cell.to_json()).expect("decode");
+        assert_eq!(back, cell, "profile included in the exact round trip");
+        // Metrics are unchanged by profiling: same seed, same numbers.
+        let plain = run_cell(&tiny_cfg(), Protocol::EwMac, 0);
+        assert_eq!(plain.throughput_kbps, cell.throughput_kbps);
+        assert_eq!(plain.collisions, cell.collisions);
+        // Folding two profiled cells merges their profiles.
+        let other = run_cell(&cfg, Protocol::EwMac, 1);
+        let summary = fold_cells(Protocol::EwMac, [&cell, &other]);
+        let merged = summary.stats.profile.as_ref().expect("aggregate profile");
+        assert_eq!(merged.runs, 2);
+        assert_eq!(
+            merged.engine.sampled_events,
+            cell.profile.as_ref().unwrap().engine.sampled_events
+                + other.profile.as_ref().unwrap().engine.sampled_events
+        );
     }
 
     #[test]

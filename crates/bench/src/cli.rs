@@ -120,6 +120,7 @@ pub fn figure_main(id: &str) -> ExitCode {
         journal: None,
         max_cells: None,
         quiet: args.quiet,
+        profile: false,
     };
     let outcome = match run_sweep(&[spec], &opts) {
         Ok(outcome) => outcome,
@@ -143,6 +144,13 @@ pub fn figure_main(id: &str) -> ExitCode {
         }
     }
     eprintln!("{}", outcome.summary);
+    if !outcome.trace.is_lossless() {
+        eprintln!(
+            "warning: trace loss across the sweep — {} capture drops, {} ring evictions, \
+             {} JSONL I/O errors",
+            outcome.trace.capture_dropped, outcome.trace.ring_evicted, outcome.trace.io_errors
+        );
+    }
     ExitCode::SUCCESS
 }
 

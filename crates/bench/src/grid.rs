@@ -27,6 +27,8 @@ use uasn_lab::journal::{JournalError, JournalWriter, LoadedJournal};
 use uasn_lab::pool::{self, Outcome};
 use uasn_lab::progress::Progress;
 use uasn_lab::spec::{JobKey, JobTable, SweepSpec};
+use uasn_sim::profile::ProfileReport;
+use uasn_sim::trace::TraceHealth;
 
 use crate::cell::{self, CellOutput};
 use crate::experiments::{assemble, ExperimentRun};
@@ -93,6 +95,13 @@ pub struct SweepOptions {
     pub max_cells: Option<usize>,
     /// Silence the live progress line.
     pub quiet: bool,
+    /// Run every cell with performance profiling on
+    /// (`SimConfig::with_profiling`). Results are bit-identical either
+    /// way; profiled cells additionally journal a `profile` payload that
+    /// aggregates into the sweep's [`SweepOutcome::profile`]. Resuming a
+    /// journal started with the other setting is allowed — only the
+    /// freshly run cells carry (or lack) profiles.
+    pub profile: bool,
 }
 
 impl Default for SweepOptions {
@@ -103,6 +112,7 @@ impl Default for SweepOptions {
             journal: None,
             max_cells: None,
             quiet: true,
+            profile: false,
         }
     }
 }
@@ -128,6 +138,13 @@ pub struct SweepOutcome {
     pub hit_max_cells: bool,
     /// The end-of-run progress summary line.
     pub summary: String,
+    /// Trace-sink health merged over every decoded cell (fresh *and*
+    /// resumed). Non-lossless means some cell silently dropped trace
+    /// records — callers should surface it, not bury it in manifests.
+    pub trace: TraceHealth,
+    /// Performance profile merged over every decoded cell that carried
+    /// one; `None` for unprofiled sweeps.
+    pub profile: Option<ProfileReport>,
 }
 
 fn to_io(e: JournalError) -> io::Error {
@@ -209,7 +226,10 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
     let mut journal_error: Option<JournalError> = None;
     let run = |index: usize| {
         let r = &refs[index];
-        let cfg = (r.spec.configure)(r.spec.xs[r.point]);
+        let mut cfg = (r.spec.configure)(r.spec.xs[r.point]);
+        if opts.profile {
+            cfg = cfg.with_profiling(true);
+        }
         cell::run_cell(&cfg, r.protocol, r.seed).to_json()
     };
     pool::execute(&pending, opts.workers, run, |result| {
@@ -267,6 +287,22 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
         .collect();
     let complete = decoded.iter().all(|c| c.is_some());
 
+    // Sweep-wide observability rollup, over every decoded cell (fresh and
+    // resumed) — computed before assembly consumes the cells. This is how
+    // silent trace loss in a parallel sweep becomes visible without
+    // digging through per-figure manifests.
+    let mut trace = TraceHealth::default();
+    let mut profile: Option<ProfileReport> = None;
+    for cell in decoded.iter().flatten() {
+        trace.merge(&cell.trace);
+        if let Some(p) = &cell.profile {
+            match &mut profile {
+                Some(mine) => mine.merge(p),
+                None => profile = Some(p.clone()),
+            }
+        }
+    }
+
     let runs = if complete {
         let mut cursor = 0usize;
         let mut runs = Vec::with_capacity(specs.len());
@@ -303,6 +339,8 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
         failed,
         hit_max_cells,
         summary: progress.summary(),
+        trace,
+        profile,
     })
 }
 

@@ -18,6 +18,7 @@ use uasn_net::traffic::TrafficPattern;
 use uasn_sim::engine::RunStats;
 use uasn_sim::hist::LogHistogram;
 use uasn_sim::json::JsonValue;
+use uasn_sim::profile::ProfileReport;
 use uasn_sim::trace::TraceHealth;
 
 /// Manifest schema identifier.
@@ -45,6 +46,9 @@ pub struct StatsAggregate {
     /// Trace-sink health summed over every run (all zeros when runs were
     /// untraced): audits refuse or warn when this is lossy.
     pub trace: TraceHealth,
+    /// Merged performance profile; `None` when no absorbed run carried
+    /// one (profiling off, the default).
+    pub profile: Option<ProfileReport>,
 }
 
 impl StatsAggregate {
@@ -73,6 +77,15 @@ impl StatsAggregate {
         self.trace.merge(health);
     }
 
+    /// Folds one run's performance profile in (handler-time attribution,
+    /// cache counters, fan-out/queue distributions).
+    pub fn absorb_profile(&mut self, profile: &ProfileReport) {
+        match &mut self.profile {
+            Some(mine) => mine.merge(profile),
+            None => self.profile = Some(profile.clone()),
+        }
+    }
+
     /// Merges another aggregate (e.g. per-cell into per-figure).
     pub fn merge(&mut self, other: &StatsAggregate) {
         self.runs += other.runs;
@@ -92,6 +105,9 @@ impl StatsAggregate {
             }
         }
         self.trace.merge(&other.trace);
+        if let Some(theirs) = &other.profile {
+            self.absorb_profile(theirs);
+        }
     }
 
     /// Events processed per wall-clock second over all runs.
@@ -115,7 +131,7 @@ impl StatsAggregate {
                     .collect(),
             )
         };
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("runs".to_string(), JsonValue::from_u64(self.runs)),
             (
                 "events_processed".to_string(),
@@ -136,7 +152,11 @@ impl StatsAggregate {
             ("kind_counts".to_string(), pairs(&self.kind_counts)),
             ("stop_reasons".to_string(), pairs(&self.stop_reasons)),
             ("trace".to_string(), trace_health_json(&self.trace)),
-        ])
+        ];
+        if let Some(profile) = &self.profile {
+            fields.push(("profile".to_string(), profile.to_json()));
+        }
+        JsonValue::Object(fields)
     }
 }
 

@@ -1,8 +1,9 @@
 //! Golden-trace regression suite for the fan-out fast path.
 //!
 //! Every protocol in the roster runs a fixed seeded scenario at two node
-//! densities, once through the cached fan-out fast path and once through the
-//! recompute-everything reference path. The two JSONL trace exports must be
+//! densities, through the cached fan-out fast path, the same fast path with
+//! performance profiling enabled, and the recompute-everything reference
+//! path. All three JSONL trace exports must be
 //! **byte-identical** — the strongest behavioural-equivalence check the
 //! simulator offers, since the Debug-level trace records every event the
 //! engine processes — and their FNV-1a hash must match the golden checked
@@ -123,6 +124,10 @@ fn check_density(density: &str, sensors: u32) {
     for (protocol, slug) in GOLDEN_PROTOCOLS {
         let cfg = golden_cfg(sensors);
         let fast = trace_bytes(&cfg.clone().with_fastpath(true), protocol);
+        let profiled = trace_bytes(
+            &cfg.clone().with_fastpath(true).with_profiling(true),
+            protocol,
+        );
         let reference = trace_bytes(&cfg.with_fastpath(false), protocol);
         assert!(
             !fast.is_empty(),
@@ -136,6 +141,15 @@ fn check_density(density: &str, sensors: u32) {
                 .zip(reference.iter())
                 .position(|(a, b)| a != b)
                 .unwrap_or_else(|| fast.len().min(reference.len()))
+        );
+        assert!(
+            fast == profiled,
+            "{slug}-{density}: enabling profiling changed the trace \
+             (first divergence at byte {})",
+            fast.iter()
+                .zip(profiled.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| fast.len().min(profiled.len()))
         );
         hashes.push((format!("{slug}-{density}"), fnv1a64(&fast)));
     }

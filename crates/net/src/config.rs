@@ -111,6 +111,15 @@ pub struct SimConfig {
     /// absorb clock error at slot boundaries. Zero (the default) is the
     /// paper's slot length.
     pub slot_guard: SimDuration,
+    /// When `true`, the run is instrumented for performance observability:
+    /// the engine attributes wall time to each event kind's handler, the
+    /// world records fan-out/queue-depth distributions and link-cache
+    /// counters, and [`crate::world::RunOutput::profile`] carries the
+    /// resulting report. `false` (the default) records nothing and
+    /// allocates nothing. The instrumentation reads only the wall clock —
+    /// never RNG streams or the event queue — so seeded runs are
+    /// byte-for-byte identical with it on or off.
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -141,6 +150,7 @@ impl SimConfig {
             fastpath: true,
             clock: ClockModelConfig::ideal(),
             slot_guard: SimDuration::ZERO,
+            profile: false,
         }
     }
 
@@ -221,6 +231,13 @@ impl SimConfig {
     /// Enables the periodic time-series sampler at `interval`.
     pub fn with_sample_interval(mut self, interval: SimDuration) -> Self {
         self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Enables (or disables) performance-observability instrumentation for
+    /// the run; see [`SimConfig::profile`].
+    pub fn with_profiling(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 

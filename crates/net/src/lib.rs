@@ -61,7 +61,7 @@ pub use error::BuildNetworkError;
 pub use mac::{
     MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken,
 };
-pub use metrics::{MetricsReport, NodeCounters};
+pub use metrics::{DeliveryMetrics, MetricsReport, NodeCounters};
 pub use node::{NodeId, NodeInfo, NodeRole};
 pub use packet::{Frame, FrameKind, Sdu};
 pub use quiet::QuietSchedule;

@@ -25,6 +25,7 @@ use uasn_phy::geometry::Point;
 use uasn_phy::mobility::MobilityModel;
 use uasn_phy::modem::{Modem, ModemSpec, ModemState, ReceptionId};
 use uasn_sim::engine::{Engine, EventLabel, RunStats, Schedule, StopReason};
+use uasn_sim::profile::{MetricsRegistry, ProfileReport};
 use uasn_sim::rng::SeedFactory;
 use uasn_sim::time::{SimDuration, SimTime};
 use uasn_sim::trace::{field, Field, TraceLevel, Tracer};
@@ -35,7 +36,7 @@ use crate::mac::{
     MacCommand, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
     TimerToken,
 };
-use crate::metrics::{Metrics, MetricsReport};
+use crate::metrics::{DeliveryMetrics, MetricsReport};
 use crate::neighbor::ANNOUNCE_BITS_PER_ENTRY;
 use crate::node::{NodeId, NodeInfo, NodeRole};
 use crate::packet::{Frame, Sdu};
@@ -176,7 +177,7 @@ struct NetworkWorld {
     traffic_rng: StdRng,
     traffic_stream: Option<ArrivalStream>,
 
-    metrics: Metrics,
+    metrics: DeliveryMetrics,
     delivered: std::collections::HashSet<(u64, u32)>,
     cmd_buf: Vec<MacCommand>,
     pending_tx: HashMap<u64, Frame>,
@@ -200,6 +201,12 @@ struct NetworkWorld {
     /// Cached worst-case per-node clock error for the run-info record.
     clock_error: SimDuration,
     clock_stats: ClockStats,
+    /// Performance-observability registry (fan-out degrees, queue depths,
+    /// cache counters). Disabled unless `cfg.profile`; a disabled registry
+    /// records nothing and allocates nothing, and an enabled one only ever
+    /// *observes* — it is never read back by protocol logic, so runs are
+    /// byte-identical with profiling on or off.
+    registry: MetricsRegistry,
 }
 
 impl std::fmt::Debug for NetworkWorld {
@@ -446,9 +453,11 @@ impl NetworkWorld {
         // receivers in ascending index order and call the same arithmetic
         // on the same `(distance, snr)` pairs, so the channel-RNG stream —
         // and therefore the whole run — is bit-identical between them.
+        let fanout: u64;
         if self.cfg.fastpath {
             self.link_cache
                 .ensure_row(&self.channel, &self.positions, node);
+            fanout = self.link_cache.row_len(node) as u64;
             for k in 0..self.link_cache.row_len(node) {
                 let link = self.link_cache.link_at(node, k);
                 let pre_lost = !self.channel.draw_delivery_at(
@@ -466,6 +475,7 @@ impl NetworkWorld {
             }
         } else {
             let src_pos = self.positions[node];
+            let mut degree = 0u64;
             for j in 0..self.node_count() {
                 if j == node {
                     continue;
@@ -474,6 +484,7 @@ impl NetworkWorld {
                 if !self.channel.is_audible(src_pos, dst_pos) {
                     continue;
                 }
+                degree += 1;
                 let delay = self.channel.propagation_delay(src_pos, dst_pos);
                 let pre_lost = !self.channel.draw_delivery(
                     &mut self.channel_rng,
@@ -490,7 +501,9 @@ impl NetworkWorld {
                     self.schedule_echo(sched, j as u32, &frame, token, echo_delay, duration);
                 }
             }
+            fanout = degree;
         }
+        self.registry.observe("net.fanout", fanout);
 
         self.inflight_tx.insert(token, frame);
         sched.at(
@@ -742,10 +755,24 @@ impl NetworkWorld {
                     )
                 });
                 self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, fwd));
+                self.observe_queue_depth(node);
             }
             None => {
                 self.metrics.per_node[node].unroutable += 1;
             }
+        }
+    }
+
+    /// Records the node's post-enqueue MAC queue depth into the
+    /// performance registry. Gated on the registry being enabled so the
+    /// unprofiled hot path never pays the virtual `queue_len` call.
+    fn observe_queue_depth(&mut self, node: usize) {
+        if self.registry.is_enabled() {
+            let depth = self.macs[node]
+                .as_ref()
+                .map(|mac| mac.queue_len() as u64)
+                .unwrap_or(0);
+            self.registry.observe("net.queue_depth", depth);
         }
     }
 
@@ -793,6 +820,7 @@ impl NetworkWorld {
                     )
                 });
                 self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, sdu));
+                self.observe_queue_depth(node);
             }
             None => {
                 self.metrics.per_node[node].unroutable += 1;
@@ -1185,7 +1213,7 @@ impl Simulation {
                 .collect()
         };
         let mut maintenance = Vec::with_capacity(n);
-        let mut metrics = Metrics::new(n);
+        let mut metrics = DeliveryMetrics::new(n);
         let mut meters: Vec<EnergyMeter> = (0..n)
             .map(|_| EnergyMeter::new(cfg.power, SimTime::ZERO))
             .collect();
@@ -1297,6 +1325,7 @@ impl Simulation {
             meas_rng: seeds.stream("delay-meas", 0),
             clock_error: cfg.clock_error_bound(),
             clock_stats: ClockStats::default(),
+            registry: MetricsRegistry::new(cfg.profile),
             cfg,
         };
 
@@ -1477,7 +1506,15 @@ impl Simulation {
     /// time series when sampling was enabled, and the engine's profiling
     /// statistics.
     pub fn run_full(mut self) -> RunOutput {
-        let stats = self.engine.run_profiled(&mut self.world, self.horizon);
+        let (stats, engine_cost) = if self.world.cfg.profile {
+            let (stats, cost) = self.engine.run_instrumented(&mut self.world, self.horizon);
+            (stats, Some(cost))
+        } else {
+            (
+                self.engine.run_profiled(&mut self.world, self.horizon),
+                None,
+            )
+        };
         let end = match stats.stop_reason {
             StopReason::StoppedByWorld => self.engine.now(),
             _ => self.horizon.min(self.engine.now()),
@@ -1496,12 +1533,27 @@ impl Simulation {
             .clocks
             .is_some()
             .then(|| std::mem::take(&mut self.world.clock_stats));
+        // Harvest the phy cache counters into the registry *after* the run
+        // so the report carries the whole-run totals, then fold everything
+        // into the profile. All of this is read-only with respect to the
+        // simulation state, so it cannot perturb a subsequent run.
+        let profile = engine_cost.map(|cost| {
+            let cs = self.world.link_cache.stats();
+            let reg = &mut self.world.registry;
+            reg.add("phy.cache.hits", cs.hits);
+            reg.add("phy.cache.misses", cs.misses);
+            reg.add("phy.cache.invalidations", cs.invalidations);
+            reg.add("phy.cache.cull_rejects", cs.cull_rejects);
+            reg.add("phy.cache.audibility_rejects", cs.audibility_rejects);
+            ProfileReport::single(cost, reg.take())
+        });
         RunOutput {
             report,
             tracer: std::mem::take(&mut self.world.tracer),
             series: self.world.series.take(),
             stats,
             clock,
+            profile,
         }
     }
 }
@@ -1522,6 +1574,10 @@ pub struct RunOutput {
     /// Sync-error statistics; `Some` iff the run used a non-ideal clock
     /// model.
     pub clock: Option<ClockStats>,
+    /// Performance profile (per-event-kind wall-time attribution, cache
+    /// hit rates, fan-out/queue-depth distributions); `Some` iff
+    /// [`SimConfig::profile`](crate::config::SimConfig::profile) was set.
+    pub profile: Option<ProfileReport>,
 }
 
 #[cfg(test)]
@@ -1790,6 +1846,95 @@ mod tests {
         assert_eq!(count("start"), 1);
         assert!(count("slot-start") > 0);
         assert_eq!(count("tx-start"), count("tx-end"));
+        // Profiling is off by default: no report, nothing recorded.
+        assert!(out.profile.is_none());
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_run() {
+        // The observability contract in one assertion: with profiling on,
+        // the trace stream, the report, and every deterministic engine
+        // statistic are byte-for-byte what the unprofiled run produces.
+        for cfg in [small_cfg(), small_cfg().with_fastpath(false)] {
+            let run = |profile: bool| {
+                Simulation::new(cfg.clone().with_profiling(profile), &blast_factory)
+                    .unwrap()
+                    .with_tracing(TraceLevel::Debug)
+                    .run_full()
+            };
+            let plain = run(false);
+            let profiled = run(true);
+            assert_eq!(plain.report, profiled.report);
+            assert_eq!(
+                plain.stats.events_processed,
+                profiled.stats.events_processed
+            );
+            assert_eq!(plain.stats.sim_end, profiled.stats.sim_end);
+            assert_eq!(plain.stats.stop_reason, profiled.stats.stop_reason);
+            assert_eq!(
+                plain.stats.peak_queue_depth,
+                profiled.stats.peak_queue_depth
+            );
+            assert_eq!(plain.stats.kind_counts, profiled.stats.kind_counts);
+            let jsonl = |out: &RunOutput| {
+                out.tracer
+                    .records()
+                    .iter()
+                    .map(|r| r.to_json_line())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(jsonl(&plain), jsonl(&profiled));
+            assert!(plain.profile.is_none());
+            assert!(profiled.profile.is_some());
+        }
+    }
+
+    #[test]
+    fn profiled_run_attributes_costs_and_cache_traffic() {
+        // Long enough that every sensor transmits more than once, so the
+        // link cache sees row *re*-use (hits), not just the initial builds.
+        let cfg = small_cfg()
+            .with_sim_time(SimDuration::from_secs(300))
+            .with_profiling(true);
+        let out = Simulation::new(cfg, &blast_factory).unwrap().run_full();
+        let profile = out.profile.expect("profiling enabled");
+        assert_eq!(profile.runs, 1);
+        // Engine attribution: sampled handler costs cover the hot kinds.
+        assert!(profile.engine.sampled_events > 0);
+        let sampled: u64 = profile.engine.handler.iter().map(|k| k.1.sampled).sum();
+        assert_eq!(sampled, profile.engine.sampled_events);
+        assert!(profile
+            .engine
+            .handler
+            .iter()
+            .any(|&(k, _)| k == "slot-start"));
+        // Registry content: fan-out distribution and cache counters.
+        let snap = &profile.metrics;
+        let fanout = snap
+            .hists
+            .iter()
+            .find(|&&(n, _)| n == "net.fanout")
+            .map(|(_, h)| h)
+            .expect("fan-out histogram");
+        assert!(fanout.count() > 0);
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        // The default config runs the fastpath, so every tx after the first
+        // hits the cached row and the static topology never invalidates.
+        assert!(counter("phy.cache.misses") > 0);
+        assert!(counter("phy.cache.hits") > 0);
+        assert_eq!(counter("phy.cache.invalidations"), 0);
+        // Queue depths were observed on every enqueue.
+        assert!(snap.hists.iter().any(|&(n, _)| n == "net.queue_depth"));
+        // And the report survives its own JSON encoding.
+        let round = ProfileReport::from_json(&profile.to_json()).expect("round trip");
+        assert_eq!(round.to_json().to_json(), profile.to_json().to_json());
     }
 
     #[test]

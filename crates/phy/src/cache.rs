@@ -60,6 +60,51 @@ struct Row {
     links: Vec<CachedLink>,
 }
 
+/// Lifetime effectiveness counters for a [`LinkBudgetCache`].
+///
+/// Deterministic for a given run (they count structural decisions, not wall
+/// time), so they can ride in profile reports without perturbing anything.
+/// Maintained unconditionally: five integer adds per row build are noise
+/// next to the noise-integral evaluations they sit beside.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `ensure_row` calls answered by a fresh row (epoch matched).
+    pub hits: u64,
+    /// `ensure_row` calls that had to (re)build the row.
+    pub misses: u64,
+    /// `invalidate` calls (mobility epochs).
+    pub invalidations: u64,
+    /// Candidate receivers rejected by the squared-distance cull during row
+    /// builds, skipping the exact link-budget arithmetic.
+    pub cull_rejects: u64,
+    /// Candidate receivers that survived the cull but failed the exact
+    /// audibility check.
+    pub audibility_rejects: u64,
+}
+
+impl CacheStats {
+    /// Fraction of `ensure_row` calls served without a rebuild.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total > 0 {
+            self.hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of rejected candidates the cheap cull caught before the
+    /// exact arithmetic ran.
+    pub fn cull_rate(&self) -> f64 {
+        let rejected = self.cull_rejects + self.audibility_rejects;
+        if rejected > 0 {
+            self.cull_rejects as f64 / rejected as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Memoizes each transmitter's audible receivers with their link budgets.
 ///
 /// Rows are built lazily (a node that never transmits never pays) and
@@ -91,6 +136,7 @@ pub struct LinkBudgetCache {
     /// admits no sound bound and every pair needs an exact check.
     cull_radius_sq: Option<f64>,
     rows: Vec<Row>,
+    stats: CacheStats,
 }
 
 impl LinkBudgetCache {
@@ -105,6 +151,7 @@ impl LinkBudgetCache {
             epoch: 1,
             cull_radius_sq,
             rows: vec![Row::default(); node_count],
+            stats: CacheStats::default(),
         }
     }
 
@@ -117,6 +164,12 @@ impl LinkBudgetCache {
     /// Invalidates every row in O(1); call after any position update.
     pub fn invalidate(&mut self) {
         self.epoch += 1;
+        self.stats.invalidations += 1;
+    }
+
+    /// Lifetime effectiveness counters (hits, misses, cull rejects, ...).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Builds (or refreshes) transmitter `tx`'s row from current positions.
@@ -131,8 +184,10 @@ impl LinkBudgetCache {
             self.rows.resize(positions.len(), Row::default());
         }
         if self.rows[tx].epoch == self.epoch {
+            self.stats.hits += 1;
             return;
         }
+        self.stats.misses += 1;
         let from = positions[tx];
         let links = &mut self.rows[tx].links;
         links.clear();
@@ -145,6 +200,7 @@ impl LinkBudgetCache {
                 let dy = from.y - to.y;
                 let dz = from.z - to.z;
                 if dx * dx + dy * dy + dz * dz > r2 {
+                    self.stats.cull_rejects += 1;
                     continue;
                 }
             }
@@ -153,6 +209,7 @@ impl LinkBudgetCache {
             // Same arithmetic as `AcousticChannel::is_audible`, reusing the
             // distance and SNR just computed.
             if channel.loss_probability_at(distance_m, snr_db, 1) >= 1.0 {
+                self.stats.audibility_rejects += 1;
                 continue;
             }
             let echo_delay = channel
@@ -250,6 +307,86 @@ mod tests {
         cache.invalidate();
         cache.ensure_row(&ch, &positions, 0);
         assert_eq!(cache.row_len(0), 2);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_rejects() {
+        let ch = AcousticChannel::paper_default();
+        // 600 m spacing: near neighbours audible, the far end of the line
+        // beyond the cull radius.
+        let positions = line(10, 600.0);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        assert_eq!(cache.stats(), CacheStats::default());
+
+        cache.ensure_row(&ch, &positions, 0);
+        let built = cache.stats();
+        assert_eq!((built.hits, built.misses), (0, 1));
+        assert!(
+            built.cull_rejects > 0,
+            "the 5.4 km end of the line must be culled: {built:?}"
+        );
+
+        // Replays are pure hits; nothing else moves.
+        cache.ensure_row(&ch, &positions, 0);
+        cache.ensure_row(&ch, &positions, 0);
+        let replayed = cache.stats();
+        assert_eq!(replayed.hits, 2);
+        assert_eq!(replayed.misses, built.misses);
+        assert_eq!(replayed.cull_rejects, built.cull_rejects);
+        assert!(replayed.hit_rate() > 0.6 && replayed.hit_rate() < 0.7);
+
+        // Invalidation is counted and forces a rebuild.
+        cache.invalidate();
+        cache.ensure_row(&ch, &positions, 0);
+        let rebuilt = cache.stats();
+        assert_eq!(rebuilt.invalidations, 1);
+        assert_eq!(rebuilt.misses, 2);
+    }
+
+    #[test]
+    fn no_cull_bound_means_no_cull_rejects() {
+        use crate::noise::AmbientNoise;
+        use crate::per::{Modulation, PerModel};
+        use crate::propagation::{LinkBudget, Spreading, TransmissionLoss};
+        use crate::sound::SoundSpeedProfile;
+
+        let ch = AcousticChannel::new(
+            SoundSpeedProfile::default(),
+            LinkBudget::new(
+                140.0,
+                TransmissionLoss::new(Spreading::Spherical, 10.0),
+                AmbientNoise::default(),
+                12_000.0,
+            ),
+            PerModel::Modulation {
+                scheme: Modulation::NcFsk,
+                bandwidth_over_bitrate: 1.0,
+            },
+            1_500.0,
+        );
+        assert_eq!(ch.detection_radius_m(), None);
+        let positions = line(5, 2_000.0);
+        let mut cache = LinkBudgetCache::new(&ch, positions.len());
+        cache.ensure_row(&ch, &positions, 0);
+        let stats = cache.stats();
+        assert_eq!(stats.cull_rejects, 0, "no radius, nothing to cull");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn empty_stats_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.cull_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            cull_rejects: 9,
+            audibility_rejects: 3,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.cull_rate(), 0.75);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod propagation;
 pub mod sound;
 pub mod timestamp;
 
-pub use cache::{CachedLink, LinkBudgetCache};
+pub use cache::{CacheStats, CachedLink, LinkBudgetCache};
 pub use channel::AcousticChannel;
 pub use energy::{EnergyMeter, PowerProfile};
 pub use geometry::{Point, Region};

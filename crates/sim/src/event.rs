@@ -135,6 +135,8 @@ pub struct EventQueue<E> {
     live: usize,
     /// Time of the most recently popped event; schedules may never precede it.
     watermark: SimTime,
+    /// Schedules that reused a freed slot instead of growing the slab.
+    reuses: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -159,6 +161,7 @@ impl<E> EventQueue<E> {
             free: Vec::with_capacity(capacity),
             live: 0,
             watermark: SimTime::ZERO,
+            reuses: 0,
         }
     }
 
@@ -181,6 +184,7 @@ impl<E> EventQueue<E> {
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize].state = SlotState::Live;
+                self.reuses += 1;
                 slot
             }
             None => {
@@ -278,6 +282,19 @@ impl<E> EventQueue<E> {
     /// Total events ever scheduled (live, fired, and cancelled).
     pub fn scheduled_count(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Slab slots ever allocated — the high-water mark of simultaneously
+    /// tracked events (slots are reused, never shrunk).
+    pub fn slab_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Schedules served by reusing a freed slab slot rather than growing
+    /// the slab; `slab_reuses() + slab_slots()` equals
+    /// [`EventQueue::scheduled_count`].
+    pub fn slab_reuses(&self) -> u64 {
+        self.reuses
     }
 }
 
@@ -438,6 +455,29 @@ mod tests {
         // A schedule/pop ping-pong touches one slot forever.
         assert_eq!(q.slots.len(), 1);
         assert_eq!(q.scheduled_count(), 1_000);
+        assert_eq!(q.slab_slots(), 1);
+        assert_eq!(
+            q.slab_reuses(),
+            999,
+            "every schedule after the first reuses"
+        );
+        assert_eq!(q.slab_reuses() + q.slab_slots() as u64, q.scheduled_count());
+    }
+
+    #[test]
+    fn slab_stats_track_concurrent_occupancy() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_secs(i + 1), i);
+        }
+        assert_eq!(q.slab_slots(), 10, "ten live events need ten slots");
+        assert_eq!(q.slab_reuses(), 0);
+        while q.pop().is_some() {}
+        for i in 0..5u64 {
+            q.schedule(SimTime::from_secs(100 + i), i);
+        }
+        assert_eq!(q.slab_slots(), 10, "slab never shrinks");
+        assert_eq!(q.slab_reuses(), 5, "all five came from the free list");
     }
 
     #[test]

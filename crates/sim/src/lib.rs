@@ -16,6 +16,10 @@
 //!   and cross-seed replication summaries.
 //! * [`hist`] — mergeable log-bucketed integer histograms ([`hist::LogHistogram`])
 //!   for latency percentiles with no floats in the bucket math.
+//! * [`profile`] — zero-overhead-when-off performance observability:
+//!   metrics registry (counters, gauges, log-bucketed timing histograms),
+//!   scoped stopwatches, and the mergeable [`profile::ProfileReport`]
+//!   exported by instrumented runs.
 //! * [`trace`] — level-gated structured tracing with pluggable sinks
 //!   (bounded capture, ring buffer, streaming JSONL) used by the test suite
 //!   to assert protocol-level invariants and by the observability layer to
@@ -56,6 +60,7 @@ pub mod engine;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -64,5 +69,8 @@ pub mod trace;
 pub use engine::{Engine, EventLabel, RunStats, Schedule, StopReason, World};
 pub use event::{EventKey, EventQueue};
 pub use hist::LogHistogram;
+pub use profile::{
+    EngineCost, KindCost, MetricsRegistry, MetricsSnapshot, ProfileReport, Stopwatch,
+};
 pub use rng::SeedFactory;
 pub use time::{SimDuration, SimTime};

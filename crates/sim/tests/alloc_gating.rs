@@ -1,7 +1,10 @@
-//! Verifies the tracer's zero-allocation promise: when a record's level is
-//! gated off, `record_lazy` must not run its builder closure **and** the
-//! call itself must not allocate — hot simulation loops trace at Debug
-//! density, so a disabled tracer has to be free.
+//! Verifies the observability layers' zero-allocation promises: when a
+//! trace record's level is gated off, `record_lazy` must not run its
+//! builder closure **and** the call itself must not allocate — hot
+//! simulation loops trace at Debug density, so a disabled tracer has to be
+//! free. The profiling registry makes the same promise: a disabled
+//! [`MetricsRegistry`] must not allocate on construction or on any
+//! recording call.
 //!
 //! Uses a counting global allocator wrapping the system one. This lives in
 //! an integration test (its own crate) because the library forbids unsafe
@@ -10,6 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use uasn_sim::profile::{MetricsRegistry, Stopwatch};
 use uasn_sim::time::SimTime;
 use uasn_sim::trace::{field, TraceLevel, Tracer};
 
@@ -67,6 +71,25 @@ fn level_gated_records_allocate_nothing() {
     });
     assert_eq!(count, 0, "below-threshold record_lazy must not allocate");
     assert_eq!(tracer.records().len(), 0);
+}
+
+#[test]
+fn disabled_registry_allocates_nothing() {
+    let count = allocations_during(|| {
+        let mut reg = MetricsRegistry::disabled();
+        for i in 0..1_000u64 {
+            let clock = Stopwatch::start_if(reg.is_enabled());
+            reg.incr("engine.pop");
+            reg.add("phy.cache.hit", i);
+            reg.gauge_max("net.queue_peak", i as f64);
+            reg.observe("net.fanout", i % 17);
+            if let Some(ns) = clock.elapsed_ns() {
+                reg.observe("loop_ns", ns);
+            }
+        }
+        assert!(reg.snapshot().is_empty());
+    });
+    assert_eq!(count, 0, "disabled registry must not allocate");
 }
 
 #[test]
