@@ -11,19 +11,19 @@
 //! busy intervals — the receiver's data reception and Ack transmission, the
 //! sender's data transmission and Ack reception. The reserved intervals are
 //! recomputed from first principles with the same schedule arithmetic the
-//! protocol uses ([`ObservedNegotiation`]), so the checker and the
+//! protocol uses (`ObservedNegotiation`), so the checker and the
 //! implementation can only agree by both matching the paper's equations.
+//!
+//! The frame-level checks (half-duplex, slot alignment, extra-window)
+//! live in [`crate::monitor`] as incremental state machines; [`check`]
+//! replays the model through them, which is what guarantees the streaming
+//! and post-hoc paths can never disagree.
 
 use std::collections::HashMap;
 use std::fmt;
 
-use uasn_ewmac::ObservedNegotiation;
-use uasn_net::packet::FrameKind;
-use uasn_net::slots::SlotClock;
-use uasn_net::NodeId;
-use uasn_sim::time::{SimDuration, SimTime};
-
-use crate::model::{RunInfo, RxEvent, TraceModel, TxEvent};
+use crate::model::{RunInfo, RxEvent, TraceModel};
+use crate::monitor::MonitorSet;
 
 /// What kind of promise a violation breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,12 +98,20 @@ impl fmt::Display for Violation {
 /// Half-open-ish strict overlap: the intervals share more than a boundary
 /// point. Touching endpoints (`a_end == b_start`) is legal everywhere in
 /// the schedule, so it never counts.
-fn overlaps(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> bool {
+pub(crate) fn overlaps(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> bool {
     a_start < b_end && b_start < a_end
 }
 
 /// Runs every applicable check over the model and returns all violations,
 /// ordered by the trace record they point at.
+///
+/// The three streamable checks — half-duplex decode, slot alignment,
+/// extra-window non-interference — are implemented once, as the
+/// incremental state machines in [`crate::monitor::MonitorSet`]; this
+/// function replays the model through them in record order, so the online
+/// and post-hoc paths agree by construction. The remaining checks
+/// (overlapping receptions, propagation consistency) need cross-record
+/// sorting or whole-run pair state and stay replay-only.
 ///
 /// Checks that need the run geometry (slot alignment, extra-window
 /// non-interference, propagation bounds) are skipped when the trace has no
@@ -111,14 +119,38 @@ fn overlaps(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> bool {
 pub fn check(model: &TraceModel) -> Vec<Violation> {
     let mut out = Vec::new();
     check_overlapping_receptions(model, &mut out);
-    check_half_duplex(model, &mut out);
+    let mut monitors = MonitorSet::new();
     if let Some(run) = &model.run_info {
-        check_slot_alignment(model, run, &mut out);
-        check_extra_windows(model, run, &mut out);
+        monitors.observe_run_info(run);
+    }
+    replay(model, &mut monitors);
+    out.extend(monitors.into_findings());
+    if let Some(run) = &model.run_info {
         check_propagation(model, run, &mut out);
     }
     out.sort_by_key(|v| (v.record_index, v.time_us));
     out
+}
+
+/// Feeds the model's frame events through the streaming monitors in trace
+/// record order (ties broken tx < rx < rx-lost, matching emission order).
+fn replay(model: &TraceModel, monitors: &mut MonitorSet) {
+    let (mut ti, mut ri, mut li) = (0, 0, 0);
+    while ti < model.tx.len() || ri < model.rx.len() || li < model.rx_lost.len() {
+        let tr = model.tx.get(ti).map_or(usize::MAX, |e| e.record);
+        let rr = model.rx.get(ri).map_or(usize::MAX, |e| e.record);
+        let lr = model.rx_lost.get(li).map_or(usize::MAX, |e| e.record);
+        if tr <= rr && tr <= lr {
+            monitors.observe_tx(&model.tx[ti]);
+            ti += 1;
+        } else if rr <= lr {
+            monitors.observe_rx(&model.rx[ri]);
+            ri += 1;
+        } else {
+            monitors.observe_rx_lost(&model.rx_lost[li]);
+            li += 1;
+        }
+    }
 }
 
 /// Decoded receptions at one node must be serial: the modem records every
@@ -166,292 +198,6 @@ fn check_overlapping_receptions(model: &TraceModel, out: &mut Vec<Violation>) {
                 Some(p) if p.end_us > rx.end_us => Some(p),
                 _ => Some(rx),
             };
-        }
-    }
-}
-
-/// A half-duplex modem cannot decode while transmitting; the simulator
-/// models this by losing the arrival, so a decoded `rx` inside an own `tx`
-/// interval is impossible in a faithful trace.
-fn check_half_duplex(model: &TraceModel, out: &mut Vec<Violation>) {
-    let mut tx_by_node: HashMap<usize, Vec<&TxEvent>> = HashMap::new();
-    for tx in &model.tx {
-        tx_by_node.entry(tx.node).or_default().push(tx);
-    }
-    for txs in tx_by_node.values_mut() {
-        txs.sort_by_key(|t| t.time_us);
-    }
-    let mut rxs: Vec<&RxEvent> = model.rx.iter().collect();
-    rxs.sort_by_key(|r| (r.node, r.start_us));
-    for rx in rxs {
-        let Some(txs) = tx_by_node.get(&rx.node) else {
-            continue;
-        };
-        // Own transmissions are serial, so a binary search by start bounds
-        // the single candidate that could still be in the air at rx.start.
-        let idx = txs.partition_point(|t| t.time_us + t.dur_us <= rx.start_us);
-        if let Some(tx) = txs.get(idx) {
-            let tx_end = tx.time_us + tx.dur_us;
-            if overlaps(tx.time_us, tx_end, rx.start_us, rx.end_us) {
-                out.push(Violation {
-                    kind: ViolationKind::HalfDuplexDecode,
-                    record_index: rx.record,
-                    time_us: rx.start_us,
-                    node: Some(rx.node),
-                    detail: format!(
-                        "{} from n{} decoded over [{}, {}] us while own {} tx \
-                         (record #{}) occupied [{}, {}] us",
-                        rx.kind,
-                        rx.src,
-                        rx.start_us,
-                        rx.end_us,
-                        tx.kind,
-                        tx.record,
-                        tx.time_us,
-                        tx_end
-                    ),
-                    observed_us: Some(
-                        tx_end
-                            .min(rx.end_us)
-                            .saturating_sub(tx.time_us.max(rx.start_us)),
-                    ),
-                    allowed_us: Some(0),
-                });
-            }
-        }
-    }
-}
-
-/// Slotted protocols (EW-MAC variants, S-FAMA) send every negotiated
-/// control and data frame on a slot boundary — within the run's timing
-/// tolerance ([`RunInfo::tolerance_us`]): with ideal clocks the tolerance
-/// is zero and the check is exact, while drifting clocks are allowed to
-/// perceive the boundary up to guard + 2·clock-error away. Beacons, RTAs,
-/// and EW-MAC's extra frames are deliberately mid-slot and exempt.
-fn check_slot_alignment(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
-    if !run.is_slot_aligned() || run.slot_us == 0 {
-        return;
-    }
-    let tolerance = run.tolerance_us();
-    for tx in &model.tx {
-        let slotted = matches!(
-            tx.kind,
-            FrameKind::Rts | FrameKind::Cts | FrameKind::Data | FrameKind::Ack
-        );
-        if !slotted {
-            continue;
-        }
-        let offset = tx.time_us % run.slot_us;
-        // Distance to the *nearest* boundary: a fast clock fires a hair
-        // before the slot starts, which the modulus reads as almost a full
-        // slot late.
-        let misalign = offset.min(run.slot_us - offset);
-        if misalign > tolerance {
-            out.push(Violation {
-                kind: ViolationKind::SlotMisalignment,
-                record_index: tx.record,
-                time_us: tx.time_us,
-                node: Some(tx.node),
-                detail: format!(
-                    "{} to n{} transmitted {} us from the slot boundary (slot = {} us)",
-                    tx.kind, tx.dst, misalign, run.slot_us
-                ),
-                observed_us: Some(misalign),
-                allowed_us: Some(tolerance),
-            });
-        }
-    }
-}
-
-/// A busy interval reserved by a negotiated exchange at one pair node.
-struct ReservedInterval {
-    node: usize,
-    start_us: u64,
-    end_us: u64,
-    what: &'static str,
-    neg_record: usize,
-}
-
-/// Recomputes the reserved busy intervals of every overheard negotiation
-/// (from CTS/RTS transmissions that announce pair delay and data duration)
-/// and flags any extra-communication arrival at a pair node whose window
-/// intersects one: the paper's non-interference guarantee.
-///
-/// The slot arithmetic uses the run's guard band so a guarded schedule is
-/// reconstructed with the same geometry the protocol used, and each
-/// reserved interval is shrunk by the run's timing tolerance on both sides:
-/// under drifting clocks the pair nodes perceive the negotiated instants up
-/// to guard + 2·clock-error away from where an omniscient checker places
-/// them, so only intrusions *deeper* than that budget are real violations.
-fn check_extra_windows(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>) {
-    let clock = SlotClock::with_guard(
-        SimDuration::from_micros(run.omega_us),
-        SimDuration::from_micros(run.tau_max_us),
-        SimDuration::from_micros(run.guard_us),
-    );
-    let tolerance = run.tolerance_us();
-    let mut reserved: Vec<ReservedInterval> = Vec::new();
-    for tx in &model.tx {
-        let is_neg = matches!(tx.kind, FrameKind::Rts | FrameKind::Cts);
-        let (Some(pair_delay_us), Some(data_dur_us)) = (tx.pair_delay_us, tx.data_dur_us) else {
-            continue;
-        };
-        if !is_neg {
-            continue;
-        }
-        // An RTS alone reserves nothing: the receiver may deny it (or answer
-        // with an EXC granting an extra exchange instead — the paper's
-        // busy-receiver case). Only count the sender-side windows once a CTS
-        // from the addressee actually reached the sender before the data
-        // window opens. A CTS, by contrast, *is* the grant.
-        if tx.kind == FrameKind::Rts {
-            // The grant for *this* RTS lands in the following slot (CTS tx
-            // at the next slot boundary + at most tau_max propagation); a
-            // CTS beyond that belongs to a later retry.
-            let granted = model.rx.iter().any(|rx| {
-                rx.node == tx.node
-                    && rx.kind == FrameKind::Cts
-                    && rx.src == tx.dst
-                    && rx.addressed
-                    && rx.end_us > tx.time_us
-                    && rx.end_us <= tx.time_us + 2 * run.slot_us
-            });
-            if !granted {
-                continue;
-            }
-        }
-        // Snap to the *nearest* boundary: a fast clock transmits a hair
-        // before its slot starts, and flooring would file the negotiation
-        // one slot early.
-        let half_slot = SimDuration::from_micros(clock.slot_len().as_micros() / 2);
-        let neg = ObservedNegotiation {
-            peer: NodeId::new(tx.node as u32),
-            other: NodeId::new(tx.dst as u32),
-            peer_is_receiver: tx.kind == FrameKind::Cts,
-            control_slot: clock.slot_of(SimTime::from_micros(tx.time_us) + half_slot),
-            pair_delay: SimDuration::from_micros(pair_delay_us),
-            data_duration: SimDuration::from_micros(data_dur_us),
-        };
-        let (receiver, sender) = if neg.peer_is_receiver {
-            (neg.peer, neg.other)
-        } else {
-            (neg.other, neg.peer)
-        };
-        let data_rx_start = neg.data_arrival_at_receiver(&clock).as_micros();
-        let data_tx_start = clock.start_of(neg.data_slot()).as_micros();
-        let ack_start = clock.start_of(neg.ack_slot(&clock)).as_micros();
-        reserved.push(ReservedInterval {
-            node: receiver.index(),
-            start_us: data_rx_start,
-            end_us: data_rx_start + data_dur_us,
-            what: "data reception",
-            neg_record: tx.record,
-        });
-        reserved.push(ReservedInterval {
-            node: receiver.index(),
-            start_us: ack_start,
-            end_us: ack_start + run.omega_us,
-            what: "ack transmission",
-            neg_record: tx.record,
-        });
-        reserved.push(ReservedInterval {
-            node: sender.index(),
-            start_us: data_tx_start,
-            end_us: data_tx_start + data_dur_us,
-            what: "data transmission",
-            neg_record: tx.record,
-        });
-        reserved.push(ReservedInterval {
-            node: sender.index(),
-            start_us: ack_start + pair_delay_us,
-            end_us: ack_start + pair_delay_us + run.omega_us,
-            what: "ack reception",
-            neg_record: tx.record,
-        });
-    }
-    if reserved.is_empty() {
-        return;
-    }
-    // Decoded EX arrivals addressed to a pair node: the whole arrival
-    // window must stay clear of that node's reserved intervals, shrunk by
-    // the timing tolerance on each side.
-    for rx in &model.rx {
-        if !rx.kind.is_extra() || !rx.addressed {
-            continue;
-        }
-        for res in reserved.iter().filter(|r| r.node == rx.node) {
-            let core_start = res.start_us + tolerance;
-            let core_end = res.end_us.saturating_sub(tolerance);
-            if core_start >= core_end {
-                // The tolerance swallows the whole interval: the schedule
-                // cannot distinguish an intruder from clock error here.
-                continue;
-            }
-            if overlaps(rx.start_us, rx.end_us, core_start, core_end) {
-                let depth = rx
-                    .end_us
-                    .min(res.end_us)
-                    .saturating_sub(rx.start_us.max(res.start_us));
-                out.push(Violation {
-                    kind: ViolationKind::ExtraWindowIntrusion,
-                    record_index: rx.record,
-                    time_us: rx.start_us,
-                    node: Some(rx.node),
-                    detail: format!(
-                        "{} from n{} arrived over [{}, {}] us inside reserved {} \
-                         [{}, {}] us of the negotiation at record #{}",
-                        rx.kind,
-                        rx.src,
-                        rx.start_us,
-                        rx.end_us,
-                        res.what,
-                        res.start_us,
-                        res.end_us,
-                        res.neg_record
-                    ),
-                    observed_us: Some(depth),
-                    allowed_us: Some(tolerance),
-                });
-            }
-        }
-    }
-    // Lost EX arrivals addressed to a pair node: a collision loss whose
-    // start lands inside a reserved interval (beyond the timing tolerance)
-    // means the extra frame was the intruder that corrupted the negotiated
-    // exchange.
-    for lost in &model.rx_lost {
-        if !lost.kind.is_extra() || lost.dst != lost.node {
-            continue;
-        }
-        for res in reserved.iter().filter(|r| r.node == lost.node) {
-            if lost.start_us <= res.start_us || lost.start_us >= res.end_us {
-                continue;
-            }
-            // Distance from the start to the nearest interval boundary: how
-            // far inside the reservation the loss begins.
-            let depth = (lost.start_us - res.start_us).min(res.end_us - lost.start_us);
-            if depth > tolerance {
-                out.push(Violation {
-                    kind: ViolationKind::ExtraWindowIntrusion,
-                    record_index: lost.record,
-                    time_us: lost.start_us,
-                    node: Some(lost.node),
-                    detail: format!(
-                        "{} from n{} lost ({}) at {} us inside reserved {} [{}, {}] us \
-                         of the negotiation at record #{}",
-                        lost.kind,
-                        lost.src,
-                        lost.reason,
-                        lost.start_us,
-                        res.what,
-                        res.start_us,
-                        res.end_us,
-                        res.neg_record
-                    ),
-                    observed_us: Some(depth),
-                    allowed_us: Some(tolerance),
-                });
-            }
         }
     }
 }
@@ -504,6 +250,12 @@ fn check_propagation(model: &TraceModel, run: &RunInfo, out: &mut Vec<Violation>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::TxEvent;
+    use uasn_ewmac::ObservedNegotiation;
+    use uasn_net::packet::FrameKind;
+    use uasn_net::slots::SlotClock;
+    use uasn_net::NodeId;
+    use uasn_sim::time::SimDuration;
 
     fn rx(record: usize, node: usize, src: usize, start_us: u64, end_us: u64) -> RxEvent {
         RxEvent {

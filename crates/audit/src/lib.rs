@@ -16,6 +16,13 @@
 //!   extra-window non-interference guarantee (§4.3), and propagation
 //!   consistency — with every finding pointing at the offending trace
 //!   record.
+//! - **Streaming monitors** ([`monitor`]): the frame-level invariants as
+//!   incremental state machines behind a [`uasn_sim::trace::TraceSink`],
+//!   catching violations *during* the run with bounded per-node windows
+//!   (no full-trace capture), plus a fixed-capacity flight recorder that
+//!   snapshots the records around each finding. The post-hoc checker
+//!   replays through the same machines, so both paths agree by
+//!   construction.
 //!
 //! The `audit` binary fronts all three over a JSONL trace file:
 //! `audit check`, `audit journeys`, `audit latency`.
@@ -26,7 +33,9 @@
 pub mod invariant;
 pub mod journey;
 pub mod model;
+pub mod monitor;
 
 pub use invariant::{check, Violation, ViolationKind};
 pub use journey::{reconstruct, slowest, Journey, PhaseHistograms};
 pub use model::TraceModel;
+pub use monitor::{FlightRecorder, MonitorReport, MonitorSet, StreamingMonitor};

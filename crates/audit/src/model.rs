@@ -189,6 +189,9 @@ pub struct DropEvent {
     pub node: usize,
     /// SDU id.
     pub sdu: u64,
+    /// Causal drop reason (e.g. `"retry-exhausted"`), when the trace
+    /// carries one. Absent from pre-forensics traces.
+    pub reason: Option<String>,
 }
 
 /// The audit's typed view of one trace.
@@ -258,150 +261,161 @@ fn get_kind(r: &TraceRecord) -> Option<FrameKind> {
     FrameKind::from_label(get_str(r, "kind")?)
 }
 
+/// One trace record classified into the audit's typed event space.
+///
+/// This is the single extraction path shared by the post-hoc
+/// [`TraceModel::from_records`] builder and the streaming
+/// [`crate::monitor::MonitorSink`], so both views of a trace are typed by
+/// exactly the same rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedRecord {
+    /// The run-description record.
+    RunInfo(RunInfo),
+    /// A transmission start.
+    Tx(TxEvent),
+    /// A decoded reception.
+    Rx(RxEvent),
+    /// A lost reception.
+    RxLost(RxLostEvent),
+    /// An SDU entering a MAC queue.
+    Enq(EnqEvent),
+    /// An SDU reaching a surface sink.
+    Sink(SinkEvent),
+    /// A terminal MAC drop.
+    Drop(DropEvent),
+    /// A known tag that lacked the structured fields the audit needs
+    /// (message-only traces); counted in [`TraceModel::skipped`].
+    Skipped,
+    /// An unknown tag, ignored for schema growth.
+    Other,
+}
+
+/// Classifies one trace record. `record` is the index the event will cite
+/// back (the JSONL body line number for an exported trace).
+pub fn parse_record(record: usize, r: &TraceRecord) -> ParsedRecord {
+    let time_us = r.time.as_micros();
+    let node = r.node.unwrap_or(usize::MAX);
+    match r.tag.as_ref() {
+        "run-info" => (|| {
+            Some(RunInfo {
+                protocol: get_str(r, "protocol")?.to_string(),
+                nodes: get_usize(r, "nodes")?,
+                sinks: get_usize(r, "sinks")?,
+                bitrate_bps: get_f64(r, "bitrate_bps")?,
+                omega_us: get_u64(r, "omega_us")?,
+                tau_max_us: get_u64(r, "tau_max_us")?,
+                slot_us: get_u64(r, "slot_us")?,
+                mobility: get_bool(r, "mobility")?,
+                forwarding: get_bool(r, "forwarding")?,
+                // Absent from ideal-sync traces (including all pre-clock
+                // ones): zero tolerance.
+                guard_us: get_u64(r, "guard_us").unwrap_or(0),
+                clock_error_us: get_u64(r, "clock_error_us").unwrap_or(0),
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::RunInfo),
+        "tx" => (|| {
+            Some(TxEvent {
+                record,
+                time_us,
+                node,
+                kind: get_kind(r)?,
+                dst: get_usize(r, "dst")?,
+                bits: get_u64(r, "bits")?,
+                dur_us: get_u64(r, "dur_us")?,
+                pair_delay_us: get_u64(r, "pair_delay_us"),
+                data_dur_us: get_u64(r, "data_dur_us"),
+                sdu: get_u64(r, "sdu"),
+                origin: get_usize(r, "origin"),
+                retx: get_bool(r, "retx").unwrap_or(false),
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Tx),
+        "rx" => (|| {
+            Some(RxEvent {
+                record,
+                end_us: time_us,
+                node,
+                kind: get_kind(r)?,
+                src: get_usize(r, "src")?,
+                dst: get_usize(r, "dst")?,
+                bits: get_u64(r, "bits")?,
+                start_us: get_u64(r, "start_us")?,
+                prop_us: get_u64(r, "prop_us")?,
+                addressed: get_bool(r, "addressed")?,
+                sdu: get_u64(r, "sdu"),
+                origin: get_usize(r, "origin"),
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Rx),
+        "rx-lost" => (|| {
+            Some(RxLostEvent {
+                record,
+                end_us: time_us,
+                node,
+                kind: get_kind(r)?,
+                src: get_usize(r, "src")?,
+                dst: get_usize(r, "dst")?,
+                start_us: get_u64(r, "start_us")?,
+                reason: get_str(r, "reason")?.to_string(),
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::RxLost),
+        "enq" => (|| {
+            Some(EnqEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                origin: get_usize(r, "origin")?,
+                next_hop: get_usize(r, "next_hop")?,
+                bits: get_u64(r, "bits")?,
+                fwd: get_bool(r, "fwd")?,
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Enq),
+        "sink" => (|| {
+            Some(SinkEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                origin: get_usize(r, "origin")?,
+                bits: get_u64(r, "bits")?,
+                e2e_us: get_u64(r, "e2e_us"),
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Sink),
+        "sdu-drop" => (|| {
+            Some(DropEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                reason: get_str(r, "reason").map(str::to_string),
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Drop),
+        _ => ParsedRecord::Other,
+    }
+}
+
 impl TraceModel {
     /// Extracts the audit-relevant events from parsed trace records.
     /// Record indices in the returned events point back into `records`.
     pub fn from_records(records: &[TraceRecord]) -> TraceModel {
         let mut model = TraceModel::default();
         for (record, r) in records.iter().enumerate() {
-            let time_us = r.time.as_micros();
-            let node = r.node.unwrap_or(usize::MAX);
-            match r.tag.as_ref() {
-                "run-info" => {
-                    let parsed = (|| {
-                        Some(RunInfo {
-                            protocol: get_str(r, "protocol")?.to_string(),
-                            nodes: get_usize(r, "nodes")?,
-                            sinks: get_usize(r, "sinks")?,
-                            bitrate_bps: get_f64(r, "bitrate_bps")?,
-                            omega_us: get_u64(r, "omega_us")?,
-                            tau_max_us: get_u64(r, "tau_max_us")?,
-                            slot_us: get_u64(r, "slot_us")?,
-                            mobility: get_bool(r, "mobility")?,
-                            forwarding: get_bool(r, "forwarding")?,
-                            // Absent from ideal-sync traces (including all
-                            // pre-clock ones): zero tolerance.
-                            guard_us: get_u64(r, "guard_us").unwrap_or(0),
-                            clock_error_us: get_u64(r, "clock_error_us").unwrap_or(0),
-                        })
-                    })();
-                    match parsed {
-                        Some(info) => model.run_info = Some(info),
-                        None => model.skipped += 1,
-                    }
-                }
-                "tx" => {
-                    let parsed = (|| {
-                        Some(TxEvent {
-                            record,
-                            time_us,
-                            node,
-                            kind: get_kind(r)?,
-                            dst: get_usize(r, "dst")?,
-                            bits: get_u64(r, "bits")?,
-                            dur_us: get_u64(r, "dur_us")?,
-                            pair_delay_us: get_u64(r, "pair_delay_us"),
-                            data_dur_us: get_u64(r, "data_dur_us"),
-                            sdu: get_u64(r, "sdu"),
-                            origin: get_usize(r, "origin"),
-                            retx: get_bool(r, "retx").unwrap_or(false),
-                        })
-                    })();
-                    match parsed {
-                        Some(ev) => model.tx.push(ev),
-                        None => model.skipped += 1,
-                    }
-                }
-                "rx" => {
-                    let parsed = (|| {
-                        Some(RxEvent {
-                            record,
-                            end_us: time_us,
-                            node,
-                            kind: get_kind(r)?,
-                            src: get_usize(r, "src")?,
-                            dst: get_usize(r, "dst")?,
-                            bits: get_u64(r, "bits")?,
-                            start_us: get_u64(r, "start_us")?,
-                            prop_us: get_u64(r, "prop_us")?,
-                            addressed: get_bool(r, "addressed")?,
-                            sdu: get_u64(r, "sdu"),
-                            origin: get_usize(r, "origin"),
-                        })
-                    })();
-                    match parsed {
-                        Some(ev) => model.rx.push(ev),
-                        None => model.skipped += 1,
-                    }
-                }
-                "rx-lost" => {
-                    let parsed = (|| {
-                        Some(RxLostEvent {
-                            record,
-                            end_us: time_us,
-                            node,
-                            kind: get_kind(r)?,
-                            src: get_usize(r, "src")?,
-                            dst: get_usize(r, "dst")?,
-                            start_us: get_u64(r, "start_us")?,
-                            reason: get_str(r, "reason")?.to_string(),
-                        })
-                    })();
-                    match parsed {
-                        Some(ev) => model.rx_lost.push(ev),
-                        None => model.skipped += 1,
-                    }
-                }
-                "enq" => {
-                    let parsed = (|| {
-                        Some(EnqEvent {
-                            record,
-                            time_us,
-                            node,
-                            sdu: get_u64(r, "sdu")?,
-                            origin: get_usize(r, "origin")?,
-                            next_hop: get_usize(r, "next_hop")?,
-                            bits: get_u64(r, "bits")?,
-                            fwd: get_bool(r, "fwd")?,
-                        })
-                    })();
-                    match parsed {
-                        Some(ev) => model.enq.push(ev),
-                        None => model.skipped += 1,
-                    }
-                }
-                "sink" => {
-                    let parsed = (|| {
-                        Some(SinkEvent {
-                            record,
-                            time_us,
-                            node,
-                            sdu: get_u64(r, "sdu")?,
-                            origin: get_usize(r, "origin")?,
-                            bits: get_u64(r, "bits")?,
-                            e2e_us: get_u64(r, "e2e_us"),
-                        })
-                    })();
-                    match parsed {
-                        Some(ev) => model.sink.push(ev),
-                        None => model.skipped += 1,
-                    }
-                }
-                "sdu-drop" => {
-                    let parsed = (|| {
-                        Some(DropEvent {
-                            record,
-                            time_us,
-                            node,
-                            sdu: get_u64(r, "sdu")?,
-                        })
-                    })();
-                    match parsed {
-                        Some(ev) => model.drops.push(ev),
-                        None => model.skipped += 1,
-                    }
-                }
-                _ => {}
+            match parse_record(record, r) {
+                ParsedRecord::RunInfo(info) => model.run_info = Some(info),
+                ParsedRecord::Tx(ev) => model.tx.push(ev),
+                ParsedRecord::Rx(ev) => model.rx.push(ev),
+                ParsedRecord::RxLost(ev) => model.rx_lost.push(ev),
+                ParsedRecord::Enq(ev) => model.enq.push(ev),
+                ParsedRecord::Sink(ev) => model.sink.push(ev),
+                ParsedRecord::Drop(ev) => model.drops.push(ev),
+                ParsedRecord::Skipped => model.skipped += 1,
+                ParsedRecord::Other => {}
             }
         }
         model

@@ -1,0 +1,955 @@
+//! Online streaming invariant monitors and the anomaly flight recorder.
+//!
+//! The post-hoc checker in [`crate::invariant`] replays a fully captured
+//! trace; at swarm scale that means retaining millions of records before
+//! the first finding. This module runs the same three frame-level checks —
+//! half-duplex decode, slot alignment within tolerance, extra-window
+//! intrusion — **incrementally**, as [`TraceRecord`]s stream out of the
+//! tracer, holding only bounded per-node windows of recent state:
+//!
+//! - [`MonitorSet`] is the pure state machine: feed it typed events in
+//!   record order and it accumulates [`Violation`]s. The post-hoc checker
+//!   itself replays a [`crate::model::TraceModel`] through this machine,
+//!   so the online and offline paths agree **by construction** — there is
+//!   exactly one implementation of each invariant.
+//! - [`MonitorSink`] adapts the machine to the tracer's
+//!   [`TraceSink`] interface (classifying raw records via
+//!   [`parse_record`]) and pairs it with an optional [`FlightRecorder`].
+//! - [`StreamingMonitor`] is the shared handle a harness keeps: it hands a
+//!   boxed sink to `Tracer::with_sink` and harvests the
+//!   [`MonitorReport`] after the run.
+//! - [`FlightRecorder`] keeps a fixed-capacity [`RingSink`] of the most
+//!   recent records and, on every finding, snapshots the ring to
+//!   `<dir>/<seq>-<kind>.jsonl` — the last moments before the anomaly,
+//!   debuggable without any full-trace capture.
+//!
+//! # Why record-order streaming is exact
+//!
+//! Trace record times are non-decreasing, a transmission's record is
+//! emitted at its start, and a reception's record at its end. Every frame
+//! in flight therefore already has its `tx` record (which carries
+//! `dur_us`) in the stream, so the largest transmit duration seen so far
+//! bounds how far back any future arrival can reach — state older than
+//! that horizon can never produce a finding and is pruned.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use uasn_ewmac::ObservedNegotiation;
+use uasn_net::packet::FrameKind;
+use uasn_net::slots::SlotClock;
+use uasn_net::NodeId;
+use uasn_sim::time::{SimDuration, SimTime};
+use uasn_sim::trace::{export_jsonl, RingSink, TraceRecord, TraceSink};
+
+use crate::invariant::{overlaps, Violation, ViolationKind};
+use crate::model::{parse_record, ParsedRecord, RunInfo, RxEvent, RxLostEvent, TxEvent};
+
+/// Default flight-recorder depth: enough context to see the negotiation
+/// that preceded an anomaly without holding a meaningful trace.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One of a node's own transmissions still inside the pruning horizon.
+#[derive(Debug, Clone)]
+struct OwnTx {
+    time_us: u64,
+    end_us: u64,
+    kind: FrameKind,
+    record: usize,
+}
+
+/// An RTS whose grant (a CTS back from the addressee) has not been seen
+/// yet; it reserves nothing until it is granted, and expires two slots
+/// after transmission.
+#[derive(Debug, Clone)]
+struct PendingRts {
+    record: usize,
+    time_us: u64,
+    node: usize,
+    dst: usize,
+    pair_delay_us: u64,
+    data_dur_us: u64,
+}
+
+/// A busy interval reserved by a negotiated exchange at one pair node.
+#[derive(Debug, Clone)]
+struct Reservation {
+    node: usize,
+    start_us: u64,
+    end_us: u64,
+    what: &'static str,
+    neg_record: usize,
+}
+
+/// The run geometry the slot and extra-window monitors replay against.
+#[derive(Debug, Clone)]
+struct Geometry {
+    run: RunInfo,
+    clock: SlotClock,
+    tolerance_us: u64,
+}
+
+/// Incremental state machines for the three streamable invariants:
+/// half-duplex decode, slot alignment, and extra-window non-interference.
+///
+/// Feed events in trace-record order via the `observe_*` methods; harvest
+/// accumulated findings with [`MonitorSet::into_findings`]. The post-hoc
+/// checker ([`crate::invariant::check`]) replays its model through this
+/// same machine, so streaming and replay findings are identical by
+/// construction.
+#[derive(Debug, Default)]
+pub struct MonitorSet {
+    geometry: Option<Geometry>,
+    /// High-water mark of record times seen, microseconds.
+    now_us: u64,
+    /// Largest frame airtime seen so far: the pruning horizon.
+    max_frame_us: u64,
+    own_tx: HashMap<usize, VecDeque<OwnTx>>,
+    live_tx: usize,
+    pending_rts: Vec<PendingRts>,
+    reserved: Vec<Reservation>,
+    findings: Vec<Violation>,
+    peak_tracked: usize,
+}
+
+impl MonitorSet {
+    /// A fresh monitor set with no run geometry: only the half-duplex
+    /// check runs until [`MonitorSet::observe_run_info`] supplies one.
+    pub fn new() -> MonitorSet {
+        MonitorSet::default()
+    }
+
+    /// Installs the run geometry (from the `run-info` record), enabling
+    /// the slot-alignment and extra-window monitors.
+    pub fn observe_run_info(&mut self, run: &RunInfo) {
+        let clock = SlotClock::with_guard(
+            SimDuration::from_micros(run.omega_us),
+            SimDuration::from_micros(run.tau_max_us),
+            SimDuration::from_micros(run.guard_us),
+        );
+        self.geometry = Some(Geometry {
+            tolerance_us: run.tolerance_us(),
+            run: run.clone(),
+            clock,
+        });
+    }
+
+    /// Consumes a transmission start.
+    pub fn observe_tx(&mut self, tx: &TxEvent) {
+        self.advance(tx.time_us);
+        self.max_frame_us = self.max_frame_us.max(tx.dur_us);
+        self.check_slot_alignment(tx);
+        self.track_own_tx(tx);
+        self.track_negotiation(tx);
+        self.update_peak();
+    }
+
+    /// Consumes a decoded reception.
+    pub fn observe_rx(&mut self, rx: &RxEvent) {
+        self.advance(rx.end_us);
+        self.max_frame_us = self.max_frame_us.max(rx.end_us.saturating_sub(rx.start_us));
+        // Same-record finding order matches the post-hoc check sequence:
+        // half-duplex first, then extra-window.
+        self.check_half_duplex(rx);
+        self.apply_grants(rx);
+        self.check_decoded_intrusion(rx);
+        self.update_peak();
+    }
+
+    /// Consumes a lost reception.
+    pub fn observe_rx_lost(&mut self, lost: &RxLostEvent) {
+        self.advance(lost.end_us);
+        self.check_lost_intrusion(lost);
+        self.update_peak();
+    }
+
+    /// Findings accumulated so far, in generation order.
+    pub fn findings(&self) -> &[Violation] {
+        &self.findings
+    }
+
+    /// Consumes the set, returning its findings in generation order.
+    pub fn into_findings(self) -> Vec<Violation> {
+        self.findings
+    }
+
+    /// Live tracked entries (own transmissions + pending RTS grants +
+    /// reserved intervals): the monitor's working-set size.
+    pub fn tracked(&self) -> usize {
+        self.live_tx + self.pending_rts.len() + self.reserved.len()
+    }
+
+    /// The largest working set the monitors ever held — evidence that
+    /// memory stays bounded regardless of trace length.
+    pub fn peak_tracked(&self) -> usize {
+        self.peak_tracked
+    }
+
+    fn update_peak(&mut self) {
+        self.peak_tracked = self.peak_tracked.max(self.tracked());
+    }
+
+    /// Advances the time high-water mark and prunes state that can no
+    /// longer produce a finding: any future arrival starts at or after
+    /// `now - max_frame_us` (its transmission record, carrying its
+    /// duration, has already been seen), so nothing ending before that
+    /// horizon can still overlap anything.
+    fn advance(&mut self, time_us: u64) {
+        if time_us > self.now_us {
+            self.now_us = time_us;
+        }
+        let horizon = self.now_us.saturating_sub(self.max_frame_us);
+        self.reserved.retain(|r| r.end_us > horizon);
+        if let Some(geo) = &self.geometry {
+            let window = 2 * geo.run.slot_us;
+            let now = self.now_us;
+            self.pending_rts
+                .retain(|p| now <= p.time_us.saturating_add(window));
+        }
+    }
+
+    fn track_own_tx(&mut self, tx: &TxEvent) {
+        let horizon = self.now_us.saturating_sub(self.max_frame_us);
+        let deque = self.own_tx.entry(tx.node).or_default();
+        while deque.front().is_some_and(|t| t.end_us <= horizon) {
+            deque.pop_front();
+            self.live_tx -= 1;
+        }
+        deque.push_back(OwnTx {
+            time_us: tx.time_us,
+            end_us: tx.time_us + tx.dur_us,
+            kind: tx.kind,
+            record: tx.record,
+        });
+        self.live_tx += 1;
+    }
+
+    /// A half-duplex modem cannot decode while transmitting; a decoded
+    /// `rx` overlapping an own `tx` interval is impossible in a faithful
+    /// trace. The candidate is the earliest own transmission still in the
+    /// air at the arrival start — own transmissions are serial, so at most
+    /// one can overlap.
+    fn check_half_duplex(&mut self, rx: &RxEvent) {
+        let horizon = self.now_us.saturating_sub(self.max_frame_us);
+        let Some(deque) = self.own_tx.get_mut(&rx.node) else {
+            return;
+        };
+        while deque.front().is_some_and(|t| t.end_us <= horizon) {
+            deque.pop_front();
+            self.live_tx -= 1;
+        }
+        let Some(tx) = deque.iter().find(|t| t.end_us > rx.start_us) else {
+            return;
+        };
+        if overlaps(tx.time_us, tx.end_us, rx.start_us, rx.end_us) {
+            self.findings.push(Violation {
+                kind: ViolationKind::HalfDuplexDecode,
+                record_index: rx.record,
+                time_us: rx.start_us,
+                node: Some(rx.node),
+                detail: format!(
+                    "{} from n{} decoded over [{}, {}] us while own {} tx \
+                     (record #{}) occupied [{}, {}] us",
+                    rx.kind,
+                    rx.src,
+                    rx.start_us,
+                    rx.end_us,
+                    tx.kind,
+                    tx.record,
+                    tx.time_us,
+                    tx.end_us
+                ),
+                observed_us: Some(
+                    tx.end_us
+                        .min(rx.end_us)
+                        .saturating_sub(tx.time_us.max(rx.start_us)),
+                ),
+                allowed_us: Some(0),
+            });
+        }
+    }
+
+    /// Slotted protocols (EW-MAC variants, S-FAMA) send every negotiated
+    /// control and data frame on a slot boundary, within the run's timing
+    /// tolerance. Beacons, RTAs, and EW-MAC's extra frames are
+    /// deliberately mid-slot and exempt.
+    fn check_slot_alignment(&mut self, tx: &TxEvent) {
+        let Some(geo) = &self.geometry else {
+            return;
+        };
+        let run = &geo.run;
+        if !run.is_slot_aligned() || run.slot_us == 0 {
+            return;
+        }
+        let slotted = matches!(
+            tx.kind,
+            FrameKind::Rts | FrameKind::Cts | FrameKind::Data | FrameKind::Ack
+        );
+        if !slotted {
+            return;
+        }
+        let offset = tx.time_us % run.slot_us;
+        // Distance to the *nearest* boundary: a fast clock fires a hair
+        // before the slot starts, which the modulus reads as almost a full
+        // slot late.
+        let misalign = offset.min(run.slot_us - offset);
+        if misalign > geo.tolerance_us {
+            self.findings.push(Violation {
+                kind: ViolationKind::SlotMisalignment,
+                record_index: tx.record,
+                time_us: tx.time_us,
+                node: Some(tx.node),
+                detail: format!(
+                    "{} to n{} transmitted {} us from the slot boundary (slot = {} us)",
+                    tx.kind, tx.dst, misalign, run.slot_us
+                ),
+                observed_us: Some(misalign),
+                allowed_us: Some(geo.tolerance_us),
+            });
+        }
+    }
+
+    /// Tracks RTS/CTS transmissions that announce pair delay and data
+    /// duration. A CTS *is* the grant and reserves its four busy intervals
+    /// immediately; an RTS alone reserves nothing — the receiver may deny
+    /// it (or answer with an EXC instead) — so it is held pending until a
+    /// CTS from its addressee reaches the sender within two slots.
+    fn track_negotiation(&mut self, tx: &TxEvent) {
+        if self.geometry.is_none() {
+            return;
+        }
+        let (Some(pair_delay_us), Some(data_dur_us)) = (tx.pair_delay_us, tx.data_dur_us) else {
+            return;
+        };
+        match tx.kind {
+            FrameKind::Cts => {
+                self.materialize(
+                    PendingRts {
+                        record: tx.record,
+                        time_us: tx.time_us,
+                        node: tx.node,
+                        dst: tx.dst,
+                        pair_delay_us,
+                        data_dur_us,
+                    },
+                    true,
+                );
+            }
+            FrameKind::Rts => {
+                self.pending_rts.push(PendingRts {
+                    record: tx.record,
+                    time_us: tx.time_us,
+                    node: tx.node,
+                    dst: tx.dst,
+                    pair_delay_us,
+                    data_dur_us,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Materializes the four reserved busy intervals of one negotiation,
+    /// keeping the reservation list ordered by negotiation record so that
+    /// findings against multiple reservations replay in the post-hoc
+    /// checker's order.
+    fn materialize(&mut self, neg_tx: PendingRts, peer_is_receiver: bool) {
+        let PendingRts {
+            record,
+            time_us,
+            node,
+            dst,
+            pair_delay_us,
+            data_dur_us,
+        } = neg_tx;
+        let Some(geo) = &self.geometry else {
+            return;
+        };
+        let clock = &geo.clock;
+        // Snap to the *nearest* boundary: a fast clock transmits a hair
+        // before its slot starts, and flooring would file the negotiation
+        // one slot early.
+        let half_slot = SimDuration::from_micros(clock.slot_len().as_micros() / 2);
+        let neg = ObservedNegotiation {
+            peer: NodeId::new(node as u32),
+            other: NodeId::new(dst as u32),
+            peer_is_receiver,
+            control_slot: clock.slot_of(SimTime::from_micros(time_us) + half_slot),
+            pair_delay: SimDuration::from_micros(pair_delay_us),
+            data_duration: SimDuration::from_micros(data_dur_us),
+        };
+        let (receiver, sender) = if neg.peer_is_receiver {
+            (neg.peer, neg.other)
+        } else {
+            (neg.other, neg.peer)
+        };
+        let data_rx_start = neg.data_arrival_at_receiver(clock).as_micros();
+        let data_tx_start = clock.start_of(neg.data_slot()).as_micros();
+        let ack_start = clock.start_of(neg.ack_slot(clock)).as_micros();
+        let omega_us = geo.run.omega_us;
+        let intervals = [
+            Reservation {
+                node: receiver.index(),
+                start_us: data_rx_start,
+                end_us: data_rx_start + data_dur_us,
+                what: "data reception",
+                neg_record: record,
+            },
+            Reservation {
+                node: receiver.index(),
+                start_us: ack_start,
+                end_us: ack_start + omega_us,
+                what: "ack transmission",
+                neg_record: record,
+            },
+            Reservation {
+                node: sender.index(),
+                start_us: data_tx_start,
+                end_us: data_tx_start + data_dur_us,
+                what: "data transmission",
+                neg_record: record,
+            },
+            Reservation {
+                node: sender.index(),
+                start_us: ack_start + pair_delay_us,
+                end_us: ack_start + pair_delay_us + omega_us,
+                what: "ack reception",
+                neg_record: record,
+            },
+        ];
+        // An RTS granted late may materialize after a CTS that was
+        // transmitted between the RTS and its grant: insert at the
+        // record-sorted position, not the end.
+        let pos = self.reserved.partition_point(|r| r.neg_record <= record);
+        for (i, interval) in intervals.into_iter().enumerate() {
+            self.reserved.insert(pos + i, interval);
+        }
+    }
+
+    /// Materializes every pending RTS this decoded CTS grants: the CTS
+    /// must come from the RTS addressee, reach the RTS sender, and land
+    /// within two slots (a later CTS belongs to a later retry).
+    fn apply_grants(&mut self, rx: &RxEvent) {
+        let Some(geo) = &self.geometry else {
+            return;
+        };
+        if rx.kind != FrameKind::Cts || !rx.addressed {
+            return;
+        }
+        let window = 2 * geo.run.slot_us;
+        let mut i = 0;
+        while i < self.pending_rts.len() {
+            let p = &self.pending_rts[i];
+            if rx.node == p.node
+                && rx.src == p.dst
+                && rx.end_us > p.time_us
+                && rx.end_us <= p.time_us + window
+            {
+                let p = self.pending_rts.remove(i);
+                self.materialize(p, false);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Decoded EX arrivals addressed to a pair node: the whole arrival
+    /// window must stay clear of that node's reserved intervals, shrunk
+    /// by the timing tolerance on each side.
+    fn check_decoded_intrusion(&mut self, rx: &RxEvent) {
+        let Some(geo) = &self.geometry else {
+            return;
+        };
+        let tolerance = geo.tolerance_us;
+        if !rx.kind.is_extra() || !rx.addressed {
+            return;
+        }
+        for res in self.reserved.iter().filter(|r| r.node == rx.node) {
+            let core_start = res.start_us + tolerance;
+            let core_end = res.end_us.saturating_sub(tolerance);
+            if core_start >= core_end {
+                // The tolerance swallows the whole interval: the schedule
+                // cannot distinguish an intruder from clock error here.
+                continue;
+            }
+            if overlaps(rx.start_us, rx.end_us, core_start, core_end) {
+                let depth = rx
+                    .end_us
+                    .min(res.end_us)
+                    .saturating_sub(rx.start_us.max(res.start_us));
+                self.findings.push(Violation {
+                    kind: ViolationKind::ExtraWindowIntrusion,
+                    record_index: rx.record,
+                    time_us: rx.start_us,
+                    node: Some(rx.node),
+                    detail: format!(
+                        "{} from n{} arrived over [{}, {}] us inside reserved {} \
+                         [{}, {}] us of the negotiation at record #{}",
+                        rx.kind,
+                        rx.src,
+                        rx.start_us,
+                        rx.end_us,
+                        res.what,
+                        res.start_us,
+                        res.end_us,
+                        res.neg_record
+                    ),
+                    observed_us: Some(depth),
+                    allowed_us: Some(tolerance),
+                });
+            }
+        }
+    }
+
+    /// Lost EX arrivals addressed to a pair node: a loss whose start lands
+    /// inside a reserved interval (beyond the timing tolerance) means the
+    /// extra frame was the intruder that corrupted the negotiated
+    /// exchange.
+    fn check_lost_intrusion(&mut self, lost: &RxLostEvent) {
+        let Some(geo) = &self.geometry else {
+            return;
+        };
+        let tolerance = geo.tolerance_us;
+        if !lost.kind.is_extra() || lost.dst != lost.node {
+            return;
+        }
+        for res in self.reserved.iter().filter(|r| r.node == lost.node) {
+            if lost.start_us <= res.start_us || lost.start_us >= res.end_us {
+                continue;
+            }
+            // Distance from the start to the nearest interval boundary:
+            // how far inside the reservation the loss begins.
+            let depth = (lost.start_us - res.start_us).min(res.end_us - lost.start_us);
+            if depth > tolerance {
+                self.findings.push(Violation {
+                    kind: ViolationKind::ExtraWindowIntrusion,
+                    record_index: lost.record,
+                    time_us: lost.start_us,
+                    node: Some(lost.node),
+                    detail: format!(
+                        "{} from n{} lost ({}) at {} us inside reserved {} [{}, {}] us \
+                         of the negotiation at record #{}",
+                        lost.kind,
+                        lost.src,
+                        lost.reason,
+                        lost.start_us,
+                        res.what,
+                        res.start_us,
+                        res.end_us,
+                        res.neg_record
+                    ),
+                    observed_us: Some(depth),
+                    allowed_us: Some(tolerance),
+                });
+            }
+        }
+    }
+}
+
+/// Fixed-capacity flight recorder: retains the most recent records in a
+/// [`RingSink`] and snapshots them to `<dir>/<seq>-<kind>.jsonl` whenever
+/// a monitor finding fires, so anomalies in untraced swarm-scale runs
+/// still come with their surrounding evidence.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: RingSink,
+    dir: PathBuf,
+    dumps: u64,
+    io_errors: u64,
+    first_error: Option<String>,
+}
+
+impl FlightRecorder {
+    /// A recorder dumping into `dir` (created on first finding), keeping
+    /// the last `capacity` records.
+    pub fn new(dir: impl Into<PathBuf>, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: RingSink::with_capacity(capacity),
+            dir: dir.into(),
+            dumps: 0,
+            io_errors: 0,
+            first_error: None,
+        }
+    }
+
+    fn observe(&mut self, record: &TraceRecord) {
+        self.ring.accept(record);
+    }
+
+    /// Snapshot files written so far.
+    pub fn dumps(&self) -> u64 {
+        self.dumps
+    }
+
+    fn dump(&mut self, finding: &Violation) {
+        let name = format!("{:03}-{}.jsonl", self.dumps, finding.kind);
+        self.dumps += 1;
+        let path = self.dir.join(name);
+        let result = (|| -> io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            let mut buf = Vec::new();
+            export_jsonl(self.ring.iter(), &mut buf)?;
+            std::fs::write(&path, buf)
+        })();
+        if let Err(e) = result {
+            self.io_errors += 1;
+            if self.first_error.is_none() {
+                self.first_error = Some(format!("{}: {e}", path.display()));
+            }
+        }
+    }
+}
+
+/// Everything a harness wants to know after a monitored run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReport {
+    /// All findings, sorted by (record index, time) like the post-hoc
+    /// checker's output.
+    pub findings: Vec<Violation>,
+    /// Records the sink consumed.
+    pub records_seen: u64,
+    /// Records of a known tag that lacked the structured fields the
+    /// monitors need and were skipped.
+    pub skipped: u64,
+    /// Largest live working set the monitors held (own transmissions +
+    /// pending grants + reservations): bounded-memory evidence.
+    pub peak_tracked: usize,
+    /// Flight-recorder snapshot files written.
+    pub flight_dumps: u64,
+    /// Flight-recorder dump failures (first error in
+    /// [`MonitorReport::flight_error`]).
+    pub flight_io_errors: u64,
+    /// Description of the first flight-recorder I/O error, if any.
+    pub flight_error: Option<String>,
+}
+
+impl MonitorReport {
+    /// Finding counts per violation kind, in display order.
+    pub fn counts_by_kind(&self) -> Vec<(ViolationKind, usize)> {
+        let kinds = [
+            ViolationKind::HalfDuplexDecode,
+            ViolationKind::SlotMisalignment,
+            ViolationKind::ExtraWindowIntrusion,
+        ];
+        kinds
+            .iter()
+            .map(|&k| (k, self.findings.iter().filter(|v| v.kind == k).count()))
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct MonitorInner {
+    monitors: MonitorSet,
+    flight: Option<FlightRecorder>,
+    records_seen: u64,
+    skipped: u64,
+    next_record: usize,
+}
+
+/// The handle a harness keeps on a streaming monitor: hand
+/// [`StreamingMonitor::sink`] to `Tracer::with_sink` before the run, call
+/// [`StreamingMonitor::report`] after it.
+#[derive(Debug, Clone)]
+pub struct StreamingMonitor {
+    inner: Arc<Mutex<MonitorInner>>,
+}
+
+impl Default for StreamingMonitor {
+    fn default() -> Self {
+        StreamingMonitor::new()
+    }
+}
+
+impl StreamingMonitor {
+    /// A monitor with no flight recorder.
+    pub fn new() -> StreamingMonitor {
+        StreamingMonitor {
+            inner: Arc::new(Mutex::new(MonitorInner {
+                monitors: MonitorSet::new(),
+                flight: None,
+                records_seen: 0,
+                skipped: 0,
+                next_record: 0,
+            })),
+        }
+    }
+
+    /// Attaches a flight recorder dumping the last `capacity` records into
+    /// `dir` on every finding.
+    pub fn with_flight_recorder(self, dir: impl Into<PathBuf>, capacity: usize) -> Self {
+        self.inner.lock().expect("monitor lock").flight = Some(FlightRecorder::new(dir, capacity));
+        self
+    }
+
+    /// A boxed [`TraceSink`] feeding this monitor; attach it with
+    /// `Tracer::with_sink`. Record indices count the records this sink
+    /// sees, matching the body-line numbering of a lossless JSONL export
+    /// at the same trace level.
+    pub fn sink(&self) -> Box<dyn TraceSink + Send> {
+        Box::new(MonitorSink {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Harvests the report: findings sorted exactly like the post-hoc
+    /// checker's output.
+    pub fn report(&self) -> MonitorReport {
+        let inner = self.inner.lock().expect("monitor lock");
+        let mut findings = inner.monitors.findings().to_vec();
+        findings.sort_by_key(|v| (v.record_index, v.time_us));
+        MonitorReport {
+            findings,
+            records_seen: inner.records_seen,
+            skipped: inner.skipped,
+            peak_tracked: inner.monitors.peak_tracked(),
+            flight_dumps: inner.flight.as_ref().map_or(0, |f| f.dumps),
+            flight_io_errors: inner.flight.as_ref().map_or(0, |f| f.io_errors),
+            flight_error: inner.flight.as_ref().and_then(|f| f.first_error.clone()),
+        }
+    }
+}
+
+/// The [`TraceSink`] adapter: classifies each record with the same
+/// extraction rules as the post-hoc model and feeds the [`MonitorSet`],
+/// teeing every record into the flight recorder first so a finding's
+/// snapshot includes the record that exposed it.
+pub struct MonitorSink {
+    inner: Arc<Mutex<MonitorInner>>,
+}
+
+impl TraceSink for MonitorSink {
+    fn accept(&mut self, record: &TraceRecord) {
+        let mut guard = self.inner.lock().expect("monitor lock");
+        let inner = &mut *guard;
+        let index = inner.next_record;
+        inner.next_record += 1;
+        inner.records_seen += 1;
+        if let Some(flight) = inner.flight.as_mut() {
+            flight.observe(record);
+        }
+        let before = inner.monitors.findings().len();
+        match parse_record(index, record) {
+            ParsedRecord::RunInfo(info) => inner.monitors.observe_run_info(&info),
+            ParsedRecord::Tx(ev) => inner.monitors.observe_tx(&ev),
+            ParsedRecord::Rx(ev) => inner.monitors.observe_rx(&ev),
+            ParsedRecord::RxLost(ev) => inner.monitors.observe_rx_lost(&ev),
+            ParsedRecord::Skipped => inner.skipped += 1,
+            ParsedRecord::Enq(_)
+            | ParsedRecord::Sink(_)
+            | ParsedRecord::Drop(_)
+            | ParsedRecord::Other => {}
+        }
+        if let Some(flight) = inner.flight.as_mut() {
+            for finding in &inner.monitors.findings()[before..] {
+                flight.dump(finding);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TraceModel;
+    use std::borrow::Cow;
+    use uasn_sim::trace::{field, Field, TraceLevel};
+
+    fn record(time_us: u64, node: usize, tag: &'static str, fields: Vec<Field>) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_micros(time_us),
+            level: TraceLevel::Debug,
+            node: Some(node),
+            tag: Cow::Borrowed(tag),
+            message: String::new(),
+            fields,
+        }
+    }
+
+    fn tx_record(time_us: u64, node: usize, kind: &str, dst: u64, dur_us: u64) -> TraceRecord {
+        record(
+            time_us,
+            node,
+            "tx",
+            vec![
+                field("kind", kind),
+                field("dst", dst),
+                field("bits", 64u64),
+                field("dur_us", dur_us),
+            ],
+        )
+    }
+
+    fn rx_record(end_us: u64, node: usize, kind: &str, src: u64, start_us: u64) -> TraceRecord {
+        record(
+            end_us,
+            node,
+            "rx",
+            vec![
+                field("kind", kind),
+                field("src", src),
+                field("dst", node as u64),
+                field("bits", 64u64),
+                field("start_us", start_us),
+                field("prop_us", 100u64),
+                field("addressed", true),
+            ],
+        )
+    }
+
+    fn run_info_record() -> TraceRecord {
+        record(
+            0,
+            0,
+            "run-info",
+            vec![
+                field("protocol", "EW-MAC"),
+                field("nodes", 4u64),
+                field("sinks", 1u64),
+                field("bitrate_bps", 12_000.0f64),
+                field("omega_us", 5_333u64),
+                field("tau_max_us", 1_000_000u64),
+                field("slot_us", 1_005_333u64),
+                field("mobility", false),
+                field("forwarding", true),
+            ],
+        )
+    }
+
+    /// A stream with one violation of each streamable kind.
+    fn violating_stream() -> Vec<TraceRecord> {
+        let slot = 1_005_333u64;
+        vec![
+            run_info_record(),
+            // Slot misalignment: CTS 40 us off the slot-1 boundary. It
+            // also announces a negotiation reserving windows at n1/n2.
+            record(
+                slot + 40,
+                1,
+                "tx",
+                vec![
+                    field("kind", "CTS"),
+                    field("dst", 2u64),
+                    field("bits", 64u64),
+                    field("dur_us", 5_333u64),
+                    field("pair_delay_us", 600_000u64),
+                    field("data_dur_us", 170_667u64),
+                ],
+            ),
+            // Half-duplex: n3 decodes while its own tx is in the air.
+            // (A beacon: mid-slot by design, so it is exempt from the
+            // slot-alignment check and plants no second violation.)
+            tx_record(2_000_000, 3, "Beacon", 1, 5_333),
+            rx_record(2_004_000, 3, "Data", 2, 2_001_000),
+            // Extra-window intrusion: an EXR decoded at n1 inside its
+            // reserved data reception [slot*2 + 600_000, + 170_667].
+            rx_record(2 * slot + 640_000, 1, "EXR", 3, 2 * slot + 620_000),
+        ]
+    }
+
+    #[test]
+    fn streaming_findings_match_the_post_hoc_checker() {
+        let records = violating_stream();
+        let monitor = StreamingMonitor::new();
+        {
+            let mut sink = monitor.sink();
+            for r in &records {
+                sink.accept(r);
+            }
+        }
+        let online = monitor.report();
+        let model = TraceModel::from_records(&records);
+        let offline: Vec<Violation> = crate::invariant::check(&model)
+            .into_iter()
+            .filter(|v| {
+                matches!(
+                    v.kind,
+                    ViolationKind::HalfDuplexDecode
+                        | ViolationKind::SlotMisalignment
+                        | ViolationKind::ExtraWindowIntrusion
+                )
+            })
+            .collect();
+        assert_eq!(online.findings.len(), 3, "one finding per planted anomaly");
+        assert_eq!(online.findings, offline, "online and post-hoc must agree");
+        assert_eq!(online.records_seen, records.len() as u64);
+        assert_eq!(online.skipped, 0);
+    }
+
+    #[test]
+    fn monitor_working_set_stays_bounded() {
+        // A long serial stream: every frame well clear of the previous
+        // one, so pruning must keep the working set at a handful of
+        // entries no matter how many records flow through.
+        let mut monitors = MonitorSet::new();
+        for i in 0..10_000u64 {
+            let t = i * 1_000_000;
+            monitors.observe_tx(&TxEvent {
+                record: i as usize,
+                time_us: t,
+                node: (i % 7) as usize,
+                kind: FrameKind::Beacon,
+                dst: ((i + 1) % 7) as usize,
+                bits: 64,
+                dur_us: 5_333,
+                pair_delay_us: None,
+                data_dur_us: None,
+                sdu: None,
+                origin: None,
+                retx: false,
+            });
+        }
+        assert!(
+            monitors.peak_tracked() <= 8,
+            "10k serial transmissions must not accumulate: peak {}",
+            monitors.peak_tracked()
+        );
+        assert!(monitors.into_findings().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_dumps_are_deterministic() {
+        let base = std::env::temp_dir().join(format!("uasn-flight-test-{}", std::process::id()));
+        let dirs = [base.join("a"), base.join("b")];
+        let records = violating_stream();
+        for dir in &dirs {
+            let _ = std::fs::remove_dir_all(dir);
+            let monitor = StreamingMonitor::new().with_flight_recorder(dir, 4);
+            let mut sink = monitor.sink();
+            for r in &records {
+                sink.accept(r);
+            }
+            let report = monitor.report();
+            assert_eq!(report.flight_dumps, 3);
+            assert_eq!(report.flight_io_errors, 0, "{:?}", report.flight_error);
+        }
+        let list = |dir: &PathBuf| {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .expect("flight dir exists")
+                .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+                .collect();
+            names.sort();
+            names
+        };
+        let names = list(&dirs[0]);
+        assert_eq!(names, list(&dirs[1]));
+        assert_eq!(names.len(), 3);
+        assert!(
+            names.iter().any(|n| n.contains("slot-misalignment")),
+            "dump names carry the finding kind: {names:?}"
+        );
+        for name in &names {
+            let a = std::fs::read(dirs[0].join(name)).expect("dump a");
+            let b = std::fs::read(dirs[1].join(name)).expect("dump b");
+            assert_eq!(a, b, "{name}: same stream must dump identical bytes");
+            // The snapshot is itself a parseable trace capped at the ring
+            // capacity.
+            let parsed = uasn_sim::trace::parse_jsonl(std::str::from_utf8(&a).expect("utf8"))
+                .expect("dump parses as a trace");
+            assert!(parsed.len() <= 4, "ring capacity bounds the snapshot");
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 
 use rand::Rng;
 
-use uasn_net::mac::{MacContext, Reception};
+use uasn_net::mac::{DropReason, MacContext, Reception};
 use uasn_net::neighbor::OneHopTable;
 use uasn_net::node::NodeId;
 use uasn_net::packet::{Frame, FrameKind, Sdu};
@@ -212,13 +212,14 @@ impl SlottedCore {
     }
 
     /// Counts a failed attempt for the head SDU; drops it past the retry
-    /// budget; backs off.
-    pub fn attempt_failed(&mut self, ctx: &mut MacContext<'_>) {
+    /// budget; backs off. `reason` labels the phase of *this* failure and
+    /// is reported if the drop happens now.
+    pub fn attempt_failed(&mut self, ctx: &mut MacContext<'_>, reason: DropReason) {
         if let Some(head) = self.queue.front_mut() {
             head.retries += 1;
             if head.retries > self.cfg.max_retries {
                 let dropped = self.queue.pop_front().expect("head exists");
-                ctx.report_drop(dropped.sdu.id);
+                ctx.report_drop_with(dropped.sdu.id, reason);
                 self.cw = self.cfg.base_cw;
             }
         }
@@ -294,7 +295,7 @@ impl SlottedCore {
                     }
                     ctx.send_frame_now(frame);
                 } else if slot > ack_slot {
-                    self.attempt_failed(ctx);
+                    self.attempt_failed(ctx, DropReason::RetryExhausted);
                     self.role = CoreRole::Idle;
                     event = CoreEvent::SendFailed { peer };
                 }
@@ -305,7 +306,7 @@ impl SlottedCore {
                     // a next hop that drifted out of range must not be
                     // re-contended forever.
                     self.role = CoreRole::Idle;
-                    self.attempt_failed(ctx);
+                    self.attempt_failed(ctx, DropReason::HandshakeTimeout);
                     event = CoreEvent::SendFailed { peer };
                 }
             }
@@ -490,7 +491,7 @@ impl SlottedCore {
         if let CoreRole::Contending { peer, .. } = self.role {
             if frame.src == peer {
                 self.role = CoreRole::Idle;
-                self.attempt_failed(ctx);
+                self.attempt_failed(ctx, DropReason::HandshakeTimeout);
             }
         }
         CoreEvent::Overheard(info)

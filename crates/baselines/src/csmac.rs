@@ -10,7 +10,8 @@
 //! packets, which the paper charges heavily in §5.3.
 
 use uasn_net::mac::{
-    MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken,
+    DropReason, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
+    TimerToken,
 };
 use uasn_net::neighbor::TwoHopTable;
 use uasn_net::node::NodeId;
@@ -277,7 +278,7 @@ impl MacProtocol for CsMac {
         if token == TIMER_STEAL_ACK && self.stealing {
             self.stealing = false;
             self.core.hold = false;
-            self.core.attempt_failed(ctx);
+            self.core.attempt_failed(ctx, DropReason::RetryExhausted);
         }
     }
 

@@ -11,7 +11,8 @@
 //! maintenance.
 
 use uasn_net::mac::{
-    MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken,
+    DropReason, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
+    TimerToken,
 };
 use uasn_net::neighbor::TwoHopTable;
 use uasn_net::node::NodeId;
@@ -129,7 +130,7 @@ impl Ropa {
         self.append = None;
         self.core.hold = self.collect.is_some();
         if failed {
-            self.core.attempt_failed(ctx);
+            self.core.attempt_failed(ctx, DropReason::RetryExhausted);
         }
     }
 

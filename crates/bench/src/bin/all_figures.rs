@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         max_cells: None,
         quiet: args.quiet,
         profile: false,
+        monitor: false,
     };
     let outcome = match run_sweep(&specs, &opts) {
         Ok(outcome) => outcome,

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! lab run    [--figures LIST] [--seeds N] [--jobs N] [--journal PATH]
-//!            [--out DIR] [--max-cells N] [--quiet] [--profile]
+//!            [--out DIR] [--max-cells N] [--quiet] [--profile] [--monitor]
 //! lab resume <journal> [--jobs N] [--out DIR] [--max-cells N] [--quiet]
-//!            [--profile]
+//!            [--profile] [--monitor]
 //! lab status <journal>
 //! ```
 //!
@@ -25,14 +25,17 @@ use uasn_bench::grid::{self, SweepOptions, SweepOutcome};
 
 const USAGE: &str = "usage:
   lab run    [--figures LIST] [--seeds N] [--jobs N] [--journal PATH]
-             [--out DIR] [--max-cells N] [--quiet] [--profile]
+             [--out DIR] [--max-cells N] [--quiet] [--profile] [--monitor]
   lab resume <journal> [--jobs N] [--out DIR] [--max-cells N] [--quiet]
-             [--profile]
+             [--profile] [--monitor]
   lab status <journal>
 
 LIST is comma-separated figure IDs (fig6, F9a, X2, ablation, ...) or \"all\".
 --profile runs every cell with performance profiling on (results are
-bit-identical; cells additionally journal a profile payload).";
+bit-identical; cells additionally journal a profile payload).
+--monitor runs every cell with the online invariant monitors and drop
+forensics on (results are bit-identical; cells additionally journal a
+monitor payload with finding counts and verdict totals).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +65,7 @@ struct LabArgs {
     max_cells: Option<usize>,
     quiet: bool,
     profile: bool,
+    monitor: bool,
 }
 
 fn parse_lab_args(tokens: &[String], allow_figures: bool) -> Result<LabArgs, String> {
@@ -95,6 +99,7 @@ fn parse_lab_args(tokens: &[String], allow_figures: bool) -> Result<LabArgs, Str
             }
             "--quiet" => parsed.quiet = true,
             "--profile" => parsed.profile = true,
+            "--monitor" => parsed.monitor = true,
             other => return Err(format!("unexpected argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -111,6 +116,7 @@ fn cmd_run(tokens: &[String]) -> Result<ExitCode, String> {
         max_cells: args.max_cells,
         quiet: args.quiet,
         profile: args.profile,
+        monitor: args.monitor,
     };
     Ok(finish(
         grid::run_sweep(&specs, &opts).map_err(|e| format!("sweep failed: {e}"))?,
@@ -133,6 +139,7 @@ fn cmd_resume(tokens: &[String]) -> Result<ExitCode, String> {
         max_cells: args.max_cells,
         quiet: args.quiet,
         profile: args.profile,
+        monitor: args.monitor,
     };
     Ok(finish(
         grid::run_sweep(&specs, &opts).map_err(|e| format!("sweep failed: {e}"))?,
@@ -183,6 +190,21 @@ fn finish(outcome: SweepOutcome, out: Option<PathBuf>) -> ExitCode {
             profile.engine.sampled_events,
             profile.engine.slab_reuse_rate() * 100.0
         );
+    }
+    if let Some(monitor) = &outcome.monitor {
+        eprintln!(
+            "monitored {} runs: {} invariant finding(s), {} attributed loss(es)",
+            monitor.runs,
+            monitor.total_findings(),
+            monitor.verdicts.total()
+        );
+        if monitor.total_findings() > 0 {
+            for (label, count) in &monitor.findings {
+                if *count > 0 {
+                    eprintln!("  finding: {label} x{count}");
+                }
+            }
+        }
     }
     if !outcome.failed.is_empty() {
         eprintln!(

@@ -12,12 +12,18 @@
 //!                                       accepts a manifest with a
 //!                                       `stats.profile`, a BENCH_perf.json,
 //!                                       or a bare ProfileReport document
+//!   obs_report forensics <file.json>    render drop forensics: invariant
+//!                                       findings and the causal verdict
+//!                                       histogram from a manifest with a
+//!                                       `stats.monitor` or a bare
+//!                                       MonitorTotals document
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use uasn_audit::journey::{reconstruct, slowest, PhaseHistograms};
 use uasn_audit::model::TraceModel;
+use uasn_bench::manifest::MonitorTotals;
 use uasn_sim::json::JsonValue;
 use uasn_sim::profile::ProfileReport;
 use uasn_sim::trace::parse_jsonl;
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
         [flag, trace] if flag == "--trace" => summarize_trace(Path::new(trace)),
         [cmd, manifest] if cmd == "audit" => audit_manifest(Path::new(manifest)),
         [cmd, file] if cmd == "profile" => profile_command(Path::new(file)),
+        [cmd, file] if cmd == "forensics" => forensics_command(Path::new(file)),
         [manifest] => print_manifest(Path::new(manifest)),
         [manifest, trace] => {
             let a = print_manifest(Path::new(manifest));
@@ -44,7 +51,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: obs_report [manifest.json] [trace.jsonl] \
                  | --trace <trace.jsonl> | audit <manifest.json> \
-                 | profile <file.json>"
+                 | profile <file.json> | forensics <file.json>"
             );
             ExitCode::FAILURE
         }
@@ -173,6 +180,15 @@ fn print_manifest(path: &Path) -> ExitCode {
                 num("capture_dropped"),
                 num("ring_evicted"),
                 num("io_errors"),
+            );
+        }
+        if let Some(totals) = stats.get("monitor").and_then(MonitorTotals::from_json) {
+            println!(
+                "  monitoring: {} run(s), {} finding(s), {} attributed loss(es) \
+                 (try: obs_report forensics <manifest>)",
+                totals.runs,
+                totals.total_findings(),
+                totals.verdicts.total(),
             );
         }
     }
@@ -364,6 +380,69 @@ fn bump_count<'a>(table: &mut Vec<(&'a str, u64)>, key: &'a str) {
     match table.iter_mut().find(|(k, _)| *k == key) {
         Some((_, c)) => *c += 1,
         None => table.push((key, 1)),
+    }
+}
+
+/// Renders the drop forensics found in `path`. Two document shapes are
+/// accepted: a run manifest whose `stats.monitor` carries monitoring
+/// totals, and a bare `MonitorTotals` JSON (`runs`/`findings`/`verdicts`).
+fn forensics_command(path: &Path) -> ExitCode {
+    let doc = match load_json(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let block = doc.get("stats").and_then(|s| s.get("monitor")).or_else(|| {
+        (doc.get("findings").is_some() && doc.get("verdicts").is_some()).then_some(&doc)
+    });
+    let Some(totals) = block.and_then(MonitorTotals::from_json) else {
+        eprintln!(
+            "{}: no monitoring totals found — re-run the experiment with \
+             monitoring (SimConfig::with_monitoring / --monitor) to attribute \
+             losses",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    if let Some(id) = doc.get("id").and_then(JsonValue::as_str) {
+        println!("[{id}] drop forensics from {}", path.display());
+    } else {
+        println!("drop forensics from {}", path.display());
+    }
+    render_forensics(&totals);
+    ExitCode::SUCCESS
+}
+
+/// Pretty-prints one decoded `MonitorTotals`: invariant findings by kind,
+/// then the causal verdict histogram with per-cause shares.
+fn render_forensics(totals: &MonitorTotals) {
+    println!("  monitored runs: {}", totals.runs);
+    let findings = totals.total_findings();
+    if totals.findings.is_empty() {
+        println!("  invariant findings: none recorded");
+    } else {
+        println!("  invariant findings: {findings} total");
+        for (kind, count) in &totals.findings {
+            println!("    {kind:<26} {count}");
+        }
+    }
+    let attributed = totals.verdicts.total();
+    if attributed == 0 {
+        println!("  drop verdicts: no losses attributed");
+        return;
+    }
+    println!("  drop verdicts: {attributed} loss(es) attributed");
+    for (verdict, count) in totals.verdicts.iter() {
+        if count == 0 {
+            continue;
+        }
+        println!(
+            "    {:<26} {count:>8}  {:>5.1}%",
+            verdict.as_str(),
+            count as f64 / attributed as f64 * 100.0
+        );
     }
 }
 

@@ -1,11 +1,14 @@
 //! Traced reference run + inline audit: streams one seeded EW-MAC run's
-//! Debug-level trace to `results/TRC.trace.jsonl`, replays the invariant
-//! checks over the file it just wrote, and records a manifest pointing at
-//! the trace (with latency summaries and trace health).
+//! Debug-level trace to `results/TRC.trace.jsonl` — simultaneously through
+//! the online streaming monitors (with an anomaly flight recorder dumping
+//! into `results/TRC.flight/`) — replays the invariant checks over the
+//! file it just wrote, cross-checks that the online findings equal the
+//! post-hoc ones, and records a manifest pointing at the trace (with
+//! latency summaries, trace health, and monitoring totals).
 //!
-//! Exits nonzero on any invariant violation, any trace loss (dropped,
-//! evicted, or unwritten records), or a malformed trace — this is the CI
-//! gate for the audit layer.
+//! Exits nonzero on any invariant violation, any online/post-hoc finding
+//! disagreement, any trace loss (dropped, evicted, or unwritten records),
+//! or a malformed trace — this is the CI gate for the audit layer.
 //!
 //! Usage: `trace_run [seed] [out_dir]`
 
@@ -14,8 +17,11 @@ use std::io::BufWriter;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use uasn_audit::invariant::ViolationKind;
 use uasn_audit::journey::{reconstruct, PhaseHistograms};
 use uasn_audit::model::TraceModel;
+use uasn_audit::monitor::{StreamingMonitor, DEFAULT_FLIGHT_CAPACITY};
+use uasn_bench::manifest::MonitorTotals;
 use uasn_bench::{Protocol, RunManifest, StatsAggregate};
 use uasn_net::config::SimConfig;
 use uasn_net::world::Simulation;
@@ -23,6 +29,16 @@ use uasn_sim::time::SimDuration;
 use uasn_sim::trace::{parse_jsonl, TraceLevel, Tracer, DEFAULT_CAPTURE_CAPACITY};
 
 const TRACE_NAME: &str = "TRC.trace.jsonl";
+const FLIGHT_DIR: &str = "TRC.flight";
+
+/// The invariants the streaming monitors cover; the post-hoc checker
+/// additionally runs whole-trace checks (overlapping receptions,
+/// propagation consistency) that need the full model.
+const STREAMED_KINDS: [ViolationKind; 3] = [
+    ViolationKind::HalfDuplexDecode,
+    ViolationKind::SlotMisalignment,
+    ViolationKind::ExtraWindowIntrusion,
+];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -39,6 +55,7 @@ fn main() -> ExitCode {
         .with_sensors(20)
         .with_offered_load_kbps(0.5)
         .with_sim_time(SimDuration::from_secs(120))
+        .with_monitoring(true)
         .with_seed(seed);
 
     if let Err(e) = fs::create_dir_all(out_dir) {
@@ -53,9 +70,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // A fresh flight directory per run, so stale snapshots cannot mask a
+    // clean pass (or pad a failing one).
+    let flight_dir = out_dir.join(FLIGHT_DIR);
+    let _ = fs::remove_dir_all(&flight_dir);
+    let monitor =
+        StreamingMonitor::new().with_flight_recorder(&flight_dir, DEFAULT_FLIGHT_CAPACITY);
     let tracer = Tracer::new(TraceLevel::Debug)
         .with_capture(DEFAULT_CAPTURE_CAPACITY)
-        .with_jsonl(Box::new(BufWriter::new(file)));
+        .with_jsonl(Box::new(BufWriter::new(file)))
+        .with_sink(monitor.sink());
 
     println!(
         "[TRC] EW-MAC seed {seed:#x}, {} sensors, {} s, Debug trace -> {}",
@@ -77,6 +101,19 @@ fn main() -> ExitCode {
     // before the audit reads it back.
     drop(out.tracer);
 
+    let online = monitor.report();
+    let mut totals = MonitorTotals {
+        runs: 1,
+        ..MonitorTotals::default()
+    };
+    for (kind, count) in online.counts_by_kind() {
+        totals.findings.push((kind.to_string(), count as u64));
+    }
+    if let Some(verdicts) = &out.verdicts {
+        totals.verdicts = *verdicts;
+    }
+    stats.absorb_monitor(&totals);
+
     let report = out.report;
     println!(
         "run: {} SDUs generated, {} delivered, throughput {:.3} kbps",
@@ -86,6 +123,18 @@ fn main() -> ExitCode {
         "trace: {} JSONL lines, lossless = {}",
         health.jsonl_lines,
         health.is_lossless()
+    );
+    println!(
+        "monitors: {} records streamed, {} finding(s), working set peaked at {}",
+        online.records_seen,
+        online.findings.len(),
+        online.peak_tracked
+    );
+    println!(
+        "forensics: {} loss(es) attributed, {} flight snapshot(s) in {}",
+        totals.verdicts.total(),
+        online.flight_dumps,
+        flight_dir.display()
     );
 
     let manifest = RunManifest::new(
@@ -142,6 +191,42 @@ fn main() -> ExitCode {
         for v in &violations {
             eprintln!("  {v}");
         }
+        failed = true;
+    }
+
+    // Online/post-hoc parity: over the invariants both paths cover, the
+    // streaming monitors must have found exactly what the offline replay
+    // found — same violations, citing the same records.
+    let post_hoc: Vec<_> = violations
+        .iter()
+        .filter(|v| STREAMED_KINDS.contains(&v.kind))
+        .cloned()
+        .collect();
+    if online.findings == post_hoc {
+        println!(
+            "parity: online findings match the post-hoc checker ({} each)",
+            post_hoc.len()
+        );
+    } else {
+        eprintln!(
+            "FAIL: online monitors found {} finding(s), post-hoc checker {}:",
+            online.findings.len(),
+            post_hoc.len()
+        );
+        for v in &online.findings {
+            eprintln!("  online:   {v}");
+        }
+        for v in &post_hoc {
+            eprintln!("  post-hoc: {v}");
+        }
+        failed = true;
+    }
+    if online.flight_io_errors > 0 {
+        eprintln!(
+            "FAIL: flight recorder hit {} I/O error(s): {}",
+            online.flight_io_errors,
+            online.flight_error.as_deref().unwrap_or("?")
+        );
         failed = true;
     }
 

@@ -27,9 +27,9 @@ use uasn_sim::stats::Replications;
 use uasn_sim::time::SimTime;
 use uasn_sim::trace::TraceHealth;
 
-use crate::manifest::StatsAggregate;
+use crate::manifest::{MonitorTotals, StatsAggregate};
 use crate::protocols::Protocol;
-use crate::runner::{master_seed, run_once_full, Summary};
+use crate::runner::{master_seed, run_once_monitored, Summary};
 
 /// Everything one seeded replication produces, in aggregation-ready form.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +65,9 @@ pub struct CellOutput {
     /// Performance profile; `Some` iff the cell ran with
     /// `SimConfig::with_profiling(true)`.
     pub profile: Option<ProfileReport>,
+    /// Online-monitoring totals (invariant findings + drop verdicts);
+    /// `Some` iff the cell ran with `SimConfig::with_monitoring(true)`.
+    pub monitor: Option<MonitorTotals>,
     /// Log-bucketed MAC delivery latency.
     pub delivery_hist: LogHistogram,
     /// Log-bucketed end-to-end (generation to sink) latency.
@@ -130,6 +133,9 @@ impl CellOutput {
         if let Some(profile) = &self.profile {
             fields.push(("profile".to_string(), profile.to_json()));
         }
+        if let Some(monitor) = &self.monitor {
+            fields.push(("monitor".to_string(), monitor.to_json()));
+        }
         JsonValue::Object(fields)
     }
 
@@ -149,6 +155,11 @@ impl CellOutput {
             Some(p) => Some(ProfileReport::from_json(p)?),
             None => None,
         };
+        // Same absent-key convention for the monitor block.
+        let monitor = match doc.get("monitor") {
+            Some(m) => Some(MonitorTotals::from_json(m)?),
+            None => None,
+        };
         Some(CellOutput {
             throughput_kbps: values[0],
             power_mw: values[1],
@@ -165,6 +176,7 @@ impl CellOutput {
             stats,
             trace: trace_from_json(doc.get("trace")?)?,
             profile,
+            monitor,
             delivery_hist: LogHistogram::from_json(doc.get("delivery_us")?)?,
             e2e_hist: LogHistogram::from_json(doc.get("e2e_us")?)?,
         })
@@ -219,7 +231,23 @@ fn trace_from_json(doc: &JsonValue) -> Option<TraceHealth> {
 /// as a failed cell rather than killing the sweep.
 pub fn run_cell(cfg: &SimConfig, protocol: Protocol, seed: u64) -> CellOutput {
     let cfg = cfg.clone().with_seed(master_seed(seed));
-    let out = run_once_full(&cfg, protocol);
+    let (out, monitor_report) = run_once_monitored(&cfg, protocol);
+    // A monitored cell summarises its run into a totals block: every
+    // finding kind (zero counts included, so merged blocks always list
+    // the full taxonomy) plus the run's verdict histogram.
+    let monitor = monitor_report.map(|rep| {
+        let mut totals = MonitorTotals {
+            runs: 1,
+            ..MonitorTotals::default()
+        };
+        for (kind, count) in rep.counts_by_kind() {
+            totals.findings.push((kind.to_string(), count as u64));
+        }
+        if let Some(verdicts) = &out.verdicts {
+            totals.verdicts = *verdicts;
+        }
+        totals
+    });
     let trace = out.tracer.health();
     let stats = out.stats;
     let report = out.report;
@@ -243,6 +271,7 @@ pub fn run_cell(cfg: &SimConfig, protocol: Protocol, seed: u64) -> CellOutput {
         stats,
         trace,
         profile: out.profile,
+        monitor,
         delivery_hist: report.delivery_latency_us,
         e2e_hist: report.e2e_latency_us,
     }
@@ -282,6 +311,9 @@ pub fn fold_cells<'a>(
         summary.stats.absorb_trace(&cell.trace);
         if let Some(profile) = &cell.profile {
             summary.stats.absorb_profile(profile);
+        }
+        if let Some(monitor) = &cell.monitor {
+            summary.stats.absorb_monitor(monitor);
         }
         summary.delivery_hist.merge(&cell.delivery_hist);
         summary.e2e_hist.merge(&cell.e2e_hist);

@@ -121,6 +121,7 @@ pub fn figure_main(id: &str) -> ExitCode {
         max_cells: None,
         quiet: args.quiet,
         profile: false,
+        monitor: false,
     };
     let outcome = match run_sweep(&[spec], &opts) {
         Ok(outcome) => outcome,

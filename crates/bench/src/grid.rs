@@ -33,6 +33,7 @@ use uasn_sim::trace::TraceHealth;
 use crate::cell::{self, CellOutput};
 use crate::experiments::{assemble, ExperimentRun};
 use crate::figures::{by_id, FigureSpec};
+use crate::manifest::MonitorTotals;
 use crate::protocols::Protocol;
 use crate::runner::DEFAULT_SEEDS;
 
@@ -102,6 +103,13 @@ pub struct SweepOptions {
     /// journal started with the other setting is allowed — only the
     /// freshly run cells carry (or lack) profiles.
     pub profile: bool,
+    /// Run every cell with the online invariant monitors and drop
+    /// forensics on (`SimConfig::with_monitoring`). Results are
+    /// bit-identical either way; monitored cells additionally journal a
+    /// `monitor` payload that aggregates into the sweep's
+    /// [`SweepOutcome::monitor`]. Like `profile`, mixed-setting resumes
+    /// are allowed.
+    pub monitor: bool,
 }
 
 impl Default for SweepOptions {
@@ -113,6 +121,7 @@ impl Default for SweepOptions {
             max_cells: None,
             quiet: true,
             profile: false,
+            monitor: false,
         }
     }
 }
@@ -145,6 +154,10 @@ pub struct SweepOutcome {
     /// Performance profile merged over every decoded cell that carried
     /// one; `None` for unprofiled sweeps.
     pub profile: Option<ProfileReport>,
+    /// Monitoring totals (invariant findings + drop-forensics verdicts)
+    /// merged over every decoded cell that carried them; `None` for
+    /// unmonitored sweeps.
+    pub monitor: Option<MonitorTotals>,
 }
 
 fn to_io(e: JournalError) -> io::Error {
@@ -230,6 +243,9 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
         if opts.profile {
             cfg = cfg.with_profiling(true);
         }
+        if opts.monitor {
+            cfg = cfg.with_monitoring(true);
+        }
         cell::run_cell(&cfg, r.protocol, r.seed).to_json()
     };
     pool::execute(&pending, opts.workers, run, |result| {
@@ -293,12 +309,19 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
     // digging through per-figure manifests.
     let mut trace = TraceHealth::default();
     let mut profile: Option<ProfileReport> = None;
+    let mut monitor: Option<MonitorTotals> = None;
     for cell in decoded.iter().flatten() {
         trace.merge(&cell.trace);
         if let Some(p) = &cell.profile {
             match &mut profile {
                 Some(mine) => mine.merge(p),
                 None => profile = Some(p.clone()),
+            }
+        }
+        if let Some(m) = &cell.monitor {
+            match &mut monitor {
+                Some(mine) => mine.merge(m),
+                None => monitor = Some(m.clone()),
             }
         }
     }
@@ -341,6 +364,7 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
         summary: progress.summary(),
         trace,
         profile,
+        monitor,
     })
 }
 

@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use uasn_net::config::SimConfig;
+use uasn_net::metrics::{DropVerdict, VerdictHistogram};
 use uasn_net::traffic::TrafficPattern;
 use uasn_sim::engine::RunStats;
 use uasn_sim::hist::LogHistogram;
@@ -49,6 +50,9 @@ pub struct StatsAggregate {
     /// Merged performance profile; `None` when no absorbed run carried
     /// one (profiling off, the default).
     pub profile: Option<ProfileReport>,
+    /// Merged online-monitoring totals; `None` when no absorbed run
+    /// carried them (monitoring off, the default).
+    pub monitor: Option<MonitorTotals>,
 }
 
 impl StatsAggregate {
@@ -86,6 +90,15 @@ impl StatsAggregate {
         }
     }
 
+    /// Folds one run's online-monitoring totals in (invariant findings by
+    /// kind, drop verdicts by cause).
+    pub fn absorb_monitor(&mut self, monitor: &MonitorTotals) {
+        match &mut self.monitor {
+            Some(mine) => mine.merge(monitor),
+            None => self.monitor = Some(monitor.clone()),
+        }
+    }
+
     /// Merges another aggregate (e.g. per-cell into per-figure).
     pub fn merge(&mut self, other: &StatsAggregate) {
         self.runs += other.runs;
@@ -107,6 +120,9 @@ impl StatsAggregate {
         self.trace.merge(&other.trace);
         if let Some(theirs) = &other.profile {
             self.absorb_profile(theirs);
+        }
+        if let Some(theirs) = &other.monitor {
+            self.absorb_monitor(theirs);
         }
     }
 
@@ -156,7 +172,96 @@ impl StatsAggregate {
         if let Some(profile) = &self.profile {
             fields.push(("profile".to_string(), profile.to_json()));
         }
+        if let Some(monitor) = &self.monitor {
+            fields.push(("monitor".to_string(), monitor.to_json()));
+        }
         JsonValue::Object(fields)
+    }
+}
+
+/// Online-monitoring totals summed over every run behind one artifact:
+/// streaming invariant findings by kind, and the causal drop-verdict
+/// histogram. Rides next to the profile in cell journals, sweep
+/// summaries, and manifests, with the same absent-key-when-off encoding;
+/// merging is exact (plain counter addition).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorTotals {
+    /// Monitored runs absorbed.
+    pub runs: u64,
+    /// Streaming-monitor findings by kind label, in first-seen order.
+    pub findings: Vec<(String, u64)>,
+    /// Causal drop verdicts summed over the runs.
+    pub verdicts: VerdictHistogram,
+}
+
+impl MonitorTotals {
+    /// Total invariant findings across every kind.
+    pub fn total_findings(&self) -> u64 {
+        self.findings.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Merges another totals block in (e.g. per-cell into per-figure).
+    pub fn merge(&mut self, other: &MonitorTotals) {
+        self.runs += other.runs;
+        for (label, count) in &other.findings {
+            match self.findings.iter_mut().find(|(l, _)| l == label) {
+                Some((_, c)) => *c += count,
+                None => self.findings.push((label.clone(), *count)),
+            }
+        }
+        self.verdicts.merge(&other.verdicts);
+    }
+
+    /// Serialises into a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let findings = JsonValue::Array(
+            self.findings
+                .iter()
+                .map(|(k, c)| {
+                    JsonValue::Array(vec![JsonValue::from_string(k), JsonValue::from_u64(*c)])
+                })
+                .collect(),
+        );
+        let verdicts = JsonValue::Object(
+            self.verdicts
+                .iter()
+                .map(|(v, c)| (v.as_str().to_string(), JsonValue::from_u64(c)))
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("runs".to_string(), JsonValue::from_u64(self.runs)),
+            ("findings".to_string(), findings),
+            ("verdicts".to_string(), verdicts),
+        ])
+    }
+
+    /// Reconstructs from the [`MonitorTotals::to_json`] form — exact: the
+    /// result merges identically to the original.
+    pub fn from_json(doc: &JsonValue) -> Option<MonitorTotals> {
+        let mut findings = Vec::new();
+        match doc.get("findings")? {
+            JsonValue::Array(entries) => {
+                for entry in entries {
+                    let pair = match entry {
+                        JsonValue::Array(pair) if pair.len() == 2 => pair,
+                        _ => return None,
+                    };
+                    findings.push((pair[0].as_str()?.to_string(), pair[1].as_u64()?));
+                }
+            }
+            _ => return None,
+        }
+        let mut verdicts = VerdictHistogram::new();
+        for verdict in DropVerdict::ALL {
+            if let Some(count) = doc.get("verdicts")?.get(verdict.as_str()) {
+                verdicts.add(verdict, count.as_u64()?);
+            }
+        }
+        Some(MonitorTotals {
+            runs: doc.get("runs")?.as_u64()?,
+            findings,
+            verdicts,
+        })
     }
 }
 

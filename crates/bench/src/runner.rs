@@ -5,11 +5,13 @@
 //! confidence half-width. The paper does not state its replication count;
 //! we default to 8.
 
+use uasn_audit::monitor::{MonitorReport, StreamingMonitor};
 use uasn_net::config::SimConfig;
 use uasn_net::metrics::MetricsReport;
 use uasn_net::world::{RunOutput, Simulation};
 use uasn_sim::hist::LogHistogram;
 use uasn_sim::stats::Replications;
+use uasn_sim::trace::{TraceLevel, Tracer};
 
 use crate::manifest::StatsAggregate;
 use crate::protocols::Protocol;
@@ -89,6 +91,32 @@ pub fn run_once_full(cfg: &SimConfig, protocol: Protocol) -> RunOutput {
     Simulation::new(cfg.clone(), &factory)
         .unwrap_or_else(|e| panic!("{} config rejected: {e}", protocol.name()))
         .run_full()
+}
+
+/// Like [`run_once_full`], but honours [`SimConfig::monitor`]: when set,
+/// the run streams its trace through the online invariant monitors (no
+/// in-memory capture — bounded monitor state is the only cost) and the
+/// monitor report is returned alongside. When unset this is exactly
+/// [`run_once_full`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_once`].
+pub fn run_once_monitored(
+    cfg: &SimConfig,
+    protocol: Protocol,
+) -> (RunOutput, Option<MonitorReport>) {
+    if !cfg.monitor {
+        return (run_once_full(cfg, protocol), None);
+    }
+    let monitor = StreamingMonitor::new();
+    let factory = move |id: uasn_net::node::NodeId| protocol.build(id);
+    let out = Simulation::new(cfg.clone(), &factory)
+        .unwrap_or_else(|e| panic!("{} config rejected: {e}", protocol.name()))
+        .with_tracer(Tracer::new(TraceLevel::Debug).with_sink(monitor.sink()))
+        .run_full();
+    let report = monitor.report();
+    (out, Some(report))
 }
 
 /// Runs `seeds` independent replications and summarises.

@@ -2,13 +2,17 @@
 //!
 //! Every protocol in the roster runs a fixed seeded scenario at two node
 //! densities, through the cached fan-out fast path, the same fast path with
-//! performance profiling enabled, and the recompute-everything reference
-//! path. All three JSONL trace exports must be
+//! performance profiling enabled, the same fast path with the online
+//! invariant monitors attached, and the recompute-everything reference
+//! path. All four JSONL trace exports must be
 //! **byte-identical** — the strongest behavioural-equivalence check the
 //! simulator offers, since the Debug-level trace records every event the
 //! engine processes — and their FNV-1a hash must match the golden checked
 //! into `tests/goldens/`, so a behaviour change in *either* path fails the
-//! suite even if both paths drift together.
+//! suite even if both paths drift together. The monitored pass additionally
+//! asserts online/post-hoc parity: over the invariants the streaming
+//! monitors cover, their findings must equal the offline checker's replay
+//! of the exported trace.
 //!
 //! To bless new goldens after an intentional behaviour change:
 //!
@@ -18,13 +22,24 @@
 
 use std::path::PathBuf;
 
+use uasn_audit::invariant::{Violation, ViolationKind};
+use uasn_audit::model::TraceModel;
+use uasn_audit::monitor::StreamingMonitor;
 use uasn_bench::protocols::Protocol;
 use uasn_bench::runner::master_seed;
 use uasn_net::config::SimConfig;
 use uasn_net::node::NodeId;
 use uasn_net::world::Simulation;
 use uasn_sim::time::SimDuration;
-use uasn_sim::trace::TraceLevel;
+use uasn_sim::trace::{parse_jsonl, TraceLevel, Tracer, DEFAULT_CAPTURE_CAPACITY};
+
+/// The invariants the streaming monitors cover (the post-hoc checker
+/// additionally runs whole-trace checks that need the full model).
+const STREAMED_KINDS: [ViolationKind; 3] = [
+    ViolationKind::HalfDuplexDecode,
+    ViolationKind::SlotMisalignment,
+    ViolationKind::ExtraWindowIntrusion,
+];
 
 /// The roster under golden lockdown: the paper protocol plus every baseline.
 const GOLDEN_PROTOCOLS: [(Protocol, &str); 5] = [
@@ -68,6 +83,32 @@ fn trace_bytes(cfg: &SimConfig, protocol: Protocol) -> Vec<u8> {
         .export_jsonl(&mut buf)
         .expect("in-memory export cannot fail");
     buf
+}
+
+/// Like [`trace_bytes`], but with monitoring on and the streaming monitors
+/// attached as a tracer sink; returns the exported JSONL bytes alongside
+/// the monitors' online findings.
+fn monitored_trace_bytes(cfg: &SimConfig, protocol: Protocol) -> (Vec<u8>, Vec<Violation>) {
+    let monitor = StreamingMonitor::new();
+    let factory = move |id: NodeId| protocol.build(id);
+    let out = Simulation::new(cfg.clone(), &factory)
+        .unwrap_or_else(|e| panic!("{} config rejected: {e}", protocol.name()))
+        .with_tracer(
+            Tracer::new(TraceLevel::Debug)
+                .with_capture(DEFAULT_CAPTURE_CAPACITY)
+                .with_sink(monitor.sink()),
+        )
+        .run_full();
+    assert!(
+        out.tracer.health().is_lossless(),
+        "{}: monitored trace capture dropped records",
+        protocol.name()
+    );
+    let mut buf = Vec::new();
+    out.tracer
+        .export_jsonl(&mut buf)
+        .expect("in-memory export cannot fail");
+    (buf, monitor.report().findings)
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -150,6 +191,34 @@ fn check_density(density: &str, sensors: u32) {
                 .zip(profiled.iter())
                 .position(|(a, b)| a != b)
                 .unwrap_or_else(|| fast.len().min(profiled.len()))
+        );
+        let (monitored, online) = monitored_trace_bytes(
+            &golden_cfg(sensors)
+                .with_fastpath(true)
+                .with_monitoring(true),
+            protocol,
+        );
+        assert!(
+            fast == monitored,
+            "{slug}-{density}: enabling monitoring changed the trace \
+             (first divergence at byte {})",
+            fast.iter()
+                .zip(monitored.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| fast.len().min(monitored.len()))
+        );
+        // Online/post-hoc parity: replay the exact bytes the run exported
+        // through the offline checker and compare over the shared kinds.
+        let records = parse_jsonl(std::str::from_utf8(&monitored).expect("traces are UTF-8"))
+            .expect("exported trace parses");
+        let model = TraceModel::from_records(&records);
+        let post_hoc: Vec<Violation> = uasn_audit::check(&model)
+            .into_iter()
+            .filter(|v| STREAMED_KINDS.contains(&v.kind))
+            .collect();
+        assert_eq!(
+            online, post_hoc,
+            "{slug}-{density}: online monitor findings disagree with the post-hoc checker"
         );
         hashes.push((format!("{slug}-{density}"), fnv1a64(&fast)));
     }

@@ -1,0 +1,85 @@
+//! Monitor smoke suite: every protocol in the roster runs one seeded
+//! medium-density cell with the online invariant monitors and drop
+//! forensics on, and the suite asserts the observability layer's two core
+//! promises end to end:
+//!
+//! 1. **Clean runs are clean** — the streaming monitors report zero
+//!    invariant findings on a healthy simulation, with bounded working
+//!    state.
+//! 2. **Forensics reconcile with the ledger** — every per-SDU drop verdict
+//!    the world attributes online sums back to exactly the
+//!    [`DeliveryMetrics`](uasn_net::metrics::DeliveryMetrics) drop
+//!    counters: `modem-busy == tx_dropped`, `no-audible-receiver ==
+//!    unroutable`, and the MAC-layer verdicts sum to `sdus_dropped`. No
+//!    loss is double-counted and none goes unattributed.
+
+use uasn_bench::runner::{master_seed, run_once_monitored};
+use uasn_bench::Protocol;
+use uasn_net::config::SimConfig;
+use uasn_net::metrics::DropVerdict;
+use uasn_sim::time::SimDuration;
+
+const ROSTER: [Protocol; 5] = [
+    Protocol::SFama,
+    Protocol::Ropa,
+    Protocol::CsMac,
+    Protocol::EwMac,
+    Protocol::Aloha,
+];
+
+fn smoke_cfg() -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(15)
+        .with_offered_load_kbps(0.5)
+        .with_sim_time(SimDuration::from_secs(60))
+        .with_monitoring(true)
+        .with_seed(master_seed(0))
+}
+
+#[test]
+fn monitored_roster_is_clean_and_verdicts_reconcile() {
+    for protocol in ROSTER {
+        let (out, monitor) = run_once_monitored(&smoke_cfg(), protocol);
+        let monitor = monitor.expect("monitoring was requested");
+        let name = protocol.name();
+
+        assert!(
+            monitor.findings.is_empty(),
+            "{name}: streaming monitors flagged a healthy run: {:?}",
+            monitor.findings
+        );
+        assert!(
+            monitor.records_seen > 0,
+            "{name}: monitors saw no trace records — the sink is not attached"
+        );
+        assert_eq!(monitor.skipped, 0, "{name}: monitors skipped records");
+
+        let verdicts = out.verdicts.expect("monitored runs attribute losses");
+        let report = &out.report;
+        assert_eq!(
+            verdicts.count(DropVerdict::ModemBusy),
+            report.tx_dropped,
+            "{name}: modem-busy verdicts must equal the tx_dropped counter"
+        );
+        assert_eq!(
+            verdicts.count(DropVerdict::NoAudibleReceiver),
+            report.unroutable,
+            "{name}: no-audible-receiver verdicts must equal the unroutable counter"
+        );
+        assert_eq!(
+            verdicts.count(DropVerdict::MacDrop)
+                + verdicts.count(DropVerdict::HandshakeTimeout)
+                + verdicts.count(DropVerdict::QueueOverflow),
+            report.sdus_dropped,
+            "{name}: MAC-layer verdicts must sum to the sdus_dropped counter"
+        );
+    }
+}
+
+#[test]
+fn unmonitored_runs_carry_no_forensics() {
+    let cfg = smoke_cfg().with_monitoring(false);
+    let (out, monitor) = run_once_monitored(&cfg, Protocol::EwMac);
+    assert!(monitor.is_none(), "monitoring off must not attach monitors");
+    assert!(out.verdicts.is_none(), "monitoring off must not attribute");
+}

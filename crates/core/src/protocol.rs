@@ -14,7 +14,8 @@
 use std::collections::VecDeque;
 
 use uasn_net::mac::{
-    MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken,
+    DropReason, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
+    TimerToken,
 };
 use uasn_net::neighbor::OneHopTable;
 use uasn_net::node::NodeId;
@@ -208,13 +209,14 @@ impl EwMac {
     }
 
     /// A delivery attempt for the head SDU failed terminally this round:
-    /// count a retry, drop the SDU if exhausted, back off.
-    fn attempt_failed(&mut self, ctx: &mut MacContext<'_>) {
+    /// count a retry, drop the SDU if exhausted, back off. `reason` labels
+    /// the phase of *this* failure and is reported if the drop happens now.
+    fn attempt_failed(&mut self, ctx: &mut MacContext<'_>, reason: DropReason) {
         if let Some(head) = self.queue.front_mut() {
             head.retries += 1;
             if head.retries > self.cfg.max_retries {
                 let dropped = self.queue.pop_front().expect("head exists");
-                ctx.report_drop(dropped.sdu.id);
+                ctx.report_drop_with(dropped.sdu.id, reason);
                 self.cw = self.cfg.base_cw;
             }
         }
@@ -292,7 +294,7 @@ impl EwMac {
         }
         // No extra chance: plain contention failure.
         self.role = Role::Idle;
-        self.attempt_failed(ctx);
+        self.attempt_failed(ctx, DropReason::HandshakeTimeout);
     }
 
     /// Handles an overheard negotiation packet (not addressed to me).
@@ -632,7 +634,7 @@ impl MacProtocol for EwMac {
                     transmitted = true;
                 } else if slot > ack_slot {
                     // The Ack should have arrived during ack_slot.
-                    self.attempt_failed(ctx);
+                    self.attempt_failed(ctx, DropReason::RetryExhausted);
                     self.role = Role::Idle;
                 }
             }
@@ -642,7 +644,7 @@ impl MacProtocol for EwMac {
                     // This consumes the retry budget so an unreachable next
                     // hop (drifted away) cannot be re-contended forever.
                     self.role = Role::Idle;
-                    self.attempt_failed(ctx);
+                    self.attempt_failed(ctx, DropReason::HandshakeTimeout);
                 }
             }
             Role::Idle | Role::ExtraRequesting { .. } | Role::ExtraSending { .. } => {}
@@ -808,12 +810,12 @@ impl MacProtocol for EwMac {
                     // quiet window from the overheard negotiation is
                     // already in place), count the failed attempt.
                     self.role = Role::Idle;
-                    self.attempt_failed(ctx);
+                    self.attempt_failed(ctx, DropReason::HandshakeTimeout);
                 }
             }
             TIMER_EXACK => {
                 if let Role::ExtraSending { .. } = self.role {
-                    self.attempt_failed(ctx);
+                    self.attempt_failed(ctx, DropReason::RetryExhausted);
                     self.role = Role::Idle;
                 }
             }

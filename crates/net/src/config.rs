@@ -120,6 +120,16 @@ pub struct SimConfig {
     /// never RNG streams or the event queue — so seeded runs are
     /// byte-for-byte identical with it on or off.
     pub profile: bool,
+    /// When `true`, the run is instrumented for online observability: the
+    /// world attributes a causal [`crate::metrics::DropVerdict`] to every
+    /// lost SDU and [`crate::world::RunOutput::verdicts`] carries the
+    /// mergeable per-verdict histogram (harnesses additionally attach
+    /// streaming invariant monitors to the tracer). `false` (the default)
+    /// records nothing and allocates nothing on the hot path. Attribution
+    /// only observes drops the simulation already decided — never RNG
+    /// streams or the event queue — so seeded runs are byte-for-byte
+    /// identical with it on or off.
+    pub monitor: bool,
 }
 
 impl SimConfig {
@@ -151,6 +161,7 @@ impl SimConfig {
             clock: ClockModelConfig::ideal(),
             slot_guard: SimDuration::ZERO,
             profile: false,
+            monitor: false,
         }
     }
 
@@ -238,6 +249,13 @@ impl SimConfig {
     /// the run; see [`SimConfig::profile`].
     pub fn with_profiling(mut self, profile: bool) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Enables (or disables) online observability — per-SDU drop
+    /// forensics — for the run; see [`SimConfig::monitor`].
+    pub fn with_monitoring(mut self, monitor: bool) -> Self {
+        self.monitor = monitor;
         self
     }
 

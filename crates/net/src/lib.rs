@@ -59,9 +59,10 @@ pub mod world;
 pub use config::SimConfig;
 pub use error::BuildNetworkError;
 pub use mac::{
-    MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception, TimerToken,
+    DropReason, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
+    TimerToken,
 };
-pub use metrics::{DeliveryMetrics, MetricsReport, NodeCounters};
+pub use metrics::{DeliveryMetrics, DropVerdict, MetricsReport, NodeCounters, VerdictHistogram};
 pub use node::{NodeId, NodeInfo, NodeRole};
 pub use packet::{Frame, FrameKind, Sdu};
 pub use quiet::QuietSchedule;

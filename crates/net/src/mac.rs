@@ -57,12 +57,40 @@ pub enum MacCommand {
         /// Maintenance bits.
         bits: u64,
     },
-    /// Report that the protocol gave up on an SDU (retry budget exhausted);
-    /// the simulator uses this for loss accounting and batch termination.
+    /// Report that the protocol gave up on an SDU; the simulator uses this
+    /// for loss accounting and batch termination.
     SduDropped {
         /// The dropped SDU's id.
         id: u64,
+        /// Why the protocol gave up.
+        reason: DropReason,
     },
+}
+
+/// Why a MAC protocol terminally gave up on an SDU — the causal
+/// classification behind the `sdu-drop` trace event and the drop-forensics
+/// verdict histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The retry budget ran out with the last failure in the data/ack
+    /// phase: the handshake succeeded but the data never got acknowledged.
+    RetryExhausted,
+    /// The retry budget ran out with the last failure in the handshake
+    /// phase: the peer never answered (no CTS / lost contention).
+    HandshakeTimeout,
+    /// The SDU was refused at queue admission (bounded-queue protocols).
+    QueueOverflow,
+}
+
+impl DropReason {
+    /// Stable label used in trace `reason` fields.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::RetryExhausted => "retry-exhausted",
+            DropReason::HandshakeTimeout => "handshake-timeout",
+            DropReason::QueueOverflow => "queue-overflow",
+        }
+    }
 }
 
 /// How much neighbour state a protocol maintains — drives the paper's §5.3
@@ -249,9 +277,15 @@ impl<'a> MacContext<'a> {
         self.commands.push(MacCommand::ChargeMaintenance { bits });
     }
 
-    /// Reports a terminally dropped SDU.
+    /// Reports a terminally dropped SDU whose last failure was in the
+    /// data/ack phase (the common retry-exhaustion case).
     pub fn report_drop(&mut self, id: u64) {
-        self.commands.push(MacCommand::SduDropped { id });
+        self.report_drop_with(id, DropReason::RetryExhausted);
+    }
+
+    /// Reports a terminally dropped SDU with an explicit causal reason.
+    pub fn report_drop_with(&mut self, id: u64, reason: DropReason) {
+        self.commands.push(MacCommand::SduDropped { id, reason });
     }
 }
 

@@ -8,10 +8,121 @@
 //! harness normalises against S-FAMA).
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 use uasn_sim::hist::LogHistogram;
 use uasn_sim::stats::{Accumulator, Histogram, TimeWeighted};
 use uasn_sim::time::{SimDuration, SimTime};
+
+/// The causal verdict for one lost SDU (or the frame carrying it),
+/// attributed online at the site of the loss — the loss-diagnosis axis
+/// (collision vs channel vs queue) the UASN survey frames as the key
+/// observable for protocol comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropVerdict {
+    /// The MAC queue was full when the SDU arrived.
+    QueueOverflow,
+    /// The MAC exhausted its retry budget for the SDU.
+    MacDrop,
+    /// The frame was discarded because the modem was mid-transmission.
+    ModemBusy,
+    /// The channel's packet-error model destroyed the frame in flight.
+    PerLoss,
+    /// A handshake (RTS/CTS negotiation) timed out terminally.
+    HandshakeTimeout,
+    /// No audible next hop existed: the SDU could not be routed at all.
+    NoAudibleReceiver,
+}
+
+impl DropVerdict {
+    /// Every verdict, in histogram order.
+    pub const ALL: [DropVerdict; 6] = [
+        DropVerdict::QueueOverflow,
+        DropVerdict::MacDrop,
+        DropVerdict::ModemBusy,
+        DropVerdict::PerLoss,
+        DropVerdict::HandshakeTimeout,
+        DropVerdict::NoAudibleReceiver,
+    ];
+
+    /// The verdict's stable label used in traces, JSON, and reports;
+    /// [`DropVerdict::from_label`] inverts it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropVerdict::QueueOverflow => "queue-overflow",
+            DropVerdict::MacDrop => "mac-drop",
+            DropVerdict::ModemBusy => "modem-busy",
+            DropVerdict::PerLoss => "per-loss",
+            DropVerdict::HandshakeTimeout => "handshake-timeout",
+            DropVerdict::NoAudibleReceiver => "no-audible-receiver",
+        }
+    }
+
+    /// Parses a label produced by [`DropVerdict::as_str`].
+    pub fn from_label(label: &str) -> Option<DropVerdict> {
+        DropVerdict::ALL.into_iter().find(|v| v.as_str() == label)
+    }
+}
+
+impl fmt::Display for DropVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A mergeable per-verdict loss histogram: six fixed counters, so
+/// recording is a single array increment and folding sweep cells is
+/// element-wise addition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictHistogram {
+    counts: [u64; 6],
+}
+
+impl VerdictHistogram {
+    /// An empty histogram.
+    pub fn new() -> VerdictHistogram {
+        VerdictHistogram::default()
+    }
+
+    /// Counts one loss under `verdict`.
+    pub fn record(&mut self, verdict: DropVerdict) {
+        self.counts[verdict as usize] += 1;
+    }
+
+    /// Adds `count` occurrences of `verdict` (journal reconstruction).
+    pub fn add(&mut self, verdict: DropVerdict, count: u64) {
+        self.counts[verdict as usize] += count;
+    }
+
+    /// Losses attributed to `verdict`.
+    pub fn count(&self, verdict: DropVerdict) -> u64 {
+        self.counts[verdict as usize]
+    }
+
+    /// Total losses across all verdicts.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether any loss was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Folds another histogram in (element-wise addition).
+    pub fn merge(&mut self, other: &VerdictHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// (verdict, count) pairs in [`DropVerdict::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (DropVerdict, u64)> + '_ {
+        DropVerdict::ALL
+            .into_iter()
+            .zip(self.counts.iter().copied())
+    }
+}
 
 /// Per-node running counters, updated by the simulator.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -207,6 +318,7 @@ pub struct DeliveryMetrics {
 /// compiling; prefer the new name, which disambiguates this delivery-stats
 /// surface from the performance-profiling
 /// [`uasn_sim::profile::MetricsRegistry`].
+#[deprecated(note = "renamed to `DeliveryMetrics`; this alias will be removed")]
 pub type Metrics = DeliveryMetrics;
 
 impl Default for DeliveryMetrics {

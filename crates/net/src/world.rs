@@ -33,10 +33,10 @@ use uasn_sim::trace::{field, Field, TraceLevel, Tracer};
 use crate::config::SimConfig;
 use crate::error::BuildNetworkError;
 use crate::mac::{
-    MacCommand, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope, Reception,
-    TimerToken,
+    DropReason, MacCommand, MacContext, MacProtocol, MaintenanceProfile, NeighborInfoScope,
+    Reception, TimerToken,
 };
-use crate::metrics::{DeliveryMetrics, MetricsReport};
+use crate::metrics::{DeliveryMetrics, DropVerdict, MetricsReport, VerdictHistogram};
 use crate::neighbor::ANNOUNCE_BITS_PER_ENTRY;
 use crate::node::{NodeId, NodeInfo, NodeRole};
 use crate::packet::{Frame, Sdu};
@@ -207,6 +207,10 @@ struct NetworkWorld {
     /// *observes* — it is never read back by protocol logic, so runs are
     /// byte-identical with profiling on or off.
     registry: MetricsRegistry,
+    /// Drop-forensics verdict histogram; `Some` iff `cfg.monitor`. Like
+    /// the registry it only *observes* losses the simulation has already
+    /// decided, so runs are byte-identical with monitoring on or off.
+    verdicts: Option<VerdictHistogram>,
 }
 
 impl std::fmt::Debug for NetworkWorld {
@@ -226,18 +230,6 @@ impl NetworkWorld {
     fn sync_energy(&mut self, node: usize) {
         let state = self.modems[node].state();
         self.meters[node].set_state(self.now, state);
-    }
-
-    fn trace(
-        &mut self,
-        level: TraceLevel,
-        node: usize,
-        tag: &'static str,
-        msg: impl FnOnce() -> String,
-    ) {
-        if self.tracer.enabled(level) {
-            self.tracer.record(self.now, level, Some(node), tag, msg());
-        }
     }
 
     fn trace_fields(
@@ -376,13 +368,29 @@ impl NetworkWorld {
                 self.metrics.per_node[node].maintenance_bits += bits;
                 self.meters[node].charge_maintenance_bits(bits);
             }
-            MacCommand::SduDropped { id } => {
+            MacCommand::SduDropped { id, reason } => {
                 self.metrics.per_node[node].sdus_dropped += 1;
                 self.metrics.record_mac_drop(self.now, id);
+                self.record_verdict(match reason {
+                    DropReason::RetryExhausted => DropVerdict::MacDrop,
+                    DropReason::HandshakeTimeout => DropVerdict::HandshakeTimeout,
+                    DropReason::QueueOverflow => DropVerdict::QueueOverflow,
+                });
                 self.trace_fields(TraceLevel::Debug, node, "sdu-drop", || {
-                    (format!("sdu {id} dropped by MAC"), vec![field("sdu", id)])
+                    (
+                        format!("sdu {id} dropped by MAC ({})", reason.as_str()),
+                        vec![field("sdu", id), field("reason", reason.as_str())],
+                    )
                 });
             }
+        }
+    }
+
+    /// Attributes one loss to the forensics histogram. A no-op unless
+    /// [`SimConfig::monitor`](crate::config::SimConfig::monitor) was set.
+    fn record_verdict(&mut self, verdict: DropVerdict) {
+        if let Some(verdicts) = self.verdicts.as_mut() {
+            verdicts.record(verdict);
         }
     }
 
@@ -392,8 +400,18 @@ impl NetworkWorld {
         };
         if self.modems[node].is_transmitting() {
             self.metrics.per_node[node].tx_dropped += 1;
-            self.trace(TraceLevel::Debug, node, "tx-drop", || {
-                format!("{frame} dropped: modem busy")
+            self.record_verdict(DropVerdict::ModemBusy);
+            self.trace_fields(TraceLevel::Debug, node, "tx-drop", || {
+                (
+                    format!("{frame} dropped: modem busy"),
+                    vec![
+                        field("reason", "modem-busy"),
+                        field("kind", frame.kind.label()),
+                        field("src", frame.src.index()),
+                        field("dst", frame.dst.index()),
+                        field("bits", frame.bits),
+                    ],
+                )
             });
             return;
         }
@@ -622,6 +640,12 @@ impl NetworkWorld {
         }
         if !survived || entry.pre_lost {
             let reason = if survived { "channel" } else { "collision" };
+            if survived {
+                // A PER draw took the frame; collisions and half-duplex
+                // losses are already counted by the modem ledger and are
+                // outside the drop-verdict taxonomy.
+                self.record_verdict(DropVerdict::PerLoss);
+            }
             self.trace_fields(TraceLevel::Debug, node, "rx-lost", || {
                 (
                     format!("{} ({reason})", entry.frame),
@@ -759,6 +783,7 @@ impl NetworkWorld {
             }
             None => {
                 self.metrics.per_node[node].unroutable += 1;
+                self.record_verdict(DropVerdict::NoAudibleReceiver);
             }
         }
     }
@@ -824,6 +849,7 @@ impl NetworkWorld {
             }
             None => {
                 self.metrics.per_node[node].unroutable += 1;
+                self.record_verdict(DropVerdict::NoAudibleReceiver);
                 if self.cfg.traffic.is_batch() {
                     // An unroutable batch SDU would deadlock completion;
                     // count the arrival as (vacuously) done.
@@ -1326,6 +1352,7 @@ impl Simulation {
             clock_error: cfg.clock_error_bound(),
             clock_stats: ClockStats::default(),
             registry: MetricsRegistry::new(cfg.profile),
+            verdicts: cfg.monitor.then(VerdictHistogram::new),
             cfg,
         };
 
@@ -1554,6 +1581,7 @@ impl Simulation {
             stats,
             clock,
             profile,
+            verdicts: self.world.verdicts.take(),
         }
     }
 }
@@ -1578,6 +1606,11 @@ pub struct RunOutput {
     /// hit rates, fan-out/queue-depth distributions); `Some` iff
     /// [`SimConfig::profile`](crate::config::SimConfig::profile) was set.
     pub profile: Option<ProfileReport>,
+    /// Drop-forensics verdict histogram — one causal verdict per loss the
+    /// run decided (modem-busy transmit drops, PER losses, unroutable
+    /// SDUs, terminal MAC drops by reason); `Some` iff
+    /// [`SimConfig::monitor`](crate::config::SimConfig::monitor) was set.
+    pub verdicts: Option<VerdictHistogram>,
 }
 
 #[cfg(test)]
@@ -1887,6 +1920,59 @@ mod tests {
             assert_eq!(jsonl(&plain), jsonl(&profiled));
             assert!(plain.profile.is_none());
             assert!(profiled.profile.is_some());
+        }
+    }
+
+    #[test]
+    fn monitoring_does_not_perturb_the_run() {
+        // Same contract as profiling: drop forensics only observes losses
+        // the simulation already decided, so with monitoring on the trace
+        // stream, the report, and the engine statistics are byte-for-byte
+        // what the unmonitored run produces — plus a verdict histogram.
+        for cfg in [small_cfg(), small_cfg().with_fastpath(false)] {
+            let run = |monitor: bool| {
+                Simulation::new(cfg.clone().with_monitoring(monitor), &blast_factory)
+                    .unwrap()
+                    .with_tracing(TraceLevel::Debug)
+                    .run_full()
+            };
+            let plain = run(false);
+            let monitored = run(true);
+            assert_eq!(plain.report, monitored.report);
+            assert_eq!(
+                plain.stats.events_processed,
+                monitored.stats.events_processed
+            );
+            assert_eq!(plain.stats.sim_end, monitored.stats.sim_end);
+            assert_eq!(plain.stats.stop_reason, monitored.stats.stop_reason);
+            assert_eq!(plain.stats.kind_counts, monitored.stats.kind_counts);
+            let jsonl = |out: &RunOutput| {
+                out.tracer
+                    .records()
+                    .iter()
+                    .map(|r| r.to_json_line())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(jsonl(&plain), jsonl(&monitored));
+            assert!(plain.verdicts.is_none());
+            // Every counted loss reconciles against the delivery counters:
+            // the verdict histogram is the same totals, causally split.
+            let verdicts = monitored.verdicts.expect("monitoring enabled");
+            assert_eq!(
+                verdicts.count(DropVerdict::ModemBusy),
+                monitored.report.tx_dropped
+            );
+            assert_eq!(
+                verdicts.count(DropVerdict::NoAudibleReceiver),
+                monitored.report.unroutable
+            );
+            assert_eq!(
+                verdicts.count(DropVerdict::MacDrop)
+                    + verdicts.count(DropVerdict::HandshakeTimeout)
+                    + verdicts.count(DropVerdict::QueueOverflow),
+                monitored.report.sdus_dropped
+            );
         }
     }
 

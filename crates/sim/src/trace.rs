@@ -916,6 +916,38 @@ mod tests {
     }
 
     #[test]
+    fn ring_sink_evicts_strictly_oldest_first() {
+        // Direct RingSink exercise (no Tracer): across several full
+        // wraps, the retained window must always be exactly the last
+        // `capacity` records in acceptance order, and every eviction
+        // must have removed the then-oldest record.
+        let mut ring = RingSink::with_capacity(3);
+        for i in 0..10u64 {
+            let mut r = sample_record();
+            r.message = i.to_string();
+            ring.accept(&r);
+            let kept: Vec<u64> = ring.iter().map(|r| r.message.parse().unwrap()).collect();
+            let window_start = (i + 1).saturating_sub(3);
+            let expect: Vec<u64> = (window_start..=i).collect();
+            assert_eq!(kept, expect, "after accepting record {i}");
+            assert_eq!(ring.evicted_records(), window_start);
+        }
+    }
+
+    #[test]
+    fn ring_sink_zero_capacity_clamps_to_one() {
+        let mut ring = RingSink::with_capacity(0);
+        for tag in ["a", "b"] {
+            let mut r = sample_record();
+            r.tag = Cow::Borrowed(tag);
+            ring.accept(&r);
+        }
+        let tags: Vec<&str> = ring.iter().map(|r| r.tag.as_ref()).collect();
+        assert_eq!(tags, ["b"]);
+        assert_eq!(ring.evicted_records(), 1);
+    }
+
+    #[test]
     fn multiple_sinks_all_receive() {
         let mut t = Tracer::new(TraceLevel::Debug).with_capture(10).with_ring(2);
         for tag in ["a", "b", "c"] {
