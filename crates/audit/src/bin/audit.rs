@@ -12,14 +12,15 @@
 use std::fs;
 use std::process::ExitCode;
 
-use uasn_audit::journey::{reconstruct, slowest, PhaseHistograms};
+use uasn_audit::journey::{reconstruct, reconstruct_paths, slowest, PathStats, PhaseHistograms};
 use uasn_audit::model::TraceModel;
 use uasn_sim::trace::parse_jsonl;
 
-const USAGE: &str = "usage: audit <check|journeys|latency> <trace.jsonl> [options]
+const USAGE: &str = "usage: audit <check|journeys|latency|paths> <trace.jsonl> [options]
   check     replay invariant checks; exit 1 on any violation
   journeys  print the slowest packet journeys (--top N, default 10)
-  latency   print phase-latency histograms (--csv PATH, --json PATH)";
+  latency   print phase-latency histograms (--csv PATH, --json PATH)
+  paths     print routed source->sink path statistics (--json PATH)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +60,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "check" => cmd_check(&model),
         "journeys" => cmd_journeys(&model, opts),
         "latency" => cmd_latency(&model, opts),
+        "paths" => cmd_paths(&model, opts),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -119,6 +121,41 @@ fn cmd_latency(model: &TraceModel, opts: &[String]) -> Result<ExitCode, String> 
     if let Some(path) = parse_opt(opts, "--json")? {
         let mut json = String::new();
         hists.to_json().write(&mut json);
+        json.push('\n');
+        fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_paths(model: &TraceModel, opts: &[String]) -> Result<ExitCode, String> {
+    let paths = reconstruct_paths(model);
+    if paths.is_empty() {
+        println!("no routed paths: the trace carries no route/relay records");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let stats = PathStats::from_paths(&paths);
+    println!(
+        "{} injected copies: {} delivered, {} lost",
+        stats.attempted,
+        stats.delivered,
+        stats.attempted - stats.delivered
+    );
+    println!(
+        "hops: p50 {} p90 {} max {} | e2e us: p50 {} p90 {} p99 {}",
+        opt(stats.hop_counts.p50()),
+        opt(stats.hop_counts.p90()),
+        opt(stats.hop_counts.max()),
+        opt(stats.e2e_us.p50()),
+        opt(stats.e2e_us.p90()),
+        opt(stats.e2e_us.p99()),
+    );
+    for (reason, n) in &stats.drop_reasons {
+        println!("  lost ({reason}): {n}");
+    }
+    if let Some(path) = parse_opt(opts, "--json")? {
+        let mut json = String::new();
+        stats.to_json().write(&mut json);
         json.push('\n');
         fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");

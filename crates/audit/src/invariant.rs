@@ -44,6 +44,10 @@ pub enum ViolationKind {
     /// A reception's propagation delay exceeds τmax, or varies between a
     /// static pair of nodes.
     PropagationInconsistency,
+    /// A routed SDU copy revisited a node already on its path, or its
+    /// path length escaped the hop-count TTL: depth-monotone forwarding
+    /// promises both never happen.
+    RoutingLoop,
 }
 
 impl fmt::Display for ViolationKind {
@@ -54,6 +58,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::SlotMisalignment => "slot-misalignment",
             ViolationKind::ExtraWindowIntrusion => "extra-window-intrusion",
             ViolationKind::PropagationInconsistency => "propagation-inconsistency",
+            ViolationKind::RoutingLoop => "routing-loop",
         };
         f.write_str(name)
     }
@@ -105,8 +110,8 @@ pub(crate) fn overlaps(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> bo
 /// Runs every applicable check over the model and returns all violations,
 /// ordered by the trace record they point at.
 ///
-/// The three streamable checks — half-duplex decode, slot alignment,
-/// extra-window non-interference — are implemented once, as the
+/// The four streamable checks — half-duplex decode, slot alignment,
+/// extra-window non-interference, routing-loop freedom — are implemented once, as the
 /// incremental state machines in [`crate::monitor::MonitorSet`]; this
 /// function replays the model through them in record order, so the online
 /// and post-hoc paths agree by construction. The remaining checks
@@ -132,23 +137,57 @@ pub fn check(model: &TraceModel) -> Vec<Violation> {
     out
 }
 
-/// Feeds the model's frame events through the streaming monitors in trace
-/// record order (ties broken tx < rx < rx-lost, matching emission order).
+/// Feeds the model's frame and routing events through the streaming
+/// monitors in trace record order (ties broken in emission order:
+/// tx < rx < rx-lost < route < relay < route-drop < e2e-deliver).
 fn replay(model: &TraceModel, monitors: &mut MonitorSet) {
-    let (mut ti, mut ri, mut li) = (0, 0, 0);
-    while ti < model.tx.len() || ri < model.rx.len() || li < model.rx_lost.len() {
-        let tr = model.tx.get(ti).map_or(usize::MAX, |e| e.record);
-        let rr = model.rx.get(ri).map_or(usize::MAX, |e| e.record);
-        let lr = model.rx_lost.get(li).map_or(usize::MAX, |e| e.record);
-        if tr <= rr && tr <= lr {
-            monitors.observe_tx(&model.tx[ti]);
-            ti += 1;
-        } else if rr <= lr {
-            monitors.observe_rx(&model.rx[ri]);
-            ri += 1;
-        } else {
-            monitors.observe_rx_lost(&model.rx_lost[li]);
-            li += 1;
+    enum Step<'a> {
+        Tx(&'a crate::model::TxEvent),
+        Rx(&'a RxEvent),
+        RxLost(&'a crate::model::RxLostEvent),
+        Route(&'a crate::model::RouteEvent),
+        Relay(&'a crate::model::RelayEvent),
+        RouteDrop(&'a crate::model::RouteDropEvent),
+        E2eDeliver(&'a crate::model::E2eDeliverEvent),
+    }
+    let mut steps: Vec<(usize, Step<'_>)> = Vec::with_capacity(
+        model.tx.len()
+            + model.rx.len()
+            + model.rx_lost.len()
+            + model.route.len()
+            + model.relay.len()
+            + model.route_drops.len()
+            + model.e2e_deliver.len(),
+    );
+    steps.extend(model.tx.iter().map(|e| (e.record, Step::Tx(e))));
+    steps.extend(model.rx.iter().map(|e| (e.record, Step::Rx(e))));
+    steps.extend(model.rx_lost.iter().map(|e| (e.record, Step::RxLost(e))));
+    steps.extend(model.route.iter().map(|e| (e.record, Step::Route(e))));
+    steps.extend(model.relay.iter().map(|e| (e.record, Step::Relay(e))));
+    steps.extend(
+        model
+            .route_drops
+            .iter()
+            .map(|e| (e.record, Step::RouteDrop(e))),
+    );
+    steps.extend(
+        model
+            .e2e_deliver
+            .iter()
+            .map(|e| (e.record, Step::E2eDeliver(e))),
+    );
+    // Stable by record index; the extend order above breaks the (test-only)
+    // ties between synthetic events sharing a record.
+    steps.sort_by_key(|(record, _)| *record);
+    for (_, step) in steps {
+        match step {
+            Step::Tx(e) => monitors.observe_tx(e),
+            Step::Rx(e) => monitors.observe_rx(e),
+            Step::RxLost(e) => monitors.observe_rx_lost(e),
+            Step::Route(e) => monitors.observe_route(e),
+            Step::Relay(e) => monitors.observe_relay(e),
+            Step::RouteDrop(e) => monitors.observe_route_drop(e),
+            Step::E2eDeliver(e) => monitors.observe_e2e_deliver(e),
         }
     }
 }
@@ -328,6 +367,9 @@ mod tests {
             forwarding: true,
             guard_us: 0,
             clock_error_us: 0,
+            route_policy: None,
+            route_ttl: None,
+            transport: false,
         }
     }
 

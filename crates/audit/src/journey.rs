@@ -380,10 +380,205 @@ impl PhaseHistograms {
     }
 }
 
+/// One source→sink path of a routed SDU copy: the node sequence from the
+/// origin injection (`route`) through every relay to its terminal fate.
+/// Transport retries produce one path per attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SduPath {
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Transport attempt this path belongs to (0 = first injection).
+    pub attempt: u64,
+    /// Nodes visited in order, origin first; ends with the sink when
+    /// delivered.
+    pub nodes: Vec<usize>,
+    /// Sink node and end-to-end latency (µs) when this copy delivered.
+    pub delivered: Option<(usize, u64)>,
+    /// Losing node and causal reason when this copy was lost.
+    pub dropped: Option<(usize, String)>,
+}
+
+impl SduPath {
+    /// MAC hops this path traversed: edges of the node sequence.
+    pub fn hops(&self) -> u64 {
+        self.nodes.len().saturating_sub(1) as u64
+    }
+
+    /// Whether this copy is the one that reached a sink.
+    pub fn completed(&self) -> bool {
+        self.delivered.is_some()
+    }
+}
+
+/// Reconstructs the source→sink paths of a routed trace from its `route`
+/// / `relay` / `e2e-deliver` / drop records, in injection order. Empty for
+/// non-routed traces (which emit none of those tags).
+pub fn reconstruct_paths(model: &TraceModel) -> Vec<SduPath> {
+    // Open paths keyed per copy — `(sdu, attempt)` — mirroring the
+    // streaming monitor: a stale copy from an earlier transport attempt
+    // extends its own path, never the retry's.
+    let mut open: HashMap<(u64, u64), usize> = HashMap::new();
+    let mut paths: Vec<SduPath> = Vec::with_capacity(model.route.len());
+
+    // Merge the four per-SDU streams back into trace order by record
+    // index, the same order the streaming monitor saw them in.
+    enum Ev<'a> {
+        Route(&'a crate::model::RouteEvent),
+        Relay(&'a crate::model::RelayEvent),
+        Drop(&'a crate::model::RouteDropEvent),
+        Deliver(&'a crate::model::E2eDeliverEvent),
+    }
+    let mut events: Vec<(usize, Ev<'_>)> = Vec::with_capacity(
+        model.route.len() + model.relay.len() + model.route_drops.len() + model.e2e_deliver.len(),
+    );
+    events.extend(model.route.iter().map(|e| (e.record, Ev::Route(e))));
+    events.extend(model.relay.iter().map(|e| (e.record, Ev::Relay(e))));
+    events.extend(model.route_drops.iter().map(|e| (e.record, Ev::Drop(e))));
+    events.extend(model.e2e_deliver.iter().map(|e| (e.record, Ev::Deliver(e))));
+    events.sort_by_key(|(record, _)| *record);
+
+    for (_, ev) in events {
+        match ev {
+            Ev::Route(e) => {
+                open.insert((e.sdu, e.attempt), paths.len());
+                paths.push(SduPath {
+                    sdu: e.sdu,
+                    origin: e.node,
+                    attempt: e.attempt,
+                    nodes: vec![e.node],
+                    delivered: None,
+                    dropped: None,
+                });
+            }
+            Ev::Relay(e) => {
+                if let Some(&i) = open.get(&(e.sdu, e.attempt)) {
+                    paths[i].nodes.push(e.node);
+                }
+            }
+            Ev::Drop(e) => {
+                if e.terminal {
+                    // A terminal drop retires the whole SDU: the named
+                    // copy (or, for retry exhaustion, the latest open
+                    // one) records the fate; any other copies still in
+                    // flight close without one.
+                    let mut closed: Vec<usize> = Vec::new();
+                    open.retain(|&(id, _), &mut i| {
+                        if id == e.sdu {
+                            closed.push(i);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let fated = match e.attempt {
+                        Some(a) => closed.iter().copied().find(|&i| paths[i].attempt == a),
+                        None => closed.iter().copied().max(),
+                    };
+                    if let Some(i) = fated {
+                        paths[i].dropped = Some((e.node, e.reason.clone()));
+                    }
+                } else if let Some(a) = e.attempt {
+                    if let Some(i) = open.remove(&(e.sdu, a)) {
+                        paths[i].dropped = Some((e.node, e.reason.clone()));
+                    }
+                }
+            }
+            Ev::Deliver(e) => {
+                if let Some(i) = open.remove(&(e.sdu, e.attempt)) {
+                    paths[i].nodes.push(e.node);
+                    paths[i].delivered = Some((e.node, e.e2e_us));
+                }
+            }
+        }
+    }
+    paths
+}
+
+/// Aggregate statistics over a trace's source→sink paths: the multi-hop
+/// counterpart of [`PhaseHistograms`], exactly mergeable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// MAC hop counts of delivered paths.
+    pub hop_counts: LogHistogram,
+    /// End-to-end latencies of delivered paths, microseconds.
+    pub e2e_us: LogHistogram,
+    /// Paths reconstructed (one per injected copy).
+    pub attempted: u64,
+    /// Paths that reached a sink.
+    pub delivered: u64,
+    /// Terminal losses per causal reason, sorted by reason.
+    pub drop_reasons: Vec<(String, u64)>,
+}
+
+impl PathStats {
+    /// Aggregates `paths` (from [`reconstruct_paths`]).
+    pub fn from_paths(paths: &[SduPath]) -> PathStats {
+        let mut stats = PathStats {
+            attempted: paths.len() as u64,
+            ..PathStats::default()
+        };
+        let mut reasons: HashMap<&str, u64> = HashMap::new();
+        for p in paths {
+            if let Some((_, e2e)) = p.delivered {
+                stats.delivered += 1;
+                stats.hop_counts.record(p.hops());
+                stats.e2e_us.record(e2e);
+            } else if let Some((_, reason)) = &p.dropped {
+                *reasons.entry(reason.as_str()).or_default() += 1;
+            }
+        }
+        stats.drop_reasons = reasons
+            .into_iter()
+            .map(|(r, n)| (r.to_string(), n))
+            .collect();
+        stats.drop_reasons.sort();
+        stats
+    }
+
+    /// Merges another run's path statistics into this one (exact).
+    pub fn merge(&mut self, other: &PathStats) {
+        self.hop_counts.merge(&other.hop_counts);
+        self.e2e_us.merge(&other.e2e_us);
+        self.attempted += other.attempted;
+        self.delivered += other.delivered;
+        for (reason, n) in &other.drop_reasons {
+            match self.drop_reasons.iter_mut().find(|(r, _)| r == reason) {
+                Some((_, count)) => *count += n,
+                None => self.drop_reasons.push((reason.clone(), *n)),
+            }
+        }
+        self.drop_reasons.sort();
+    }
+
+    /// JSON export with full histogram summaries, for report tooling.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("attempted".to_string(), JsonValue::from_u64(self.attempted)),
+            ("delivered".to_string(), JsonValue::from_u64(self.delivered)),
+            ("hop_counts".to_string(), self.hop_counts.to_json()),
+            ("e2e_us".to_string(), self.e2e_us.to_json()),
+            (
+                "drop_reasons".to_string(),
+                JsonValue::Object(
+                    self.drop_reasons
+                        .iter()
+                        .map(|(r, n)| (r.clone(), JsonValue::from_u64(*n)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{EnqEvent, RxEvent, SinkEvent, TxEvent};
+    use crate::model::{
+        E2eDeliverEvent, EnqEvent, RelayEvent, RouteDropEvent, RouteEvent, RxEvent, SinkEvent,
+        TxEvent,
+    };
 
     fn enq(
         record: usize,
@@ -523,6 +718,148 @@ mod tests {
         let hists = PhaseHistograms::from_journeys(&journeys);
         assert_eq!(hists.end_to_end.count(), 0);
         assert_eq!(hists.hop_total.count(), 0);
+    }
+
+    fn routed_model() -> TraceModel {
+        TraceModel {
+            route: vec![
+                RouteEvent {
+                    record: 0,
+                    time_us: 1_000,
+                    node: 5,
+                    sdu: 7,
+                    next_hop: 3,
+                    attempt: 0,
+                },
+                RouteEvent {
+                    record: 1,
+                    time_us: 1_500,
+                    node: 6,
+                    sdu: 8,
+                    next_hop: 3,
+                    attempt: 0,
+                },
+                // sdu 8's transport retry after the copy-level loss below.
+                RouteEvent {
+                    record: 5,
+                    time_us: 60_000,
+                    node: 6,
+                    sdu: 8,
+                    next_hop: 3,
+                    attempt: 1,
+                },
+            ],
+            relay: vec![RelayEvent {
+                record: 2,
+                time_us: 10_000,
+                node: 3,
+                sdu: 7,
+                origin: 5,
+                next_hop: 0,
+                attempt: 0,
+                hops: 1,
+                bits: 2_048,
+            }],
+            route_drops: vec![
+                RouteDropEvent {
+                    record: 4,
+                    time_us: 50_000,
+                    node: 3,
+                    sdu: 8,
+                    origin: 6,
+                    attempt: Some(0),
+                    hops: Some(1),
+                    attempts: None,
+                    reason: "ttl-exhausted".to_string(),
+                    terminal: false,
+                },
+                RouteDropEvent {
+                    record: 6,
+                    time_us: 120_000,
+                    node: 6,
+                    sdu: 8,
+                    origin: 6,
+                    attempt: None,
+                    hops: None,
+                    attempts: Some(2),
+                    reason: "retry-exhausted".to_string(),
+                    terminal: true,
+                },
+            ],
+            e2e_deliver: vec![E2eDeliverEvent {
+                record: 3,
+                time_us: 40_000,
+                node: 0,
+                sdu: 7,
+                origin: 5,
+                attempt: 0,
+                hops: 2,
+                e2e_us: 39_000,
+            }],
+            ..TraceModel::default()
+        }
+    }
+
+    #[test]
+    fn paths_reconstruct_per_attempt_with_terminal_fates() {
+        let paths = reconstruct_paths(&routed_model());
+        assert_eq!(paths.len(), 3, "one path per injected copy");
+        let p7 = &paths[0];
+        assert_eq!(p7.sdu, 7);
+        assert_eq!(p7.nodes, vec![5, 3, 0], "origin -> relay -> sink");
+        assert_eq!(p7.hops(), 2);
+        assert_eq!(p7.delivered, Some((0, 39_000)));
+        assert!(p7.completed());
+        let first_try = &paths[1];
+        assert_eq!(first_try.attempt, 0);
+        assert_eq!(
+            first_try.dropped,
+            Some((3, "ttl-exhausted".to_string())),
+            "copy-level loss closes the attempt's path"
+        );
+        let retry = &paths[2];
+        assert_eq!(retry.attempt, 1);
+        assert_eq!(retry.dropped, Some((6, "retry-exhausted".to_string())));
+        assert!(!retry.completed());
+    }
+
+    #[test]
+    fn path_stats_aggregate_and_merge() {
+        let paths = reconstruct_paths(&routed_model());
+        let stats = PathStats::from_paths(&paths);
+        assert_eq!(stats.attempted, 3);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.hop_counts.count(), 1);
+        assert_eq!(stats.hop_counts.max(), Some(2));
+        assert_eq!(stats.e2e_us.count(), 1);
+        assert_eq!(
+            stats.drop_reasons,
+            vec![
+                ("retry-exhausted".to_string(), 1),
+                ("ttl-exhausted".to_string(), 1)
+            ]
+        );
+        let mut merged = stats.clone();
+        merged.merge(&stats);
+        assert_eq!(merged.attempted, 6);
+        assert_eq!(merged.delivered, 2);
+        assert_eq!(
+            merged
+                .drop_reasons
+                .iter()
+                .find(|(r, _)| r == "ttl-exhausted")
+                .map(|(_, n)| *n),
+            Some(2)
+        );
+        let mut json = String::new();
+        stats.to_json().write(&mut json);
+        assert!(json.contains("\"hop_counts\""), "{json}");
+        assert!(json.contains("\"retry-exhausted\""), "{json}");
+    }
+
+    #[test]
+    fn non_routed_traces_have_no_paths() {
+        assert!(reconstruct_paths(&model_one_hop()).is_empty());
     }
 
     #[test]

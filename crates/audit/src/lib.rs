@@ -36,6 +36,8 @@ pub mod model;
 pub mod monitor;
 
 pub use invariant::{check, Violation, ViolationKind};
-pub use journey::{reconstruct, slowest, Journey, PhaseHistograms};
+pub use journey::{
+    reconstruct, reconstruct_paths, slowest, Journey, PathStats, PhaseHistograms, SduPath,
+};
 pub use model::TraceModel;
 pub use monitor::{FlightRecorder, MonitorReport, MonitorSet, StreamingMonitor};

@@ -40,6 +40,15 @@ pub struct RunInfo {
     /// Worst-case per-node clock error the run was configured for,
     /// microseconds. Zero under the ideal clock model.
     pub clock_error_us: u64,
+    /// Forwarding policy name of a routed run (`"greedy"`,
+    /// `"random-shallowest"`). Absent from non-routed traces.
+    pub route_policy: Option<String>,
+    /// Hop-count TTL of a routed run; the loop monitor's path-length
+    /// bound. Absent from non-routed traces.
+    pub route_ttl: Option<u64>,
+    /// Whether the routed run ran the end-to-end transport (origin-side
+    /// retransmission with sink acks).
+    pub transport: bool,
 }
 
 impl RunInfo {
@@ -194,6 +203,103 @@ pub struct DropEvent {
     pub reason: Option<String>,
 }
 
+/// An SDU copy injected (or re-injected by a transport retry) at its
+/// origin (`route` tag). Each `route` event starts a fresh source→sink
+/// path for that SDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Injection time, microseconds.
+    pub time_us: u64,
+    /// Origin node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+    /// Chosen next hop.
+    pub next_hop: usize,
+    /// Transport attempt (0 = first injection).
+    pub attempt: u64,
+}
+
+/// A relay decision at an intermediate node (`relay` tag): the SDU copy
+/// arrived here and was re-enqueued toward a strictly shallower next hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Relay time, microseconds.
+    pub time_us: u64,
+    /// Relaying node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Chosen next hop.
+    pub next_hop: usize,
+    /// Transport attempt (copy number) this relay belongs to.
+    pub attempt: u64,
+    /// MAC hops the copy has traversed to reach this node.
+    pub hops: u64,
+    /// Payload bits.
+    pub bits: u64,
+}
+
+/// A routed loss (`relay-drop` / `e2e-drop` tags). `terminal` is `false`
+/// for a copy-level loss a pending transport retry can still rescue and
+/// `true` when this loss is the SDU's final fate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDropEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Drop time, microseconds.
+    pub time_us: u64,
+    /// Dropping node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Transport attempt (copy number) of the lost copy (absent from
+    /// retry-exhaustion drops, which retire the whole SDU rather than
+    /// one copy).
+    pub attempt: Option<u64>,
+    /// MAC hops the lost copy had traversed (absent from
+    /// retry-exhaustion drops, which happen at the origin between
+    /// copies).
+    pub hops: Option<u64>,
+    /// Transport attempts consumed (retry-exhaustion drops only).
+    pub attempts: Option<u64>,
+    /// Causal reason (`"unroutable"`, `"ttl-exhausted"`,
+    /// `"retry-exhausted"`).
+    pub reason: String,
+    /// Whether the loss is terminal (`e2e-drop`) rather than copy-level
+    /// (`relay-drop`).
+    pub terminal: bool,
+}
+
+/// A first end-to-end delivery (`e2e-deliver` tag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct E2eDeliverEvent {
+    /// Index of the source record in the parsed trace.
+    pub record: usize,
+    /// Delivery time, microseconds.
+    pub time_us: u64,
+    /// Sink node.
+    pub node: usize,
+    /// SDU id.
+    pub sdu: u64,
+    /// Origin node.
+    pub origin: usize,
+    /// Transport attempt (copy number) that completed the delivery.
+    pub attempt: u64,
+    /// MAC hops on the delivered path (origin → sink).
+    pub hops: u64,
+    /// End-to-end latency, microseconds.
+    pub e2e_us: u64,
+}
+
 /// The audit's typed view of one trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceModel {
@@ -211,6 +317,14 @@ pub struct TraceModel {
     pub sink: Vec<SinkEvent>,
     /// Terminal drops, in emission order.
     pub drops: Vec<DropEvent>,
+    /// Origin injections of routed runs, in emission order.
+    pub route: Vec<RouteEvent>,
+    /// Relay decisions of routed runs, in emission order.
+    pub relay: Vec<RelayEvent>,
+    /// Routed losses (copy-level and terminal), in emission order.
+    pub route_drops: Vec<RouteDropEvent>,
+    /// First end-to-end deliveries of routed runs, in emission order.
+    pub e2e_deliver: Vec<E2eDeliverEvent>,
     /// Records of a known tag that lacked the structured fields the audit
     /// needs (message-only traces) and were skipped.
     pub skipped: usize,
@@ -283,6 +397,14 @@ pub enum ParsedRecord {
     Sink(SinkEvent),
     /// A terminal MAC drop.
     Drop(DropEvent),
+    /// A routed SDU copy injected at its origin.
+    Route(RouteEvent),
+    /// A relay decision at an intermediate node.
+    Relay(RelayEvent),
+    /// A routed loss (copy-level or terminal).
+    RouteDrop(RouteDropEvent),
+    /// A first end-to-end delivery.
+    E2eDeliver(E2eDeliverEvent),
     /// A known tag that lacked the structured fields the audit needs
     /// (message-only traces); counted in [`TraceModel::skipped`].
     Skipped,
@@ -311,6 +433,10 @@ pub fn parse_record(record: usize, r: &TraceRecord) -> ParsedRecord {
                 // ones): zero tolerance.
                 guard_us: get_u64(r, "guard_us").unwrap_or(0),
                 clock_error_us: get_u64(r, "clock_error_us").unwrap_or(0),
+                // Absent from non-routed traces.
+                route_policy: get_str(r, "route_policy").map(str::to_string),
+                route_ttl: get_u64(r, "route_ttl"),
+                transport: get_bool(r, "transport").unwrap_or(false),
             })
         })()
         .map_or(ParsedRecord::Skipped, ParsedRecord::RunInfo),
@@ -396,6 +522,59 @@ pub fn parse_record(record: usize, r: &TraceRecord) -> ParsedRecord {
             })
         })()
         .map_or(ParsedRecord::Skipped, ParsedRecord::Drop),
+        "route" => (|| {
+            Some(RouteEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                next_hop: get_usize(r, "next_hop")?,
+                attempt: get_u64(r, "attempt")?,
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Route),
+        "relay" => (|| {
+            Some(RelayEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                origin: get_usize(r, "origin")?,
+                next_hop: get_usize(r, "next_hop")?,
+                attempt: get_u64(r, "attempt")?,
+                hops: get_u64(r, "hops")?,
+                bits: get_u64(r, "bits")?,
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::Relay),
+        tag @ ("relay-drop" | "e2e-drop") => (|| {
+            Some(RouteDropEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                origin: get_usize(r, "origin")?,
+                attempt: get_u64(r, "attempt"),
+                hops: get_u64(r, "hops"),
+                attempts: get_u64(r, "attempts"),
+                reason: get_str(r, "reason")?.to_string(),
+                terminal: tag == "e2e-drop",
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::RouteDrop),
+        "e2e-deliver" => (|| {
+            Some(E2eDeliverEvent {
+                record,
+                time_us,
+                node,
+                sdu: get_u64(r, "sdu")?,
+                origin: get_usize(r, "origin")?,
+                attempt: get_u64(r, "attempt")?,
+                hops: get_u64(r, "hops")?,
+                e2e_us: get_u64(r, "e2e_us")?,
+            })
+        })()
+        .map_or(ParsedRecord::Skipped, ParsedRecord::E2eDeliver),
         _ => ParsedRecord::Other,
     }
 }
@@ -414,6 +593,10 @@ impl TraceModel {
                 ParsedRecord::Enq(ev) => model.enq.push(ev),
                 ParsedRecord::Sink(ev) => model.sink.push(ev),
                 ParsedRecord::Drop(ev) => model.drops.push(ev),
+                ParsedRecord::Route(ev) => model.route.push(ev),
+                ParsedRecord::Relay(ev) => model.relay.push(ev),
+                ParsedRecord::RouteDrop(ev) => model.route_drops.push(ev),
+                ParsedRecord::E2eDeliver(ev) => model.e2e_deliver.push(ev),
                 ParsedRecord::Skipped => model.skipped += 1,
                 ParsedRecord::Other => {}
             }
@@ -514,6 +697,106 @@ mod tests {
             ..info
         };
         assert!(!ropa.is_slot_aligned());
+    }
+
+    #[test]
+    fn route_records_parse_into_path_events() {
+        let records = vec![
+            record(
+                "route",
+                vec![
+                    field("sdu", 7u64),
+                    field("origin", 3u64),
+                    field("next_hop", 5u64),
+                    field("attempt", 1u64),
+                ],
+            ),
+            record(
+                "relay",
+                vec![
+                    field("sdu", 7u64),
+                    field("origin", 3u64),
+                    field("next_hop", 0u64),
+                    field("attempt", 1u64),
+                    field("hops", 1u64),
+                    field("bits", 2_048u64),
+                ],
+            ),
+            record(
+                "relay-drop",
+                vec![
+                    field("sdu", 7u64),
+                    field("origin", 3u64),
+                    field("attempt", 1u64),
+                    field("hops", 2u64),
+                    field("reason", "ttl-exhausted"),
+                ],
+            ),
+            record(
+                "e2e-drop",
+                vec![
+                    field("sdu", 7u64),
+                    field("origin", 3u64),
+                    field("attempts", 3u64),
+                    field("reason", "retry-exhausted"),
+                ],
+            ),
+            record(
+                "e2e-deliver",
+                vec![
+                    field("sdu", 8u64),
+                    field("origin", 3u64),
+                    field("sink", 0u64),
+                    field("attempt", 0u64),
+                    field("hops", 2u64),
+                    field("e2e_us", 120_000u64),
+                ],
+            ),
+        ];
+        let model = TraceModel::from_records(&records);
+        assert_eq!(model.skipped, 0);
+        assert_eq!(model.route.len(), 1);
+        assert_eq!(model.route[0].attempt, 1);
+        assert_eq!(model.relay.len(), 1);
+        assert_eq!(model.relay[0].hops, 1);
+        assert_eq!(model.relay[0].attempt, 1);
+        assert_eq!(model.route_drops.len(), 2);
+        assert!(!model.route_drops[0].terminal);
+        assert_eq!(model.route_drops[0].hops, Some(2));
+        assert_eq!(model.route_drops[0].attempt, Some(1));
+        assert!(model.route_drops[1].terminal);
+        assert_eq!(model.route_drops[1].attempts, Some(3));
+        assert_eq!(model.route_drops[1].hops, None);
+        assert_eq!(model.route_drops[1].attempt, None);
+        assert_eq!(model.e2e_deliver.len(), 1);
+        assert_eq!(model.e2e_deliver[0].e2e_us, 120_000);
+    }
+
+    #[test]
+    fn routed_run_info_carries_the_policy_and_ttl() {
+        let records = vec![record(
+            "run-info",
+            vec![
+                field("protocol", "EW-MAC"),
+                field("nodes", 12u64),
+                field("sinks", 2u64),
+                field("bitrate_bps", 12_000.0f64),
+                field("omega_us", 5_333u64),
+                field("tau_max_us", 1_000_000u64),
+                field("slot_us", 1_005_333u64),
+                field("mobility", false),
+                field("forwarding", true),
+                field("route_policy", "greedy"),
+                field("route_ttl", 32u64),
+                field("transport", true),
+            ],
+        )];
+        let info = TraceModel::from_records(&records)
+            .run_info
+            .expect("run info parsed");
+        assert_eq!(info.route_policy.as_deref(), Some("greedy"));
+        assert_eq!(info.route_ttl, Some(32));
+        assert!(info.transport);
     }
 
     #[test]

@@ -45,7 +45,10 @@ use uasn_sim::time::{SimDuration, SimTime};
 use uasn_sim::trace::{export_jsonl, RingSink, TraceRecord, TraceSink};
 
 use crate::invariant::{overlaps, Violation, ViolationKind};
-use crate::model::{parse_record, ParsedRecord, RunInfo, RxEvent, RxLostEvent, TxEvent};
+use crate::model::{
+    parse_record, E2eDeliverEvent, ParsedRecord, RelayEvent, RouteDropEvent, RouteEvent, RunInfo,
+    RxEvent, RxLostEvent, TxEvent,
+};
 
 /// Default flight-recorder depth: enough context to see the negotiation
 /// that preceded an anomaly without holding a meaningful trace.
@@ -110,6 +113,16 @@ pub struct MonitorSet {
     live_tx: usize,
     pending_rts: Vec<PendingRts>,
     reserved: Vec<Reservation>,
+    /// Nodes visited so far by each in-flight routed SDU copy, origin
+    /// first, keyed by `(sdu id, attempt)` — per copy, not per SDU, so a
+    /// stale frame from an earlier transport attempt extends its own
+    /// path instead of tripping the revisit check against the retry's.
+    /// Each `route` record seeds its copy's path (a retry is a fresh
+    /// copy, free to re-traverse the earlier copy's nodes); paths are
+    /// pruned on that copy's delivery or loss (terminal drops retire
+    /// every copy of the SDU), so the working set is bounded by the
+    /// in-flight copy population.
+    route_paths: HashMap<(u64, u64), Vec<usize>>,
     findings: Vec<Violation>,
     peak_tracked: usize,
 }
@@ -165,6 +178,119 @@ impl MonitorSet {
         self.update_peak();
     }
 
+    /// Consumes an origin injection (`route`): starts a fresh path for the
+    /// SDU copy. A transport retry is a distinct copy with its own path —
+    /// it may legitimately re-traverse nodes an earlier copy visited, and
+    /// an earlier copy still in flight keeps extending its own path.
+    pub fn observe_route(&mut self, ev: &RouteEvent) {
+        self.advance(ev.time_us);
+        self.route_paths.insert((ev.sdu, ev.attempt), vec![ev.node]);
+        self.update_peak();
+    }
+
+    /// Consumes a relay decision: the relaying node joins the copy's path.
+    /// Fires [`ViolationKind::RoutingLoop`] if the node was already on it
+    /// (depth-monotone forwarding can never revisit) or if the traversed
+    /// hop count escaped the run's TTL (the world must have dropped the
+    /// copy instead of relaying it).
+    pub fn observe_relay(&mut self, ev: &RelayEvent) {
+        self.advance(ev.time_us);
+        self.check_route_step(
+            ev.record,
+            ev.time_us,
+            (ev.sdu, ev.attempt),
+            ev.node,
+            ev.hops,
+            "relayed",
+        );
+        self.update_peak();
+    }
+
+    /// Consumes a routed loss. A copy-level loss releases that copy's
+    /// path (a pending retry re-seeds via its own `route` record); a
+    /// terminal loss retires the SDU outright, so every copy's path goes
+    /// — including stale earlier attempts still in flight.
+    pub fn observe_route_drop(&mut self, ev: &RouteDropEvent) {
+        self.advance(ev.time_us);
+        if ev.terminal {
+            let sdu = ev.sdu;
+            self.route_paths.retain(|&(id, _), _| id != sdu);
+        } else if let Some(attempt) = ev.attempt {
+            self.route_paths.remove(&(ev.sdu, attempt));
+        }
+        self.update_peak();
+    }
+
+    /// Consumes a first end-to-end delivery: the sink is the path's last
+    /// node, subject to the same revisit and TTL bounds as a relay.
+    pub fn observe_e2e_deliver(&mut self, ev: &E2eDeliverEvent) {
+        self.advance(ev.time_us);
+        self.check_route_step(
+            ev.record,
+            ev.time_us,
+            (ev.sdu, ev.attempt),
+            ev.node,
+            ev.hops,
+            "delivered",
+        );
+        self.route_paths.remove(&(ev.sdu, ev.attempt));
+        self.update_peak();
+    }
+
+    /// The shared relay/delivery path step: revisit and TTL-bound checks,
+    /// then the node joins the copy's path. `hops` is the MAC hop count
+    /// the trace claims the copy traversed to reach `node`.
+    fn check_route_step(
+        &mut self,
+        record: usize,
+        time_us: u64,
+        copy: (u64, u64),
+        node: usize,
+        hops: u64,
+        verb: &str,
+    ) {
+        let (sdu, attempt) = copy;
+        let path = self.route_paths.entry(copy).or_default();
+        if path.contains(&node) {
+            self.findings.push(Violation {
+                kind: ViolationKind::RoutingLoop,
+                record_index: record,
+                time_us,
+                node: Some(node),
+                detail: format!(
+                    "sdu {sdu} (copy {attempt}) {verb} at n{node}, already on its path \
+                     {path:?}: depth-monotone forwarding revisited a node"
+                ),
+                observed_us: None,
+                allowed_us: None,
+            });
+        }
+        path.push(node);
+        if let Some(ttl) = self.geometry.as_ref().and_then(|g| g.run.route_ttl) {
+            // A relay happens strictly before the TTL bites (`hops < ttl`);
+            // a delivery consumes one more hop and may reach it exactly.
+            let bound_exceeded = if verb == "delivered" {
+                hops > ttl
+            } else {
+                hops >= ttl
+            };
+            if bound_exceeded {
+                self.findings.push(Violation {
+                    kind: ViolationKind::RoutingLoop,
+                    record_index: record,
+                    time_us,
+                    node: Some(node),
+                    detail: format!(
+                        "sdu {sdu} (copy {attempt}) {verb} at n{node} after {hops} hops, \
+                         escaping the route TTL of {ttl}"
+                    ),
+                    observed_us: Some(hops),
+                    allowed_us: Some(ttl),
+                });
+            }
+        }
+    }
+
     /// Findings accumulated so far, in generation order.
     pub fn findings(&self) -> &[Violation] {
         &self.findings
@@ -176,9 +302,10 @@ impl MonitorSet {
     }
 
     /// Live tracked entries (own transmissions + pending RTS grants +
-    /// reserved intervals): the monitor's working-set size.
+    /// reserved intervals + in-flight routed paths): the monitor's
+    /// working-set size.
     pub fn tracked(&self) -> usize {
-        self.live_tx + self.pending_rts.len() + self.reserved.len()
+        self.live_tx + self.pending_rts.len() + self.reserved.len() + self.route_paths.len()
     }
 
     /// The largest working set the monitors ever held — evidence that
@@ -632,6 +759,7 @@ impl MonitorReport {
             ViolationKind::HalfDuplexDecode,
             ViolationKind::SlotMisalignment,
             ViolationKind::ExtraWindowIntrusion,
+            ViolationKind::RoutingLoop,
         ];
         kinds
             .iter()
@@ -736,6 +864,10 @@ impl TraceSink for MonitorSink {
             ParsedRecord::Tx(ev) => inner.monitors.observe_tx(&ev),
             ParsedRecord::Rx(ev) => inner.monitors.observe_rx(&ev),
             ParsedRecord::RxLost(ev) => inner.monitors.observe_rx_lost(&ev),
+            ParsedRecord::Route(ev) => inner.monitors.observe_route(&ev),
+            ParsedRecord::Relay(ev) => inner.monitors.observe_relay(&ev),
+            ParsedRecord::RouteDrop(ev) => inner.monitors.observe_route_drop(&ev),
+            ParsedRecord::E2eDeliver(ev) => inner.monitors.observe_e2e_deliver(&ev),
             ParsedRecord::Skipped => inner.skipped += 1,
             ParsedRecord::Enq(_)
             | ParsedRecord::Sink(_)
@@ -876,6 +1008,156 @@ mod tests {
         assert_eq!(online.findings, offline, "online and post-hoc must agree");
         assert_eq!(online.records_seen, records.len() as u64);
         assert_eq!(online.skipped, 0);
+    }
+
+    fn routed_run_info_record(ttl: u64) -> TraceRecord {
+        let mut r = run_info_record();
+        r.fields.push(field("route_policy", "greedy"));
+        r.fields.push(field("route_ttl", ttl));
+        r.fields.push(field("transport", true));
+        r
+    }
+
+    fn route_record(time_us: u64, node: usize, sdu: u64, next_hop: u64) -> TraceRecord {
+        record(
+            time_us,
+            node,
+            "route",
+            vec![
+                field("sdu", sdu),
+                field("origin", node as u64),
+                field("next_hop", next_hop),
+                field("attempt", 0u64),
+            ],
+        )
+    }
+
+    fn relay_record(time_us: u64, node: usize, sdu: u64, hops: u64) -> TraceRecord {
+        record(
+            time_us,
+            node,
+            "relay",
+            vec![
+                field("sdu", sdu),
+                field("origin", 3u64),
+                field("next_hop", 0u64),
+                field("attempt", 0u64),
+                field("hops", hops),
+                field("bits", 2_048u64),
+            ],
+        )
+    }
+
+    #[test]
+    fn routing_loop_findings_match_the_post_hoc_checker() {
+        // sdu 7: n3 -> n2 -> n3 revisits its origin (impossible under
+        // depth-monotone forwarding). sdu 8 relays at hop 4 >= ttl 3: the
+        // world should have dropped it instead.
+        let records = vec![
+            routed_run_info_record(3),
+            route_record(1_000, 3, 7, 2),
+            relay_record(2_000, 2, 7, 1),
+            relay_record(3_000, 3, 7, 2),
+            route_record(4_000, 5, 8, 4),
+            relay_record(5_000, 4, 8, 4),
+        ];
+        let monitor = StreamingMonitor::new();
+        {
+            let mut sink = monitor.sink();
+            for r in &records {
+                sink.accept(r);
+            }
+        }
+        let online = monitor.report();
+        assert_eq!(online.findings.len(), 2, "{:#?}", online.findings);
+        assert!(online
+            .findings
+            .iter()
+            .all(|v| v.kind == ViolationKind::RoutingLoop));
+        assert!(online.findings[0].detail.contains("revisited"));
+        assert_eq!(online.findings[1].observed_us, Some(4));
+        assert_eq!(online.findings[1].allowed_us, Some(3));
+        let loops = online
+            .counts_by_kind()
+            .into_iter()
+            .find(|(k, _)| *k == ViolationKind::RoutingLoop)
+            .expect("routing-loop kind listed");
+        assert_eq!(loops.1, 2);
+
+        let model = TraceModel::from_records(&records);
+        let offline: Vec<Violation> = crate::invariant::check(&model)
+            .into_iter()
+            .filter(|v| v.kind == ViolationKind::RoutingLoop)
+            .collect();
+        assert_eq!(online.findings, offline, "online and post-hoc must agree");
+    }
+
+    #[test]
+    fn retries_and_deliveries_release_path_state() {
+        let deliver = record(
+            9_000,
+            0,
+            "e2e-deliver",
+            vec![
+                field("sdu", 7u64),
+                field("origin", 3u64),
+                field("sink", 0u64),
+                field("attempt", 0u64),
+                field("hops", 2u64),
+                field("e2e_us", 8_000u64),
+            ],
+        );
+        let drop = record(
+            9_500,
+            5,
+            "e2e-drop",
+            vec![
+                field("sdu", 8u64),
+                field("origin", 5u64),
+                field("attempt", 0u64),
+                field("hops", 1u64),
+                field("reason", "unroutable"),
+            ],
+        );
+        let mut monitors = MonitorSet::new();
+        let parse = |r: &TraceRecord| parse_record(0, r);
+        // sdu 7 delivered through n3 -> n2 -> n0; sdu 8 lost at n5.
+        match parse(&route_record(1_000, 3, 7, 2)) {
+            ParsedRecord::Route(ev) => monitors.observe_route(&ev),
+            other => panic!("{other:?}"),
+        }
+        match parse(&relay_record(2_000, 2, 7, 1)) {
+            ParsedRecord::Relay(ev) => monitors.observe_relay(&ev),
+            other => panic!("{other:?}"),
+        }
+        match parse(&route_record(1_500, 5, 8, 4)) {
+            ParsedRecord::Route(ev) => monitors.observe_route(&ev),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(monitors.tracked(), 2, "two in-flight paths");
+        match parse(&deliver) {
+            ParsedRecord::E2eDeliver(ev) => monitors.observe_e2e_deliver(&ev),
+            other => panic!("{other:?}"),
+        }
+        match parse(&drop) {
+            ParsedRecord::RouteDrop(ev) => monitors.observe_route_drop(&ev),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(monitors.tracked(), 0, "terminal events prune the paths");
+        // A transport retry re-seeds sdu 8's path; re-traversing n5 (its
+        // own origin) and n4 is legal on the fresh copy.
+        match parse(&route_record(10_000, 5, 8, 4)) {
+            ParsedRecord::Route(ev) => monitors.observe_route(&ev),
+            other => panic!("{other:?}"),
+        }
+        match parse(&relay_record(11_000, 4, 8, 1)) {
+            ParsedRecord::Relay(ev) => monitors.observe_relay(&ev),
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            monitors.into_findings().is_empty(),
+            "no false loop findings across retries"
+        );
     }
 
     #[test]

@@ -205,6 +205,7 @@ mod tests {
             next_hop: NodeId::new(next),
             bits: 2_048,
             created: SimTime::ZERO,
+            attempt: 0,
         }
     }
 

@@ -17,11 +17,15 @@
 //!                                       histogram from a manifest with a
 //!                                       `stats.monitor` or a bare
 //!                                       MonitorTotals document
+//!   obs_report e2e <manifest.json>      render source→sink path stats from
+//!                                       the manifest's trace: hop-count
+//!                                       distribution, e2e latency
+//!                                       percentiles, per-reason loss shares
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use uasn_audit::journey::{reconstruct, slowest, PhaseHistograms};
+use uasn_audit::journey::{reconstruct, reconstruct_paths, slowest, PathStats, PhaseHistograms};
 use uasn_audit::model::TraceModel;
 use uasn_bench::manifest::MonitorTotals;
 use uasn_sim::json::JsonValue;
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         [cmd, manifest] if cmd == "audit" => audit_manifest(Path::new(manifest)),
         [cmd, file] if cmd == "profile" => profile_command(Path::new(file)),
         [cmd, file] if cmd == "forensics" => forensics_command(Path::new(file)),
+        [cmd, manifest] if cmd == "e2e" => e2e_command(Path::new(manifest)),
         [manifest] => print_manifest(Path::new(manifest)),
         [manifest, trace] => {
             let a = print_manifest(Path::new(manifest));
@@ -51,7 +56,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: obs_report [manifest.json] [trace.jsonl] \
                  | --trace <trace.jsonl> | audit <manifest.json> \
-                 | profile <file.json> | forensics <file.json>"
+                 | profile <file.json> | forensics <file.json> \
+                 | e2e <manifest.json>"
             );
             ExitCode::FAILURE
         }
@@ -330,6 +336,122 @@ fn audit_manifest(path: &Path) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Renders routed source→sink path statistics from a manifest's trace:
+/// per-attempt copy fates, the hop-count distribution, end-to-end latency
+/// percentiles, and per-reason loss shares.
+fn e2e_command(path: &Path) -> ExitCode {
+    let doc = match load_json(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(trace_file) = doc.get("trace_file").and_then(JsonValue::as_str) else {
+        eprintln!(
+            "{} has no `trace_file`; re-run with tracing (e.g. \
+             trace_run --route) to produce path statistics",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    // Relative trace paths are relative to the manifest's directory.
+    let trace_path: PathBuf = {
+        let p = Path::new(trace_file);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            path.parent().unwrap_or(Path::new(".")).join(p)
+        }
+    };
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{} is not a valid trace: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = TraceModel::from_records(&records);
+    let paths = reconstruct_paths(&model);
+    println!(
+        "[{}] e2e paths from {} ({} records)",
+        doc.get("id").and_then(JsonValue::as_str).unwrap_or("?"),
+        trace_path.display(),
+        records.len()
+    );
+    if let Some(route) = doc
+        .get("config")
+        .and_then(|c| c.get("route"))
+        .and_then(JsonValue::as_str)
+    {
+        println!("  route: {route}");
+    }
+    if paths.is_empty() {
+        eprintln!(
+            "  no route/relay records — run a routed configuration \
+             (SimConfig::with_routing) with tracing enabled"
+        );
+        return ExitCode::FAILURE;
+    }
+    let stats = PathStats::from_paths(&paths);
+    let lost = stats.attempted - stats.delivered;
+    println!(
+        "  copies: {} injected, {} delivered ({:.1}%), {} lost",
+        stats.attempted,
+        stats.delivered,
+        stats.delivered as f64 / stats.attempted as f64 * 100.0,
+        lost
+    );
+    println!("  hop-count distribution (delivered paths):");
+    for (lo, hi, count) in stats.hop_counts.iter_nonzero() {
+        let label = if hi == lo + 1 {
+            format!("{lo}")
+        } else {
+            format!("{lo}-{}", hi - 1)
+        };
+        println!(
+            "    {label:<8} {count:>8}  {:>5.1}%",
+            count as f64 / stats.hop_counts.count() as f64 * 100.0
+        );
+    }
+    println!(
+        "  e2e latency (us): n={} p50={} p90={} p99={} max={}",
+        stats.e2e_us.count(),
+        stats.e2e_us.p50().unwrap_or(0),
+        stats.e2e_us.p90().unwrap_or(0),
+        stats.e2e_us.p99().unwrap_or(0),
+        stats.e2e_us.max().unwrap_or(0),
+    );
+    let dropped: u64 = stats.drop_reasons.iter().map(|(_, n)| n).sum();
+    let in_flight = lost - dropped;
+    if lost == 0 {
+        println!("  losses: none");
+    } else {
+        println!("  losses ({lost} total):");
+        for (reason, count) in &stats.drop_reasons {
+            println!(
+                "    {reason:<26} {count:>8}  {:>5.1}%",
+                *count as f64 / lost as f64 * 100.0
+            );
+        }
+        if in_flight > 0 {
+            println!(
+                "    {:<26} {in_flight:>8}  {:>5.1}%",
+                "in-flight at end",
+                in_flight as f64 / lost as f64 * 100.0
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn summarize_trace(path: &Path) -> ExitCode {

@@ -10,7 +10,12 @@
 //! disagreement, any trace loss (dropped, evicted, or unwritten records),
 //! or a malformed trace — this is the CI gate for the audit layer.
 //!
-//! Usage: `trace_run [seed] [out_dir]`
+//! Usage: `trace_run [--route] [seed] [out_dir]`
+//!
+//! With `--route`, the reference run is instead a seeded convergecast over
+//! a three-layer column with depth routing and reliable transport — the
+//! multi-hop twin of the single-hop gate, additionally cross-checking the
+//! streamed routing-loop monitor and printing source→sink path statistics.
 
 use std::fs;
 use std::io::BufWriter;
@@ -18,51 +23,69 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use uasn_audit::invariant::ViolationKind;
-use uasn_audit::journey::{reconstruct, PhaseHistograms};
+use uasn_audit::journey::{reconstruct, reconstruct_paths, PathStats, PhaseHistograms};
 use uasn_audit::model::TraceModel;
 use uasn_audit::monitor::{StreamingMonitor, DEFAULT_FLIGHT_CAPACITY};
 use uasn_bench::manifest::MonitorTotals;
 use uasn_bench::{Protocol, RunManifest, StatsAggregate};
 use uasn_net::config::SimConfig;
+use uasn_net::topology::Deployment;
 use uasn_net::world::Simulation;
 use uasn_sim::time::SimDuration;
 use uasn_sim::trace::{parse_jsonl, TraceLevel, Tracer, DEFAULT_CAPTURE_CAPACITY};
 
-const TRACE_NAME: &str = "TRC.trace.jsonl";
-const FLIGHT_DIR: &str = "TRC.flight";
-
 /// The invariants the streaming monitors cover; the post-hoc checker
 /// additionally runs whole-trace checks (overlapping receptions,
 /// propagation consistency) that need the full model.
-const STREAMED_KINDS: [ViolationKind; 3] = [
+const STREAMED_KINDS: [ViolationKind; 4] = [
     ViolationKind::HalfDuplexDecode,
     ViolationKind::SlotMisalignment,
     ViolationKind::ExtraWindowIntrusion,
+    ViolationKind::RoutingLoop,
 ];
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let routed = args.iter().any(|a| a == "--route");
+    args.retain(|a| a != "--route");
+    let mut args = args.into_iter();
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xEA5E);
     let out_dir: PathBuf = args
         .next()
         .map(PathBuf::from)
         .unwrap_or_else(uasn_bench::cli::results_dir);
     let out_dir = out_dir.as_path();
+    let tag = if routed { "TRC-ROUTE" } else { "TRC" };
+    let trace_name = format!("{tag}.trace.jsonl");
+    let flight_name = format!("{tag}.flight");
 
     // Static 20-sensor column, 120 s: enough traffic for every frame kind
-    // (including extras) while the Debug trace stays small.
-    let cfg = SimConfig::paper_default()
+    // (including extras) while the Debug trace stays small. The routed
+    // variant stacks the same sensors three layers deep and runs
+    // convergecast rounds, so relays and sink acks appear in the trace.
+    let mut cfg = SimConfig::paper_default()
         .with_sensors(20)
         .with_offered_load_kbps(0.5)
         .with_sim_time(SimDuration::from_secs(120))
         .with_monitoring(true)
         .with_seed(seed);
+    if routed {
+        cfg = cfg
+            .with_convergecast(30.0, 10.0)
+            .with_reliable_route()
+            .with_sim_time(SimDuration::from_secs(240));
+        cfg.deployment = Deployment::LayeredColumn {
+            extent_m: 2_000.0,
+            layers: 3,
+            layer_spacing_m: 1_200.0,
+        };
+    }
 
     if let Err(e) = fs::create_dir_all(out_dir) {
         eprintln!("trace_run: cannot create {}: {e}", out_dir.display());
         return ExitCode::from(2);
     }
-    let trace_path = out_dir.join(TRACE_NAME);
+    let trace_path = out_dir.join(&trace_name);
     let file = match fs::File::create(&trace_path) {
         Ok(f) => f,
         Err(e) => {
@@ -72,7 +95,7 @@ fn main() -> ExitCode {
     };
     // A fresh flight directory per run, so stale snapshots cannot mask a
     // clean pass (or pad a failing one).
-    let flight_dir = out_dir.join(FLIGHT_DIR);
+    let flight_dir = out_dir.join(&flight_name);
     let _ = fs::remove_dir_all(&flight_dir);
     let monitor =
         StreamingMonitor::new().with_flight_recorder(&flight_dir, DEFAULT_FLIGHT_CAPACITY);
@@ -82,7 +105,7 @@ fn main() -> ExitCode {
         .with_sink(monitor.sink());
 
     println!(
-        "[TRC] EW-MAC seed {seed:#x}, {} sensors, {} s, Debug trace -> {}",
+        "[{tag}] EW-MAC seed {seed:#x}, {} sensors, {} s, Debug trace -> {}",
         cfg.sensors,
         cfg.sim_time.as_secs_f64(),
         trace_path.display()
@@ -137,9 +160,14 @@ fn main() -> ExitCode {
         flight_dir.display()
     );
 
+    let description = if routed {
+        "Traced routed convergecast reference run with inline audit"
+    } else {
+        "Traced EW-MAC reference run with inline audit"
+    };
     let manifest = RunManifest::new(
-        "TRC",
-        "Traced EW-MAC reference run with inline audit",
+        tag,
+        description,
         1,
         vec![Protocol::EwMac.name().to_string()],
         &cfg,
@@ -149,7 +177,7 @@ fn main() -> ExitCode {
         report.delivery_latency_us.clone(),
         report.e2e_latency_us.clone(),
     )
-    .with_trace_file(TRACE_NAME);
+    .with_trace_file(&trace_name);
     match manifest.write(out_dir) {
         Ok(path) => println!("manifest: {}", path.display()),
         Err(e) => {
@@ -238,6 +266,25 @@ fn main() -> ExitCode {
         hists.end_to_end.p50().unwrap_or(0),
         hists.end_to_end.p99().unwrap_or(0)
     );
+
+    if routed {
+        // The routed gate is only meaningful if routed traffic actually
+        // flowed: an empty path set means the config silently degenerated
+        // to single-hop and the loop monitor never saw work.
+        let paths = reconstruct_paths(&model);
+        let stats = PathStats::from_paths(&paths);
+        println!(
+            "paths: {} copies, {} delivered, hop p50/max = {}/{}",
+            stats.attempted,
+            stats.delivered,
+            stats.hop_counts.p50().unwrap_or(0),
+            stats.hop_counts.max().unwrap_or(0)
+        );
+        if stats.attempted == 0 || stats.delivered == 0 {
+            eprintln!("FAIL: routed run produced no delivered source->sink paths");
+            failed = true;
+        }
+    }
 
     if failed {
         ExitCode::from(1)

@@ -58,6 +58,13 @@ pub struct CellOutput {
     pub fairness: f64,
     /// Mean channel (bandwidth) utilization.
     pub utilization: f64,
+    /// Sink goodput: first-delivery payload bits per second, kbps.
+    pub sink_throughput_kbps: f64,
+    /// End-to-end delivery ratio (first sink arrivals / generated SDUs).
+    pub e2e_delivery_ratio: f64,
+    /// 90th-percentile end-to-end latency, seconds (0 when nothing
+    /// delivered).
+    pub e2e_latency_p90_s: f64,
     /// Engine profiling for the run.
     pub stats: RunStats,
     /// Trace-sink health for the run.
@@ -72,11 +79,14 @@ pub struct CellOutput {
     pub delivery_hist: LogHistogram,
     /// Log-bucketed end-to-end (generation to sink) latency.
     pub e2e_hist: LogHistogram,
+    /// Log-bucketed delivered-path hop counts (routed runs; empty — and
+    /// absent from the journal encoding — in single-hop cells).
+    pub path_hops: LogHistogram,
 }
 
 /// The metric keys, in the order both [`CellOutput::to_json`] and the
 /// [`Summary`] fold consume them.
-const METRIC_KEYS: [&str; 12] = [
+const METRIC_KEYS: [&str; 15] = [
     "throughput_kbps",
     "power_mw",
     "overhead_bits",
@@ -89,10 +99,13 @@ const METRIC_KEYS: [&str; 12] = [
     "delivery_ratio",
     "fairness",
     "utilization",
+    "sink_throughput_kbps",
+    "e2e_delivery_ratio",
+    "e2e_latency_p90_s",
 ];
 
 impl CellOutput {
-    fn metrics(&self) -> [f64; 12] {
+    fn metrics(&self) -> [f64; 15] {
         [
             self.throughput_kbps,
             self.power_mw,
@@ -106,6 +119,9 @@ impl CellOutput {
             self.delivery_ratio,
             self.fairness,
             self.utilization,
+            self.sink_throughput_kbps,
+            self.e2e_delivery_ratio,
+            self.e2e_latency_p90_s,
         ]
     }
 
@@ -130,6 +146,10 @@ impl CellOutput {
             ("delivery_us".to_string(), self.delivery_hist.to_json()),
             ("e2e_us".to_string(), self.e2e_hist.to_json()),
         ];
+        // Absent key = single-hop cell (and every pre-routing journal).
+        if self.path_hops.count() > 0 {
+            fields.push(("path_hops".to_string(), self.path_hops.to_json()));
+        }
         if let Some(profile) = &self.profile {
             fields.push(("profile".to_string(), profile.to_json()));
         }
@@ -143,7 +163,7 @@ impl CellOutput {
     /// the result folds identically to the original.
     pub fn from_json(doc: &JsonValue) -> Option<CellOutput> {
         let metrics = doc.get("metrics")?;
-        let mut values = [0.0f64; 12];
+        let mut values = [0.0f64; 15];
         for (slot, key) in values.iter_mut().zip(METRIC_KEYS) {
             *slot = metrics.get(key)?.as_f64()?;
         }
@@ -173,12 +193,19 @@ impl CellOutput {
             delivery_ratio: values[9],
             fairness: values[10],
             utilization: values[11],
+            sink_throughput_kbps: values[12],
+            e2e_delivery_ratio: values[13],
+            e2e_latency_p90_s: values[14],
             stats,
             trace: trace_from_json(doc.get("trace")?)?,
             profile,
             monitor,
             delivery_hist: LogHistogram::from_json(doc.get("delivery_us")?)?,
             e2e_hist: LogHistogram::from_json(doc.get("e2e_us")?)?,
+            path_hops: match doc.get("path_hops") {
+                Some(h) => LogHistogram::from_json(h)?,
+                None => LogHistogram::new(),
+            },
         })
     }
 }
@@ -268,12 +295,16 @@ pub fn run_cell(cfg: &SimConfig, protocol: Protocol, seed: u64) -> CellOutput {
         delivery_ratio: report.delivery_ratio(),
         fairness: report.fairness_index,
         utilization: report.channel_utilization,
+        sink_throughput_kbps: report.sink_throughput_kbps(),
+        e2e_delivery_ratio: report.e2e_delivery_ratio(),
+        e2e_latency_p90_s: report.e2e_latency_us.p90().unwrap_or(0) as f64 / 1e6,
         stats,
         trace,
         profile: out.profile,
         monitor,
         delivery_hist: report.delivery_latency_us,
         e2e_hist: report.e2e_latency_us,
+        path_hops: report.path_hops,
     }
 }
 
@@ -302,9 +333,13 @@ pub fn fold_cells<'a>(
         delivery_ratio: Replications::new(),
         fairness: Replications::new(),
         utilization: Replications::new(),
+        sink_throughput_kbps: Replications::new(),
+        e2e_delivery_ratio: Replications::new(),
+        e2e_latency_p90_s: Replications::new(),
         stats: StatsAggregate::default(),
         delivery_hist: LogHistogram::new(),
         e2e_hist: LogHistogram::new(),
+        path_hops: LogHistogram::new(),
     };
     for cell in cells {
         summary.stats.absorb(&cell.stats);
@@ -317,6 +352,7 @@ pub fn fold_cells<'a>(
         }
         summary.delivery_hist.merge(&cell.delivery_hist);
         summary.e2e_hist.merge(&cell.e2e_hist);
+        summary.path_hops.merge(&cell.path_hops);
         summary.throughput_kbps.add(cell.throughput_kbps);
         summary.power_mw.add(cell.power_mw);
         summary.overhead_bits.add(cell.overhead_bits);
@@ -329,6 +365,9 @@ pub fn fold_cells<'a>(
         summary.delivery_ratio.add(cell.delivery_ratio);
         summary.fairness.add(cell.fairness);
         summary.utilization.add(cell.utilization);
+        summary.sink_throughput_kbps.add(cell.sink_throughput_kbps);
+        summary.e2e_delivery_ratio.add(cell.e2e_delivery_ratio);
+        summary.e2e_latency_p90_s.add(cell.e2e_latency_p90_s);
     }
     summary
 }

@@ -40,6 +40,12 @@ pub enum Metric {
     /// Bits moved by EW-MAC's extra communications — the §4.3 machinery
     /// whose success the sync sweeps stress.
     ExtraBits,
+    /// Sink goodput over routed paths (first-delivery payload kbps).
+    SinkThroughputKbps,
+    /// End-to-end delivery ratio (first sink arrivals / generated SDUs).
+    E2eDeliveryRatio,
+    /// 90th-percentile end-to-end latency, seconds.
+    E2eLatencyP90S,
 }
 
 impl Metric {
@@ -55,6 +61,9 @@ impl Metric {
             Metric::Utilization => &s.utilization,
             Metric::DeliveryRatio => &s.delivery_ratio,
             Metric::ExtraBits => &s.extra_bits,
+            Metric::SinkThroughputKbps => &s.sink_throughput_kbps,
+            Metric::E2eDeliveryRatio => &s.e2e_delivery_ratio,
+            Metric::E2eLatencyP90S => &s.e2e_latency_p90_s,
         };
         (r.mean(), r.ci95_halfwidth())
     }
@@ -204,6 +213,41 @@ fn cfg_two_ray(loss_db: f64) -> SimConfig {
     if loss_db > 0.0 {
         cfg.channel = AcousticChannel::paper_default().with_two_ray(loss_db);
     }
+    cfg
+}
+
+/// The routed sweeps' load axis, kbps of bursty offered load.
+const ROUTE_LOAD_AXIS: [f64; 5] = [0.2, 0.4, 0.8, 1.2, 1.6];
+
+/// Routed heavy-traffic cell: bursty on/off sources at `load` kbps mean,
+/// depth-greedy forwarding with reliable end-to-end transport, over a
+/// four-layer column (three-hop-deep worst case). The load axis stresses
+/// the relay queues, not just the first hop.
+fn cfg_route_load(load: f64) -> SimConfig {
+    let mut cfg = paper_base()
+        .with_bursty_load_kbps(load, 20.0, 40.0)
+        .with_reliable_route();
+    cfg.deployment = Deployment::LayeredColumn {
+        extent_m: 2_500.0,
+        layers: 4,
+        layer_spacing_m: 1_200.0,
+    };
+    cfg
+}
+
+/// Routed depth sweep: convergecast rounds (one reading per sensor per
+/// minute, jittered) over columns of growing layer count — the x axis is
+/// the worst-case hop depth to the surface sinks.
+fn cfg_route_depth(layers: f64) -> SimConfig {
+    let layers = layers as u32;
+    let mut cfg = paper_base()
+        .with_convergecast(60.0, 20.0)
+        .with_reliable_route();
+    cfg.deployment = Deployment::LayeredColumn {
+        extent_m: 2_500.0,
+        layers,
+        layer_spacing_m: 1_200.0,
+    };
     cfg
 }
 
@@ -418,6 +462,39 @@ pub static REGISTRY: &[FigureSpec] = &[
         metric: Metric::ThroughputKbps,
         normalized: false,
     },
+    FigureSpec {
+        id: "route-load",
+        title: "Sink goodput vs bursty offered load over multi-hop routes",
+        x_label: "load kbps",
+        y_label: "sink goodput (kbps)",
+        xs: &ROUTE_LOAD_AXIS,
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_route_load,
+        metric: Metric::SinkThroughputKbps,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "route-depth",
+        title: "End-to-end delivery ratio vs column depth (convergecast)",
+        x_label: "sensor layers",
+        y_label: "e2e delivery ratio",
+        xs: &[2.0, 3.0, 4.0, 5.0, 6.0],
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_route_depth,
+        metric: Metric::E2eDeliveryRatio,
+        normalized: false,
+    },
+    FigureSpec {
+        id: "route-latency",
+        title: "p90 end-to-end latency vs bursty offered load, multi-hop",
+        x_label: "load kbps",
+        y_label: "e2e latency p90 (s)",
+        xs: &ROUTE_LOAD_AXIS,
+        protocols: &Protocol::PAPER_SET,
+        configure: cfg_route_load,
+        metric: Metric::E2eLatencyP90S,
+        normalized: false,
+    },
 ];
 
 /// Looks a spec up by its canonical ID, case-insensitively.
@@ -483,7 +560,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_nonempty() {
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
-        assert!(ids.len() >= 19);
+        assert!(ids.len() >= 22);
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), REGISTRY.len());
@@ -510,6 +587,7 @@ mod tests {
         assert_eq!(by_id("F10a").unwrap().id, "F10a");
         assert_eq!(by_id("SYNC-DRIFT").unwrap().id, "sync-drift");
         assert_eq!(by_id("sync-guard").unwrap().id, "sync-guard");
+        assert_eq!(by_id("ROUTE-LOAD").unwrap().id, "route-load");
         assert!(by_id("F99").is_none());
         let figs = parse_figures("fig6,X2,ablation").expect("parse");
         let ids: Vec<&str> = figs.iter().map(|s| s.id).collect();

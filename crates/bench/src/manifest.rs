@@ -314,6 +314,14 @@ pub fn config_summary(cfg: &SimConfig) -> Vec<(String, String)> {
                     total_packets,
                     window,
                 } => format!("batch {total_packets} pkts in {} s", window.as_secs_f64()),
+                TrafficPattern::BurstyOnOff {
+                    offered_load_kbps,
+                    on_s,
+                    off_s,
+                } => format!("bursty {offered_load_kbps} kbps ({on_s} s on / {off_s} s off)"),
+                TrafficPattern::Convergecast { period_s, jitter_s } => {
+                    format!("convergecast every {period_s} s (jitter {jitter_s} s)")
+                }
             },
         ),
         (
@@ -343,6 +351,20 @@ pub fn config_summary(cfg: &SimConfig) -> Vec<(String, String)> {
         rows.push((
             "sample_interval_s".to_string(),
             format!("{}", interval.as_secs_f64()),
+        ));
+    }
+    if let Some(route) = &cfg.route {
+        let transport = match route.transport {
+            Some(t) => format!(
+                " + transport (budget {}, base {} s)",
+                t.retry_budget,
+                t.base_timeout_us as f64 / 1e6
+            ),
+            None => String::new(),
+        };
+        rows.push((
+            "route".to_string(),
+            format!("{} ttl {}{}", route.policy.as_str(), route.ttl, transport),
         ));
     }
     rows

@@ -28,6 +28,7 @@
 //! [`ProfileReport`] rides along in the document for `obs_report profile`.
 
 use uasn_net::config::SimConfig;
+use uasn_net::topology::Deployment;
 use uasn_sim::engine::RunStats;
 use uasn_sim::json::JsonValue;
 use uasn_sim::profile::ProfileReport;
@@ -59,15 +60,31 @@ pub struct PerfScenario {
     pub sensors: u32,
     /// Observation window, seconds.
     pub sim_time_s: u64,
+    /// Multi-hop variant: heavy Poisson traffic over a four-layer column
+    /// with depth routing and reliable transport, so relay and
+    /// retransmission cost lands inside the regression gate.
+    pub routed: bool,
 }
 
 impl PerfScenario {
     /// The scenario's full simulation config (seeded, deterministic).
     pub fn config(&self) -> SimConfig {
-        SimConfig::paper_default()
+        let mut cfg = SimConfig::paper_default()
             .with_sensors(self.sensors)
             .with_sim_time(SimDuration::from_secs(self.sim_time_s))
-            .with_seed(master_seed(0))
+            .with_seed(master_seed(0));
+        if self.routed {
+            // Aggregate Poisson load sized so the window generates well
+            // over 100k SDUs (80 kbps / 2048-bit SDUs ≈ 39 SDUs/s): the
+            // relay queues, transport table, and retry timers all run hot.
+            cfg = cfg.with_offered_load_kbps(80.0).with_reliable_route();
+            cfg.deployment = Deployment::LayeredColumn {
+                extent_m: 2_000.0,
+                layers: 4,
+                layer_spacing_m: 1_200.0,
+            };
+        }
+        cfg
     }
 }
 
@@ -80,36 +97,52 @@ pub const SCENARIOS: &[PerfScenario] = &[
         protocol: Protocol::EwMac,
         sensors: 20,
         sim_time_s: 60,
+        routed: false,
     },
     PerfScenario {
         name: "small-sfama",
         protocol: Protocol::SFama,
         sensors: 20,
         sim_time_s: 60,
+        routed: false,
     },
     PerfScenario {
         name: "medium-ewmac",
         protocol: Protocol::EwMac,
         sensors: 60,
         sim_time_s: 300,
+        routed: false,
     },
     PerfScenario {
         name: "medium-sfama",
         protocol: Protocol::SFama,
         sensors: 60,
         sim_time_s: 300,
+        routed: false,
     },
     PerfScenario {
         name: "large-ewmac",
         protocol: Protocol::EwMac,
         sensors: 120,
         sim_time_s: 120,
+        routed: false,
     },
     PerfScenario {
         name: "large-sfama",
         protocol: Protocol::SFama,
         sensors: 120,
         sim_time_s: 120,
+        routed: false,
+    },
+    // Multi-hop heavy traffic: ~117k generated SDUs (80 kbps aggregate
+    // Poisson over 3000 s) relayed down a four-layer column with reliable
+    // transport, so routing-path cost shows up in the regression gate.
+    PerfScenario {
+        name: "route-ewmac",
+        protocol: Protocol::EwMac,
+        sensors: 40,
+        sim_time_s: 3_000,
+        routed: true,
     },
 ];
 
@@ -181,6 +214,9 @@ pub struct ScenarioResult {
     pub profiled: Option<PathTiming>,
     /// The profile from the profiled pass.
     pub profile: Option<ProfileReport>,
+    /// SDUs generated per run (deterministic across paths and repeats) —
+    /// the traffic-volume witness for the heavy-load scenarios.
+    pub sdus_generated: u64,
     /// Whether every run produced the same metrics report (they must;
     /// `false` here means an optimisation or instrumentation changed
     /// behaviour).
@@ -244,6 +280,10 @@ impl ScenarioResult {
             (
                 "sim_time_s".to_string(),
                 JsonValue::from_u64(self.scenario.sim_time_s),
+            ),
+            (
+                "sdus_generated".to_string(),
+                JsonValue::from_u64(self.sdus_generated),
             ),
             ("fastpath".to_string(), path(&self.fastpath)),
             ("reference".to_string(), path(&self.reference)),
@@ -352,6 +392,7 @@ pub fn run_scenario_with(scenario: PerfScenario, warmup: u32, repeats: u32) -> S
         reference: reference.finish(),
         profiled: Some(profiled.finish()),
         profile,
+        sdus_generated: expect.as_ref().map_or(0, |r| r.sdus_generated),
         reports_equal: equal,
     }
 }
@@ -486,11 +527,12 @@ mod tests {
 
     #[test]
     fn roster_covers_both_protocols_at_three_sizes() {
-        assert_eq!(SCENARIOS.len(), 6);
+        assert_eq!(SCENARIOS.len(), 7);
         assert_eq!(scenarios_matching("small").len(), 2);
         assert_eq!(scenarios_matching("medium").len(), 2);
         assert_eq!(scenarios_matching("large").len(), 2);
-        assert_eq!(scenarios_matching("all").len(), 6);
+        assert_eq!(scenarios_matching("route").len(), 1);
+        assert_eq!(scenarios_matching("all").len(), 7);
         assert!(scenarios_matching("nonsense").is_empty());
         for s in SCENARIOS {
             s.config().validate().expect("scenario config is valid");
@@ -517,6 +559,7 @@ mod tests {
             protocol: Protocol::EwMac,
             sensors: 8,
             sim_time_s: 30,
+            routed: false,
         };
         let result = run_scenario_with(tiny, 0, 2);
         assert!(result.reports_equal, "paths or profiling diverged");
@@ -622,6 +665,7 @@ mod tests {
             protocol: Protocol::EwMac,
             sensors: 8,
             sim_time_s: 30,
+            routed: false,
         };
         let result = run_scenario_with(tiny, 0, 1);
         let first = perf_doc(std::slice::from_ref(&result), 0, 1, None);

@@ -58,6 +58,12 @@ pub struct Summary {
     pub fairness: Replications,
     /// Mean channel (bandwidth) utilization.
     pub utilization: Replications,
+    /// Sink goodput: first-delivery payload bits per second, kbps.
+    pub sink_throughput_kbps: Replications,
+    /// End-to-end delivery ratio (first sink arrivals / generated SDUs).
+    pub e2e_delivery_ratio: Replications,
+    /// 90th-percentile end-to-end latency per replication, seconds.
+    pub e2e_latency_p90_s: Replications,
     /// Engine profiling summed over the cell's replications.
     pub stats: StatsAggregate,
     /// Log-bucketed MAC delivery latency merged over all replications
@@ -66,6 +72,9 @@ pub struct Summary {
     /// Log-bucketed end-to-end (generation to sink) latency merged over
     /// all replications.
     pub e2e_hist: LogHistogram,
+    /// Log-bucketed delivered-path hop counts merged over all
+    /// replications (empty in single-hop cells).
+    pub path_hops: LogHistogram,
 }
 
 /// Runs one seed of one cell.

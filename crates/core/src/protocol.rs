@@ -942,6 +942,7 @@ mod tests {
             next_hop: NodeId::new(next_hop),
             bits: 2_048,
             created: SimTime::ZERO,
+            attempt: 0,
         }
     }
 
@@ -1222,6 +1223,7 @@ mod tests {
                     next_hop: NodeId::new(5),
                     bits: 2_048,
                     created: SimTime::ZERO,
+                    attempt: 0,
                 },
             ),
             &clock,
@@ -1241,6 +1243,7 @@ mod tests {
                 next_hop: NodeId::new(5),
                 bits: 2_048,
                 created: SimTime::ZERO,
+                attempt: 0,
             },
         );
         exdata.timestamp = clock.start_of(3) + SimDuration::from_millis(100);

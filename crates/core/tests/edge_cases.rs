@@ -99,6 +99,7 @@ fn sdu(id: u64, next: u32) -> Sdu {
         next_hop: NodeId::new(next),
         bits: 2_048,
         created: SimTime::ZERO,
+        attempt: 0,
     }
 }
 

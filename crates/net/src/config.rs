@@ -120,6 +120,18 @@ pub struct SimConfig {
     /// never RNG streams or the event queue — so seeded runs are
     /// byte-for-byte identical with it on or off.
     pub profile: bool,
+    /// Multi-hop routing + end-to-end transport. `None` (the default)
+    /// keeps the legacy single-enqueue pipeline: SDUs get their next hop
+    /// from [`crate::routing::next_hop_uphill`] once and relays re-enqueue
+    /// under [`SimConfig::forwarding`], with no routing headers, no extra
+    /// events, no extra RNG draws — every seeded run is byte-for-byte
+    /// identical to a build without the routing subsystem. `Some` routes
+    /// every SDU through the configured
+    /// [`uasn_route::ForwardPolicy`] with a hop-count TTL, emits the
+    /// `route`/`relay`/`e2e-deliver`/`e2e-drop` trace records, and (when
+    /// [`uasn_route::RouteConfig::transport`] is set) arms origin-side
+    /// retransmission against sink acks.
+    pub route: Option<uasn_route::RouteConfig>,
     /// When `true`, the run is instrumented for online observability: the
     /// world attributes a causal [`crate::metrics::DropVerdict`] to every
     /// lost SDU and [`crate::world::RunOutput::verdicts`] carries the
@@ -160,6 +172,7 @@ impl SimConfig {
             fastpath: true,
             clock: ClockModelConfig::ideal(),
             slot_guard: SimDuration::ZERO,
+            route: None,
             profile: false,
             monitor: false,
         }
@@ -288,6 +301,44 @@ impl SimConfig {
         self
     }
 
+    /// Installs a full routing + transport configuration; see
+    /// [`SimConfig::route`].
+    pub fn with_route(mut self, route: uasn_route::RouteConfig) -> Self {
+        self.route = Some(route);
+        self
+    }
+
+    /// Shorthand: greedy depth routing at the default TTL, no transport —
+    /// the routed twin of the legacy forwarding pipeline.
+    pub fn with_routing(self) -> Self {
+        self.with_route(uasn_route::RouteConfig::greedy())
+    }
+
+    /// Shorthand: greedy depth routing with the default end-to-end
+    /// transport (sink acks, retry budget).
+    pub fn with_reliable_route(self) -> Self {
+        self.with_route(uasn_route::RouteConfig::reliable())
+    }
+
+    /// Switches to bursty on/off traffic at `load` kbps mean offered load;
+    /// see [`crate::traffic::TrafficPattern::BurstyOnOff`].
+    pub fn with_bursty_load_kbps(mut self, load: f64, on_s: f64, off_s: f64) -> Self {
+        self.traffic = TrafficPattern::BurstyOnOff {
+            offered_load_kbps: load,
+            on_s,
+            off_s,
+        };
+        self
+    }
+
+    /// Switches to convergecast rounds: one SDU per sensor per `period_s`,
+    /// jittered over `[0, jitter_s)`; see
+    /// [`crate::traffic::TrafficPattern::Convergecast`].
+    pub fn with_convergecast(mut self, period_s: f64, jitter_s: f64) -> Self {
+        self.traffic = TrafficPattern::Convergecast { period_s, jitter_s };
+        self
+    }
+
     /// The worst-case per-node |local − global| clock error this
     /// configuration can produce over its own observation window. Zero for
     /// the ideal model.
@@ -362,6 +413,34 @@ impl SimConfig {
                     return Err(bad("traffic", "batch window exceeds max_time"));
                 }
             }
+            TrafficPattern::BurstyOnOff {
+                offered_load_kbps,
+                on_s,
+                off_s,
+            } => {
+                if !(offered_load_kbps.is_finite() && offered_load_kbps > 0.0) {
+                    return Err(bad("traffic", "offered load must be finite and positive"));
+                }
+                if !(on_s.is_finite() && on_s > 0.0) {
+                    return Err(bad("traffic", "burst on-time must be finite and positive"));
+                }
+                if !(off_s.is_finite() && off_s > 0.0) {
+                    return Err(bad("traffic", "burst off-time must be finite and positive"));
+                }
+            }
+            TrafficPattern::Convergecast { period_s, jitter_s } => {
+                if !(period_s.is_finite() && period_s > 0.0) {
+                    return Err(bad("traffic", "round period must be finite and positive"));
+                }
+                if !(jitter_s.is_finite() && jitter_s >= 0.0 && jitter_s < period_s) {
+                    return Err(bad("traffic", "round jitter must lie in [0, period)"));
+                }
+            }
+        }
+        if let Some(route) = &self.route {
+            route
+                .validate()
+                .map_err(|(field, reason)| bad(field, reason))?;
         }
         if let Some((min, max)) = self.data_bits_range {
             if min == 0 || max < min {
@@ -501,6 +580,53 @@ mod tests {
             Err(BuildNetworkError::InvalidConfig { field, .. }) => assert_eq!(field, "clock"),
             other => panic!("expected invalid clock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn route_defaults_off_and_builders_install_it() {
+        let cfg = SimConfig::paper_default();
+        assert!(cfg.route.is_none(), "routing must default off");
+
+        let routed = SimConfig::paper_default().with_routing();
+        let route = routed.route.expect("routing installed");
+        assert_eq!(route.policy, uasn_route::ForwardPolicy::Greedy);
+        assert_eq!(route.ttl, uasn_route::DEFAULT_TTL);
+        assert!(route.transport.is_none());
+        routed.validate().expect("valid");
+
+        let reliable = SimConfig::paper_default().with_reliable_route();
+        assert!(reliable.route.expect("installed").transport.is_some());
+
+        let mut bad = SimConfig::paper_default()
+            .with_routing()
+            .route
+            .expect("installed");
+        bad.ttl = 0;
+        let cfg = SimConfig::paper_default().with_route(bad);
+        match cfg.validate() {
+            Err(BuildNetworkError::InvalidConfig { field, .. }) => {
+                assert_eq!(field, "route.ttl")
+            }
+            other => panic!("expected invalid route.ttl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_patterns_validate() {
+        let bursty = SimConfig::paper_default().with_bursty_load_kbps(0.8, 10.0, 30.0);
+        bursty.validate().expect("valid bursty");
+        let cc = SimConfig::paper_default().with_convergecast(60.0, 5.0);
+        cc.validate().expect("valid convergecast");
+
+        let assert_traffic_invalid = |cfg: SimConfig| match cfg.validate() {
+            Err(BuildNetworkError::InvalidConfig { field, .. }) => assert_eq!(field, "traffic"),
+            other => panic!("expected invalid traffic, got {other:?}"),
+        };
+        assert_traffic_invalid(SimConfig::paper_default().with_bursty_load_kbps(0.0, 10.0, 30.0));
+        assert_traffic_invalid(SimConfig::paper_default().with_bursty_load_kbps(0.8, 0.0, 30.0));
+        assert_traffic_invalid(SimConfig::paper_default().with_bursty_load_kbps(0.8, 10.0, -1.0));
+        assert_traffic_invalid(SimConfig::paper_default().with_convergecast(0.0, 0.0));
+        assert_traffic_invalid(SimConfig::paper_default().with_convergecast(60.0, 60.0));
     }
 
     #[test]

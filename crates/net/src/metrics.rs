@@ -32,17 +32,25 @@ pub enum DropVerdict {
     HandshakeTimeout,
     /// No audible next hop existed: the SDU could not be routed at all.
     NoAudibleReceiver,
+    /// A relayed SDU exceeded the routing hop-count TTL and was discarded
+    /// instead of being forwarded again.
+    TtlExhausted,
+    /// The end-to-end transport at the origin spent its whole retry
+    /// budget without seeing a sink ack.
+    RetryBudgetExhausted,
 }
 
 impl DropVerdict {
     /// Every verdict, in histogram order.
-    pub const ALL: [DropVerdict; 6] = [
+    pub const ALL: [DropVerdict; 8] = [
         DropVerdict::QueueOverflow,
         DropVerdict::MacDrop,
         DropVerdict::ModemBusy,
         DropVerdict::PerLoss,
         DropVerdict::HandshakeTimeout,
         DropVerdict::NoAudibleReceiver,
+        DropVerdict::TtlExhausted,
+        DropVerdict::RetryBudgetExhausted,
     ];
 
     /// The verdict's stable label used in traces, JSON, and reports;
@@ -55,6 +63,8 @@ impl DropVerdict {
             DropVerdict::PerLoss => "per-loss",
             DropVerdict::HandshakeTimeout => "handshake-timeout",
             DropVerdict::NoAudibleReceiver => "no-audible-receiver",
+            DropVerdict::TtlExhausted => "ttl-exhausted",
+            DropVerdict::RetryBudgetExhausted => "retry-exhausted",
         }
     }
 
@@ -70,12 +80,12 @@ impl fmt::Display for DropVerdict {
     }
 }
 
-/// A mergeable per-verdict loss histogram: six fixed counters, so
+/// A mergeable per-verdict loss histogram: eight fixed counters, so
 /// recording is a single array increment and folding sweep cells is
 /// element-wise addition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerdictHistogram {
-    counts: [u64; 6],
+    counts: [u64; 8],
 }
 
 impl VerdictHistogram {
@@ -154,6 +164,11 @@ pub struct NodeCounters {
     pub sdus_generated: u64,
     /// SDUs that could not be routed (no shallower neighbour in range).
     pub unroutable: u64,
+    /// Relayed SDUs discarded at this node because their hop count hit
+    /// the routing TTL.
+    pub ttl_dropped: u64,
+    /// SDUs this node originated whose end-to-end retry budget ran out.
+    pub retry_dropped: u64,
     /// SDUs the MAC gave up on (retry budget exhausted).
     pub sdus_dropped: u64,
     /// Frames dropped because the modem was busy at their transmit time.
@@ -217,8 +232,15 @@ pub struct MetricsReport {
     pub tx_dropped: u64,
     /// Unroutable SDUs.
     pub unroutable: u64,
+    /// Relayed SDUs discarded at the routing TTL.
+    pub ttl_dropped: u64,
+    /// SDUs whose end-to-end transport retry budget was exhausted.
+    pub retry_dropped: u64,
     /// SDUs terminally dropped by MACs (retry budgets exhausted).
     pub sdus_dropped: u64,
+    /// Distinct SDUs that reached a surface sink (first arrivals only) —
+    /// the end-to-end delivery numerator.
+    pub e2e_delivered: u64,
     /// Mean MAC delivery latency (SDU creation → reception), seconds.
     pub mean_latency_s: f64,
     /// 95th-percentile MAC delivery latency, seconds (bin-midpoint
@@ -241,6 +263,9 @@ pub struct MetricsReport {
     /// End-to-end latency (SDU generation → first sink arrival) in
     /// microseconds.
     pub e2e_latency_us: LogHistogram,
+    /// Hops travelled by each SDU that reached a sink (first arrivals
+    /// only; 1 = direct source→sink delivery).
+    pub path_hops: LogHistogram,
 }
 
 impl MetricsReport {
@@ -275,6 +300,24 @@ impl MetricsReport {
             self.sdus_received as f64 / self.sdus_generated as f64
         }
     }
+
+    /// End-to-end delivery ratio: distinct SDUs that reached a sink over
+    /// SDUs generated. Unlike [`MetricsReport::delivery_ratio`] this
+    /// never exceeds 1 — duplicates and intermediate hops don't count.
+    pub fn e2e_delivery_ratio(&self) -> f64 {
+        if self.sdus_generated == 0 {
+            0.0
+        } else {
+            self.e2e_delivered as f64 / self.sdus_generated as f64
+        }
+    }
+
+    /// Sink-goodput throughput: bits landed on sinks over the window,
+    /// kbps — the multi-hop companion to
+    /// [`MetricsReport::throughput_kbps`].
+    pub fn sink_throughput_kbps(&self) -> f64 {
+        uasn_sim::stats::kbps(self.sink_bits_received, self.duration)
+    }
 }
 
 /// Run-wide mutable **delivery** measurement state owned by the simulator:
@@ -302,6 +345,9 @@ pub struct DeliveryMetrics {
     pub delivery_hist: LogHistogram,
     /// End-to-end (generation → sink) latencies, microseconds.
     pub e2e_hist: LogHistogram,
+    /// Hops travelled per sink-delivered SDU (routed runs only; empty
+    /// otherwise).
+    pub path_hops: LogHistogram,
     /// Generation time per SDU id, consumed on first sink arrival.
     origin_time: HashMap<u64, SimTime>,
     /// Batch tracking: SDU ids generated but not yet MAC-delivered.
@@ -314,13 +360,6 @@ pub struct DeliveryMetrics {
     pub completion_time: Option<SimTime>,
 }
 
-/// Former name of [`DeliveryMetrics`], kept so downstream code keeps
-/// compiling; prefer the new name, which disambiguates this delivery-stats
-/// surface from the performance-profiling
-/// [`uasn_sim::profile::MetricsRegistry`].
-#[deprecated(note = "renamed to `DeliveryMetrics`; this alias will be removed")]
-pub type Metrics = DeliveryMetrics;
-
 impl Default for DeliveryMetrics {
     fn default() -> Self {
         DeliveryMetrics {
@@ -332,6 +371,7 @@ impl Default for DeliveryMetrics {
             sink_bits: 0,
             delivery_hist: LogHistogram::new(),
             e2e_hist: LogHistogram::new(),
+            path_hops: LogHistogram::new(),
             origin_time: HashMap::new(),
             batch_outstanding: HashSet::new(),
             batch_expected: 0,
@@ -586,7 +626,10 @@ mod tests {
             half_duplex_losses: 0,
             tx_dropped: 0,
             unroutable: 0,
+            ttl_dropped: 0,
+            retry_dropped: 0,
             sdus_dropped: 0,
+            e2e_delivered: 40,
             mean_latency_s: 4.5,
             latency_p95_s: Some(9.5),
             mean_concurrent_tx: 0.4,
@@ -594,9 +637,11 @@ mod tests {
             completion_time: None,
             delivery_latency_us: LogHistogram::new(),
             e2e_latency_us: LogHistogram::new(),
+            path_hops: LogHistogram::new(),
         };
         assert!((r.efficiency_raw() - 0.002).abs() < 1e-12);
         assert!((r.delivery_ratio() - 0.88).abs() < 1e-12);
+        assert!((r.e2e_delivery_ratio() - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -625,7 +670,10 @@ mod tests {
             half_duplex_losses: 0,
             tx_dropped: 0,
             unroutable: 0,
+            ttl_dropped: 0,
+            retry_dropped: 0,
             sdus_dropped: 0,
+            e2e_delivered: 0,
             mean_latency_s: 0.0,
             latency_p95_s: None,
             mean_concurrent_tx: 0.0,
@@ -633,6 +681,7 @@ mod tests {
             completion_time: None,
             delivery_latency_us: LogHistogram::new(),
             e2e_latency_us: LogHistogram::new(),
+            path_hops: LogHistogram::new(),
         };
         assert_eq!(r.efficiency_raw(), 0.0);
     }

@@ -117,6 +117,12 @@ pub struct Sdu {
     pub bits: u32,
     /// Generation (or forwarding-enqueue) time.
     pub created: SimTime,
+    /// Routing header: the transport attempt (copy number) this SDU
+    /// instance belongs to. 0 for first injections and all single-hop
+    /// traffic; each transport retry stamps a fresh copy number so
+    /// per-copy hop accounting never conflates a stale in-flight frame
+    /// with its retransmission.
+    pub attempt: u32,
 }
 
 /// One over-the-water frame.
@@ -286,6 +292,7 @@ mod tests {
             next_hop: NodeId::new(2),
             bits: 2_048,
             created: SimTime::from_secs(1),
+            attempt: 0,
         }
     }
 

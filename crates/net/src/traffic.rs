@@ -1,6 +1,6 @@
 //! Traffic generation.
 //!
-//! Two modes, matching the two x-axes of the paper's figures:
+//! Two modes match the two x-axes of the paper's figures:
 //!
 //! * [`TrafficPattern::Poisson`] — each sensor generates fixed-size SDUs as
 //!   a Poisson process; the aggregate network generation rate is the
@@ -10,6 +10,15 @@
 //!   time is Figure 8's "execution time". The paper's conversion ("20
 //!   packets per 300 s ≈ 0.136 kbps offered load") is
 //!   [`TrafficPattern::batch_for_load`].
+//!
+//! Two more drive the multi-hop routing sweeps (they delegate the arrival
+//! processes to [`uasn_route::workload`]):
+//!
+//! * [`TrafficPattern::BurstyOnOff`] — Poisson arrivals gated by an on/off
+//!   duty cycle; the same mean offered load as `Poisson` but delivered in
+//!   bursts that stress MAC queues and the transport's retry budget.
+//! * [`TrafficPattern::Convergecast`] — every sensor injects one reading
+//!   per round toward the sinks, the classic many-to-one UASN workload.
 
 use rand::RngCore;
 
@@ -32,6 +41,28 @@ pub enum TrafficPattern {
         total_packets: u32,
         /// Arrival window.
         window: SimDuration,
+    },
+    /// Poisson arrivals gated by an on/off duty cycle at every sensor:
+    /// the network still generates `offered_load_kbps` of new data per
+    /// second on average, but compressed into `on_s`-long bursts
+    /// separated by `off_s` of silence.
+    BurstyOnOff {
+        /// Mean aggregate generation rate, kbps.
+        offered_load_kbps: f64,
+        /// Burst length, seconds.
+        on_s: f64,
+        /// Silence length, seconds.
+        off_s: f64,
+    },
+    /// Convergecast rounds: every sensor injects exactly one SDU per
+    /// `period_s`-long round, jittered uniformly over `[0, jitter_s)`
+    /// within the round.
+    Convergecast {
+        /// Round period, seconds.
+        period_s: f64,
+        /// Per-arrival uniform jitter inside the round, seconds
+        /// (must be `< period_s`; `0` fires all sensors together).
+        jitter_s: f64,
     },
 }
 
@@ -59,6 +90,45 @@ impl TrafficPattern {
     /// Whether this pattern stops injecting after its window.
     pub fn is_batch(&self) -> bool {
         matches!(self, TrafficPattern::Batch { .. })
+    }
+
+    /// The per-sensor `uasn-route` workload stream behind this pattern,
+    /// when it is one of the heavy-traffic variants (`None` for
+    /// `Poisson` / `Batch`, which the world drives natively — keeping
+    /// those arrival streams byte-identical to the pre-routing builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters [`SimConfig::validate`] would reject (zero
+    /// rates, `jitter_s >= period_s`, …).
+    ///
+    /// [`SimConfig::validate`]: crate::config::SimConfig::validate
+    pub fn workload(&self, packet_bits: u32, sensors: u32) -> Option<uasn_route::WorkloadStream> {
+        use uasn_route::{Workload, WorkloadStream};
+        match *self {
+            TrafficPattern::Poisson { .. } | TrafficPattern::Batch { .. } => None,
+            TrafficPattern::BurstyOnOff {
+                offered_load_kbps,
+                on_s,
+                off_s,
+            } => {
+                let mean = per_sensor_rate(offered_load_kbps, packet_bits, sensors);
+                // The burst rate compensates for the silent fraction so the
+                // long-run mean matches the offered load.
+                let duty = on_s / (on_s + off_s);
+                Some(WorkloadStream::new(Workload::BurstyOnOff {
+                    rate_hz: mean / duty,
+                    on_s,
+                    off_s,
+                }))
+            }
+            TrafficPattern::Convergecast { period_s, jitter_s } => {
+                Some(WorkloadStream::new(Workload::ConvergecastRounds {
+                    period_s,
+                    jitter_s,
+                }))
+            }
+        }
     }
 }
 
@@ -185,6 +255,43 @@ mod tests {
             assert!(next > t);
             t = next;
         }
+    }
+
+    #[test]
+    fn legacy_patterns_have_no_workload_stream() {
+        let p = TrafficPattern::Poisson {
+            offered_load_kbps: 0.5,
+        };
+        assert!(p.workload(2_048, 60).is_none());
+        let b = TrafficPattern::batch_for_load(0.136, SimDuration::from_secs(300), 2_048);
+        assert!(b.workload(2_048, 60).is_none());
+    }
+
+    #[test]
+    fn bursty_workload_preserves_the_mean_rate() {
+        let p = TrafficPattern::BurstyOnOff {
+            offered_load_kbps: 0.8,
+            on_s: 10.0,
+            off_s: 30.0,
+        };
+        let stream = p.workload(2_048, 60).expect("bursty workload");
+        let mean = stream.workload().mean_rate_hz();
+        let expect = per_sensor_rate(0.8, 2_048, 60);
+        assert!(
+            (mean - expect).abs() < 1e-12,
+            "duty-cycle compensation: {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn convergecast_workload_is_one_per_round() {
+        let p = TrafficPattern::Convergecast {
+            period_s: 60.0,
+            jitter_s: 5.0,
+        };
+        let stream = p.workload(2_048, 60).expect("convergecast workload");
+        assert!((stream.workload().mean_rate_hz() - 1.0 / 60.0).abs() < 1e-12);
+        assert!(!p.is_batch());
     }
 
     #[test]

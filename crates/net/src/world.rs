@@ -24,6 +24,9 @@ use uasn_phy::energy::EnergyMeter;
 use uasn_phy::geometry::Point;
 use uasn_phy::mobility::MobilityModel;
 use uasn_phy::modem::{Modem, ModemSpec, ModemState, ReceptionId};
+use uasn_route::{
+    select_next_hop, Candidate, RouteConfig, TimeoutVerdict, TransportTable, WorkloadStream,
+};
 use uasn_sim::engine::{Engine, EventLabel, RunStats, Schedule, StopReason};
 use uasn_sim::profile::{MetricsRegistry, ProfileReport};
 use uasn_sim::rng::SeedFactory;
@@ -81,6 +84,13 @@ enum NetEvent {
     /// Periodic clock-resynchronization round (non-ideal clocks with a
     /// resync model only).
     ResyncTick,
+    /// An origin-side transport timeout fires for `sdu` (routed runs with
+    /// transport only). Stale fires — the SDU was already acked or
+    /// exhausted — are no-ops.
+    RouteTimeout { sdu: u64 },
+    /// The sink's end-to-end ack for `sdu` reaches its origin (routed
+    /// runs with transport only).
+    RouteAck { sdu: u64 },
 }
 
 impl EventLabel for NetEvent {
@@ -99,6 +109,8 @@ impl EventLabel for NetEvent {
             NetEvent::SampleTick => "sample",
             NetEvent::NodeSlotStart { .. } => "node-slot-start",
             NetEvent::ResyncTick => "resync",
+            NetEvent::RouteTimeout { .. } => "route-timeout",
+            NetEvent::RouteAck { .. } => "route-ack",
         }
     }
 }
@@ -153,6 +165,59 @@ struct PendingRx {
     rid: Option<ReceptionId>,
 }
 
+/// Live state of the routing + transport subsystem; `Some` iff
+/// [`SimConfig::route`] was set. Absent, the world draws no "route" RNG
+/// stream, schedules no route events, and emits no route trace records,
+/// so `route: None` runs are byte-identical to pre-routing builds.
+#[derive(Debug)]
+struct RouteRuntime {
+    cfg: RouteConfig,
+    /// Policy stream (`"route"`); only randomized policies ever draw it.
+    rng: StdRng,
+    /// MAC hops traversed so far by each in-flight SDU copy, keyed by
+    /// `(sdu id, attempt)` — the attempt is the routing header stamped on
+    /// the copy, so a stale frame from an earlier transport attempt keeps
+    /// its own counter instead of corrupting the retry's. Entries are
+    /// removed only at points that also emit a path-closing trace record
+    /// (or physically end the copy), keeping the world's hop accounting
+    /// and the audit monitors' path state in lock-step.
+    hops: HashMap<(u64, u32), u32>,
+    /// Origin-side retransmission state; `Some` iff
+    /// [`RouteConfig::transport`] was set.
+    transport: Option<TransportTable>,
+    /// Scratch candidate list, reused across selections so the forwarding
+    /// hot path does not allocate.
+    cand_buf: Vec<Candidate>,
+}
+
+/// Fills `buf` with `from`'s forwarding candidates: every strictly
+/// shallower node within acoustic range, visited in ascending node order.
+/// Exactly the neighbourhood [`next_hop_uphill`] scans, so the greedy
+/// policy reproduces the legacy choice bit-for-bit.
+fn gather_candidates(
+    positions: &[Point],
+    from: usize,
+    comm_range_m: f64,
+    buf: &mut Vec<Candidate>,
+) {
+    buf.clear();
+    let me = positions[from];
+    for (idx, &p) in positions.iter().enumerate() {
+        if idx == from || p.depth() >= me.depth() {
+            continue;
+        }
+        let dist = me.distance(p);
+        if dist > comm_range_m {
+            continue;
+        }
+        buf.push(Candidate {
+            node: idx as u32,
+            depth_m: p.depth(),
+            dist_m: dist,
+        });
+    }
+}
+
 struct NetworkWorld {
     cfg: SimConfig,
     clock: SlotClock,
@@ -176,9 +241,20 @@ struct NetworkWorld {
     mobility_rng: StdRng,
     traffic_rng: StdRng,
     traffic_stream: Option<ArrivalStream>,
+    /// Heavy-traffic arrival stream (bursty / convergecast patterns);
+    /// `None` for the legacy Poisson/Batch patterns, whose arrival maths
+    /// stay untouched.
+    workload_stream: Option<WorkloadStream>,
+    /// Routing + transport runtime; `Some` iff `cfg.route`.
+    route: Option<RouteRuntime>,
 
     metrics: DeliveryMetrics,
-    delivered: std::collections::HashSet<(u64, u32)>,
+    /// First-copy gate per `(sdu, node, copy)` triple. The copy component
+    /// is 0 in legacy runs — the historical `(sdu, node)` key — and the
+    /// SDU's enqueue timestamp in routed runs, so a transport retry (a
+    /// genuinely new copy) can traverse nodes its lost predecessor
+    /// visited while MAC-level duplicates of one copy still dedup.
+    delivered: std::collections::HashSet<(u64, u32, u64)>,
     cmd_buf: Vec<MacCommand>,
     pending_tx: HashMap<u64, Frame>,
     inflight_tx: HashMap<u64, Frame>,
@@ -271,6 +347,13 @@ impl NetworkWorld {
         if !(self.cfg.slot_guard.is_zero() && self.cfg.clock.is_ideal()) {
             fields.push(field("guard_us", self.clock.guard().as_micros()));
             fields.push(field("clock_error_us", self.clock_error.as_micros()));
+        }
+        // Same pattern for routing: only routed runs carry the fields, so
+        // `route: None` traces keep their historical byte layout.
+        if let Some(route) = &self.cfg.route {
+            fields.push(field("route_policy", route.policy.as_str()));
+            fields.push(field("route_ttl", route.ttl));
+            fields.push(field("transport", route.transport.is_some()));
         }
         self.tracer.record_fields(
             self.now,
@@ -717,7 +800,12 @@ impl NetworkWorld {
         if addressed && frame.kind.is_data() {
             let sdus: Vec<Sdu> = frame.sdus().copied().collect();
             for sdu in sdus {
-                let first_copy = self.delivered.insert((sdu.id, entry.node));
+                let copy = if self.route.is_some() {
+                    sdu.created.as_micros()
+                } else {
+                    0
+                };
+                let first_copy = self.delivered.insert((sdu.id, entry.node, copy));
                 if !first_copy {
                     continue;
                 }
@@ -747,6 +835,11 @@ impl NetworkWorld {
                             fields,
                         )
                     });
+                    if self.route.is_some() {
+                        self.route_sink_arrival(sched, node, &sdu, e2e);
+                    }
+                } else if self.route.is_some() {
+                    self.route_relay(sched, node, sdu);
                 } else if self.cfg.forwarding {
                     self.forward(sched, node, sdu);
                 }
@@ -788,6 +881,274 @@ impl NetworkWorld {
         }
     }
 
+    /// Policy-driven next hop for `node` (routed runs only). The greedy
+    /// policy never draws the route RNG and ranks candidates exactly like
+    /// [`next_hop_uphill`], so a `ForwardPolicy::Greedy` run makes the
+    /// same per-hop decisions as the legacy pipeline.
+    fn route_next_hop(&mut self, node: usize) -> Option<NodeId> {
+        let route = self.route.as_mut().expect("routed run");
+        gather_candidates(
+            &self.positions,
+            node,
+            self.channel.max_range_m(),
+            &mut route.cand_buf,
+        );
+        select_next_hop(route.cfg.policy, &route.cand_buf, &mut route.rng).map(NodeId::new)
+    }
+
+    /// Whether the transport still holds an in-flight entry for `sdu` —
+    /// i.e. a copy-level loss now is *not* the SDU's terminal fate.
+    fn route_retry_pending(&self, sdu: u64) -> bool {
+        self.route
+            .as_ref()
+            .and_then(|r| r.transport.as_ref())
+            .is_some_and(|t| t.pending(sdu).is_some())
+    }
+
+    /// Emits the copy-level or terminal drop record for a routed loss:
+    /// `relay-drop` while a transport retry can still rescue the SDU,
+    /// `e2e-drop` when this loss is final.
+    fn trace_route_drop(&mut self, node: usize, sdu: &Sdu, hops: u32, reason: &'static str) {
+        let tag = if self.route_retry_pending(sdu.id) {
+            "relay-drop"
+        } else {
+            "e2e-drop"
+        };
+        let (id, origin, attempt) = (sdu.id, sdu.origin, sdu.attempt);
+        self.trace_fields(TraceLevel::Info, node, tag, || {
+            (
+                format!("sdu {id} lost at hop {hops} ({reason})"),
+                vec![
+                    field("sdu", id),
+                    field("origin", origin.index()),
+                    field("attempt", attempt),
+                    field("hops", hops),
+                    field("reason", reason),
+                ],
+            )
+        });
+    }
+
+    /// Origin-side routing bookkeeping for a freshly injected (or
+    /// retried) SDU copy that found a next hop: the `route` trace record,
+    /// the hop counter, and — on first injection with transport — the
+    /// pending-table entry plus its armed timeout.
+    fn route_register_origin(
+        &mut self,
+        sched: &mut Schedule<'_, NetEvent>,
+        node: usize,
+        sdu: &Sdu,
+        attempt: u32,
+    ) {
+        let (id, next, bits) = (sdu.id, sdu.next_hop, sdu.bits);
+        self.trace_fields(TraceLevel::Info, node, "route", || {
+            (
+                format!("sdu {id} routed toward {next} (attempt {attempt})"),
+                vec![
+                    field("sdu", id),
+                    field("origin", node),
+                    field("next_hop", next.index()),
+                    field("attempt", attempt),
+                ],
+            )
+        });
+        let now_us = self.now.as_micros();
+        let route = self.route.as_mut().expect("routed run");
+        route.hops.insert((id, attempt), 0);
+        if attempt == 0 {
+            if let Some(table) = route.transport.as_mut() {
+                let deadline_us = table.register(id, node as u32, bits, now_us);
+                sched.at(
+                    SimTime::ZERO + SimDuration::from_micros(deadline_us),
+                    NetEvent::RouteTimeout { sdu: id },
+                );
+            }
+        }
+    }
+
+    /// Relays a routed SDU copy at an intermediate node: charge the hop
+    /// against the TTL, pick the next hop, re-enqueue. Copy losses under
+    /// a pending transport entry are non-terminal (`relay-drop`); without
+    /// one they are the SDU's end-to-end fate (`e2e-drop`).
+    fn route_relay(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, sdu: Sdu) {
+        let route = self.route.as_mut().expect("routed run");
+        let ttl = route.cfg.ttl;
+        let copy = (sdu.id, sdu.attempt);
+        let traversed = route.hops.get(&copy).copied().unwrap_or(0) + 1;
+        route.hops.insert(copy, traversed);
+        if traversed >= ttl {
+            self.metrics.per_node[node].ttl_dropped += 1;
+            self.record_verdict(DropVerdict::TtlExhausted);
+            self.trace_route_drop(node, &sdu, traversed, "ttl-exhausted");
+            // The drop record closed this copy's audit path; its hop
+            // counter goes with it (other copies keep theirs).
+            self.route.as_mut().expect("routed run").hops.remove(&copy);
+            return;
+        }
+        match self.route_next_hop(node) {
+            Some(next) => {
+                let fwd = Sdu {
+                    next_hop: next,
+                    created: self.now,
+                    ..sdu
+                };
+                self.trace_fields(TraceLevel::Info, node, "relay", || {
+                    (
+                        format!("sdu {} relayed toward {next} (hop {traversed})", fwd.id),
+                        vec![
+                            field("sdu", fwd.id),
+                            field("origin", fwd.origin.index()),
+                            field("next_hop", next.index()),
+                            field("attempt", fwd.attempt),
+                            field("hops", traversed),
+                            field("bits", fwd.bits),
+                        ],
+                    )
+                });
+                self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, fwd));
+                self.observe_queue_depth(node);
+            }
+            None => {
+                self.metrics.per_node[node].unroutable += 1;
+                self.record_verdict(DropVerdict::NoAudibleReceiver);
+                self.trace_route_drop(node, &sdu, traversed, "unroutable");
+                self.route.as_mut().expect("routed run").hops.remove(&copy);
+            }
+        }
+    }
+
+    /// Completes a routed SDU's journey at a sink: record the path
+    /// length, emit `e2e-deliver`, and (with transport) launch the ack
+    /// back toward the origin at one direct propagation delay — the
+    /// abstract out-of-band ack channel of the minimal transport.
+    fn route_sink_arrival(
+        &mut self,
+        sched: &mut Schedule<'_, NetEvent>,
+        node: usize,
+        sdu: &Sdu,
+        e2e: Option<SimDuration>,
+    ) {
+        let route = self.route.as_mut().expect("routed run");
+        // The copy physically ends at the sink either way; its hop
+        // counter is done (a sink never relays).
+        let counted = route.hops.remove(&(sdu.id, sdu.attempt));
+        // Duplicate copy or late attempt: the SDU already completed.
+        let Some(e2e) = e2e else { return };
+        let hops = counted.unwrap_or(0) + 1;
+        self.metrics.path_hops.record(u64::from(hops));
+        let (id, origin, attempt) = (sdu.id, sdu.origin, sdu.attempt);
+        self.trace_fields(TraceLevel::Info, node, "e2e-deliver", || {
+            (
+                format!("sdu {id} delivered end-to-end in {hops} hops"),
+                vec![
+                    field("sdu", id),
+                    field("origin", origin.index()),
+                    field("sink", node),
+                    field("attempt", attempt),
+                    field("hops", hops),
+                    field("e2e_us", e2e.as_micros()),
+                ],
+            )
+        });
+        let has_transport = self.route.as_ref().expect("routed run").transport.is_some();
+        if has_transport {
+            let delay = self
+                .channel
+                .propagation_delay(self.positions[node], self.positions[origin.index()]);
+            sched.at(self.now + delay, NetEvent::RouteAck { sdu: id });
+        }
+    }
+
+    /// An armed transport timeout fired. Stale fires (already acked or
+    /// exhausted) are no-ops; live ones either re-inject the SDU at its
+    /// origin with the backoff-doubled deadline, or retire it as a
+    /// terminal retry-budget loss.
+    fn handle_route_timeout(&mut self, sched: &mut Schedule<'_, NetEvent>, sdu: u64) {
+        let now_us = self.now.as_micros();
+        let outcome = {
+            let Some(route) = self.route.as_mut() else {
+                return;
+            };
+            let Some(table) = route.transport.as_mut() else {
+                return;
+            };
+            let Some(outcome) = table.on_timeout(sdu, now_us) else {
+                return;
+            };
+            outcome
+        };
+        let (entry, verdict) = outcome;
+        let origin = entry.origin as usize;
+        match verdict {
+            TimeoutVerdict::Retry { deadline_us } => {
+                sched.at(
+                    SimTime::ZERO + SimDuration::from_micros(deadline_us),
+                    NetEvent::RouteTimeout { sdu },
+                );
+                match self.route_next_hop(origin) {
+                    Some(next) => {
+                        let fwd = Sdu {
+                            id: sdu,
+                            origin: NodeId::new(entry.origin),
+                            next_hop: next,
+                            bits: entry.bits,
+                            created: self.now,
+                            attempt: entry.attempts,
+                        };
+                        self.route_register_origin(sched, origin, &fwd, entry.attempts);
+                        self.with_mac(sched, origin, |mac, ctx| mac.on_enqueue(ctx, fwd));
+                        self.observe_queue_depth(origin);
+                    }
+                    None => {
+                        // This attempt is burnt; later timeouts may still
+                        // retry (mobility can restore a neighbour).
+                        self.metrics.per_node[origin].unroutable += 1;
+                        self.record_verdict(DropVerdict::NoAudibleReceiver);
+                        let stub = Sdu {
+                            id: sdu,
+                            origin: NodeId::new(entry.origin),
+                            next_hop: NodeId::new(entry.origin),
+                            bits: entry.bits,
+                            created: self.now,
+                            attempt: entry.attempts,
+                        };
+                        self.trace_route_drop(origin, &stub, 0, "unroutable");
+                    }
+                }
+            }
+            TimeoutVerdict::Exhausted => {
+                self.metrics.per_node[origin].retry_dropped += 1;
+                self.record_verdict(DropVerdict::RetryBudgetExhausted);
+                let attempts = entry.attempts;
+                // The terminal e2e-drop record below closes every audit
+                // path of this SDU, so all copies' hop counters go too.
+                let route = self.route.as_mut().expect("routed run");
+                for a in 0..=attempts {
+                    route.hops.remove(&(sdu, a));
+                }
+                self.trace_fields(TraceLevel::Info, origin, "e2e-drop", || {
+                    (
+                        format!("sdu {sdu} lost end-to-end (retry budget exhausted)"),
+                        vec![
+                            field("sdu", sdu),
+                            field("origin", origin),
+                            field("attempts", attempts),
+                            field("reason", "retry-exhausted"),
+                        ],
+                    )
+                });
+            }
+        }
+    }
+
+    /// The sink's end-to-end ack reached the origin: retire the pending
+    /// transport entry (duplicates and post-exhaustion acks are no-ops).
+    fn handle_route_ack(&mut self, sdu: u64) {
+        if let Some(table) = self.route.as_mut().and_then(|r| r.transport.as_mut()) {
+            table.ack(sdu);
+        }
+    }
+
     /// Records the node's post-enqueue MAC queue depth into the
     /// performance registry. Gated on the registry being enabled so the
     /// unprofiled hot path never pays the virtual `queue_len` call.
@@ -815,11 +1176,16 @@ impl NetworkWorld {
             }
             None => self.cfg.data_bits,
         };
-        match next_hop_uphill(
-            &self.positions,
-            NodeId::new(node as u32),
-            self.channel.max_range_m(),
-        ) {
+        let chosen = if self.route.is_some() {
+            self.route_next_hop(node)
+        } else {
+            next_hop_uphill(
+                &self.positions,
+                NodeId::new(node as u32),
+                self.channel.max_range_m(),
+            )
+        };
+        match chosen {
             Some(next) => {
                 let sdu = Sdu {
                     id: sdu_id,
@@ -827,6 +1193,7 @@ impl NetworkWorld {
                     next_hop: next,
                     bits,
                     created: self.now,
+                    attempt: 0,
                 };
                 self.metrics.record_sdu_generated(self.now, sdu_id);
                 if self.cfg.traffic.is_batch() {
@@ -844,12 +1211,28 @@ impl NetworkWorld {
                         ],
                     )
                 });
+                if self.route.is_some() {
+                    self.route_register_origin(sched, node, &sdu, 0);
+                }
                 self.with_mac(sched, node, |mac, ctx| mac.on_enqueue(ctx, sdu));
                 self.observe_queue_depth(node);
             }
             None => {
                 self.metrics.per_node[node].unroutable += 1;
                 self.record_verdict(DropVerdict::NoAudibleReceiver);
+                if self.route.is_some() {
+                    // Origin-unroutable SDUs are terminal even with
+                    // transport: there is nothing to retransmit.
+                    let stub = Sdu {
+                        id: sdu_id,
+                        origin: NodeId::new(node as u32),
+                        next_hop: NodeId::new(node as u32),
+                        bits,
+                        created: self.now,
+                        attempt: 0,
+                    };
+                    self.trace_route_drop(node, &stub, 0, "unroutable");
+                }
                 if self.cfg.traffic.is_batch() {
                     // An unroutable batch SDU would deadlock completion;
                     // count the arrival as (vacuously) done.
@@ -860,6 +1243,18 @@ impl NetworkWorld {
         if recurring {
             if let Some(stream) = self.traffic_stream {
                 let next = stream.next_arrival(&mut self.traffic_rng, self.now);
+                if next < self.traffic_end {
+                    sched.at(
+                        next,
+                        NetEvent::TrafficArrival {
+                            node: node as u32,
+                            recurring: true,
+                        },
+                    );
+                }
+            } else if let Some(stream) = self.workload_stream {
+                let next_s = stream.next_arrival(&mut self.traffic_rng, self.now.as_secs_f64());
+                let next = SimTime::ZERO + SimDuration::from_secs_f64(next_s);
                 if next < self.traffic_end {
                     sched.at(
                         next,
@@ -1053,7 +1448,10 @@ impl NetworkWorld {
             half_duplex_losses: totals(&|c| c.half_duplex_losses),
             tx_dropped: totals(&|c| c.tx_dropped),
             unroutable: totals(&|c| c.unroutable),
+            ttl_dropped: totals(&|c| c.ttl_dropped),
+            retry_dropped: totals(&|c| c.retry_dropped),
             sdus_dropped: totals(&|c| c.sdus_dropped),
+            e2e_delivered: self.metrics.e2e_hist.count(),
             mean_latency_s: self.metrics.latency.mean(),
             latency_p95_s: self.metrics.latency_hist.quantile(0.95),
             mean_concurrent_tx: self.metrics.concurrency.average(end),
@@ -1070,6 +1468,7 @@ impl NetworkWorld {
             completion_time: self.metrics.completion_time,
             delivery_latency_us: self.metrics.delivery_hist.clone(),
             e2e_latency_us: self.metrics.e2e_hist.clone(),
+            path_hops: self.metrics.path_hops.clone(),
         }
     }
 }
@@ -1129,6 +1528,8 @@ impl uasn_sim::engine::World for NetworkWorld {
                 );
             }
             NetEvent::ResyncTick => self.handle_resync_tick(sched),
+            NetEvent::RouteTimeout { sdu } => self.handle_route_timeout(sched, sdu),
+            NetEvent::RouteAck { sdu } => self.handle_route_ack(sdu),
         }
     }
 
@@ -1302,7 +1703,10 @@ impl Simulation {
             cfg.channel.max_range_m() / cfg.channel.max_propagation_delay().as_secs_f64();
         let estimator = DelayEstimator::new(cfg.clock.meas_noise, max_speed, sound_speed);
 
-        // Traffic setup.
+        // Traffic setup. The legacy Poisson path keeps its own
+        // `ArrivalStream` arithmetic untouched (byte-identity with
+        // pre-routing builds); the heavy-traffic patterns ride the
+        // `uasn-route` workload streams instead.
         let (traffic_stream, traffic_end) = match cfg.traffic {
             TrafficPattern::Poisson { offered_load_kbps } => (
                 Some(ArrivalStream::poisson(per_sensor_rate(
@@ -1313,7 +1717,21 @@ impl Simulation {
                 cfg.horizon(),
             ),
             TrafficPattern::Batch { window, .. } => (None, SimTime::ZERO + window),
+            TrafficPattern::BurstyOnOff { .. } | TrafficPattern::Convergecast { .. } => {
+                (None, cfg.horizon())
+            }
         };
+        let workload_stream = cfg.traffic.workload(cfg.data_bits, cfg.sensors);
+
+        // Routing runtime. Only routed runs derive the "route" stream, so
+        // `route: None` draws exactly the historical set of seed streams.
+        let route = cfg.route.map(|rc| RouteRuntime {
+            rng: seeds.stream("route", 0),
+            hops: HashMap::new(),
+            transport: rc.transport.map(TransportTable::new),
+            cand_buf: Vec::new(),
+            cfg: rc,
+        });
 
         let link_cache = LinkBudgetCache::new(&channel, n);
         let mut world = NetworkWorld {
@@ -1334,6 +1752,8 @@ impl Simulation {
             mobility_rng: seeds.stream("mobility", 0),
             traffic_rng: seeds.stream("traffic", 0),
             traffic_stream,
+            workload_stream,
+            route,
             metrics,
             delivered: std::collections::HashSet::new(),
             cmd_buf: Vec::new(),
@@ -1449,6 +1869,24 @@ impl Simulation {
                             recurring: false,
                         },
                     );
+                }
+            }
+            TrafficPattern::BurstyOnOff { .. } | TrafficPattern::Convergecast { .. } => {
+                let stream = world.workload_stream.expect("workload stream");
+                for i in 0..n {
+                    if world.roles[i] == NodeRole::Sensor {
+                        let first_s = stream.next_arrival(&mut world.traffic_rng, 0.0);
+                        let first = SimTime::ZERO + SimDuration::from_secs_f64(first_s);
+                        if first < world.traffic_end {
+                            engine.seed_event(
+                                first,
+                                NetEvent::TrafficArrival {
+                                    node: i as u32,
+                                    recurring: true,
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -2097,6 +2535,156 @@ mod tests {
         // Traffic still flows end to end under drift + guard.
         assert!(a.report.sdus_generated > 0);
         assert!(a.report.data_bits_received > 0);
+    }
+
+    #[test]
+    fn greedy_routing_twins_legacy_forwarding() {
+        // The byte-identity contract's dynamic half: a greedy routed run
+        // makes exactly the per-hop decisions of the legacy forwarding
+        // pipeline (same candidate ranking, no RNG draws), so every
+        // delivery counter matches; only the new path-length histogram —
+        // which legacy runs never record — differs.
+        let base = SimConfig {
+            sensors: 10,
+            sinks: 2,
+            forwarding: true,
+            ..SimConfig::paper_default()
+        }
+        .with_offered_load_kbps(0.2)
+        .with_sim_time(SimDuration::from_secs(120));
+        let legacy = Simulation::new(base.clone(), &blast_factory).unwrap().run();
+        let routed = Simulation::new(base.with_routing(), &blast_factory)
+            .unwrap()
+            .run();
+        assert_eq!(legacy.sdus_generated, routed.sdus_generated);
+        assert_eq!(legacy.sdus_received, routed.sdus_received);
+        assert_eq!(legacy.sink_bits_received, routed.sink_bits_received);
+        assert_eq!(legacy.e2e_delivered, routed.e2e_delivered);
+        assert_eq!(legacy.throughput_kbps, routed.throughput_kbps);
+        assert_eq!(legacy.unroutable, routed.unroutable);
+        assert!(routed.e2e_delivered > 0, "traffic reached the sinks");
+        assert_eq!(legacy.path_hops.count(), 0);
+        assert_eq!(routed.path_hops.count(), routed.e2e_delivered);
+        assert_eq!(legacy.ttl_dropped, 0);
+        assert_eq!(routed.ttl_dropped, 0, "DEFAULT_TTL dwarfs real paths");
+    }
+
+    #[test]
+    fn routed_runs_are_deterministic_and_traced() {
+        let cfg = SimConfig {
+            sensors: 10,
+            sinks: 2,
+            forwarding: true,
+            ..SimConfig::paper_default()
+        }
+        .with_convergecast(30.0, 10.0)
+        .with_route(
+            uasn_route::RouteConfig::reliable()
+                .with_policy(uasn_route::ForwardPolicy::RandomShallowest { k: 2 }),
+        )
+        .with_sim_time(SimDuration::from_secs(120));
+        let run = || {
+            Simulation::new(cfg.clone(), &blast_factory)
+                .unwrap()
+                .with_tracing(TraceLevel::Info)
+                .run_traced()
+        };
+        let (ra, ta) = run();
+        let (rb, tb) = run();
+        assert_eq!(ra, rb);
+        let jsonl = |t: &Tracer| {
+            t.records()
+                .iter()
+                .map(|r| r.to_json_line())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(jsonl(&ta), jsonl(&tb), "trace bytes are seed-determined");
+        // The run-info record advertises the routing configuration…
+        let info = ta.with_tag("run-info").next().expect("run-info");
+        let get = |key: &str| {
+            info.fields
+                .iter()
+                .find(|(k, _)| k.as_ref() == key)
+                .map(|(_, v)| v.to_string())
+        };
+        assert_eq!(get("route_policy").as_deref(), Some("random-shallowest"));
+        assert!(get("route_ttl").is_some());
+        assert_eq!(get("transport").as_deref(), Some("true"));
+        // …and the new record kinds appear.
+        assert!(ta.with_tag("route").count() > 0, "origin selections traced");
+        assert!(ta.with_tag("e2e-deliver").count() > 0, "deliveries traced");
+        assert!(ra.e2e_delivered > 0);
+        assert!(ra.e2e_delivery_ratio() > 0.0 && ra.e2e_delivery_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn routed_verdicts_reconcile_with_counters() {
+        // A TTL too small for the column plus a tight transport budget
+        // forces both new loss classes; monitoring must attribute every
+        // one of them, and the path-length histogram must respect the TTL.
+        let mut rc = uasn_route::RouteConfig::greedy().with_ttl(2);
+        rc.transport = Some(uasn_route::TransportConfig {
+            retry_budget: 1,
+            base_timeout_us: 5_000_000,
+        });
+        let cfg = SimConfig {
+            sensors: 10,
+            sinks: 2,
+            forwarding: true,
+            ..SimConfig::paper_default()
+        }
+        .with_convergecast(20.0, 10.0)
+        .with_route(rc)
+        .with_monitoring(true)
+        .with_sim_time(SimDuration::from_secs(120));
+        let out = Simulation::new(cfg, &blast_factory).unwrap().run_full();
+        let verdicts = out.verdicts.expect("monitoring enabled");
+        assert_eq!(
+            verdicts.count(DropVerdict::TtlExhausted),
+            out.report.ttl_dropped
+        );
+        assert_eq!(
+            verdicts.count(DropVerdict::RetryBudgetExhausted),
+            out.report.retry_dropped
+        );
+        assert_eq!(
+            verdicts.count(DropVerdict::NoAudibleReceiver),
+            out.report.unroutable
+        );
+        assert!(out.report.ttl_dropped > 0, "ttl 2 truncates deep paths");
+        assert!(out.report.retry_dropped > 0, "budget 1 exhausts");
+        if let Some(max) = out.report.path_hops.max() {
+            assert!(max <= 2, "no delivered path exceeds the TTL, got {max}");
+        }
+        // Transport events actually fired.
+        let count = |label: &str| {
+            out.stats
+                .kind_counts
+                .iter()
+                .find(|&&(k, _)| k == label)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        };
+        assert!(count("route-timeout") > 0);
+        assert!(count("route-ack") > 0);
+    }
+
+    #[test]
+    fn bursty_traffic_flows_and_is_deterministic() {
+        let cfg = SimConfig {
+            sensors: 10,
+            sinks: 2,
+            forwarding: false,
+            ..SimConfig::paper_default()
+        }
+        .with_bursty_load_kbps(0.3, 5.0, 15.0)
+        .with_sim_time(SimDuration::from_secs(60));
+        let a = Simulation::new(cfg.clone(), &blast_factory).unwrap().run();
+        let b = Simulation::new(cfg, &blast_factory).unwrap().run();
+        assert_eq!(a, b);
+        assert!(a.sdus_generated > 0, "bursts inject traffic");
+        assert!(a.data_bits_received > 0);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Minimal end-to-end transport: origin-side retransmission with sink
+//! acks, exponential backoff, and a bounded retry budget.
+//!
+//! The transport is a pure state machine over microsecond timestamps; the
+//! simulation drives it with three calls:
+//!
+//! 1. [`TransportTable::register`] when the origin injects an SDU —
+//!    returns the first timeout deadline.
+//! 2. [`TransportTable::ack`] when the sink's ack reaches the origin —
+//!    retires the pending entry.
+//! 3. [`TransportTable::on_timeout`] when an armed timeout fires —
+//!    answers [`TimeoutVerdict::Retry`] (with the next deadline) while
+//!    attempts remain, [`TimeoutVerdict::Exhausted`] when the retry
+//!    budget is spent.
+//!
+//! Because acks may still be in flight when a timeout fires, a fired
+//! timeout for an already-acked SDU is a no-op (`on_timeout` returns
+//! `None`). Deadlines are fully deterministic: `timeout(attempt) =
+//! base_timeout_us << min(attempt, 16)`, no randomness.
+
+use std::collections::HashMap;
+
+/// Transport parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Retransmissions after the initial send (0 = send once, never
+    /// retry; the timeout then only detects the loss).
+    pub retry_budget: u32,
+    /// First-attempt timeout, microseconds. Must comfortably exceed one
+    /// worst-case source→sink→source round trip through the MAC.
+    pub base_timeout_us: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        // 60 s base: several slot cycles of MAC queueing plus the
+        // multi-hop traversal of a 6 km column, doubling per retry.
+        TransportConfig {
+            retry_budget: 2,
+            base_timeout_us: 60_000_000,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Timeout for the given zero-based attempt number (exponential
+    /// backoff, shift-capped so it cannot overflow).
+    pub fn timeout_us(&self, attempt: u32) -> u64 {
+        self.base_timeout_us.saturating_mul(1u64 << attempt.min(16))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `(field, reason)` pair naming the first offending field.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        if self.base_timeout_us == 0 {
+            return Err((
+                "route.transport.base_timeout_us",
+                "base timeout must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Origin-side state for one in-flight SDU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSdu {
+    /// Origin node id (where retries re-enter the MAC).
+    pub origin: u32,
+    /// Payload size, bits (retries rebuild the SDU).
+    pub bits: u32,
+    /// Generation time, microseconds (retries keep the original anchor).
+    pub created_us: u64,
+    /// Zero-based attempt number of the copy currently in flight.
+    pub attempts: u32,
+}
+
+/// What a fired timeout means for a still-pending SDU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutVerdict {
+    /// Retransmit now; the next timeout fires at `deadline_us`.
+    Retry {
+        /// Absolute deadline of the next timeout, microseconds.
+        deadline_us: u64,
+    },
+    /// The retry budget is exhausted: the SDU is an end-to-end loss.
+    Exhausted,
+}
+
+/// The origin-side pending-SDU table.
+#[derive(Debug, Default)]
+pub struct TransportTable {
+    cfg: TransportConfig,
+    pending: HashMap<u64, PendingSdu>,
+    /// SDUs retired by an ack.
+    acked: u64,
+    /// SDUs retired by retry exhaustion.
+    exhausted: u64,
+    /// Retransmissions issued.
+    retries: u64,
+}
+
+impl TransportTable {
+    /// An empty table under `cfg`.
+    pub fn new(cfg: TransportConfig) -> TransportTable {
+        TransportTable {
+            cfg,
+            ..TransportTable::default()
+        }
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &TransportConfig {
+        &self.cfg
+    }
+
+    /// Registers a freshly injected SDU and returns the absolute deadline
+    /// of its first timeout.
+    pub fn register(&mut self, sdu: u64, origin: u32, bits: u32, now_us: u64) -> u64 {
+        self.pending.insert(
+            sdu,
+            PendingSdu {
+                origin,
+                bits,
+                created_us: now_us,
+                attempts: 0,
+            },
+        );
+        now_us + self.cfg.timeout_us(0)
+    }
+
+    /// The pending entry for `sdu`, if any.
+    pub fn pending(&self, sdu: u64) -> Option<&PendingSdu> {
+        self.pending.get(&sdu)
+    }
+
+    /// In-flight SDU count.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retires `sdu` on a sink ack. Returns the entry when it was still
+    /// pending (`None` for duplicate acks or unknown ids).
+    pub fn ack(&mut self, sdu: u64) -> Option<PendingSdu> {
+        let entry = self.pending.remove(&sdu)?;
+        self.acked += 1;
+        Some(entry)
+    }
+
+    /// Handles a fired timeout at `now_us`. Returns `None` when the SDU
+    /// is no longer pending (already acked or already exhausted);
+    /// otherwise the verdict, with the entry's attempt counter advanced
+    /// on [`TimeoutVerdict::Retry`] and the entry removed on
+    /// [`TimeoutVerdict::Exhausted`].
+    pub fn on_timeout(&mut self, sdu: u64, now_us: u64) -> Option<(PendingSdu, TimeoutVerdict)> {
+        let entry = self.pending.get_mut(&sdu)?;
+        if entry.attempts >= self.cfg.retry_budget {
+            let entry = self.pending.remove(&sdu).expect("just present");
+            self.exhausted += 1;
+            return Some((entry, TimeoutVerdict::Exhausted));
+        }
+        entry.attempts += 1;
+        self.retries += 1;
+        let deadline = now_us + self.cfg.timeout_us(entry.attempts);
+        Some((
+            *entry,
+            TimeoutVerdict::Retry {
+                deadline_us: deadline,
+            },
+        ))
+    }
+
+    /// SDUs retired by acks so far.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// SDUs retired by retry exhaustion so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+
+    /// Retransmissions issued so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(budget: u32) -> TransportTable {
+        TransportTable::new(TransportConfig {
+            retry_budget: budget,
+            base_timeout_us: 1_000,
+        })
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let cfg = TransportConfig {
+            retry_budget: 3,
+            base_timeout_us: 1_000,
+        };
+        assert_eq!(cfg.timeout_us(0), 1_000);
+        assert_eq!(cfg.timeout_us(1), 2_000);
+        assert_eq!(cfg.timeout_us(2), 4_000);
+        // Shift cap: enormous attempt numbers cannot overflow.
+        assert_eq!(cfg.timeout_us(200), 1_000 << 16);
+        let huge = TransportConfig {
+            retry_budget: 0,
+            base_timeout_us: u64::MAX / 2,
+        };
+        assert_eq!(huge.timeout_us(63), u64::MAX);
+    }
+
+    #[test]
+    fn ack_retires_and_duplicates_are_noops() {
+        let mut t = table(2);
+        let deadline = t.register(7, 4, 2_048, 100);
+        assert_eq!(deadline, 1_100);
+        assert_eq!(t.pending_len(), 1);
+        let entry = t.ack(7).expect("pending");
+        assert_eq!(entry.origin, 4);
+        assert_eq!(entry.bits, 2_048);
+        assert_eq!(t.acked(), 1);
+        assert!(t.ack(7).is_none(), "duplicate ack");
+        assert!(t.on_timeout(7, 5_000).is_none(), "stale timeout");
+    }
+
+    #[test]
+    fn timeouts_walk_the_budget_then_exhaust() {
+        let mut t = table(2);
+        t.register(9, 1, 512, 0);
+        let (e, v) = t.on_timeout(9, 1_000).expect("pending");
+        assert_eq!(e.attempts, 1);
+        assert_eq!(v, TimeoutVerdict::Retry { deadline_us: 3_000 });
+        let (e, v) = t.on_timeout(9, 3_000).expect("pending");
+        assert_eq!(e.attempts, 2);
+        assert_eq!(v, TimeoutVerdict::Retry { deadline_us: 7_000 });
+        let (e, v) = t.on_timeout(9, 7_000).expect("pending");
+        assert_eq!(v, TimeoutVerdict::Exhausted);
+        assert_eq!(e.attempts, 2);
+        assert_eq!(t.pending_len(), 0);
+        assert_eq!(t.exhausted(), 1);
+        assert_eq!(t.retries(), 2);
+        assert!(t.on_timeout(9, 9_000).is_none(), "already exhausted");
+    }
+
+    #[test]
+    fn zero_budget_exhausts_on_first_timeout() {
+        let mut t = table(0);
+        t.register(1, 0, 64, 0);
+        let (_, v) = t.on_timeout(1, 1_000).expect("pending");
+        assert_eq!(v, TimeoutVerdict::Exhausted);
+    }
+
+    #[test]
+    fn validation_rejects_zero_timeout() {
+        let bad = TransportConfig {
+            retry_budget: 1,
+            base_timeout_us: 0,
+        };
+        assert_eq!(
+            bad.validate().unwrap_err().0,
+            "route.transport.base_timeout_us"
+        );
+        assert!(TransportConfig::default().validate().is_ok());
+    }
+}
