@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--scenario small|medium|large|all] [--out FILE]
+//! perf [--scenario small|medium|large|route|swarm|all] [--out FILE]
 //!      [--warmup N] [--repeats N] [--check BASELINE]
 //! ```
 //!
@@ -100,7 +100,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "perf: unexpected argument {other:?} \
-                     (expected [--scenario small|medium|large|all] [--out FILE] \
+                     (expected [--scenario small|medium|large|route|swarm|all] [--out FILE] \
                      [--warmup N] [--repeats N] [--check BASELINE])"
                 );
                 return ExitCode::from(2);

@@ -8,7 +8,9 @@
 //!
 //! Exits nonzero on any invariant violation, any online/post-hoc finding
 //! disagreement, any trace loss (dropped, evicted, or unwritten records),
-//! or a malformed trace — this is the CI gate for the audit layer.
+//! a malformed trace, or a spatial-index inequivalence (the same seeded
+//! run with the grid index disabled must produce an identical metrics
+//! report) — this is the CI gate for the audit layer.
 //!
 //! Usage: `trace_run [--route] [seed] [out_dir]`
 //!
@@ -254,6 +256,29 @@ fn main() -> ExitCode {
             "FAIL: flight recorder hit {} I/O error(s): {}",
             online.flight_io_errors,
             online.flight_error.as_deref().unwrap_or("?")
+        );
+        failed = true;
+    }
+
+    // Spatial-index equivalence: the same seeded run with the grid index
+    // disabled must process the same events and produce the same metrics
+    // report — the index is a pure accelerator, never a behaviour change.
+    let unindexed = Simulation::new(cfg.clone().with_spatial_index(false), &factory)
+        .expect("indexless config is valid")
+        .run_full();
+    if unindexed.report == report && unindexed.stats.events_processed == out.stats.events_processed
+    {
+        println!(
+            "index: indexed and unindexed runs agree ({} events, identical reports)",
+            out.stats.events_processed
+        );
+    } else {
+        eprintln!(
+            "FAIL: disabling the spatial index changed the run \
+             ({} vs {} events, reports equal = {})",
+            out.stats.events_processed,
+            unindexed.stats.events_processed,
+            unindexed.report == report
         );
         failed = true;
     }

@@ -6,7 +6,10 @@
 //! bit-identical by construction (see the golden-trace suite), the
 //! events-processed counts must match exactly and the only difference is
 //! wall time; the ratio is the measured speedup the `BENCH_perf.json`
-//! trajectory tracks across PRs.
+//! trajectory tracks across PRs. The `swarm*` cells instead time the
+//! spatial grid index against the indexless fast path (the recompute
+//! reference is intractable at 10k nodes), so their speedup isolates the
+//! grid's candidate pruning.
 //!
 //! ## Noise discipline (schema v2)
 //!
@@ -64,6 +67,13 @@ pub struct PerfScenario {
     /// with depth routing and reliable transport, so relay and
     /// retransmission cost lands inside the regression gate.
     pub routed: bool,
+    /// Swarm variant: a wide mobile column at the swarm goldens' per-layer
+    /// density. The scenario's *reference* path disables the spatial index
+    /// (`with_spatial_index(false)`) instead of the whole fast path, so the
+    /// reported speedup isolates what the grid buys over the brute-force
+    /// O(N) fan-out scan — the recompute-everything reference would be
+    /// intractable at 10k nodes.
+    pub swarm: bool,
 }
 
 impl PerfScenario {
@@ -84,7 +94,33 @@ impl PerfScenario {
                 layer_spacing_m: 1_200.0,
             };
         }
+        if self.swarm {
+            // Wide ten-layer column at constant per-layer density (the 10k
+            // cell matches the swarm smoke test's geometry). Heavy Poisson
+            // load spreads transmissions over many distinct nodes and slow
+            // drift with a 1 s epoch invalidates the link cache every
+            // simulated second, so rows rebuild all window long — the
+            // workload the spatial index exists for.
+            cfg = cfg.with_offered_load_kbps(60.0).with_mobility(0.5);
+            cfg.mobility.update_interval = SimDuration::from_secs(1);
+            cfg.deployment = Deployment::LayeredColumn {
+                extent_m: 20_000.0 * (self.sensors as f64 / 10_000.0).sqrt(),
+                layers: 10,
+                layer_spacing_m: 450.0,
+            };
+        }
         cfg
+    }
+
+    /// The configuration this scenario's *reference* timing runs: the
+    /// recompute-everything path normally, the indexless fast path for
+    /// swarm cells (see [`PerfScenario::swarm`]).
+    pub fn reference_config(&self) -> SimConfig {
+        if self.swarm {
+            self.config().with_fastpath(true).with_spatial_index(false)
+        } else {
+            self.config().with_fastpath(false)
+        }
     }
 }
 
@@ -98,6 +134,7 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 20,
         sim_time_s: 60,
         routed: false,
+        swarm: false,
     },
     PerfScenario {
         name: "small-sfama",
@@ -105,6 +142,7 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 20,
         sim_time_s: 60,
         routed: false,
+        swarm: false,
     },
     PerfScenario {
         name: "medium-ewmac",
@@ -112,6 +150,7 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 60,
         sim_time_s: 300,
         routed: false,
+        swarm: false,
     },
     PerfScenario {
         name: "medium-sfama",
@@ -119,6 +158,7 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 60,
         sim_time_s: 300,
         routed: false,
+        swarm: false,
     },
     PerfScenario {
         name: "large-ewmac",
@@ -126,6 +166,7 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 120,
         sim_time_s: 120,
         routed: false,
+        swarm: false,
     },
     PerfScenario {
         name: "large-sfama",
@@ -133,6 +174,7 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 120,
         sim_time_s: 120,
         routed: false,
+        swarm: false,
     },
     // Multi-hop heavy traffic: ~117k generated SDUs (80 kbps aggregate
     // Poisson over 3000 s) relayed down a four-layer column with reliable
@@ -143,6 +185,28 @@ pub const SCENARIOS: &[PerfScenario] = &[
         sensors: 40,
         sim_time_s: 3_000,
         routed: true,
+        swarm: false,
+    },
+    // Swarm fan-out: wide mobile columns where every transmission's
+    // candidate scan is the dominant cost. These two cells time the
+    // spatial grid index against the indexless scan (not the recompute
+    // reference — see `PerfScenario::swarm`), pinning the measured
+    // speedup at 1k and 10k nodes in the `BENCH_perf.json` trajectory.
+    PerfScenario {
+        name: "swarm1k-ewmac",
+        protocol: Protocol::EwMac,
+        sensors: 1_000,
+        sim_time_s: 20,
+        routed: false,
+        swarm: true,
+    },
+    PerfScenario {
+        name: "swarm10k-ewmac",
+        protocol: Protocol::EwMac,
+        sensors: 10_000,
+        sim_time_s: 10,
+        routed: false,
+        swarm: true,
     },
 ];
 
@@ -174,12 +238,20 @@ pub fn median_us(samples: &[u64]) -> u64 {
 
 /// One path's timing: the deterministic engine statistics (identical
 /// across repeats) plus every timed repeat's wall clock.
+///
+/// The timed wall covers the **full run** — world construction (topology
+/// build, audibility oracle, link-cache setup) plus the event loop — not
+/// just the engine's own `RunStats::wall`. At swarm node counts the
+/// construction phase is where the spatial index pays off hardest (the
+/// unindexed audibility oracle is O(N²)), and a metric that ignored it
+/// would miss exactly the regressions the swarm cells exist to catch.
 #[derive(Debug, Clone)]
 pub struct PathTiming {
     /// Engine statistics from the last timed repeat. All fields except
     /// `wall` are deterministic, so any repeat would do.
     pub stats: RunStats,
-    /// Wall time of each timed repeat, microseconds, in run order.
+    /// Full-run wall time (construction + event loop) of each timed
+    /// repeat, microseconds, in run order.
     pub runs_us: Vec<u64>,
 }
 
@@ -313,19 +385,22 @@ impl ScenarioResult {
 }
 
 /// Runs one configuration once, checks its report against `expect`
-/// (populating it from the first call), and returns the full run output.
+/// (populating it from the first call), and returns the full run output
+/// plus the full-run wall time (construction + event loop), microseconds.
 fn checked_run(
     cfg: &SimConfig,
     protocol: Protocol,
     expect: &mut Option<uasn_net::metrics::MetricsReport>,
     reports_equal: &mut bool,
-) -> uasn_net::world::RunOutput {
+) -> (uasn_net::world::RunOutput, u64) {
+    let start = std::time::Instant::now();
     let out = run_once_full(cfg, protocol);
+    let wall_us = start.elapsed().as_micros() as u64;
     match expect {
         Some(r) => *reports_equal &= *r == out.report,
         None => *expect = Some(out.report.clone()),
     }
-    out
+    (out, wall_us)
 }
 
 /// Accumulates one path's timed repeats into a [`PathTiming`].
@@ -336,9 +411,9 @@ struct PathAccum {
 }
 
 impl PathAccum {
-    fn push(&mut self, stats: RunStats) {
-        self.runs_us.push(stats.wall.as_micros() as u64);
-        self.stats = Some(stats);
+    fn push(&mut self, (out, wall_us): (uasn_net::world::RunOutput, u64)) {
+        self.runs_us.push(wall_us);
+        self.stats = Some(out.stats);
     }
 
     fn finish(self) -> PathTiming {
@@ -363,7 +438,7 @@ impl PathAccum {
 pub fn run_scenario_with(scenario: PerfScenario, warmup: u32, repeats: u32) -> ScenarioResult {
     let cfg = scenario.config();
     let fast_cfg = cfg.clone().with_fastpath(true);
-    let reference_cfg = cfg.clone().with_fastpath(false);
+    let reference_cfg = scenario.reference_config();
     // Profiled pass: fast path + registry + instrumented engine loop. The
     // report must *still* match — profiling is contractually invisible.
     let profiled_cfg = cfg.with_fastpath(true).with_profiling(true);
@@ -379,12 +454,21 @@ pub fn run_scenario_with(scenario: PerfScenario, warmup: u32, repeats: u32) -> S
     let mut profiled = PathAccum::default();
     let mut profile = None;
     for _ in 0..repeats.max(1) {
-        fastpath.push(checked_run(&fast_cfg, scenario.protocol, &mut expect, &mut equal).stats);
-        reference
-            .push(checked_run(&reference_cfg, scenario.protocol, &mut expect, &mut equal).stats);
-        let out = checked_run(&profiled_cfg, scenario.protocol, &mut expect, &mut equal);
-        profiled.push(out.stats);
-        profile = out.profile;
+        fastpath.push(checked_run(
+            &fast_cfg,
+            scenario.protocol,
+            &mut expect,
+            &mut equal,
+        ));
+        reference.push(checked_run(
+            &reference_cfg,
+            scenario.protocol,
+            &mut expect,
+            &mut equal,
+        ));
+        let (out, wall_us) = checked_run(&profiled_cfg, scenario.protocol, &mut expect, &mut equal);
+        profile = out.profile.clone();
+        profiled.push((out, wall_us));
     }
     ScenarioResult {
         scenario,
@@ -527,15 +611,24 @@ mod tests {
 
     #[test]
     fn roster_covers_both_protocols_at_three_sizes() {
-        assert_eq!(SCENARIOS.len(), 7);
+        assert_eq!(SCENARIOS.len(), 9);
         assert_eq!(scenarios_matching("small").len(), 2);
         assert_eq!(scenarios_matching("medium").len(), 2);
         assert_eq!(scenarios_matching("large").len(), 2);
         assert_eq!(scenarios_matching("route").len(), 1);
-        assert_eq!(scenarios_matching("all").len(), 7);
+        assert_eq!(scenarios_matching("swarm").len(), 2);
+        assert_eq!(scenarios_matching("swarm10k").len(), 1);
+        assert_eq!(scenarios_matching("all").len(), 9);
         assert!(scenarios_matching("nonsense").is_empty());
         for s in SCENARIOS {
             s.config().validate().expect("scenario config is valid");
+            s.reference_config()
+                .validate()
+                .expect("reference config is valid");
+            // Swarm cells time the index against the indexless scan; the
+            // reference must therefore still be the fast path.
+            assert_eq!(s.reference_config().fastpath, s.swarm);
+            assert_eq!(s.reference_config().spatial_index, !s.swarm);
         }
     }
 
@@ -560,6 +653,7 @@ mod tests {
             sensors: 8,
             sim_time_s: 30,
             routed: false,
+            swarm: false,
         };
         let result = run_scenario_with(tiny, 0, 2);
         assert!(result.reports_equal, "paths or profiling diverged");
@@ -666,6 +760,7 @@ mod tests {
             sensors: 8,
             sim_time_s: 30,
             routed: false,
+            swarm: false,
         };
         let result = run_scenario_with(tiny, 0, 1);
         let first = perf_doc(std::slice::from_ref(&result), 0, 1, None);

@@ -29,6 +29,7 @@ use uasn_bench::protocols::Protocol;
 use uasn_bench::runner::master_seed;
 use uasn_net::config::SimConfig;
 use uasn_net::node::NodeId;
+use uasn_net::topology::Deployment;
 use uasn_net::world::Simulation;
 use uasn_sim::time::SimDuration;
 use uasn_sim::trace::{parse_jsonl, TraceLevel, Tracer, DEFAULT_CAPTURE_CAPACITY};
@@ -242,6 +243,81 @@ fn check_density(density: &str, sensors: u32) {
     }
 }
 
+/// Swarm cell: 1 000 sensors in a wide layered column sized for a mean
+/// degree in the dozens, with a short horizon and light load — dense
+/// enough that the spatial index prunes most of each fan-out, bounded
+/// enough to stay tractable in debug CI runs.
+fn swarm_cfg() -> SimConfig {
+    let mut cfg = golden_cfg(1_000)
+        .with_offered_load_kbps(2.0)
+        .with_sim_time(SimDuration::from_secs(4));
+    cfg.deployment = Deployment::LayeredColumn {
+        extent_m: 6_400.0,
+        layers: 20,
+        layer_spacing_m: 450.0,
+    };
+    cfg
+}
+
+/// Runs the roster at swarm density through three configurations — fast
+/// path with the spatial index, fast path without it, and the reference
+/// path — asserts all three export identical bytes, and checks (or, under
+/// `UASN_UPDATE_GOLDENS`, rewrites) the golden hashes.
+fn check_swarm() {
+    let density = "swarm";
+    let update = std::env::var_os("UASN_UPDATE_GOLDENS").is_some();
+    let mut hashes = Vec::new();
+    for (protocol, slug) in GOLDEN_PROTOCOLS {
+        let cfg = swarm_cfg();
+        let indexed = trace_bytes(&cfg.clone().with_spatial_index(true), protocol);
+        let unindexed = trace_bytes(&cfg.clone().with_spatial_index(false), protocol);
+        let reference = trace_bytes(&cfg.with_fastpath(false), protocol);
+        assert!(
+            !indexed.is_empty(),
+            "{slug}-{density}: empty trace — nothing was locked down"
+        );
+        assert!(
+            indexed == unindexed,
+            "{slug}-{density}: spatial index changed the trace \
+             (first divergence at byte {})",
+            indexed
+                .iter()
+                .zip(unindexed.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| indexed.len().min(unindexed.len()))
+        );
+        assert!(
+            indexed == reference,
+            "{slug}-{density}: fast path and reference traces differ \
+             (first divergence at byte {})",
+            indexed
+                .iter()
+                .zip(reference.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| indexed.len().min(reference.len()))
+        );
+        hashes.push((format!("{slug}-{density}"), fnv1a64(&indexed)));
+    }
+    if update {
+        write_goldens(density, &hashes);
+        return;
+    }
+    let goldens = load_goldens(density);
+    assert_eq!(
+        goldens.len(),
+        hashes.len(),
+        "golden file covers a different roster; regenerate with UASN_UPDATE_GOLDENS=1"
+    );
+    for ((got_name, got_hash), (want_name, want_hash)) in hashes.iter().zip(&goldens) {
+        assert_eq!(got_name, want_name, "golden roster order changed");
+        assert_eq!(
+            got_hash, want_hash,
+            "{got_name}: trace hash changed — behaviour drifted; if intentional, \
+             regenerate with UASN_UPDATE_GOLDENS=1 and review the diff"
+        );
+    }
+}
+
 #[test]
 fn golden_traces_sparse() {
     check_density("sparse", 10);
@@ -250,4 +326,9 @@ fn golden_traces_sparse() {
 #[test]
 fn golden_traces_dense() {
     check_density("dense", 30);
+}
+
+#[test]
+fn golden_traces_swarm() {
+    check_swarm();
 }

@@ -7,7 +7,7 @@
 //! audible neighbour with the smallest depth, i.e. the one closest to the
 //! surface (ties broken by distance, then id for determinism).
 
-use uasn_phy::geometry::Point;
+use uasn_phy::soa::PositionSource;
 
 use crate::node::NodeId;
 
@@ -39,10 +39,15 @@ use crate::node::NodeId;
 /// );
 /// assert_eq!(next_hop_uphill(&positions, NodeId::new(0), 1_500.0), None);
 /// ```
-pub fn next_hop_uphill(positions: &[Point], from: NodeId, comm_range_m: f64) -> Option<NodeId> {
-    let me = positions[from.index()];
+pub fn next_hop_uphill<P: PositionSource + ?Sized>(
+    positions: &P,
+    from: NodeId,
+    comm_range_m: f64,
+) -> Option<NodeId> {
+    let me = positions.position(from.index());
     let mut best: Option<(usize, f64, f64)> = None; // (idx, depth, dist)
-    for (idx, &p) in positions.iter().enumerate() {
+    for idx in 0..positions.node_count() {
+        let p = positions.position(idx);
         if idx == from.index() || p.depth() >= me.depth() {
             continue;
         }
@@ -71,7 +76,11 @@ pub fn next_hop_uphill(positions: &[Point], from: NodeId, comm_range_m: f64) -> 
 ///
 /// The route is guaranteed to terminate because every hop strictly
 /// decreases depth.
-pub fn route_uphill(positions: &[Point], from: NodeId, comm_range_m: f64) -> Vec<NodeId> {
+pub fn route_uphill<P: PositionSource + ?Sized>(
+    positions: &P,
+    from: NodeId,
+    comm_range_m: f64,
+) -> Vec<NodeId> {
     let mut route = vec![from];
     let mut cur = from;
     while let Some(next) = next_hop_uphill(positions, cur, comm_range_m) {
@@ -84,6 +93,7 @@ pub fn route_uphill(positions: &[Point], from: NodeId, comm_range_m: f64) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uasn_phy::geometry::Point;
 
     fn column() -> Vec<Point> {
         vec![

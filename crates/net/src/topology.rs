@@ -273,18 +273,43 @@ fn generate_layered<R: Rng>(
     Ok(nodes)
 }
 
+/// Below this node count the plain O(N²) strandedness scan beats building
+/// a spatial index for it.
+const STRANDED_GRID_THRESHOLD: usize = 256;
+
 /// Sensors with **no** shallower node within `comm_range_m` — the stranded
 /// set that would make depth routing impossible.
+///
+/// Above [`STRANDED_GRID_THRESHOLD`] nodes the scan runs over a uniform
+/// grid with cell edge `comm_range_m`, so any in-range witness is in the
+/// 27-cell neighbourhood and each candidate still takes the exact distance
+/// check — the result is identical to the brute-force scan for every input.
 pub fn stranded_sensors(nodes: &[NodeInfo], comm_range_m: f64) -> Vec<NodeId> {
+    let has_witness: Box<dyn Fn(&NodeInfo) -> bool> =
+        if nodes.len() >= STRANDED_GRID_THRESHOLD && comm_range_m.is_finite() && comm_range_m > 0.0
+        {
+            let positions: Vec<Point> = nodes.iter().map(|n| n.position).collect();
+            let grid = uasn_phy::grid::SpatialGrid::build(comm_range_m, positions.as_slice());
+            Box::new(move |n: &NodeInfo| {
+                let mut cand = Vec::new();
+                grid.candidates_into(n.position, &mut cand);
+                cand.iter().map(|&j| &nodes[j as usize]).any(|m| {
+                    m.position.depth() < n.position.depth()
+                        && n.position.distance(m.position) <= comm_range_m
+                })
+            })
+        } else {
+            Box::new(move |n: &NodeInfo| {
+                nodes.iter().any(|m| {
+                    m.position.depth() < n.position.depth()
+                        && n.position.distance(m.position) <= comm_range_m
+                })
+            })
+        };
     nodes
         .iter()
         .filter(|n| !n.is_sink())
-        .filter(|n| {
-            !nodes.iter().any(|m| {
-                m.position.depth() < n.position.depth()
-                    && n.position.distance(m.position) <= comm_range_m
-            })
-        })
+        .filter(|n| !has_witness(n))
         .map(|n| n.id)
         .collect()
 }

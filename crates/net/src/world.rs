@@ -22,8 +22,10 @@ use uasn_phy::cache::LinkBudgetCache;
 use uasn_phy::channel::AcousticChannel;
 use uasn_phy::energy::EnergyMeter;
 use uasn_phy::geometry::Point;
+use uasn_phy::grid::SpatialGrid;
 use uasn_phy::mobility::MobilityModel;
 use uasn_phy::modem::{Modem, ModemSpec, ModemState, ReceptionId};
+use uasn_phy::soa::{PositionSource, PositionTable};
 use uasn_route::{
     select_next_hop, Candidate, RouteConfig, TimeoutVerdict, TransportTable, WorkloadStream,
 };
@@ -194,15 +196,16 @@ struct RouteRuntime {
 /// shallower node within acoustic range, visited in ascending node order.
 /// Exactly the neighbourhood [`next_hop_uphill`] scans, so the greedy
 /// policy reproduces the legacy choice bit-for-bit.
-fn gather_candidates(
-    positions: &[Point],
+fn gather_candidates<P: PositionSource + ?Sized>(
+    positions: &P,
     from: usize,
     comm_range_m: f64,
     buf: &mut Vec<Candidate>,
 ) {
     buf.clear();
-    let me = positions[from];
-    for (idx, &p) in positions.iter().enumerate() {
+    let me = positions.position(from);
+    for idx in 0..positions.node_count() {
+        let p = positions.position(idx);
         if idx == from || p.depth() >= me.depth() {
             continue;
         }
@@ -229,7 +232,10 @@ struct NetworkWorld {
     now: SimTime,
 
     roles: Vec<NodeRole>,
-    positions: Vec<Point>,
+    /// Hot per-node position state in struct-of-arrays layout: the fan-out,
+    /// culling, and mobility loops stream one coordinate array at a time
+    /// instead of striding over `Point` structs.
+    positions: PositionTable,
     mobility_models: Vec<MobilityModel>,
     modems: Vec<Modem>,
     meters: Vec<EnergyMeter>,
@@ -260,6 +266,13 @@ struct NetworkWorld {
     inflight_tx: HashMap<u64, Frame>,
     pending_rx: HashMap<u64, PendingRx>,
     timers: HashMap<(u32, u64), uasn_sim::event::EventKey>,
+    /// Scratch for the fan-out's batched event pushes: `schedule_arrival` /
+    /// `schedule_echo` stage their `RxStart`/`RxEnd` pairs here and
+    /// `handle_tx_start` flushes them through `Schedule::at_batch` in one
+    /// reserve-then-push pass. Push order equals the old per-call `sched.at`
+    /// order, so event sequence numbers — and therefore equal-time FIFO
+    /// ordering — are bit-identical to the unbatched path.
+    event_buf: Vec<(SimTime, NetEvent)>,
     next_token: u64,
     next_sdu_id: u64,
     traffic_end: SimTime,
@@ -554,6 +567,7 @@ impl NetworkWorld {
         // receivers in ascending index order and call the same arithmetic
         // on the same `(distance, snr)` pairs, so the channel-RNG stream —
         // and therefore the whole run — is bit-identical between them.
+        debug_assert!(self.event_buf.is_empty());
         let fanout: u64;
         if self.cfg.fastpath {
             self.link_cache
@@ -567,21 +581,19 @@ impl NetworkWorld {
                     link.snr_db,
                     frame.bits,
                 );
-                self.schedule_arrival(
-                    sched, link.rx, &frame, token, link.delay, duration, pre_lost,
-                );
+                self.schedule_arrival(link.rx, &frame, token, link.delay, duration, pre_lost);
                 if let Some(echo_delay) = link.echo_delay {
-                    self.schedule_echo(sched, link.rx, &frame, token, echo_delay, duration);
+                    self.schedule_echo(link.rx, &frame, token, echo_delay, duration);
                 }
             }
         } else {
-            let src_pos = self.positions[node];
+            let src_pos = self.positions.get(node);
             let mut degree = 0u64;
             for j in 0..self.node_count() {
                 if j == node {
                     continue;
                 }
-                let dst_pos = self.positions[j];
+                let dst_pos = self.positions.get(j);
                 if !self.channel.is_audible(src_pos, dst_pos) {
                     continue;
                 }
@@ -593,17 +605,23 @@ impl NetworkWorld {
                     dst_pos,
                     frame.bits,
                 );
-                self.schedule_arrival(sched, j as u32, &frame, token, delay, duration, pre_lost);
+                self.schedule_arrival(j as u32, &frame, token, delay, duration, pre_lost);
 
                 // Surface-bounce echo (when the channel models multipath):
                 // a delayed, data-less copy that occupies the receiver.
                 if self.channel.echo_audible(src_pos, dst_pos) {
                     let echo_delay = self.channel.echo_delay(src_pos, dst_pos);
-                    self.schedule_echo(sched, j as u32, &frame, token, echo_delay, duration);
+                    self.schedule_echo(j as u32, &frame, token, echo_delay, duration);
                 }
             }
             fanout = degree;
         }
+        // One reserve + push pass for the whole fan-out instead of 2(+2)
+        // heap pushes per receiver. The drain preserves push order, so the
+        // queue assigns the same sequence numbers the per-call path would.
+        let mut buf = std::mem::take(&mut self.event_buf);
+        sched.at_batch(buf.drain(..));
+        self.event_buf = buf;
         self.registry.observe("net.fanout", fanout);
 
         self.inflight_tx.insert(token, frame);
@@ -617,12 +635,12 @@ impl NetworkWorld {
     }
 
     /// Books one direct-path reception: pending-rx entry plus its
-    /// `RxStart`/`RxEnd` pair. Token allocation order is part of the
-    /// determinism contract shared by the fast and reference fan-outs.
-    #[allow(clippy::too_many_arguments)]
+    /// `RxStart`/`RxEnd` pair staged into [`Self::event_buf`] (the caller
+    /// flushes the whole fan-out in one batch). Token allocation order is
+    /// part of the determinism contract shared by the fast and reference
+    /// fan-outs.
     fn schedule_arrival(
         &mut self,
-        sched: &mut Schedule<'_, NetEvent>,
         rx_node: u32,
         frame: &Frame,
         group: u64,
@@ -646,18 +664,18 @@ impl NetworkWorld {
                 rid: None,
             },
         );
-        sched.at(arrival_start, NetEvent::RxStart { token: rx_token });
-        sched.at(
+        self.event_buf
+            .push((arrival_start, NetEvent::RxStart { token: rx_token }));
+        self.event_buf.push((
             arrival_start + duration,
             NetEvent::RxEnd { token: rx_token },
-        );
+        ));
     }
 
     /// Books one surface-echo reception: occupies the receiver, never
-    /// decodes.
+    /// decodes. Staged into [`Self::event_buf`] like direct arrivals.
     fn schedule_echo(
         &mut self,
-        sched: &mut Schedule<'_, NetEvent>,
         rx_node: u32,
         frame: &Frame,
         group: u64,
@@ -680,8 +698,10 @@ impl NetworkWorld {
                 rid: None,
             },
         );
-        sched.at(echo_start, NetEvent::RxStart { token: echo_token });
-        sched.at(echo_start + duration, NetEvent::RxEnd { token: echo_token });
+        self.event_buf
+            .push((echo_start, NetEvent::RxStart { token: echo_token }));
+        self.event_buf
+            .push((echo_start + duration, NetEvent::RxEnd { token: echo_token }));
     }
 
     fn handle_tx_end(&mut self, sched: &mut Schedule<'_, NetEvent>, node: usize, token: u64) {
@@ -1054,7 +1074,7 @@ impl NetworkWorld {
         if has_transport {
             let delay = self
                 .channel
-                .propagation_delay(self.positions[node], self.positions[origin.index()]);
+                .propagation_delay(self.positions.get(node), self.positions.get(origin.index()));
             sched.at(self.now + delay, NetEvent::RouteAck { sdu: id });
         }
     }
@@ -1274,12 +1294,15 @@ impl NetworkWorld {
         for i in 0..self.node_count() {
             let model = self.mobility_models[i];
             if model.is_mobile() {
-                self.positions[i] = model.step(
+                let next = model.step(
                     &mut self.mobility_rng,
-                    self.positions[i],
+                    self.positions.get(i),
                     &region,
                     dt.as_secs_f64(),
                 );
+                self.positions.set(i, next);
+                // Incremental index update: O(moved) instead of a rebuild.
+                self.link_cache.note_move(i as u32, next);
             }
         }
         // Positions changed: every cached fan-out row is now a lie.
@@ -1325,9 +1348,9 @@ impl NetworkWorld {
                 .ensure_row(&self.channel, &self.positions, node);
             self.link_cache.row_len(node)
         } else {
-            let p = self.positions[node];
+            let p = self.positions.get(node);
             (0..self.node_count())
-                .filter(|&j| j != node && self.channel.is_audible(p, self.positions[j]))
+                .filter(|&j| j != node && self.channel.is_audible(p, self.positions.get(j)))
                 .count()
         }
     }
@@ -1626,18 +1649,41 @@ impl Simulation {
             .map(|i| Some(factory(NodeId::new(i as u32))))
             .collect();
 
-        // Oracle neighbour installation (the Hello phase).
+        // Oracle neighbour installation (the Hello phase). With the spatial
+        // index enabled the scan visits only the transmitter's 27-cell
+        // neighbourhood; candidates come back in ascending node order and
+        // every one still passes the exact `is_audible` check, so the
+        // installed tables are identical to the full O(N) scan's.
         let channel = cfg.channel.clone();
+        let oracle_grid: Option<SpatialGrid> = if cfg.spatial_index {
+            channel
+                .index_cell_m()
+                .map(|cell| SpatialGrid::build(cell, positions.as_slice()))
+        } else {
+            None
+        };
         let audible_with_delays = |i: usize| -> Vec<(NodeId, SimDuration)> {
-            (0..n)
-                .filter(|&j| j != i && channel.is_audible(positions[i], positions[j]))
-                .map(|j| {
-                    (
-                        NodeId::new(j as u32),
-                        channel.propagation_delay(positions[i], positions[j]),
-                    )
-                })
-                .collect()
+            let link = |j: usize| {
+                (
+                    NodeId::new(j as u32),
+                    channel.propagation_delay(positions[i], positions[j]),
+                )
+            };
+            match &oracle_grid {
+                Some(grid) => {
+                    let mut cand = Vec::new();
+                    grid.candidates_into(positions[i], &mut cand);
+                    cand.iter()
+                        .map(|&j| j as usize)
+                        .filter(|&j| j != i && channel.is_audible(positions[i], positions[j]))
+                        .map(link)
+                        .collect()
+                }
+                None => (0..n)
+                    .filter(|&j| j != i && channel.is_audible(positions[i], positions[j]))
+                    .map(link)
+                    .collect(),
+            }
         };
         let mut maintenance = Vec::with_capacity(n);
         let mut metrics = DeliveryMetrics::new(n);
@@ -1733,7 +1779,15 @@ impl Simulation {
             cfg: rc,
         });
 
-        let link_cache = LinkBudgetCache::new(&channel, n);
+        let positions = PositionTable::from_points(&positions);
+        // The fan-out cache only consults the index on the fast path; the
+        // reference path keeps its plain O(N) scan as the differential
+        // baseline, so it never builds one.
+        let link_cache = if cfg.fastpath && cfg.spatial_index {
+            LinkBudgetCache::with_index(&channel, &positions)
+        } else {
+            LinkBudgetCache::new(&channel, n)
+        };
         let mut world = NetworkWorld {
             clock,
             spec,
@@ -1761,6 +1815,7 @@ impl Simulation {
             inflight_tx: HashMap::new(),
             pending_rx: HashMap::new(),
             timers: HashMap::new(),
+            event_buf: Vec::new(),
             next_token: 0,
             next_sdu_id: 0,
             traffic_end,
@@ -1945,8 +2000,9 @@ impl Simulation {
         self.world.clock
     }
 
-    /// Initial node positions (index = node id).
-    pub fn positions(&self) -> &[Point] {
+    /// Initial node positions (index = node id), in the world's
+    /// struct-of-arrays layout.
+    pub fn positions(&self) -> &PositionTable {
         &self.world.positions
     }
 

@@ -20,6 +20,8 @@ use uasn_sim::time::SimDuration;
 
 use crate::channel::AcousticChannel;
 use crate::geometry::Point;
+use crate::grid::SpatialGrid;
+use crate::soa::PositionSource;
 
 /// Safety factor applied on top of [`AcousticChannel::detection_radius_m`]
 /// before culling a receiver without an exact audibility check.
@@ -137,6 +139,12 @@ pub struct LinkBudgetCache {
     cull_radius_sq: Option<f64>,
     rows: Vec<Row>,
     stats: CacheStats,
+    /// Optional spatial index: when present, row builds visit only the
+    /// 27-cell neighbourhood around the transmitter instead of all N nodes.
+    grid: Option<SpatialGrid>,
+    /// Scratch buffer for grid candidate queries (kept to avoid a per-build
+    /// allocation).
+    scratch: Vec<u32>,
 }
 
 impl LinkBudgetCache {
@@ -152,6 +160,42 @@ impl LinkBudgetCache {
             cull_radius_sq,
             rows: vec![Row::default(); node_count],
             stats: CacheStats::default(),
+            grid: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Like [`LinkBudgetCache::new`], but additionally builds a
+    /// [`SpatialGrid`] over `positions` so row builds only visit
+    /// candidate-neighbour cells.
+    ///
+    /// When the channel's PER model admits no sound detection radius (see
+    /// [`AcousticChannel::index_cell_m`]) no grid is built and the cache
+    /// behaves exactly like the unindexed one — every pair gets an exact
+    /// check. Either way, rows (and therefore the channel-RNG consumption of
+    /// anything replaying them) are bit-identical to the unindexed cache's.
+    pub fn with_index<P: PositionSource + ?Sized>(
+        channel: &AcousticChannel,
+        positions: &P,
+    ) -> Self {
+        let mut cache = Self::new(channel, positions.node_count());
+        cache.grid = channel
+            .index_cell_m()
+            .map(|cell_m| SpatialGrid::build(cell_m, positions));
+        cache
+    }
+
+    /// Whether a spatial index is attached.
+    pub fn has_index(&self) -> bool {
+        self.grid.is_some()
+    }
+
+    /// Re-bins `node` in the spatial index after a position change. A no-op
+    /// without an index. Callers must still [`invalidate`](Self::invalidate)
+    /// once per mobility epoch; this only keeps the index itself fresh.
+    pub fn note_move(&mut self, node: u32, p: Point) {
+        if let Some(grid) = &mut self.grid {
+            grid.note_move(node, p);
         }
     }
 
@@ -178,52 +222,99 @@ impl LinkBudgetCache {
     /// order the uncached fan-out visits them — keeping every receiver the
     /// uncached loop would keep and nothing else. The cull radius only
     /// short-circuits pairs that are provably inaudible; every surviving
-    /// pair still goes through the exact audibility arithmetic.
-    pub fn ensure_row(&mut self, channel: &AcousticChannel, positions: &[Point], tx: usize) {
-        if self.rows.len() != positions.len() {
-            self.rows.resize(positions.len(), Row::default());
+    /// pair still goes through the exact audibility arithmetic. With a
+    /// spatial index attached, nodes outside the transmitter's 27-cell
+    /// neighbourhood are skipped without even the squared-distance test —
+    /// the cell edge exceeds the cull radius, so every skipped node is one
+    /// the cull would have rejected, and it is counted as such to keep the
+    /// statistics layout-independent.
+    pub fn ensure_row<P: PositionSource + ?Sized>(
+        &mut self,
+        channel: &AcousticChannel,
+        positions: &P,
+        tx: usize,
+    ) {
+        let n = positions.node_count();
+        if self.rows.len() != n {
+            self.rows.resize(n, Row::default());
         }
         if self.rows[tx].epoch == self.epoch {
             self.stats.hits += 1;
             return;
         }
         self.stats.misses += 1;
-        let from = positions[tx];
-        let links = &mut self.rows[tx].links;
-        links.clear();
-        for (j, &to) in positions.iter().enumerate() {
-            if j == tx {
-                continue;
+        self.rows[tx].links.clear();
+        let from = positions.position(tx);
+        if let Some(grid) = &self.grid {
+            debug_assert_eq!(
+                grid.node_count(),
+                n,
+                "spatial index covers a different node set"
+            );
+            let mut scratch = std::mem::take(&mut self.scratch);
+            grid.candidates_into(from, &mut scratch);
+            // Everything the neighbourhood query skipped is provably beyond
+            // the cull radius (cell edge > cull radius); account for it as a
+            // cull so stats match the unindexed build exactly. `tx` itself
+            // is always among the candidates, so the skip count never
+            // includes it.
+            self.stats.cull_rejects += (n - scratch.len()) as u64;
+            for &cand in &scratch {
+                let j = cand as usize;
+                self.consider_link(channel, from, positions.position(j), tx, j);
             }
-            if let Some(r2) = self.cull_radius_sq {
-                let dx = from.x - to.x;
-                let dy = from.y - to.y;
-                let dz = from.z - to.z;
-                if dx * dx + dy * dy + dz * dz > r2 {
-                    self.stats.cull_rejects += 1;
-                    continue;
-                }
+            scratch.clear();
+            self.scratch = scratch;
+        } else {
+            for j in 0..n {
+                self.consider_link(channel, from, positions.position(j), tx, j);
             }
-            let distance_m = from.distance(to);
-            let snr_db = channel.budget().snr_db(distance_m);
-            // Same arithmetic as `AcousticChannel::is_audible`, reusing the
-            // distance and SNR just computed.
-            if channel.loss_probability_at(distance_m, snr_db, 1) >= 1.0 {
-                self.stats.audibility_rejects += 1;
-                continue;
-            }
-            let echo_delay = channel
-                .echo_audible(from, to)
-                .then(|| channel.echo_delay(from, to));
-            links.push(CachedLink {
-                rx: j as u32,
-                distance_m,
-                snr_db,
-                delay: channel.propagation_delay(from, to),
-                echo_delay,
-            });
         }
         self.rows[tx].epoch = self.epoch;
+    }
+
+    /// One candidate-receiver step of a row build: cull, exact audibility,
+    /// then append. Shared verbatim between the indexed and linear scans so
+    /// they cannot drift apart.
+    #[inline]
+    fn consider_link(
+        &mut self,
+        channel: &AcousticChannel,
+        from: Point,
+        to: Point,
+        tx: usize,
+        j: usize,
+    ) {
+        if j == tx {
+            return;
+        }
+        if let Some(r2) = self.cull_radius_sq {
+            let dx = from.x - to.x;
+            let dy = from.y - to.y;
+            let dz = from.z - to.z;
+            if dx * dx + dy * dy + dz * dz > r2 {
+                self.stats.cull_rejects += 1;
+                return;
+            }
+        }
+        let distance_m = from.distance(to);
+        let snr_db = channel.budget().snr_db(distance_m);
+        // Same arithmetic as `AcousticChannel::is_audible`, reusing the
+        // distance and SNR just computed.
+        if channel.loss_probability_at(distance_m, snr_db, 1) >= 1.0 {
+            self.stats.audibility_rejects += 1;
+            return;
+        }
+        let echo_delay = channel
+            .echo_audible(from, to)
+            .then(|| channel.echo_delay(from, to));
+        self.rows[tx].links.push(CachedLink {
+            rx: j as u32,
+            distance_m,
+            snr_db,
+            delay: channel.propagation_delay(from, to),
+            echo_delay,
+        });
     }
 
     /// Number of audible receivers in `tx`'s row (the node's degree).

@@ -276,6 +276,26 @@ impl AcousticChannel {
             PerModel::Modulation { .. } => None,
         }
     }
+
+    /// Cell edge for a uniform spatial index over this channel, metres.
+    ///
+    /// The edge is [`detection_radius_m`](Self::detection_radius_m) padded by
+    /// [`crate::cache::CULL_MARGIN`] twice: the first factor is the margin
+    /// the squared-distance cull itself applies, the second keeps the 27-cell
+    /// neighbourhood boundary a full 5% beyond the cull radius so binning
+    /// arithmetic (a floored division) can never skip a node the cull's
+    /// multiply-compare would have kept. `None` when the PER model admits no
+    /// sound radius — or a zero one, where culling already rejects every
+    /// pair — meaning an index cannot help and callers must scan linearly.
+    pub fn index_cell_m(&self) -> Option<f64> {
+        let r = self.detection_radius_m()?;
+        if r > 0.0 {
+            let margin = crate::cache::CULL_MARGIN;
+            Some(r * margin * margin)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +435,35 @@ mod tests {
         let b = Point::new(200.0, 0.0, 120.0);
         assert!(ch.multipath().is_none());
         assert!(!ch.echo_audible(a, b));
+    }
+
+    #[test]
+    fn index_cell_exceeds_the_cull_radius_or_is_absent() {
+        use crate::cache::CULL_MARGIN;
+        let ch = AcousticChannel::paper_default();
+        let cell = ch.index_cell_m().expect("range cutoff has a radius");
+        let cull = ch.detection_radius_m().unwrap() * CULL_MARGIN;
+        assert!(
+            cell > cull,
+            "cell edge {cell} must clear the cull radius {cull}"
+        );
+
+        // Modulation PER has no sound radius, hence no cell size.
+        let lossy = AcousticChannel::new(
+            SoundSpeedProfile::default(),
+            LinkBudget::new(
+                140.0,
+                TransmissionLoss::new(Spreading::Spherical, 10.0),
+                AmbientNoise::default(),
+                12_000.0,
+            ),
+            PerModel::Modulation {
+                scheme: Modulation::NcFsk,
+                bandwidth_over_bitrate: 1.0,
+            },
+            1_500.0,
+        );
+        assert_eq!(lossy.index_cell_m(), None);
     }
 
     #[test]

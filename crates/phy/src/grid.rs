@@ -1,0 +1,258 @@
+//! Uniform-grid spatial index over node positions.
+//!
+//! Partitions space into axis-aligned cubic cells of edge `cell_m` and maps
+//! each node to the cell containing it. A candidate query gathers the 27-cell
+//! neighbourhood (3×3×3) around a query point, which is a **superset** of
+//! every node within `cell_m` of the point: a node outside the neighbourhood
+//! differs from the query by at least two whole cells along some axis, so its
+//! distance along that axis alone exceeds `cell_m`.
+//!
+//! The link-budget cache sizes cells at the channel's culling radius padded
+//! by [`crate::cache::CULL_MARGIN`] **twice** (see
+//! [`crate::channel::AcousticChannel::index_cell_m`]): once is the margin the
+//! brute-force cull itself applies, and the second keeps a full 5% gap
+//! between the neighbourhood boundary and the cull radius so no
+//! floating-point edge case (cell binning divides, the cull multiplies) can
+//! make the grid skip a node the brute-force scan would have kept. Skipped
+//! nodes are therefore provably beyond the cull radius, and visiting only the
+//! sorted candidates reproduces the brute-force scan's row — and its RNG
+//! consumption — bit for bit. The differential property tests in
+//! `crates/phy/tests/grid_diff.rs` enforce exactly this.
+
+use std::collections::HashMap;
+
+use crate::geometry::Point;
+use crate::soa::PositionSource;
+
+/// A uniform spatial hash of node indices, supporting incremental moves.
+///
+/// # Examples
+///
+/// ```
+/// use uasn_phy::geometry::Point;
+/// use uasn_phy::grid::SpatialGrid;
+///
+/// let positions = vec![
+///     Point::new(0.0, 0.0, 0.0),
+///     Point::new(500.0, 0.0, 0.0),
+///     Point::new(50_000.0, 0.0, 0.0),
+/// ];
+/// let grid = SpatialGrid::build(1_000.0, &positions);
+/// let mut near = Vec::new();
+/// grid.candidates_into(positions[0], &mut near);
+/// assert_eq!(near, [0, 1]); // the 50 km node is not a candidate
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_m: f64,
+    cells: HashMap<(i64, i64, i64), Vec<u32>>,
+    node_cell: Vec<(i64, i64, i64)>,
+}
+
+impl SpatialGrid {
+    /// Builds the index over `positions` with cubic cells of edge `cell_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_m` is finite and positive.
+    pub fn build<P: PositionSource + ?Sized>(cell_m: f64, positions: &P) -> Self {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "grid cell edge must be finite and positive, got {cell_m}"
+        );
+        let n = positions.node_count();
+        let mut grid = SpatialGrid {
+            cell_m,
+            cells: HashMap::new(),
+            node_cell: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let cell = grid.cell_of(positions.position(i));
+            grid.cells.entry(cell).or_default().push(i as u32);
+            grid.node_cell.push(cell);
+        }
+        grid
+    }
+
+    /// The cell edge length, metres.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Number of indexed nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_cell.len()
+    }
+
+    /// Number of non-empty cells (occupancy statistic).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64, i64) {
+        (
+            (p.x / self.cell_m).floor() as i64,
+            (p.y / self.cell_m).floor() as i64,
+            (p.z / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// Re-bins `node` after it moved to `p`. O(1) amortised; a no-op when
+    /// the move stays within the node's current cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the indexed set.
+    pub fn note_move(&mut self, node: u32, p: Point) {
+        let new_cell = self.cell_of(p);
+        let old_cell = self.node_cell[node as usize];
+        if new_cell == old_cell {
+            return;
+        }
+        let bucket = self
+            .cells
+            .get_mut(&old_cell)
+            .expect("node's recorded cell exists");
+        let at = bucket
+            .iter()
+            .position(|&m| m == node)
+            .expect("node listed in its recorded cell");
+        bucket.swap_remove(at);
+        if bucket.is_empty() {
+            self.cells.remove(&old_cell);
+        }
+        self.cells.entry(new_cell).or_default().push(node);
+        self.node_cell[node as usize] = new_cell;
+    }
+
+    /// Collects into `out` every node in the 27-cell neighbourhood around
+    /// `p`, sorted ascending by node index.
+    ///
+    /// The result is a superset of all indexed nodes within `cell_m` of `p`
+    /// (including any node located exactly at `p`); nodes missing from it
+    /// are guaranteed to lie strictly farther than `cell_m` away.
+    pub fn candidates_into(&self, p: Point, out: &mut Vec<u32>) {
+        out.clear();
+        let (cx, cy, cz) = self.cell_of(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        out.extend_from_slice(bucket);
+                    }
+                }
+            }
+        }
+        // Ascending order is part of the determinism contract: callers
+        // visit candidates in the same order the brute-force scan would.
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(positions: &[Point], p: Point, radius: f64) -> Vec<u32> {
+        positions
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| p.distance(**q) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn candidates_cover_everything_within_one_cell_edge() {
+        let cell = 750.0;
+        let positions: Vec<Point> = (0..40)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(f * 311.7 % 5_000.0, f * 173.3 % 5_000.0, f * 97.1 % 2_000.0)
+            })
+            .collect();
+        let grid = SpatialGrid::build(cell, &positions);
+        let mut cand = Vec::new();
+        for &p in &positions {
+            grid.candidates_into(p, &mut cand);
+            for near in brute_within(&positions, p, cell) {
+                assert!(cand.contains(&near), "grid dropped node {near} near {p}");
+            }
+            let sorted = {
+                let mut c = cand.clone();
+                c.sort_unstable();
+                c
+            };
+            assert_eq!(cand, sorted, "candidates must come out ascending");
+        }
+    }
+
+    #[test]
+    fn note_move_rebins_incrementally() {
+        let positions = vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(100.0, 0.0, 0.0),
+            Point::new(10_000.0, 0.0, 0.0),
+        ];
+        let mut grid = SpatialGrid::build(1_000.0, &positions);
+        let mut cand = Vec::new();
+        grid.candidates_into(positions[0], &mut cand);
+        assert_eq!(cand, [0, 1]);
+
+        // Node 2 drifts next to node 0; node 1 leaves for the far corner.
+        grid.note_move(2, Point::new(200.0, 0.0, 0.0));
+        grid.note_move(1, Point::new(9_900.0, 9_900.0, 0.0));
+        grid.candidates_into(positions[0], &mut cand);
+        assert_eq!(cand, [0, 2]);
+
+        // An incrementally maintained grid matches a fresh rebuild.
+        let moved = vec![
+            positions[0],
+            Point::new(9_900.0, 9_900.0, 0.0),
+            Point::new(200.0, 0.0, 0.0),
+        ];
+        let fresh = SpatialGrid::build(1_000.0, &moved);
+        let mut fresh_cand = Vec::new();
+        for &p in &moved {
+            grid.candidates_into(p, &mut cand);
+            fresh.candidates_into(p, &mut fresh_cand);
+            assert_eq!(
+                cand, fresh_cand,
+                "incremental and fresh grids diverge at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_cell_moves_are_no_ops() {
+        let positions = vec![Point::new(10.0, 10.0, 10.0), Point::new(20.0, 20.0, 20.0)];
+        let mut grid = SpatialGrid::build(1_000.0, &positions);
+        let cells_before = grid.occupied_cells();
+        grid.note_move(0, Point::new(900.0, 900.0, 900.0));
+        assert_eq!(grid.occupied_cells(), cells_before);
+        let mut cand = Vec::new();
+        grid.candidates_into(Point::new(0.0, 0.0, 0.0), &mut cand);
+        assert_eq!(cand, [0, 1]);
+    }
+
+    #[test]
+    fn negative_coordinates_bin_correctly() {
+        let positions = vec![
+            Point::new(-10.0, -10.0, 5.0),
+            Point::new(10.0, 10.0, 5.0),
+            Point::new(-5_000.0, -5_000.0, 5.0),
+        ];
+        let grid = SpatialGrid::build(1_000.0, &positions);
+        let mut cand = Vec::new();
+        grid.candidates_into(positions[0], &mut cand);
+        assert!(cand.contains(&0) && cand.contains(&1));
+        assert!(!cand.contains(&2), "the -5 km node is two cells away");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_cell_edge_is_rejected() {
+        let positions: Vec<Point> = Vec::new();
+        let _ = SpatialGrid::build(0.0, &positions);
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`per`] — packet-error models: deterministic range cutoff (the paper's
 //!   regime), SNR threshold, and modulation-based BER/PER.
 //! * [`cache`] — per-pair link-budget memoization for the fan-out hot path.
+//! * [`grid`] — uniform spatial index bounding each fan-out to neighbour
+//!   cells.
+//! * [`soa`] — struct-of-arrays position storage for the hot path.
 //! * [`modem`] — the half-duplex modem with an overlap (collision) ledger.
 //! * [`timestamp`] — §4.3 frame stamping and arrival back-dating arithmetic.
 //! * [`energy`] — power-state energy metering in the paper's mW units.
@@ -47,11 +50,13 @@ pub mod cache;
 pub mod channel;
 pub mod energy;
 pub mod geometry;
+pub mod grid;
 pub mod mobility;
 pub mod modem;
 pub mod noise;
 pub mod per;
 pub mod propagation;
+pub mod soa;
 pub mod sound;
 pub mod timestamp;
 
@@ -59,7 +64,9 @@ pub use cache::{CacheStats, CachedLink, LinkBudgetCache};
 pub use channel::AcousticChannel;
 pub use energy::{EnergyMeter, PowerProfile};
 pub use geometry::{Point, Region};
+pub use grid::SpatialGrid;
 pub use mobility::MobilityModel;
 pub use modem::{Modem, ModemSpec, ModemState};
 pub use per::{Modulation, PerModel};
+pub use soa::{PositionSource, PositionTable};
 pub use sound::SoundSpeedProfile;

@@ -65,6 +65,22 @@ impl<'a, E> Schedule<'a, E> {
         self.queue.schedule(self.now + delay, event)
     }
 
+    /// Schedules a batch of `(time, event)` pairs in iteration order,
+    /// fire-and-forget. Equivalent to calling [`Schedule::at`] once per pair
+    /// and discarding the keys, but reserves queue space up front — the
+    /// cheap path for transmission fan-outs that schedule one arrival pair
+    /// per audible receiver and never cancel them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair's time precedes the current time.
+    pub fn at_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        self.queue.schedule_all(events);
+    }
+
     /// Cancels a scheduled event; returns whether it was still pending.
     pub fn cancel(&mut self, key: EventKey) -> bool {
         self.queue.cancel(key)

@@ -207,6 +207,53 @@ impl<E> EventQueue<E> {
         EventKey::new(slot, gen)
     }
 
+    /// Schedules every `(time, payload)` pair in iteration order, returning
+    /// the keys in the same order.
+    ///
+    /// Semantically identical to calling [`schedule`](Self::schedule) once
+    /// per pair — sequence numbers are handed out in iteration order, so
+    /// equal-time events pop in exactly the order the batch listed them —
+    /// but reserves heap space up front from the iterator's size hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair's time precedes the watermark.
+    pub fn schedule_batch<I>(&mut self, events: I) -> Vec<EventKey>
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let events = events.into_iter();
+        let hint = events.size_hint().0;
+        self.heap.reserve(hint);
+        let mut keys = Vec::with_capacity(hint);
+        for (time, payload) in events {
+            keys.push(self.schedule(time, payload));
+        }
+        keys
+    }
+
+    /// [`schedule_batch`](Self::schedule_batch) without collecting keys —
+    /// the fire-and-forget form for fan-outs that never cancel.
+    pub fn schedule_all<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let events = events.into_iter();
+        self.heap.reserve(events.size_hint().0);
+        for (time, payload) in events {
+            self.schedule(time, payload);
+        }
+    }
+
+    /// Cancels every key in the batch; returns how many were still pending.
+    ///
+    /// Stale, fired, or already-cancelled keys are skipped exactly as
+    /// [`cancel`](Self::cancel) skips them — a batch cancel can never touch
+    /// a reused slot.
+    pub fn cancel_batch(&mut self, keys: &[EventKey]) -> usize {
+        keys.iter().filter(|&&key| self.cancel(key)).count()
+    }
+
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired (and is now guaranteed

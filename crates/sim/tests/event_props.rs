@@ -71,6 +71,115 @@ proptest! {
         prop_assert!(q.is_empty());
     }
 
+    /// Batch pushes are semantically repeated `schedule` calls: a batch
+    /// interleaved with singleton pushes preserves equal-time FIFO order
+    /// exactly as if every event had been scheduled one by one.
+    #[test]
+    fn batch_push_preserves_equal_time_fifo(
+        prefix in proptest::collection::vec(0u64..6, 0..30),
+        batch in proptest::collection::vec(0u64..6, 0..60),
+        suffix in proptest::collection::vec(0u64..6, 0..30),
+    ) {
+        let mut q = EventQueue::new();
+        let mut idx = 0usize;
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for &t in &prefix {
+            q.schedule(SimTime::from_micros(t), idx);
+            expected.push((t, idx));
+            idx += 1;
+        }
+        let batch_events: Vec<(SimTime, usize)> = batch
+            .iter()
+            .map(|&t| {
+                let e = (SimTime::from_micros(t), idx);
+                expected.push((t, idx));
+                idx += 1;
+                e
+            })
+            .collect();
+        let keys = q.schedule_batch(batch_events);
+        prop_assert_eq!(keys.len(), batch.len());
+        for &t in &suffix {
+            q.schedule(SimTime::from_micros(t), idx);
+            expected.push((t, idx));
+            idx += 1;
+        }
+        prop_assert_eq!(q.len(), expected.len());
+        // Stable sort by time = the queue's contract: time-ordered,
+        // insertion-ordered within a time — batch boundaries invisible.
+        expected.sort_by_key(|&(t, _)| t);
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_micros(), i));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Batch cancel: every cancelled event is inert, survivors drain in
+    /// contract order, and the returned count plus reused keys stay exact —
+    /// a second `cancel_batch` on the same keys removes nothing.
+    #[test]
+    fn batch_cancel_makes_keys_inert(
+        events in proptest::collection::vec((0u64..6, proptest::bool::ANY), 1..60),
+    ) {
+        let mut q = EventQueue::new();
+        let pairs: Vec<(SimTime, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, _))| (SimTime::from_micros(t), i))
+            .collect();
+        let keys = q.schedule_batch(pairs);
+        let doomed: Vec<_> = events
+            .iter()
+            .zip(&keys)
+            .filter(|((_, d), _)| *d)
+            .map(|(_, &k)| k)
+            .collect();
+        let cancelled = q.cancel_batch(&doomed);
+        prop_assert_eq!(cancelled, doomed.len());
+        // Stale keys are inert: nothing left for them to cancel.
+        prop_assert_eq!(q.cancel_batch(&doomed), 0);
+        let mut live: Vec<(u64, usize)> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, d))| !d)
+            .map(|(i, &(t, _))| (t, i))
+            .collect();
+        prop_assert_eq!(q.len(), live.len());
+        live.sort_by_key(|&(t, _)| t);
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_micros(), i));
+        }
+        prop_assert_eq!(popped, live);
+        prop_assert!(q.is_empty());
+    }
+
+    /// `schedule_all` is `schedule_batch` without the keys: same events,
+    /// same order, same queue state.
+    #[test]
+    fn schedule_all_matches_schedule_batch(
+        times in proptest::collection::vec(0u64..6, 1..60),
+    ) {
+        let mut with_keys = EventQueue::new();
+        let mut fire_and_forget = EventQueue::new();
+        let pairs: Vec<(SimTime, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (SimTime::from_micros(t), i))
+            .collect();
+        with_keys.schedule_batch(pairs.clone());
+        fire_and_forget.schedule_all(pairs);
+        prop_assert_eq!(with_keys.len(), fire_and_forget.len());
+        loop {
+            let (a, b) = (with_keys.pop(), fire_and_forget.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Stale keys from drained events never cancel the slot's new occupant.
     #[test]
     fn stale_keys_cannot_touch_reused_slots(rounds in 1usize..50) {
