@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         quiet: args.quiet,
         profile: false,
         monitor: false,
+        cancel: None,
     };
     let outcome = match run_sweep(&specs, &opts) {
         Ok(outcome) => outcome,

@@ -5,7 +5,7 @@
 //!            [--out DIR] [--max-cells N] [--quiet] [--profile] [--monitor]
 //! lab resume <journal> [--jobs N] [--out DIR] [--max-cells N] [--quiet]
 //!            [--profile] [--monitor]
-//! lab status <journal>
+//! lab status <journal> [--json]
 //! ```
 //!
 //! `run` expands the requested figures (default `all`) into a flat
@@ -28,7 +28,7 @@ const USAGE: &str = "usage:
              [--out DIR] [--max-cells N] [--quiet] [--profile] [--monitor]
   lab resume <journal> [--jobs N] [--out DIR] [--max-cells N] [--quiet]
              [--profile] [--monitor]
-  lab status <journal>
+  lab status <journal> [--json]
 
 LIST is comma-separated figure IDs (fig6, F9a, X2, ablation, ...) or \"all\".
 --profile runs every cell with performance profiling on (results are
@@ -117,6 +117,7 @@ fn cmd_run(tokens: &[String]) -> Result<ExitCode, String> {
         quiet: args.quiet,
         profile: args.profile,
         monitor: args.monitor,
+        cancel: None,
     };
     Ok(finish(
         grid::run_sweep(&specs, &opts).map_err(|e| format!("sweep failed: {e}"))?,
@@ -140,6 +141,7 @@ fn cmd_resume(tokens: &[String]) -> Result<ExitCode, String> {
         quiet: args.quiet,
         profile: args.profile,
         monitor: args.monitor,
+        cancel: None,
     };
     Ok(finish(
         grid::run_sweep(&specs, &opts).map_err(|e| format!("sweep failed: {e}"))?,
@@ -148,12 +150,19 @@ fn cmd_resume(tokens: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_status(tokens: &[String]) -> Result<ExitCode, String> {
-    let [journal] = tokens else {
-        return Err(format!("status needs exactly one journal path\n\n{USAGE}"));
+    let (journal, json) = match tokens {
+        [journal] => (journal, false),
+        [journal, flag] if flag == "--json" => (journal, true),
+        [flag, journal] if flag == "--json" => (journal, true),
+        _ => return Err(format!("status needs a journal path [--json]\n\n{USAGE}")),
     };
     let status =
         grid::status(&PathBuf::from(journal)).map_err(|e| format!("cannot read journal: {e}"))?;
-    print!("{}", status.render());
+    if json {
+        println!("{}", status.to_json().to_json());
+    } else {
+        print!("{}", status.render());
+    }
     Ok(if status.failed.is_empty() {
         ExitCode::SUCCESS
     } else {

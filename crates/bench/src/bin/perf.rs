@@ -32,12 +32,7 @@ use uasn_bench::perf::{
 use uasn_sim::json::JsonValue;
 
 fn default_out() -> PathBuf {
-    // Same workspace-root anchoring as `cli::results_dir`, but for the
-    // committed trajectory file rather than the results directory.
-    uasn_bench::cli::results_dir()
-        .parent()
-        .map(|root| root.join("BENCH_perf.json"))
-        .unwrap_or_else(|| PathBuf::from("BENCH_perf.json"))
+    uasn_bench::paths::bench_perf_path()
 }
 
 fn parse_count(flag: &str, value: Option<String>) -> Result<u32, String> {

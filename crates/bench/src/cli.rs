@@ -8,35 +8,14 @@
 //! count), and [`results_dir`] resolves the *workspace* results directory
 //! regardless of the invocation cwd.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use crate::figures::by_id;
 use crate::grid::{run_sweep, SweepOptions};
 use crate::runner::DEFAULT_SEEDS;
 
-/// Environment variable overriding the results directory.
-pub const RESULTS_ENV: &str = "UASN_RESULTS_DIR";
-
-/// Resolves where artifacts are written: [`RESULTS_ENV`] wins; otherwise
-/// `<workspace root>/results`, found by walking up from this crate's
-/// manifest directory and keeping the *outermost* ancestor that contains a
-/// `Cargo.toml` (the workspace root, not the crate root); `results/`
-/// relative to the cwd as a last resort.
-pub fn results_dir() -> PathBuf {
-    if let Some(dir) = std::env::var_os(RESULTS_ENV) {
-        if !dir.is_empty() {
-            return PathBuf::from(dir);
-        }
-    }
-    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .ancestors()
-        .filter(|dir| dir.join("Cargo.toml").is_file())
-        .last()
-        .map(|root| root.join("results"))
-        .unwrap_or_else(|| PathBuf::from("results"))
-}
+pub use crate::paths::{results_dir, RESULTS_ENV};
 
 /// The flag set shared by every figure bin.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -122,6 +101,7 @@ pub fn figure_main(id: &str) -> ExitCode {
         quiet: args.quiet,
         profile: false,
         monitor: false,
+        cancel: None,
     };
     let outcome = match run_sweep(&[spec], &opts) {
         Ok(outcome) => outcome,
@@ -158,6 +138,7 @@ pub fn figure_main(id: &str) -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn parse(tokens: &[&str]) -> Result<CommonArgs, String> {
         parse_common(tokens.iter().map(|t| t.to_string()))

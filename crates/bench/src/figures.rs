@@ -216,6 +216,18 @@ fn cfg_two_ray(loss_db: f64) -> SimConfig {
     cfg
 }
 
+/// `SMOKE`'s miniature cell: 8 sensors, 30 simulated seconds — a few
+/// milliseconds of wall clock, so a whole SMOKE sweep finishes in well
+/// under a second. Exists for the `uasn-labd` service tests and CI smoke
+/// jobs, which need a *registered* figure (servable by ID over the wire)
+/// that is cheap enough to run dozens of times per test.
+fn cfg_smoke(load: f64) -> SimConfig {
+    SimConfig::paper_default()
+        .with_sensors(8)
+        .with_offered_load_kbps(load)
+        .with_sim_time(SimDuration::from_secs(30))
+}
+
 /// The routed sweeps' load axis, kbps of bursty offered load.
 const ROUTE_LOAD_AXIS: [f64; 5] = [0.2, 0.4, 0.8, 1.2, 1.6];
 
@@ -495,6 +507,17 @@ pub static REGISTRY: &[FigureSpec] = &[
         metric: Metric::E2eLatencyP90S,
         normalized: false,
     },
+    FigureSpec {
+        id: "SMOKE",
+        title: "Miniature smoke sweep (service tests and CI)",
+        x_label: "load kbps",
+        y_label: "throughput (kbps, Eq 3)",
+        xs: &[0.4, 0.8],
+        protocols: &SYNC_SET,
+        configure: cfg_smoke,
+        metric: Metric::ThroughputKbps,
+        normalized: false,
+    },
 ];
 
 /// Looks a spec up by its canonical ID, case-insensitively.
@@ -588,6 +611,7 @@ mod tests {
         assert_eq!(by_id("SYNC-DRIFT").unwrap().id, "sync-drift");
         assert_eq!(by_id("sync-guard").unwrap().id, "sync-guard");
         assert_eq!(by_id("ROUTE-LOAD").unwrap().id, "route-load");
+        assert_eq!(by_id("smoke").unwrap().id, "SMOKE");
         assert!(by_id("F99").is_none());
         let figs = parse_figures("fig6,X2,ablation").expect("parse");
         let ids: Vec<&str> = figs.iter().map(|s| s.id).collect();

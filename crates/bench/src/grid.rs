@@ -22,11 +22,14 @@
 use std::io;
 use std::ops::ControlFlow;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use uasn_lab::journal::{JournalError, JournalWriter, LoadedJournal};
 use uasn_lab::pool::{self, Outcome};
 use uasn_lab::progress::Progress;
 use uasn_lab::spec::{JobKey, JobTable, SweepSpec};
+use uasn_sim::json::JsonValue;
 use uasn_sim::profile::ProfileReport;
 use uasn_sim::trace::TraceHealth;
 
@@ -110,6 +113,11 @@ pub struct SweepOptions {
     /// [`SweepOutcome::monitor`]. Like `profile`, mixed-setting resumes
     /// are allowed.
     pub monitor: bool,
+    /// Cooperative cancellation flag (the `uasn-labd` cancel/drain hook).
+    /// When another thread sets it, the sweep stops *scheduling* fresh
+    /// cells; in-flight cells complete and journal normally, so a
+    /// cancelled journal resumes cleanly. `None` runs uninterruptible.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SweepOptions {
@@ -122,6 +130,7 @@ impl Default for SweepOptions {
             quiet: true,
             profile: false,
             monitor: false,
+            cancel: None,
         }
     }
 }
@@ -145,6 +154,9 @@ pub struct SweepOutcome {
     pub failed: Vec<(String, String)>,
     /// Whether the run stopped early because it hit `max_cells`.
     pub hit_max_cells: bool,
+    /// Whether the run stopped early because [`SweepOptions::cancel`] was
+    /// raised. Cells already in flight at that moment still journaled.
+    pub cancelled: bool,
     /// The end-of-run progress summary line.
     pub summary: String,
     /// Trace-sink health merged over every decoded cell (fresh *and*
@@ -235,6 +247,17 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
         }
     }
 
+    // A cancel raised before any cell is scheduled stops the whole sweep;
+    // raised mid-run, it stops scheduling at the next completed cell (the
+    // pool's sink is the only cooperative point we own).
+    let mut cancelled = opts
+        .cancel
+        .as_ref()
+        .is_some_and(|flag| flag.load(Ordering::SeqCst));
+    if cancelled {
+        pending.clear();
+    }
+
     let mut progress = Progress::new(total, resumed, opts.workers, !opts.quiet);
     let mut journal_error: Option<JournalError> = None;
     let run = |index: usize| {
@@ -280,6 +303,12 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
                     }
                 }
                 errors[result.index] = Some(message);
+            }
+        }
+        if let Some(flag) = &opts.cancel {
+            if flag.load(Ordering::SeqCst) {
+                cancelled = true;
+                return ControlFlow::Break(());
             }
         }
         ControlFlow::Continue(())
@@ -361,6 +390,7 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
         completed,
         failed,
         hit_max_cells,
+        cancelled,
         summary: progress.summary(),
         trace,
         profile,
@@ -369,7 +399,7 @@ pub fn run_sweep(specs: &[&'static FigureSpec], opts: &SweepOptions) -> io::Resu
 }
 
 /// What `lab status` reports about a journal.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalStatus {
     /// Figure IDs the journal covers.
     pub figures: Vec<String>,
@@ -409,6 +439,73 @@ impl JournalStatus {
             out.push_str(&format!("failed: {job}: {error}\n"));
         }
         out
+    }
+
+    /// The machine-readable status document — one serializer for `lab
+    /// status --json` and the `uasn-labd` job endpoints, so scripts never
+    /// scrape the human rendering. `pending` is included derived for
+    /// consumer convenience.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "figures".to_string(),
+                JsonValue::Array(self.figures.iter().map(JsonValue::from_string).collect()),
+            ),
+            ("seeds".to_string(), JsonValue::from_u64(self.seeds)),
+            ("total".to_string(), JsonValue::from_u64(self.total as u64)),
+            ("done".to_string(), JsonValue::from_u64(self.done as u64)),
+            (
+                "pending".to_string(),
+                JsonValue::from_u64(self.pending() as u64),
+            ),
+            (
+                "failed".to_string(),
+                JsonValue::Array(
+                    self.failed
+                        .iter()
+                        .map(|(job, error)| {
+                            JsonValue::Object(vec![
+                                ("job".to_string(), JsonValue::from_string(job)),
+                                ("error".to_string(), JsonValue::from_string(error)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dropped_partial".to_string(),
+                JsonValue::Bool(self.dropped_partial),
+            ),
+        ])
+    }
+
+    /// Parses [`JournalStatus::to_json`]'s document back (the derived
+    /// `pending` field is recomputed, not trusted).
+    pub fn from_json(doc: &JsonValue) -> Option<JournalStatus> {
+        let figures = doc
+            .get("figures")?
+            .as_array()?
+            .iter()
+            .map(|f| f.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        let failed = doc
+            .get("failed")?
+            .as_array()?
+            .iter()
+            .map(|entry| {
+                let job = entry.get("job")?.as_str()?.to_string();
+                let error = entry.get("error")?.as_str()?.to_string();
+                Some((job, error))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(JournalStatus {
+            figures,
+            seeds: doc.get("seeds")?.as_u64()?,
+            total: doc.get("total")?.as_u64()? as usize,
+            done: doc.get("done")?.as_u64()? as usize,
+            failed,
+            dropped_partial: doc.get("dropped_partial")?.as_bool()?,
+        })
     }
 }
 
@@ -506,5 +603,43 @@ mod tests {
         .expect_err("seed mismatch must not silently merge");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_status_round_trips_through_json() {
+        let status = JournalStatus {
+            figures: vec!["F6".to_string(), "X2".to_string()],
+            seeds: 4,
+            total: 120,
+            done: 77,
+            failed: vec![("F6/p01/ropa/s002".to_string(), "cell panicked".to_string())],
+            dropped_partial: true,
+        };
+        let doc = status.to_json();
+        assert_eq!(
+            doc.get("pending").and_then(JsonValue::as_u64),
+            Some(43),
+            "derived pending is published"
+        );
+        assert_eq!(JournalStatus::from_json(&doc), Some(status));
+        assert!(JournalStatus::from_json(&JsonValue::Object(vec![])).is_none());
+    }
+
+    #[test]
+    fn a_pre_raised_cancel_flag_schedules_nothing() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let outcome = run_sweep(
+            &[by_id("SMOKE").unwrap()],
+            &SweepOptions {
+                seeds: 1,
+                cancel: Some(flag),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("cancelled sweep still returns an outcome");
+        assert!(outcome.cancelled);
+        assert_eq!(outcome.completed, 0);
+        assert!(!outcome.complete);
+        assert!(outcome.runs.is_empty(), "partial grids never aggregate");
     }
 }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod figures;
 pub mod grid;
 pub mod manifest;
+pub mod paths;
 pub mod perf;
 pub mod protocols;
 pub mod report;

@@ -1,0 +1,522 @@
+//! A thin blocking client for the `uasn-labd` experiment service.
+//!
+//! Hand-rolled HTTP/1.1 over [`std::net::TcpStream`] — the same
+//! no-new-dependencies spirit as the JSON module. One request per
+//! connection (`Connection: close`), bodies are JSON, and the streaming
+//! results endpoint is consumed incrementally: chunked transfer is decoded
+//! on the fly and every complete JSONL line is handed to a callback, so a
+//! watcher sees cell records the moment the server flushes them.
+//!
+//! The submission document ([`JobRequest`]) lives here rather than in the
+//! server crate so both ends — and any test — share one serializer.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use uasn_sim::json::JsonValue;
+
+/// A sweep submission: which figures, how many replications, and the
+/// execution knobs the server honours per job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Figure/experiment IDs, as understood by the bench registry
+    /// (`"fig6"`, `"F9a"`, `"SMOKE"`, …).
+    pub figures: Vec<String>,
+    /// Replications per cell.
+    pub seeds: u64,
+    /// Worker threads for this sweep; `None` defers to the server's
+    /// default.
+    pub workers: Option<usize>,
+    /// Stop after this many fresh cells (deterministic-interruption
+    /// testing hook, same semantics as `lab run --max-cells`). Applies to
+    /// the first attempt only — a server restart resumes to completion.
+    pub max_cells: Option<usize>,
+    /// Run cells with performance profiling on.
+    pub profile: bool,
+    /// Run cells with the online invariant monitors on.
+    pub monitor: bool,
+}
+
+impl JobRequest {
+    /// A plain submission of `figures` at `seeds` replications.
+    pub fn new(figures: Vec<String>, seeds: u64) -> JobRequest {
+        JobRequest {
+            figures,
+            seeds,
+            workers: None,
+            max_cells: None,
+            profile: false,
+            monitor: false,
+        }
+    }
+
+    /// Serialises into the `POST /v1/jobs` body.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            (
+                "figures".to_string(),
+                JsonValue::Array(self.figures.iter().map(JsonValue::from_string).collect()),
+            ),
+            ("seeds".to_string(), JsonValue::from_u64(self.seeds)),
+        ];
+        if let Some(workers) = self.workers {
+            pairs.push(("workers".to_string(), JsonValue::from_u64(workers as u64)));
+        }
+        if let Some(max) = self.max_cells {
+            pairs.push(("max_cells".to_string(), JsonValue::from_u64(max as u64)));
+        }
+        if self.profile {
+            pairs.push(("profile".to_string(), JsonValue::Bool(true)));
+        }
+        if self.monitor {
+            pairs.push(("monitor".to_string(), JsonValue::Bool(true)));
+        }
+        JsonValue::Object(pairs)
+    }
+
+    /// Parses a submission body. Figure-list emptiness and registry
+    /// validity are the server's to check; this only fixes the shape.
+    pub fn from_json(doc: &JsonValue) -> Option<JobRequest> {
+        let figures = doc
+            .get("figures")?
+            .as_array()?
+            .iter()
+            .map(|f| f.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        Some(JobRequest {
+            figures,
+            seeds: doc.get("seeds")?.as_u64()?,
+            workers: doc
+                .get("workers")
+                .and_then(JsonValue::as_u64)
+                .map(|w| w as usize),
+            max_cells: doc
+                .get("max_cells")
+                .and_then(JsonValue::as_u64)
+                .map(|m| m as usize),
+            profile: doc
+                .get("profile")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            monitor: doc
+                .get("monitor")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+        })
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure.
+    Io(io::Error),
+    /// The server spoke, but not valid HTTP/JSON.
+    Protocol(String),
+    /// A structured error response (`{"error":{"code","message"}}`).
+    Api {
+        /// HTTP status code (429 = admission queue full, …).
+        status: u16,
+        /// Machine-readable error code (`"queue-full"`, `"draining"`, …).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "labd transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "labd protocol: {m}"),
+            ClientError::Api {
+                status,
+                code,
+                message,
+            } => write!(f, "labd {status} {code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Blocking client for one `uasn-labd` server.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the server at `addr` (`"127.0.0.1:4411"`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `GET /healthz` — the server's liveness document.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or structured API failures.
+    pub fn health(&self) -> Result<JsonValue, ClientError> {
+        self.json_request("GET", "/healthz", None)
+    }
+
+    /// `POST /v1/jobs` — submits a sweep. Returns the assigned job ID.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 429 and code `queue-full` when the
+    /// admission queue is at capacity, 503 `draining` during shutdown,
+    /// 400 for malformed submissions; plus transport failures.
+    pub fn submit(&self, request: &JobRequest) -> Result<String, ClientError> {
+        let reply = self.json_request("POST", "/v1/jobs", Some(&request.to_json()))?;
+        reply
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("submit reply missing job id".to_string()))
+    }
+
+    /// `GET`s an arbitrary server path returning JSON — the query-surface
+    /// endpoints (`/v1/results`, `/v1/results/{job}`,
+    /// `/v1/results/{job}/{figure}`).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or structured API failures.
+    pub fn get(&self, path: &str) -> Result<JsonValue, ClientError> {
+        self.json_request("GET", path, None)
+    }
+
+    /// `GET /v1/jobs` — every job the server knows, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or structured API failures.
+    pub fn jobs(&self) -> Result<JsonValue, ClientError> {
+        self.json_request("GET", "/v1/jobs", None)
+    }
+
+    /// `GET /v1/jobs/{id}` — one job's status document.
+    ///
+    /// # Errors
+    ///
+    /// 404 `unknown-job` for unknown IDs; plus transport failures.
+    pub fn job(&self, id: &str) -> Result<JsonValue, ClientError> {
+        self.json_request("GET", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// `POST /v1/jobs/{id}/cancel`.
+    ///
+    /// # Errors
+    ///
+    /// 404 for unknown jobs, 409 `already-finished` for terminal ones.
+    pub fn cancel(&self, id: &str) -> Result<JsonValue, ClientError> {
+        self.json_request("POST", &format!("/v1/jobs/{id}/cancel"), None)
+    }
+
+    /// `GET /v1/jobs/{id}/summary` — the sweep summary written when the
+    /// job completed (aggregate trace health, profile, monitor totals).
+    ///
+    /// # Errors
+    ///
+    /// 404 until the job has completed; plus transport failures.
+    pub fn summary(&self, id: &str) -> Result<JsonValue, ClientError> {
+        self.json_request("GET", &format!("/v1/jobs/{id}/summary"), None)
+    }
+
+    /// `GET /v1/jobs/{id}/stream` — tails the job's journal live. Every
+    /// complete JSONL line (journal v1, verbatim) is passed to `on_line`
+    /// as it arrives; the call returns the line count once the job reaches
+    /// a terminal state and the journal is drained.
+    ///
+    /// # Errors
+    ///
+    /// 404 for unknown jobs; plus transport failures mid-stream.
+    pub fn stream(&self, id: &str, mut on_line: impl FnMut(&str)) -> Result<usize, ClientError> {
+        let mut reader = self.open(&format!("/v1/jobs/{id}/stream"))?;
+        let (status, headers) = read_head(&mut reader)?;
+        if status != 200 {
+            let body = read_plain_body(&mut reader, &headers)?;
+            return Err(api_error(status, &body));
+        }
+        if !is_chunked(&headers) {
+            return Err(ClientError::Protocol(
+                "stream endpoint did not use chunked transfer".to_string(),
+            ));
+        }
+        let mut lines = 0usize;
+        let mut pending = Vec::new();
+        loop {
+            let chunk = read_chunk(&mut reader)?;
+            let Some(chunk) = chunk else { break };
+            pending.extend_from_slice(&chunk);
+            while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = pending.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                if !text.is_empty() {
+                    on_line(&text);
+                    lines += 1;
+                }
+            }
+        }
+        Ok(lines)
+    }
+
+    /// `POST /v1/shutdown` — asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or structured API failures.
+    pub fn shutdown(&self) -> Result<JsonValue, ClientError> {
+        self.json_request("POST", "/v1/shutdown", None)
+    }
+
+    /// Polls `GET /v1/jobs/{id}` until the job reaches a terminal state
+    /// (done, failed, cancelled, interrupted) or `timeout` elapses,
+    /// returning the final status document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on timeout; plus per-poll failures.
+    pub fn wait_terminal(&self, id: &str, timeout: Duration) -> Result<JsonValue, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let doc = self.job(id)?;
+            let state = doc.get("state").and_then(JsonValue::as_str).unwrap_or("");
+            if matches!(state, "done" | "failed" | "cancelled" | "interrupted") {
+                return Ok(doc);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Protocol(format!(
+                    "job {id} still {state:?} after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn open(&self, path: &str) -> Result<BufReader<TcpStream>, ClientError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let mut writer = stream.try_clone()?;
+        write!(
+            writer,
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        )?;
+        writer.flush()?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn json_request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&JsonValue>,
+    ) -> Result<JsonValue, ClientError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let mut writer = stream.try_clone()?;
+        let body_text = body.map(JsonValue::to_json).unwrap_or_default();
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            self.addr
+        )?;
+        if body.is_some() {
+            write!(
+                writer,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body_text.len()
+            )?;
+        }
+        write!(writer, "\r\n{body_text}")?;
+        writer.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = read_head(&mut reader)?;
+        let body = read_plain_body(&mut reader, &headers)?;
+        if status >= 400 {
+            return Err(api_error(status, &body));
+        }
+        let text = String::from_utf8_lossy(&body);
+        JsonValue::parse(&text)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response body: {e}")))
+    }
+}
+
+/// Reads the status line and headers. Header names are lowercased.
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(u16, Vec<(String, String)>), ClientError> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn is_chunked(headers: &[(String, String)]) -> bool {
+    header(headers, "transfer-encoding")
+        .map(|v| v.eq_ignore_ascii_case("chunked"))
+        .unwrap_or(false)
+}
+
+/// Reads a non-streaming body: chunked if declared, else Content-Length,
+/// else read-to-EOF (legal under `Connection: close`).
+fn read_plain_body(
+    reader: &mut BufReader<TcpStream>,
+    headers: &[(String, String)],
+) -> Result<Vec<u8>, ClientError> {
+    if is_chunked(headers) {
+        let mut body = Vec::new();
+        while let Some(chunk) = read_chunk(reader)? {
+            body.extend_from_slice(&chunk);
+        }
+        return Ok(body);
+    }
+    if let Some(len) = header(headers, "content-length").and_then(|v| v.parse::<usize>().ok()) {
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        return Ok(body);
+    }
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    Ok(body)
+}
+
+/// Reads one chunk of a chunked body; `None` at the terminating 0-chunk.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> Result<Option<Vec<u8>>, ClientError> {
+    let mut size_line = String::new();
+    reader.read_line(&mut size_line)?;
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .map_err(|_| ClientError::Protocol(format!("bad chunk size {size_line:?}")))?;
+    if size == 0 {
+        let mut trailer = String::new();
+        let _ = reader.read_line(&mut trailer);
+        return Ok(None);
+    }
+    let mut chunk = vec![0u8; size];
+    reader.read_exact(&mut chunk)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    Ok(Some(chunk))
+}
+
+/// Maps an error-status body to [`ClientError::Api`], tolerating bodies
+/// that are not the structured shape.
+fn api_error(status: u16, body: &[u8]) -> ClientError {
+    let text = String::from_utf8_lossy(body);
+    let doc = JsonValue::parse(&text).ok();
+    let error = doc.as_ref().and_then(|d| d.get("error").cloned());
+    let code = error
+        .as_ref()
+        .and_then(|e| e.get("code"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("http-error")
+        .to_string();
+    let message = error
+        .as_ref()
+        .and_then(|e| e.get("message"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or(text.trim())
+        .to_string();
+    ClientError::Api {
+        status,
+        code,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_request_round_trips_through_json() {
+        let full = JobRequest {
+            figures: vec!["fig6".to_string(), "SMOKE".to_string()],
+            seeds: 4,
+            workers: Some(2),
+            max_cells: Some(10),
+            profile: true,
+            monitor: true,
+        };
+        assert_eq!(JobRequest::from_json(&full.to_json()), Some(full));
+        let minimal = JobRequest::new(vec!["fig6".to_string()], 1);
+        assert_eq!(JobRequest::from_json(&minimal.to_json()), Some(minimal));
+    }
+
+    #[test]
+    fn malformed_submissions_are_rejected_by_shape() {
+        assert!(JobRequest::from_json(&JsonValue::parse(r#"{"seeds":1}"#).unwrap()).is_none());
+        assert!(
+            JobRequest::from_json(&JsonValue::parse(r#"{"figures":["fig6"]}"#).unwrap()).is_none()
+        );
+        assert!(
+            JobRequest::from_json(&JsonValue::parse(r#"{"figures":[6],"seeds":1}"#).unwrap())
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn api_errors_parse_the_structured_shape() {
+        let body = br#"{"error":{"code":"queue-full","message":"8 jobs queued","capacity":8}}"#;
+        match api_error(429, body) {
+            ClientError::Api {
+                status,
+                code,
+                message,
+            } => {
+                assert_eq!(status, 429);
+                assert_eq!(code, "queue-full");
+                assert_eq!(message, "8 jobs queued");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unstructured bodies degrade gracefully.
+        match api_error(500, b"oops") {
+            ClientError::Api { code, message, .. } => {
+                assert_eq!(code, "http-error");
+                assert_eq!(message, "oops");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

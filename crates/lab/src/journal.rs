@@ -97,10 +97,28 @@ impl JournalWriter {
     /// Opens an existing journal for appending (resume path). The file's
     /// header is *not* revalidated here — load it first.
     ///
+    /// A killed writer can leave a damaged trailing line (no newline, or
+    /// complete but unparseable). [`LoadedJournal::load`] tolerates that
+    /// damage by dropping the line — but *appending after it* would fuse
+    /// the damaged tail and the next record onto one line, turning
+    /// tolerable trailing damage into fatal interior corruption on the
+    /// following load. So `append` first truncates any damaged tail; the
+    /// cell it belonged to simply re-runs, exactly as resume promises.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn append(path: &Path) -> Result<JournalWriter, JournalError> {
+        let bytes = std::fs::read(path).map_err(|e| JournalError::Io(path.into(), e))?;
+        let keep = repaired_len(&bytes);
+        if keep < bytes.len() {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| JournalError::Io(path.into(), e))?;
+            file.set_len(keep as u64)
+                .map_err(|e| JournalError::Io(path.into(), e))?;
+        }
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -293,6 +311,101 @@ impl LoadedJournal {
             })
             .sum()
     }
+
+    /// The journal's scheduling-independent canonical rendering: the
+    /// header (schema, version, spec) followed by each job's *final*
+    /// record sorted by job ID, with the per-run scheduling metadata
+    /// (worker index, recorded wall-clock) stripped.
+    ///
+    /// Two journals of the same sweep are byte-identical here regardless
+    /// of worker count, submission client, completion order, or how many
+    /// kill/resume splits produced them — which is exactly the identity
+    /// contract the `uasn-labd` end-to-end gate compares. The raw files
+    /// legitimately differ in record *order* and in the `worker`/`wall_us`
+    /// fields; the payload's own wall-clock measurements (the engine's
+    /// `wall_us`/`events_per_wall_sec`/`stats_wall_ns` and the `profile`
+    /// timing block) are scrubbed the same way, since they too vary
+    /// between any two executions of the same seed. Everything the
+    /// results depend on is covered here.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        let header = JsonValue::Object(vec![
+            ("schema".to_string(), JsonValue::from_string(JOURNAL_SCHEMA)),
+            ("version".to_string(), JsonValue::from_u64(JOURNAL_VERSION)),
+            ("spec".to_string(), self.spec.clone()),
+        ]);
+        out.push_str(&header.to_json());
+        out.push('\n');
+        let mut cells: Vec<&(String, CellStatus)> = self.cells.iter().collect();
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        for (job, status) in cells {
+            let record = match status {
+                CellStatus::Done { payload, .. } => JsonValue::Object(vec![
+                    ("job".to_string(), JsonValue::from_string(job)),
+                    ("status".to_string(), JsonValue::from_string("done")),
+                    ("payload".to_string(), canonical_payload(payload)),
+                ]),
+                CellStatus::Failed { error } => JsonValue::Object(vec![
+                    ("job".to_string(), JsonValue::from_string(job)),
+                    ("status".to_string(), JsonValue::from_string("failed")),
+                    ("error".to_string(), JsonValue::from_string(error)),
+                ]),
+            };
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+}
+
+/// Keys inside a cell payload that hold wall-clock measurements rather
+/// than simulation results: the engine stats' recorded wall time and
+/// derived rate, the lossless-round-trip nanosecond copy, and the whole
+/// per-kind `profile` timing block.
+const WALL_CLOCK_KEYS: [&str; 4] = ["wall_us", "events_per_wall_sec", "stats_wall_ns", "profile"];
+
+/// A payload with every wall-clock-derived field recursively removed —
+/// the part of a record [`LoadedJournal::canonical_bytes`] keeps.
+fn canonical_payload(value: &JsonValue) -> JsonValue {
+    match value {
+        JsonValue::Object(pairs) => JsonValue::Object(
+            pairs
+                .iter()
+                .filter(|(key, _)| !WALL_CLOCK_KEYS.contains(&key.as_str()))
+                .map(|(key, inner)| (key.clone(), canonical_payload(inner)))
+                .collect(),
+        ),
+        JsonValue::Array(items) => JsonValue::Array(items.iter().map(canonical_payload).collect()),
+        other => other.clone(),
+    }
+}
+
+/// How many leading bytes of a journal survive tail repair: everything up
+/// to and including the last newline whose final line parses as JSON. An
+/// un-terminated tail is always dropped; a terminated final line is
+/// dropped only when it is not valid JSON (the same two damage shapes
+/// [`LoadedJournal::load`] ignores).
+fn repaired_len(bytes: &[u8]) -> usize {
+    let terminated = match bytes.last() {
+        None => return 0,
+        Some(b'\n') => bytes.len(),
+        _ => match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => return 0,
+        },
+    };
+    let body = &bytes[..terminated];
+    let line_start = body[..terminated - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let last_line = String::from_utf8_lossy(&body[line_start..terminated - 1]);
+    if last_line.trim().is_empty() || JsonValue::parse(&last_line).is_ok() {
+        terminated
+    } else {
+        line_start
+    }
 }
 
 fn parse_record(line: &str) -> Result<(String, CellStatus), String> {
@@ -414,6 +527,111 @@ mod tests {
         assert!(j.failed().is_empty());
         assert_eq!(j.cells.len(), 1, "deduplicated");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_repairs_a_damaged_tail_instead_of_fusing_records() {
+        let path = tmp("repair");
+        let mut w = JournalWriter::create(&path, &spec()).expect("create");
+        w.record_done("a", 0, 1, &JsonValue::from_u64(1))
+            .expect("a");
+        w.record_done("b", 0, 1, &JsonValue::from_u64(2))
+            .expect("b");
+        drop(w);
+        // Kill mid-write: the final record loses its tail (and newline).
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 9]).expect("truncate");
+
+        // Appending after the damage must not fuse the partial line with
+        // the fresh record — the repaired journal re-runs cell b cleanly.
+        let mut w = JournalWriter::append(&path).expect("append repairs");
+        w.record_done("b", 1, 7, &JsonValue::from_u64(3))
+            .expect("b retry");
+        drop(w);
+        let j = LoadedJournal::load(&path).expect("fully valid after repair");
+        assert!(!j.dropped_partial, "the damaged tail was truncated away");
+        assert_eq!(j.done_count(), 2);
+        assert_eq!(j.payload("b"), Some(&JsonValue::from_u64(3)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_keeps_an_undamaged_tail_intact() {
+        let path = tmp("repair-intact");
+        let mut w = JournalWriter::create(&path, &spec()).expect("create");
+        w.record_done("a", 0, 1, &JsonValue::from_u64(1))
+            .expect("a");
+        drop(w);
+        let before = std::fs::read(&path).expect("read");
+        let w = JournalWriter::append(&path).expect("append");
+        drop(w);
+        assert_eq!(std::fs::read(&path).expect("read"), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_scheduling_metadata_and_order() {
+        let path_a = tmp("canon-a");
+        let path_b = tmp("canon-b");
+        let payload1 = JsonValue::from_u64(10);
+        let payload2 = JsonValue::from_u64(20);
+        // Same cells, different completion order, workers, and wall times.
+        let mut w = JournalWriter::create(&path_a, &spec()).expect("create");
+        w.record_done("F6/p00/ew-mac/s000", 0, 111, &payload1)
+            .expect("a1");
+        w.record_done("F6/p00/ew-mac/s001", 1, 222, &payload2)
+            .expect("a2");
+        drop(w);
+        let mut w = JournalWriter::create(&path_b, &spec()).expect("create");
+        w.record_done("F6/p00/ew-mac/s001", 3, 999, &payload2)
+            .expect("b2");
+        w.record_done("F6/p00/ew-mac/s000", 2, 888, &payload1)
+            .expect("b1");
+        drop(w);
+        let a = LoadedJournal::load(&path_a).expect("load a");
+        let b = LoadedJournal::load(&path_b).expect("load b");
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // A diverging payload is visible.
+        let mut w = JournalWriter::append(&path_b).expect("append");
+        w.record_done("F6/p00/ew-mac/s000", 0, 1, &JsonValue::from_u64(99))
+            .expect("divergent");
+        drop(w);
+        let b = LoadedJournal::load(&path_b).expect("load b");
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+
+    #[test]
+    fn canonical_bytes_scrub_wall_clock_fields_inside_payloads() {
+        let make = |wall_us: u64, wall_ns: u64, rate: f64| {
+            JsonValue::parse(&format!(
+                r#"{{"metrics":{{"throughput_kbps":0.4}},"stats":{{"events_processed":7,"wall_us":{wall_us},"events_per_wall_sec":{rate}}},"stats_wall_ns":{wall_ns},"profile":{{"tx":{wall_us}}}}}"#
+            ))
+            .expect("payload parses")
+        };
+        let path_a = tmp("canon-wall-a");
+        let path_b = tmp("canon-wall-b");
+        // Identical results, different wall-clock measurements: the two
+        // executions must be canonically identical.
+        let mut w = JournalWriter::create(&path_a, &spec()).expect("create");
+        w.record_done("F6/p00/ew-mac/s000", 0, 111, &make(111, 111_222, 9.5))
+            .expect("a");
+        drop(w);
+        let mut w = JournalWriter::create(&path_b, &spec()).expect("create");
+        w.record_done("F6/p00/ew-mac/s000", 1, 999, &make(999, 999_888, 2.5))
+            .expect("b");
+        drop(w);
+        let a = LoadedJournal::load(&path_a).expect("load a");
+        let b = LoadedJournal::load(&path_b).expect("load b");
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // The deterministic results are still compared.
+        let canon = String::from_utf8(a.canonical_bytes()).expect("utf8");
+        assert!(canon.contains("throughput_kbps"));
+        assert!(canon.contains("events_processed"));
+        assert!(!canon.contains("wall"), "no wall-clock residue: {canon}");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
     }
 
     #[test]

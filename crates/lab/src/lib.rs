@@ -13,6 +13,11 @@
 //!   `--jobs` control defaulting to the machine's available parallelism);
 //! - [`journal`] checkpoints completed cells to an append-only JSONL file
 //!   so an interrupted sweep resumes by skipping journaled job IDs;
+//! - [`tail`] reads a journal live while another thread or process is
+//!   still appending to it (the `uasn-labd` streaming wire format);
+//! - [`client`] is a thin blocking HTTP client for the `uasn-labd`
+//!   experiment service, sharing the submission serializer with the
+//!   server;
 //! - [`progress`] reports completed/total, cells/sec, ETA, and worker
 //!   utilization while a sweep runs.
 //!
@@ -26,12 +31,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod journal;
 pub mod pool;
 pub mod progress;
 pub mod spec;
+pub mod tail;
 
+pub use client::{Client, ClientError, JobRequest};
 pub use journal::{JournalError, JournalWriter, LoadedJournal};
 pub use pool::{execute, resolve_workers, JobResult, Outcome, PoolReport};
 pub use progress::Progress;
 pub use spec::{JobKey, JobTable, SweepSpec};
+pub use tail::JournalTailer;

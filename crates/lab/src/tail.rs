@@ -1,0 +1,183 @@
+//! Live tailing of an append-only JSONL journal.
+//!
+//! [`JournalTailer`] is the reader half of the journal's tolerance
+//! contract: the writer appends whole lines and flushes after each, so the
+//! only unstable region of the file is the tail after the last newline. A
+//! tailer therefore only ever yields *complete* lines — bytes after the
+//! final `\n` are left in place and re-read on the next poll, exactly the
+//! way [`crate::journal::LoadedJournal::load`] drops a truncated trailing
+//! record instead of failing.
+//!
+//! This is what the `uasn-labd` streaming endpoint serves over chunked
+//! transfer: journal v1 lines, verbatim, as they land on disk. A reader
+//! that falls idle simply catches up on its next poll; a reader that
+//! outlives the writer drains the remaining complete lines and sees
+//! nothing after that.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Incremental reader over an append-only line-oriented file.
+///
+/// The tailer tracks a byte offset of consumed *complete* lines. Each
+/// [`JournalTailer::poll`] re-opens the file (the writer may not have
+/// created it yet, or may be a different process), seeks to the offset,
+/// and returns every newline-terminated line that has appeared since.
+#[derive(Debug)]
+pub struct JournalTailer {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl JournalTailer {
+    /// Tails `path` from the beginning. The file does not need to exist
+    /// yet — polls before creation yield no lines.
+    pub fn new(path: impl Into<PathBuf>) -> JournalTailer {
+        JournalTailer {
+            path: path.into(),
+            offset: 0,
+        }
+    }
+
+    /// The tailed path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of complete lines consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Returns every complete line appended since the last poll, without
+    /// trailing newlines. A partially written trailing line (no `\n` yet)
+    /// is *not* returned — it stays pending until its newline lands, so a
+    /// kill mid-write is invisible to stream consumers just as it is to
+    /// resume.
+    ///
+    /// If the file shrank below the consumed offset (a fresh sweep
+    /// truncated and restarted the journal), the tailer resets to the
+    /// start and re-emits the new file's lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing yet.
+    pub fn poll(&mut self) -> io::Result<Vec<String>> {
+        let mut file = match File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            // The journal was truncated/recreated under us (a fresh sweep
+            // at the same path): start over rather than reading garbage at
+            // a stale offset.
+            self.offset = 0;
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let Some(last_newline) = buf.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        let complete = &buf[..=last_newline];
+        self.offset += complete.len() as u64;
+        Ok(complete
+            .split(|&b| b == b'\n')
+            .filter(|line| !line.is_empty())
+            .map(|line| String::from_utf8_lossy(line).into_owned())
+            .collect())
+    }
+
+    /// Polls until no new complete lines appear, returning everything
+    /// collected — a catch-up read for a reader that has been idle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JournalTailer::poll`] errors.
+    pub fn drain(&mut self) -> io::Result<Vec<String>> {
+        let mut all = Vec::new();
+        loop {
+            let batch = self.poll()?;
+            if batch.is_empty() {
+                return Ok(all);
+            }
+            all.extend(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("uasn-lab-tail-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn missing_file_yields_nothing_until_created() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        let mut tailer = JournalTailer::new(&path);
+        assert!(tailer.poll().expect("missing file tolerated").is_empty());
+        std::fs::write(&path, "a\nb\n").expect("create");
+        assert_eq!(tailer.poll().expect("poll"), vec!["a", "b"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partial_trailing_line_is_held_back_until_complete() {
+        let path = tmp("partial");
+        let mut file = File::create(&path).expect("create");
+        file.write_all(b"{\"job\":\"a\"}\n{\"job\":\"b\"")
+            .expect("write");
+        file.flush().expect("flush");
+
+        let mut tailer = JournalTailer::new(&path);
+        assert_eq!(tailer.poll().expect("poll"), vec!["{\"job\":\"a\"}"]);
+        // The writer is mid-line: nothing new, nothing mangled.
+        assert!(tailer.poll().expect("poll").is_empty());
+
+        file.write_all(b"}\n").expect("complete the line");
+        file.flush().expect("flush");
+        assert_eq!(tailer.poll().expect("poll"), vec!["{\"job\":\"b\"}"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_resets_the_tailer() {
+        let path = tmp("reset");
+        std::fs::write(&path, "one\ntwo\nthree\n").expect("write");
+        let mut tailer = JournalTailer::new(&path);
+        assert_eq!(tailer.poll().expect("poll").len(), 3);
+        // A fresh sweep truncates and rewrites the journal.
+        std::fs::write(&path, "fresh\n").expect("rewrite");
+        assert_eq!(tailer.poll().expect("poll"), vec!["fresh"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drain_catches_up_after_idle() {
+        let path = tmp("drain");
+        std::fs::write(&path, "1\n2\n").expect("write");
+        let mut tailer = JournalTailer::new(&path);
+        assert_eq!(tailer.poll().expect("poll").len(), 2);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("append");
+        for i in 3..50 {
+            writeln!(file, "{i}").expect("append line");
+        }
+        file.flush().expect("flush");
+        let lines = tailer.drain().expect("drain");
+        assert_eq!(lines.len(), 47);
+        assert_eq!(lines.first().map(String::as_str), Some("3"));
+        assert_eq!(lines.last().map(String::as_str), Some("49"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,192 @@
+//! Journal live-tail hardening: a [`JournalTailer`] reading while a
+//! [`JournalWriter`] is still appending must only ever see complete,
+//! parseable journal lines — the same tolerance contract resume promises
+//! (only the unterminated tail is unstable), exercised here with a real
+//! concurrent writer, raw mid-line writes, truncated trailing records,
+//! and an idle reader catching up.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use uasn_lab::journal::{JournalWriter, LoadedJournal};
+use uasn_lab::spec::SweepSpec;
+use uasn_lab::tail::JournalTailer;
+use uasn_sim::json::JsonValue;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("uasn-tailer-{name}-{}.jsonl", std::process::id()))
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        figures: vec!["F6".to_string()],
+        seeds: 1,
+    }
+}
+
+#[test]
+fn concurrent_writer_and_tailer_never_tear_a_line() {
+    let path = tmp("concurrent");
+    let _ = std::fs::remove_file(&path);
+    const RECORDS: usize = 500;
+
+    let done = AtomicBool::new(false);
+    let mut collected: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let writer_path = path.clone();
+        let (done, collected) = (&done, &mut collected);
+        scope.spawn(move || {
+            let mut writer =
+                JournalWriter::create(&writer_path, &spec().to_json()).expect("create");
+            for i in 0..RECORDS {
+                let payload = JsonValue::from_u64(i as u64);
+                writer
+                    .record_done(&format!("F6/p00/ew-mac/s{i:03}"), 0, i as u64, &payload)
+                    .expect("append");
+                if i % 37 == 0 {
+                    // Give the reader a chance to land mid-stream.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        let mut tailer = JournalTailer::new(&path);
+        loop {
+            let finished = done.load(Ordering::Acquire);
+            for line in tailer.poll().expect("poll") {
+                // Every observed line parses — no torn reads, ever.
+                let doc = JsonValue::parse(&line)
+                    .unwrap_or_else(|e| panic!("tailer yielded a torn line {line:?}: {e}"));
+                assert!(
+                    doc.get("schema").is_some() || doc.get("job").is_some(),
+                    "line is a header or a record: {line}"
+                );
+                collected.push(line);
+            }
+            if finished && tailer.poll().expect("final poll").is_empty() {
+                break;
+            }
+        }
+    });
+
+    // header + every record, each exactly once, in write order.
+    assert_eq!(collected.len(), 1 + RECORDS);
+    for (i, line) in collected[1..].iter().enumerate() {
+        let doc = JsonValue::parse(line).expect("record parses");
+        assert_eq!(
+            doc.get("job").and_then(JsonValue::as_str),
+            Some(format!("F6/p00/ew-mac/s{i:03}").as_str())
+        );
+    }
+    // And the stream matches the on-disk journal byte-for-byte, line-wise.
+    let text = std::fs::read_to_string(&path).expect("read journal");
+    let on_disk: Vec<&str> = text.lines().collect();
+    assert_eq!(collected, on_disk);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn raw_mid_line_append_is_invisible_until_terminated() {
+    let path = tmp("midline");
+    let mut writer = JournalWriter::create(&path, &spec().to_json()).expect("create");
+    writer
+        .record_done("F6/p00/ew-mac/s000", 0, 1, &JsonValue::from_u64(1))
+        .expect("record");
+    drop(writer);
+
+    let mut tailer = JournalTailer::new(&path);
+    assert_eq!(tailer.poll().expect("poll").len(), 2, "header + record");
+
+    // A writer flushes half a record (as a kill mid-write would leave it).
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open");
+    file.write_all(b"{\"job\":\"F6/p00/ew-mac/s001\",\"sta")
+        .expect("partial write");
+    file.flush().expect("flush");
+    assert!(
+        tailer.poll().expect("poll").is_empty(),
+        "the partial tail is held back"
+    );
+
+    // The writer finishes the line; only now does the record appear.
+    file.write_all(b"tus\":\"done\",\"worker\":0,\"wall_us\":2,\"payload\":2}\n")
+        .expect("finish write");
+    file.flush().expect("flush");
+    let lines = tailer.poll().expect("poll");
+    assert_eq!(lines.len(), 1);
+    let doc = JsonValue::parse(&lines[0]).expect("complete record parses");
+    assert_eq!(
+        doc.get("job").and_then(JsonValue::as_str),
+        Some("F6/p00/ew-mac/s001")
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_trailing_record_is_never_streamed_and_resume_repairs_it() {
+    let path = tmp("truncated");
+    let mut writer = JournalWriter::create(&path, &spec().to_json()).expect("create");
+    writer
+        .record_done("F6/p00/ew-mac/s000", 0, 1, &JsonValue::from_u64(1))
+        .expect("a");
+    writer
+        .record_done("F6/p00/ew-mac/s001", 0, 1, &JsonValue::from_u64(2))
+        .expect("b");
+    drop(writer);
+
+    // Kill mid-write: the final record loses its tail including the newline.
+    let text = std::fs::read_to_string(&path).expect("read");
+    std::fs::write(&path, &text[..text.len() - 9]).expect("truncate");
+
+    // A fresh tailer drains only the intact lines; the damaged tail is
+    // invisible, exactly like LoadedJournal::load dropping it.
+    let mut tailer = JournalTailer::new(&path);
+    let lines = tailer.drain().expect("drain");
+    assert_eq!(lines.len(), 2, "header + the one intact record");
+    let loaded = LoadedJournal::load(&path).expect("load tolerates the tail");
+    assert!(loaded.dropped_partial);
+
+    // Resume-style append repairs the tail; the tailer was never past it,
+    // so the re-run record streams cleanly from the repaired offset.
+    let mut writer = JournalWriter::append(&path).expect("append repairs");
+    writer
+        .record_done("F6/p00/ew-mac/s001", 1, 9, &JsonValue::from_u64(2))
+        .expect("retry");
+    drop(writer);
+    let lines = tailer.drain().expect("drain after repair");
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains("s001"), "{}", lines[0]);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn idle_reader_catches_up_without_duplicates() {
+    let path = tmp("idle");
+    let mut writer = JournalWriter::create(&path, &spec().to_json()).expect("create");
+    let mut tailer = JournalTailer::new(&path);
+    assert_eq!(tailer.poll().expect("poll").len(), 1, "header");
+
+    // The reader goes idle while the writer appends a pile of records.
+    for i in 0..100u64 {
+        writer
+            .record_done(
+                &format!("F6/p00/ew-mac/s{i:03}"),
+                0,
+                i,
+                &JsonValue::from_u64(i),
+            )
+            .expect("record");
+    }
+    let caught_up = tailer.drain().expect("catch up");
+    assert_eq!(caught_up.len(), 100, "every record exactly once");
+    assert!(
+        tailer.poll().expect("poll").is_empty(),
+        "nothing re-emitted"
+    );
+    let _ = std::fs::remove_file(&path);
+}

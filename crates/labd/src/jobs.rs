@@ -1,0 +1,495 @@
+//! The job manager: stable IDs, a bounded admission queue, per-job
+//! cancellation, and graceful drain.
+//!
+//! Pure coordination — no sockets, no sweeps. Runner threads call
+//! [`JobManager::next_job`] in a loop; the server's executor actually runs
+//! the sweep and reports back through [`JobManager::finish`]. Keeping the
+//! manager free of I/O is what lets the backpressure tests drive it with
+//! closure runners instead of real simulations.
+//!
+//! Admission policy: at most `capacity` jobs may sit in the queue.
+//! Submissions beyond that are rejected *explicitly* with
+//! [`SubmitError::QueueFull`] (the 429 path) rather than blocking the
+//! connection — a lab client should decide for itself whether to retry,
+//! back off, or go bother a different server.
+//!
+//! Drain policy: [`JobManager::drain`] stops admission (503), stops
+//! runners from picking up queued work, and raises every running job's
+//! cancel flag. The sweep layer finishes its in-flight cells, journals
+//! them, and returns; the runner then marks the job
+//! [`JobState::Interrupted`] — resumable state, preserved on disk by the
+//! server. Queued jobs simply stay queued and are requeued on restart.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use uasn_lab::client::JobRequest;
+use uasn_sim::json::JsonValue;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a runner.
+    Queued,
+    /// A runner is executing the sweep.
+    Running,
+    /// Cancellation requested while running; the sweep is stopping at its
+    /// next cell boundary.
+    Cancelling,
+    /// Every cell ran and artifacts were written.
+    Done,
+    /// The sweep errored (bad figures, journal damage, panicked cells).
+    Failed,
+    /// Cancelled by request before completing.
+    Cancelled,
+    /// Stopped early with resumable state (server drain or a `max_cells`
+    /// stop); a restart requeues it.
+    Interrupted,
+}
+
+impl JobState {
+    /// The wire spelling (`"queued"`, `"running"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Cancelling => "cancelling",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "cancelling" => JobState::Cancelling,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            "interrupted" => JobState::Interrupted,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will never run again in this server process.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::Interrupted
+        )
+    }
+}
+
+/// One job's public snapshot.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Stable ID (`"j0001"` …), assigned at admission, preserved across
+    /// server restarts.
+    pub id: String,
+    /// What was submitted.
+    pub request: JobRequest,
+    /// Current state.
+    pub state: JobState,
+    /// The failure message, for [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+impl Job {
+    /// The status document served by `GET /v1/jobs/{id}` and persisted to
+    /// the job file (same serializer for both, by construction).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("id".to_string(), JsonValue::from_string(&self.id)),
+            ("request".to_string(), self.request.to_json()),
+            (
+                "state".to_string(),
+                JsonValue::from_string(self.state.as_str()),
+            ),
+        ];
+        if let Some(error) = &self.error {
+            pairs.push(("error".to_string(), JsonValue::from_string(error)));
+        }
+        JsonValue::Object(pairs)
+    }
+
+    /// Parses [`Job::to_json`]'s document (the persistence read path).
+    pub fn from_json(doc: &JsonValue) -> Option<Job> {
+        Some(Job {
+            id: doc.get("id")?.as_str()?.to_string(),
+            request: JobRequest::from_json(doc.get("request")?)?,
+            state: JobState::parse(doc.get("state")?.as_str()?)?,
+            error: doc
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity — the 429 response.
+    QueueFull {
+        /// The configured queue capacity, echoed so clients can log it.
+        capacity: usize,
+    },
+    /// The server is draining for shutdown — the 503 response.
+    Draining,
+}
+
+/// Why a cancel was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelError {
+    /// No job with that ID.
+    Unknown,
+    /// The job already reached a terminal state — the 409 response.
+    AlreadyFinished(JobState),
+}
+
+/// How the executor's sweep ended (successful executions only; errors go
+/// back as `Err(message)` and become [`JobState::Failed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every cell ran; artifacts written.
+    Done,
+    /// Stopped early at a `max_cells` bound; journal holds the progress.
+    Interrupted,
+    /// Stopped because the job's cancel flag was raised (either a user
+    /// cancel or a server drain — the manager disambiguates).
+    Cancelled,
+}
+
+struct Entry {
+    job: Job,
+    cancel: Arc<AtomicBool>,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    queue: VecDeque<usize>,
+    draining: bool,
+    running: usize,
+    next_seq: u64,
+}
+
+impl Inner {
+    fn index_of(&self, id: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.job.id == id)
+    }
+}
+
+/// The coordinator. Shared between the accept loop (submissions, cancels,
+/// status) and the runner threads (pop, run, finish) behind one mutex.
+pub struct JobManager {
+    inner: Mutex<Inner>,
+    /// Signalled when queued work (or drain) changes — wakes runners.
+    work: Condvar,
+    /// Signalled when a running job finishes — wakes the drain waiter.
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobManager")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobManager {
+    /// A manager whose admission queue holds at most `capacity` jobs.
+    pub fn new(capacity: usize) -> JobManager {
+        JobManager {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                queue: VecDeque::new(),
+                draining: false,
+                running: 0,
+                next_seq: 1,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured admission-queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a new job, assigning the next sequential ID.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] during shutdown, [`SubmitError::QueueFull`]
+    /// when `capacity` jobs are already queued (running jobs do not count —
+    /// the queue bounds *waiting* work).
+    pub fn submit(&self, request: JobRequest) -> Result<String, SubmitError> {
+        let mut inner = self.inner.lock().expect("manager lock");
+        if inner.draining {
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = format!("j{:04}", inner.next_seq);
+        inner.next_seq += 1;
+        let index = inner.entries.len();
+        inner.entries.push(Entry {
+            job: Job {
+                id: id.clone(),
+                request,
+                state: JobState::Queued,
+                error: None,
+            },
+            cancel: Arc::new(AtomicBool::new(false)),
+        });
+        inner.queue.push_back(index);
+        self.work.notify_one();
+        Ok(id)
+    }
+
+    /// Re-admits a recovered job under its *original* ID (the server's
+    /// restart path). Does not count against capacity — jobs the server
+    /// already accepted before a crash are not re-negotiated — but keeps
+    /// `next_seq` above every recovered ID so fresh submissions never
+    /// collide.
+    pub fn restore(&self, job: Job, queue: bool) {
+        let mut inner = self.inner.lock().expect("manager lock");
+        if let Some(seq) = job.id.strip_prefix('j').and_then(|s| s.parse::<u64>().ok()) {
+            inner.next_seq = inner.next_seq.max(seq + 1);
+        }
+        let index = inner.entries.len();
+        inner.entries.push(Entry {
+            job,
+            cancel: Arc::new(AtomicBool::new(false)),
+        });
+        if queue {
+            inner.entries[index].job.state = JobState::Queued;
+            inner.entries[index].job.error = None;
+            inner.queue.push_back(index);
+            self.work.notify_one();
+        }
+    }
+
+    /// Requests cancellation. A queued job is removed immediately
+    /// ([`JobState::Cancelled`]); a running job is flagged
+    /// ([`JobState::Cancelling`]) and finishes its in-flight cells before
+    /// the runner confirms. Returns the state after the request.
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError::Unknown`] or [`CancelError::AlreadyFinished`].
+    pub fn cancel(&self, id: &str) -> Result<JobState, CancelError> {
+        let mut inner = self.inner.lock().expect("manager lock");
+        let Some(index) = inner.index_of(id) else {
+            return Err(CancelError::Unknown);
+        };
+        let state = inner.entries[index].job.state;
+        match state {
+            JobState::Queued => {
+                inner.queue.retain(|&i| i != index);
+                inner.entries[index].job.state = JobState::Cancelled;
+                Ok(JobState::Cancelled)
+            }
+            JobState::Running => {
+                inner.entries[index].job.state = JobState::Cancelling;
+                inner.entries[index].cancel.store(true, Ordering::SeqCst);
+                Ok(JobState::Cancelling)
+            }
+            JobState::Cancelling => Ok(JobState::Cancelling),
+            terminal => Err(CancelError::AlreadyFinished(terminal)),
+        }
+    }
+
+    /// Blocks until a queued job is available, marks it running, and
+    /// returns `(job snapshot, its cancel flag)`. Returns `None` once the
+    /// manager is draining — the runner's signal to exit its loop.
+    pub fn next_job(&self) -> Option<(Job, Arc<AtomicBool>)> {
+        let mut inner = self.inner.lock().expect("manager lock");
+        loop {
+            if inner.draining {
+                return None;
+            }
+            if let Some(index) = inner.queue.pop_front() {
+                inner.entries[index].job.state = JobState::Running;
+                inner.running += 1;
+                let entry = &inner.entries[index];
+                return Some((entry.job.clone(), Arc::clone(&entry.cancel)));
+            }
+            inner = self.work.wait(inner).expect("manager lock");
+        }
+    }
+
+    /// Records a runner's verdict, mapping [`RunOutcome::Cancelled`] to
+    /// [`JobState::Cancelled`] when a user asked (the job was
+    /// `Cancelling`) and to [`JobState::Interrupted`] when the flag came
+    /// from a drain. Returns the final state.
+    pub fn finish(&self, id: &str, result: Result<RunOutcome, String>) -> JobState {
+        let mut inner = self.inner.lock().expect("manager lock");
+        let index = inner.index_of(id).expect("finished job exists");
+        let was_cancelling = inner.entries[index].job.state == JobState::Cancelling;
+        let state = match result {
+            Ok(RunOutcome::Done) => JobState::Done,
+            Ok(RunOutcome::Interrupted) => JobState::Interrupted,
+            Ok(RunOutcome::Cancelled) => {
+                if was_cancelling {
+                    JobState::Cancelled
+                } else {
+                    JobState::Interrupted
+                }
+            }
+            Err(message) => {
+                inner.entries[index].job.error = Some(message);
+                JobState::Failed
+            }
+        };
+        inner.entries[index].job.state = state;
+        inner.running -= 1;
+        self.idle.notify_all();
+        state
+    }
+
+    /// Starts the drain: admission closes, runners stop picking up queued
+    /// work, and every running job's cancel flag is raised so sweeps stop
+    /// at their next cell boundary.
+    pub fn drain(&self) {
+        let mut inner = self.inner.lock().expect("manager lock");
+        inner.draining = true;
+        for entry in &inner.entries {
+            if entry.job.state == JobState::Running {
+                entry.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        self.work.notify_all();
+        drop(inner);
+    }
+
+    /// Whether [`JobManager::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().expect("manager lock").draining
+    }
+
+    /// Blocks until no job is running (only meaningful after
+    /// [`JobManager::drain`], otherwise new work may start at any time).
+    pub fn wait_idle(&self) {
+        let mut inner = self.inner.lock().expect("manager lock");
+        while inner.running > 0 {
+            inner = self.idle.wait(inner).expect("manager lock");
+        }
+    }
+
+    /// One job's snapshot.
+    pub fn job(&self, id: &str) -> Option<Job> {
+        let inner = self.inner.lock().expect("manager lock");
+        inner.index_of(id).map(|i| inner.entries[i].job.clone())
+    }
+
+    /// Every job, in admission order.
+    pub fn jobs(&self) -> Vec<Job> {
+        let inner = self.inner.lock().expect("manager lock");
+        inner.entries.iter().map(|e| e.job.clone()).collect()
+    }
+}
+
+/// A runner thread's whole life: pop, execute, report, repeat until the
+/// manager drains. `run` executes one job's sweep (the server passes the
+/// `run_sweep` executor; tests pass closures); `persist` is called with
+/// every state transition the runner causes, so job files on disk always
+/// reflect reality.
+pub fn runner_loop(
+    manager: &JobManager,
+    run: impl Fn(&Job, &Arc<AtomicBool>) -> Result<RunOutcome, String>,
+    persist: impl Fn(&Job),
+) {
+    while let Some((job, cancel)) = manager.next_job() {
+        persist(manager.job(&job.id).as_ref().unwrap_or(&job));
+        let result = run(&job, &cancel);
+        manager.finish(&job.id, result);
+        if let Some(final_job) = manager.job(&job.id) {
+            persist(&final_job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> JobRequest {
+        JobRequest::new(vec!["SMOKE".to_string()], 1)
+    }
+
+    #[test]
+    fn ids_are_sequential_and_stable() {
+        let manager = JobManager::new(8);
+        assert_eq!(manager.submit(request()).expect("a"), "j0001");
+        assert_eq!(manager.submit(request()).expect("b"), "j0002");
+        assert_eq!(manager.jobs().len(), 2);
+        assert_eq!(
+            manager.job("j0002").expect("exists").state,
+            JobState::Queued
+        );
+    }
+
+    #[test]
+    fn restore_keeps_ids_and_bumps_the_sequence() {
+        let manager = JobManager::new(8);
+        manager.restore(
+            Job {
+                id: "j0007".to_string(),
+                request: request(),
+                state: JobState::Done,
+                error: None,
+            },
+            false,
+        );
+        assert_eq!(
+            manager.job("j0007").expect("restored").state,
+            JobState::Done
+        );
+        assert_eq!(manager.submit(request()).expect("fresh"), "j0008");
+    }
+
+    #[test]
+    fn job_documents_round_trip() {
+        let job = Job {
+            id: "j0042".to_string(),
+            request: request(),
+            state: JobState::Failed,
+            error: Some("3 cells panicked".to_string()),
+        };
+        let doc = job.to_json();
+        let back = Job::from_json(&doc).expect("parses");
+        assert_eq!(back.id, job.id);
+        assert_eq!(back.request, job.request);
+        assert_eq!(back.state, job.state);
+        assert_eq!(back.error, job.error);
+    }
+
+    #[test]
+    fn every_state_spelling_round_trips() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Cancelling,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Interrupted,
+        ] {
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(JobState::parse("bogus"), None);
+    }
+}

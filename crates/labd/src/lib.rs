@@ -1,0 +1,34 @@
+//! # uasn-labd — the lab as a persistent service
+//!
+//! `uasn-lab` made sweeps parallel and resumable; this crate makes them
+//! *submittable*: a long-lived job server that concurrent clients talk to
+//! over a hand-rolled HTTP/1.1 API (no new dependencies — `std::net` and
+//! the in-tree JSON module, like everything else here).
+//!
+//! - [`http`] — minimal request parsing, JSON responses, structured
+//!   errors, and a chunked-transfer writer for streaming;
+//! - [`jobs`] — the job manager: stable IDs, a bounded admission queue
+//!   with explicit 429-style rejection, per-job cancellation, graceful
+//!   drain on shutdown;
+//! - [`server`] — routes, crash-safe persistence, restart recovery, and
+//!   the executor that runs each job through the exact `lab run`
+//!   machinery ([`uasn_bench::grid::run_sweep`] with a checkpoint
+//!   journal), so a `kill -9`'d server resumes its in-flight jobs on the
+//!   next start and produces canonically byte-identical journals to a CLI
+//!   run of the same sweep.
+//!
+//! The client half lives in [`uasn_lab::client`], so the submission and
+//! status serializers are shared by construction. The `labd` binary wraps
+//! both ends: `labd serve` runs a server, `labd submit/watch/ls/status/
+//! cancel/shutdown` talk to one, `labd cmp` checks two journals for
+//! canonical identity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use jobs::{CancelError, Job, JobManager, JobState, RunOutcome, SubmitError};
+pub use server::{Server, ServerConfig};

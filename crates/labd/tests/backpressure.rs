@@ -1,0 +1,199 @@
+//! Admission-queue and drain semantics, driven deterministically: runner
+//! "sweeps" are closures coordinated over channels, so every test controls
+//! exactly when a job starts, blocks, and finishes — no timing, no
+//! sleeping-and-hoping.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use uasn_lab::client::JobRequest;
+use uasn_labd::jobs::{runner_loop, CancelError, JobManager, JobState, RunOutcome, SubmitError};
+
+fn request() -> JobRequest {
+    JobRequest::new(vec!["SMOKE".to_string()], 1)
+}
+
+#[test]
+fn admission_rejects_exactly_at_capacity() {
+    // No runner ever pops, so the queue fills deterministically.
+    let manager = JobManager::new(2);
+    manager.submit(request()).expect("first fits");
+    manager.submit(request()).expect("second fits");
+    assert_eq!(
+        manager.submit(request()),
+        Err(SubmitError::QueueFull { capacity: 2 }),
+        "the third submission is refused with the capacity echoed"
+    );
+    // Cancelling a queued job frees its slot immediately.
+    assert_eq!(manager.cancel("j0001"), Ok(JobState::Cancelled));
+    let id = manager.submit(request()).expect("slot freed by cancel");
+    assert_eq!(id, "j0003", "the rejected submission did not burn an ID");
+}
+
+#[test]
+fn cancelling_a_queued_job_never_runs_it() {
+    let manager = Arc::new(JobManager::new(4));
+    let id = manager.submit(request()).expect("submit");
+    assert_eq!(manager.cancel(&id), Ok(JobState::Cancelled));
+    assert_eq!(
+        manager.cancel(&id),
+        Err(CancelError::AlreadyFinished(JobState::Cancelled)),
+        "a second cancel is a structured conflict"
+    );
+
+    // Start a runner afterwards: the cancelled job must not be offered.
+    let (ran_tx, ran_rx) = mpsc::channel();
+    let manager_for_runner = Arc::clone(&manager);
+    let runner = std::thread::spawn(move || {
+        runner_loop(
+            &manager_for_runner,
+            move |job, _| {
+                ran_tx.send(job.id.clone()).expect("record run");
+                Ok(RunOutcome::Done)
+            },
+            |_| {},
+        );
+    });
+    let live = manager.submit(request()).expect("second job");
+    while manager.job(&live).expect("exists").state != JobState::Done {
+        std::thread::yield_now();
+    }
+    manager.drain();
+    runner.join().expect("runner exits");
+    let ran: Vec<String> = ran_rx.try_iter().collect();
+    assert_eq!(ran, vec![live], "only the live job ever ran");
+}
+
+#[test]
+fn cancelling_a_running_job_flags_it_and_maps_to_cancelled() {
+    let manager = Arc::new(JobManager::new(4));
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+
+    let manager_for_runner = Arc::clone(&manager);
+    let runner = std::thread::spawn(move || {
+        runner_loop(
+            &manager_for_runner,
+            move |job, cancel| {
+                started_tx.send(job.id.clone()).expect("report start");
+                release_rx.recv().expect("await release");
+                // The sweep observes the flag at its next cell boundary.
+                if cancel.load(Ordering::SeqCst) {
+                    Ok(RunOutcome::Cancelled)
+                } else {
+                    Ok(RunOutcome::Done)
+                }
+            },
+            |_| {},
+        );
+    });
+
+    let id = manager.submit(request()).expect("submit");
+    assert_eq!(started_rx.recv().expect("job started"), id);
+    assert_eq!(
+        manager.cancel(&id),
+        Ok(JobState::Cancelling),
+        "a running job moves to cancelling, not straight to cancelled"
+    );
+    release_tx.send(()).expect("let the sweep finish its cell");
+    while !manager.job(&id).expect("exists").state.is_terminal() {
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        manager.job(&id).expect("exists").state,
+        JobState::Cancelled,
+        "a user cancel confirms as cancelled (not interrupted)"
+    );
+    manager.drain();
+    runner.join().expect("runner exits");
+}
+
+#[test]
+fn drain_completes_in_flight_work_and_interrupts_it() {
+    let manager = Arc::new(JobManager::new(4));
+    let (started_tx, started_rx) = mpsc::channel();
+    let (cell_tx, cell_rx) = mpsc::channel::<&'static str>();
+
+    let manager_for_runner = Arc::clone(&manager);
+    let runner = std::thread::spawn(move || {
+        runner_loop(
+            &manager_for_runner,
+            move |job, cancel| {
+                started_tx.send(job.id.clone()).expect("report start");
+                // Model a sweep with an in-flight cell: the cell *always*
+                // completes (and would journal) before the flag is
+                // honoured — exactly run_sweep's cooperative contract.
+                cell_tx.send("in-flight cell completed").expect("cell");
+                while !cancel.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(RunOutcome::Cancelled)
+            },
+            |_| {},
+        );
+    });
+
+    let running = manager.submit(request()).expect("running job");
+    let queued = manager.submit(request()).expect("queued job");
+    assert_eq!(started_rx.recv().expect("started"), running);
+    assert_eq!(
+        cell_rx.recv().expect("cell done"),
+        "in-flight cell completed"
+    );
+
+    manager.drain();
+    assert_eq!(
+        manager.submit(request()),
+        Err(SubmitError::Draining),
+        "admission is closed the moment the drain starts"
+    );
+    manager.wait_idle();
+    runner.join().expect("runner exits after drain");
+
+    assert_eq!(
+        manager.job(&running).expect("exists").state,
+        JobState::Interrupted,
+        "a drain-stopped job is interrupted (resumable), not cancelled"
+    );
+    assert_eq!(
+        manager.job(&queued).expect("exists").state,
+        JobState::Queued,
+        "queued work survives the drain untouched, for the next start"
+    );
+}
+
+#[test]
+fn runner_failures_and_interruptions_map_to_their_states() {
+    let manager = Arc::new(JobManager::new(8));
+    let fail = manager.submit(request()).expect("fail job");
+    let stop = manager.submit(request()).expect("max-cells job");
+    let done = manager.submit(request()).expect("done job");
+
+    let manager_for_runner = Arc::clone(&manager);
+    let runner = std::thread::spawn(move || {
+        runner_loop(
+            &manager_for_runner,
+            |job, _| match job.id.as_str() {
+                "j0001" => Err("3 cells panicked".to_string()),
+                "j0002" => Ok(RunOutcome::Interrupted),
+                _ => Ok(RunOutcome::Done),
+            },
+            |_| {},
+        );
+    });
+    while !manager.job(&done).expect("exists").state.is_terminal() {
+        std::thread::yield_now();
+    }
+    manager.drain();
+    runner.join().expect("runner exits");
+
+    let failed = manager.job(&fail).expect("exists");
+    assert_eq!(failed.state, JobState::Failed);
+    assert_eq!(failed.error.as_deref(), Some("3 cells panicked"));
+    assert_eq!(
+        manager.job(&stop).expect("exists").state,
+        JobState::Interrupted
+    );
+    assert_eq!(manager.job(&done).expect("exists").state, JobState::Done);
+}
